@@ -1,0 +1,117 @@
+// Microbenchmarks (google-benchmark) for the primitives on RPoL's hot
+// paths: hashing (commitments), p-stable LSH digests, AMLayer derivation,
+// training-step execution, and checkpoint state capture.
+
+#include <benchmark/benchmark.h>
+
+#include "core/amlayer.h"
+#include "core/commitment.h"
+#include "core/detsel.h"
+#include "data/synthetic.h"
+#include "lsh/pstable.h"
+#include "nn/models.h"
+
+namespace {
+using namespace rpol;
+
+void BM_Sha256_1MB(benchmark::State& state) {
+  Bytes data(1 << 20, 0xAB);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sha256(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          (1 << 20));
+}
+BENCHMARK(BM_Sha256_1MB);
+
+void BM_HashState_100k(benchmark::State& state) {
+  core::TrainState s;
+  s.model.resize(100'000, 0.5F);
+  s.optimizer.resize(100'000, 0.25F);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::hash_state(s));
+  }
+}
+BENCHMARK(BM_HashState_100k);
+
+void BM_LshDigest(benchmark::State& state) {
+  const std::int64_t dim = state.range(0);
+  lsh::LshConfig cfg{{1.0, 4, 4}, dim, 7};
+  lsh::PStableLsh hasher(cfg);
+  Rng rng(1);
+  std::vector<float> v(static_cast<std::size_t>(dim));
+  rng.fill_normal(v, 0.0F, 1.0F);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hasher.hash(v));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * dim *
+                          16);
+}
+BENCHMARK(BM_LshDigest)->Arg(10'000)->Arg(100'000);
+
+void BM_AmLayerDerivation(benchmark::State& state) {
+  const Address address = Address::from_seed(42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::derive_amlayer_weight(address, core::AmLayerConfig{}));
+  }
+}
+BENCHMARK(BM_AmLayerDerivation);
+
+void BM_PrfBatchSelection(benchmark::State& state) {
+  core::DeterministicSelector selector(99);
+  std::int64_t step = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(selector.batch_indices(step++, 128, 50'000));
+  }
+}
+BENCHMARK(BM_PrfBatchSelection);
+
+struct StepFixtureData {
+  data::Dataset dataset;
+  data::DatasetView view;
+  std::unique_ptr<core::StepExecutor> executor;
+  core::DeterministicSelector selector{5};
+
+  StepFixtureData() {
+    data::SyntheticImageConfig cfg;
+    cfg.num_examples = 256;
+    cfg.image_size = 8;
+    cfg.seed = 3;
+    dataset = data::make_synthetic_images(cfg);
+    view = data::DatasetView::whole(dataset);
+    nn::ModelConfig mc;
+    mc.image_size = 8;
+    mc.width = 4;
+    mc.num_classes = 10;
+    core::Hyperparams hp;
+    hp.batch_size = 16;
+    hp.steps_per_epoch = 1;
+    executor = std::make_unique<core::StepExecutor>(
+        nn::mini_resnet18_factory(mc, 1), hp);
+  }
+};
+
+void BM_TrainingStep_MiniResNet18(benchmark::State& state) {
+  static StepFixtureData fixture;
+  std::int64_t step = 0;
+  for (auto _ : state) {
+    fixture.executor->run_steps(step++, 1, fixture.view, fixture.selector,
+                                nullptr);
+  }
+}
+BENCHMARK(BM_TrainingStep_MiniResNet18);
+
+void BM_CheckpointSaveRestore(benchmark::State& state) {
+  static StepFixtureData fixture;
+  for (auto _ : state) {
+    core::TrainState s = fixture.executor->save_state();
+    fixture.executor->load_state(s);
+    benchmark::DoNotOptimize(s);
+  }
+}
+BENCHMARK(BM_CheckpointSaveRestore);
+
+}  // namespace
+
+BENCHMARK_MAIN();

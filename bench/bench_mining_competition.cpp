@@ -1,0 +1,163 @@
+// Mining competition: the paper's headline claim — "RPoL ... helps the
+// pool win the mining competition among consensus nodes" (abstract,
+// Sec. VII-E).
+//
+// Three consensus nodes compete over repeated PoUW rounds on the same task
+// budget:
+//   * a VERIFIED pool (RPoLv2) with 30% freeloading workers,
+//   * an UNVERIFIED pool with the same 30% freeloaders,
+//   * an individual miner with one worker's worth of compute.
+// Each round, every node trains for the same number of epochs, proposes an
+// address-encoded model, and the chain pays the proposal with the best
+// test accuracy. Expected shape: the verified pool wins the (vast)
+// majority of rounds; the individual miner essentially never wins — the
+// economic reason pools exist.
+
+#include "bench_util.h"
+#include "chain/blockchain.h"
+#include "core/amlayer.h"
+#include "data/partition.h"
+#include "data/synthetic.h"
+
+namespace {
+using namespace rpol;
+
+constexpr std::size_t kPoolWorkers = 10;
+constexpr std::size_t kFreeloaders = 3;
+constexpr std::int64_t kEpochsPerRound = 4;
+
+std::vector<core::WorkerSpec> pool_workers(std::uint64_t round) {
+  std::vector<core::WorkerSpec> specs;
+  const auto devices = sim::all_devices();
+  for (std::size_t w = 0; w < kPoolWorkers; ++w) {
+    core::WorkerSpec spec;
+    if (w < kFreeloaders) {
+      spec.policy = std::make_unique<core::ReplayPolicy>();
+    } else {
+      spec.policy = std::make_unique<core::HonestPolicy>();
+    }
+    spec.device = devices[(w + round) % devices.size()];
+    specs.push_back(std::move(spec));
+  }
+  return specs;
+}
+
+// Trains a pool for the round and returns its final global model accuracy
+// probe (the proposal accuracy is re-evaluated by the chain).
+std::vector<float> run_pool_round(const bench::BenchTask& task,
+                                  core::Scheme scheme, std::uint64_t round) {
+  core::PoolConfig cfg;
+  cfg.scheme = scheme;
+  cfg.hp = task.hp;
+  cfg.epochs = kEpochsPerRound;
+  cfg.samples_q = 3;
+  cfg.seed = 900 + round;
+  core::MiningPool pool(cfg, task.factory, task.dataset, task.split.test,
+                        pool_workers(round));
+  pool.run();
+  return pool.global_model();
+}
+
+// The individual miner: one honest worker's compute (same per-epoch step
+// count as one pool worker, over the whole epoch budget).
+std::vector<float> run_individual_round(const bench::BenchTask& task,
+                                        std::uint64_t round) {
+  core::StepExecutor executor(task.factory, task.hp);
+  const core::DeterministicSelector selector(derive_seed(7000, round));
+  sim::DeviceExecution device(sim::device_g3090(), derive_seed(7100, round));
+  executor.run_steps(0, task.hp.steps_per_epoch * kEpochsPerRound,
+                     task.split.train, selector, &device);
+  return executor.model().state_vector();
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Mining competition — verified pool vs unverified pool vs individual",
+      "Abstract / Sec. VII-E: RPoL 'helps the pool win the mining "
+      "competition among consensus nodes'");
+
+  constexpr int kRounds = 8;
+  const Address verified_addr = Address::from_seed(1);
+  const Address unverified_addr = Address::from_seed(2);
+  const Address individual_addr = Address::from_seed(3);
+
+  chain::Blockchain chain;
+  int wins_verified = 0, wins_unverified = 0, wins_individual = 0;
+
+  std::printf("\n%-7s %-22s %-14s %-14s %-14s\n", "round", "winner",
+              "RPoLv2 pool", "insecure pool", "individual");
+  for (int round = 0; round < kRounds; ++round) {
+    // Fresh task per round (tasks differ per block in PoUW). High gradient
+    // noise + an aggressive learning rate put the task in the regime where
+    // the pool's 10x effective batch genuinely helps — the setting in which
+    // joining a pool is economically rational at all.
+    auto task = std::make_unique<bench::BenchTask>();
+    {
+      data::SyntheticBlobConfig dc;
+      dc.num_classes = 10;
+      dc.num_examples = 4096;
+      dc.features = 32;
+      dc.class_separation = 1.1F;
+      dc.noise_stddev = 2.0F;
+      dc.seed = derive_seed(5000, static_cast<std::uint64_t>(round));
+      task->name = "MLP / noisy blobs";
+      task->dataset = data::make_synthetic_blobs(dc);
+      task->split = data::train_test_split(task->dataset, 0.2,
+                                           derive_seed(5001,
+                                                       static_cast<std::uint64_t>(round)));
+      task->factory = nn::mlp_factory(32, {32, 16}, 10,
+                                      derive_seed(5002,
+                                                  static_cast<std::uint64_t>(round)));
+      task->hp.learning_rate = 0.05F;
+      task->hp.batch_size = 32;
+      task->hp.steps_per_epoch = 8;
+      task->hp.checkpoint_interval = 2;
+    }
+    const auto task_id = chain.publish_task(
+        "round " + std::to_string(round), 0.8, /*reward=*/100);
+
+    struct Entry {
+      Address address;
+      std::vector<float> model;
+    };
+    const std::vector<Entry> entries = {
+        {verified_addr, run_pool_round(*task, core::Scheme::kRPoLv2,
+                                       static_cast<std::uint64_t>(round))},
+        {unverified_addr, run_pool_round(*task, core::Scheme::kBaseline,
+                                         static_cast<std::uint64_t>(round))},
+        {individual_addr,
+         run_individual_round(*task, static_cast<std::uint64_t>(round))},
+    };
+
+    // MLP tasks carry no AMLayer (rank-2 inputs); consensus here ranks by
+    // accuracy alone, with ownership handled by the proposal address. The
+    // conv-task AMLayer flow is exercised in bench_table1/chain tests.
+    std::vector<double> accuracies;
+    for (const auto& entry : entries) {
+      core::StepExecutor evaluator(task->factory, task->hp);
+      nn::Model& model = evaluator.model();
+      model.load_state_vector(entry.model);
+      accuracies.push_back(evaluator.evaluate(task->split.test));
+    }
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < accuracies.size(); ++i) {
+      if (accuracies[i] > accuracies[best]) best = i;
+    }
+    const char* names[] = {"VERIFIED POOL", "unverified pool", "individual"};
+    if (best == 0) ++wins_verified;
+    if (best == 1) ++wins_unverified;
+    if (best == 2) ++wins_individual;
+    std::printf("%-7d %-22s %-14.4f %-14.4f %-14.4f\n", round, names[best],
+                accuracies[0], accuracies[1], accuracies[2]);
+    (void)task_id;
+  }
+
+  std::printf("\nwins over %d rounds: verified pool %d, unverified pool %d, "
+              "individual miner %d\n",
+              kRounds, wins_verified, wins_unverified, wins_individual);
+  std::printf("(paper's claim: the RPoL pool produces the better model in the "
+              "same time budget, hence wins the block race)\n");
+  return 0;
+}

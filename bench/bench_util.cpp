@@ -1,0 +1,115 @@
+#include "bench_util.h"
+
+#include <stdexcept>
+
+namespace rpol::bench {
+
+BenchTaskPtr make_conv_task(const std::string& which, std::uint64_t seed,
+                            std::int64_t steps_per_epoch,
+                            std::int64_t checkpoint_interval,
+                            std::int64_t num_examples, bool phase_coded) {
+  // Phase-coded classes on a shared carrier: small margins relative to the
+  // input norm, so trained models are fragile to input remappings — the
+  // CIFAR-like regime where the AMLayer address-replacing attack collapses
+  // accuracy (Table I). See data/synthetic.h.
+  data::SyntheticImageConfig data_cfg;
+  data_cfg.channels = 3;
+  data_cfg.image_size = 8;
+  data_cfg.num_examples = num_examples;
+  data_cfg.phase_coded = phase_coded;
+  if (phase_coded) {
+    data_cfg.noise_stddev = 0.2F;
+    data_cfg.min_frequency = 2.0F;
+    data_cfg.max_frequency = 2.0F;
+  } else {
+    data_cfg.noise_stddev = 0.8F;
+    data_cfg.min_frequency = 0.5F;
+    data_cfg.max_frequency = 3.0F;
+  }
+  data_cfg.seed = derive_seed(seed, 0xDA);
+
+  nn::ModelConfig model_cfg;
+  model_cfg.image_size = 8;
+  model_cfg.width = 4;
+  model_cfg.seed = derive_seed(seed, 0x30);
+
+  nn::ModelFactory factory;
+  std::string name;
+  if (which == "resnet18_c10") {
+    data_cfg.num_classes = 10;
+    model_cfg.num_classes = 10;
+    factory = nn::mini_resnet18_factory(model_cfg, 1);
+    name = "MiniResNet18 / synth-CIFAR10";
+  } else if (which == "resnet18_c100") {
+    data_cfg.num_classes = 20;
+    data_cfg.image_size = 12;
+    model_cfg.num_classes = 20;
+    model_cfg.image_size = 12;
+    factory = nn::mini_resnet18_factory(model_cfg, 1);
+    name = "MiniResNet18 / synth-CIFAR100";
+  } else if (which == "resnet50_c10") {
+    data_cfg.num_classes = 10;
+    model_cfg.num_classes = 10;
+    factory = nn::mini_resnet50_factory(model_cfg, {1, 1, 1, 1});
+    name = "MiniResNet50 / synth-CIFAR10";
+  } else if (which == "resnet50_c100") {
+    data_cfg.num_classes = 20;
+    data_cfg.image_size = 12;
+    model_cfg.num_classes = 20;
+    model_cfg.image_size = 12;
+    factory = nn::mini_resnet50_factory(model_cfg, {1, 1, 1, 1});
+    name = "MiniResNet50 / synth-CIFAR100";
+  } else if (which == "vgg16_c10") {
+    data_cfg.num_classes = 10;
+    model_cfg.num_classes = 10;
+    factory = nn::mini_vgg16_factory(model_cfg);
+    name = "MiniVGG16 / synth-CIFAR10";
+  } else {
+    throw std::invalid_argument("unknown conv task: " + which);
+  }
+
+  core::Hyperparams hp;
+  hp.learning_rate = 0.05F;
+  hp.batch_size = 16;
+  hp.steps_per_epoch = steps_per_epoch;
+  hp.checkpoint_interval = checkpoint_interval;
+
+  // The split's views point into the task's own dataset, so the dataset must
+  // reach its final address before the split is built.
+  auto task = std::make_unique<BenchTask>();
+  task->name = name;
+  task->dataset = data::make_synthetic_images(data_cfg);
+  task->split =
+      data::train_test_split(task->dataset, 0.2, derive_seed(seed, 0x51));
+  task->factory = std::move(factory);
+  task->hp = hp;
+  return task;
+}
+
+BenchTaskPtr make_mlp_task(std::uint64_t seed, std::int64_t steps_per_epoch,
+                           std::int64_t checkpoint_interval) {
+  data::SyntheticBlobConfig data_cfg;
+  data_cfg.num_classes = 10;
+  data_cfg.num_examples = 4096;
+  data_cfg.features = 32;
+  data_cfg.class_separation = 1.1F;
+  data_cfg.noise_stddev = 1.1F;
+  data_cfg.seed = derive_seed(seed, 0xDB);
+
+  core::Hyperparams hp;
+  hp.learning_rate = 0.015F;
+  hp.batch_size = 32;
+  hp.steps_per_epoch = steps_per_epoch;
+  hp.checkpoint_interval = checkpoint_interval;
+
+  auto task = std::make_unique<BenchTask>();
+  task->name = "MLP / synth-blobs";
+  task->dataset = data::make_synthetic_blobs(data_cfg);
+  task->split =
+      data::train_test_split(task->dataset, 0.2, derive_seed(seed, 0x52));
+  task->factory = nn::mlp_factory(32, {32, 16}, 10, derive_seed(seed, 0x31));
+  task->hp = hp;
+  return task;
+}
+
+}  // namespace rpol::bench

@@ -1,0 +1,69 @@
+// Shared helpers for the experiment-reproduction benches: task builders
+// matching the paper's setups (at Mini scale) and table formatting.
+//
+// Every bench binary regenerates one table or figure from the paper's
+// evaluation (Sec. VII); see DESIGN.md's per-experiment index. Binaries
+// print self-describing text tables so `for b in build/bench/*; do $b; done`
+// yields a full experiment log.
+
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "core/pool.h"
+#include "data/partition.h"
+#include "data/synthetic.h"
+#include "nn/models.h"
+
+namespace rpol::bench {
+
+inline void print_header(const std::string& title, const std::string& paper_ref) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("Reproduces: %s\n", paper_ref.c_str());
+  std::printf("================================================================\n");
+}
+
+inline double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// A complete training task: dataset + splits + deterministic model factory.
+// Heap-allocated (unique_ptr) so the split's views into the dataset stay
+// valid for the task's lifetime.
+struct BenchTask {
+  std::string name;
+  data::Dataset dataset;
+  data::TrainTestSplit split;
+  nn::ModelFactory factory;
+  core::Hyperparams hp;
+};
+
+using BenchTaskPtr = std::unique_ptr<BenchTask>;
+
+// "Task A": MiniResNet18 on a synthetic CIFAR-10-like set (10 classes).
+// "Task B": MiniResNet50 on a synthetic CIFAR-100-like set (20 classes at
+// Mini scale — 100 classes need more capacity than the Mini widths carry).
+// The conv tasks run the real residual architectures; the MLP task drives
+// protocol-heavy sweeps where architecture is irrelevant (DESIGN.md §1).
+// Valid `which`: resnet18_c10, resnet18_c100, resnet50_c10, resnet50_c100,
+// vgg16_c10.
+// `phase_coded` selects fragile phase-coded classes (needed by the AMLayer
+// address-replacing experiments); pass false for the robust random-carrier
+// classes used in the reproduction-error experiments, where training must
+// stay in the stable noise-propagation regime.
+BenchTaskPtr make_conv_task(const std::string& which, std::uint64_t seed,
+                            std::int64_t steps_per_epoch = 12,
+                            std::int64_t checkpoint_interval = 3,
+                            std::int64_t num_examples = 640,
+                            bool phase_coded = true);
+
+BenchTaskPtr make_mlp_task(std::uint64_t seed, std::int64_t steps_per_epoch = 20,
+                           std::int64_t checkpoint_interval = 5);
+
+}  // namespace rpol::bench

@@ -1,0 +1,115 @@
+// Decentralized verification + fair-exchange escrow: the paper's two
+// future-work items working together.
+//
+// A prover worker trains (or spoofs) an epoch; q sampled transitions are
+// verified by a committee of 5 peer workers (3 votes per sample, one
+// colluder among them) instead of the manager alone. Payouts flow through
+// an escrow that the manager cannot cheat: a wrongly-zeroed worker wins a
+// dispute arbitrated by re-execution.
+//
+// Run: ./build/examples/decentralized_verification
+
+#include <cstdio>
+
+#include "chain/escrow.h"
+#include "core/decentralized.h"
+#include "data/partition.h"
+#include "data/synthetic.h"
+#include "nn/models.h"
+
+using namespace rpol;
+
+int main() {
+  // Task setup (same shape as quickstart).
+  data::SyntheticBlobConfig data_cfg;
+  data_cfg.num_examples = 2048;
+  data_cfg.num_classes = 10;
+  data_cfg.features = 32;
+  const data::Dataset dataset = data::make_synthetic_blobs(data_cfg);
+  const data::DatasetView worker_data = data::DatasetView::whole(dataset);
+  const nn::ModelFactory factory = nn::mlp_factory(32, {32, 16}, 10, 1);
+  core::Hyperparams hp;
+  hp.learning_rate = 0.02F;
+  hp.batch_size = 32;
+  hp.steps_per_epoch = 20;
+  hp.checkpoint_interval = 5;
+
+  core::EpochContext ctx;
+  ctx.nonce = 0xDECEA5ED;
+  ctx.dataset = &worker_data;
+  {
+    core::StepExecutor init(factory, hp);
+    ctx.initial = init.save_state();
+  }
+
+  // Prover traces: one honest, one spoofing 80% of the work.
+  core::StepExecutor prover(factory, hp);
+  sim::DeviceExecution prover_gpu(sim::device_ga10(), 7);
+  core::HonestPolicy honest_policy;
+  const core::EpochTrace honest = honest_policy.produce_trace(prover, ctx, prover_gpu);
+  core::SpoofPolicy spoof_policy(0.2, 0.5);
+  const core::EpochTrace spoofed = spoof_policy.produce_trace(prover, ctx, prover_gpu);
+
+  // Verifier committee: 5 peers, one of them colluding with provers.
+  std::vector<core::VerifierNode> committee;
+  const auto devices = sim::all_devices();
+  for (std::size_t i = 0; i < 5; ++i) {
+    core::VerifierNode node;
+    node.behavior = i == 0 ? core::VerifierBehavior::kColludeAccept
+                           : core::VerifierBehavior::kHonest;
+    node.device = devices[i % devices.size()];
+    node.run_seed = 500 + i;
+    committee.push_back(node);
+  }
+
+  core::DecentralizedConfig dcfg;
+  dcfg.samples_q = 3;
+  dcfg.verifiers_per_sample = 3;
+  dcfg.beta = 2e-3;
+  core::DecentralizedVerifier verifier(factory, hp, dcfg);
+
+  for (const auto& [trace, label] :
+       {std::pair{&honest, "honest prover"}, std::pair{&spoofed, "spoofing prover"}}) {
+    const auto result = verifier.verify(core::commit_v1(*trace), *trace, ctx,
+                                        core::hash_state(ctx.initial), committee);
+    std::printf("%s: %s (critical path %lld steps vs %lld total — ~%.1fx "
+                "parallel speedup)\n",
+                label, result.accepted ? "ACCEPTED" : "REJECTED",
+                static_cast<long long>(result.critical_path_steps),
+                static_cast<long long>(result.total_reexecuted_steps),
+                result.critical_path_steps > 0
+                    ? static_cast<double>(result.total_reexecuted_steps) /
+                          static_cast<double>(result.critical_path_steps)
+                    : 0.0);
+    for (std::size_t s = 0; s < result.samples.size(); ++s) {
+      std::printf("  sample %lld votes:",
+                  static_cast<long long>(result.samples[s]));
+      for (const auto& vote : result.votes[s]) {
+        std::printf(" v%zu=%s", vote.verifier, vote.pass ? "pass" : "fail");
+      }
+      std::printf("\n");
+    }
+  }
+
+  // Fair exchange: manager wrongly zeroes worker 1; the dispute (arbitrated
+  // by decentralized re-verification of its trace) restores the payout.
+  std::printf("\n--- escrowed reward settlement ---\n");
+  chain::FairExchangeEscrow escrow(2, core::RewardPolicy{250});
+  escrow.fund(10'000);
+  escrow.register_commitment(0, core::commit_v1(honest).root);
+  escrow.register_commitment(1, core::commit_v1(honest).root);
+  escrow.submit_outcome({1, 0});  // manager stiffs worker 1
+  const bool upheld = escrow.dispute(1, 1, [&](std::size_t) {
+    const auto recheck = verifier.verify(core::commit_v1(honest), honest, ctx,
+                                         core::hash_state(ctx.initial), committee);
+    return recheck.accepted;
+  });
+  std::printf("worker 1 dispute %s\n", upheld ? "UPHELD" : "rejected");
+  const core::RewardDistribution payout = escrow.settle();
+  std::printf("settlement: fee=%llu, worker0=%llu, worker1=%llu (conserved: %s)\n",
+              static_cast<unsigned long long>(payout.manager_fee),
+              static_cast<unsigned long long>(payout.worker_payouts[0]),
+              static_cast<unsigned long long>(payout.worker_payouts[1]),
+              payout.total() == 10'000 ? "yes" : "NO");
+  return 0;
+}

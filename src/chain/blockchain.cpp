@@ -1,0 +1,272 @@
+#include "chain/blockchain.h"
+
+#include <stdexcept>
+
+namespace rpol::chain {
+
+Digest Block::hash() const {
+  Sha256 h;
+  Bytes header_bytes;
+  append_u64(header_bytes, header.height);
+  header_bytes.insert(header_bytes.end(), header.parent_hash.begin(),
+                      header.parent_hash.end());
+  append_u64(header_bytes, header.task_id);
+  const Bytes addr = header.proposer.bytes();
+  header_bytes.insert(header_bytes.end(), addr.begin(), addr.end());
+  header_bytes.insert(header_bytes.end(), header.model_hash.begin(),
+                      header.model_hash.end());
+  append_f32(header_bytes, static_cast<float>(header.claimed_accuracy));
+  h.update(header_bytes);
+  return h.finish();
+}
+
+Blockchain::Blockchain() {
+  // Genesis block.
+  Block genesis;
+  genesis.header.height = 0;
+  genesis.header.proposer = Address::from_seed(0);
+  blocks_.push_back(std::move(genesis));
+}
+
+std::uint64_t Blockchain::publish_task(std::string description,
+                                       double target_accuracy,
+                                       std::uint64_t reward) {
+  const std::uint64_t id = next_task_id_++;
+  tasks_[id] = TrainingTask{id, std::move(description), target_accuracy, reward};
+  return id;
+}
+
+std::optional<TrainingTask> Blockchain::task(std::uint64_t task_id) const {
+  const auto it = tasks_.find(task_id);
+  if (it == tasks_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool verify_embedded_amlayer(const std::vector<float>& model_state,
+                             const Address& claimed,
+                             const core::AmLayerConfig& config) {
+  const Tensor expected = core::derive_amlayer_weight(claimed, config);
+  const std::size_t n = static_cast<std::size_t>(expected.numel());
+  if (model_state.size() < n) return false;
+  // The AMLayer is the first prepended layer, so its weights occupy the
+  // leading slice of the state vector.
+  for (std::size_t i = 0; i < n; ++i) {
+    if (model_state[i] != expected.vec()[i]) return false;
+  }
+  return true;
+}
+
+double evaluate_proposal_accuracy(const BlockProposal& proposal,
+                                  const Address& amlayer_address,
+                                  const data::DatasetView& test_set,
+                                  const core::Hyperparams& hp) {
+  const nn::ModelFactory base = proposal.base_factory;
+  const core::AmLayerConfig am_cfg = proposal.amlayer_config;
+  const nn::ModelFactory with_amlayer = [base, am_cfg, amlayer_address]() {
+    nn::Model m = base();
+    m.prepend(std::make_unique<core::AmLayer>(amlayer_address, am_cfg));
+    return m;
+  };
+  core::StepExecutor executor(with_amlayer, hp);
+  nn::Model& model = executor.model();
+  // The proposal's state was produced under the PROPOSER's AMLayer. Loading
+  // it under `amlayer_address` overwrites the AMLayer slice too, so restore
+  // the evaluation address's derived weights afterwards — consensus nodes
+  // never trust embedded AMLayer bytes, they re-derive them.
+  model.load_state_vector(proposal.model_state);
+  const Tensor derived =
+      core::derive_amlayer_weight(amlayer_address, am_cfg);
+  nn::Param* front = model.params().front();
+  front->value = derived;
+  return executor.evaluate(test_set);
+}
+
+std::optional<std::size_t> Blockchain::run_round(
+    std::uint64_t task_id, std::vector<BlockProposal> proposals,
+    const data::DatasetView& test_set, const core::Hyperparams& hp) {
+  if (tasks_.find(task_id) == tasks_.end()) {
+    throw std::invalid_argument("unknown task");
+  }
+  std::optional<std::size_t> best;
+  double best_accuracy = -1.0;
+  for (std::size_t i = 0; i < proposals.size(); ++i) {
+    const BlockProposal& p = proposals[i];
+    // Ownership verification: the embedded AMLayer must derive from the
+    // claimed proposer address.
+    if (!verify_embedded_amlayer(p.model_state, p.proposer, p.amlayer_config)) {
+      continue;
+    }
+    // A malformed proposal (wrong state size, bad factory output) must not
+    // take the whole round down — it is simply discarded.
+    double acc = -1.0;
+    try {
+      acc = evaluate_proposal_accuracy(p, p.proposer, test_set, hp);
+    } catch (const std::exception&) {
+      continue;
+    }
+    if (acc > best_accuracy) {
+      best_accuracy = acc;
+      best = i;
+    }
+  }
+  if (!best.has_value()) return std::nullopt;
+
+  const BlockProposal& winner = proposals[*best];
+  Block block;
+  block.header.height = height();
+  block.header.parent_hash = blocks_.back().hash();
+  block.header.task_id = task_id;
+  block.header.proposer = winner.proposer;
+  block.header.model_hash = sha256(serialize_floats(winner.model_state));
+  block.header.claimed_accuracy = best_accuracy;
+  block.model_state = winner.model_state;
+  block.amlayer_config = winner.amlayer_config;
+  blocks_.push_back(std::move(block));
+
+  balances_[winner.proposer.str()] += tasks_.at(task_id).reward;
+  return best;
+}
+
+std::uint64_t Blockchain::balance(const Address& address) const {
+  const auto it = balances_.find(address.str());
+  return it == balances_.end() ? 0 : it->second;
+}
+
+namespace {
+
+void append_digest_bytes(Bytes& out, const Digest& d) {
+  out.insert(out.end(), d.begin(), d.end());
+}
+
+Digest read_digest_bytes(const Bytes& in, std::size_t& offset) {
+  if (offset + 32 > in.size()) throw std::out_of_range("truncated digest");
+  Digest d{};
+  std::copy(in.begin() + static_cast<std::ptrdiff_t>(offset),
+            in.begin() + static_cast<std::ptrdiff_t>(offset + 32), d.begin());
+  offset += 32;
+  return d;
+}
+
+void append_string(Bytes& out, const std::string& s) {
+  append_u64(out, s.size());
+  out.insert(out.end(), s.begin(), s.end());
+}
+
+std::string read_string(const Bytes& in, std::size_t& offset) {
+  const std::uint64_t len = read_u64(in, offset);
+  if (len > in.size() - offset) throw std::out_of_range("truncated string");
+  std::string s(in.begin() + static_cast<std::ptrdiff_t>(offset),
+                in.begin() + static_cast<std::ptrdiff_t>(offset + len));
+  offset += static_cast<std::size_t>(len);
+  return s;
+}
+
+}  // namespace
+
+Bytes Blockchain::to_bytes() const {
+  Bytes out;
+  append_u64(out, 0x52504F4C43484E31ULL);  // "RPOLCHN1" magic/version
+
+  append_u64(out, blocks_.size());
+  for (const Block& block : blocks_) {
+    append_u64(out, block.header.height);
+    append_digest_bytes(out, block.header.parent_hash);
+    append_u64(out, block.header.task_id);
+    append_string(out, block.header.proposer.valid() ? block.header.proposer.str()
+                                                     : std::string());
+    append_digest_bytes(out, block.header.model_hash);
+    append_f32(out, static_cast<float>(block.header.claimed_accuracy));
+    const Bytes model = serialize_floats(block.model_state);
+    out.insert(out.end(), model.begin(), model.end());
+    append_i64(out, block.amlayer_config.channels);
+    append_i64(out, block.amlayer_config.kernel);
+    append_f32(out, block.amlayer_config.scaling_c);
+    append_i64(out, block.amlayer_config.power_iterations);
+  }
+
+  append_u64(out, tasks_.size());
+  for (const auto& [id, task] : tasks_) {
+    append_u64(out, id);
+    append_string(out, task.description);
+    append_f32(out, static_cast<float>(task.target_accuracy));
+    append_u64(out, task.reward);
+  }
+
+  append_u64(out, balances_.size());
+  for (const auto& [addr, amount] : balances_) {
+    append_string(out, addr);
+    append_u64(out, amount);
+  }
+  append_u64(out, next_task_id_);
+  return out;
+}
+
+Blockchain Blockchain::from_bytes(const Bytes& in) {
+  std::size_t offset = 0;
+  if (read_u64(in, offset) != 0x52504F4C43484E31ULL) {
+    throw std::invalid_argument("not an RPoL chain snapshot");
+  }
+  Blockchain chain;
+  chain.blocks_.clear();
+
+  const std::uint64_t block_count = read_u64(in, offset);
+  if (block_count == 0 || block_count > in.size()) {
+    throw std::invalid_argument("bad block count");
+  }
+  for (std::uint64_t i = 0; i < block_count; ++i) {
+    Block block;
+    block.header.height = read_u64(in, offset);
+    block.header.parent_hash = read_digest_bytes(in, offset);
+    block.header.task_id = read_u64(in, offset);
+    const std::string proposer = read_string(in, offset);
+    if (!proposer.empty()) {
+      block.header.proposer = Address::from_string(proposer);
+    }
+    block.header.model_hash = read_digest_bytes(in, offset);
+    block.header.claimed_accuracy = read_f32(in, offset);
+    block.model_state = deserialize_floats(in, offset);
+    block.amlayer_config.channels = read_i64(in, offset);
+    block.amlayer_config.kernel = read_i64(in, offset);
+    block.amlayer_config.scaling_c = read_f32(in, offset);
+    block.amlayer_config.power_iterations =
+        static_cast<int>(read_i64(in, offset));
+    chain.blocks_.push_back(std::move(block));
+  }
+
+  const std::uint64_t task_count = read_u64(in, offset);
+  if (task_count > in.size()) throw std::invalid_argument("bad task count");
+  for (std::uint64_t i = 0; i < task_count; ++i) {
+    TrainingTask task;
+    task.task_id = read_u64(in, offset);
+    task.description = read_string(in, offset);
+    task.target_accuracy = read_f32(in, offset);
+    task.reward = read_u64(in, offset);
+    chain.tasks_[task.task_id] = std::move(task);
+  }
+
+  const std::uint64_t balance_count = read_u64(in, offset);
+  if (balance_count > in.size()) throw std::invalid_argument("bad balance count");
+  for (std::uint64_t i = 0; i < balance_count; ++i) {
+    const std::string addr = read_string(in, offset);
+    chain.balances_[addr] = read_u64(in, offset);
+  }
+  chain.next_task_id_ = read_u64(in, offset);
+  if (offset != in.size()) throw std::invalid_argument("trailing chain bytes");
+
+  if (!chain.validate_chain()) {
+    throw std::invalid_argument("restored chain fails hash-link validation");
+  }
+  return chain;
+}
+
+bool Blockchain::validate_chain() const {
+  for (std::size_t i = 1; i < blocks_.size(); ++i) {
+    if (!digest_equal(blocks_[i].header.parent_hash, blocks_[i - 1].hash())) {
+      return false;
+    }
+    if (blocks_[i].header.height != i) return false;
+  }
+  return true;
+}
+
+}  // namespace rpol::chain

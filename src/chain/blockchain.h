@@ -1,0 +1,120 @@
+// PoUW blockchain substrate (Sec. III-A).
+//
+// Consensus nodes (individual miners or mining pools) pull a DNN training
+// task from the task pool, train a model whose front layer encodes their
+// own address, and propose a block within the round's time limit. The test
+// dataset is revealed only after proposals close; the block whose model
+// generalizes best wins, every node re-derives the proposer's AMLayer from
+// the block's address to verify ownership, and the reward is paid to the
+// encoded address.
+//
+// Blocks are hash-chained; a block carries the model state vector (hashed
+// into the block header) rather than the raw bytes of a real system, which
+// is enough to exercise the consensus logic end to end.
+
+#pragma once
+
+#include <map>
+#include <optional>
+
+#include "core/amlayer.h"
+#include "core/executor.h"
+#include "data/partition.h"
+
+namespace rpol::chain {
+
+// A DNN training task published on chain.
+struct TrainingTask {
+  std::uint64_t task_id = 0;
+  std::string description;
+  double target_accuracy = 0.0;   // difficulty knob (Sec. VII-E discussion)
+  std::uint64_t reward = 0;       // paid to the winning proposer's address
+};
+
+struct BlockHeader {
+  std::uint64_t height = 0;
+  Digest parent_hash{};
+  std::uint64_t task_id = 0;
+  Address proposer;
+  Digest model_hash{};
+  double claimed_accuracy = 0.0;
+};
+
+struct Block {
+  BlockHeader header;
+  std::vector<float> model_state;     // the trained model (state vector)
+  core::AmLayerConfig amlayer_config; // how the front layer was built
+
+  Digest hash() const;
+};
+
+// Proposal-time model container: the consensus evaluation needs to run the
+// model, so proposals carry a factory building the architecture WITHOUT the
+// AMLayer; the chain prepends the proposer-derived AMLayer itself. This is
+// exactly what makes address-replacing detectable: evaluation always uses
+// the AMLayer derived from the claimed address.
+struct BlockProposal {
+  Address proposer;
+  nn::ModelFactory base_factory;       // architecture sans AMLayer
+  core::AmLayerConfig amlayer_config;
+  std::vector<float> model_state;      // state vector of (AMLayer + base)
+};
+
+class Blockchain {
+ public:
+  Blockchain();
+
+  std::uint64_t publish_task(std::string description, double target_accuracy,
+                             std::uint64_t reward);
+  std::optional<TrainingTask> task(std::uint64_t task_id) const;
+
+  std::uint64_t height() const { return static_cast<std::uint64_t>(blocks_.size()); }
+  const Block& tip() const { return blocks_.back(); }
+  const Block& block(std::uint64_t height) const { return blocks_.at(height); }
+
+  // Consensus round: evaluates every proposal on the (late-revealed) test
+  // set using an AMLayer re-derived from each proposer's address, rejects
+  // proposals whose embedded AMLayer weights do not match their address,
+  // appends a block for the best surviving model, and credits the reward.
+  // Returns the winning proposal index, or nullopt if none verified.
+  std::optional<std::size_t> run_round(std::uint64_t task_id,
+                                       std::vector<BlockProposal> proposals,
+                                       const data::DatasetView& test_set,
+                                       const core::Hyperparams& hp);
+
+  std::uint64_t balance(const Address& address) const;
+
+  // Chain integrity: parent hashes link correctly.
+  bool validate_chain() const;
+
+  // Canonical persistence: serializes blocks (headers + model states +
+  // AMLayer configs), the task pool, and balances. from_bytes() validates
+  // the reconstructed chain's hash links and rejects corrupted input, so a
+  // node restarting from disk cannot resume onto a tampered history.
+  Bytes to_bytes() const;
+  static Blockchain from_bytes(const Bytes& in);
+
+ private:
+  std::vector<Block> blocks_;
+  std::map<std::uint64_t, TrainingTask> tasks_;
+  std::map<std::string, std::uint64_t> balances_;
+  std::uint64_t next_task_id_ = 1;
+};
+
+// Ownership check used by consensus nodes: rebuilds the AMLayer weights
+// from `claimed` and compares them with the AMLayer slice embedded at the
+// front of `model_state`. The AMLayer occupies the first
+// channels * channels * kernel^2 floats of the state vector because it is
+// the first prepended layer.
+bool verify_embedded_amlayer(const std::vector<float>& model_state,
+                             const Address& claimed,
+                             const core::AmLayerConfig& config);
+
+// Evaluation helper: builds AMLayer(address) + base model, loads the state,
+// and returns test accuracy.
+double evaluate_proposal_accuracy(const BlockProposal& proposal,
+                                  const Address& amlayer_address,
+                                  const data::DatasetView& test_set,
+                                  const core::Hyperparams& hp);
+
+}  // namespace rpol::chain

@@ -1,0 +1,78 @@
+#include "chain/escrow.h"
+
+#include <stdexcept>
+
+namespace rpol::chain {
+
+FairExchangeEscrow::FairExchangeEscrow(std::size_t num_workers,
+                                       core::RewardPolicy policy)
+    : num_workers_(num_workers), policy_(policy) {
+  if (num_workers_ == 0) throw std::invalid_argument("escrow needs workers");
+}
+
+void FairExchangeEscrow::require_state(EscrowState expected,
+                                       const char* action) const {
+  if (state_ != expected) {
+    throw std::logic_error(std::string("escrow: invalid state for ") + action);
+  }
+}
+
+void FairExchangeEscrow::fund(std::uint64_t amount) {
+  require_state(EscrowState::kOpen, "fund");
+  if (amount == 0) throw std::invalid_argument("escrow funding must be positive");
+  balance_ = amount;
+  state_ = EscrowState::kFunded;
+}
+
+void FairExchangeEscrow::register_commitment(std::size_t worker,
+                                             const Digest& root) {
+  require_state(EscrowState::kFunded, "register_commitment");
+  if (worker >= num_workers_) throw std::out_of_range("unknown worker");
+  if (commitments_.contains(worker)) {
+    throw std::logic_error("escrow: commitment already registered");
+  }
+  commitments_[worker] = root;
+}
+
+std::optional<Digest> FairExchangeEscrow::commitment_of(std::size_t worker) const {
+  const auto it = commitments_.find(worker);
+  if (it == commitments_.end()) return std::nullopt;
+  return it->second;
+}
+
+void FairExchangeEscrow::submit_outcome(
+    const std::vector<std::int64_t>& verified_epochs) {
+  require_state(EscrowState::kFunded, "submit_outcome");
+  if (verified_epochs.size() != num_workers_) {
+    throw std::invalid_argument("outcome size mismatch");
+  }
+  outcome_ = verified_epochs;
+  // A worker who never committed cannot be paid, whatever the manager says.
+  for (std::size_t w = 0; w < num_workers_; ++w) {
+    if (!commitments_.contains(w)) outcome_[w] = 0;
+  }
+  state_ = EscrowState::kChallenge;
+}
+
+bool FairExchangeEscrow::dispute(std::size_t worker, std::int64_t restored_epochs,
+                                 const DisputeArbiter& arbiter) {
+  require_state(EscrowState::kChallenge, "dispute");
+  if (worker >= num_workers_) throw std::out_of_range("unknown worker");
+  if (restored_epochs <= 0) throw std::invalid_argument("nothing to restore");
+  if (!commitments_.contains(worker)) return false;  // never committed
+  if (outcome_[worker] > 0) return false;            // already credited
+  if (!arbiter || !arbiter(worker)) return false;
+  outcome_[worker] = restored_epochs;
+  return true;
+}
+
+core::RewardDistribution FairExchangeEscrow::settle() {
+  require_state(EscrowState::kChallenge, "settle");
+  core::RewardDistribution dist =
+      core::distribute_rewards(balance_, outcome_, policy_);
+  balance_ = 0;
+  state_ = EscrowState::kSettled;
+  return dist;
+}
+
+}  // namespace rpol::chain

@@ -1,0 +1,78 @@
+// Fair-exchange escrow between the pool manager and workers — the paper's
+// smart-contract future work ("we plan to leverage smart contracts to
+// achieve fair exchange between the manager and workers inside the mining
+// pool", Sec. IX), modelled as a deterministic on-chain state machine.
+//
+// Lifecycle:
+//   kOpen      -> fund()                -> kFunded
+//   kFunded    -> register_commitment() (one per worker, before outcomes)
+//   kFunded    -> submit_outcome()      -> kChallenge (acceptance bitmap +
+//                                          proposed payouts posted)
+//   kChallenge -> dispute(worker, ...)   (a rejected worker appeals with a
+//                                          transition proof; the contract
+//                                          consults a verification arbiter —
+//                                          in a real deployment an optimistic
+//                                          fraud-proof game; here a callback
+//                                          that re-executes the transition)
+//   kChallenge -> settle()              -> kSettled (payouts released; any
+//                                          successful dispute flips the
+//                                          worker to accepted and re-splits)
+//
+// The escrow holds the funds the whole time: neither a manager who
+// disappears after receiving results nor a worker who never committed can
+// walk away with more than the state machine releases.
+
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+
+#include "core/rewards.h"
+
+namespace rpol::chain {
+
+enum class EscrowState { kOpen, kFunded, kChallenge, kSettled };
+
+// Arbiter: returns true if the disputing worker's appeal is valid (its
+// sampled transitions really do re-execute within the agreed threshold).
+using DisputeArbiter = std::function<bool(std::size_t worker)>;
+
+class FairExchangeEscrow {
+ public:
+  FairExchangeEscrow(std::size_t num_workers, core::RewardPolicy policy);
+
+  EscrowState state() const { return state_; }
+  std::uint64_t balance() const { return balance_; }
+
+  // Manager deposits the (anticipated) block reward.
+  void fund(std::uint64_t amount);
+
+  // Worker publishes its epoch-commitment root before outcomes are known.
+  void register_commitment(std::size_t worker, const Digest& root);
+  std::optional<Digest> commitment_of(std::size_t worker) const;
+
+  // Manager posts verification outcomes (per-worker verified-epoch counts;
+  // workers without a registered commitment are forced to zero).
+  void submit_outcome(const std::vector<std::int64_t>& verified_epochs);
+
+  // A worker contests a zero outcome. Returns true if the arbiter upholds
+  // the appeal, in which case the worker is credited `restored_epochs`.
+  bool dispute(std::size_t worker, std::int64_t restored_epochs,
+               const DisputeArbiter& arbiter);
+
+  // Releases payouts and returns the final distribution.
+  core::RewardDistribution settle();
+
+ private:
+  std::size_t num_workers_;
+  core::RewardPolicy policy_;
+  EscrowState state_ = EscrowState::kOpen;
+  std::uint64_t balance_ = 0;
+  std::map<std::size_t, Digest> commitments_;
+  std::vector<std::int64_t> outcome_;
+
+  void require_state(EscrowState expected, const char* action) const;
+};
+
+}  // namespace rpol::chain

@@ -1,0 +1,149 @@
+#include "core/amlayer.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "crypto/prf.h"
+#include "tensor/ops.h"
+
+namespace rpol::core {
+
+namespace {
+
+// Power iteration on W W^T: estimates the largest singular value of the
+// (out x in) weight matrix. Deterministic: the start vector comes from the
+// same PRF stream as the weights.
+float estimate_spectral_norm(const Tensor& w, Rng& rng, int iterations) {
+  const std::int64_t rows = w.dim(0), cols = w.dim(1);
+  std::vector<float> u(static_cast<std::size_t>(rows));
+  rng.fill_normal(u, 0.0F, 1.0F);
+  std::vector<float> v(static_cast<std::size_t>(cols));
+
+  auto normalize = [](std::vector<float>& x) {
+    double n = 0.0;
+    for (const float e : x) n += static_cast<double>(e) * e;
+    n = std::sqrt(std::max(n, 1e-24));
+    const float inv = static_cast<float>(1.0 / n);
+    for (auto& e : x) e *= inv;
+    return static_cast<float>(n);
+  };
+
+  normalize(u);
+  float sigma = 0.0F;
+  for (int it = 0; it < iterations; ++it) {
+    // v = W^T u
+    for (std::int64_t j = 0; j < cols; ++j) {
+      double acc = 0.0;
+      for (std::int64_t i = 0; i < rows; ++i) {
+        acc += static_cast<double>(w.at2(i, j)) * u[static_cast<std::size_t>(i)];
+      }
+      v[static_cast<std::size_t>(j)] = static_cast<float>(acc);
+    }
+    normalize(v);
+    // u = W v
+    for (std::int64_t i = 0; i < rows; ++i) {
+      double acc = 0.0;
+      for (std::int64_t j = 0; j < cols; ++j) {
+        acc += static_cast<double>(w.at2(i, j)) * v[static_cast<std::size_t>(j)];
+      }
+      u[static_cast<std::size_t>(i)] = static_cast<float>(acc);
+    }
+    sigma = normalize(u);
+  }
+  return sigma;
+}
+
+}  // namespace
+
+Tensor derive_amlayer_weight(const Address& address, const AmLayerConfig& config,
+                             float* spectral_norm_out) {
+  if (!address.valid()) throw std::invalid_argument("AMLayer needs a valid address");
+  // Seed the weight stream from PRF(address): HMAC keyed by the canonical
+  // address bytes, evaluated at a fixed domain-separation point.
+  const Prf prf(address.bytes());
+  Rng rng(prf.eval(/*input=*/0xA31A7E5ULL));
+
+  const std::int64_t patch = config.channels * config.kernel * config.kernel;
+  Tensor w = Tensor::randn({config.channels, patch}, rng,
+                           1.0F / std::sqrt(static_cast<float>(patch)));
+
+  // Spectral normalization, Eq. (4): scale to sigma <= c when needed.
+  const float sigma = estimate_spectral_norm(w, rng, config.power_iterations);
+  float final_sigma = sigma;
+  if (config.scaling_c / sigma < 1.0F) {
+    w *= config.scaling_c / sigma;
+    final_sigma = config.scaling_c;
+  }
+  if (spectral_norm_out != nullptr) *spectral_norm_out = final_sigma;
+  return w;
+}
+
+AmLayer::AmLayer(const Address& address, const AmLayerConfig& config)
+    : address_(address), config_(config) {
+  spec_ = Conv2dSpec{config_.channels, config_.channels, config_.kernel, 1,
+                     (config_.kernel - 1) / 2};
+  Tensor w = derive_amlayer_weight(address_, config_, &spectral_norm_);
+  weight_ = nn::Param("amlayer.weight", std::move(w), /*train=*/false);
+}
+
+Tensor AmLayer::forward(const Tensor& input, bool /*training*/) {
+  if (input.rank() != 4 || input.dim(1) != config_.channels) {
+    throw std::invalid_argument("AmLayer input shape mismatch");
+  }
+  cached_input_shape_ = input.shape();
+  cached_cols_ = im2col(input, spec_);
+  const Tensor gemm = matmul(weight_.value, cached_cols_);
+  // Rearrange (C, N*H*W) GEMM output into NCHW and add the skip connection.
+  const std::int64_t n = input.dim(0), c = config_.channels;
+  const std::int64_t h = input.dim(2), w = input.dim(3);
+  Tensor out = input;
+  const std::int64_t hw = h * w;
+  const float* src = gemm.data();
+  float* dst = out.data();
+  for (std::int64_t ch = 0; ch < c; ++ch) {
+    for (std::int64_t img = 0; img < n; ++img) {
+      const float* s = src + ch * (n * hw) + img * hw;
+      float* d = dst + (img * c + ch) * hw;
+      for (std::int64_t i = 0; i < hw; ++i) d[i] += s[i];
+    }
+  }
+  return out;
+}
+
+Tensor AmLayer::backward(const Tensor& grad_output) {
+  // y = x + g(x) with frozen weights: dx = dy + conv-backward(dy).
+  const std::int64_t n = grad_output.dim(0), c = config_.channels;
+  const std::int64_t h = grad_output.dim(2), w = grad_output.dim(3);
+  const std::int64_t hw = h * w;
+  Tensor grad_gemm({c, n * hw});
+  const float* src = grad_output.data();
+  float* dst = grad_gemm.data();
+  for (std::int64_t ch = 0; ch < c; ++ch) {
+    for (std::int64_t img = 0; img < n; ++img) {
+      const float* s = src + (img * c + ch) * hw;
+      float* d = dst + ch * (n * hw) + img * hw;
+      for (std::int64_t i = 0; i < hw; ++i) d[i] = s[i];
+    }
+  }
+  const Tensor dcols = matmul_tn(weight_.value, grad_gemm);
+  Tensor dx = col2im(dcols, spec_, cached_input_shape_);
+  dx += grad_output;
+  return dx;
+}
+
+void AmLayer::collect_params(std::vector<nn::Param*>& out) {
+  out.push_back(&weight_);
+}
+
+bool verify_amlayer_owner(const AmLayer& layer, const Address& address) {
+  const Tensor expected = derive_amlayer_weight(address, layer.config());
+  if (expected.shape() != layer.weight().shape()) return false;
+  const auto& a = expected.vec();
+  const auto& b = layer.weight().vec();
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] != b[i]) return false;
+  }
+  return true;
+}
+
+}  // namespace rpol::core

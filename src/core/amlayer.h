@@ -1,0 +1,78 @@
+// Address-encoded mapping layer (AMLayer, Sec. V-A).
+//
+// The pool manager prepends a frozen residual layer whose weights are a
+// deterministic function of its blockchain address:
+//
+//   AMLayer(x) = x + g(x),   g = conv3x3 with PRF(address)-seeded weights,
+//
+// spectrally normalized so that Lip(g) <= c < 1 (Eq. 3-4). This makes the
+// layer an invertible 1-1 mapping (Behrmann et al., invertible residual
+// networks): information is preserved, so prepending it costs only a
+// marginal accuracy delta — while any consensus node can recompute g from
+// the proposer's address and check that the submitted model embeds it.
+// Replacing the AMLayer with one encoding a different address feeds the
+// trained upper layers through a *different* random invertible map, which
+// wrecks accuracy (the address-replacing attack of Sec. VII-B).
+//
+// Implementation note: the paper describes the layer with input channels 3
+// and output channels 64; a channel-changing residual needs a projection
+// shortcut, which breaks the exact invertibility argument. We keep channels
+// equal (in_ch -> in_ch), the construction of the paper's reference [31]
+// that its Lipschitz analysis actually relies on. DESIGN.md records this.
+
+#pragma once
+
+#include "crypto/address.h"
+#include "nn/layers.h"
+
+namespace rpol::core {
+
+struct AmLayerConfig {
+  std::int64_t channels = 3;
+  std::int64_t kernel = 3;
+  float scaling_c = 0.5F;      // Lipschitz bound c of Eq. (3)
+  int power_iterations = 30;   // spectral-norm estimation iterations
+};
+
+class AmLayer : public nn::Layer {
+ public:
+  // Deterministically derives the frozen weights from `address`.
+  AmLayer(const Address& address, const AmLayerConfig& config);
+
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  void collect_params(std::vector<nn::Param*>& out) override;
+  std::string name() const override { return "amlayer"; }
+  Shape output_shape(const Shape& input_shape) const override {
+    return input_shape;
+  }
+
+  const Address& address() const { return address_; }
+  const AmLayerConfig& config() const { return config_; }
+  const Tensor& weight() const { return weight_.value; }
+
+  // Estimated spectral norm of the *normalized* weight (<= scaling_c).
+  float spectral_norm() const { return spectral_norm_; }
+
+ private:
+  Address address_;
+  AmLayerConfig config_;
+  nn::Param weight_;   // (channels, channels*kernel*kernel), non-trainable
+  Conv2dSpec spec_;
+  float spectral_norm_ = 0.0F;
+  // Forward cache for the residual-branch backward pass.
+  Tensor cached_cols_;
+  Shape cached_input_shape_;
+};
+
+// Recomputes the AMLayer weights for `address` and checks they match the
+// weights embedded in `layer` — what consensus nodes do before paying out
+// mining rewards (Sec. V-A).
+bool verify_amlayer_owner(const AmLayer& layer, const Address& address);
+
+// Raw weight derivation, exposed for ownership verification against weights
+// extracted from a submitted model (src/chain) and for tests.
+Tensor derive_amlayer_weight(const Address& address, const AmLayerConfig& config,
+                             float* spectral_norm_out = nullptr);
+
+}  // namespace rpol::core

@@ -1,0 +1,121 @@
+#include "core/async_pool.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "data/partition.h"
+
+namespace rpol::core {
+
+AsyncMiningPool::AsyncMiningPool(AsyncPoolConfig config, nn::ModelFactory factory,
+                                 const data::Dataset& train,
+                                 data::DatasetView test,
+                                 std::vector<AsyncWorkerSpec> workers)
+    : config_(std::move(config)),
+      factory_(std::move(factory)),
+      test_(std::move(test)),
+      workers_(std::move(workers)),
+      manager_executor_(factory_, config_.hp) {
+  if (workers_.empty()) throw std::invalid_argument("async pool needs workers");
+  for (const auto& w : workers_) {
+    if (w.period < 1) throw std::invalid_argument("worker period must be >= 1");
+  }
+  partitions_ = data::shuffle_and_partition(
+      train, static_cast<std::int64_t>(workers_.size()),
+      derive_seed(config_.seed, 0xA57A));
+
+  VerifierConfig vcfg;
+  vcfg.samples_q = config_.samples_q;
+  vcfg.beta = config_.beta;
+  vcfg.sampling_seed = derive_seed(config_.seed, 0xA57B);
+  verifier_ = std::make_unique<Verifier>(factory_, config_.hp, vcfg);
+
+  const TrainState pristine = manager_executor_.save_state();
+  global_model_ = pristine.model;
+  fresh_optimizer_ = pristine.optimizer;
+
+  // Every worker grabs the initial state at tick 0.
+  in_flight_.resize(workers_.size());
+  for (std::size_t w = 0; w < workers_.size(); ++w) {
+    in_flight_[w].base = current_state();
+    in_flight_[w].nonce = derive_seed(config_.seed, 0xB000ULL + w);
+    in_flight_[w].started_at_version = 0;
+    in_flight_[w].finish_tick = workers_[w].period;
+  }
+}
+
+TrainState AsyncMiningPool::current_state() const {
+  return {global_model_, fresh_optimizer_};
+}
+
+AsyncRunReport AsyncMiningPool::run() {
+  AsyncRunReport report;
+  for (std::int64_t tick = 1; tick <= config_.ticks; ++tick) {
+    for (std::size_t w = 0; w < workers_.size(); ++w) {
+      InFlight& job = in_flight_[w];
+      if (job.finish_tick != tick) continue;
+
+      // The worker finishes its local epoch (trained from its grabbed base).
+      EpochContext ctx;
+      ctx.epoch = tick;
+      ctx.nonce = job.nonce;
+      ctx.initial = job.base;
+      ctx.dataset = &partitions_[w];
+      StepExecutor worker_executor(factory_, config_.hp);
+      sim::DeviceExecution device(
+          workers_[w].device,
+          derive_seed(config_.seed,
+                      0xC000ULL + static_cast<std::uint64_t>(tick) * 256ULL + w));
+      const EpochTrace trace =
+          workers_[w].policy->produce_trace(worker_executor, ctx, device);
+
+      AsyncSubmission submission;
+      submission.tick = tick;
+      submission.worker = w;
+      submission.staleness = global_version_ - job.started_at_version;
+
+      bool accepted = true;
+      if (config_.verify) {
+        sim::DeviceExecution manager_device(
+            sim::device_g3090(),
+            derive_seed(config_.seed,
+                        0xD000ULL + static_cast<std::uint64_t>(tick) * 256ULL + w));
+        accepted = verifier_
+                       ->verify(commit_v1(trace), trace, ctx,
+                                hash_state(job.base), manager_device)
+                       .accepted;
+      }
+      submission.accepted = accepted;
+      report.submissions.push_back(submission);
+
+      if (accepted) {
+        const double discount = config_.eta *
+                                std::pow(config_.staleness_discount,
+                                         static_cast<double>(submission.staleness));
+        const std::vector<float>& final_model = trace.checkpoints.back().model;
+        for (std::size_t d = 0; d < global_model_.size(); ++d) {
+          global_model_[d] += static_cast<float>(discount) *
+                              (final_model[d] - job.base.model[d]);
+        }
+        ++global_version_;
+        ++report.applied;
+      } else {
+        ++report.rejected;
+      }
+
+      // The worker immediately grabs the fresh state and starts over.
+      job.base = current_state();
+      job.nonce = derive_seed(config_.seed,
+                              0xE000ULL + static_cast<std::uint64_t>(tick) * 256ULL + w);
+      job.started_at_version = global_version_;
+      job.finish_tick = tick + workers_[w].period;
+    }
+    manager_executor_.load_state(current_state());
+    report.accuracy_curve.push_back(manager_executor_.evaluate(test_));
+  }
+  report.final_accuracy =
+      report.accuracy_curve.empty() ? 0.0 : report.accuracy_curve.back();
+  return report;
+}
+
+}  // namespace rpol::core

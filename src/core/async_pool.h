@@ -1,0 +1,94 @@
+// Asynchronous pooled learning — the paper's remaining future-work item
+// ("this work focuses on data-parallelism-based distributed learning with
+// synchronous model updating ... how to support other learning paradigms
+// will be studied in the future", Sec. II-A).
+//
+// Workers run at their own cadence: a worker grabs the current global state,
+// trains a full local epoch (its speed determines how many scheduler ticks
+// that takes), and submits whenever it finishes. The manager verifies each
+// submission with the standard RPoL machinery — nothing about commitments,
+// sampling, or re-execution changes, because each submission is
+// self-contained (base state + nonce + trace) — and applies accepted
+// updates immediately with staleness-discounted weights:
+//
+//   theta <- theta + eta * gamma^staleness * (theta_w - base_w)
+//
+// where staleness counts how many global updates landed while the worker
+// was training. This is the classic async-SGD staleness discount; gamma = 1
+// recovers undiscounted Hogwild-style application.
+
+#pragma once
+
+#include "core/verifier.h"
+
+namespace rpol::core {
+
+struct AsyncWorkerSpec {
+  std::unique_ptr<WorkerPolicy> policy;
+  sim::DeviceProfile device;
+  // Scheduler ticks one local epoch takes on this worker (>= 1): slower
+  // hardware => larger period => staler submissions.
+  std::int64_t period = 1;
+};
+
+struct AsyncPoolConfig {
+  Hyperparams hp;
+  std::int64_t ticks = 20;             // total scheduler ticks to simulate
+  std::int64_t samples_q = 3;
+  double beta = 1e-3;                  // verification distance threshold
+  double eta = 1.0;                    // global learning rate
+  double staleness_discount = 0.6;     // gamma
+  std::uint64_t seed = 7;
+  bool verify = true;                  // false = insecure async baseline
+};
+
+struct AsyncSubmission {
+  std::int64_t tick = 0;        // when it was applied
+  std::size_t worker = 0;
+  std::int64_t staleness = 0;   // global updates since the worker's base
+  bool accepted = false;
+};
+
+struct AsyncRunReport {
+  std::vector<AsyncSubmission> submissions;
+  std::vector<double> accuracy_curve;  // test accuracy after each tick
+  double final_accuracy = 0.0;
+  std::int64_t rejected = 0;
+  std::int64_t applied = 0;
+};
+
+class AsyncMiningPool {
+ public:
+  AsyncMiningPool(AsyncPoolConfig config, nn::ModelFactory factory,
+                  const data::Dataset& train, data::DatasetView test,
+                  std::vector<AsyncWorkerSpec> workers);
+
+  AsyncRunReport run();
+
+  const std::vector<float>& global_model() const { return global_model_; }
+
+ private:
+  struct InFlight {
+    TrainState base;
+    std::uint64_t nonce = 0;
+    std::int64_t started_at_version = 0;
+    std::int64_t finish_tick = 0;
+  };
+
+  AsyncPoolConfig config_;
+  nn::ModelFactory factory_;
+  data::DatasetView test_;
+  std::vector<data::DatasetView> partitions_;
+  std::vector<AsyncWorkerSpec> workers_;
+  std::vector<InFlight> in_flight_;
+
+  StepExecutor manager_executor_;
+  std::unique_ptr<Verifier> verifier_;
+  std::vector<float> global_model_;
+  std::vector<float> fresh_optimizer_;
+  std::int64_t global_version_ = 0;
+
+  TrainState current_state() const;
+};
+
+}  // namespace rpol::core

@@ -1,0 +1,67 @@
+// Reproduction-error measurement and adaptive LSH calibration (Sec. V-C).
+//
+// Before each epoch the manager runs its own i.i.d. sub-task once on each of
+// the two best-performing device profiles registered in the pool: device A
+// produces a reference trace, device B re-executes every transition from
+// A's checkpoints — exactly the code path verification will take — and the
+// per-transition weight distances are the epoch's reproduction errors.
+//
+// From those errors:
+//   alpha = mean + stddev   (the paper's "measured maximum reproduction
+//                            error" under its mean-plus-sd convention),
+//   beta  = x * alpha + y   (default x=5, y=0, Sec. VII-D),
+// and the LSH parameters are re-optimized for (alpha, beta) under the
+// budget k*l <= K_lsh. The same machinery powers the Fig. 4 and Fig. 5
+// experiments.
+
+#pragma once
+
+#include "core/policy.h"
+#include "core/verifier.h"
+#include "lsh/tuning.h"
+
+namespace rpol::core {
+
+// Per-transition reproduction errors: run the sub-task on (device_a, run A),
+// then re-execute each transition on (device_b, run B) and measure model
+// distances. The two runs may use the same profile with different run seeds
+// ("same task on the same GPU") or different profiles.
+std::vector<double> measure_reproduction_errors(
+    const nn::ModelFactory& factory, const Hyperparams& hp,
+    const EpochContext& context, const sim::DeviceProfile& device_a,
+    std::uint64_t run_seed_a, const sim::DeviceProfile& device_b,
+    std::uint64_t run_seed_b);
+
+// The paper states alpha two ways: Sec. V-C sets it to the measured MAXIMUM
+// reproduction error plus the standard deviation, Sec. VII-D to the MEAN
+// plus the standard deviation. Both are provided; kMaxPlusSd is the more
+// conservative choice and keeps FNR low when error distributions have
+// occasional heavy-tail runs.
+enum class AlphaMode { kMeanPlusSd, kMaxPlusSd };
+
+struct CalibrationConfig {
+  double beta_x = 5.0;   // beta = beta_x * alpha + beta_y
+  double beta_y = 0.0;
+  int k_lsh = 16;        // K_lsh budget of Eq. (6)
+  AlphaMode alpha_mode = AlphaMode::kMeanPlusSd;
+};
+
+struct CalibrationResult {
+  std::vector<double> errors;      // per transition
+  double max_error = 0.0;
+  double alpha = 0.0;
+  double beta = 0.0;
+  lsh::TuningResult lsh;           // optimized {r, k, l} + achieved probs
+};
+
+// Full per-epoch calibration: measure errors on the top-2 devices, derive
+// alpha/beta, optimize LSH.
+CalibrationResult calibrate_epoch(const nn::ModelFactory& factory,
+                                  const Hyperparams& hp,
+                                  const EpochContext& manager_context,
+                                  const sim::DeviceProfile& top_device,
+                                  const sim::DeviceProfile& second_device,
+                                  std::uint64_t epoch_seed,
+                                  const CalibrationConfig& config);
+
+}  // namespace rpol::core

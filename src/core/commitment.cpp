@@ -1,0 +1,179 @@
+#include "core/commitment.h"
+
+#include <stdexcept>
+
+namespace rpol::core {
+
+std::uint64_t EpochTrace::storage_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& c : checkpoints) total += c.byte_size();
+  return total;
+}
+
+Bytes serialize_state(const TrainState& state) {
+  Bytes out;
+  out.reserve(16 + 4 * (state.model.size() + state.optimizer.size()));
+  Bytes model_bytes = serialize_floats(state.model);
+  Bytes opt_bytes = serialize_floats(state.optimizer);
+  out.insert(out.end(), model_bytes.begin(), model_bytes.end());
+  out.insert(out.end(), opt_bytes.begin(), opt_bytes.end());
+  return out;
+}
+
+Digest hash_state(const TrainState& state) {
+  return sha256(serialize_state(state));
+}
+
+std::uint64_t Commitment::byte_size() const {
+  std::uint64_t total = 32;  // root
+  total += 32ULL * state_hashes.size();
+  for (const auto& d : lsh_digests) total += 32ULL * d.groups.size() + 8;
+  return total;
+}
+
+Commitment commit_v1(const EpochTrace& trace) {
+  if (trace.checkpoints.empty()) throw std::invalid_argument("empty trace");
+  Commitment c;
+  c.version = CommitmentVersion::kV1;
+  c.state_hashes.reserve(trace.checkpoints.size());
+  for (const auto& state : trace.checkpoints) {
+    c.state_hashes.push_back(hash_state(state));
+  }
+  c.root = commitment_root(c);
+  return c;
+}
+
+Commitment commit_v2(const EpochTrace& trace, const lsh::PStableLsh& hasher,
+                     const std::vector<bool>* mask) {
+  if (trace.checkpoints.empty()) throw std::invalid_argument("empty trace");
+  Commitment c;
+  c.version = CommitmentVersion::kV2;
+  c.state_hashes.reserve(trace.checkpoints.size());
+  c.lsh_digests.reserve(trace.checkpoints.size());
+  for (const auto& state : trace.checkpoints) {
+    c.state_hashes.push_back(hash_state(state));
+    c.lsh_digests.push_back(hasher.hash(
+        mask != nullptr ? extract_trainable(state.model, *mask) : state.model));
+  }
+  c.root = commitment_root(c);
+  return c;
+}
+
+Digest commitment_root(const Commitment& commitment) {
+  Sha256 h;
+  const std::uint8_t version_byte =
+      commitment.version == CommitmentVersion::kV1 ? 0x01 : 0x02;
+  h.update(&version_byte, 1);
+  for (const auto& d : commitment.state_hashes) h.update(d.data(), d.size());
+  for (const auto& lsh_digest : commitment.lsh_digests) {
+    const Bytes encoded = lsh::serialize_lsh_digest(lsh_digest);
+    h.update(encoded);
+  }
+  return h.finish();
+}
+
+Digest commitment_merkle_root(const Commitment& commitment) {
+  MerkleTree tree(commitment.state_hashes);
+  return tree.root();
+}
+
+Digest lsh_leaf_digest(const lsh::LshDigest& digest) {
+  Sha256 h;
+  const std::uint8_t domain = 0x4C;  // 'L'
+  h.update(&domain, 1);
+  h.update(lsh::serialize_lsh_digest(digest));
+  return h.finish();
+}
+
+CompactCommitment compact_commitment(const Commitment& full) {
+  if (full.state_hashes.empty()) throw std::invalid_argument("empty commitment");
+  CompactCommitment compact;
+  compact.version = full.version;
+  compact.num_checkpoints = static_cast<std::int64_t>(full.state_hashes.size());
+  compact.state_root = MerkleTree(full.state_hashes).root();
+  if (full.version == CommitmentVersion::kV2) {
+    std::vector<Digest> lsh_leaves;
+    lsh_leaves.reserve(full.lsh_digests.size());
+    for (const auto& d : full.lsh_digests) lsh_leaves.push_back(lsh_leaf_digest(d));
+    compact.lsh_root = MerkleTree(lsh_leaves).root();
+  }
+  return compact;
+}
+
+std::uint64_t TransitionProof::byte_size() const {
+  std::uint64_t total = 8 + 32 + 32;  // index + two hashes
+  total += 33ULL * (in_membership.siblings.size() +
+                    out_membership.siblings.size() +
+                    out_lsh_membership.siblings.size());
+  total += 32ULL * out_lsh.groups.size();
+  return total;
+}
+
+TransitionProof make_transition_proof(const Commitment& full,
+                                      std::int64_t transition) {
+  const auto count = static_cast<std::int64_t>(full.state_hashes.size());
+  if (transition < 0 || transition + 1 >= count) {
+    throw std::out_of_range("transition index out of range");
+  }
+  const MerkleTree state_tree(full.state_hashes);
+  TransitionProof proof;
+  proof.transition = transition;
+  proof.in_hash = full.state_hashes[static_cast<std::size_t>(transition)];
+  proof.in_membership = state_tree.prove(static_cast<std::size_t>(transition));
+  proof.out_hash = full.state_hashes[static_cast<std::size_t>(transition + 1)];
+  proof.out_membership = state_tree.prove(static_cast<std::size_t>(transition + 1));
+  if (full.version == CommitmentVersion::kV2) {
+    std::vector<Digest> lsh_leaves;
+    lsh_leaves.reserve(full.lsh_digests.size());
+    for (const auto& d : full.lsh_digests) lsh_leaves.push_back(lsh_leaf_digest(d));
+    const MerkleTree lsh_tree(std::move(lsh_leaves));
+    proof.out_lsh = full.lsh_digests[static_cast<std::size_t>(transition + 1)];
+    proof.out_lsh_membership =
+        lsh_tree.prove(static_cast<std::size_t>(transition + 1));
+  }
+  return proof;
+}
+
+bool verify_transition_proof(const CompactCommitment& compact,
+                             const TransitionProof& proof) {
+  if (proof.transition < 0 || proof.transition + 1 >= compact.num_checkpoints) {
+    return false;
+  }
+  // Positions must match the claimed transition. path_index() is derived
+  // from the proof's sibling sides, so a valid proof for the wrong leaf
+  // cannot be relabelled.
+  if (proof.in_membership.path_index() !=
+          static_cast<std::size_t>(proof.transition) ||
+      proof.out_membership.path_index() !=
+          static_cast<std::size_t>(proof.transition + 1)) {
+    return false;
+  }
+  if (!MerkleTree::verify(compact.state_root, proof.in_hash,
+                          proof.in_membership) ||
+      !MerkleTree::verify(compact.state_root, proof.out_hash,
+                          proof.out_membership)) {
+    return false;
+  }
+  if (compact.version == CommitmentVersion::kV2) {
+    if (proof.out_lsh_membership.path_index() !=
+        static_cast<std::size_t>(proof.transition + 1)) {
+      return false;
+    }
+    if (!MerkleTree::verify(compact.lsh_root, lsh_leaf_digest(proof.out_lsh),
+                            proof.out_lsh_membership)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool commitment_consistent(const Commitment& commitment) {
+  if (commitment.state_hashes.empty()) return false;
+  if (commitment.version == CommitmentVersion::kV2 &&
+      commitment.lsh_digests.size() != commitment.state_hashes.size()) {
+    return false;
+  }
+  return digest_equal(commitment.root, commitment_root(commitment));
+}
+
+}  // namespace rpol::core

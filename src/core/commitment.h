@@ -1,0 +1,122 @@
+// Training proofs and commitments (Sec. V-B, V-C).
+//
+// During an epoch a worker snapshots its TrainState every
+// `checkpoint_interval` steps, producing the checkpoint sequence
+//   C_0 (initial), C_1, ..., C_T (final);
+// transition j is the claim "running steps [s_j, s_{j+1}) from C_j yields
+// C_{j+1}".
+//
+// Before learning which transitions the manager will sample, the worker
+// publishes a commitment binding the entire sequence:
+//   * v1 (RPoLv1): SHA-256 of each checkpoint's canonical serialization;
+//   * v2 (RPoLv2): the same hashes PLUS the p-stable LSH digest of each
+//     checkpoint's model weights, enabling fuzzy verification without
+//     transferring output weights.
+// The commitment root is either the ordered hash list's digest or a Merkle
+// root over it (both constructions from the paper are provided).
+
+#pragma once
+
+#include <optional>
+
+#include "core/executor.h"
+#include "crypto/merkle.h"
+#include "lsh/pstable.h"
+
+namespace rpol::core {
+
+// The checkpoint sequence a worker produced in one epoch.
+struct EpochTrace {
+  std::vector<TrainState> checkpoints;   // size = num_transitions + 1
+  std::vector<std::int64_t> step_of;     // global step index of each checkpoint
+  float mean_loss = 0.0F;
+
+  std::int64_t num_transitions() const {
+    return static_cast<std::int64_t>(checkpoints.size()) - 1;
+  }
+  std::uint64_t storage_bytes() const;
+};
+
+// Canonical serialization of a TrainState (model + optimizer vectors).
+Bytes serialize_state(const TrainState& state);
+// SHA-256 over the canonical serialization.
+Digest hash_state(const TrainState& state);
+
+enum class CommitmentVersion { kV1, kV2 };
+
+struct Commitment {
+  CommitmentVersion version = CommitmentVersion::kV1;
+  std::vector<Digest> state_hashes;            // one per checkpoint
+  std::vector<lsh::LshDigest> lsh_digests;     // v2 only, one per checkpoint
+  Digest root{};                               // binds the ordered lists
+
+  std::uint64_t byte_size() const;
+};
+
+// Builds a v1 commitment over the trace.
+Commitment commit_v1(const EpochTrace& trace);
+
+// Builds a v2 commitment; `hasher` must be the epoch's manager-distributed
+// LSH family and hashes each checkpoint's trainable WEIGHT vector —
+// `mask` selects the trainable subset of the model state (pass the model's
+// trainable_mask(); nullptr means every element is a weight). Optimizer
+// slots and buffers are covered by the SHA hashes only.
+Commitment commit_v2(const EpochTrace& trace, const lsh::PStableLsh& hasher,
+                     const std::vector<bool>* mask = nullptr);
+
+// Root over the ordered hash list (+ LSH digests for v2).
+Digest commitment_root(const Commitment& commitment);
+
+// Alternative Merkle-tree root over the state hashes (Sec. V-B's second
+// construction); verifiable per-leaf with MerkleTree::prove/verify.
+Digest commitment_merkle_root(const Commitment& commitment);
+
+// Integrity check: recomputes the root from the lists.
+bool commitment_consistent(const Commitment& commitment);
+
+// ---------------------------------------------------------------------------
+// Compact (Merkle) commitment — Sec. V-B's second construction, worth its
+// salt when epochs have many checkpoints: the worker uploads O(1) roots
+// instead of O(#checkpoints) hashes, and each sampled transition travels
+// with logarithmic membership proofs.
+
+struct CompactCommitment {
+  CommitmentVersion version = CommitmentVersion::kV1;
+  std::int64_t num_checkpoints = 0;
+  Digest state_root{};  // Merkle root over the ordered state hashes
+  Digest lsh_root{};    // v2: Merkle root over hashed LSH digests, else zero
+
+  std::uint64_t byte_size() const { return 8 + 32 + 32 + 1; }
+};
+
+// Collapses a full commitment into its compact form.
+CompactCommitment compact_commitment(const Commitment& full);
+
+// Everything the manager needs to check one sampled transition under the
+// compact scheme without having seen the per-checkpoint lists.
+struct TransitionProof {
+  std::int64_t transition = 0;
+  Digest in_hash{};             // SHA of C_j (state fetched separately)
+  MerkleProof in_membership;    // proves in_hash at leaf j under state_root
+  Digest out_hash{};            // SHA of C_{j+1}
+  MerkleProof out_membership;   // leaf j+1 under state_root
+  lsh::LshDigest out_lsh;       // v2: committed LSH digest of C_{j+1}
+  MerkleProof out_lsh_membership;  // leaf j+1 under lsh_root
+
+  std::uint64_t byte_size() const;
+};
+
+// Builds the membership proofs from the worker-side full commitment.
+TransitionProof make_transition_proof(const Commitment& full,
+                                      std::int64_t transition);
+
+// Manager-side check: both state hashes (and, for v2, the LSH digest) are
+// bound to the committed roots at the right positions.
+bool verify_transition_proof(const CompactCommitment& compact,
+                             const TransitionProof& proof);
+
+// Leaf hashing for the LSH tree (domain-separated digest of the serialized
+// LSH digest), shared by prover and verifier.
+Digest lsh_leaf_digest(const lsh::LshDigest& digest);
+
+}  // namespace rpol::core

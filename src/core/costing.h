@@ -1,0 +1,86 @@
+// Analytic real-scale cost model for Tables II and III.
+//
+// The Mini* models validate protocol *logic*; epoch wall-times and GB
+// figures for "ResNet50/VGG16 on ImageNet with 10/100 workers" come from
+// this model, which combines
+//   * the protocol's exact message structure (what RPoLv1/v2 transfer and
+//     store, including the measured double-check rate),
+//   * real model/dataset descriptors (src/sim/model_specs.h),
+//   * the device throughput model and the WAN bandwidth model.
+//
+// Conventions matching the paper's Table III accounting:
+//   * communication counts worker->manager transfers (global-model
+//     downloads are symmetric and reported separately in the breakdown);
+//   * proof states count model weights only (optimizer slots are a
+//     small-scale implementation detail the paper does not transfer);
+//   * v2 calibration compute is charged to the manager; v1 is assumed to be
+//     given its threshold (the paper attributes the 2x local sub-task to
+//     RPoLv2 only);
+//   * v2 worker storage includes the LSH projection matrix
+//     (k*l x model_dim floats) alongside the checkpoints.
+
+#pragma once
+
+#include "core/pool.h"
+#include "sim/cost.h"
+#include "sim/model_specs.h"
+
+namespace rpol::core {
+
+struct CostScenario {
+  Scheme scheme = Scheme::kRPoLv2;
+  sim::RealModelSpec model;
+  sim::RealDatasetSpec dataset;
+  std::size_t num_workers = 100;
+  std::int64_t batch_size = 128;
+  std::int64_t checkpoint_interval = 5;
+  std::int64_t samples_q = 3;
+  int k_lsh = 16;
+  double double_check_rate = 0.0;  // measured fraction of samples double-checked
+  // Manager-side verification parallelism for the WALL-time estimate (the
+  // paper notes "performance can be further boosted with parallel processing
+  // on the manager side"; its Table II/III numbers imply ~8-way overlap at
+  // 100 workers). 0 = auto: max(1, num_workers / 12). Capital cost always
+  // charges the full GPU-seconds regardless.
+  std::size_t manager_verify_parallelism = 0;
+  sim::DeviceProfile worker_device;   // defaults set in estimate_epoch_cost
+  sim::DeviceProfile manager_device;
+  sim::NetworkSpec network;
+  sim::CostModel prices;
+};
+
+struct EpochCostReport {
+  // Compute (simulated seconds).
+  double worker_train_s = 0.0;
+  double worker_lsh_s = 0.0;
+  double manager_verify_s = 0.0;
+  double manager_calibrate_s = 0.0;
+
+  // Communication (bytes).
+  std::uint64_t upload_bytes_total = 0;     // worker -> manager, all workers
+  std::uint64_t download_bytes_total = 0;   // manager -> worker, all workers
+  std::uint64_t proof_bytes_total = 0;      // subset of uploads
+
+  // Storage (bytes, per worker).
+  std::uint64_t storage_bytes_per_worker = 0;
+
+  // Wall-clock estimate of one epoch (training + transfers + verification).
+  double epoch_wall_s = 0.0;
+
+  // Capital cost (USD) for the epoch across the whole pool.
+  sim::CostBreakdown capital;
+
+  double manager_compute_s() const {
+    return manager_verify_s + manager_calibrate_s;
+  }
+};
+
+// Steps per worker per epoch (one pass over the worker's shard).
+std::int64_t steps_per_worker_epoch(const CostScenario& scenario);
+
+// Checkpoints stored per worker per epoch (including the initial state).
+std::int64_t checkpoints_per_epoch(const CostScenario& scenario);
+
+EpochCostReport estimate_epoch_cost(const CostScenario& scenario);
+
+}  // namespace rpol::core

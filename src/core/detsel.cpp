@@ -1,0 +1,32 @@
+#include "core/detsel.h"
+
+#include <stdexcept>
+
+namespace rpol::core {
+
+std::vector<std::int64_t> DeterministicSelector::batch_indices(
+    std::int64_t step, std::int64_t batch_size, std::int64_t dataset_size) const {
+  if (batch_size <= 0 || static_cast<std::uint64_t>(batch_size) > kMaxBatch) {
+    throw std::invalid_argument("bad batch size");
+  }
+  if (dataset_size <= 0) throw std::invalid_argument("empty dataset");
+  std::vector<std::int64_t> out(static_cast<std::size_t>(batch_size));
+  const std::uint64_t base = static_cast<std::uint64_t>(step) * kMaxBatch;
+  for (std::int64_t n = 0; n < batch_size; ++n) {
+    out[static_cast<std::size_t>(n)] = static_cast<std::int64_t>(
+        prf_.eval_mod(base + static_cast<std::uint64_t>(n),
+                      static_cast<std::uint64_t>(dataset_size)));
+  }
+  return out;
+}
+
+bool DeterministicSelector::augment_flip(std::int64_t step,
+                                         std::int64_t n) const {
+  // High bit set = augmentation domain, disjoint from batch selection.
+  const std::uint64_t input = (1ULL << 63) |
+                              (static_cast<std::uint64_t>(step) * kMaxBatch +
+                               static_cast<std::uint64_t>(n));
+  return (prf_.eval(input) & 1ULL) != 0;
+}
+
+}  // namespace rpol::core

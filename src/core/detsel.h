@@ -1,0 +1,46 @@
+// Stochastic-yet-deterministic mini-batch selection (Sec. V-B).
+//
+// In epoch t, worker w receives a nonce N_t^w from the manager. For
+// training step m, the n-th batch element is data index
+//     PRF(N_t^w * m + n) mod |D_w|.
+// The selection looks random (steps are pairwise different, defeating
+// replay), but the manager can recompute it exactly during verification.
+//
+// The multiplier stride keeps (m, n) pairs from colliding for batch sizes
+// up to kMaxBatch.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "crypto/prf.h"
+
+namespace rpol::core {
+
+class DeterministicSelector {
+ public:
+  static constexpr std::uint64_t kMaxBatch = 1ULL << 20;
+
+  explicit DeterministicSelector(std::uint64_t nonce)
+      : nonce_(nonce), prf_(nonce) {}
+
+  std::uint64_t nonce() const { return nonce_; }
+
+  // Batch indices for training step `step` over a dataset of `dataset_size`.
+  std::vector<std::int64_t> batch_indices(std::int64_t step,
+                                          std::int64_t batch_size,
+                                          std::int64_t dataset_size) const;
+
+  // Deterministic data-augmentation coin for batch element `n` of `step`
+  // (domain-separated from batch selection). Augmentation randomness must be
+  // PRF-derived for the same reason batch selection is: the manager has to
+  // re-execute the exact same augmented batch during verification.
+  bool augment_flip(std::int64_t step, std::int64_t n) const;
+
+ private:
+  std::uint64_t nonce_;
+  Prf prf_;
+};
+
+}  // namespace rpol::core

@@ -1,0 +1,73 @@
+#include "core/economics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+namespace rpol::core {
+
+namespace {
+void check_ratio(double h, const char* what) {
+  if (h < 0.0 || h > 1.0) throw std::invalid_argument(std::string(what) + " must be in [0,1]");
+}
+}  // namespace
+
+double per_sample_evasion(double honesty_ratio, double pr_lsh_beta) {
+  check_ratio(honesty_ratio, "honesty ratio");
+  check_ratio(pr_lsh_beta, "Pr_lsh(beta)");
+  return honesty_ratio + (1.0 - honesty_ratio) * pr_lsh_beta;
+}
+
+double soundness_error(double honesty_ratio, double pr_lsh_beta, std::int64_t q) {
+  if (q < 1) throw std::invalid_argument("q must be >= 1");
+  return std::pow(per_sample_evasion(honesty_ratio, pr_lsh_beta),
+                  static_cast<double>(q));
+}
+
+std::int64_t required_samples(double target_pr_err, double honesty_ratio,
+                              double pr_lsh_beta) {
+  if (target_pr_err <= 0.0 || target_pr_err >= 1.0) {
+    throw std::invalid_argument("target soundness error must be in (0,1)");
+  }
+  const double p = per_sample_evasion(honesty_ratio, pr_lsh_beta);
+  if (p >= 1.0) throw std::invalid_argument("fully honest worker cannot be bounded");
+  const double q = std::log(target_pr_err) / std::log(p);
+  return std::max<std::int64_t>(1, static_cast<std::int64_t>(std::ceil(q)));
+}
+
+double expected_net_gain(double honesty_ratio, std::int64_t q,
+                         const EconomicParams& params) {
+  if (q < 1) throw std::invalid_argument("q must be >= 1");
+  const double evade =
+      soundness_error(honesty_ratio, params.pr_lsh_beta, q);
+  // Eq. (9): reward on evasion minus training, spoofing, proof transfer and
+  // the expected double-check transfer costs.
+  const double double_check_rate =
+      honesty_ratio * (1.0 - params.pr_lsh_alpha) +
+      (1.0 - honesty_ratio) * (1.0 - params.pr_lsh_beta);
+  const double costs = honesty_ratio * params.c_train + params.c_spoof +
+                       static_cast<double>(q) * params.c_transfer +
+                       static_cast<double>(q) * params.c_transfer * double_check_rate;
+  return params.reward * evade - costs;
+}
+
+std::int64_t economic_samples(double honesty_ratio, const EconomicParams& params) {
+  check_ratio(honesty_ratio, "honesty ratio");
+  const double p = per_sample_evasion(honesty_ratio, params.pr_lsh_beta);
+  if (p >= 1.0) return 1;  // honest workers: any q works, gains are legitimate
+  // Eq. (10)-(11): max(G_A) occurs at C_t = 0; require
+  //   p^q <= h*C_train + C_spoof  =>  q >= log(h*C_train + C_spoof) / log(p).
+  const double threshold =
+      honesty_ratio * params.c_train + params.c_spoof;
+  if (threshold <= 0.0) {
+    // Costless attacker (h=0, free spoof): no finite q makes the bound
+    // non-positive through costs alone; fall back to a soundness target.
+    return required_samples(0.01, honesty_ratio, params.pr_lsh_beta);
+  }
+  if (threshold >= 1.0) return 1;  // costs already exceed the reward
+  const double q = std::log(threshold) / std::log(p);
+  return std::max<std::int64_t>(1, static_cast<std::int64_t>(std::ceil(q)));
+}
+
+}  // namespace rpol::core

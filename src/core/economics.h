@@ -1,0 +1,42 @@
+// Soundness and economic analysis (Sec. VI, Theorems 2-3).
+//
+// An attacker with honesty ratio h passes ONE sampled transition with
+// probability at most h + (1-h) Pr_lsh(beta); across q independent samples
+// the evasion probability (soundness error) is that to the power q. The
+// economic view (Theorem 3) asks instead for the q making the attacker's
+// expected net gain G_A non-positive, using the paper's cost constants
+// (reward 1, honest training cost C_train = 0.88, spoof cost C_spoof ~ 0).
+
+#pragma once
+
+#include <cstdint>
+
+namespace rpol::core {
+
+struct EconomicParams {
+  double reward = 1.0;      // reward for one verified submission
+  double c_train = 0.88;    // compute cost of a fully honest submission
+  double c_spoof = 0.0;     // compute cost of the spoofing strategy
+  double c_transfer = 0.0;  // communication cost per weight-set transfer
+  double pr_lsh_alpha = 0.95;  // Pr_lsh(alpha): honest LSH match rate
+  double pr_lsh_beta = 0.05;   // Pr_lsh(beta): spoof LSH pass rate
+};
+
+// Per-sample evasion probability: h + (1-h) * pr_lsh_beta.
+double per_sample_evasion(double honesty_ratio, double pr_lsh_beta);
+
+// Soundness error Pr_err = per_sample_evasion^q (Theorem 2).
+double soundness_error(double honesty_ratio, double pr_lsh_beta, std::int64_t q);
+
+// Minimum q for a target soundness error (Eq. 8). Returns at least 1.
+std::int64_t required_samples(double target_pr_err, double honesty_ratio,
+                              double pr_lsh_beta);
+
+// Expected net gain G_A of an attacker for one submission (Eq. 9).
+double expected_net_gain(double honesty_ratio, std::int64_t q,
+                         const EconomicParams& params);
+
+// Minimum q making max(G_A) <= 0 (Eq. 11). Returns at least 1.
+std::int64_t economic_samples(double honesty_ratio, const EconomicParams& params);
+
+}  // namespace rpol::core

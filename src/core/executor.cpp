@@ -1,0 +1,123 @@
+#include "core/executor.h"
+
+#include <stdexcept>
+#include <utility>
+
+#include <cmath>
+
+namespace rpol::core {
+
+std::vector<float> extract_trainable(const std::vector<float>& model_state,
+                                     const std::vector<bool>& mask) {
+  if (model_state.size() != mask.size()) {
+    throw std::invalid_argument("trainable mask size mismatch");
+  }
+  std::vector<float> out;
+  out.reserve(model_state.size());
+  for (std::size_t i = 0; i < model_state.size(); ++i) {
+    if (mask[i]) out.push_back(model_state[i]);
+  }
+  return out;
+}
+
+double trainable_distance(const std::vector<float>& a,
+                          const std::vector<float>& b,
+                          const std::vector<bool>& mask) {
+  if (a.size() != b.size() || a.size() != mask.size()) {
+    throw std::invalid_argument("trainable_distance size mismatch");
+  }
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (!mask[i]) continue;
+    const double d = static_cast<double>(a[i]) - b[i];
+    acc += d * d;
+  }
+  return std::sqrt(acc);
+}
+
+namespace {
+std::unique_ptr<nn::Optimizer> build_optimizer(nn::Model& model,
+                                               const Hyperparams& hp) {
+  switch (hp.optimizer) {
+    case nn::OptimizerKind::kSgdMomentum:
+      return std::make_unique<nn::SgdMomentum>(model.params(), hp.learning_rate,
+                                               hp.momentum);
+    default:
+      return nn::make_optimizer(hp.optimizer, model.params(), hp.learning_rate);
+  }
+}
+}  // namespace
+
+StepExecutor::StepExecutor(const nn::ModelFactory& factory, const Hyperparams& hp)
+    : hp_(hp), model_(factory()) {
+  optimizer_ = build_optimizer(model_, hp_);
+}
+
+TrainState StepExecutor::save_state() {
+  return {model_.state_vector(), optimizer_->state_vector()};
+}
+
+void StepExecutor::load_state(const TrainState& state) {
+  model_.load_state_vector(state.model);
+  optimizer_->load_state_vector(state.optimizer);
+}
+
+float StepExecutor::run_steps(std::int64_t first_step, std::int64_t count,
+                              const data::DatasetView& dataset,
+                              const DeterministicSelector& selector,
+                              sim::DeviceExecution* device) {
+  if (count <= 0) throw std::invalid_argument("step count must be positive");
+  double loss_acc = 0.0;
+  nn::SoftmaxCrossEntropy loss;
+  std::vector<std::int64_t> labels;
+  for (std::int64_t m = first_step; m < first_step + count; ++m) {
+    const auto indices =
+        selector.batch_indices(m, hp_.batch_size, dataset.size());
+    Tensor batch = dataset.make_batch(indices, labels);
+    if (hp_.augment_hflip && batch.rank() == 4) {
+      // Deterministic horizontal flips, one PRF coin per batch element.
+      const std::int64_t h = batch.dim(2), w = batch.dim(3);
+      for (std::int64_t n = 0; n < batch.dim(0); ++n) {
+        if (!selector.augment_flip(m, n)) continue;
+        for (std::int64_t c = 0; c < batch.dim(1); ++c) {
+          for (std::int64_t y = 0; y < h; ++y) {
+            for (std::int64_t x = 0; x < w / 2; ++x) {
+              std::swap(batch.at4(n, c, y, x), batch.at4(n, c, y, w - 1 - x));
+            }
+          }
+        }
+      }
+    }
+    model_.zero_grads();
+    const Tensor logits = model_.forward(batch, /*training=*/true);
+    loss_acc += loss.forward(logits, labels);
+    model_.backward(loss.backward());
+    if (device != nullptr) device->perturb_gradients(model_.params());
+    optimizer_->apply_weight_decay(hp_.weight_decay);
+    optimizer_->set_learning_rate(hp_.lr_at_step(m));
+    optimizer_->step();
+  }
+  return static_cast<float>(loss_acc / static_cast<double>(count));
+}
+
+double StepExecutor::evaluate(const data::DatasetView& dataset,
+                              std::int64_t batch_size) {
+  std::int64_t correct_weighted = 0;
+  std::int64_t total = 0;
+  std::vector<std::int64_t> labels;
+  for (std::int64_t start = 0; start < dataset.size(); start += batch_size) {
+    const std::int64_t take = std::min(batch_size, dataset.size() - start);
+    std::vector<std::int64_t> indices(static_cast<std::size_t>(take));
+    for (std::int64_t i = 0; i < take; ++i) indices[static_cast<std::size_t>(i)] = start + i;
+    const Tensor batch = dataset.make_batch(indices, labels);
+    const Tensor logits = model_.forward(batch, /*training=*/false);
+    correct_weighted += static_cast<std::int64_t>(
+        nn::accuracy(logits, labels) * static_cast<double>(take) + 0.5);
+    total += take;
+  }
+  return total == 0 ? 0.0
+                    : static_cast<double>(correct_weighted) /
+                          static_cast<double>(total);
+}
+
+}  // namespace rpol::core

@@ -1,0 +1,252 @@
+#include "core/pool.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "data/partition.h"
+
+namespace rpol::core {
+
+std::string scheme_name(Scheme scheme) {
+  switch (scheme) {
+    case Scheme::kBaseline: return "Baseline";
+    case Scheme::kRPoLv1: return "RPoLv1";
+    case Scheme::kRPoLv2: return "RPoLv2";
+  }
+  return "unknown";
+}
+
+MiningPool::MiningPool(PoolConfig config, nn::ModelFactory factory,
+                       const data::Dataset& train, data::DatasetView test,
+                       std::vector<WorkerSpec> workers)
+    : config_(std::move(config)),
+      factory_(std::move(factory)),
+      test_(std::move(test)),
+      workers_(std::move(workers)),
+      manager_executor_(factory_, config_.hp),
+      network_(config_.network, std::max<std::size_t>(workers_.size(), 1)) {
+  if (workers_.empty()) throw std::invalid_argument("pool needs >= 1 worker");
+  // n+1 i.i.d. parts: the manager keeps part 0 for calibration (Sec. V-C).
+  partitions_ = data::shuffle_and_partition(
+      train, static_cast<std::int64_t>(workers_.size()) + 1,
+      derive_seed(config_.seed, 0xDA7A));
+
+  for (std::size_t w = 0; w < workers_.size(); ++w) {
+    worker_executors_.push_back(std::make_unique<StepExecutor>(factory_, config_.hp));
+  }
+
+  VerifierConfig vcfg;
+  vcfg.samples_q = config_.samples_q;
+  vcfg.use_lsh = config_.scheme == Scheme::kRPoLv2;
+  vcfg.sampling_seed = derive_seed(config_.seed, 0x5A3B1E);
+  verifier_ = std::make_unique<Verifier>(factory_, config_.hp, vcfg);
+
+  const TrainState pristine = manager_executor_.save_state();
+  global_model_ = pristine.model;
+  fresh_optimizer_ = pristine.optimizer;
+}
+
+TrainState MiningPool::initial_state() const {
+  return {global_model_, fresh_optimizer_};
+}
+
+std::uint64_t MiningPool::worker_nonce(std::int64_t epoch,
+                                       std::size_t worker) const {
+  return derive_seed(config_.seed,
+                     0xA0000000ULL + static_cast<std::uint64_t>(epoch) * 4096ULL +
+                         static_cast<std::uint64_t>(worker));
+}
+
+std::pair<sim::DeviceProfile, sim::DeviceProfile> MiningPool::top_two_devices()
+    const {
+  // Workers register their hardware with the pool; the manager calibrates on
+  // the two fastest profiles to observe worst-case reproduction errors.
+  std::vector<sim::DeviceProfile> devices;
+  devices.reserve(workers_.size());
+  for (const auto& w : workers_) devices.push_back(w.device);
+  std::sort(devices.begin(), devices.end(),
+            [](const sim::DeviceProfile& a, const sim::DeviceProfile& b) {
+              return a.tflops_fp32 > b.tflops_fp32;
+            });
+  const sim::DeviceProfile top = devices.front();
+  const sim::DeviceProfile second = devices.size() > 1 ? devices[1] : devices[0];
+  return {top, second};
+}
+
+double MiningPool::evaluate_global() {
+  manager_executor_.load_state(initial_state());
+  return manager_executor_.evaluate(test_);
+}
+
+EpochReport MiningPool::run_epoch(std::int64_t epoch) {
+  EpochReport report;
+  report.epoch = epoch;
+  network_.reset_counters();
+
+  const TrainState initial = initial_state();
+  const Digest initial_hash = hash_state(initial);
+  const std::uint64_t model_bytes =
+      static_cast<std::uint64_t>(global_model_.size()) * sizeof(float);
+
+  // Step 0: adaptive calibration (RPoL schemes only).
+  const bool needs_rpol = config_.scheme != Scheme::kBaseline;
+  if (needs_rpol && (config_.calibrate_every_epoch || !calibrated_)) {
+    EpochContext manager_ctx;
+    manager_ctx.epoch = epoch;
+    manager_ctx.nonce = derive_seed(config_.seed,
+                                    0xB0000000ULL + static_cast<std::uint64_t>(epoch));
+    manager_ctx.initial = initial;
+    manager_ctx.dataset = &partitions_[0];
+    const auto [top, second] = top_two_devices();
+    last_calibration_ = calibrate_epoch(
+        factory_, config_.hp, manager_ctx, top, second,
+        derive_seed(config_.seed, 0xC0000000ULL + static_cast<std::uint64_t>(epoch)),
+        config_.calibration);
+    calibrated_ = true;
+  }
+
+  lsh::LshConfig lsh_config;
+  if (needs_rpol) {
+    report.alpha = last_calibration_.alpha;
+    report.beta = last_calibration_.beta;
+    report.lsh_params = last_calibration_.lsh.params;
+    verifier_->set_beta(last_calibration_.beta);
+    if (config_.scheme == Scheme::kRPoLv2) {
+      lsh_config.params = last_calibration_.lsh.params;
+      lsh_config.dim = manager_executor_.model().num_trainable_parameters();
+      lsh_config.seed = derive_seed(
+          config_.seed, 0xD0000000ULL + static_cast<std::uint64_t>(epoch));
+      verifier_->set_lsh_config(lsh_config);
+    }
+  }
+  std::optional<lsh::PStableLsh> worker_hasher;
+  if (config_.scheme == Scheme::kRPoLv2) worker_hasher.emplace(lsh_config);
+  const std::vector<bool>& trainable_mask = manager_executor_.trainable_mask();
+
+  // Steps 1-2: workers train locally and commit.
+  std::vector<EpochTrace> traces(workers_.size());
+  std::vector<Commitment> commitments(workers_.size());
+  std::vector<EpochContext> contexts(workers_.size());
+  for (std::size_t w = 0; w < workers_.size(); ++w) {
+    EpochContext ctx;
+    ctx.epoch = epoch;
+    ctx.nonce = worker_nonce(epoch, w);
+    ctx.initial = initial;
+    ctx.dataset = &partitions_[w + 1];
+    contexts[w] = ctx;
+
+    network_.download(w, model_bytes, workers_.size());  // global model out
+
+    sim::DeviceExecution device(
+        workers_[w].device,
+        derive_seed(config_.seed, 0xE0000000ULL +
+                                      static_cast<std::uint64_t>(epoch) * 4096ULL +
+                                      static_cast<std::uint64_t>(w)));
+    traces[w] = workers_[w].policy->produce_trace(*worker_executors_[w], ctx, device);
+    commitments[w] = config_.scheme == Scheme::kRPoLv2
+                         ? commit_v2(traces[w], *worker_hasher, &trainable_mask)
+                         : commit_v1(traces[w]);
+
+    // Upload: final model update + commitment (compact mode uploads only
+    // the Merkle roots).
+    const std::uint64_t commitment_bytes =
+        config_.compact_commitments
+            ? compact_commitment(commitments[w]).byte_size()
+            : commitments[w].byte_size();
+    network_.upload(w, model_bytes + commitment_bytes, workers_.size());
+    report.worker_storage_bytes =
+        std::max(report.worker_storage_bytes, traces[w].storage_bytes());
+  }
+
+  // Step 3: verification (RPoL schemes).
+  report.accepted.assign(workers_.size(), true);
+  if (needs_rpol && config_.decentralized_verification) {
+    // Peer-committee verification: each worker is checked by a committee of
+    // the OTHER workers (it never votes on itself).
+    DecentralizedConfig dcfg;
+    dcfg.samples_q = config_.samples_q;
+    dcfg.verifiers_per_sample = config_.verifiers_per_sample;
+    dcfg.beta = last_calibration_.beta;
+    dcfg.assignment_seed = derive_seed(config_.seed, 0x9E0000ULL +
+                                                         static_cast<std::uint64_t>(epoch));
+    DecentralizedVerifier dec(factory_, config_.hp, dcfg);
+    for (std::size_t w = 0; w < workers_.size(); ++w) {
+      std::vector<VerifierNode> committee;
+      for (std::size_t v = 0; v < workers_.size(); ++v) {
+        if (v == w) continue;
+        VerifierNode node;
+        node.device = workers_[v].device;
+        node.run_seed = derive_seed(
+            config_.seed, 0x9F0000ULL + static_cast<std::uint64_t>(epoch) * 4096ULL +
+                              static_cast<std::uint64_t>(v));
+        committee.push_back(node);
+      }
+      const DecentralizedResult dr = dec.verify(commitments[w], traces[w],
+                                                contexts[w], initial_hash,
+                                                committee);
+      report.accepted[w] = dr.accepted;
+      report.manager_reexecuted_steps += dr.critical_path_steps;  // wall time
+      if (!dr.accepted) ++report.rejected_count;
+    }
+  } else if (needs_rpol) {
+    const auto [top, second] = top_two_devices();
+    (void)second;
+    for (std::size_t w = 0; w < workers_.size(); ++w) {
+      sim::DeviceExecution manager_device(
+          top, derive_seed(config_.seed,
+                           0xF0000000ULL + static_cast<std::uint64_t>(epoch) * 4096ULL +
+                               static_cast<std::uint64_t>(w)));
+      const VerifyResult vr =
+          config_.compact_commitments
+              ? verifier_->verify_compact(compact_commitment(commitments[w]),
+                                          commitments[w], traces[w], contexts[w],
+                                          initial_hash, manager_device)
+              : verifier_->verify(commitments[w], traces[w], contexts[w],
+                                  initial_hash, manager_device);
+      report.accepted[w] = vr.accepted;
+      report.lsh_mismatches += vr.lsh_mismatches;
+      report.double_checks += vr.double_checks;
+      report.manager_reexecuted_steps += vr.reexecuted_steps;
+      network_.upload(w, vr.proof_bytes, 1);  // proofs fetched on demand
+      if (!vr.accepted) ++report.rejected_count;
+    }
+  }
+
+  // Aggregation, Eq. (1) with equal |D_w| weights renormalized over the
+  // accepted set (FedAvg convention): rejected submissions are excluded
+  // entirely, so detecting a free-riding worker restores the full step size
+  // instead of diluting the update — the mechanism behind Fig. 6's gap
+  // between verified and unverified pools.
+  std::size_t accepted_count = 0;
+  for (const bool a : report.accepted) accepted_count += a ? 1 : 0;
+  if (accepted_count > 0) {
+    const float weight = static_cast<float>(config_.global_learning_rate) /
+                         static_cast<float>(accepted_count);
+    std::vector<float> next = global_model_;
+    for (std::size_t w = 0; w < workers_.size(); ++w) {
+      if (!report.accepted[w]) continue;
+      const std::vector<float>& worker_final = traces[w].checkpoints.back().model;
+      for (std::size_t d = 0; d < next.size(); ++d) {
+        next[d] += weight * (worker_final[d] - global_model_[d]);
+      }
+    }
+    global_model_ = std::move(next);
+  }
+
+  report.test_accuracy = evaluate_global();
+  report.bytes_this_epoch = network_.total_bytes();
+  return report;
+}
+
+PoolRunReport MiningPool::run() {
+  PoolRunReport report;
+  for (std::int64_t t = 0; t < config_.epochs; ++t) {
+    report.epochs.push_back(run_epoch(t));
+    report.total_bytes += report.epochs.back().bytes_this_epoch;
+  }
+  report.final_accuracy =
+      report.epochs.empty() ? 0.0 : report.epochs.back().test_accuracy;
+  return report;
+}
+
+}  // namespace rpol::core

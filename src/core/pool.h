@@ -1,0 +1,126 @@
+// Mining-pool orchestration: the full per-epoch RPoL protocol loop
+// (Fig. 2 steps 1-3 plus verification and aggregation).
+//
+// One MiningPool couples a manager with n workers over a simulated WAN:
+//
+//   per epoch t:
+//     0. (RPoL schemes) adaptive calibration on the manager's own i.i.d.
+//        sub-task using the pool's top-2 device profiles -> alpha, beta,
+//        optimal LSH parameters (Sec. V-C);
+//     1. every worker downloads the global state and a fresh nonce N_t^w;
+//     2. workers run their (possibly dishonest) policies, producing
+//        checkpoint traces, and upload model update + commitment;
+//     3. the manager samples q transitions per worker, verifies them
+//        (RPoLv1 raw / RPoLv2 LSH + double-check) and aggregates only the
+//        accepted updates per Eq. (1);
+//     4. the global model is evaluated on the held-out test set.
+//
+// Scheme::kBaseline skips steps 0 and 3 entirely — the insecure comparison
+// point of Sec. VII-E.
+
+#pragma once
+
+#include <memory>
+
+#include "core/calibrate.h"
+#include "core/decentralized.h"
+#include "sim/network.h"
+
+namespace rpol::core {
+
+enum class Scheme { kBaseline, kRPoLv1, kRPoLv2 };
+
+std::string scheme_name(Scheme scheme);
+
+struct PoolConfig {
+  Scheme scheme = Scheme::kRPoLv2;
+  Hyperparams hp;
+  std::int64_t epochs = 10;
+  std::int64_t samples_q = 3;          // q, Sec. VII-A default
+  CalibrationConfig calibration;
+  double global_learning_rate = 1.0;   // eta of Eq. (1)
+  std::uint64_t seed = 7;
+  sim::NetworkSpec network;
+  // Ablation switch: when false, calibrate only once (epoch 0) instead of
+  // adapting every epoch.
+  bool calibrate_every_epoch = true;
+  // Future-work extension: verify each worker with a committee of its peers
+  // (core/decentralized.h) instead of the manager alone. Committee members
+  // re-execute with raw distance checks, so this composes with both RPoL
+  // schemes' thresholds; requires >= verifiers_per_sample + 1 workers.
+  bool decentralized_verification = false;
+  std::int64_t verifiers_per_sample = 3;
+  // Sec. V-B's Merkle construction: workers upload O(1) commitment roots
+  // and sampled transitions travel with logarithmic membership proofs,
+  // instead of the default ordered hash list.
+  bool compact_commitments = false;
+};
+
+struct WorkerSpec {
+  std::unique_ptr<WorkerPolicy> policy;
+  sim::DeviceProfile device;
+};
+
+struct EpochReport {
+  std::int64_t epoch = 0;
+  double test_accuracy = 0.0;
+  std::vector<bool> accepted;            // per worker
+  std::int64_t rejected_count = 0;
+  double alpha = 0.0;
+  double beta = 0.0;
+  lsh::LshParams lsh_params;
+  std::int64_t lsh_mismatches = 0;
+  std::int64_t double_checks = 0;
+  std::uint64_t bytes_this_epoch = 0;    // WAN traffic
+  std::uint64_t worker_storage_bytes = 0;  // max per-worker checkpoint store
+  std::int64_t manager_reexecuted_steps = 0;
+};
+
+struct PoolRunReport {
+  std::vector<EpochReport> epochs;
+  double final_accuracy = 0.0;
+  std::uint64_t total_bytes = 0;
+};
+
+class MiningPool {
+ public:
+  // `factory` builds the (address-encoded, if desired) task model; `train`
+  // is partitioned into num_workers+1 i.i.d. parts, the manager keeping
+  // part 0 for calibration. `workers` supplies one policy+device per worker.
+  MiningPool(PoolConfig config, nn::ModelFactory factory,
+             const data::Dataset& train, data::DatasetView test,
+             std::vector<WorkerSpec> workers);
+
+  PoolRunReport run();
+
+  // Runs a single epoch; exposed so tests and benches can drive the
+  // protocol step by step.
+  EpochReport run_epoch(std::int64_t epoch);
+
+  const std::vector<float>& global_model() const { return global_model_; }
+  double evaluate_global();
+
+ private:
+  PoolConfig config_;
+  nn::ModelFactory factory_;
+  data::DatasetView test_;
+  std::vector<data::DatasetView> partitions_;  // [0]=manager, [1..n]=workers
+  std::vector<WorkerSpec> workers_;
+
+  StepExecutor manager_executor_;  // evaluation + state templating
+  std::vector<std::unique_ptr<StepExecutor>> worker_executors_;
+  std::unique_ptr<Verifier> verifier_;
+  sim::Network network_;
+
+  std::vector<float> global_model_;     // current global model state vector
+  std::vector<float> fresh_optimizer_;  // pristine optimizer state template
+  CalibrationResult last_calibration_;
+  bool calibrated_ = false;
+
+  TrainState initial_state() const;
+  std::uint64_t worker_nonce(std::int64_t epoch, std::size_t worker) const;
+  // Top-2 device profiles among the pool's registered workers.
+  std::pair<sim::DeviceProfile, sim::DeviceProfile> top_two_devices() const;
+};
+
+}  // namespace rpol::core

@@ -1,0 +1,77 @@
+#include "core/rewards.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace rpol::core {
+
+std::uint64_t RewardDistribution::total() const {
+  std::uint64_t t = manager_fee + undistributed;
+  for (const auto p : worker_payouts) t += p;
+  return t;
+}
+
+std::vector<std::int64_t> verified_epoch_counts(const PoolRunReport& report) {
+  if (report.epochs.empty()) return {};
+  std::vector<std::int64_t> counts(report.epochs.front().accepted.size(), 0);
+  for (const auto& epoch : report.epochs) {
+    for (std::size_t w = 0; w < epoch.accepted.size() && w < counts.size(); ++w) {
+      if (epoch.accepted[w]) ++counts[w];
+    }
+  }
+  return counts;
+}
+
+RewardDistribution distribute_rewards(std::uint64_t total_reward,
+                                      const std::vector<std::int64_t>& contributions,
+                                      const RewardPolicy& policy) {
+  if (policy.manager_fee_basis_points > 10'000) {
+    throw std::invalid_argument("manager fee exceeds 100%");
+  }
+  for (const auto c : contributions) {
+    if (c < 0) throw std::invalid_argument("negative contribution");
+  }
+
+  RewardDistribution dist;
+  dist.worker_payouts.assign(contributions.size(), 0);
+  dist.manager_fee =
+      total_reward * policy.manager_fee_basis_points / 10'000ULL;
+  const std::uint64_t pool = total_reward - dist.manager_fee;
+
+  const std::uint64_t total_contrib = static_cast<std::uint64_t>(
+      std::accumulate(contributions.begin(), contributions.end(),
+                      static_cast<std::int64_t>(0)));
+  if (total_contrib == 0) {
+    dist.undistributed = pool;
+    return dist;
+  }
+
+  // Largest-remainder allocation: floor shares first, then hand out the
+  // remaining units to the largest fractional remainders (ties broken by
+  // worker index for determinism).
+  std::uint64_t allocated = 0;
+  std::vector<std::pair<std::uint64_t, std::size_t>> remainders;
+  for (std::size_t w = 0; w < contributions.size(); ++w) {
+    const std::uint64_t numerator =
+        pool * static_cast<std::uint64_t>(contributions[w]);
+    dist.worker_payouts[w] = numerator / total_contrib;
+    allocated += dist.worker_payouts[w];
+    remainders.emplace_back(numerator % total_contrib, w);
+  }
+  std::uint64_t leftover = pool - allocated;
+  std::sort(remainders.begin(), remainders.end(),
+            [](const auto& a, const auto& b) {
+              if (a.first != b.first) return a.first > b.first;
+              return a.second < b.second;
+            });
+  for (std::size_t i = 0; i < remainders.size() && leftover > 0; ++i) {
+    if (remainders[i].first == 0) break;  // exact division, nothing owed
+    ++dist.worker_payouts[remainders[i].second];
+    --leftover;
+  }
+  dist.undistributed = leftover;
+  return dist;
+}
+
+}  // namespace rpol::core

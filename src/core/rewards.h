@@ -1,0 +1,44 @@
+// In-pool reward distribution (Fig. 2 step "distributes mining rewards
+// proportionally to workers' contributions").
+//
+// Contribution of a worker = number of epochs whose submission passed
+// verification (sub-datasets are equal-sized, so verified epochs are the
+// natural unit of useful work). The manager takes a configurable fee;
+// the rest is split proportionally using exact integer arithmetic
+// (largest-remainder method) so payouts always sum to the distributed
+// amount — nothing is silently minted or burnt.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/pool.h"
+
+namespace rpol::core {
+
+struct RewardPolicy {
+  // Fraction of the block reward kept by the manager (pool fee), in basis
+  // points to keep the arithmetic exact (250 = 2.5%).
+  std::uint32_t manager_fee_basis_points = 250;
+};
+
+struct RewardDistribution {
+  std::uint64_t manager_fee = 0;
+  std::vector<std::uint64_t> worker_payouts;
+  // Reward that could not be attributed (e.g. no verified contributions);
+  // stays with the manager's float rather than vanishing.
+  std::uint64_t undistributed = 0;
+
+  std::uint64_t total() const;
+};
+
+// Verified-epoch counts per worker from a pool run report.
+std::vector<std::int64_t> verified_epoch_counts(const PoolRunReport& report);
+
+// Splits `total_reward` according to `contributions` (one entry per worker).
+RewardDistribution distribute_rewards(std::uint64_t total_reward,
+                                      const std::vector<std::int64_t>& contributions,
+                                      const RewardPolicy& policy = {});
+
+}  // namespace rpol::core

@@ -1,0 +1,181 @@
+#include "core/session.h"
+
+#include <stdexcept>
+
+namespace rpol::core {
+
+Bytes CountingChannel::send_to_worker(Bytes message) {
+  to_worker_ += message.size();
+  return message;
+}
+
+Bytes CountingChannel::send_to_manager(Bytes message) {
+  to_manager_ += message.size();
+  return message;
+}
+
+SessionOutcome run_protocol_session(
+    const nn::ModelFactory& factory, const Hyperparams& hp,
+    const SessionConfig& config, const TrainState& global_state,
+    std::uint64_t nonce, const data::DatasetView& worker_data,
+    WorkerPolicy& policy, const sim::DeviceProfile& worker_device,
+    std::uint64_t worker_run_seed, const sim::DeviceProfile& manager_device,
+    std::uint64_t manager_run_seed) {
+  if (config.scheme == Scheme::kBaseline) {
+    throw std::invalid_argument("protocol session requires an RPoL scheme");
+  }
+  if (config.scheme == Scheme::kRPoLv2 && !config.lsh.has_value()) {
+    throw std::invalid_argument("RPoLv2 session needs an LSH config");
+  }
+
+  CountingChannel channel;
+  SessionOutcome outcome;
+
+  // --- Manager -> worker: task announcement + global state. ---------------
+  TaskAnnouncement announcement;
+  announcement.nonce = nonce;
+  announcement.hp = hp;
+  announcement.initial_state_hash = hash_state(global_state);
+  announcement.lsh = config.lsh;
+  const Bytes announce_wire =
+      channel.send_to_worker(encode_task_announcement(announcement));
+  const Bytes state_wire =
+      channel.send_to_worker(encode_train_state(global_state));
+
+  // --- Worker side: decode, train, commit. --------------------------------
+  const TaskAnnouncement worker_view = decode_task_announcement(announce_wire);
+  std::size_t state_offset = 0;
+  TrainState worker_initial = decode_train_state(state_wire, state_offset);
+  if (!digest_equal(hash_state(worker_initial),
+                    worker_view.initial_state_hash)) {
+    throw std::runtime_error("state transfer corrupted");
+  }
+
+  StepExecutor worker_executor(factory, worker_view.hp);
+  EpochContext ctx;
+  ctx.nonce = worker_view.nonce;
+  ctx.initial = std::move(worker_initial);
+  ctx.dataset = &worker_data;
+  sim::DeviceExecution worker_gpu(worker_device, worker_run_seed);
+  const EpochTrace trace = policy.produce_trace(worker_executor, ctx, worker_gpu);
+
+  Commitment commitment;
+  if (config.scheme == Scheme::kRPoLv2) {
+    const lsh::PStableLsh hasher(*worker_view.lsh);
+    commitment = commit_v2(trace, hasher, &worker_executor.trainable_mask());
+  } else {
+    commitment = commit_v1(trace);
+  }
+  const Bytes commit_wire =
+      channel.send_to_manager(encode_commitment(commitment));
+  // The model update itself (final weights) travels with the commitment.
+  TrainState update;
+  update.model = trace.checkpoints.back().model;
+  channel.send_to_manager(encode_train_state(update));
+
+  // --- Manager: sample post-commitment, request proofs. -------------------
+  const Commitment manager_commitment = decode_commitment(commit_wire);
+  ProofRequest request;
+  request.transitions =
+      sample_transitions(config.sampling_seed, manager_commitment.root,
+                         trace.num_transitions(), config.samples_q);
+  const Bytes request_wire =
+      channel.send_to_worker(encode_proof_request(request));
+
+  // --- Worker: answer the proof request. ----------------------------------
+  const ProofRequest worker_request = decode_proof_request(request_wire);
+  ProofResponse response;
+  for (const auto j : worker_request.transitions) {
+    if (j < 0 || j >= trace.num_transitions()) {
+      throw std::runtime_error("proof request out of range");
+    }
+    response.input_states.push_back(
+        trace.checkpoints[static_cast<std::size_t>(j)]);
+    if (config.scheme == Scheme::kRPoLv1) {
+      response.output_states.push_back(
+          trace.checkpoints[static_cast<std::size_t>(j + 1)]);
+    }
+  }
+  Bytes response_wire =
+      channel.send_to_manager(encode_proof_response(response));
+
+  // --- Manager: re-execute and decide. -------------------------------------
+  StepExecutor manager_executor(factory, hp);
+  const std::vector<bool>& mask = manager_executor.trainable_mask();
+  std::optional<lsh::PStableLsh> manager_hasher;
+  if (config.scheme == Scheme::kRPoLv2) manager_hasher.emplace(*config.lsh);
+  const ProofResponse manager_response = decode_proof_response(response_wire);
+  const DeterministicSelector selector(nonce);
+  sim::DeviceExecution manager_gpu(manager_device, manager_run_seed);
+
+  bool all_passed =
+      digest_equal(manager_commitment.state_hashes.front(),
+                   announcement.initial_state_hash) &&
+      manager_response.input_states.size() == request.transitions.size() &&
+      (config.scheme != Scheme::kRPoLv1 ||
+       manager_response.output_states.size() == request.transitions.size());
+  for (std::size_t s = 0; all_passed && s < request.transitions.size(); ++s) {
+    const std::int64_t j = request.transitions[s];
+    const TrainState& proof_in = manager_response.input_states[s];
+    if (!digest_equal(
+            hash_state(proof_in),
+            manager_commitment.state_hashes[static_cast<std::size_t>(j)])) {
+      all_passed = false;
+      break;
+    }
+    // Re-execute. The checkpoint boundaries are reconstructable from hp.
+    const std::int64_t first = j * hp.checkpoint_interval;
+    const std::int64_t count =
+        std::min(hp.checkpoint_interval, hp.steps_per_epoch - first);
+    manager_executor.load_state(proof_in);
+    manager_executor.run_steps(first, count, worker_data, selector, &manager_gpu);
+    const TrainState replay = manager_executor.save_state();
+
+    if (config.scheme == Scheme::kRPoLv1) {
+      const TrainState& claimed = manager_response.output_states[s];
+      if (!digest_equal(hash_state(claimed),
+                        manager_commitment
+                            .state_hashes[static_cast<std::size_t>(j + 1)])) {
+        all_passed = false;
+        break;
+      }
+      all_passed =
+          trainable_distance(replay.model, claimed.model, mask) <= config.beta;
+    } else {
+      const lsh::LshDigest replay_digest =
+          manager_hasher->hash(extract_trainable(replay.model, mask));
+      if (!lsh::lsh_match(replay_digest,
+                          manager_commitment
+                              .lsh_digests[static_cast<std::size_t>(j + 1)])) {
+        // Double-check round trip: one more request/response pair.
+        ++outcome.double_checks;
+        ProofRequest dc_request;
+        dc_request.transitions = {j};  // re-request: raw output this time
+        channel.send_to_worker(encode_proof_request(dc_request));
+        ProofResponse dc_response;
+        dc_response.output_states.push_back(
+            trace.checkpoints[static_cast<std::size_t>(j + 1)]);
+        const Bytes dc_wire =
+            channel.send_to_manager(encode_proof_response(dc_response));
+        const ProofResponse dc_decoded = decode_proof_response(dc_wire);
+        const TrainState& claimed = dc_decoded.output_states.front();
+        if (!digest_equal(hash_state(claimed),
+                          manager_commitment
+                              .state_hashes[static_cast<std::size_t>(j + 1)])) {
+          all_passed = false;
+          break;
+        }
+        all_passed = trainable_distance(replay.model, claimed.model, mask) <=
+                     config.beta;
+      }
+    }
+  }
+
+  outcome.accepted = all_passed;
+  outcome.final_model = trace.checkpoints.back().model;
+  outcome.bytes_to_worker = channel.bytes_to_worker();
+  outcome.bytes_to_manager = channel.bytes_to_manager();
+  return outcome;
+}
+
+}  // namespace rpol::core

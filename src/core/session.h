@@ -1,0 +1,70 @@
+// Message-passing protocol session: one worker epoch executed purely over
+// canonical wire messages (core/wire.h) through a byte-counting channel.
+//
+// MiningPool orchestrates many workers with in-process structures and
+// models traffic analytically; ProtocolSession is the ground-truth
+// realization of ONE manager<->worker exchange where every protocol
+// artifact crosses the channel as encoded bytes and is decoded (and
+// validated) on the other side:
+//
+//   M -> W : TaskAnnouncement            (epoch, nonce, hp, state hash, LSH)
+//   M -> W : global TrainState           (the model to train from)
+//   W -> M : CommitmentMessage           (after local training)
+//   M -> W : ProofRequest                (post-commitment samples)
+//   W -> M : ProofResponse               (requested checkpoint states)
+//   M      : re-execution & decision
+//
+// Tests use it to assert that the analytic cost model's message structure
+// matches what the protocol actually sends, and that a malicious worker
+// cannot gain anything by sending malformed bytes (decode rejects them).
+
+#pragma once
+
+#include "core/pool.h"
+#include "core/wire.h"
+
+namespace rpol::core {
+
+// Byte-counting in-process transport.
+class CountingChannel {
+ public:
+  // Delivers a message and returns it to the receiving side; counts bytes.
+  Bytes send_to_worker(Bytes message);
+  Bytes send_to_manager(Bytes message);
+
+  std::uint64_t bytes_to_worker() const { return to_worker_; }
+  std::uint64_t bytes_to_manager() const { return to_manager_; }
+  std::uint64_t total_bytes() const { return to_worker_ + to_manager_; }
+
+ private:
+  std::uint64_t to_worker_ = 0;
+  std::uint64_t to_manager_ = 0;
+};
+
+struct SessionConfig {
+  Scheme scheme = Scheme::kRPoLv2;
+  std::int64_t samples_q = 3;
+  double beta = 1e-3;
+  std::uint64_t sampling_seed = 77;
+  std::optional<lsh::LshConfig> lsh;  // required for kRPoLv2
+};
+
+struct SessionOutcome {
+  bool accepted = false;
+  std::vector<float> final_model;      // the worker's submitted update
+  std::uint64_t bytes_to_worker = 0;   // announcement + global state + request
+  std::uint64_t bytes_to_manager = 0;  // commitment + update + proofs
+  std::int64_t double_checks = 0;
+};
+
+// Runs the complete epoch exchange. The worker side is driven by `policy`
+// on `worker_device`; the manager re-executes on `manager_device`.
+SessionOutcome run_protocol_session(
+    const nn::ModelFactory& factory, const Hyperparams& hp,
+    const SessionConfig& config, const TrainState& global_state,
+    std::uint64_t nonce, const data::DatasetView& worker_data,
+    WorkerPolicy& policy, const sim::DeviceProfile& worker_device,
+    std::uint64_t worker_run_seed, const sim::DeviceProfile& manager_device,
+    std::uint64_t manager_run_seed);
+
+}  // namespace rpol::core

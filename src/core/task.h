@@ -1,0 +1,70 @@
+// Training-task configuration shared by workers and the manager.
+
+#pragma once
+
+#include <cstdint>
+
+#include "nn/models.h"
+#include "nn/optim.h"
+
+namespace rpol::core {
+
+// Hyper-parameters zeta of Sec. V-B. Defaults mirror the paper's setup:
+// SGDM, lr 0.1, momentum 0.9, batch 128, checkpoint interval 5.
+//
+// Every field is part of the manager-distributed task description, so both
+// sides compute identical training steps — including the learning-rate
+// schedule and weight decay, which are deterministic functions of the
+// global step index.
+struct Hyperparams {
+  nn::OptimizerKind optimizer = nn::OptimizerKind::kSgdMomentum;
+  float learning_rate = 0.1F;
+  float momentum = 0.9F;
+  float weight_decay = 0.0F;  // L2 coefficient added to gradients
+  // Deterministic horizontal-flip augmentation for NCHW image batches;
+  // flip coins come from the epoch nonce's PRF so verification re-executes
+  // the identical augmented batches.
+  bool augment_hflip = false;
+  std::int64_t batch_size = 128;
+  std::int64_t steps_per_epoch = 16;
+  std::int64_t checkpoint_interval = 5;  // the paper's `i`
+
+  // Step-decay schedule: lr *= lr_decay_factor every lr_decay_every_steps
+  // global steps. 0 disables the schedule.
+  float lr_decay_factor = 1.0F;
+  std::int64_t lr_decay_every_steps = 0;
+
+  // Effective learning rate at a global step index.
+  float lr_at_step(std::int64_t step) const {
+    if (lr_decay_every_steps <= 0 || lr_decay_factor == 1.0F) {
+      return learning_rate;
+    }
+    float lr = learning_rate;
+    for (std::int64_t s = lr_decay_every_steps; s <= step;
+         s += lr_decay_every_steps) {
+      lr *= lr_decay_factor;
+    }
+    return lr;
+  }
+
+  // Number of checkpoint transitions an epoch produces (ceil division:
+  // a final partial interval still ends in a checkpoint).
+  std::int64_t num_transitions() const {
+    return (steps_per_epoch + checkpoint_interval - 1) / checkpoint_interval;
+  }
+
+  // Canonical checkpoint step boundaries: 0, i, 2i, ..., steps_per_epoch.
+  // Both sides derive these from the agreed hyper-parameters — the verifier
+  // must never trust boundaries supplied by the prover.
+  std::vector<std::int64_t> checkpoint_boundaries() const {
+    std::vector<std::int64_t> steps{0};
+    for (std::int64_t s = checkpoint_interval; s < steps_per_epoch;
+         s += checkpoint_interval) {
+      steps.push_back(s);
+    }
+    steps.push_back(steps_per_epoch);
+    return steps;
+  }
+};
+
+}  // namespace rpol::core

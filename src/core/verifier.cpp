@@ -1,0 +1,261 @@
+#include "core/verifier.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace rpol::core {
+
+std::vector<std::int64_t> sample_transitions(std::uint64_t seed,
+                                             const Digest& commitment_root,
+                                             std::int64_t transitions,
+                                             std::int64_t q) {
+  if (transitions <= 0) throw std::invalid_argument("no transitions to sample");
+  q = std::min(q, transitions);
+  // Key the PRF with both the manager's secret and the commitment root so
+  // the worker cannot predict samples before committing.
+  Bytes key;
+  append_u64(key, seed);
+  key.insert(key.end(), commitment_root.begin(), commitment_root.end());
+  const Prf prf{key};
+
+  // Fisher-Yates over [0, transitions) driven by the PRF, take the first q.
+  std::vector<std::int64_t> pool(static_cast<std::size_t>(transitions));
+  for (std::int64_t i = 0; i < transitions; ++i) pool[static_cast<std::size_t>(i)] = i;
+  for (std::int64_t i = 0; i < q; ++i) {
+    const std::uint64_t j =
+        prf.eval_mod(static_cast<std::uint64_t>(i),
+                     static_cast<std::uint64_t>(transitions - i)) +
+        static_cast<std::uint64_t>(i);
+    std::swap(pool[static_cast<std::size_t>(i)], pool[static_cast<std::size_t>(j)]);
+  }
+  pool.resize(static_cast<std::size_t>(q));
+  std::sort(pool.begin(), pool.end());
+  return pool;
+}
+
+Verifier::Verifier(const nn::ModelFactory& factory, const Hyperparams& hp,
+                   VerifierConfig config)
+    : hp_(hp), config_(std::move(config)), executor_(factory, hp) {}
+
+const lsh::PStableLsh& Verifier::hasher() {
+  if (!config_.lsh_config.has_value()) {
+    throw std::logic_error("RPoLv2 verification requires an LSH config");
+  }
+  if (!hasher_.has_value() || hasher_seed_ != config_.lsh_config->seed ||
+      hasher_->config().params.r != config_.lsh_config->params.r ||
+      hasher_->config().params.k != config_.lsh_config->params.k ||
+      hasher_->config().params.l != config_.lsh_config->params.l) {
+    hasher_.emplace(*config_.lsh_config);
+    hasher_seed_ = config_.lsh_config->seed;
+  }
+  return *hasher_;
+}
+
+Digest compact_commitment_binding(const CompactCommitment& compact) {
+  Bytes b;
+  b.push_back(compact.version == CommitmentVersion::kV1 ? 1 : 2);
+  append_i64(b, compact.num_checkpoints);
+  b.insert(b.end(), compact.state_root.begin(), compact.state_root.end());
+  b.insert(b.end(), compact.lsh_root.begin(), compact.lsh_root.end());
+  return sha256(b);
+}
+
+VerifyResult Verifier::verify_compact(const CompactCommitment& compact,
+                                      const Commitment& full,
+                                      const EpochTrace& trace,
+                                      const EpochContext& context,
+                                      const Digest& expected_initial_hash,
+                                      sim::DeviceExecution& device) {
+  VerifyResult result;
+  const std::int64_t transitions = trace.num_transitions();
+  if (transitions <= 0 ||
+      compact.num_checkpoints != static_cast<std::int64_t>(trace.checkpoints.size()) ||
+      compact.version != full.version ||
+      trace.step_of != hp_.checkpoint_boundaries()) {
+    return result;
+  }
+  const bool use_lsh = compact.version == CommitmentVersion::kV2;
+  if (use_lsh != config_.use_lsh) return result;
+
+  // Initial-state binding: the worker proves leaf 0 under state_root is the
+  // distributed state's hash.
+  {
+    const TransitionProof leaf0 = make_transition_proof(full, 0);
+    result.proof_bytes += leaf0.byte_size();
+    if (!digest_equal(leaf0.in_hash, expected_initial_hash) ||
+        leaf0.in_membership.path_index() != 0 ||
+        !MerkleTree::verify(compact.state_root, leaf0.in_hash,
+                            leaf0.in_membership)) {
+      return result;
+    }
+  }
+
+  const auto samples =
+      sample_transitions(config_.sampling_seed,
+                         compact_commitment_binding(compact), transitions,
+                         config_.samples_q);
+  const DeterministicSelector selector(context.nonce);
+  const std::vector<bool>& mask = executor_.trainable_mask();
+
+  bool all_passed = true;
+  for (const std::int64_t j : samples) {
+    TransitionCheck check;
+    check.transition = j;
+
+    // Membership proofs for this transition, generated worker-side.
+    const TransitionProof proof = make_transition_proof(full, j);
+    result.proof_bytes += proof.byte_size();
+    check.hash_ok = verify_transition_proof(compact, proof);
+    if (!check.hash_ok) {
+      all_passed = false;
+      result.checks.push_back(check);
+      continue;
+    }
+
+    // Fetch and hash-check the input state against the proven leaf.
+    const TrainState& proof_in = trace.checkpoints[static_cast<std::size_t>(j)];
+    result.proof_bytes += proof_in.byte_size();
+    if (!digest_equal(hash_state(proof_in), proof.in_hash)) {
+      check.hash_ok = false;
+      all_passed = false;
+      result.checks.push_back(check);
+      continue;
+    }
+
+    const std::int64_t first = trace.step_of[static_cast<std::size_t>(j)];
+    const std::int64_t count = trace.step_of[static_cast<std::size_t>(j + 1)] - first;
+    executor_.load_state(proof_in);
+    executor_.run_steps(first, count, *context.dataset, selector, &device);
+    result.reexecuted_steps += count;
+    const TrainState replay = executor_.save_state();
+
+    const TrainState& claimed = trace.checkpoints[static_cast<std::size_t>(j + 1)];
+    if (!use_lsh) {
+      result.proof_bytes += claimed.byte_size();
+      if (digest_equal(hash_state(claimed), proof.out_hash)) {
+        check.distance = trainable_distance(replay.model, claimed.model, mask);
+        check.passed = check.distance <= config_.beta;
+      } else {
+        check.hash_ok = false;
+      }
+    } else {
+      const lsh::LshDigest replay_digest =
+          hasher().hash(extract_trainable(replay.model, mask));
+      check.lsh_matched = lsh::lsh_match(replay_digest, proof.out_lsh);
+      if (check.lsh_matched) {
+        check.passed = true;
+      } else {
+        ++result.lsh_mismatches;
+        ++result.double_checks;
+        check.double_checked = true;
+        result.proof_bytes += claimed.byte_size();
+        if (digest_equal(hash_state(claimed), proof.out_hash)) {
+          check.distance = trainable_distance(replay.model, claimed.model, mask);
+          check.passed = check.distance <= config_.beta;
+        } else {
+          check.hash_ok = false;
+        }
+      }
+    }
+    all_passed = all_passed && check.passed;
+    result.checks.push_back(check);
+  }
+  result.accepted = all_passed;
+  return result;
+}
+
+VerifyResult Verifier::verify(const Commitment& commitment,
+                              const EpochTrace& trace,
+                              const EpochContext& context,
+                              const Digest& expected_initial_hash,
+                              sim::DeviceExecution& device) {
+  VerifyResult result;
+  const std::int64_t transitions = trace.num_transitions();
+  // The step boundaries are derived from the agreed hyper-parameters, never
+  // trusted from the prover: malformed step_of vectors (zero-length
+  // intervals, wrong counts) are rejected outright.
+  if (transitions <= 0 ||
+      commitment.state_hashes.size() != trace.checkpoints.size() ||
+      trace.step_of != hp_.checkpoint_boundaries()) {
+    return result;  // malformed => reject
+  }
+  if (!commitment_consistent(commitment)) return result;
+
+  // The first checkpoint must be exactly the state the manager handed out.
+  if (!digest_equal(commitment.state_hashes.front(), expected_initial_hash)) {
+    return result;
+  }
+
+  const auto samples = sample_transitions(config_.sampling_seed, commitment.root,
+                                          transitions, config_.samples_q);
+  const DeterministicSelector selector(context.nonce);
+
+  bool all_passed = true;
+  for (const std::int64_t j : samples) {
+    TransitionCheck check;
+    check.transition = j;
+
+    // Fetch proof_in = C_j and hash-check it against the commitment.
+    const TrainState& proof_in = trace.checkpoints[static_cast<std::size_t>(j)];
+    result.proof_bytes += proof_in.byte_size();
+    check.hash_ok = digest_equal(hash_state(proof_in),
+                                 commitment.state_hashes[static_cast<std::size_t>(j)]);
+    if (!check.hash_ok) {
+      all_passed = false;
+      result.checks.push_back(check);
+      continue;
+    }
+
+    // Re-execute the transition on the manager's device.
+    const std::int64_t first = trace.step_of[static_cast<std::size_t>(j)];
+    const std::int64_t count = trace.step_of[static_cast<std::size_t>(j + 1)] - first;
+    executor_.load_state(proof_in);
+    executor_.run_steps(first, count, *context.dataset, selector, &device);
+    result.reexecuted_steps += count;
+    const TrainState replay = executor_.save_state();
+
+    const TrainState& claimed =
+        trace.checkpoints[static_cast<std::size_t>(j + 1)];
+    const std::vector<bool>& mask = executor_.trainable_mask();
+    if (!config_.use_lsh) {
+      // RPoLv1: fetch the claimed output too and distance-test it.
+      result.proof_bytes += claimed.byte_size();
+      const bool out_hash_ok =
+          digest_equal(hash_state(claimed),
+                       commitment.state_hashes[static_cast<std::size_t>(j + 1)]);
+      check.hash_ok = check.hash_ok && out_hash_ok;
+      if (out_hash_ok) {
+        check.distance = trainable_distance(replay.model, claimed.model, mask);
+        check.passed = check.distance <= config_.beta;
+      }
+    } else {
+      // RPoLv2: fuzzy-match the replayed weights against the committed LSH
+      // digest of C_{j+1}; fall back to the double-check on mismatch.
+      const lsh::LshDigest replay_digest =
+          hasher().hash(extract_trainable(replay.model, mask));
+      check.lsh_matched = lsh::lsh_match(
+          replay_digest, commitment.lsh_digests[static_cast<std::size_t>(j + 1)]);
+      if (check.lsh_matched) {
+        check.passed = true;
+      } else {
+        ++result.lsh_mismatches;
+        ++result.double_checks;
+        check.double_checked = true;
+        result.proof_bytes += claimed.byte_size();
+        const bool out_hash_ok = digest_equal(
+            hash_state(claimed),
+            commitment.state_hashes[static_cast<std::size_t>(j + 1)]);
+        if (out_hash_ok) {
+          check.distance = trainable_distance(replay.model, claimed.model, mask);
+          check.passed = check.distance <= config_.beta;
+        }
+      }
+    }
+    all_passed = all_passed && check.passed;
+    result.checks.push_back(check);
+  }
+  result.accepted = all_passed;
+  return result;
+}
+
+}  // namespace rpol::core

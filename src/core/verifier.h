@@ -1,0 +1,112 @@
+// Commitment-based sampling verification (Sec. V-B) with the LSH
+// optimization and double-check strategy (Sec. V-C).
+//
+// Verification of one worker epoch:
+//   1. The worker's commitment arrives BEFORE sampling decisions exist
+//      (commit-and-prove), so it cannot bias which transitions are checked.
+//   2. The manager derives q sample indices from a PRF keyed by its secret
+//      seed and the commitment root.
+//   3. For each sampled transition j:
+//        a. fetch proof_in = C_j; check SHA(C_j) against the commitment;
+//        b. re-execute steps [s_j, s_{j+1}) from C_j on the manager's
+//           device with the worker's deterministic batch selection;
+//        c. RPoLv1: fetch C_{j+1} too (hash-checked) and accept iff
+//           ||theta' - theta_{j+1}|| <= beta;
+//           RPoLv2: accept iff LSH(theta') matches the committed LSH digest
+//           of C_{j+1}; on mismatch run the DOUBLE-CHECK — fetch the raw
+//           C_{j+1} (hash-checked) and fall back to the distance test.
+//   4. Additionally C_0 must hash-match the state the manager distributed,
+//      so a worker cannot train from a foreign starting point.
+//
+// The verifier also meters proof traffic and re-executed steps, feeding the
+// cost accounting of Tables II/III.
+
+#pragma once
+
+#include <functional>
+#include <optional>
+
+#include "core/commitment.h"
+#include "core/policy.h"
+
+namespace rpol::core {
+
+struct VerifierConfig {
+  std::int64_t samples_q = 3;         // Sec. VII-A default
+  double beta = 0.1;                  // distance threshold for dissimilarity
+  bool use_lsh = false;               // false => RPoLv1, true => RPoLv2
+  std::optional<lsh::LshConfig> lsh_config;  // required when use_lsh
+  std::uint64_t sampling_seed = 42;   // manager secret entropy
+};
+
+struct TransitionCheck {
+  std::int64_t transition = 0;
+  bool hash_ok = false;
+  bool lsh_matched = false;      // v2 only
+  bool double_checked = false;   // v2 only
+  double distance = 0.0;         // filled when a distance test ran
+  bool passed = false;
+};
+
+struct VerifyResult {
+  bool accepted = false;
+  std::vector<TransitionCheck> checks;
+  std::uint64_t proof_bytes = 0;        // states fetched from the worker
+  std::int64_t reexecuted_steps = 0;    // manager compute
+  std::int64_t lsh_mismatches = 0;
+  std::int64_t double_checks = 0;
+};
+
+// Deterministic post-commitment sampling: q indices in [0, transitions),
+// drawn without replacement when q <= transitions (q > transitions clamps).
+std::vector<std::int64_t> sample_transitions(std::uint64_t seed,
+                                             const Digest& commitment_root,
+                                             std::int64_t transitions,
+                                             std::int64_t q);
+
+// Digest binding a compact commitment for post-commitment sampling.
+Digest compact_commitment_binding(const CompactCommitment& compact);
+
+class Verifier {
+ public:
+  // `factory`/`hp` must match the task distributed to workers; `device` is
+  // the manager's verification hardware.
+  Verifier(const nn::ModelFactory& factory, const Hyperparams& hp,
+           VerifierConfig config);
+
+  const VerifierConfig& config() const { return config_; }
+  void set_beta(double beta) { config_.beta = beta; }
+  void set_lsh_config(const lsh::LshConfig& cfg) { config_.lsh_config = cfg; }
+
+  // Verifies one worker epoch. `trace` plays the role of the worker-side
+  // proof store the manager requests samples from; only the fetched
+  // checkpoints count toward proof_bytes. `expected_initial_hash` is the
+  // hash of the state the manager handed out at epoch start.
+  VerifyResult verify(const Commitment& commitment, const EpochTrace& trace,
+                      const EpochContext& context,
+                      const Digest& expected_initial_hash,
+                      sim::DeviceExecution& device);
+
+  // Compact-commitment variant (Sec. V-B's Merkle construction): the worker
+  // uploaded only the O(1) CompactCommitment; sampled transitions arrive
+  // with logarithmic membership proofs generated on demand from the
+  // worker-side full commitment (`full` plays that role here, as `trace`
+  // plays the proof store). `initial_membership` proves that leaf 0 of the
+  // committed tree is the state the manager distributed.
+  VerifyResult verify_compact(const CompactCommitment& compact,
+                              const Commitment& full, const EpochTrace& trace,
+                              const EpochContext& context,
+                              const Digest& expected_initial_hash,
+                              sim::DeviceExecution& device);
+
+ private:
+  Hyperparams hp_;
+  VerifierConfig config_;
+  StepExecutor executor_;
+  std::optional<lsh::PStableLsh> hasher_;  // rebuilt when lsh_config changes
+  std::uint64_t hasher_seed_ = 0;
+
+  const lsh::PStableLsh& hasher();
+};
+
+}  // namespace rpol::core

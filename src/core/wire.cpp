@@ -1,0 +1,267 @@
+#include "core/wire.h"
+
+#include <stdexcept>
+
+namespace rpol::core {
+
+namespace {
+
+constexpr std::uint8_t kTagTask = 0x01;
+constexpr std::uint8_t kTagCommitment = 0x02;
+constexpr std::uint8_t kTagProofRequest = 0x03;
+constexpr std::uint8_t kTagProofResponse = 0x04;
+
+void append_digest(Bytes& out, const Digest& d) {
+  out.insert(out.end(), d.begin(), d.end());
+}
+
+Digest read_digest(const Bytes& in, std::size_t& offset) {
+  if (offset + 32 > in.size()) throw std::out_of_range("truncated digest");
+  Digest d{};
+  std::copy(in.begin() + static_cast<std::ptrdiff_t>(offset),
+            in.begin() + static_cast<std::ptrdiff_t>(offset + 32), d.begin());
+  offset += 32;
+  return d;
+}
+
+void expect_tag(const Bytes& in, std::size_t& offset, std::uint8_t tag) {
+  if (offset >= in.size() || in[offset] != tag) {
+    throw std::invalid_argument("unexpected message tag");
+  }
+  ++offset;
+}
+
+void check_consumed(const Bytes& in, std::size_t offset) {
+  if (offset != in.size()) {
+    throw std::invalid_argument("trailing bytes in message");
+  }
+}
+
+void append_hyperparams(Bytes& out, const Hyperparams& hp) {
+  append_u64(out, static_cast<std::uint64_t>(hp.optimizer));
+  append_f32(out, hp.learning_rate);
+  append_f32(out, hp.momentum);
+  append_i64(out, hp.batch_size);
+  append_i64(out, hp.steps_per_epoch);
+  append_i64(out, hp.checkpoint_interval);
+}
+
+Hyperparams read_hyperparams(const Bytes& in, std::size_t& offset) {
+  Hyperparams hp;
+  const std::uint64_t opt = read_u64(in, offset);
+  if (opt > static_cast<std::uint64_t>(nn::OptimizerKind::kAdam)) {
+    throw std::invalid_argument("bad optimizer kind");
+  }
+  hp.optimizer = static_cast<nn::OptimizerKind>(opt);
+  hp.learning_rate = read_f32(in, offset);
+  hp.momentum = read_f32(in, offset);
+  hp.batch_size = read_i64(in, offset);
+  hp.steps_per_epoch = read_i64(in, offset);
+  hp.checkpoint_interval = read_i64(in, offset);
+  if (hp.batch_size <= 0 || hp.steps_per_epoch <= 0 ||
+      hp.checkpoint_interval <= 0) {
+    throw std::invalid_argument("bad hyperparameters");
+  }
+  return hp;
+}
+
+}  // namespace
+
+bool TaskAnnouncement::operator==(const TaskAnnouncement& other) const {
+  const bool lsh_equal =
+      lsh.has_value() == other.lsh.has_value() &&
+      (!lsh.has_value() ||
+       (lsh->params.r == other.lsh->params.r && lsh->params.k == other.lsh->params.k &&
+        lsh->params.l == other.lsh->params.l && lsh->dim == other.lsh->dim &&
+        lsh->seed == other.lsh->seed));
+  return epoch == other.epoch && nonce == other.nonce &&
+         hp.optimizer == other.hp.optimizer &&
+         hp.learning_rate == other.hp.learning_rate &&
+         hp.momentum == other.hp.momentum && hp.batch_size == other.hp.batch_size &&
+         hp.steps_per_epoch == other.hp.steps_per_epoch &&
+         hp.checkpoint_interval == other.hp.checkpoint_interval &&
+         digest_equal(initial_state_hash, other.initial_state_hash) && lsh_equal;
+}
+
+Bytes encode_task_announcement(const TaskAnnouncement& msg) {
+  Bytes out;
+  out.push_back(kTagTask);
+  append_i64(out, msg.epoch);
+  append_u64(out, msg.nonce);
+  append_hyperparams(out, msg.hp);
+  append_digest(out, msg.initial_state_hash);
+  out.push_back(msg.lsh.has_value() ? 1 : 0);
+  if (msg.lsh.has_value()) {
+    Bytes r_bits;
+    append_f32(r_bits, static_cast<float>(msg.lsh->params.r));
+    out.insert(out.end(), r_bits.begin(), r_bits.end());
+    append_i64(out, msg.lsh->params.k);
+    append_i64(out, msg.lsh->params.l);
+    append_i64(out, msg.lsh->dim);
+    append_u64(out, msg.lsh->seed);
+  }
+  return out;
+}
+
+TaskAnnouncement decode_task_announcement(const Bytes& in) {
+  std::size_t offset = 0;
+  expect_tag(in, offset, kTagTask);
+  TaskAnnouncement msg;
+  msg.epoch = read_i64(in, offset);
+  msg.nonce = read_u64(in, offset);
+  msg.hp = read_hyperparams(in, offset);
+  msg.initial_state_hash = read_digest(in, offset);
+  if (offset >= in.size()) throw std::out_of_range("truncated announcement");
+  const bool has_lsh = in[offset++] != 0;
+  if (has_lsh) {
+    lsh::LshConfig cfg;
+    cfg.params.r = read_f32(in, offset);
+    cfg.params.k = static_cast<int>(read_i64(in, offset));
+    cfg.params.l = static_cast<int>(read_i64(in, offset));
+    cfg.dim = read_i64(in, offset);
+    cfg.seed = read_u64(in, offset);
+    if (cfg.params.r <= 0.0 || cfg.params.k < 1 || cfg.params.l < 1 ||
+        cfg.dim <= 0) {
+      throw std::invalid_argument("bad LSH config");
+    }
+    msg.lsh = cfg;
+  }
+  check_consumed(in, offset);
+  return msg;
+}
+
+Bytes encode_commitment(const Commitment& commitment) {
+  Bytes out;
+  out.push_back(kTagCommitment);
+  out.push_back(commitment.version == CommitmentVersion::kV1 ? 1 : 2);
+  append_u64(out, commitment.state_hashes.size());
+  for (const auto& d : commitment.state_hashes) append_digest(out, d);
+  append_u64(out, commitment.lsh_digests.size());
+  for (const auto& lsh_digest : commitment.lsh_digests) {
+    append_u64(out, lsh_digest.groups.size());
+    for (const auto& g : lsh_digest.groups) append_digest(out, g);
+  }
+  append_digest(out, commitment.root);
+  return out;
+}
+
+Commitment decode_commitment(const Bytes& in) {
+  std::size_t offset = 0;
+  expect_tag(in, offset, kTagCommitment);
+  if (offset >= in.size()) throw std::out_of_range("truncated commitment");
+  const std::uint8_t version = in[offset++];
+  if (version != 1 && version != 2) {
+    throw std::invalid_argument("bad commitment version");
+  }
+  Commitment c;
+  c.version = version == 1 ? CommitmentVersion::kV1 : CommitmentVersion::kV2;
+  const std::uint64_t hash_count = read_u64(in, offset);
+  if (hash_count > (in.size() - offset) / 32) {
+    throw std::invalid_argument("bad hash count");
+  }
+  c.state_hashes.reserve(static_cast<std::size_t>(hash_count));
+  for (std::uint64_t i = 0; i < hash_count; ++i) {
+    c.state_hashes.push_back(read_digest(in, offset));
+  }
+  const std::uint64_t lsh_count = read_u64(in, offset);
+  if (lsh_count > in.size()) throw std::invalid_argument("bad lsh count");
+  c.lsh_digests.reserve(static_cast<std::size_t>(lsh_count));
+  for (std::uint64_t i = 0; i < lsh_count; ++i) {
+    const std::uint64_t groups = read_u64(in, offset);
+    if (groups > (in.size() - offset) / 32) {
+      throw std::invalid_argument("bad group count");
+    }
+    lsh::LshDigest d;
+    d.groups.reserve(static_cast<std::size_t>(groups));
+    for (std::uint64_t g = 0; g < groups; ++g) {
+      d.groups.push_back(read_digest(in, offset));
+    }
+    c.lsh_digests.push_back(std::move(d));
+  }
+  c.root = read_digest(in, offset);
+  check_consumed(in, offset);
+  if (!commitment_consistent(c)) {
+    throw std::invalid_argument("inconsistent commitment");
+  }
+  return c;
+}
+
+Bytes encode_proof_request(const ProofRequest& msg) {
+  Bytes out;
+  out.push_back(kTagProofRequest);
+  append_u64(out, msg.transitions.size());
+  for (const auto t : msg.transitions) append_i64(out, t);
+  return out;
+}
+
+ProofRequest decode_proof_request(const Bytes& in) {
+  std::size_t offset = 0;
+  expect_tag(in, offset, kTagProofRequest);
+  const std::uint64_t count = read_u64(in, offset);
+  if (count > (in.size() - offset) / 8) throw std::invalid_argument("bad count");
+  ProofRequest msg;
+  msg.transitions.reserve(static_cast<std::size_t>(count));
+  std::int64_t prev = -1;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::int64_t t = read_i64(in, offset);
+    if (t < 0 || t <= prev) {
+      throw std::invalid_argument("proof request indices must ascend");
+    }
+    msg.transitions.push_back(t);
+    prev = t;
+  }
+  check_consumed(in, offset);
+  return msg;
+}
+
+Bytes encode_train_state(const TrainState& state) {
+  return serialize_state(state);
+}
+
+TrainState decode_train_state(const Bytes& in, std::size_t& offset) {
+  TrainState state;
+  state.model = deserialize_floats(in, offset);
+  state.optimizer = deserialize_floats(in, offset);
+  return state;
+}
+
+Bytes encode_proof_response(const ProofResponse& msg) {
+  Bytes out;
+  out.push_back(kTagProofResponse);
+  append_u64(out, msg.input_states.size());
+  for (const auto& s : msg.input_states) {
+    const Bytes encoded = encode_train_state(s);
+    append_u64(out, encoded.size());
+    out.insert(out.end(), encoded.begin(), encoded.end());
+  }
+  append_u64(out, msg.output_states.size());
+  for (const auto& s : msg.output_states) {
+    const Bytes encoded = encode_train_state(s);
+    append_u64(out, encoded.size());
+    out.insert(out.end(), encoded.begin(), encoded.end());
+  }
+  return out;
+}
+
+ProofResponse decode_proof_response(const Bytes& in) {
+  std::size_t offset = 0;
+  expect_tag(in, offset, kTagProofResponse);
+  ProofResponse msg;
+  auto read_states = [&](std::vector<TrainState>& states) {
+    const std::uint64_t count = read_u64(in, offset);
+    if (count > in.size()) throw std::invalid_argument("bad state count");
+    for (std::uint64_t i = 0; i < count; ++i) {
+      const std::uint64_t len = read_u64(in, offset);
+      if (len > in.size() - offset) throw std::invalid_argument("bad state len");
+      const std::size_t end = offset + static_cast<std::size_t>(len);
+      states.push_back(decode_train_state(in, offset));
+      if (offset != end) throw std::invalid_argument("state length mismatch");
+    }
+  };
+  read_states(msg.input_states);
+  read_states(msg.output_states);
+  check_consumed(in, offset);
+  return msg;
+}
+
+}  // namespace rpol::core

@@ -1,0 +1,63 @@
+// Canonical wire encoding of RPoL protocol messages.
+//
+// The pool protocol exchanges four message kinds per epoch (Fig. 2):
+//   manager -> worker : TaskAnnouncement (epoch, nonce, hyper-parameters,
+//                       global-state hash, LSH configuration for RPoLv2)
+//   worker  -> manager: CommitmentMessage (the checkpoint commitment)
+//   manager -> worker : ProofRequest (sampled transition indices)
+//   worker  -> manager: ProofResponse (the requested TrainStates)
+//
+// Encodings are canonical (little-endian, fixed field order, length-
+// prefixed lists) so both sides hash identical bytes; every decode
+// validates lengths and rejects malformed input. The byte sizes of these
+// encodings are what the traffic accounting measures.
+
+#pragma once
+
+#include <optional>
+
+#include "core/commitment.h"
+
+namespace rpol::core {
+
+struct TaskAnnouncement {
+  std::int64_t epoch = 0;
+  std::uint64_t nonce = 0;
+  Hyperparams hp;
+  Digest initial_state_hash{};
+  std::optional<lsh::LshConfig> lsh;  // present for RPoLv2 epochs
+
+  bool operator==(const TaskAnnouncement& other) const;
+};
+
+struct ProofRequest {
+  std::vector<std::int64_t> transitions;  // sampled indices, ascending
+
+  bool operator==(const ProofRequest& other) const {
+    return transitions == other.transitions;
+  }
+};
+
+struct ProofResponse {
+  // For each requested transition: the input state, and (RPoLv1 or
+  // double-check) optionally the output state.
+  std::vector<TrainState> input_states;
+  std::vector<TrainState> output_states;  // may be empty (RPoLv2 fast path)
+};
+
+Bytes encode_task_announcement(const TaskAnnouncement& msg);
+TaskAnnouncement decode_task_announcement(const Bytes& in);
+
+Bytes encode_commitment(const Commitment& commitment);
+Commitment decode_commitment(const Bytes& in);
+
+Bytes encode_proof_request(const ProofRequest& msg);
+ProofRequest decode_proof_request(const Bytes& in);
+
+Bytes encode_proof_response(const ProofResponse& msg);
+ProofResponse decode_proof_response(const Bytes& in);
+
+Bytes encode_train_state(const TrainState& state);
+TrainState decode_train_state(const Bytes& in, std::size_t& offset);
+
+}  // namespace rpol::core

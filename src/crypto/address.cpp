@@ -1,0 +1,48 @@
+#include "crypto/address.h"
+
+#include <stdexcept>
+
+namespace rpol {
+
+namespace {
+bool is_lower_hex(char c) {
+  return (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f');
+}
+}  // namespace
+
+Address Address::from_seed(std::uint64_t seed) {
+  Bytes seed_bytes;
+  append_u64(seed_bytes, seed);
+  const Digest d = sha256(seed_bytes);
+  static const char* hex = "0123456789abcdef";
+  Address a;
+  a.hex_ = "0x";
+  for (int i = 0; i < 20; ++i) {
+    a.hex_.push_back(hex[d[i] >> 4]);
+    a.hex_.push_back(hex[d[i] & 0xF]);
+  }
+  return a;
+}
+
+Address Address::from_string(const std::string& hex) {
+  if (hex.size() != 42 || hex[0] != '0' || hex[1] != 'x') {
+    throw std::invalid_argument("malformed address: " + hex);
+  }
+  for (std::size_t i = 2; i < hex.size(); ++i) {
+    if (!is_lower_hex(hex[i])) {
+      throw std::invalid_argument("malformed address: " + hex);
+    }
+  }
+  Address a;
+  a.hex_ = hex;
+  return a;
+}
+
+Bytes Address::bytes() const {
+  Bytes out;
+  out.reserve(hex_.size());
+  for (const char c : hex_) out.push_back(static_cast<std::uint8_t>(c));
+  return out;
+}
+
+}  // namespace rpol

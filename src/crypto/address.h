@@ -1,0 +1,49 @@
+// Blockchain addresses.
+//
+// Consensus nodes (individual miners and pool managers) are identified by
+// addresses. We model an address as the hex encoding of the first 20 bytes
+// of SHA256(public-seed), mirroring the Ethereum-style derivation. The
+// address doubles as the seed of the AMLayer PRF (Sec. V-A), so it must be
+// canonical: lowercase hex, fixed 40 characters, "0x" prefix.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "crypto/sha256.h"
+
+namespace rpol {
+
+class Address {
+ public:
+  Address() = default;
+
+  // Derives an address from an account seed (stands in for a keypair).
+  static Address from_seed(std::uint64_t seed);
+
+  // Parses a canonical "0x" + 40 lowercase hex chars string; throws on
+  // malformed input.
+  static Address from_string(const std::string& hex);
+
+  const std::string& str() const { return hex_; }
+  bool valid() const { return !hex_.empty(); }
+
+  // Canonical byte encoding, used to key the AMLayer PRF.
+  Bytes bytes() const;
+
+  friend bool operator==(const Address& a, const Address& b) {
+    return a.hex_ == b.hex_;
+  }
+  friend bool operator!=(const Address& a, const Address& b) {
+    return !(a == b);
+  }
+  friend bool operator<(const Address& a, const Address& b) {
+    return a.hex_ < b.hex_;
+  }
+
+ private:
+  std::string hex_;  // "0x" + 40 lowercase hex chars, or empty if invalid.
+};
+
+}  // namespace rpol

@@ -1,0 +1,31 @@
+#include "crypto/hmac.h"
+
+namespace rpol {
+
+Digest hmac_sha256(const Bytes& key, const Bytes& message) {
+  constexpr std::size_t kBlockSize = 64;
+  Bytes k = key;
+  if (k.size() > kBlockSize) {
+    const Digest d = sha256(k);
+    k.assign(d.begin(), d.end());
+  }
+  k.resize(kBlockSize, 0x00);
+
+  Bytes inner_pad(kBlockSize), outer_pad(kBlockSize);
+  for (std::size_t i = 0; i < kBlockSize; ++i) {
+    inner_pad[i] = static_cast<std::uint8_t>(k[i] ^ 0x36);
+    outer_pad[i] = static_cast<std::uint8_t>(k[i] ^ 0x5c);
+  }
+
+  Sha256 inner;
+  inner.update(inner_pad);
+  inner.update(message);
+  const Digest inner_digest = inner.finish();
+
+  Sha256 outer;
+  outer.update(outer_pad);
+  outer.update(inner_digest.data(), inner_digest.size());
+  return outer.finish();
+}
+
+}  // namespace rpol

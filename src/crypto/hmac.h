@@ -1,0 +1,11 @@
+// HMAC-SHA256 (RFC 2104). The keyed primitive underneath the protocol PRF.
+
+#pragma once
+
+#include "crypto/sha256.h"
+
+namespace rpol {
+
+Digest hmac_sha256(const Bytes& key, const Bytes& message);
+
+}  // namespace rpol

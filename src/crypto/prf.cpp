@@ -1,0 +1,26 @@
+#include "crypto/prf.h"
+
+#include <stdexcept>
+
+namespace rpol {
+
+Prf::Prf(std::uint64_t key) {
+  append_u64(key_, key);
+}
+
+Digest Prf::eval_wide(std::uint64_t input) const {
+  Bytes msg;
+  append_u64(msg, input);
+  return hmac_sha256(key_, msg);
+}
+
+std::uint64_t Prf::eval(std::uint64_t input) const {
+  return digest_to_u64(eval_wide(input));
+}
+
+std::uint64_t Prf::eval_mod(std::uint64_t input, std::uint64_t modulus) const {
+  if (modulus == 0) throw std::invalid_argument("PRF modulus must be positive");
+  return eval(input) % modulus;
+}
+
+}  // namespace rpol

@@ -1,0 +1,43 @@
+// Protocol pseudo-random function.
+//
+// The paper uses PRF(N_t^w * m + n) mod |D_w| for stochastic-yet-
+// deterministic batch selection (Sec. V-B): the worker's data selection
+// looks random (so training steps differ and replaying an old result is
+// detectable) but is exactly reproducible by the manager during
+// verification. The same PRF derives AMLayer initialization streams from a
+// blockchain address and post-commitment sampling decisions.
+//
+// Construction: HMAC-SHA256(key, little-endian input), truncated to 64 bits.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "crypto/hmac.h"
+
+namespace rpol {
+
+class Prf {
+ public:
+  // Keyed by arbitrary bytes (e.g. a nonce or an address string).
+  explicit Prf(Bytes key) : key_(std::move(key)) {}
+  explicit Prf(const std::string& key)
+      : key_(key.begin(), key.end()) {}
+  explicit Prf(std::uint64_t key);
+
+  // PRF value for a 64-bit input.
+  std::uint64_t eval(std::uint64_t input) const;
+
+  // PRF value reduced modulo `modulus` (> 0) without modulo bias beyond
+  // 2^-64 (negligible for dataset-sized moduli).
+  std::uint64_t eval_mod(std::uint64_t input, std::uint64_t modulus) const;
+
+  // Full 32-byte output, used where a wide seed is needed (AMLayer init).
+  Digest eval_wide(std::uint64_t input) const;
+
+ private:
+  Bytes key_;
+};
+
+}  // namespace rpol

@@ -1,0 +1,47 @@
+// SHA-256 (FIPS 180-4). Self-contained implementation used for
+// commitments, Merkle trees, the PRF (via HMAC), and blockchain addresses.
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tensor/serialize.h"
+
+namespace rpol {
+
+using Digest = std::array<std::uint8_t, 32>;
+
+// Streaming hasher; use sha256() below for one-shot hashing.
+class Sha256 {
+ public:
+  Sha256();
+  void update(const std::uint8_t* data, std::size_t len);
+  void update(const Bytes& data) { update(data.data(), data.size()); }
+  void update(const std::string& s) {
+    update(reinterpret_cast<const std::uint8_t*>(s.data()), s.size());
+  }
+  // Finishes the hash. The hasher must not be reused afterwards.
+  Digest finish();
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_{};
+  std::array<std::uint8_t, 64> buffer_{};
+  std::size_t buffer_len_ = 0;
+  std::uint64_t total_len_ = 0;
+};
+
+Digest sha256(const Bytes& data);
+Digest sha256(const std::string& data);
+
+std::string digest_to_hex(const Digest& d);
+bool digest_equal(const Digest& a, const Digest& b);
+
+// First 8 bytes of the digest as a little-endian integer; handy for seeding.
+std::uint64_t digest_to_u64(const Digest& d);
+
+}  // namespace rpol

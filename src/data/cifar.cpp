@@ -1,0 +1,121 @@
+#include "data/cifar.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <stdexcept>
+
+namespace rpol::data {
+
+namespace {
+
+constexpr std::int64_t kPixels = 3 * 32 * 32;
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+std::vector<std::uint8_t> read_all(const std::string& path) {
+  FilePtr file(std::fopen(path.c_str(), "rb"));
+  if (!file) throw std::runtime_error("cannot open " + path);
+  std::fseek(file.get(), 0, SEEK_END);
+  const long size = std::ftell(file.get());
+  if (size < 0) throw std::runtime_error("cannot stat " + path);
+  std::fseek(file.get(), 0, SEEK_SET);
+  std::vector<std::uint8_t> bytes(static_cast<std::size_t>(size));
+  if (!bytes.empty() &&
+      std::fread(bytes.data(), 1, bytes.size(), file.get()) != bytes.size()) {
+    throw std::runtime_error("short read on " + path);
+  }
+  return bytes;
+}
+
+float pixel_to_float(std::uint8_t b) {
+  return static_cast<float>(b) / 127.5F - 1.0F;
+}
+
+std::uint8_t float_to_pixel(float v) {
+  const float scaled = (v + 1.0F) * 127.5F;
+  return static_cast<std::uint8_t>(
+      std::clamp(std::lround(scaled), 0L, 255L));
+}
+
+Dataset parse_records(const std::vector<std::vector<std::uint8_t>>& files,
+                      std::size_t label_bytes, std::size_t label_offset,
+                      std::int64_t num_classes) {
+  const std::size_t record = label_bytes + static_cast<std::size_t>(kPixels);
+  std::vector<float> examples;
+  std::vector<std::int64_t> labels;
+  for (const auto& bytes : files) {
+    if (bytes.empty() || bytes.size() % record != 0) {
+      throw std::runtime_error("malformed CIFAR file (size not a multiple of "
+                               "the record length)");
+    }
+    const std::size_t count = bytes.size() / record;
+    examples.reserve(examples.size() + count * static_cast<std::size_t>(kPixels));
+    labels.reserve(labels.size() + count);
+    for (std::size_t r = 0; r < count; ++r) {
+      const std::uint8_t* rec = bytes.data() + r * record;
+      const std::int64_t label = rec[label_offset];
+      if (label >= num_classes) {
+        throw std::runtime_error("CIFAR label out of range");
+      }
+      labels.push_back(label);
+      for (std::int64_t p = 0; p < kPixels; ++p) {
+        examples.push_back(pixel_to_float(rec[label_bytes + static_cast<std::size_t>(p)]));
+      }
+    }
+  }
+  return Dataset({3, 32, 32}, std::move(examples), std::move(labels),
+                 num_classes);
+}
+
+}  // namespace
+
+Dataset load_cifar10_binary(const std::vector<std::string>& paths) {
+  if (paths.empty()) throw std::invalid_argument("no CIFAR-10 files given");
+  std::vector<std::vector<std::uint8_t>> files;
+  files.reserve(paths.size());
+  for (const auto& path : paths) files.push_back(read_all(path));
+  return parse_records(files, /*label_bytes=*/1, /*label_offset=*/0,
+                       /*num_classes=*/10);
+}
+
+Dataset load_cifar100_binary(const std::string& path) {
+  std::vector<std::vector<std::uint8_t>> files;
+  files.push_back(read_all(path));
+  // Record: coarse label, fine label, pixels; we classify on fine labels.
+  return parse_records(files, /*label_bytes=*/2, /*label_offset=*/1,
+                       /*num_classes=*/100);
+}
+
+void write_cifar10_binary(const Dataset& dataset, const std::string& path) {
+  if (dataset.example_shape() != Shape{3, 32, 32}) {
+    throw std::invalid_argument("CIFAR writer needs 3x32x32 examples");
+  }
+  if (dataset.num_classes() > 256) {
+    throw std::invalid_argument("CIFAR writer supports <= 256 classes");
+  }
+  FilePtr file(std::fopen(path.c_str(), "wb"));
+  if (!file) throw std::runtime_error("cannot create " + path);
+  std::vector<float> example(static_cast<std::size_t>(kPixels));
+  std::vector<std::uint8_t> record(1 + static_cast<std::size_t>(kPixels));
+  for (std::int64_t i = 0; i < dataset.size(); ++i) {
+    dataset.copy_example(i, example.data());
+    record[0] = static_cast<std::uint8_t>(dataset.label(i));
+    for (std::int64_t p = 0; p < kPixels; ++p) {
+      record[1 + static_cast<std::size_t>(p)] =
+          float_to_pixel(example[static_cast<std::size_t>(p)]);
+    }
+    if (std::fwrite(record.data(), 1, record.size(), file.get()) !=
+        record.size()) {
+      throw std::runtime_error("short write on " + path);
+    }
+  }
+}
+
+}  // namespace rpol::data

@@ -1,0 +1,41 @@
+// CIFAR-10/100 binary-format loader.
+//
+// The paper evaluates on CIFAR-10/100; this repository substitutes
+// synthetic data (DESIGN.md §1) because the environment is offline, but a
+// downstream user with the real files can load them directly:
+//
+//   auto train = data::load_cifar10_binary({"data_batch_1.bin", ...});
+//
+// Format (https://www.cs.toronto.edu/~kriz/cifar.html):
+//   CIFAR-10 : records of 1 label byte + 3072 pixel bytes (3x32x32, RGB
+//              planar, row-major);
+//   CIFAR-100: records of 1 coarse-label byte + 1 fine-label byte + 3072
+//              pixel bytes.
+// Pixels are normalized to [-1, 1] floats.
+//
+// A writer for the same format exists so tests can round-trip without the
+// real dataset.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace rpol::data {
+
+// Loads one or more CIFAR-10 batch files (each 10000 records, but any
+// record count is accepted). Throws on I/O errors or malformed sizes.
+Dataset load_cifar10_binary(const std::vector<std::string>& paths);
+
+// Loads a CIFAR-100 file using the fine labels (100 classes).
+Dataset load_cifar100_binary(const std::string& path);
+
+// Writes `dataset` (which must have 3x32x32 examples and <= 256 classes)
+// in CIFAR-10 binary format — primarily for tests and for exporting
+// synthetic data to tools that expect the CIFAR layout. Pixel floats are
+// mapped from [-1, 1] back to bytes with clamping.
+void write_cifar10_binary(const Dataset& dataset, const std::string& path);
+
+}  // namespace rpol::data

@@ -1,0 +1,73 @@
+#include "data/dataset.h"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace rpol::data {
+
+Dataset::Dataset(Shape example_shape, std::vector<float> examples,
+                 std::vector<std::int64_t> labels, std::int64_t num_classes)
+    : example_shape_(std::move(example_shape)),
+      example_numel_(shape_numel(example_shape_)),
+      examples_(std::move(examples)),
+      labels_(std::move(labels)),
+      num_classes_(num_classes) {
+  if (examples_.size() != labels_.size() * static_cast<std::size_t>(example_numel_)) {
+    throw std::invalid_argument("dataset example/label size mismatch");
+  }
+  for (const auto l : labels_) {
+    if (l < 0 || l >= num_classes_) {
+      throw std::invalid_argument("dataset label out of range");
+    }
+  }
+}
+
+void Dataset::copy_example(std::int64_t index, float* dst) const {
+  const float* src =
+      examples_.data() + static_cast<std::size_t>(index * example_numel_);
+  std::memcpy(dst, src, static_cast<std::size_t>(example_numel_) * sizeof(float));
+}
+
+Tensor Dataset::make_batch(const std::vector<std::int64_t>& indices,
+                           std::vector<std::int64_t>& labels_out) const {
+  Shape batch_shape;
+  batch_shape.push_back(static_cast<std::int64_t>(indices.size()));
+  batch_shape.insert(batch_shape.end(), example_shape_.begin(), example_shape_.end());
+  Tensor batch(batch_shape);
+  labels_out.resize(indices.size());
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    const std::int64_t idx = indices[i];
+    if (idx < 0 || idx >= size()) throw std::out_of_range("batch index out of range");
+    copy_example(idx, batch.data() + i * static_cast<std::size_t>(example_numel_));
+    labels_out[i] = label(idx);
+  }
+  return batch;
+}
+
+DatasetView::DatasetView(const Dataset* parent, std::vector<std::int64_t> indices)
+    : parent_(parent), indices_(std::move(indices)) {
+  for (const auto idx : indices_) {
+    if (idx < 0 || idx >= parent_->size()) {
+      throw std::out_of_range("dataset view index out of range");
+    }
+  }
+}
+
+DatasetView DatasetView::whole(const Dataset& parent) {
+  std::vector<std::int64_t> idx(static_cast<std::size_t>(parent.size()));
+  for (std::int64_t i = 0; i < parent.size(); ++i) idx[static_cast<std::size_t>(i)] = i;
+  return DatasetView(&parent, std::move(idx));
+}
+
+Tensor DatasetView::make_batch(const std::vector<std::int64_t>& view_indices,
+                               std::vector<std::int64_t>& labels_out) const {
+  std::vector<std::int64_t> parent_indices(view_indices.size());
+  for (std::size_t i = 0; i < view_indices.size(); ++i) {
+    const std::int64_t vi = view_indices[i];
+    if (vi < 0 || vi >= size()) throw std::out_of_range("view batch index");
+    parent_indices[i] = indices_[static_cast<std::size_t>(vi)];
+  }
+  return parent_->make_batch(parent_indices, labels_out);
+}
+
+}  // namespace rpol::data

@@ -1,0 +1,78 @@
+// Dataset containers.
+//
+// A Dataset owns a flat store of fixed-shape examples plus labels. Views
+// (sub-datasets for pool workers) reference the parent by index list, so
+// partitioning the training set across n workers (Sec. II-A) costs no
+// copies and the PRF-selected batch indices map 1:1 onto what the paper
+// calls "the n-th data from the sub-dataset D_w".
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace rpol::data {
+
+class Dataset {
+ public:
+  Dataset() = default;
+
+  // example_shape excludes the leading batch dimension (e.g. {3, 8, 8} for
+  // images or {32} for feature vectors).
+  Dataset(Shape example_shape, std::vector<float> examples,
+          std::vector<std::int64_t> labels, std::int64_t num_classes);
+
+  std::int64_t size() const { return static_cast<std::int64_t>(labels_.size()); }
+  std::int64_t num_classes() const { return num_classes_; }
+  const Shape& example_shape() const { return example_shape_; }
+  std::int64_t example_numel() const { return example_numel_; }
+
+  std::int64_t label(std::int64_t index) const {
+    return labels_[static_cast<std::size_t>(index)];
+  }
+
+  // Copies the example at `index` into `dst` (example_numel floats).
+  void copy_example(std::int64_t index, float* dst) const;
+
+  // Assembles a batch tensor of shape {indices.size(), example_shape...}
+  // and the matching label vector.
+  Tensor make_batch(const std::vector<std::int64_t>& indices,
+                    std::vector<std::int64_t>& labels_out) const;
+
+ private:
+  Shape example_shape_;
+  std::int64_t example_numel_ = 0;
+  std::vector<float> examples_;  // size() * example_numel_
+  std::vector<std::int64_t> labels_;
+  std::int64_t num_classes_ = 0;
+};
+
+// An index-based view into a parent dataset. Views are cheap to copy.
+class DatasetView {
+ public:
+  DatasetView() = default;
+  DatasetView(const Dataset* parent, std::vector<std::int64_t> indices);
+
+  // A view of the whole dataset in natural order.
+  static DatasetView whole(const Dataset& parent);
+
+  std::int64_t size() const { return static_cast<std::int64_t>(indices_.size()); }
+  std::int64_t num_classes() const { return parent_->num_classes(); }
+  const Dataset& parent() const { return *parent_; }
+
+  std::int64_t parent_index(std::int64_t i) const {
+    return indices_[static_cast<std::size_t>(i)];
+  }
+
+  Tensor make_batch(const std::vector<std::int64_t>& view_indices,
+                    std::vector<std::int64_t>& labels_out) const;
+
+ private:
+  const Dataset* parent_ = nullptr;
+  std::vector<std::int64_t> indices_;
+};
+
+}  // namespace rpol::data

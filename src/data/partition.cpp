@@ -1,0 +1,107 @@
+#include "data/partition.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace rpol::data {
+
+std::vector<DatasetView> shuffle_and_partition(const Dataset& dataset,
+                                               std::int64_t parts,
+                                               std::uint64_t seed) {
+  if (parts < 1) throw std::invalid_argument("parts must be >= 1");
+  Rng rng(seed);
+  const auto perm = rng.permutation(static_cast<std::size_t>(dataset.size()));
+  const std::int64_t per_part = dataset.size() / parts;
+  if (per_part == 0) throw std::invalid_argument("dataset too small to partition");
+
+  std::vector<DatasetView> views;
+  views.reserve(static_cast<std::size_t>(parts));
+  for (std::int64_t p = 0; p < parts; ++p) {
+    std::vector<std::int64_t> indices(static_cast<std::size_t>(per_part));
+    for (std::int64_t i = 0; i < per_part; ++i) {
+      indices[static_cast<std::size_t>(i)] =
+          static_cast<std::int64_t>(perm[static_cast<std::size_t>(p * per_part + i)]);
+    }
+    views.emplace_back(&dataset, std::move(indices));
+  }
+  return views;
+}
+
+std::vector<DatasetView> partition_label_skew(const Dataset& dataset,
+                                              std::int64_t parts,
+                                              double iid_fraction,
+                                              std::uint64_t seed) {
+  if (parts < 1) throw std::invalid_argument("parts must be >= 1");
+  if (iid_fraction < 0.0 || iid_fraction > 1.0) {
+    throw std::invalid_argument("iid_fraction must be in [0, 1]");
+  }
+  Rng rng(seed);
+  const auto perm = rng.permutation(static_cast<std::size_t>(dataset.size()));
+
+  // Split the shuffled indices into a uniform pool and a label-sorted pool.
+  const std::size_t iid_count = static_cast<std::size_t>(
+      iid_fraction * static_cast<double>(dataset.size()));
+  std::vector<std::int64_t> uniform_pool, skew_pool;
+  for (std::size_t i = 0; i < perm.size(); ++i) {
+    const auto idx = static_cast<std::int64_t>(perm[i]);
+    if (i < iid_count) {
+      uniform_pool.push_back(idx);
+    } else {
+      skew_pool.push_back(idx);
+    }
+  }
+  std::stable_sort(skew_pool.begin(), skew_pool.end(),
+                   [&dataset](std::int64_t a, std::int64_t b) {
+                     return dataset.label(a) < dataset.label(b);
+                   });
+
+  // Deal both pools in contiguous shards so each part gets its share of the
+  // uniform pool plus one label-sorted shard.
+  const std::int64_t per_part = dataset.size() / parts;
+  if (per_part == 0) throw std::invalid_argument("dataset too small to partition");
+  const std::size_t uniform_per_part = uniform_pool.size() / static_cast<std::size_t>(parts);
+  const std::size_t skew_per_part = skew_pool.size() / static_cast<std::size_t>(parts);
+
+  std::vector<DatasetView> views;
+  views.reserve(static_cast<std::size_t>(parts));
+  for (std::int64_t p = 0; p < parts; ++p) {
+    std::vector<std::int64_t> indices;
+    indices.reserve(uniform_per_part + skew_per_part);
+    const std::size_t u0 = static_cast<std::size_t>(p) * uniform_per_part;
+    indices.insert(indices.end(), uniform_pool.begin() + static_cast<std::ptrdiff_t>(u0),
+                   uniform_pool.begin() + static_cast<std::ptrdiff_t>(u0 + uniform_per_part));
+    const std::size_t s0 = static_cast<std::size_t>(p) * skew_per_part;
+    indices.insert(indices.end(), skew_pool.begin() + static_cast<std::ptrdiff_t>(s0),
+                   skew_pool.begin() + static_cast<std::ptrdiff_t>(s0 + skew_per_part));
+    views.emplace_back(&dataset, std::move(indices));
+  }
+  return views;
+}
+
+TrainTestSplit train_test_split(const Dataset& dataset, double test_fraction,
+                                std::uint64_t seed) {
+  if (test_fraction <= 0.0 || test_fraction >= 1.0) {
+    throw std::invalid_argument("test_fraction must be in (0, 1)");
+  }
+  Rng rng(seed);
+  const auto perm = rng.permutation(static_cast<std::size_t>(dataset.size()));
+  const std::int64_t test_count =
+      static_cast<std::int64_t>(test_fraction * static_cast<double>(dataset.size()));
+  if (test_count == 0 || test_count == dataset.size()) {
+    throw std::invalid_argument("degenerate train/test split");
+  }
+  std::vector<std::int64_t> test_idx, train_idx;
+  test_idx.reserve(static_cast<std::size_t>(test_count));
+  train_idx.reserve(static_cast<std::size_t>(dataset.size() - test_count));
+  for (std::size_t i = 0; i < perm.size(); ++i) {
+    if (static_cast<std::int64_t>(i) < test_count) {
+      test_idx.push_back(static_cast<std::int64_t>(perm[i]));
+    } else {
+      train_idx.push_back(static_cast<std::int64_t>(perm[i]));
+    }
+  }
+  return {DatasetView(&dataset, std::move(train_idx)),
+          DatasetView(&dataset, std::move(test_idx))};
+}
+
+}  // namespace rpol::data

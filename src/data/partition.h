@@ -1,0 +1,47 @@
+// Deterministic shuffling and i.i.d. partitioning.
+//
+// Sec. II-A / V-C: the manager randomly shuffles the dataset and divides it
+// equally — into n sub-datasets for the workers, or n+1 so the manager can
+// keep one i.i.d. sub-task for LSH calibration. Class-balanced synthetic
+// data + a seeded uniform shuffle makes every part i.i.d. by construction.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.h"
+#include "tensor/rng.h"
+
+namespace rpol::data {
+
+// Splits `dataset` into `parts` equal views after a seeded shuffle.
+// A remainder of size() % parts examples is dropped, matching the paper's
+// "equally divided" phrasing. parts must be >= 1.
+std::vector<DatasetView> shuffle_and_partition(const Dataset& dataset,
+                                               std::int64_t parts,
+                                               std::uint64_t seed);
+
+// Deterministic train/test split: first `test_fraction` of the shuffled
+// indices become the test view.
+struct TrainTestSplit {
+  DatasetView train;
+  DatasetView test;
+};
+TrainTestSplit train_test_split(const Dataset& dataset, double test_fraction,
+                                std::uint64_t seed);
+
+// Label-skewed (non-i.i.d.) partitioning: an `iid_fraction` of the examples
+// is spread uniformly; the rest is sorted by label and dealt in contiguous
+// shards, so each part over-represents a few classes. iid_fraction = 1
+// degenerates to shuffle_and_partition; 0 gives fully sorted shards.
+//
+// The paper's adaptive calibration ASSUMES i.i.d. sub-datasets (Sec. V-C);
+// this partitioner exists to probe what breaks when that assumption fails
+// (see bench_ablations).
+std::vector<DatasetView> partition_label_skew(const Dataset& dataset,
+                                              std::int64_t parts,
+                                              double iid_fraction,
+                                              std::uint64_t seed);
+
+}  // namespace rpol::data

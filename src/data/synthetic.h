@@ -1,0 +1,62 @@
+// Synthetic dataset generators standing in for CIFAR-10/100 and ImageNet.
+//
+// Substitution rationale (see DESIGN.md §1): the paper's experiments need a
+// *learnable, i.i.d.-partitionable classification task*, not natural images.
+// We synthesize class-conditioned images: each class owns a random spatial
+// frequency pattern plus a color bias; examples are the class pattern plus
+// per-example Gaussian pixel noise. Difficulty (class separation vs noise)
+// is tunable so accuracy curves have the paper's familiar rising shape.
+//
+// A feature-vector variant (Gaussian blobs) serves the protocol-heavy
+// sweeps where an MLP is the training task.
+
+#pragma once
+
+#include <cstdint>
+
+#include "data/dataset.h"
+#include "tensor/rng.h"
+
+namespace rpol::data {
+
+struct SyntheticImageConfig {
+  std::int64_t num_classes = 10;
+  std::int64_t num_examples = 512;
+  std::int64_t channels = 3;
+  std::int64_t image_size = 8;
+  float noise_stddev = 0.6F;     // per-pixel Gaussian noise
+  float pattern_scale = 1.0F;    // class pattern amplitude
+  // Spatial-frequency band of the class patterns, in cycles per image.
+  // Low frequencies give robust, linearly-separable classes; frequencies
+  // near Nyquist give fragile classes whose accuracy collapses under a
+  // random invertible remap — the CIFAR-like regime the AMLayer
+  // address-replacing experiment (Table I) needs.
+  float min_frequency = 0.5F;
+  float max_frequency = 3.0F;
+  // Phase-coded classes: all classes share one carrier frequency and are
+  // distinguished only by the carrier's phase. Class means then sit close
+  // together (margins are small relative to the input norm), which makes
+  // trained models fragile to input remappings — the regime where the
+  // AMLayer address-replacing attack collapses accuracy as it does on
+  // CIFAR (Table I). The default (false) keeps per-class random carriers,
+  // which give robust, widely separated classes.
+  bool phase_coded = false;
+  std::uint64_t seed = 1234;
+};
+
+// "CIFAR-like" synthetic image classification set.
+Dataset make_synthetic_images(const SyntheticImageConfig& cfg);
+
+struct SyntheticBlobConfig {
+  std::int64_t num_classes = 10;
+  std::int64_t num_examples = 2048;
+  std::int64_t features = 32;
+  float class_separation = 2.0F;  // distance between class centers
+  float noise_stddev = 1.0F;
+  std::uint64_t seed = 1234;
+};
+
+// Gaussian-blob feature-vector classification set.
+Dataset make_synthetic_blobs(const SyntheticBlobConfig& cfg);
+
+}  // namespace rpol::data

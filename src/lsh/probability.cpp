@@ -1,0 +1,68 @@
+#include "lsh/probability.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace rpol::lsh {
+
+double norm_cdf(double x) {
+  return 0.5 * std::erfc(-x / std::sqrt(2.0));
+}
+
+double collision_probability(double c, double r) {
+  if (r <= 0.0) throw std::invalid_argument("LSH width r must be positive");
+  if (c < 0.0) throw std::invalid_argument("distance must be non-negative");
+  if (c == 0.0) return 1.0;
+  const double ratio = r / c;
+  const double term1 = 2.0 * norm_cdf(-ratio);
+  const double term2 = (2.0 / (std::sqrt(2.0 * 3.14159265358979323846) * ratio)) *
+                       (1.0 - std::exp(-0.5 * ratio * ratio));
+  const double p = 1.0 - term1 - term2;
+  // Clamp tiny negative round-off for extreme c/r ratios.
+  return std::min(1.0, std::max(0.0, p));
+}
+
+double match_probability(double c, const LshParams& params) {
+  if (params.k < 1 || params.l < 1) {
+    throw std::invalid_argument("LSH k and l must be >= 1");
+  }
+  const double p = collision_probability(c, params.r);
+  const double group = std::pow(p, params.k);
+  return 1.0 - std::pow(1.0 - group, params.l);
+}
+
+double expected_fnr(const std::function<double(double)>& repr_pdf, double beta,
+                    const LshParams& params, int quadrature_steps) {
+  if (beta <= 0.0) throw std::invalid_argument("beta must be positive");
+  const double h = beta / quadrature_steps;
+  double acc = 0.0;
+  // Midpoint rule; the integrand is smooth.
+  for (int i = 0; i < quadrature_steps; ++i) {
+    const double c = (i + 0.5) * h;
+    acc += repr_pdf(c) * (1.0 - match_probability(c, params));
+  }
+  return acc * h;
+}
+
+double expected_fpr(const std::function<double(double)>& spoof_pdf, double beta,
+                    double upper, const LshParams& params, int quadrature_steps) {
+  if (upper <= beta) throw std::invalid_argument("upper must exceed beta");
+  const double h = (upper - beta) / quadrature_steps;
+  double acc = 0.0;
+  for (int i = 0; i < quadrature_steps; ++i) {
+    const double c = beta + (i + 0.5) * h;
+    acc += spoof_pdf(c) * match_probability(c, params);
+  }
+  return acc * h;
+}
+
+std::function<double(double)> normal_pdf(double mean, double stddev) {
+  if (stddev <= 0.0) throw std::invalid_argument("stddev must be positive");
+  const double inv = 1.0 / (stddev * std::sqrt(2.0 * 3.14159265358979323846));
+  return [mean, stddev, inv](double x) {
+    const double z = (x - mean) / stddev;
+    return inv * std::exp(-0.5 * z * z);
+  };
+}
+
+}  // namespace rpol::lsh

@@ -1,0 +1,45 @@
+#include "lsh/tuning.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace rpol::lsh {
+
+TuningResult optimize_lsh(double alpha, double beta, int k_lsh_budget,
+                          const TuningObjective& objective) {
+  if (!(alpha > 0.0) || !(beta > alpha)) {
+    throw std::invalid_argument("require 0 < alpha < beta");
+  }
+  if (k_lsh_budget < 1) throw std::invalid_argument("K_lsh budget must be >= 1");
+
+  const double r_lo = alpha / objective.grid_span;
+  const double r_hi = beta * objective.grid_span;
+  const double log_lo = std::log(r_lo);
+  const double log_hi = std::log(r_hi);
+
+  TuningResult best;
+  best.objective = 1e300;
+  for (int k = 1; k <= k_lsh_budget; ++k) {
+    for (int l = 1; k * l <= k_lsh_budget; ++l) {
+      for (int gi = 0; gi < objective.r_grid_points; ++gi) {
+        const double t =
+            static_cast<double>(gi) / (objective.r_grid_points - 1);
+        const double r = std::exp(log_lo + t * (log_hi - log_lo));
+        const LshParams params{r, k, l};
+        const double pr_a = match_probability(alpha, params);
+        const double pr_b = match_probability(beta, params);
+        const double obj =
+            objective.weight_fn * (1.0 - pr_a) + objective.weight_fp * pr_b;
+        if (obj < best.objective) {
+          best.objective = obj;
+          best.params = params;
+          best.pr_alpha = pr_a;
+          best.pr_beta = pr_b;
+        }
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace rpol::lsh

@@ -1,0 +1,36 @@
+// LSH parameter selection (Sec. V-C, Eq. 6).
+//
+// Given the distance bounds alpha (tolerate: reproduction errors) and beta
+// (reject: spoofed weights) and the compute budget K_lsh >= k*l, find
+// {r, k, l} minimizing the two objectives
+//     1 - Pr_lsh(alpha)   (miss honest results)
+//     Pr_lsh(beta)        (pass spoofed results)
+// combined by simple additive weighting. The search enumerates every (k, l)
+// pair within budget and sweeps r over a geometric grid spanning
+// [alpha / grid_span, beta * grid_span].
+
+#pragma once
+
+#include "lsh/probability.h"
+
+namespace rpol::lsh {
+
+struct TuningObjective {
+  double weight_fn = 0.5;  // weight on 1 - Pr(alpha)
+  double weight_fp = 0.5;  // weight on Pr(beta)
+  int r_grid_points = 96;
+  double grid_span = 8.0;
+};
+
+struct TuningResult {
+  LshParams params;
+  double pr_alpha = 0.0;   // achieved Pr_lsh(alpha) — want high (>= ~0.95)
+  double pr_beta = 0.0;    // achieved Pr_lsh(beta)  — want low  (<= ~0.05)
+  double objective = 0.0;  // weighted SAW objective at the optimum
+};
+
+// alpha < beta required; k_lsh_budget >= 1.
+TuningResult optimize_lsh(double alpha, double beta, int k_lsh_budget,
+                          const TuningObjective& objective = {});
+
+}  // namespace rpol::lsh

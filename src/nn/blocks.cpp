@@ -1,0 +1,150 @@
+#include "nn/blocks.h"
+
+namespace rpol::nn {
+
+// ---------------------------------------------------------------------------
+// Sequential
+
+Tensor Sequential::forward(const Tensor& input, bool training) {
+  Tensor x = input;
+  for (auto& layer : layers_) x = layer->forward(x, training);
+  return x;
+}
+
+Tensor Sequential::backward(const Tensor& grad_output) {
+  Tensor g = grad_output;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+    g = (*it)->backward(g);
+  }
+  return g;
+}
+
+void Sequential::collect_params(std::vector<Param*>& out) {
+  for (auto& layer : layers_) layer->collect_params(out);
+}
+
+Shape Sequential::output_shape(const Shape& input_shape) const {
+  Shape s = input_shape;
+  for (const auto& layer : layers_) s = layer->output_shape(s);
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// BasicBlock
+
+BasicBlock::BasicBlock(std::int64_t in_channels, std::int64_t out_channels,
+                       std::int64_t stride, Rng& rng, std::string name)
+    : name_(std::move(name)), main_(name_ + ".main"), skip_(name_ + ".skip"),
+      out_relu_(name_ + ".out_relu"),
+      identity_skip_(stride == 1 && in_channels == out_channels) {
+  main_.add(std::make_unique<Conv2d>(
+      Conv2dSpec{in_channels, out_channels, 3, stride, 1}, rng, /*bias=*/false,
+      name_ + ".conv1"));
+  main_.add(std::make_unique<BatchNorm2d>(out_channels, 0.1F, 1e-5F, name_ + ".bn1"));
+  main_.add(std::make_unique<ReLU>(name_ + ".relu1"));
+  main_.add(std::make_unique<Conv2d>(
+      Conv2dSpec{out_channels, out_channels, 3, 1, 1}, rng, /*bias=*/false,
+      name_ + ".conv2"));
+  main_.add(std::make_unique<BatchNorm2d>(out_channels, 0.1F, 1e-5F, name_ + ".bn2"));
+  if (!identity_skip_) {
+    skip_.add(std::make_unique<Conv2d>(
+        Conv2dSpec{in_channels, out_channels, 1, stride, 0}, rng, /*bias=*/false,
+        name_ + ".proj"));
+    skip_.add(std::make_unique<BatchNorm2d>(out_channels, 0.1F, 1e-5F,
+                                            name_ + ".proj_bn"));
+  }
+}
+
+Tensor BasicBlock::forward(const Tensor& input, bool training) {
+  Tensor main_out = main_.forward(input, training);
+  if (identity_skip_) {
+    main_out += input;
+  } else {
+    main_out += skip_.forward(input, training);
+  }
+  return out_relu_.forward(main_out, training);
+}
+
+Tensor BasicBlock::backward(const Tensor& grad_output) {
+  const Tensor g_sum = out_relu_.backward(grad_output);
+  Tensor dx = main_.backward(g_sum);
+  if (identity_skip_) {
+    dx += g_sum;
+  } else {
+    dx += skip_.backward(g_sum);
+  }
+  return dx;
+}
+
+void BasicBlock::collect_params(std::vector<Param*>& out) {
+  main_.collect_params(out);
+  skip_.collect_params(out);
+}
+
+Shape BasicBlock::output_shape(const Shape& input_shape) const {
+  return main_.output_shape(input_shape);
+}
+
+// ---------------------------------------------------------------------------
+// BottleneckBlock
+
+BottleneckBlock::BottleneckBlock(std::int64_t in_channels, std::int64_t mid_channels,
+                                 std::int64_t stride, Rng& rng, std::string name)
+    : name_(std::move(name)), main_(name_ + ".main"), skip_(name_ + ".skip"),
+      out_relu_(name_ + ".out_relu"),
+      identity_skip_(stride == 1 && in_channels == mid_channels * kExpansion) {
+  const std::int64_t out_channels = mid_channels * kExpansion;
+  main_.add(std::make_unique<Conv2d>(
+      Conv2dSpec{in_channels, mid_channels, 1, 1, 0}, rng, /*bias=*/false,
+      name_ + ".conv1"));
+  main_.add(std::make_unique<BatchNorm2d>(mid_channels, 0.1F, 1e-5F, name_ + ".bn1"));
+  main_.add(std::make_unique<ReLU>(name_ + ".relu1"));
+  main_.add(std::make_unique<Conv2d>(
+      Conv2dSpec{mid_channels, mid_channels, 3, stride, 1}, rng, /*bias=*/false,
+      name_ + ".conv2"));
+  main_.add(std::make_unique<BatchNorm2d>(mid_channels, 0.1F, 1e-5F, name_ + ".bn2"));
+  main_.add(std::make_unique<ReLU>(name_ + ".relu2"));
+  main_.add(std::make_unique<Conv2d>(
+      Conv2dSpec{mid_channels, out_channels, 1, 1, 0}, rng, /*bias=*/false,
+      name_ + ".conv3"));
+  main_.add(std::make_unique<BatchNorm2d>(out_channels, 0.1F, 1e-5F, name_ + ".bn3"));
+  if (!identity_skip_) {
+    skip_.add(std::make_unique<Conv2d>(
+        Conv2dSpec{in_channels, out_channels, 1, stride, 0}, rng, /*bias=*/false,
+        name_ + ".proj"));
+    skip_.add(std::make_unique<BatchNorm2d>(out_channels, 0.1F, 1e-5F,
+                                            name_ + ".proj_bn"));
+  }
+}
+
+Tensor BottleneckBlock::forward(const Tensor& input, bool training) {
+  Tensor main_out = main_.forward(input, training);
+  if (identity_skip_) {
+    main_out += input;
+  } else {
+    main_out += skip_.forward(input, training);
+  }
+  return out_relu_.forward(main_out, training);
+}
+
+Tensor BottleneckBlock::backward(const Tensor& grad_output) {
+  const Tensor g_sum = out_relu_.backward(grad_output);
+  Tensor dx = main_.backward(g_sum);
+  if (identity_skip_) {
+    dx += g_sum;
+  } else {
+    dx += skip_.backward(g_sum);
+  }
+  return dx;
+}
+
+void BottleneckBlock::collect_params(std::vector<Param*>& out) {
+  main_.collect_params(out);
+  skip_.collect_params(out);
+}
+
+Shape BottleneckBlock::output_shape(const Shape& input_shape) const {
+  return main_.output_shape(input_shape);
+}
+
+}  // namespace rpol::nn

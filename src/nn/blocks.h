@@ -1,0 +1,77 @@
+// Composite layers: sequential container and ResNet-style residual blocks.
+
+#pragma once
+
+#include "nn/layers.h"
+
+namespace rpol::nn {
+
+// Runs child layers in order; backward in reverse order.
+class Sequential : public Layer {
+ public:
+  explicit Sequential(std::string name = "seq") : name_(std::move(name)) {}
+
+  void add(LayerPtr layer) { layers_.push_back(std::move(layer)); }
+  std::size_t size() const { return layers_.size(); }
+  Layer& layer(std::size_t i) { return *layers_.at(i); }
+
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  void collect_params(std::vector<Param*>& out) override;
+  std::string name() const override { return name_; }
+  Shape output_shape(const Shape& input_shape) const override;
+
+ private:
+  std::string name_;
+  std::vector<LayerPtr> layers_;
+};
+
+// ResNet basic block:
+//   main:  conv3x3(in->out, stride) -> BN -> ReLU -> conv3x3(out->out) -> BN
+//   skip:  identity, or conv1x1(in->out, stride) -> BN when shape changes
+//   out:   ReLU(main + skip)
+class BasicBlock : public Layer {
+ public:
+  BasicBlock(std::int64_t in_channels, std::int64_t out_channels,
+             std::int64_t stride, Rng& rng, std::string name = "basic");
+
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  void collect_params(std::vector<Param*>& out) override;
+  std::string name() const override { return name_; }
+  Shape output_shape(const Shape& input_shape) const override;
+
+ private:
+  std::string name_;
+  Sequential main_;
+  Sequential skip_;   // empty => identity skip
+  ReLU out_relu_;
+  bool identity_skip_;
+};
+
+// ResNet bottleneck block (expansion 4):
+//   main: conv1x1(in->mid) BN ReLU, conv3x3(mid->mid, stride) BN ReLU,
+//         conv1x1(mid->4*mid) BN
+//   skip: identity or conv1x1(in->4*mid, stride) BN
+class BottleneckBlock : public Layer {
+ public:
+  static constexpr std::int64_t kExpansion = 4;
+
+  BottleneckBlock(std::int64_t in_channels, std::int64_t mid_channels,
+                  std::int64_t stride, Rng& rng, std::string name = "bottleneck");
+
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  void collect_params(std::vector<Param*>& out) override;
+  std::string name() const override { return name_; }
+  Shape output_shape(const Shape& input_shape) const override;
+
+ private:
+  std::string name_;
+  Sequential main_;
+  Sequential skip_;
+  ReLU out_relu_;
+  bool identity_skip_;
+};
+
+}  // namespace rpol::nn

@@ -1,0 +1,64 @@
+// Layer abstraction for the explicit-backprop neural-network library.
+//
+// Unlike a tape-based autograd, every layer implements its own backward
+// pass and caches whatever it needs from the forward pass. This keeps the
+// training step function fully deterministic and easy to re-execute — the
+// property RPoL's verification depends on.
+//
+// Parameters and buffers are both represented as Param:
+//   * trainable == true  → updated by the optimizer, e.g. conv weights;
+//   * trainable == false → part of the model state but not optimized, e.g.
+//     BatchNorm running statistics and the frozen AMLayer weights.
+// Both kinds are included in the flattened training state so checkpoints
+// capture everything needed for exact step re-execution.
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/rng.h"
+#include "tensor/tensor.h"
+
+namespace rpol::nn {
+
+struct Param {
+  std::string name;
+  Tensor value;
+  Tensor grad;        // same shape as value; zeroed by Optimizer::zero_grad.
+  bool trainable = true;
+
+  Param() = default;
+  Param(std::string n, Tensor v, bool train = true)
+      : name(std::move(n)), value(std::move(v)), grad(value.shape()),
+        trainable(train) {}
+};
+
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  // Computes the layer output. `training` selects batch-vs-running
+  // statistics in BatchNorm and may be used by future stochastic layers.
+  virtual Tensor forward(const Tensor& input, bool training) = 0;
+
+  // Computes the gradient w.r.t. the layer input given the gradient w.r.t.
+  // the output of the most recent forward() call, accumulating parameter
+  // gradients along the way.
+  virtual Tensor backward(const Tensor& grad_output) = 0;
+
+  // Appends raw pointers to this layer's parameters (and buffers) in a
+  // deterministic order. Pointers remain valid for the layer's lifetime.
+  virtual void collect_params(std::vector<Param*>& out) { (void)out; }
+
+  virtual std::string name() const = 0;
+
+  // Output spatial/feature shape given an input shape; used by model
+  // builders to chain layers without running data through them.
+  virtual Shape output_shape(const Shape& input_shape) const = 0;
+};
+
+using LayerPtr = std::unique_ptr<Layer>;
+
+}  // namespace rpol::nn

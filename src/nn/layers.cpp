@@ -1,0 +1,447 @@
+#include "nn/layers.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace rpol::nn {
+
+namespace {
+
+// Rearranges a GEMM output of shape (C, N*H*W) — column index ordered as
+// (img*H + y)*W + x — into NCHW.
+Tensor gemm_out_to_nchw(const Tensor& gemm_out, std::int64_t n, std::int64_t c,
+                        std::int64_t h, std::int64_t w) {
+  Tensor out({n, c, h, w});
+  const std::int64_t hw = h * w;
+  const std::int64_t cols = n * hw;
+  const float* src = gemm_out.data();
+  float* dst = out.data();
+  for (std::int64_t ch = 0; ch < c; ++ch) {
+    for (std::int64_t img = 0; img < n; ++img) {
+      const float* s = src + ch * cols + img * hw;
+      float* d = dst + (img * c + ch) * hw;
+      for (std::int64_t i = 0; i < hw; ++i) d[i] = s[i];
+    }
+  }
+  return out;
+}
+
+// Inverse of gemm_out_to_nchw.
+Tensor nchw_to_gemm_out(const Tensor& nchw) {
+  const std::int64_t n = nchw.dim(0), c = nchw.dim(1);
+  const std::int64_t h = nchw.dim(2), w = nchw.dim(3);
+  const std::int64_t hw = h * w;
+  const std::int64_t cols = n * hw;
+  Tensor out({c, cols});
+  const float* src = nchw.data();
+  float* dst = out.data();
+  for (std::int64_t ch = 0; ch < c; ++ch) {
+    for (std::int64_t img = 0; img < n; ++img) {
+      const float* s = src + (img * c + ch) * hw;
+      float* d = dst + ch * cols + img * hw;
+      for (std::int64_t i = 0; i < hw; ++i) d[i] = s[i];
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Conv2d
+
+Conv2d::Conv2d(Conv2dSpec spec, Rng& rng, bool bias, std::string name)
+    : spec_(spec), has_bias_(bias), name_(std::move(name)) {
+  const std::int64_t fan_in = spec_.in_channels * spec_.kernel * spec_.kernel;
+  const float he_std = std::sqrt(2.0F / static_cast<float>(fan_in));
+  weight_ = Param(name_ + ".weight",
+                  Tensor::randn({spec_.out_channels, fan_in}, rng, he_std));
+  if (has_bias_) {
+    bias_ = Param(name_ + ".bias", Tensor::zeros({spec_.out_channels}));
+  }
+}
+
+Shape Conv2d::output_shape(const Shape& input_shape) const {
+  if (input_shape.size() != 4) throw std::invalid_argument("Conv2d expects NCHW");
+  return {input_shape[0], spec_.out_channels, spec_.out_size(input_shape[2]),
+          spec_.out_size(input_shape[3])};
+}
+
+Tensor Conv2d::forward(const Tensor& input, bool /*training*/) {
+  cached_input_shape_ = input.shape();
+  cached_cols_ = im2col(input, spec_);
+  Tensor gemm = matmul(weight_.value, cached_cols_);
+  const std::int64_t n = input.dim(0);
+  const std::int64_t oh = spec_.out_size(input.dim(2));
+  const std::int64_t ow = spec_.out_size(input.dim(3));
+  if (has_bias_) {
+    const std::int64_t cols = n * oh * ow;
+    float* p = gemm.data();
+    for (std::int64_t oc = 0; oc < spec_.out_channels; ++oc) {
+      const float b = bias_.value.at(oc);
+      for (std::int64_t j = 0; j < cols; ++j) p[oc * cols + j] += b;
+    }
+  }
+  return gemm_out_to_nchw(gemm, n, spec_.out_channels, oh, ow);
+}
+
+Tensor Conv2d::backward(const Tensor& grad_output) {
+  const Tensor grad_gemm = nchw_to_gemm_out(grad_output);
+  // dW += dY * cols^T
+  const Tensor dw = matmul_nt(grad_gemm, cached_cols_);
+  weight_.grad += dw;
+  if (has_bias_) {
+    const std::int64_t cols = grad_gemm.dim(1);
+    for (std::int64_t oc = 0; oc < spec_.out_channels; ++oc) {
+      double acc = 0.0;
+      for (std::int64_t j = 0; j < cols; ++j) acc += grad_gemm.at2(oc, j);
+      bias_.grad.at(oc) += static_cast<float>(acc);
+    }
+  }
+  // dX = col2im(W^T * dY)
+  const Tensor dcols = matmul_tn(weight_.value, grad_gemm);
+  return col2im(dcols, spec_, cached_input_shape_);
+}
+
+void Conv2d::collect_params(std::vector<Param*>& out) {
+  out.push_back(&weight_);
+  if (has_bias_) out.push_back(&bias_);
+}
+
+// ---------------------------------------------------------------------------
+// Linear
+
+Linear::Linear(std::int64_t in_features, std::int64_t out_features, Rng& rng,
+               std::string name)
+    : in_features_(in_features), out_features_(out_features),
+      name_(std::move(name)) {
+  const float he_std = std::sqrt(2.0F / static_cast<float>(in_features));
+  weight_ = Param(name_ + ".weight",
+                  Tensor::randn({out_features_, in_features_}, rng, he_std));
+  bias_ = Param(name_ + ".bias", Tensor::zeros({out_features_}));
+}
+
+Shape Linear::output_shape(const Shape& input_shape) const {
+  if (input_shape.size() != 2) throw std::invalid_argument("Linear expects (N, F)");
+  return {input_shape[0], out_features_};
+}
+
+Tensor Linear::forward(const Tensor& input, bool /*training*/) {
+  if (input.rank() != 2 || input.dim(1) != in_features_) {
+    throw std::invalid_argument("Linear input shape mismatch: " +
+                                shape_to_string(input.shape()));
+  }
+  cached_input_ = input;
+  Tensor out = matmul_nt(input, weight_.value);
+  const std::int64_t n = out.dim(0);
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t j = 0; j < out_features_; ++j) {
+      out.at2(i, j) += bias_.value.at(j);
+    }
+  }
+  return out;
+}
+
+Tensor Linear::backward(const Tensor& grad_output) {
+  // dW += dY^T X ; db += colsum(dY) ; dX = dY W
+  weight_.grad += matmul_tn(grad_output, cached_input_);
+  const std::int64_t n = grad_output.dim(0);
+  for (std::int64_t j = 0; j < out_features_; ++j) {
+    double acc = 0.0;
+    for (std::int64_t i = 0; i < n; ++i) acc += grad_output.at2(i, j);
+    bias_.grad.at(j) += static_cast<float>(acc);
+  }
+  return matmul(grad_output, weight_.value);
+}
+
+void Linear::collect_params(std::vector<Param*>& out) {
+  out.push_back(&weight_);
+  out.push_back(&bias_);
+}
+
+// ---------------------------------------------------------------------------
+// BatchNorm2d
+
+BatchNorm2d::BatchNorm2d(std::int64_t channels, float momentum, float eps,
+                         std::string name)
+    : channels_(channels), momentum_(momentum), eps_(eps), name_(std::move(name)) {
+  gamma_ = Param(name_ + ".gamma", Tensor::full({channels_}, 1.0F));
+  beta_ = Param(name_ + ".beta", Tensor::zeros({channels_}));
+  running_mean_ = Param(name_ + ".running_mean", Tensor::zeros({channels_}),
+                        /*train=*/false);
+  running_var_ = Param(name_ + ".running_var", Tensor::full({channels_}, 1.0F),
+                       /*train=*/false);
+}
+
+Tensor BatchNorm2d::forward(const Tensor& input, bool training) {
+  if (input.rank() != 4 || input.dim(1) != channels_) {
+    throw std::invalid_argument("BatchNorm2d input shape mismatch");
+  }
+  const std::int64_t n = input.dim(0), h = input.dim(2), w = input.dim(3);
+  const std::int64_t count = n * h * w;
+  Tensor out(input.shape());
+
+  cached_mean_.assign(static_cast<std::size_t>(channels_), 0.0F);
+  cached_inv_std_.assign(static_cast<std::size_t>(channels_), 0.0F);
+
+  for (std::int64_t c = 0; c < channels_; ++c) {
+    float mean = 0.0F, var = 0.0F;
+    if (training) {
+      double sum = 0.0;
+      for (std::int64_t img = 0; img < n; ++img)
+        for (std::int64_t y = 0; y < h; ++y)
+          for (std::int64_t x = 0; x < w; ++x) sum += input.at4(img, c, y, x);
+      mean = static_cast<float>(sum / static_cast<double>(count));
+      double sq = 0.0;
+      for (std::int64_t img = 0; img < n; ++img)
+        for (std::int64_t y = 0; y < h; ++y)
+          for (std::int64_t x = 0; x < w; ++x) {
+            const double d = input.at4(img, c, y, x) - mean;
+            sq += d * d;
+          }
+      var = static_cast<float>(sq / static_cast<double>(count));
+      running_mean_.value.at(c) =
+          (1.0F - momentum_) * running_mean_.value.at(c) + momentum_ * mean;
+      running_var_.value.at(c) =
+          (1.0F - momentum_) * running_var_.value.at(c) + momentum_ * var;
+    } else {
+      mean = running_mean_.value.at(c);
+      var = running_var_.value.at(c);
+    }
+    const float inv_std = 1.0F / std::sqrt(var + eps_);
+    cached_mean_[static_cast<std::size_t>(c)] = mean;
+    cached_inv_std_[static_cast<std::size_t>(c)] = inv_std;
+    const float g = gamma_.value.at(c), b = beta_.value.at(c);
+    for (std::int64_t img = 0; img < n; ++img)
+      for (std::int64_t y = 0; y < h; ++y)
+        for (std::int64_t x = 0; x < w; ++x) {
+          out.at4(img, c, y, x) = g * (input.at4(img, c, y, x) - mean) * inv_std + b;
+        }
+  }
+  cached_input_ = input;
+  return out;
+}
+
+Tensor BatchNorm2d::backward(const Tensor& grad_output) {
+  const Tensor& x = cached_input_;
+  const std::int64_t n = x.dim(0), h = x.dim(2), w = x.dim(3);
+  const std::int64_t count = n * h * w;
+  Tensor dx(x.shape());
+
+  for (std::int64_t c = 0; c < channels_; ++c) {
+    const float mean = cached_mean_[static_cast<std::size_t>(c)];
+    const float inv_std = cached_inv_std_[static_cast<std::size_t>(c)];
+    const float g = gamma_.value.at(c);
+    double sum_dy = 0.0, sum_dy_xhat = 0.0;
+    for (std::int64_t img = 0; img < n; ++img)
+      for (std::int64_t y = 0; y < h; ++y)
+        for (std::int64_t xx = 0; xx < w; ++xx) {
+          const float dy = grad_output.at4(img, c, y, xx);
+          const float xhat = (x.at4(img, c, y, xx) - mean) * inv_std;
+          sum_dy += dy;
+          sum_dy_xhat += static_cast<double>(dy) * xhat;
+        }
+    gamma_.grad.at(c) += static_cast<float>(sum_dy_xhat);
+    beta_.grad.at(c) += static_cast<float>(sum_dy);
+
+    const float inv_count = 1.0F / static_cast<float>(count);
+    for (std::int64_t img = 0; img < n; ++img)
+      for (std::int64_t y = 0; y < h; ++y)
+        for (std::int64_t xx = 0; xx < w; ++xx) {
+          const float dy = grad_output.at4(img, c, y, xx);
+          const float xhat = (x.at4(img, c, y, xx) - mean) * inv_std;
+          dx.at4(img, c, y, xx) =
+              g * inv_std *
+              (dy - static_cast<float>(sum_dy) * inv_count -
+               xhat * static_cast<float>(sum_dy_xhat) * inv_count);
+        }
+  }
+  return dx;
+}
+
+void BatchNorm2d::collect_params(std::vector<Param*>& out) {
+  out.push_back(&gamma_);
+  out.push_back(&beta_);
+  out.push_back(&running_mean_);
+  out.push_back(&running_var_);
+}
+
+// ---------------------------------------------------------------------------
+// ReLU
+
+Tensor ReLU::forward(const Tensor& input, bool /*training*/) {
+  Tensor out = input;
+  cached_mask_ = Tensor(input.shape());
+  float* po = out.data();
+  float* pm = cached_mask_.data();
+  const std::int64_t n = input.numel();
+  for (std::int64_t i = 0; i < n; ++i) {
+    if (po[i] > 0.0F) {
+      pm[i] = 1.0F;
+    } else {
+      po[i] = 0.0F;
+    }
+  }
+  return out;
+}
+
+Tensor ReLU::backward(const Tensor& grad_output) {
+  Tensor dx = grad_output;
+  const float* pm = cached_mask_.data();
+  float* pd = dx.data();
+  const std::int64_t n = dx.numel();
+  for (std::int64_t i = 0; i < n; ++i) pd[i] *= pm[i];
+  return dx;
+}
+
+// ---------------------------------------------------------------------------
+// MaxPool2d (2x2, stride 2)
+
+Shape MaxPool2d::output_shape(const Shape& input_shape) const {
+  return {input_shape[0], input_shape[1], input_shape[2] / 2, input_shape[3] / 2};
+}
+
+Tensor MaxPool2d::forward(const Tensor& input, bool /*training*/) {
+  const std::int64_t n = input.dim(0), c = input.dim(1);
+  const std::int64_t h = input.dim(2), w = input.dim(3);
+  if (h % 2 != 0 || w % 2 != 0) {
+    throw std::invalid_argument("MaxPool2d expects even spatial dims");
+  }
+  const std::int64_t oh = h / 2, ow = w / 2;
+  cached_input_shape_ = input.shape();
+  Tensor out({n, c, oh, ow});
+  cached_argmax_.assign(static_cast<std::size_t>(out.numel()), 0);
+  std::size_t oi = 0;
+  for (std::int64_t img = 0; img < n; ++img)
+    for (std::int64_t ch = 0; ch < c; ++ch)
+      for (std::int64_t y = 0; y < oh; ++y)
+        for (std::int64_t x = 0; x < ow; ++x) {
+          float best = -1e30F;
+          std::int64_t best_idx = 0;
+          for (std::int64_t dy = 0; dy < 2; ++dy)
+            for (std::int64_t dx = 0; dx < 2; ++dx) {
+              const std::int64_t yy = 2 * y + dy, xx = 2 * x + dx;
+              const float v = input.at4(img, ch, yy, xx);
+              if (v > best) {
+                best = v;
+                best_idx = ((img * c + ch) * h + yy) * w + xx;
+              }
+            }
+          out.at4(img, ch, y, x) = best;
+          cached_argmax_[oi++] = best_idx;
+        }
+  return out;
+}
+
+Tensor MaxPool2d::backward(const Tensor& grad_output) {
+  Tensor dx(cached_input_shape_);
+  const float* pg = grad_output.data();
+  float* pd = dx.data();
+  for (std::size_t i = 0; i < cached_argmax_.size(); ++i) {
+    pd[cached_argmax_[i]] += pg[i];
+  }
+  return dx;
+}
+
+// ---------------------------------------------------------------------------
+// GlobalAvgPool
+
+Shape GlobalAvgPool::output_shape(const Shape& input_shape) const {
+  return {input_shape[0], input_shape[1]};
+}
+
+Tensor GlobalAvgPool::forward(const Tensor& input, bool /*training*/) {
+  const std::int64_t n = input.dim(0), c = input.dim(1);
+  const std::int64_t h = input.dim(2), w = input.dim(3);
+  cached_input_shape_ = input.shape();
+  Tensor out({n, c});
+  const float inv = 1.0F / static_cast<float>(h * w);
+  for (std::int64_t img = 0; img < n; ++img)
+    for (std::int64_t ch = 0; ch < c; ++ch) {
+      double acc = 0.0;
+      for (std::int64_t y = 0; y < h; ++y)
+        for (std::int64_t x = 0; x < w; ++x) acc += input.at4(img, ch, y, x);
+      out.at2(img, ch) = static_cast<float>(acc) * inv;
+    }
+  return out;
+}
+
+Tensor GlobalAvgPool::backward(const Tensor& grad_output) {
+  const std::int64_t n = cached_input_shape_[0], c = cached_input_shape_[1];
+  const std::int64_t h = cached_input_shape_[2], w = cached_input_shape_[3];
+  Tensor dx(cached_input_shape_);
+  const float inv = 1.0F / static_cast<float>(h * w);
+  for (std::int64_t img = 0; img < n; ++img)
+    for (std::int64_t ch = 0; ch < c; ++ch) {
+      const float g = grad_output.at2(img, ch) * inv;
+      for (std::int64_t y = 0; y < h; ++y)
+        for (std::int64_t x = 0; x < w; ++x) dx.at4(img, ch, y, x) = g;
+    }
+  return dx;
+}
+
+// ---------------------------------------------------------------------------
+// Dropout
+
+Dropout::Dropout(float rate, std::uint64_t seed, std::string name)
+    : rate_(rate), seed_(seed), name_(std::move(name)),
+      counter_(name_ + ".counter", Tensor::zeros({1}), /*train=*/false) {
+  if (rate_ < 0.0F || rate_ >= 1.0F) {
+    throw std::invalid_argument("dropout rate must be in [0, 1)");
+  }
+}
+
+Tensor Dropout::forward(const Tensor& input, bool training) {
+  if (!training || rate_ == 0.0F) {
+    cached_mask_ = Tensor();  // marks "identity" for backward
+    return input;
+  }
+  const std::int64_t step = static_cast<std::int64_t>(counter_.value.at(0));
+  counter_.value.at(0) = static_cast<float>(step + 1);
+
+  Rng rng(derive_seed(seed_, static_cast<std::uint64_t>(step)));
+  cached_mask_ = Tensor(input.shape());
+  const float keep_scale = 1.0F / (1.0F - rate_);
+  float* pm = cached_mask_.data();
+  for (std::int64_t i = 0; i < input.numel(); ++i) {
+    pm[i] = rng.next_float() < rate_ ? 0.0F : keep_scale;
+  }
+  Tensor out = input;
+  float* po = out.data();
+  for (std::int64_t i = 0; i < out.numel(); ++i) po[i] *= pm[i];
+  return out;
+}
+
+Tensor Dropout::backward(const Tensor& grad_output) {
+  if (cached_mask_.empty()) return grad_output;  // eval / rate 0 pass-through
+  Tensor dx = grad_output;
+  const float* pm = cached_mask_.data();
+  float* pd = dx.data();
+  for (std::int64_t i = 0; i < dx.numel(); ++i) pd[i] *= pm[i];
+  return dx;
+}
+
+void Dropout::collect_params(std::vector<Param*>& out) {
+  out.push_back(&counter_);
+}
+
+// ---------------------------------------------------------------------------
+// Flatten
+
+Shape Flatten::output_shape(const Shape& input_shape) const {
+  if (input_shape.size() == 2) return input_shape;
+  std::int64_t features = 1;
+  for (std::size_t i = 1; i < input_shape.size(); ++i) features *= input_shape[i];
+  return {input_shape[0], features};
+}
+
+Tensor Flatten::forward(const Tensor& input, bool /*training*/) {
+  cached_input_shape_ = input.shape();
+  return input.reshaped(output_shape(input.shape()));
+}
+
+Tensor Flatten::backward(const Tensor& grad_output) {
+  return grad_output.reshaped(cached_input_shape_);
+}
+
+}  // namespace rpol::nn

@@ -1,0 +1,46 @@
+#include "nn/loss.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace rpol::nn {
+
+float SoftmaxCrossEntropy::forward(const Tensor& logits,
+                                   const std::vector<std::int64_t>& labels) {
+  if (logits.rank() != 2 ||
+      logits.dim(0) != static_cast<std::int64_t>(labels.size())) {
+    throw std::invalid_argument("SoftmaxCrossEntropy shape mismatch");
+  }
+  cached_probs_ = softmax_rows(logits);
+  cached_labels_ = labels;
+  const std::int64_t n = logits.dim(0);
+  double loss = 0.0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float p = cached_probs_.at2(i, labels[static_cast<std::size_t>(i)]);
+    loss -= std::log(std::max(p, 1e-12F));
+  }
+  return static_cast<float>(loss / static_cast<double>(n));
+}
+
+Tensor SoftmaxCrossEntropy::backward() const {
+  Tensor grad = cached_probs_;
+  const std::int64_t n = grad.dim(0);
+  const float inv_n = 1.0F / static_cast<float>(n);
+  for (std::int64_t i = 0; i < n; ++i) {
+    grad.at2(i, cached_labels_[static_cast<std::size_t>(i)]) -= 1.0F;
+  }
+  grad *= inv_n;
+  return grad;
+}
+
+double accuracy(const Tensor& logits, const std::vector<std::int64_t>& labels) {
+  const std::int64_t n = logits.dim(0);
+  if (n == 0) return 0.0;
+  std::int64_t correct = 0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    if (argmax_row(logits, i) == labels[static_cast<std::size_t>(i)]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(n);
+}
+
+}  // namespace rpol::nn

@@ -1,0 +1,30 @@
+// Softmax cross-entropy loss and classification metrics.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/ops.h"
+
+namespace rpol::nn {
+
+// Combined softmax + cross-entropy: numerically stable and with the simple
+// gradient (softmax(logits) - onehot) / batch_size.
+class SoftmaxCrossEntropy {
+ public:
+  // logits: (N, K); labels: N class indices in [0, K). Returns mean loss.
+  float forward(const Tensor& logits, const std::vector<std::int64_t>& labels);
+
+  // Gradient w.r.t. logits of the most recent forward() call.
+  Tensor backward() const;
+
+ private:
+  Tensor cached_probs_;
+  std::vector<std::int64_t> cached_labels_;
+};
+
+// Fraction of rows whose argmax equals the label.
+double accuracy(const Tensor& logits, const std::vector<std::int64_t>& labels);
+
+}  // namespace rpol::nn

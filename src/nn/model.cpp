@@ -1,0 +1,112 @@
+#include "nn/model.h"
+
+#include <stdexcept>
+
+namespace rpol::nn {
+
+void Model::add(LayerPtr layer) {
+  root_.add(std::move(layer));
+  cache_valid_ = false;
+}
+
+void Model::prepend(LayerPtr layer) {
+  prepended_.insert(prepended_.begin(), std::move(layer));
+  cache_valid_ = false;
+}
+
+Tensor Model::forward(const Tensor& input, bool training) {
+  Tensor x = input;
+  for (auto& layer : prepended_) x = layer->forward(x, training);
+  return root_.forward(x, training);
+}
+
+Tensor Model::backward(const Tensor& grad_output) {
+  Tensor g = root_.backward(grad_output);
+  for (auto it = prepended_.rbegin(); it != prepended_.rend(); ++it) {
+    g = (*it)->backward(g);
+  }
+  return g;
+}
+
+Shape Model::output_shape(const Shape& input_shape) const {
+  Shape s = input_shape;
+  for (const auto& layer : prepended_) s = layer->output_shape(s);
+  return root_.output_shape(s);
+}
+
+void Model::refresh_cache() {
+  param_cache_.clear();
+  for (auto& layer : prepended_) layer->collect_params(param_cache_);
+  root_.collect_params(param_cache_);
+  trainable_mask_.clear();
+  for (Param* p : param_cache_) {
+    trainable_mask_.insert(trainable_mask_.end(),
+                           static_cast<std::size_t>(p->value.numel()),
+                           p->trainable);
+  }
+  cache_valid_ = true;
+}
+
+const std::vector<bool>& Model::trainable_mask() {
+  if (!cache_valid_) refresh_cache();
+  return trainable_mask_;
+}
+
+const std::vector<Param*>& Model::params() {
+  if (!cache_valid_) refresh_cache();
+  return param_cache_;
+}
+
+std::vector<Param*> Model::trainable_params() {
+  std::vector<Param*> out;
+  for (Param* p : params()) {
+    if (p->trainable) out.push_back(p);
+  }
+  return out;
+}
+
+std::int64_t Model::num_parameters() {
+  std::int64_t n = 0;
+  for (Param* p : params()) n += p->value.numel();
+  return n;
+}
+
+std::int64_t Model::num_trainable_parameters() {
+  std::int64_t n = 0;
+  for (Param* p : params()) {
+    if (p->trainable) n += p->value.numel();
+  }
+  return n;
+}
+
+std::vector<float> Model::state_vector() {
+  std::vector<float> out;
+  out.reserve(static_cast<std::size_t>(num_parameters()));
+  for (Param* p : params()) {
+    out.insert(out.end(), p->value.vec().begin(), p->value.vec().end());
+  }
+  return out;
+}
+
+void Model::load_state_vector(const std::vector<float>& state) {
+  std::size_t offset = 0;
+  for (Param* p : params()) {
+    const std::size_t n = static_cast<std::size_t>(p->value.numel());
+    if (offset + n > state.size()) {
+      throw std::invalid_argument("state vector too short for model " + name_);
+    }
+    std::copy(state.begin() + static_cast<std::ptrdiff_t>(offset),
+              state.begin() + static_cast<std::ptrdiff_t>(offset + n),
+              p->value.vec().begin());
+    offset += n;
+  }
+  if (offset != state.size()) {
+    throw std::invalid_argument("state vector too long for model " + name_);
+  }
+}
+
+void Model::zero_grads() {
+  for (Param* p : params()) p->grad.zero();
+}
+
+}  // namespace rpol::nn

@@ -1,0 +1,81 @@
+// Model: a named layer stack with flat state-vector access.
+//
+// RPoL's protocol deals in *weight vectors*: checkpoints, proofs, LSH
+// digests and reproduction distances all operate on the flattened training
+// state. Model therefore exposes
+//   * state_vector()        — every parameter AND buffer, in a fixed order,
+//   * load_state_vector()   — the exact inverse,
+// so that "save checkpoint" and "restore checkpoint for re-execution" are
+// lossless. (Optimizer slots are serialized separately by the optimizer;
+// see nn/optim.h.)
+//
+// Models are move-only. To duplicate a model (e.g. the manager re-executing
+// a worker's step), rebuild it from the same deterministic factory and call
+// load_state_vector() — structure is a pure function of (config, seed).
+
+#pragma once
+
+#include <functional>
+
+#include "nn/blocks.h"
+
+namespace rpol::nn {
+
+class Model {
+ public:
+  Model() = default;
+  explicit Model(std::string name) : name_(std::move(name)), root_(name_) {}
+
+  Model(Model&&) = default;
+  Model& operator=(Model&&) = default;
+  Model(const Model&) = delete;
+  Model& operator=(const Model&) = delete;
+
+  const std::string& name() const { return name_; }
+
+  void add(LayerPtr layer);
+  // Inserts a layer in front of the current stack — used to attach the
+  // AMLayer after the base model is built (Sec. V-A).
+  void prepend(LayerPtr layer);
+
+  Tensor forward(const Tensor& input, bool training);
+  Tensor backward(const Tensor& grad_output);
+  Shape output_shape(const Shape& input_shape) const;
+
+  // Parameter pointers in deterministic traversal order (cached).
+  const std::vector<Param*>& params();
+  // Trainable subset, same relative order.
+  std::vector<Param*> trainable_params();
+
+  std::int64_t num_parameters();          // all values incl. buffers
+  std::int64_t num_trainable_parameters();
+
+  // Flat state vector (parameters + buffers, fixed order).
+  std::vector<float> state_vector();
+  void load_state_vector(const std::vector<float>& state);
+
+  // Per-element mask over the state vector: true where the element belongs
+  // to a trainable parameter, false for buffers (BatchNorm running stats,
+  // frozen AMLayer weights). Verification distances and LSH digests operate
+  // on the trainable subset — buffer divergence scales with activation
+  // magnitudes rather than step size and is covered by exact hashes instead.
+  const std::vector<bool>& trainable_mask();
+
+  void zero_grads();
+
+ private:
+  std::string name_ = "model";
+  Sequential root_{"model"};
+  std::vector<LayerPtr> prepended_;  // storage for prepended layers
+  std::vector<Param*> param_cache_;
+  std::vector<bool> trainable_mask_;
+  bool cache_valid_ = false;
+
+  void refresh_cache();
+};
+
+// A deterministic model constructor; calling it twice yields structurally
+// identical models with identical initial weights.
+using ModelFactory = std::function<Model()>;
+
+}  // namespace rpol::nn

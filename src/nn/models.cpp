@@ -1,0 +1,120 @@
+#include "nn/models.h"
+
+#include <array>
+
+namespace rpol::nn {
+
+Model make_mini_resnet18(const ModelConfig& cfg, int blocks_per_stage) {
+  Rng rng(derive_seed(cfg.seed, /*stream=*/18));
+  Model m("mini_resnet18");
+  m.add(std::make_unique<Conv2d>(Conv2dSpec{cfg.in_channels, cfg.width, 3, 1, 1},
+                                 rng, /*bias=*/false, "stem.conv"));
+  m.add(std::make_unique<BatchNorm2d>(cfg.width, 0.1F, 1e-5F, "stem.bn"));
+  m.add(std::make_unique<ReLU>("stem.relu"));
+
+  std::int64_t in_ch = cfg.width;
+  const std::array<std::int64_t, 4> widths = {cfg.width, 2 * cfg.width,
+                                              4 * cfg.width, 8 * cfg.width};
+  const std::array<std::int64_t, 4> strides = {1, 2, 2, 2};
+  for (int stage = 0; stage < 4; ++stage) {
+    for (int block = 0; block < blocks_per_stage; ++block) {
+      const std::int64_t stride = (block == 0) ? strides[stage] : 1;
+      const std::string name =
+          "stage" + std::to_string(stage) + ".block" + std::to_string(block);
+      m.add(std::make_unique<BasicBlock>(in_ch, widths[stage], stride, rng, name));
+      in_ch = widths[stage];
+    }
+  }
+  m.add(std::make_unique<GlobalAvgPool>("gap"));
+  m.add(std::make_unique<Linear>(in_ch, cfg.num_classes, rng, "fc"));
+  return m;
+}
+
+Model make_mini_resnet50(const ModelConfig& cfg, std::array<int, 4> stage_depths) {
+  Rng rng(derive_seed(cfg.seed, /*stream=*/50));
+  Model m("mini_resnet50");
+  m.add(std::make_unique<Conv2d>(Conv2dSpec{cfg.in_channels, cfg.width, 3, 1, 1},
+                                 rng, /*bias=*/false, "stem.conv"));
+  m.add(std::make_unique<BatchNorm2d>(cfg.width, 0.1F, 1e-5F, "stem.bn"));
+  m.add(std::make_unique<ReLU>("stem.relu"));
+
+  std::int64_t in_ch = cfg.width;
+  const std::array<std::int64_t, 4> mids = {cfg.width, 2 * cfg.width,
+                                            4 * cfg.width, 8 * cfg.width};
+  const std::array<std::int64_t, 4> strides = {1, 2, 2, 2};
+  for (int stage = 0; stage < 4; ++stage) {
+    for (int block = 0; block < stage_depths[static_cast<std::size_t>(stage)];
+         ++block) {
+      const std::int64_t stride = (block == 0) ? strides[stage] : 1;
+      const std::string name =
+          "stage" + std::to_string(stage) + ".bneck" + std::to_string(block);
+      m.add(std::make_unique<BottleneckBlock>(in_ch, mids[stage], stride, rng, name));
+      in_ch = mids[stage] * BottleneckBlock::kExpansion;
+    }
+  }
+  m.add(std::make_unique<GlobalAvgPool>("gap"));
+  m.add(std::make_unique<Linear>(in_ch, cfg.num_classes, rng, "fc"));
+  return m;
+}
+
+Model make_mini_vgg16(const ModelConfig& cfg) {
+  Rng rng(derive_seed(cfg.seed, /*stream=*/16));
+  Model m("mini_vgg16");
+  std::int64_t in_ch = cfg.in_channels;
+  const std::array<std::int64_t, 4> widths = {cfg.width, 2 * cfg.width,
+                                              4 * cfg.width, 8 * cfg.width};
+  const std::array<int, 4> depths = {2, 2, 3, 3};
+  std::int64_t spatial = cfg.image_size;
+  for (int stage = 0; stage < 4; ++stage) {
+    for (int conv = 0; conv < depths[static_cast<std::size_t>(stage)]; ++conv) {
+      const std::string name =
+          "stage" + std::to_string(stage) + ".conv" + std::to_string(conv);
+      m.add(std::make_unique<Conv2d>(Conv2dSpec{in_ch, widths[stage], 3, 1, 1},
+                                     rng, /*bias=*/true, name));
+      m.add(std::make_unique<ReLU>(name + ".relu"));
+      in_ch = widths[stage];
+    }
+    // Only pool while the spatial size stays even and > 1.
+    if (spatial % 2 == 0 && spatial > 1) {
+      m.add(std::make_unique<MaxPool2d>("stage" + std::to_string(stage) + ".pool"));
+      spatial /= 2;
+    }
+  }
+  m.add(std::make_unique<Flatten>("flatten"));
+  m.add(std::make_unique<Linear>(in_ch * spatial * spatial, cfg.num_classes, rng,
+                                 "fc"));
+  return m;
+}
+
+Model make_mlp(std::int64_t in_features, std::vector<std::int64_t> hidden,
+               std::int64_t num_classes, std::uint64_t seed) {
+  Rng rng(derive_seed(seed, /*stream=*/3));
+  Model m("mlp");
+  std::int64_t in = in_features;
+  for (std::size_t i = 0; i < hidden.size(); ++i) {
+    m.add(std::make_unique<Linear>(in, hidden[i], rng, "fc" + std::to_string(i)));
+    m.add(std::make_unique<ReLU>("relu" + std::to_string(i)));
+    in = hidden[i];
+  }
+  m.add(std::make_unique<Linear>(in, num_classes, rng, "head"));
+  return m;
+}
+
+ModelFactory mini_resnet18_factory(ModelConfig cfg, int blocks_per_stage) {
+  return [cfg, blocks_per_stage] { return make_mini_resnet18(cfg, blocks_per_stage); };
+}
+
+ModelFactory mini_resnet50_factory(ModelConfig cfg, std::array<int, 4> stage_depths) {
+  return [cfg, stage_depths] { return make_mini_resnet50(cfg, stage_depths); };
+}
+
+ModelFactory mini_vgg16_factory(ModelConfig cfg) {
+  return [cfg] { return make_mini_vgg16(cfg); };
+}
+
+ModelFactory mlp_factory(std::int64_t in_features, std::vector<std::int64_t> hidden,
+                         std::int64_t num_classes, std::uint64_t seed) {
+  return [=] { return make_mlp(in_features, hidden, num_classes, seed); };
+}
+
+}  // namespace rpol::nn

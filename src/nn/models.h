@@ -1,0 +1,56 @@
+// Model zoo: scaled-down but topologically faithful versions of the
+// architectures the paper trains (ResNet18, ResNet50, VGG16), plus an MLP
+// for protocol-heavy experiments where the architecture is irrelevant.
+//
+// "Mini" means reduced width/depth and input size so a single CPU core can
+// train them; the residual structure (required by the AMLayer analysis) and
+// the block types (basic vs bottleneck) match the originals. The *real*
+// parameter counts of the paper's models live in src/sim/model_specs.h and
+// drive the communication/storage cost model.
+
+#pragma once
+
+#include <array>
+
+#include "nn/model.h"
+
+namespace rpol::nn {
+
+struct ModelConfig {
+  std::int64_t in_channels = 3;
+  std::int64_t image_size = 8;     // square inputs
+  std::int64_t num_classes = 10;
+  std::int64_t width = 4;          // base channel count of the first stage
+  std::uint64_t seed = 1;          // weight-init seed (deterministic build)
+};
+
+// ResNet18 family: stem conv3x3 + 4 stages x {blocks_per_stage} BasicBlocks
+// (widths w, 2w, 4w, 8w; strides 1,2,2,2) + GAP + FC.
+Model make_mini_resnet18(const ModelConfig& cfg, int blocks_per_stage = 2);
+
+// ResNet50 family: stem conv3x3 + 4 stages of BottleneckBlocks
+// (mid widths w, 2w, 4w, 8w; strides 1,2,2,2) + GAP + FC.
+// stage_depths defaults to {1, 2, 2, 1}; pass {3, 4, 6, 3} for the full
+// ResNet50 stage layout.
+Model make_mini_resnet50(const ModelConfig& cfg,
+                         std::array<int, 4> stage_depths = {1, 2, 2, 1});
+
+// VGG16 family: conv3x3 stacks with maxpool between stages + FC head.
+// Stage widths w, 2w, 4w, 8w with depths 2,2,3,3 (a 10-conv VGG; the real
+// VGG16's 13 convs need 224px inputs to make sense).
+Model make_mini_vgg16(const ModelConfig& cfg);
+
+// Plain MLP over flattened input: hidden ReLU layers + linear head.
+Model make_mlp(std::int64_t in_features, std::vector<std::int64_t> hidden,
+               std::int64_t num_classes, std::uint64_t seed);
+
+// Deterministic factory helpers: calling the returned function twice yields
+// bit-identical models.
+ModelFactory mini_resnet18_factory(ModelConfig cfg, int blocks_per_stage = 2);
+ModelFactory mini_resnet50_factory(ModelConfig cfg,
+                                   std::array<int, 4> stage_depths = {1, 2, 2, 1});
+ModelFactory mini_vgg16_factory(ModelConfig cfg);
+ModelFactory mlp_factory(std::int64_t in_features, std::vector<std::int64_t> hidden,
+                         std::int64_t num_classes, std::uint64_t seed);
+
+}  // namespace rpol::nn

@@ -1,0 +1,40 @@
+// Capital cost model (Table III).
+//
+// Prices are the paper's Alibaba-cloud figures: GA10 compute $1.33/hour,
+// WAN traffic $0.12/GB, storage $5 per 100 GB-month (= $0.05/GB-month).
+// Storage is charged for the duration of one epoch expressed as a fraction
+// of a month, matching the paper's per-epoch cost framing.
+
+#pragma once
+
+#include <cstdint>
+
+namespace rpol::sim {
+
+struct CostModel {
+  double gpu_usd_per_hour = 1.33;
+  double wan_usd_per_gb = 0.12;
+  double storage_usd_per_gb_month = 0.05;
+
+  double compute_cost(double gpu_seconds) const {
+    return gpu_usd_per_hour * gpu_seconds / 3600.0;
+  }
+  double comm_cost(std::uint64_t bytes) const {
+    return wan_usd_per_gb * static_cast<double>(bytes) / (1024.0 * 1024.0 * 1024.0);
+  }
+  double storage_cost(std::uint64_t bytes, double months) const {
+    return storage_usd_per_gb_month *
+           static_cast<double>(bytes) / (1024.0 * 1024.0 * 1024.0) * months;
+  }
+};
+
+// Itemized capital cost for one scheme run.
+struct CostBreakdown {
+  double compute_usd = 0.0;
+  double comm_usd = 0.0;
+  double storage_usd = 0.0;
+
+  double total() const { return compute_usd + comm_usd + storage_usd; }
+};
+
+}  // namespace rpol::sim

@@ -1,0 +1,76 @@
+// Simulated GPU devices: training nondeterminism and throughput.
+//
+// Substitution (DESIGN.md §1): the paper measures DNN reproduction errors
+// across NVIDIA GPUs (RTX 3090, A10, P100, T4). Real CUDA nondeterminism
+// comes from atomic-add reduction orders and cuDNN algorithm selection; its
+// observable effect is a small random perturbation of each training step
+// (the epsilon_t of Eq. 2). We model exactly that observable: a device
+// perturbs every gradient with zero-mean Gaussian noise whose relative
+// magnitude grows with the device's FP32 throughput (faster parts use more
+// parallel reduction, hence more reordering — the paper's empirical Fig. 4
+// trend). Each (device, run) pair gets its own noise stream, so the same
+// task re-run on the same device still differs slightly, and runs on
+// different devices differ more — both Fig. 4 findings hold by construction.
+//
+// The same profile supplies a throughput model used to *simulate* wall-clock
+// training times for the paper's real-scale tasks (Tables II/III).
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nn/layer.h"
+#include "tensor/rng.h"
+
+namespace rpol::sim {
+
+struct DeviceProfile {
+  std::string name;
+  double tflops_fp32 = 10.0;    // peak FP32 throughput, TFLOPs
+  // Sustained fraction of peak FP32 throughput for DNN training. 0.17
+  // reproduces the paper's measured per-image times (ResNet50 on GA10:
+  // ~2.4 ms/image, Table II/III).
+  double efficiency = 0.17;
+  double noise_rel = 2e-4;      // relative per-step gradient noise (sigma)
+
+  // Simulated seconds to process `flops` of training work.
+  double compute_seconds(double flops) const {
+    return flops / (tflops_fp32 * 1e12 * efficiency);
+  }
+};
+
+// The four GPUs of Sec. VII-C, FP32 numbers from the paper:
+// G3090 35.7 TF, GA10 31.2 TF, GP100 10.6 TF, GT4 8.1 TF.
+DeviceProfile device_g3090();
+DeviceProfile device_ga10();
+DeviceProfile device_gp100();
+DeviceProfile device_gt4();
+std::vector<DeviceProfile> all_devices();
+
+// Builds the relative noise level for a given FP32 throughput. Calibrated so
+// GT4 ~ 1.5e-4 and G3090 ~ 3.2e-4 — small enough that training converges,
+// large enough that reproduction distances are cleanly measurable.
+double noise_rel_for_tflops(double tflops);
+
+// A device executing a specific run: owns the noise stream. Separate run ids
+// on the same device model the paper's "errors exist even for the same tasks
+// on the same GPUs".
+class DeviceExecution {
+ public:
+  DeviceExecution(DeviceProfile profile, std::uint64_t run_seed);
+
+  const DeviceProfile& profile() const { return profile_; }
+
+  // Applies epsilon_t of Eq. 2: perturbs every trainable gradient by
+  // N(0, (noise_rel * rms(grad))^2) elementwise. Call between backward()
+  // and optimizer step().
+  void perturb_gradients(const std::vector<nn::Param*>& params);
+
+ private:
+  DeviceProfile profile_;
+  Rng rng_;
+};
+
+}  // namespace rpol::sim

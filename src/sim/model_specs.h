@@ -1,0 +1,40 @@
+// Real-scale model and dataset descriptors for the cost/time model.
+//
+// The Mini* models in src/nn exercise the protocol logic; the *numbers* in
+// Tables II and III depend on the true sizes of ResNet50/VGG16 and ImageNet.
+// These descriptors carry the published figures (parameter bytes straight
+// from the paper where it states them: ResNet50 90.7 MB, VGG16 527 MB).
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace rpol::sim {
+
+struct RealModelSpec {
+  std::string name;
+  std::uint64_t parameter_count = 0;
+  std::uint64_t weight_bytes = 0;           // fp32 serialized size
+  double train_flops_per_example = 0.0;     // fwd+bwd FLOPs per image
+  // Architecture-specific GPU utilization relative to the DeviceProfile
+  // baseline (ResNet-style = 1.0). VGG's large dense convolutions sustain a
+  // higher fraction of peak FLOPs, which Table II's timings reflect.
+  double device_utilization_scale = 1.0;
+};
+
+struct RealDatasetSpec {
+  std::string name;
+  std::uint64_t num_examples = 0;
+  std::uint64_t bytes_per_example = 0;
+};
+
+RealModelSpec real_resnet18();
+RealModelSpec real_resnet50();
+RealModelSpec real_vgg16();
+
+RealDatasetSpec real_cifar10();
+RealDatasetSpec real_cifar100();
+RealDatasetSpec real_imagenet();
+
+}  // namespace rpol::sim

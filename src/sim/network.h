@@ -1,0 +1,69 @@
+// Wide-area network model and traffic accounting.
+//
+// Sec. VII-E's setting: one manager on a 10 Gbps link, workers on 100 Mbps
+// links. Protocol messages are real byte buffers; this module converts their
+// sizes into deterministic transfer times and keeps per-entity up/down
+// counters so Tables II and III can report communication volume and epoch
+// wall time.
+//
+// Timing model for one transfer of B bytes between worker w and manager M:
+//     t = latency + B / min(worker_bw, manager_share)
+// where manager_share = manager_bw / concurrent_streams models the manager
+// link being divided across workers that talk simultaneously.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rpol::sim {
+
+struct NetworkSpec {
+  double manager_bandwidth_bps = 10e9;   // 10 Gbps
+  double worker_bandwidth_bps = 100e6;   // 100 Mbps
+  double latency_seconds = 0.02;         // WAN round-trip contribution
+};
+
+// Aggregated traffic counters for one entity.
+struct TrafficCounter {
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_received = 0;
+
+  std::uint64_t total() const { return bytes_sent + bytes_received; }
+};
+
+class Network {
+ public:
+  explicit Network(NetworkSpec spec, std::size_t num_workers);
+
+  const NetworkSpec& spec() const { return spec_; }
+
+  // Transfer worker -> manager; returns simulated seconds. `concurrent`
+  // is how many workers perform this transfer at the same time (>= 1).
+  double upload(std::size_t worker, std::uint64_t bytes, std::size_t concurrent = 1);
+
+  // Transfer manager -> worker; returns simulated seconds.
+  double download(std::size_t worker, std::uint64_t bytes,
+                  std::size_t concurrent = 1);
+
+  const TrafficCounter& manager_traffic() const { return manager_; }
+  const TrafficCounter& worker_traffic(std::size_t worker) const {
+    return workers_.at(worker);
+  }
+  std::uint64_t total_bytes() const;
+
+  void reset_counters();
+
+ private:
+  double transfer_seconds(std::uint64_t bytes, std::size_t concurrent) const;
+
+  NetworkSpec spec_;
+  TrafficCounter manager_;
+  std::vector<TrafficCounter> workers_;
+};
+
+// Pretty-printing helper (GB with two decimals).
+std::string format_gb(std::uint64_t bytes);
+
+}  // namespace rpol::sim

@@ -1,0 +1,76 @@
+#include "sim/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace rpol::sim {
+
+double mean(const std::vector<double>& xs) {
+  if (xs.empty()) throw std::invalid_argument("mean of empty sample");
+  double acc = 0.0;
+  for (const double x : xs) acc += x;
+  return acc / static_cast<double>(xs.size());
+}
+
+double stddev(const std::vector<double>& xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double acc = 0.0;
+  for (const double x : xs) acc += (x - m) * (x - m);
+  return std::sqrt(acc / static_cast<double>(xs.size() - 1));
+}
+
+double max_value(const std::vector<double>& xs) {
+  if (xs.empty()) throw std::invalid_argument("max of empty sample");
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+double min_value(const std::vector<double>& xs) {
+  if (xs.empty()) throw std::invalid_argument("min of empty sample");
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+namespace {
+double normal_cdf(double x, double mu, double sigma) {
+  return 0.5 * std::erfc(-(x - mu) / (sigma * std::sqrt(2.0)));
+}
+
+// Kolmogorov distribution tail: P(D > d) approx 2 sum (-1)^{j-1} exp(-2 j^2 t^2)
+double kolmogorov_p(double t) {
+  if (t <= 0.0) return 1.0;
+  double sum = 0.0;
+  for (int j = 1; j <= 100; ++j) {
+    const double term = std::exp(-2.0 * j * j * t * t);
+    sum += ((j % 2 == 1) ? 1.0 : -1.0) * term;
+    if (term < 1e-12) break;
+  }
+  return std::min(1.0, std::max(0.0, 2.0 * sum));
+}
+}  // namespace
+
+KsTestResult ks_normality_test(const std::vector<double>& xs) {
+  if (xs.size() < 3) throw std::invalid_argument("KS test needs >= 3 samples");
+  const double mu = mean(xs);
+  const double sigma = stddev(xs);
+  if (sigma <= 0.0) {
+    // Degenerate sample: all values equal; trivially not testable, report
+    // non-normal with zero p-value.
+    return {1.0, 0.0, false};
+  }
+  std::vector<double> sorted = xs;
+  std::sort(sorted.begin(), sorted.end());
+  const double n = static_cast<double>(sorted.size());
+  double d = 0.0;
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    const double cdf = normal_cdf(sorted[i], mu, sigma);
+    const double upper = (static_cast<double>(i) + 1.0) / n - cdf;
+    const double lower = cdf - static_cast<double>(i) / n;
+    d = std::max(d, std::max(upper, lower));
+  }
+  const double t = d * (std::sqrt(n) + 0.12 + 0.11 / std::sqrt(n));
+  const double p = kolmogorov_p(t);
+  return {d, p, p > 0.05};
+}
+
+}  // namespace rpol::sim

@@ -1,0 +1,27 @@
+// Small statistics toolkit: moments and the Kolmogorov-Smirnov normality
+// test the paper applies to reproduction errors (Sec. VII-C).
+
+#pragma once
+
+#include <vector>
+
+namespace rpol::sim {
+
+double mean(const std::vector<double>& xs);
+// Sample standard deviation (n-1 denominator); 0 for n < 2.
+double stddev(const std::vector<double>& xs);
+double max_value(const std::vector<double>& xs);
+double min_value(const std::vector<double>& xs);
+
+struct KsTestResult {
+  double statistic = 0.0;   // sup |F_empirical - F_normal(mean, sd)|
+  double p_value = 0.0;     // asymptotic Kolmogorov distribution
+  bool normal_at_5pct = false;
+};
+
+// One-sample KS test against N(mean(xs), sd(xs)). Estimating parameters
+// from the sample makes the test approximate (Lilliefors would be exact);
+// adequate for the qualitative normality check the paper performs.
+KsTestResult ks_normality_test(const std::vector<double>& xs);
+
+}  // namespace rpol::sim

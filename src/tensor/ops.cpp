@@ -1,0 +1,178 @@
+#include "tensor/ops.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace rpol {
+
+namespace {
+void check_rank2(const Tensor& t, const char* name) {
+  if (t.rank() != 2) {
+    throw std::invalid_argument(std::string(name) + " must be rank-2, got " +
+                                shape_to_string(t.shape()));
+  }
+}
+}  // namespace
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  check_rank2(a, "matmul lhs");
+  check_rank2(b, "matmul rhs");
+  const std::int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  if (b.dim(0) != k) throw std::invalid_argument("matmul inner-dim mismatch");
+  Tensor c({m, n});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  // ikj loop order: streams over B and C rows, good locality for row-major.
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t kk = 0; kk < k; ++kk) {
+      const float aik = pa[i * k + kk];
+      if (aik == 0.0F) continue;
+      const float* brow = pb + kk * n;
+      float* crow = pc + i * n;
+      for (std::int64_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
+    }
+  }
+  return c;
+}
+
+Tensor matmul_tn(const Tensor& a, const Tensor& b) {
+  check_rank2(a, "matmul_tn lhs");
+  check_rank2(b, "matmul_tn rhs");
+  const std::int64_t k = a.dim(0), m = a.dim(1), n = b.dim(1);
+  if (b.dim(0) != k) throw std::invalid_argument("matmul_tn inner-dim mismatch");
+  Tensor c({m, n});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  for (std::int64_t kk = 0; kk < k; ++kk) {
+    const float* arow = pa + kk * m;
+    const float* brow = pb + kk * n;
+    for (std::int64_t i = 0; i < m; ++i) {
+      const float aki = arow[i];
+      if (aki == 0.0F) continue;
+      float* crow = pc + i * n;
+      for (std::int64_t j = 0; j < n; ++j) crow[j] += aki * brow[j];
+    }
+  }
+  return c;
+}
+
+Tensor matmul_nt(const Tensor& a, const Tensor& b) {
+  check_rank2(a, "matmul_nt lhs");
+  check_rank2(b, "matmul_nt rhs");
+  const std::int64_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
+  if (b.dim(1) != k) throw std::invalid_argument("matmul_nt inner-dim mismatch");
+  Tensor c({m, n});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  for (std::int64_t i = 0; i < m; ++i) {
+    const float* arow = pa + i * k;
+    for (std::int64_t j = 0; j < n; ++j) {
+      const float* brow = pb + j * k;
+      double acc = 0.0;
+      for (std::int64_t kk = 0; kk < k; ++kk) acc += static_cast<double>(arow[kk]) * brow[kk];
+      pc[i * n + j] = static_cast<float>(acc);
+    }
+  }
+  return c;
+}
+
+Tensor im2col(const Tensor& input, const Conv2dSpec& spec) {
+  if (input.rank() != 4) throw std::invalid_argument("im2col expects NCHW input");
+  const std::int64_t n = input.dim(0), c = input.dim(1);
+  const std::int64_t h = input.dim(2), w = input.dim(3);
+  if (c != spec.in_channels) throw std::invalid_argument("im2col channel mismatch");
+  const std::int64_t oh = spec.out_size(h), ow = spec.out_size(w);
+  const std::int64_t patch = c * spec.kernel * spec.kernel;
+  Tensor cols({patch, n * oh * ow});
+  float* pc = cols.data();
+  const std::int64_t col_stride = n * oh * ow;
+  for (std::int64_t img = 0; img < n; ++img) {
+    for (std::int64_t ch = 0; ch < c; ++ch) {
+      for (std::int64_t kh = 0; kh < spec.kernel; ++kh) {
+        for (std::int64_t kw = 0; kw < spec.kernel; ++kw) {
+          const std::int64_t prow = (ch * spec.kernel + kh) * spec.kernel + kw;
+          for (std::int64_t y = 0; y < oh; ++y) {
+            const std::int64_t in_y = y * spec.stride + kh - spec.padding;
+            for (std::int64_t x = 0; x < ow; ++x) {
+              const std::int64_t in_x = x * spec.stride + kw - spec.padding;
+              const std::int64_t pcol = (img * oh + y) * ow + x;
+              float v = 0.0F;
+              if (in_y >= 0 && in_y < h && in_x >= 0 && in_x < w) {
+                v = input.at4(img, ch, in_y, in_x);
+              }
+              pc[prow * col_stride + pcol] = v;
+            }
+          }
+        }
+      }
+    }
+  }
+  return cols;
+}
+
+Tensor col2im(const Tensor& cols, const Conv2dSpec& spec, const Shape& input_shape) {
+  if (input_shape.size() != 4) throw std::invalid_argument("col2im expects NCHW shape");
+  const std::int64_t n = input_shape[0], c = input_shape[1];
+  const std::int64_t h = input_shape[2], w = input_shape[3];
+  const std::int64_t oh = spec.out_size(h), ow = spec.out_size(w);
+  const std::int64_t col_stride = n * oh * ow;
+  Tensor out(input_shape);
+  const float* pc = cols.data();
+  for (std::int64_t img = 0; img < n; ++img) {
+    for (std::int64_t ch = 0; ch < c; ++ch) {
+      for (std::int64_t kh = 0; kh < spec.kernel; ++kh) {
+        for (std::int64_t kw = 0; kw < spec.kernel; ++kw) {
+          const std::int64_t prow = (ch * spec.kernel + kh) * spec.kernel + kw;
+          for (std::int64_t y = 0; y < oh; ++y) {
+            const std::int64_t in_y = y * spec.stride + kh - spec.padding;
+            if (in_y < 0 || in_y >= h) continue;
+            for (std::int64_t x = 0; x < ow; ++x) {
+              const std::int64_t in_x = x * spec.stride + kw - spec.padding;
+              if (in_x < 0 || in_x >= w) continue;
+              const std::int64_t pcol = (img * oh + y) * ow + x;
+              out.at4(img, ch, in_y, in_x) += pc[prow * col_stride + pcol];
+            }
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor softmax_rows(const Tensor& logits) {
+  check_rank2(logits, "softmax_rows input");
+  const std::int64_t rows = logits.dim(0), cols = logits.dim(1);
+  Tensor out({rows, cols});
+  for (std::int64_t r = 0; r < rows; ++r) {
+    float max_v = logits.at2(r, 0);
+    for (std::int64_t c = 1; c < cols; ++c) max_v = std::max(max_v, logits.at2(r, c));
+    double sum = 0.0;
+    for (std::int64_t c = 0; c < cols; ++c) {
+      const double e = std::exp(static_cast<double>(logits.at2(r, c)) - max_v);
+      out.at2(r, c) = static_cast<float>(e);
+      sum += e;
+    }
+    const float inv = static_cast<float>(1.0 / sum);
+    for (std::int64_t c = 0; c < cols; ++c) out.at2(r, c) *= inv;
+  }
+  return out;
+}
+
+std::int64_t argmax_row(const Tensor& t, std::int64_t row) {
+  const std::int64_t cols = t.dim(1);
+  std::int64_t best = 0;
+  float best_v = t.at2(row, 0);
+  for (std::int64_t c = 1; c < cols; ++c) {
+    if (t.at2(row, c) > best_v) {
+      best_v = t.at2(row, c);
+      best = c;
+    }
+  }
+  return best;
+}
+
+}  // namespace rpol

@@ -1,0 +1,53 @@
+// Dense tensor kernels used by the neural-network layers.
+//
+// All kernels are straightforward cache-friendly loops; this repository
+// optimizes for determinism and clarity, not peak FLOPs. Convolution is
+// implemented via im2col + GEMM, the textbook approach that also makes the
+// backward pass (col2im) symmetric and easy to verify by finite differences.
+
+#pragma once
+
+#include <cstdint>
+
+#include "tensor/tensor.h"
+
+namespace rpol {
+
+// C = A * B for 2-D tensors: A is (m x k), B is (k x n), C is (m x n).
+Tensor matmul(const Tensor& a, const Tensor& b);
+
+// C = A^T * B: A is (k x m), B is (k x n), C is (m x n).
+Tensor matmul_tn(const Tensor& a, const Tensor& b);
+
+// C = A * B^T: A is (m x k), B is (n x k), C is (m x n).
+Tensor matmul_nt(const Tensor& a, const Tensor& b);
+
+// Parameters of a 2-D convolution; square kernels/strides only, which is all
+// the ResNet/VGG-style models in src/nn need.
+struct Conv2dSpec {
+  std::int64_t in_channels = 0;
+  std::int64_t out_channels = 0;
+  std::int64_t kernel = 3;
+  std::int64_t stride = 1;
+  std::int64_t padding = 1;
+
+  std::int64_t out_size(std::int64_t in_size) const {
+    return (in_size + 2 * padding - kernel) / stride + 1;
+  }
+};
+
+// Unfolds input (N, C, H, W) into columns of shape
+// (C*kernel*kernel, N*out_h*out_w). The GEMM weight view is
+// (out_channels, C*kernel*kernel).
+Tensor im2col(const Tensor& input, const Conv2dSpec& spec);
+
+// Folds columns back into an input-shaped gradient; exact adjoint of im2col.
+Tensor col2im(const Tensor& cols, const Conv2dSpec& spec, const Shape& input_shape);
+
+// Row-wise softmax over a (rows x cols) tensor, numerically stabilized.
+Tensor softmax_rows(const Tensor& logits);
+
+// Index of the maximum entry in row `row` of a (rows x cols) tensor.
+std::int64_t argmax_row(const Tensor& t, std::int64_t row);
+
+}  // namespace rpol

@@ -1,0 +1,104 @@
+#include "tensor/rng.h"
+
+#include <cmath>
+
+namespace rpol {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+namespace {
+inline std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  // Seed expansion: xoshiro state must not be all-zero; splitmix64 of any
+  // seed guarantees that with overwhelming probability, and we force a
+  // non-zero word as a belt-and-braces measure.
+  std::uint64_t sm = seed;
+  for (auto& word : s_) word = splitmix64(sm);
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::next_below(std::uint64_t bound) {
+  // Lemire-style rejection: draw until the value falls in the largest
+  // multiple of `bound` that fits in 64 bits.
+  const std::uint64_t threshold = (0 - bound) % bound;
+  for (;;) {
+    const std::uint64_t r = next_u64();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+float Rng::next_float() {
+  return static_cast<float>(next_u64() >> 40) * 0x1.0p-24F;
+}
+
+double Rng::next_double() {
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+float Rng::next_normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  // Box-Muller on two uniforms; u1 is kept away from zero so log() is finite.
+  double u1 = 0.0;
+  do {
+    u1 = next_double();
+  } while (u1 <= 1e-300);
+  const double u2 = next_double();
+  const double radius = std::sqrt(-2.0 * std::log(u1));
+  const double angle = 2.0 * 3.141592653589793238462643 * u2;
+  cached_normal_ = static_cast<float>(radius * std::sin(angle));
+  has_cached_normal_ = true;
+  return static_cast<float>(radius * std::cos(angle));
+}
+
+void Rng::fill_normal(std::vector<float>& out, float mean, float stddev) {
+  for (auto& v : out) v = mean + stddev * next_normal();
+}
+
+void Rng::fill_uniform(std::vector<float>& out, float lo, float hi) {
+  for (auto& v : out) v = lo + (hi - lo) * next_float();
+}
+
+std::vector<std::size_t> Rng::permutation(std::size_t n) {
+  std::vector<std::size_t> idx(n);
+  for (std::size_t i = 0; i < n; ++i) idx[i] = i;
+  for (std::size_t i = n; i > 1; --i) {
+    const std::size_t j = static_cast<std::size_t>(next_below(i));
+    std::swap(idx[i - 1], idx[j]);
+  }
+  return idx;
+}
+
+std::uint64_t derive_seed(std::uint64_t seed, std::uint64_t stream_id) {
+  // Two rounds of splitmix over a mix of seed and stream id. The golden-ratio
+  // multiplier decorrelates adjacent stream ids.
+  std::uint64_t state = seed ^ (stream_id * 0x9e3779b97f4a7c15ULL + 0x85ebca6bULL);
+  (void)splitmix64(state);
+  return splitmix64(state);
+}
+
+}  // namespace rpol

@@ -1,0 +1,68 @@
+// Deterministic pseudo-random number generation for the whole system.
+//
+// Everything in RPoL that touches randomness — model initialization, dataset
+// synthesis, batch selection, LSH hash families, simulated hardware noise —
+// must be reproducible bit-for-bit across runs and platforms, because the
+// verification protocol re-executes training steps and compares the results.
+// We therefore avoid std::mt19937 / std::normal_distribution (whose outputs
+// are implementation-defined for floating point) and implement a fixed
+// algorithm stack:
+//
+//   * splitmix64 for seed expansion,
+//   * xoshiro256** as the core generator,
+//   * an explicit Box-Muller transform for normal variates.
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace rpol {
+
+// splitmix64 step; used to expand a single 64-bit seed into generator state.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+// Deterministic PRNG (xoshiro256**). Copyable value type; copying forks the
+// stream, which is occasionally useful in tests but should be avoided in
+// protocol code (derive sub-seeds instead, see derive_seed()).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  // Raw 64 random bits.
+  std::uint64_t next_u64();
+
+  // Uniform in [0, bound). bound must be > 0. Uses rejection sampling to
+  // avoid modulo bias (bias matters: batch selection must be uniform).
+  std::uint64_t next_below(std::uint64_t bound);
+
+  // Uniform float in [0, 1) with 24 bits of randomness.
+  float next_float();
+
+  // Uniform double in [0, 1) with 53 bits of randomness.
+  double next_double();
+
+  // Standard normal variate via Box-Muller. Caches the second variate of
+  // each pair so consecutive calls consume uniforms in a fixed pattern.
+  float next_normal();
+
+  // Convenience fills.
+  void fill_normal(std::vector<float>& out, float mean, float stddev);
+  void fill_uniform(std::vector<float>& out, float lo, float hi);
+
+  // Fisher-Yates shuffle of indices [0, n).
+  std::vector<std::size_t> permutation(std::size_t n);
+
+ private:
+  std::array<std::uint64_t, 4> s_{};
+  bool has_cached_normal_ = false;
+  float cached_normal_ = 0.0F;
+};
+
+// Derives a statistically independent sub-seed from (seed, stream_id).
+// Used to give each worker / device / epoch its own stream without
+// correlated outputs.
+std::uint64_t derive_seed(std::uint64_t seed, std::uint64_t stream_id);
+
+}  // namespace rpol

@@ -1,0 +1,131 @@
+#include "tensor/tensor.h"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "tensor/rng.h"
+
+namespace rpol {
+
+std::int64_t shape_numel(const Shape& shape) {
+  std::int64_t n = 1;
+  for (const auto d : shape) {
+    if (d < 0) throw std::invalid_argument("negative dimension in shape");
+    n *= d;
+  }
+  return shape.empty() ? 0 : n;
+}
+
+std::string shape_to_string(const Shape& shape) {
+  std::ostringstream os;
+  os << "[";
+  for (std::size_t i = 0; i < shape.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << shape[i];
+  }
+  os << "]";
+  return os.str();
+}
+
+Tensor::Tensor(Shape shape)
+    : shape_(std::move(shape)),
+      data_(static_cast<std::size_t>(shape_numel(shape_)), 0.0F) {}
+
+Tensor::Tensor(Shape shape, std::vector<float> data) : shape_(std::move(shape)) {
+  if (static_cast<std::int64_t>(data.size()) != shape_numel(shape_)) {
+    throw std::invalid_argument("tensor data size does not match shape " +
+                                shape_to_string(shape_));
+  }
+  data_ = std::move(data);
+}
+
+Tensor Tensor::full(const Shape& shape, float value) {
+  Tensor t(shape);
+  t.fill(value);
+  return t;
+}
+
+Tensor Tensor::randn(const Shape& shape, Rng& rng, float stddev) {
+  Tensor t(shape);
+  rng.fill_normal(t.data_, 0.0F, stddev);
+  return t;
+}
+
+float& Tensor::at4(std::int64_t n, std::int64_t c, std::int64_t h, std::int64_t w) {
+  const std::int64_t idx = ((n * shape_[1] + c) * shape_[2] + h) * shape_[3] + w;
+  return data_[static_cast<std::size_t>(idx)];
+}
+
+float Tensor::at4(std::int64_t n, std::int64_t c, std::int64_t h,
+                  std::int64_t w) const {
+  const std::int64_t idx = ((n * shape_[1] + c) * shape_[2] + h) * shape_[3] + w;
+  return data_[static_cast<std::size_t>(idx)];
+}
+
+Tensor Tensor::reshaped(Shape new_shape) const {
+  if (shape_numel(new_shape) != numel()) {
+    throw std::invalid_argument("reshape element-count mismatch: " +
+                                shape_to_string(shape_) + " -> " +
+                                shape_to_string(new_shape));
+  }
+  return Tensor(std::move(new_shape), data_);
+}
+
+void Tensor::fill(float value) {
+  for (auto& v : data_) v = value;
+}
+
+Tensor& Tensor::operator+=(const Tensor& other) {
+  if (shape_ != other.shape_) {
+    throw std::invalid_argument("operator+= shape mismatch");
+  }
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::operator-=(const Tensor& other) {
+  if (shape_ != other.shape_) {
+    throw std::invalid_argument("operator-= shape mismatch");
+  }
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::operator*=(float scalar) {
+  for (auto& v : data_) v *= scalar;
+  return *this;
+}
+
+void Tensor::add_scaled(const Tensor& other, float scalar) {
+  if (shape_ != other.shape_) {
+    throw std::invalid_argument("add_scaled shape mismatch");
+  }
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    data_[i] += scalar * other.data_[i];
+  }
+}
+
+double Tensor::l2_norm() const {
+  double acc = 0.0;
+  for (const float v : data_) acc += static_cast<double>(v) * v;
+  return std::sqrt(acc);
+}
+
+double l2_distance(const Tensor& a, const Tensor& b) {
+  return l2_distance(a.vec(), b.vec());
+}
+
+double l2_distance(const std::vector<float>& a, const std::vector<float>& b) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument("l2_distance size mismatch");
+  }
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = static_cast<double>(a[i]) - b[i];
+    acc += d * d;
+  }
+  return std::sqrt(acc);
+}
+
+}  // namespace rpol

@@ -1,0 +1,99 @@
+// Minimal dense fp32 tensor used throughout the RPoL implementation.
+//
+// Design notes:
+//   * Row-major contiguous storage, shapes up to rank 4 (N, C, H, W) cover
+//     every layer in src/nn; rank-1/2 are used for weight vectors and
+//     matmul operands.
+//   * Value semantics: Tensor is a cheap-to-move std::vector wrapper. The
+//     protocol code copies model weights deliberately (checkpoints, proofs),
+//     so copies are explicit and meaningful rather than forbidden.
+//   * float (fp32) only. The paper's verification operates on fp32 model
+//     weights; double appears only in LSH/statistics math (src/lsh).
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rpol {
+
+// Shape is a small vector of dimension sizes. An empty shape denotes an
+// (invalid) empty tensor; scalars are represented as shape {1}.
+using Shape = std::vector<std::int64_t>;
+
+std::int64_t shape_numel(const Shape& shape);
+std::string shape_to_string(const Shape& shape);
+
+class Tensor {
+ public:
+  Tensor() = default;
+
+  // Allocates a zero-initialized tensor of the given shape.
+  explicit Tensor(Shape shape);
+
+  // Wraps existing data; data.size() must equal the shape's element count.
+  Tensor(Shape shape, std::vector<float> data);
+
+  static Tensor zeros(const Shape& shape) { return Tensor(shape); }
+  static Tensor full(const Shape& shape, float value);
+  // Standard-normal entries scaled by stddev (He/Xavier init is built on
+  // top of this in src/nn).
+  static Tensor randn(const Shape& shape, class Rng& rng, float stddev = 1.0F);
+
+  const Shape& shape() const { return shape_; }
+  std::int64_t numel() const { return static_cast<std::int64_t>(data_.size()); }
+  std::int64_t dim(std::size_t axis) const { return shape_.at(axis); }
+  std::size_t rank() const { return shape_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  std::vector<float>& vec() { return data_; }
+  const std::vector<float>& vec() const { return data_; }
+
+  float& at(std::int64_t i) { return data_[static_cast<std::size_t>(i)]; }
+  float at(std::int64_t i) const { return data_[static_cast<std::size_t>(i)]; }
+
+  // 2-D indexed access (rows x cols); bounds are the caller's contract.
+  float& at2(std::int64_t r, std::int64_t c) {
+    return data_[static_cast<std::size_t>(r * shape_[1] + c)];
+  }
+  float at2(std::int64_t r, std::int64_t c) const {
+    return data_[static_cast<std::size_t>(r * shape_[1] + c)];
+  }
+
+  // 4-D indexed access (n, c, h, w) for NCHW activations.
+  float& at4(std::int64_t n, std::int64_t c, std::int64_t h, std::int64_t w);
+  float at4(std::int64_t n, std::int64_t c, std::int64_t h, std::int64_t w) const;
+
+  // Returns a tensor with the same data and a new shape of equal numel.
+  Tensor reshaped(Shape new_shape) const;
+
+  // In-place fills.
+  void fill(float value);
+  void zero() { fill(0.0F); }
+
+  // Elementwise in-place arithmetic; shapes must match exactly.
+  Tensor& operator+=(const Tensor& other);
+  Tensor& operator-=(const Tensor& other);
+  Tensor& operator*=(float scalar);
+
+  // Accumulate scalar * other into this tensor (axpy).
+  void add_scaled(const Tensor& other, float scalar);
+
+  // Euclidean (L2) norm of all entries, accumulated in double.
+  double l2_norm() const;
+
+ private:
+  Shape shape_;
+  std::vector<float> data_;
+};
+
+// Euclidean distance between two same-shaped tensors (double accumulation).
+// This is the distance measure the paper uses for reproduction errors.
+double l2_distance(const Tensor& a, const Tensor& b);
+double l2_distance(const std::vector<float>& a, const std::vector<float>& b);
+
+}  // namespace rpol

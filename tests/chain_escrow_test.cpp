@@ -1,0 +1,118 @@
+// Fair-exchange escrow tests: state machine rules, commitment gating,
+// dispute arbitration, and conservation of funds.
+
+#include <gtest/gtest.h>
+
+#include "chain/escrow.h"
+
+namespace rpol::chain {
+namespace {
+
+Digest root_of(int i) {
+  Bytes b;
+  append_u64(b, static_cast<std::uint64_t>(i));
+  return sha256(b);
+}
+
+struct EscrowFixture : public ::testing::Test {
+  FairExchangeEscrow make_funded(std::size_t workers = 3,
+                                 std::uint64_t amount = 1'000) {
+    FairExchangeEscrow escrow(workers, core::RewardPolicy{0});
+    escrow.fund(amount);
+    return escrow;
+  }
+};
+
+TEST_F(EscrowFixture, HappyPathSettlement) {
+  FairExchangeEscrow escrow = make_funded();
+  escrow.register_commitment(0, root_of(0));
+  escrow.register_commitment(1, root_of(1));
+  escrow.register_commitment(2, root_of(2));
+  escrow.submit_outcome({2, 2, 0});
+  const core::RewardDistribution d = escrow.settle();
+  EXPECT_EQ(escrow.state(), EscrowState::kSettled);
+  EXPECT_EQ(d.worker_payouts[0], 500u);
+  EXPECT_EQ(d.worker_payouts[1], 500u);
+  EXPECT_EQ(d.worker_payouts[2], 0u);
+  EXPECT_EQ(d.total(), 1'000u);
+  EXPECT_EQ(escrow.balance(), 0u);
+}
+
+TEST_F(EscrowFixture, StateMachineEnforcesOrder) {
+  FairExchangeEscrow escrow(2, core::RewardPolicy{0});
+  EXPECT_THROW(escrow.register_commitment(0, root_of(0)), std::logic_error);
+  EXPECT_THROW(escrow.submit_outcome({1, 1}), std::logic_error);
+  EXPECT_THROW(escrow.settle(), std::logic_error);
+  EXPECT_THROW(escrow.fund(0), std::invalid_argument);
+  escrow.fund(10);
+  EXPECT_THROW(escrow.fund(10), std::logic_error);  // double-fund
+  escrow.submit_outcome({1, 1});
+  EXPECT_THROW(escrow.submit_outcome({1, 1}), std::logic_error);
+}
+
+TEST_F(EscrowFixture, UncommittedWorkerCannotBePaid) {
+  FairExchangeEscrow escrow = make_funded(2);
+  escrow.register_commitment(0, root_of(0));
+  // Manager claims worker 1 contributed — but worker 1 never committed.
+  escrow.submit_outcome({1, 5});
+  const core::RewardDistribution d = escrow.settle();
+  EXPECT_EQ(d.worker_payouts[1], 0u);
+  EXPECT_EQ(d.worker_payouts[0], 1'000u);
+}
+
+TEST_F(EscrowFixture, CommitmentOncePerWorker) {
+  FairExchangeEscrow escrow = make_funded(2);
+  escrow.register_commitment(0, root_of(0));
+  EXPECT_THROW(escrow.register_commitment(0, root_of(7)), std::logic_error);
+  EXPECT_THROW(escrow.register_commitment(9, root_of(9)), std::out_of_range);
+  EXPECT_TRUE(escrow.commitment_of(0).has_value());
+  EXPECT_FALSE(escrow.commitment_of(1).has_value());
+}
+
+TEST_F(EscrowFixture, SuccessfulDisputeRestoresPayout) {
+  FairExchangeEscrow escrow = make_funded(2);
+  escrow.register_commitment(0, root_of(0));
+  escrow.register_commitment(1, root_of(1));
+  // Manager (wrongly) zeroes worker 1.
+  escrow.submit_outcome({2, 0});
+  const bool upheld = escrow.dispute(1, 2, [](std::size_t) { return true; });
+  EXPECT_TRUE(upheld);
+  const core::RewardDistribution d = escrow.settle();
+  EXPECT_EQ(d.worker_payouts[0], 500u);
+  EXPECT_EQ(d.worker_payouts[1], 500u);
+}
+
+TEST_F(EscrowFixture, RejectedDisputeChangesNothing) {
+  FairExchangeEscrow escrow = make_funded(2);
+  escrow.register_commitment(0, root_of(0));
+  escrow.register_commitment(1, root_of(1));
+  escrow.submit_outcome({2, 0});
+  EXPECT_FALSE(escrow.dispute(1, 2, [](std::size_t) { return false; }));
+  const core::RewardDistribution d = escrow.settle();
+  EXPECT_EQ(d.worker_payouts[1], 0u);
+}
+
+TEST_F(EscrowFixture, DisputeRules) {
+  FairExchangeEscrow escrow = make_funded(3);
+  escrow.register_commitment(0, root_of(0));
+  escrow.register_commitment(1, root_of(1));
+  escrow.submit_outcome({1, 1, 0});
+  // Already-credited workers cannot inflate via dispute.
+  EXPECT_FALSE(escrow.dispute(0, 5, [](std::size_t) { return true; }));
+  // Never-committed workers cannot dispute.
+  EXPECT_FALSE(escrow.dispute(2, 1, [](std::size_t) { return true; }));
+  EXPECT_THROW(escrow.dispute(9, 1, nullptr), std::out_of_range);
+  EXPECT_THROW(escrow.dispute(1, 0, nullptr), std::invalid_argument);
+}
+
+TEST_F(EscrowFixture, NoContributionsRefundStaysInEscrowAccounting) {
+  FairExchangeEscrow escrow = make_funded(2, 700);
+  escrow.register_commitment(0, root_of(0));
+  escrow.submit_outcome({0, 0});
+  const core::RewardDistribution d = escrow.settle();
+  EXPECT_EQ(d.undistributed, 700u);  // returned to the manager's float
+  EXPECT_EQ(d.total(), 700u);
+}
+
+}  // namespace
+}  // namespace rpol::chain

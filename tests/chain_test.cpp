@@ -1,0 +1,246 @@
+// Blockchain substrate tests: task pool, block linkage, consensus rounds
+// with AMLayer ownership verification, and the address-replacing attack.
+
+#include <gtest/gtest.h>
+
+#include "chain/blockchain.h"
+#include "data/partition.h"
+#include "data/synthetic.h"
+#include "nn/models.h"
+
+namespace rpol::chain {
+namespace {
+
+struct ChainFixture : public ::testing::Test {
+  void SetUp() override {
+    // Phase-coded classes: small margins, so the address-replacing attack
+    // visibly hurts accuracy (see data/synthetic.h).
+    data::SyntheticImageConfig data_cfg;
+    data_cfg.num_classes = 8;
+    data_cfg.num_examples = 320;
+    data_cfg.image_size = 6;
+    data_cfg.noise_stddev = 0.2F;
+    data_cfg.phase_coded = true;
+    data_cfg.min_frequency = 2.0F;
+    data_cfg.max_frequency = 2.0F;
+    data_cfg.seed = 5;
+    dataset = data::make_synthetic_images(data_cfg);
+    split = std::make_unique<data::TrainTestSplit>(
+        data::train_test_split(dataset, 0.3, 2));
+
+    nn::ModelConfig model_cfg;
+    model_cfg.image_size = 6;
+    model_cfg.width = 4;
+    model_cfg.num_classes = 8;
+    model_cfg.seed = 9;
+    base_factory = nn::mini_resnet18_factory(model_cfg, 1);
+
+    hp.learning_rate = 0.05F;
+    hp.batch_size = 12;
+    hp.steps_per_epoch = 7;
+    hp.checkpoint_interval = 3;
+  }
+
+  // Trains a model with the given AMLayer address and returns its proposal.
+  BlockProposal train_proposal(std::uint64_t addr_seed, std::int64_t steps) {
+    const Address address = Address::from_seed(addr_seed);
+    const core::AmLayerConfig am_cfg;
+    const nn::ModelFactory base = base_factory;
+    const nn::ModelFactory with_am = [base, am_cfg, address]() {
+      nn::Model m = base();
+      m.prepend(std::make_unique<core::AmLayer>(address, am_cfg));
+      return m;
+    };
+    core::StepExecutor executor(with_am, hp);
+    const core::DeterministicSelector selector(addr_seed);
+    executor.run_steps(0, steps, split->train, selector, nullptr);
+    BlockProposal proposal;
+    proposal.proposer = address;
+    proposal.base_factory = base_factory;
+    proposal.amlayer_config = am_cfg;
+    proposal.model_state = executor.model().state_vector();
+    return proposal;
+  }
+
+  data::Dataset dataset;
+  std::unique_ptr<data::TrainTestSplit> split;
+  nn::ModelFactory base_factory;
+  core::Hyperparams hp;
+};
+
+TEST_F(ChainFixture, GenesisAndTaskPool) {
+  Blockchain chain;
+  EXPECT_EQ(chain.height(), 1u);
+  EXPECT_TRUE(chain.validate_chain());
+  const auto id = chain.publish_task("resnet on synth images", 0.8, 100);
+  ASSERT_TRUE(chain.task(id).has_value());
+  EXPECT_EQ(chain.task(id)->reward, 100u);
+  EXPECT_FALSE(chain.task(9999).has_value());
+}
+
+TEST_F(ChainFixture, EmbeddedAmLayerVerification) {
+  const BlockProposal p = train_proposal(/*addr_seed=*/11, /*steps=*/3);
+  EXPECT_TRUE(
+      verify_embedded_amlayer(p.model_state, p.proposer, p.amlayer_config));
+  EXPECT_FALSE(verify_embedded_amlayer(p.model_state, Address::from_seed(12),
+                                       p.amlayer_config));
+}
+
+TEST_F(ChainFixture, RoundRewardsWinnerAndLinksBlock) {
+  Blockchain chain;
+  const auto task_id = chain.publish_task("task", 0.5, 42);
+  std::vector<BlockProposal> proposals;
+  proposals.push_back(train_proposal(21, /*steps=*/14));  // trains more
+  proposals.push_back(train_proposal(22, /*steps=*/3));   // trains less
+  const auto winner = chain.run_round(task_id, std::move(proposals),
+                                      split->test, hp);
+  ASSERT_TRUE(winner.has_value());
+  EXPECT_EQ(chain.height(), 2u);
+  EXPECT_TRUE(chain.validate_chain());
+  const Address winner_addr = chain.tip().header.proposer;
+  EXPECT_EQ(chain.balance(winner_addr), 42u);
+}
+
+TEST_F(ChainFixture, AddressReplacingProposalIsRejected) {
+  // A thief takes node 31's trained model and claims it under address 32
+  // without retraining: the embedded AMLayer still derives from 31, so the
+  // ownership check fails and the proposal is discarded.
+  Blockchain chain;
+  const auto task_id = chain.publish_task("task", 0.5, 10);
+  BlockProposal stolen = train_proposal(31, 14);
+  stolen.proposer = Address::from_seed(32);
+  std::vector<BlockProposal> proposals;
+  proposals.push_back(std::move(stolen));
+  const auto winner =
+      chain.run_round(task_id, std::move(proposals), split->test, hp);
+  EXPECT_FALSE(winner.has_value());
+  EXPECT_EQ(chain.height(), 1u);
+  EXPECT_EQ(chain.balance(Address::from_seed(32)), 0u);
+}
+
+TEST_F(ChainFixture, AddressReplacingWithReencodedLayerLosesAccuracy) {
+  // The smarter thief overwrites the AMLayer slice with the one derived
+  // from its own address so the ownership check passes — but the upper
+  // layers were trained under the victim's mapping, so accuracy collapses
+  // (Table I's "Accuracy (w Attack)").
+  const BlockProposal victim = train_proposal(41, 120);
+  const double honest_acc =
+      evaluate_proposal_accuracy(victim, victim.proposer, split->test, hp);
+
+  BlockProposal thief = victim;
+  thief.proposer = Address::from_seed(42);
+  const Tensor thief_weights =
+      core::derive_amlayer_weight(thief.proposer, thief.amlayer_config);
+  for (std::int64_t i = 0; i < thief_weights.numel(); ++i) {
+    thief.model_state[static_cast<std::size_t>(i)] = thief_weights.at(i);
+  }
+  ASSERT_TRUE(verify_embedded_amlayer(thief.model_state, thief.proposer,
+                                      thief.amlayer_config));
+  const double stolen_acc =
+      evaluate_proposal_accuracy(thief, thief.proposer, split->test, hp);
+  EXPECT_LT(stolen_acc, honest_acc);
+}
+
+TEST_F(ChainFixture, MalformedProposalDiscardedNotFatal) {
+  // A proposal whose state vector doesn't fit the architecture must be
+  // discarded, not crash the consensus round.
+  Blockchain chain;
+  const auto task_id = chain.publish_task("t", 0.5, 10);
+  BlockProposal good = train_proposal(71, 10);
+  BlockProposal broken = good;
+  broken.model_state.resize(broken.model_state.size() / 2);
+  std::vector<BlockProposal> proposals;
+  proposals.push_back(std::move(broken));
+  proposals.push_back(std::move(good));
+  const auto winner =
+      chain.run_round(task_id, std::move(proposals), split->test, hp);
+  ASSERT_TRUE(winner.has_value());
+  EXPECT_EQ(*winner, 1u);  // the intact proposal wins
+}
+
+TEST_F(ChainFixture, RunRoundUnknownTaskThrows) {
+  Blockchain chain;
+  EXPECT_THROW(chain.run_round(77, {}, split->test, hp), std::invalid_argument);
+}
+
+TEST_F(ChainFixture, BlockHashCoversHeaderFields) {
+  Block a;
+  a.header.height = 1;
+  a.header.proposer = Address::from_seed(1);
+  Block b = a;
+  EXPECT_TRUE(digest_equal(a.hash(), b.hash()));
+  b.header.claimed_accuracy = 0.9;
+  EXPECT_FALSE(digest_equal(a.hash(), b.hash()));
+  b = a;
+  b.header.task_id = 5;
+  EXPECT_FALSE(digest_equal(a.hash(), b.hash()));
+}
+
+TEST_F(ChainFixture, PersistenceRoundTrip) {
+  Blockchain chain;
+  const auto t1 = chain.publish_task("persisted task", 0.6, 33);
+  {
+    std::vector<BlockProposal> ps;
+    ps.push_back(train_proposal(61, 7));
+    ASSERT_TRUE(chain.run_round(t1, std::move(ps), split->test, hp).has_value());
+  }
+  const Bytes snapshot = chain.to_bytes();
+  const Blockchain restored = Blockchain::from_bytes(snapshot);
+  EXPECT_EQ(restored.height(), chain.height());
+  EXPECT_TRUE(restored.validate_chain());
+  EXPECT_TRUE(digest_equal(restored.tip().hash(), chain.tip().hash()));
+  EXPECT_EQ(restored.balance(Address::from_seed(61)), 33u);
+  ASSERT_TRUE(restored.task(t1).has_value());
+  EXPECT_EQ(restored.task(t1)->description, "persisted task");
+  EXPECT_EQ(restored.tip().model_state, chain.tip().model_state);
+  // A second snapshot of the restored chain is byte-identical (canonical).
+  EXPECT_EQ(restored.to_bytes(), snapshot);
+}
+
+TEST_F(ChainFixture, TamperedSnapshotRejected) {
+  Blockchain chain;
+  const auto t1 = chain.publish_task("t", 0.5, 5);
+  {
+    std::vector<BlockProposal> ps;
+    ps.push_back(train_proposal(62, 7));
+    ASSERT_TRUE(chain.run_round(t1, std::move(ps), split->test, hp).has_value());
+  }
+  Bytes snapshot = chain.to_bytes();
+  // Corrupt a byte inside the second block's parent hash: the restored
+  // chain must fail hash-link validation.
+  snapshot[8 + 8 + 8 + 5] ^= 0x01;  // magic + count + height + offset into parent hash... of genesis
+  bool rejected = false;
+  try {
+    const Blockchain restored = Blockchain::from_bytes(snapshot);
+    rejected = !restored.validate_chain();
+  } catch (const std::exception&) {
+    rejected = true;
+  }
+  EXPECT_TRUE(rejected);
+
+  Bytes garbage{1, 2, 3};
+  EXPECT_ANY_THROW(Blockchain::from_bytes(garbage));
+}
+
+TEST_F(ChainFixture, MultipleRoundsExtendChain) {
+  Blockchain chain;
+  const auto t1 = chain.publish_task("t1", 0.5, 5);
+  const auto t2 = chain.publish_task("t2", 0.5, 7);
+  {
+    std::vector<BlockProposal> ps;
+    ps.push_back(train_proposal(51, 7));
+    ASSERT_TRUE(chain.run_round(t1, std::move(ps), split->test, hp).has_value());
+  }
+  {
+    std::vector<BlockProposal> ps;
+    ps.push_back(train_proposal(52, 7));
+    ASSERT_TRUE(chain.run_round(t2, std::move(ps), split->test, hp).has_value());
+  }
+  EXPECT_EQ(chain.height(), 3u);
+  EXPECT_TRUE(chain.validate_chain());
+  EXPECT_EQ(chain.balance(Address::from_seed(51)), 5u);
+  EXPECT_EQ(chain.balance(Address::from_seed(52)), 7u);
+}
+
+}  // namespace
+}  // namespace rpol::chain

@@ -1,0 +1,166 @@
+// AMLayer tests (Sec. V-A): deterministic derivation from the address,
+// Lipschitz/spectral-norm bound, invertibility (bi-Lipschitz sandwich),
+// ownership verification, and information preservation under training.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/amlayer.h"
+#include "nn/models.h"
+#include "tensor/ops.h"
+
+namespace rpol::core {
+namespace {
+
+Address addr(std::uint64_t seed) { return Address::from_seed(seed); }
+
+TEST(AmLayer, WeightsDeterministicPerAddress) {
+  const AmLayerConfig cfg;
+  const Tensor w1 = derive_amlayer_weight(addr(1), cfg);
+  const Tensor w2 = derive_amlayer_weight(addr(1), cfg);
+  const Tensor w3 = derive_amlayer_weight(addr(2), cfg);
+  EXPECT_EQ(w1.vec(), w2.vec());
+  EXPECT_NE(w1.vec(), w3.vec());
+}
+
+TEST(AmLayer, SpectralNormBounded) {
+  AmLayerConfig cfg;
+  cfg.scaling_c = 0.5F;
+  for (std::uint64_t s = 1; s <= 10; ++s) {
+    AmLayer layer(addr(s), cfg);
+    EXPECT_LE(layer.spectral_norm(), cfg.scaling_c + 1e-4F) << "seed " << s;
+  }
+}
+
+TEST(AmLayer, InvalidAddressThrows) {
+  EXPECT_THROW(derive_amlayer_weight(Address{}, AmLayerConfig{}),
+               std::invalid_argument);
+}
+
+TEST(AmLayer, WeightIsFrozen) {
+  AmLayer layer(addr(3), AmLayerConfig{});
+  std::vector<nn::Param*> params;
+  layer.collect_params(params);
+  ASSERT_EQ(params.size(), 1u);
+  EXPECT_FALSE(params[0]->trainable);
+}
+
+// Property sweep: the residual branch g satisfies ||g(x1)-g(x2)|| <= c
+// ||x1-x2|| (Eq. 3) for random input pairs — equivalently the full layer is
+// bi-Lipschitz with constants (1-c, 1+c), which is what makes it invertible
+// and information-preserving.
+class AmLayerLipschitz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AmLayerLipschitz, ResidualBranchIsContractive) {
+  AmLayerConfig cfg;
+  cfg.scaling_c = 0.5F;
+  AmLayer layer(addr(GetParam()), cfg);
+  Rng rng(derive_seed(GetParam(), 5));
+  for (int trial = 0; trial < 5; ++trial) {
+    const Tensor x1 = Tensor::randn({2, 3, 6, 6}, rng);
+    Tensor delta = Tensor::randn({2, 3, 6, 6}, rng, 0.1F);
+    Tensor x2 = x1;
+    x2 += delta;
+    const Tensor y1 = layer.forward(x1, false);
+    const Tensor y2 = layer.forward(x2, false);
+    // g(x) = AMLayer(x) - x.
+    Tensor g1 = y1, g2 = y2;
+    g1 -= x1;
+    g2 -= x2;
+    g1 -= g2;  // g(x1) - g(x2)
+    const double branch_dist = g1.l2_norm();
+    const double input_dist = l2_distance(x1, x2);
+    EXPECT_LE(branch_dist, cfg.scaling_c * input_dist * 1.05)
+        << "trial " << trial;
+    // Bi-Lipschitz sandwich on the whole layer.
+    const double out_dist = l2_distance(y1, y2);
+    EXPECT_GE(out_dist, (1.0 - cfg.scaling_c) * input_dist * 0.95);
+    EXPECT_LE(out_dist, (1.0 + cfg.scaling_c) * input_dist * 1.05);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Addresses, AmLayerLipschitz,
+                         ::testing::Values(11, 22, 33, 44, 55, 66));
+
+TEST(AmLayer, BackwardMatchesFiniteDifference) {
+  // Directional derivative check on sum(AMLayer(x)).
+  AmLayer layer(addr(9), AmLayerConfig{});
+  Rng rng(77);
+  const Tensor x = Tensor::randn({1, 3, 4, 4}, rng);
+
+  const Tensor ones = Tensor::full({1, 3, 4, 4}, 1.0F);
+  layer.forward(x, true);
+  const Tensor grad = layer.backward(ones);
+
+  Rng dir_rng(78);
+  const Tensor direction = Tensor::randn({1, 3, 4, 4}, dir_rng);
+  const float eps = 1e-3F;
+  Tensor xp = x, xm = x;
+  xp.add_scaled(direction, eps);
+  xm.add_scaled(direction, -eps);
+  auto total = [&](const Tensor& input) {
+    AmLayer fresh(addr(9), AmLayerConfig{});
+    const Tensor y = fresh.forward(input, true);
+    double s = 0.0;
+    for (const float v : y.vec()) s += v;
+    return s;
+  };
+  const double numeric = (total(xp) - total(xm)) / (2.0 * eps);
+  double analytic = 0.0;
+  for (std::int64_t i = 0; i < grad.numel(); ++i) {
+    analytic += static_cast<double>(grad.at(i)) * direction.at(i);
+  }
+  EXPECT_NEAR(numeric, analytic, std::abs(analytic) * 1e-2 + 1e-2);
+}
+
+TEST(AmLayer, OwnerVerification) {
+  AmLayer layer(addr(4), AmLayerConfig{});
+  EXPECT_TRUE(verify_amlayer_owner(layer, addr(4)));
+  EXPECT_FALSE(verify_amlayer_owner(layer, addr(5)));
+}
+
+TEST(AmLayer, PrependIntoModelKeepsAmWeightsFirst) {
+  nn::ModelConfig cfg;
+  cfg.image_size = 8;
+  cfg.width = 2;
+  cfg.num_classes = 3;
+  nn::Model m = nn::make_mini_resnet18(cfg, 1);
+  const std::int64_t base_params = m.num_parameters();
+  m.prepend(std::make_unique<AmLayer>(addr(6), AmLayerConfig{}));
+  const Tensor expected = derive_amlayer_weight(addr(6), AmLayerConfig{});
+  EXPECT_EQ(m.num_parameters(), base_params + expected.numel());
+  const auto state = m.state_vector();
+  for (std::int64_t i = 0; i < expected.numel(); ++i) {
+    EXPECT_EQ(state[static_cast<std::size_t>(i)], expected.at(i));
+  }
+  // Forward still produces logits of the right shape.
+  Rng rng(80);
+  const Tensor x = Tensor::randn({2, 3, 8, 8}, rng);
+  EXPECT_EQ(m.forward(x, true).shape(), (Shape{2, 3}));
+}
+
+TEST(AmLayer, DifferentAddressesChangeRepresentation) {
+  // Feeding the same input through AMLayers of two addresses produces
+  // different activations — the mechanism behind the address-replacing
+  // accuracy collapse (Table I).
+  AmLayer a(addr(7), AmLayerConfig{});
+  AmLayer b(addr(8), AmLayerConfig{});
+  Rng rng(81);
+  const Tensor x = Tensor::randn({1, 3, 6, 6}, rng);
+  const Tensor ya = a.forward(x, false);
+  const Tensor yb = b.forward(x, false);
+  EXPECT_GT(l2_distance(ya, yb), 0.1);
+}
+
+TEST(AmLayer, ScalingBelowSigmaKeepsWeightsUnscaled) {
+  // If c / sigma >= 1 the weights are left alone per Eq. (4). Use a large c
+  // so the branch is (almost surely) not rescaled.
+  AmLayerConfig big;
+  big.scaling_c = 100.0F;
+  AmLayer layer(addr(10), big);
+  EXPECT_LT(layer.spectral_norm(), big.scaling_c);
+}
+
+}  // namespace
+}  // namespace rpol::core

@@ -1,0 +1,145 @@
+// Asynchronous-pool tests: staleness bookkeeping, verification of async
+// submissions, convergence, and the staleness-discount ablation.
+
+#include <gtest/gtest.h>
+
+#include "core/async_pool.h"
+#include "task_fixture.h"
+
+namespace rpol::core {
+namespace {
+
+using rpol::testing::TinyTask;
+
+struct AsyncFixture : public ::testing::Test {
+  void SetUp() override {
+    task = TinyTask::make(/*seed=*/171, /*steps=*/8, /*interval=*/2);
+    split = std::make_unique<data::TrainTestSplit>(
+        data::train_test_split(task.dataset, 0.25, 5));
+  }
+
+  AsyncPoolConfig config(std::int64_t ticks = 12) {
+    AsyncPoolConfig cfg;
+    cfg.hp = task.hp;
+    cfg.ticks = ticks;
+    cfg.beta = 2e-3;
+    cfg.seed = 19;
+    return cfg;
+  }
+
+  std::vector<AsyncWorkerSpec> workers(std::size_t num_adv,
+                                       std::vector<std::int64_t> periods) {
+    std::vector<AsyncWorkerSpec> specs;
+    const auto devices = sim::all_devices();
+    for (std::size_t w = 0; w < periods.size(); ++w) {
+      AsyncWorkerSpec spec;
+      if (w < num_adv) {
+        spec.policy = std::make_unique<SpoofPolicy>(0.1, 0.5);
+      } else {
+        spec.policy = std::make_unique<HonestPolicy>();
+      }
+      spec.device = devices[w % devices.size()];
+      spec.period = periods[w];
+      specs.push_back(std::move(spec));
+    }
+    return specs;
+  }
+
+  TinyTask task{TinyTask::make()};
+  std::unique_ptr<data::TrainTestSplit> split;
+};
+
+TEST_F(AsyncFixture, HonestWorkersAllAcceptedAndModelImproves) {
+  AsyncMiningPool pool(config(), task.factory, task.dataset, split->test,
+                       workers(0, {1, 2, 3, 4}));
+  const AsyncRunReport report = pool.run();
+  EXPECT_EQ(report.rejected, 0);
+  EXPECT_GT(report.applied, 0);
+  EXPECT_GT(report.final_accuracy, report.accuracy_curve.front());
+  EXPECT_GT(report.final_accuracy, 0.5);
+}
+
+TEST_F(AsyncFixture, FastWorkersSubmitMoreOften) {
+  AsyncMiningPool pool(config(12), task.factory, task.dataset, split->test,
+                       workers(0, {1, 4}));
+  const AsyncRunReport report = pool.run();
+  std::int64_t fast = 0, slow = 0;
+  for (const auto& s : report.submissions) {
+    (s.worker == 0 ? fast : slow) += 1;
+  }
+  EXPECT_EQ(fast, 12);
+  EXPECT_EQ(slow, 3);
+}
+
+TEST_F(AsyncFixture, StalenessReflectsConcurrentUpdates) {
+  AsyncMiningPool pool(config(8), task.factory, task.dataset, split->test,
+                       workers(0, {1, 4}));
+  const AsyncRunReport report = pool.run();
+  // The slow worker's submissions must report positive staleness: the fast
+  // worker applied several updates while it trained.
+  bool slow_saw_staleness = false;
+  for (const auto& s : report.submissions) {
+    if (s.worker == 1 && s.staleness > 0) slow_saw_staleness = true;
+    if (s.worker == 0 && s.tick == 1) {
+      EXPECT_EQ(s.staleness, 0);
+    }
+  }
+  EXPECT_TRUE(slow_saw_staleness);
+}
+
+TEST_F(AsyncFixture, AsyncAdversariesRejected) {
+  AsyncMiningPool pool(config(8), task.factory, task.dataset, split->test,
+                       workers(1, {1, 1, 2}));
+  const AsyncRunReport report = pool.run();
+  std::int64_t adv_accepted = 0, honest_rejected = 0;
+  for (const auto& s : report.submissions) {
+    if (s.worker == 0 && s.accepted) ++adv_accepted;
+    if (s.worker != 0 && !s.accepted) ++honest_rejected;
+  }
+  EXPECT_EQ(adv_accepted, 0);
+  EXPECT_EQ(honest_rejected, 0);
+  EXPECT_GT(report.rejected, 0);
+}
+
+TEST_F(AsyncFixture, UnverifiedAsyncPoolAbsorbsSpoofedUpdates) {
+  AsyncPoolConfig insecure = config(8);
+  insecure.verify = false;
+  AsyncMiningPool verified_pool(config(8), task.factory, task.dataset,
+                                split->test, workers(2, {1, 1, 1, 2}));
+  AsyncMiningPool insecure_pool(insecure, task.factory, task.dataset,
+                                split->test, workers(2, {1, 1, 1, 2}));
+  const AsyncRunReport vr = verified_pool.run();
+  const AsyncRunReport ir = insecure_pool.run();
+  EXPECT_EQ(ir.rejected, 0);
+  EXPECT_GE(vr.final_accuracy, ir.final_accuracy - 0.02);
+}
+
+TEST_F(AsyncFixture, StalenessDiscountStabilizesSlowPools) {
+  // With very heterogeneous speeds, discounting stale updates should not
+  // hurt (and typically helps) final accuracy vs applying them at full
+  // weight. At minimum both must converge above chance.
+  AsyncPoolConfig discounted = config(16);
+  discounted.staleness_discount = 0.5;
+  AsyncPoolConfig undiscounted = config(16);
+  undiscounted.staleness_discount = 1.0;
+  AsyncMiningPool a(discounted, task.factory, task.dataset, split->test,
+                    workers(0, {1, 1, 6, 6}));
+  AsyncMiningPool b(undiscounted, task.factory, task.dataset, split->test,
+                    workers(0, {1, 1, 6, 6}));
+  const double acc_discounted = a.run().final_accuracy;
+  const double acc_undiscounted = b.run().final_accuracy;
+  EXPECT_GT(acc_discounted, 0.4);
+  EXPECT_GT(acc_undiscounted, 0.4);
+}
+
+TEST_F(AsyncFixture, InvalidConfigsThrow) {
+  EXPECT_THROW(AsyncMiningPool(config(), task.factory, task.dataset,
+                               split->test, {}),
+               std::invalid_argument);
+  EXPECT_THROW(AsyncMiningPool(config(), task.factory, task.dataset,
+                               split->test, workers(0, {0})),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rpol::core

@@ -1,0 +1,144 @@
+// Adaptive-calibration tests (Sec. V-C / VII-C): reproduction-error
+// measurement across device pairs, the Fig. 4 trends, alpha/beta
+// derivation and LSH re-optimization.
+
+#include <gtest/gtest.h>
+
+#include "core/calibrate.h"
+#include "data/partition.h"
+#include "sim/stats.h"
+#include "task_fixture.h"
+
+namespace rpol::core {
+namespace {
+
+using rpol::testing::TinyTask;
+
+struct CalibrationFixture : public ::testing::Test {
+  void SetUp() override {
+    task = TinyTask::make(/*seed=*/31, /*steps=*/12, /*interval=*/3);
+    view = data::DatasetView::whole(task.dataset);
+    context = task.context(/*nonce=*/555, view);
+  }
+
+  std::vector<double> errors(const sim::DeviceProfile& a, std::uint64_t sa,
+                             const sim::DeviceProfile& b, std::uint64_t sb) {
+    return measure_reproduction_errors(task.factory, task.hp, context, a, sa, b,
+                                       sb);
+  }
+
+  TinyTask task{TinyTask::make()};
+  data::DatasetView view;
+  EpochContext context;
+};
+
+TEST_F(CalibrationFixture, ErrorsExistOnSameDeviceDifferentRuns) {
+  const auto errs = errors(sim::device_g3090(), 1, sim::device_g3090(), 2);
+  ASSERT_EQ(errs.size(), 4u);
+  for (const double e : errs) EXPECT_GT(e, 0.0);
+}
+
+TEST_F(CalibrationFixture, IdenticalRunsHaveZeroError) {
+  // Same device AND same run seed => bit-identical noise => zero distance.
+  const auto errs = errors(sim::device_g3090(), 7, sim::device_g3090(), 7);
+  for (const double e : errs) EXPECT_EQ(e, 0.0);
+}
+
+TEST_F(CalibrationFixture, FasterDevicePairsLargerErrors) {
+  // Fig. 4: the top-2 pair (G3090, GA10) shows the largest errors; a slow
+  // pair (GT4, GP100) the smallest. Average over several runs to de-noise.
+  auto mean_error = [&](const sim::DeviceProfile& a, const sim::DeviceProfile& b) {
+    double total = 0.0;
+    int count = 0;
+    for (std::uint64_t s = 0; s < 3; ++s) {
+      for (const double e : errors(a, 100 + s, b, 200 + s)) {
+        total += e;
+        ++count;
+      }
+    }
+    return total / count;
+  };
+  const double fast_pair = mean_error(sim::device_g3090(), sim::device_ga10());
+  const double slow_pair = mean_error(sim::device_gt4(), sim::device_gp100());
+  EXPECT_GT(fast_pair, slow_pair);
+}
+
+TEST_F(CalibrationFixture, ErrorsGrowWithCheckpointInterval) {
+  // Sec. VII-C: reproduction errors grow (~linearly) with the interval.
+  auto mean_for_interval = [&](std::int64_t interval) {
+    TinyTask t = TinyTask::make(/*seed=*/31, /*steps=*/12, interval);
+    const auto v = data::DatasetView::whole(t.dataset);
+    const EpochContext ctx = t.context(555, v);
+    const auto errs = measure_reproduction_errors(
+        t.factory, t.hp, ctx, sim::device_g3090(), 11, sim::device_ga10(), 12);
+    return sim::mean(errs);
+  };
+  const double e2 = mean_for_interval(2);
+  const double e6 = mean_for_interval(6);
+  EXPECT_GT(e6, 1.5 * e2);
+}
+
+TEST_F(CalibrationFixture, IidSubtasksHaveSimilarErrors) {
+  // Fig. 4: errors across i.i.d. sub-datasets are close (within a small
+  // factor), supporting the manager estimating alpha from its own part.
+  const auto parts = data::shuffle_and_partition(task.dataset, 4, 9);
+  std::vector<double> means;
+  for (const auto& part : parts) {
+    EpochContext ctx = context;
+    ctx.dataset = &part;
+    const auto errs = measure_reproduction_errors(
+        task.factory, task.hp, ctx, sim::device_g3090(), 21, sim::device_ga10(),
+        22);
+    means.push_back(sim::mean(errs));
+  }
+  const double lo = sim::min_value(means);
+  const double hi = sim::max_value(means);
+  EXPECT_LT(hi / lo, 3.0);
+}
+
+TEST_F(CalibrationFixture, CalibrateEpochProducesSaneThresholds) {
+  CalibrationConfig cfg;  // beta = 5 alpha
+  const CalibrationResult result =
+      calibrate_epoch(task.factory, task.hp, context, sim::device_g3090(),
+                      sim::device_ga10(), /*epoch_seed=*/3, cfg);
+  EXPECT_GT(result.alpha, 0.0);
+  EXPECT_NEAR(result.beta, 5.0 * result.alpha, 1e-12);
+  EXPECT_GE(result.alpha, result.max_error * 0.5);
+  EXPECT_LE(result.lsh.params.k * result.lsh.params.l, cfg.k_lsh);
+  // The tuned family tolerates alpha and rejects beta on the analytic model.
+  EXPECT_GT(result.lsh.pr_alpha, 0.9);
+  EXPECT_LT(result.lsh.pr_beta, 0.1);
+}
+
+TEST_F(CalibrationFixture, AlphaCoversObservedWorkerErrors) {
+  // The manager's alpha (mean + sd on its own sub-task, top-2 devices) must
+  // upper-bound typical worker reproduction distances measured under the
+  // verification pairing (worker GA10 vs manager G3090) — the "0 false
+  // negatives" premise of Sec. VII-D. Allow beta as the hard bound.
+  CalibrationConfig cfg;
+  const CalibrationResult calib =
+      calibrate_epoch(task.factory, task.hp, context, sim::device_g3090(),
+                      sim::device_ga10(), 5, cfg);
+  const auto worker_errors =
+      errors(sim::device_ga10(), 300, sim::device_g3090(), 301);
+  for (const double e : worker_errors) {
+    EXPECT_LT(e, calib.beta);
+  }
+}
+
+TEST_F(CalibrationFixture, PerTaskErrorsLookNormal) {
+  // Sec. VII-C: reproduction errors for the same task over i.i.d. data
+  // "follow a normal distribution" (KS-tested). The per-task statistic is
+  // the run's mean checkpoint error; collect it over many independent runs.
+  std::vector<double> per_task;
+  for (std::uint64_t s = 0; s < 40; ++s) {
+    per_task.push_back(sim::mean(
+        errors(sim::device_g3090(), 1000 + s, sim::device_ga10(), 2000 + s)));
+  }
+  const auto ks = sim::ks_normality_test(per_task);
+  EXPECT_TRUE(ks.normal_at_5pct) << "KS stat=" << ks.statistic
+                                 << " p=" << ks.p_value;
+}
+
+}  // namespace
+}  // namespace rpol::core

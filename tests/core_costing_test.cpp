@@ -1,0 +1,142 @@
+// Tests for the real-scale analytic cost model behind Tables II/III.
+
+#include <gtest/gtest.h>
+
+#include "core/costing.h"
+
+namespace rpol::core {
+namespace {
+
+CostScenario scenario(Scheme scheme, std::size_t workers = 100) {
+  CostScenario s;
+  s.scheme = scheme;
+  s.model = sim::real_resnet50();
+  s.dataset = sim::real_imagenet();
+  s.num_workers = workers;
+  return s;
+}
+
+TEST(Costing, StepsPerWorkerEpoch) {
+  // 1,281,167 images / 100 workers / batch 128 = 100 steps.
+  EXPECT_EQ(steps_per_worker_epoch(scenario(Scheme::kBaseline)), 100);
+  // 100 steps / interval 5 = 20 transitions + initial = 21 checkpoints.
+  EXPECT_EQ(checkpoints_per_epoch(scenario(Scheme::kBaseline)), 21);
+}
+
+TEST(Costing, BaselineHasNoVerificationCosts) {
+  const auto r = estimate_epoch_cost(scenario(Scheme::kBaseline));
+  EXPECT_EQ(r.manager_verify_s, 0.0);
+  EXPECT_EQ(r.manager_calibrate_s, 0.0);
+  EXPECT_EQ(r.worker_lsh_s, 0.0);
+  EXPECT_EQ(r.proof_bytes_total, 0u);
+  EXPECT_EQ(r.storage_bytes_per_worker, sim::real_resnet50().weight_bytes);
+}
+
+TEST(Costing, PaperTableIIIUploadVolumes) {
+  // Paper: 8.8 / 62 / 35.6 GB for Baseline / v1 / v2.
+  const double gb = 1024.0 * 1024.0 * 1024.0;
+  const auto base = estimate_epoch_cost(scenario(Scheme::kBaseline));
+  const auto v1 = estimate_epoch_cost(scenario(Scheme::kRPoLv1));
+  const auto v2 = estimate_epoch_cost(scenario(Scheme::kRPoLv2));
+  EXPECT_NEAR(static_cast<double>(base.upload_bytes_total) / gb, 8.8, 0.3);
+  EXPECT_NEAR(static_cast<double>(v1.upload_bytes_total) / gb, 62.0, 1.0);
+  EXPECT_NEAR(static_cast<double>(v2.upload_bytes_total) / gb, 35.6, 0.5);
+}
+
+TEST(Costing, PaperWorkerComputeTime) {
+  // Paper Table III: worker compute ~30 s per epoch.
+  const auto r = estimate_epoch_cost(scenario(Scheme::kBaseline));
+  EXPECT_NEAR(r.worker_train_s, 30.0, 3.0);
+}
+
+TEST(Costing, V2CommCheaperStorageDearer) {
+  const auto v1 = estimate_epoch_cost(scenario(Scheme::kRPoLv1));
+  const auto v2 = estimate_epoch_cost(scenario(Scheme::kRPoLv2));
+  EXPECT_LT(v2.upload_bytes_total, v1.upload_bytes_total);
+  EXPECT_GT(v2.storage_bytes_per_worker, v1.storage_bytes_per_worker);
+  EXPECT_LT(v2.capital.total(), v1.capital.total());
+  EXPECT_GT(v2.manager_compute_s(), v1.manager_compute_s());  // calibration
+}
+
+TEST(Costing, SchemeOrderingOfEpochTime) {
+  for (const std::size_t workers : {10u, 100u}) {
+    const auto base = estimate_epoch_cost(scenario(Scheme::kBaseline, workers));
+    const auto v1 = estimate_epoch_cost(scenario(Scheme::kRPoLv1, workers));
+    const auto v2 = estimate_epoch_cost(scenario(Scheme::kRPoLv2, workers));
+    EXPECT_LT(base.epoch_wall_s, v2.epoch_wall_s) << workers;
+    EXPECT_LT(v2.epoch_wall_s, v1.epoch_wall_s) << workers;
+  }
+}
+
+TEST(Costing, EpochTimeDropsWithPoolSize) {
+  for (const Scheme scheme :
+       {Scheme::kBaseline, Scheme::kRPoLv1, Scheme::kRPoLv2}) {
+    const auto small = estimate_epoch_cost(scenario(scheme, 10));
+    const auto large = estimate_epoch_cost(scenario(scheme, 100));
+    EXPECT_LT(large.epoch_wall_s, small.epoch_wall_s)
+        << scheme_name(scheme);
+  }
+}
+
+TEST(Costing, DoubleCheckRateAddsProofTraffic) {
+  CostScenario with_dc = scenario(Scheme::kRPoLv2);
+  with_dc.double_check_rate = 0.5;
+  const auto without = estimate_epoch_cost(scenario(Scheme::kRPoLv2));
+  const auto with = estimate_epoch_cost(with_dc);
+  EXPECT_GT(with.upload_bytes_total, without.upload_bytes_total);
+}
+
+TEST(Costing, MoreSamplesCostMore) {
+  CostScenario many_q = scenario(Scheme::kRPoLv1);
+  many_q.samples_q = 10;
+  const auto few = estimate_epoch_cost(scenario(Scheme::kRPoLv1));
+  const auto many = estimate_epoch_cost(many_q);
+  EXPECT_GT(many.manager_verify_s, few.manager_verify_s);
+  EXPECT_GT(many.upload_bytes_total, few.upload_bytes_total);
+}
+
+TEST(Costing, LargerIntervalCutsStorage) {
+  CostScenario coarse = scenario(Scheme::kRPoLv1);
+  coarse.checkpoint_interval = 20;
+  const auto fine = estimate_epoch_cost(scenario(Scheme::kRPoLv1));
+  const auto coarse_r = estimate_epoch_cost(coarse);
+  EXPECT_LT(coarse_r.storage_bytes_per_worker, fine.storage_bytes_per_worker);
+  EXPECT_GT(coarse_r.manager_verify_s, fine.manager_verify_s);
+}
+
+TEST(Costing, VggCommunicationDominanceAmplifiesLshGain) {
+  // The v2-vs-v1 wall-time gain must be larger for VGG16 (communication-
+  // bound) than for ResNet50 (compute-bound) — the paper's Table II story.
+  auto gain = [](const sim::RealModelSpec& model) {
+    CostScenario s1;
+    s1.scheme = Scheme::kRPoLv1;
+    s1.model = model;
+    s1.dataset = sim::real_imagenet();
+    s1.num_workers = 100;
+    CostScenario s2 = s1;
+    s2.scheme = Scheme::kRPoLv2;
+    const double t1 = estimate_epoch_cost(s1).epoch_wall_s;
+    const double t2 = estimate_epoch_cost(s2).epoch_wall_s;
+    return (t1 - t2) / t1;
+  };
+  EXPECT_GT(gain(sim::real_vgg16()), gain(sim::real_resnet50()));
+}
+
+TEST(Costing, ZeroWorkersThrows) {
+  CostScenario s = scenario(Scheme::kBaseline);
+  s.num_workers = 0;
+  EXPECT_THROW(estimate_epoch_cost(s), std::invalid_argument);
+}
+
+TEST(Costing, CapitalCostComponentsPositive) {
+  const auto r = estimate_epoch_cost(scenario(Scheme::kRPoLv2));
+  EXPECT_GT(r.capital.compute_usd, 0.0);
+  EXPECT_GT(r.capital.comm_usd, 0.0);
+  EXPECT_GT(r.capital.storage_usd, 0.0);
+  EXPECT_NEAR(r.capital.total(),
+              r.capital.compute_usd + r.capital.comm_usd + r.capital.storage_usd,
+              1e-12);
+}
+
+}  // namespace
+}  // namespace rpol::core

@@ -1,0 +1,155 @@
+// Economics tests: Theorems 2-3 closed forms, including the paper's quoted
+// sample counts, plus Monte-Carlo validation of the soundness bound against
+// the actual sampling mechanism.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/economics.h"
+#include "core/verifier.h"
+
+namespace rpol::core {
+namespace {
+
+TEST(Economics, PerSampleEvasion) {
+  EXPECT_DOUBLE_EQ(per_sample_evasion(0.0, 0.05), 0.05);
+  EXPECT_DOUBLE_EQ(per_sample_evasion(1.0, 0.05), 1.0);
+  EXPECT_NEAR(per_sample_evasion(0.5, 0.05), 0.525, 1e-12);
+  EXPECT_THROW(per_sample_evasion(-0.1, 0.05), std::invalid_argument);
+  EXPECT_THROW(per_sample_evasion(0.5, 1.5), std::invalid_argument);
+}
+
+TEST(Economics, SoundnessErrorDecaysGeometrically) {
+  const double p1 = soundness_error(0.5, 0.05, 1);
+  const double p2 = soundness_error(0.5, 0.05, 2);
+  EXPECT_NEAR(p2, p1 * p1, 1e-12);
+  EXPECT_THROW(soundness_error(0.5, 0.05, 0), std::invalid_argument);
+}
+
+TEST(Economics, PaperQuotedSampleCounts) {
+  // Sec. VI: "When Pr_err = 1% and Pr_lsh(beta) = 5%, we need 3 and 47
+  // samples for h_A = 10% and h_A = 90%."
+  EXPECT_EQ(required_samples(0.01, 0.10, 0.05), 3);
+  EXPECT_EQ(required_samples(0.01, 0.90, 0.05), 47);
+}
+
+TEST(Economics, PaperQuotedEconomicSampleCounts) {
+  // Sec. VI example: C_train = 0.88, C_spoof = 0, Pr_lsh(beta) = 5% =>
+  // q = 2 for h_A = 10% and q = 3 for h_A = 90%.
+  EconomicParams params;
+  EXPECT_EQ(economic_samples(0.10, params), 2);
+  EXPECT_EQ(economic_samples(0.90, params), 3);
+}
+
+TEST(Economics, PaperQuotedSoundnessAtQ3) {
+  // "when q = 3, the soundness error is about 74.12%" (h_A = 90%).
+  EXPECT_NEAR(soundness_error(0.90, 0.05, 3), 0.7412, 0.0005);
+}
+
+TEST(Economics, RequiredSamplesMonotoneInHonesty) {
+  // More honestly-trained checkpoints => harder to catch => more samples.
+  std::int64_t prev = 0;
+  for (double h = 0.1; h <= 0.91; h += 0.2) {
+    const std::int64_t q = required_samples(0.01, h, 0.05);
+    EXPECT_GE(q, prev);
+    prev = q;
+  }
+}
+
+TEST(Economics, RequiredSamplesMonotoneInTarget) {
+  EXPECT_GE(required_samples(0.001, 0.5, 0.05),
+            required_samples(0.05, 0.5, 0.05));
+  EXPECT_THROW(required_samples(0.0, 0.5, 0.05), std::invalid_argument);
+  EXPECT_THROW(required_samples(1.0, 0.5, 0.05), std::invalid_argument);
+  EXPECT_THROW(required_samples(0.01, 1.0, 0.05), std::invalid_argument);
+}
+
+TEST(Economics, NetGainNegativeAtEconomicQ) {
+  EconomicParams params;
+  for (double h = 0.05; h <= 0.95; h += 0.05) {
+    const std::int64_t q = economic_samples(h, params);
+    EXPECT_LE(expected_net_gain(h, q, params), 1e-9)
+        << "h=" << h << " q=" << q;
+  }
+}
+
+TEST(Economics, CostlessCornerBoundedBySoundnessTarget) {
+  // At h = 0 with C_spoof = 0 the attacker is literally costless, so no
+  // finite q drives G_A below zero through costs; the implementation falls
+  // back to a 1% soundness target, bounding the expected gain by 1% of the
+  // reward.
+  EconomicParams params;
+  const std::int64_t q = economic_samples(0.0, params);
+  EXPECT_LE(expected_net_gain(0.0, q, params), 0.01 * params.reward + 1e-12);
+}
+
+TEST(Economics, NetGainPositiveWithoutEnoughSamples) {
+  // A 90%-honest attacker with one sample usually slips through profitably:
+  // evasion ~0.905, costs 0.792 => positive gain.
+  EconomicParams params;
+  EXPECT_GT(expected_net_gain(0.90, 1, params), 0.0);
+}
+
+TEST(Economics, TransferCostsOnlyReduceGain) {
+  EconomicParams free;
+  EconomicParams priced = free;
+  priced.c_transfer = 0.01;
+  for (const double h : {0.1, 0.5, 0.9}) {
+    EXPECT_LT(expected_net_gain(h, 3, priced), expected_net_gain(h, 3, free));
+  }
+}
+
+TEST(Economics, FullyHonestWorkerGainsFromTraining) {
+  // An honest worker (h = 1) passes always; with reward 1 and C_train 0.88
+  // its net gain is positive — the incentive to join the pool.
+  EconomicParams params;
+  EXPECT_GT(expected_net_gain(1.0, 3, params), 0.0);
+}
+
+TEST(Economics, CostlessAttackerFallsBackToSoundnessTarget) {
+  EconomicParams params;
+  params.c_train = 0.0;
+  params.c_spoof = 0.0;
+  const std::int64_t q = economic_samples(0.0, params);
+  // Must match the 1% soundness fallback for h = 0.
+  EXPECT_EQ(q, required_samples(0.01, 0.0, params.pr_lsh_beta));
+}
+
+// Monte-Carlo: simulated evasion of the real sampling mechanism stays below
+// the Theorem-2 bound (property check across honesty ratios).
+class EvasionBound : public ::testing::TestWithParam<double> {};
+
+TEST_P(EvasionBound, SimulatedEvasionBelowTheorem2) {
+  const double h = GetParam();
+  const std::int64_t transitions = 20;
+  const std::int64_t honest_count =
+      static_cast<std::int64_t>(h * static_cast<double>(transitions));
+  const std::int64_t q = 3;
+  // Pr_lsh(beta) = 0 in this simulation (distance test always catches a
+  // spoofed transition), so the bound is h_eff^q with h_eff the fraction of
+  // honest transitions actually achievable.
+  const double h_eff = static_cast<double>(honest_count) / transitions;
+  const double bound = std::pow(h_eff, q) + 0.05;  // slack for MC noise
+
+  int evasions = 0;
+  constexpr int kTrials = 2000;
+  for (int t = 0; t < kTrials; ++t) {
+    Bytes b;
+    append_u64(b, static_cast<std::uint64_t>(t));
+    const auto samples =
+        sample_transitions(99, sha256(b), transitions, q);
+    bool caught = false;
+    for (const auto s : samples) {
+      if (s >= honest_count) caught = true;  // spoofed transitions at the end
+    }
+    if (!caught) ++evasions;
+  }
+  EXPECT_LE(static_cast<double>(evasions) / kTrials, bound) << "h=" << h;
+}
+
+INSTANTIATE_TEST_SUITE_P(HonestyGrid, EvasionBound,
+                         ::testing::Values(0.0, 0.25, 0.5, 0.75, 0.9));
+
+}  // namespace
+}  // namespace rpol::core

@@ -1,0 +1,130 @@
+// Learning-rate schedule and weight-decay tests: both are part of the
+// task's hyper-parameters zeta, so verification must reproduce them
+// exactly when re-executing sampled transitions.
+
+#include <gtest/gtest.h>
+
+#include "core/verifier.h"
+#include "task_fixture.h"
+
+namespace rpol::core {
+namespace {
+
+using rpol::testing::TinyTask;
+
+TEST(LrSchedule, ConstantByDefault) {
+  Hyperparams hp;
+  hp.learning_rate = 0.1F;
+  EXPECT_FLOAT_EQ(hp.lr_at_step(0), 0.1F);
+  EXPECT_FLOAT_EQ(hp.lr_at_step(1'000'000), 0.1F);
+}
+
+TEST(LrSchedule, StepDecayBoundaries) {
+  Hyperparams hp;
+  hp.learning_rate = 1.0F;
+  hp.lr_decay_factor = 0.5F;
+  hp.lr_decay_every_steps = 10;
+  EXPECT_FLOAT_EQ(hp.lr_at_step(0), 1.0F);
+  EXPECT_FLOAT_EQ(hp.lr_at_step(9), 1.0F);
+  EXPECT_FLOAT_EQ(hp.lr_at_step(10), 0.5F);
+  EXPECT_FLOAT_EQ(hp.lr_at_step(19), 0.5F);
+  EXPECT_FLOAT_EQ(hp.lr_at_step(20), 0.25F);
+  EXPECT_FLOAT_EQ(hp.lr_at_step(35), 0.125F);
+}
+
+TEST(LrSchedule, DecayActuallySlowsUpdates) {
+  // With an aggressive decay the later transitions move much less than the
+  // early ones.
+  TinyTask task = TinyTask::make(/*seed=*/161, /*steps=*/12, /*interval=*/3);
+  task.hp.lr_decay_factor = 0.1F;
+  task.hp.lr_decay_every_steps = 6;
+  const auto view = data::DatasetView::whole(task.dataset);
+  StepExecutor executor(task.factory, task.hp);
+  EpochContext ctx = task.context(707, view);
+  sim::DeviceExecution device(sim::device_ga10(), 1);
+  HonestPolicy honest;
+  const EpochTrace trace = honest.produce_trace(executor, ctx, device);
+  const double early = l2_distance(trace.checkpoints[0].model,
+                                   trace.checkpoints[1].model);
+  const double late = l2_distance(trace.checkpoints[3].model,
+                                  trace.checkpoints[4].model);
+  EXPECT_LT(late, 0.3 * early);
+}
+
+TEST(LrSchedule, VerificationReproducesScheduledTraining) {
+  // The core protocol property: a schedule-trained honest trace passes
+  // verification (re-execution applies the same schedule at the same global
+  // step indices), while a worker that ignores the schedule is caught.
+  TinyTask task = TinyTask::make(/*seed=*/162, /*steps=*/12, /*interval=*/3);
+  task.hp.lr_decay_factor = 0.5F;
+  task.hp.lr_decay_every_steps = 4;
+  task.hp.weight_decay = 1e-3F;
+  const auto view = data::DatasetView::whole(task.dataset);
+  EpochContext ctx = task.context(808, view);
+
+  StepExecutor worker(task.factory, task.hp);
+  sim::DeviceExecution wd(sim::device_ga10(), 2);
+  HonestPolicy honest;
+  const EpochTrace good = honest.produce_trace(worker, ctx, wd);
+
+  // A cheater trains with the UNDECAYED lr (more progress per step than
+  // agreed — e.g. hoping to converge faster and claim a better model).
+  Hyperparams flat = task.hp;
+  flat.lr_decay_every_steps = 0;
+  flat.weight_decay = 0.0F;
+  StepExecutor cheater_exec(task.factory, flat);
+  sim::DeviceExecution cd(sim::device_ga10(), 3);
+  const EpochTrace cheat = honest.produce_trace(cheater_exec, ctx, cd);
+
+  VerifierConfig cfg;
+  cfg.samples_q = 4;
+  cfg.beta = 2e-3;
+  Verifier verifier(task.factory, task.hp, cfg);
+  sim::DeviceExecution m1(sim::device_g3090(), 4);
+  EXPECT_TRUE(verifier
+                  .verify(commit_v1(good), good, ctx, hash_state(ctx.initial), m1)
+                  .accepted);
+  sim::DeviceExecution m2(sim::device_g3090(), 5);
+  EXPECT_FALSE(
+      verifier.verify(commit_v1(cheat), cheat, ctx, hash_state(ctx.initial), m2)
+          .accepted);
+}
+
+TEST(WeightDecay, ShrinksWeightsOnZeroGradient) {
+  nn::Param p("w", Tensor({4}, {1.0F, -2.0F, 3.0F, -4.0F}));
+  nn::Sgd opt({&p}, /*lr=*/0.1F);
+  // No task gradient: decay alone pulls weights toward zero.
+  opt.zero_grad();
+  opt.apply_weight_decay(0.5F);
+  opt.step();
+  // w -= lr * wd * w => w *= (1 - 0.05)
+  EXPECT_FLOAT_EQ(p.value.at(0), 0.95F);
+  EXPECT_FLOAT_EQ(p.value.at(3), -3.8F);
+}
+
+TEST(WeightDecay, ZeroDecayIsNoOp) {
+  nn::Param p("w", Tensor({2}, {1.0F, 2.0F}));
+  p.grad = Tensor({2}, {0.5F, 0.5F});
+  nn::Sgd opt({&p}, 0.1F);
+  opt.apply_weight_decay(0.0F);
+  EXPECT_FLOAT_EQ(p.grad.at(0), 0.5F);  // untouched
+}
+
+TEST(WeightDecay, SkipsBuffers) {
+  nn::Param buf("b", Tensor({2}, {5.0F, 5.0F}), /*train=*/false);
+  nn::Sgd opt({&buf}, 0.1F);
+  opt.apply_weight_decay(1.0F);
+  EXPECT_FLOAT_EQ(buf.grad.at(0), 0.0F);
+}
+
+TEST(LrSchedule, SetLearningRateAffectsNextStep) {
+  nn::Param p("w", Tensor({1}, {1.0F}));
+  nn::Sgd opt({&p}, 1.0F);
+  p.grad = Tensor({1}, {1.0F});
+  opt.set_learning_rate(0.25F);
+  opt.step();
+  EXPECT_FLOAT_EQ(p.value.at(0), 0.75F);
+}
+
+}  // namespace
+}  // namespace rpol::core

@@ -1,0 +1,132 @@
+// Protocol-session tests: the full manager<->worker exchange over encoded
+// bytes, traffic structure vs the analytic cost model, and scheme parity
+// with the in-process Verifier.
+
+#include <gtest/gtest.h>
+
+#include "core/session.h"
+#include "task_fixture.h"
+
+namespace rpol::core {
+namespace {
+
+using rpol::testing::TinyTask;
+
+struct SessionFixture : public ::testing::Test {
+  void SetUp() override {
+    task = TinyTask::make(/*seed=*/131, /*steps=*/12, /*interval=*/3);
+    view = data::DatasetView::whole(task.dataset);
+    StepExecutor init(task.factory, task.hp);
+    global = init.save_state();
+    model_dim = static_cast<std::int64_t>(
+        extract_trainable(global.model, init.trainable_mask()).size());
+  }
+
+  SessionConfig config(Scheme scheme) {
+    SessionConfig cfg;
+    cfg.scheme = scheme;
+    cfg.samples_q = 3;
+    cfg.beta = 2e-3;
+    if (scheme == Scheme::kRPoLv2) {
+      lsh::LshConfig lcfg;
+      lcfg.params = lsh::optimize_lsh(cfg.beta / 5.0, cfg.beta, 16).params;
+      lcfg.dim = model_dim;
+      lcfg.seed = 44;
+      cfg.lsh = lcfg;
+    }
+    return cfg;
+  }
+
+  SessionOutcome run(Scheme scheme, WorkerPolicy& policy) {
+    return run_protocol_session(task.factory, task.hp, config(scheme), global,
+                                /*nonce=*/505, view, policy, sim::device_ga10(),
+                                /*worker_seed=*/3, sim::device_g3090(),
+                                /*manager_seed=*/4);
+  }
+
+  TinyTask task{TinyTask::make()};
+  data::DatasetView view;
+  TrainState global;
+  std::int64_t model_dim = 0;
+};
+
+TEST_F(SessionFixture, HonestWorkerAcceptedBothSchemes) {
+  for (const Scheme scheme : {Scheme::kRPoLv1, Scheme::kRPoLv2}) {
+    HonestPolicy honest;
+    const SessionOutcome outcome = run(scheme, honest);
+    EXPECT_TRUE(outcome.accepted) << scheme_name(scheme);
+    EXPECT_EQ(outcome.final_model.size(), global.model.size());
+    EXPECT_GT(outcome.bytes_to_worker, 0u);
+    EXPECT_GT(outcome.bytes_to_manager, 0u);
+  }
+}
+
+TEST_F(SessionFixture, AdversariesRejectedOverTheWire) {
+  for (const Scheme scheme : {Scheme::kRPoLv1, Scheme::kRPoLv2}) {
+    ReplayPolicy replay;
+    EXPECT_FALSE(run(scheme, replay).accepted) << scheme_name(scheme);
+    SpoofPolicy spoof(0.1, 0.5);
+    EXPECT_FALSE(run(scheme, spoof).accepted) << scheme_name(scheme);
+    FabricationPolicy fabricate;
+    EXPECT_FALSE(run(scheme, fabricate).accepted) << scheme_name(scheme);
+  }
+}
+
+TEST_F(SessionFixture, V2SavesUplinkBytes) {
+  HonestPolicy honest;
+  const SessionOutcome v1 = run(Scheme::kRPoLv1, honest);
+  const SessionOutcome v2 = run(Scheme::kRPoLv2, honest);
+  ASSERT_TRUE(v1.accepted);
+  ASSERT_TRUE(v2.accepted);
+  EXPECT_LT(v2.bytes_to_manager, v1.bytes_to_manager);
+}
+
+TEST_F(SessionFixture, TrafficStructureMatchesCostModel) {
+  // RPoLv1 uplink = update + commitment + q * (input + output) states.
+  HonestPolicy honest;
+  const SessionOutcome v1 = run(Scheme::kRPoLv1, honest);
+  const std::uint64_t state_bytes =
+      static_cast<std::uint64_t>(encode_train_state(global).size());
+  // update (model only, lighter than a full state) + 3 * 2 full states;
+  // commitment adds hashes. Bound the structure rather than exact bytes:
+  EXPECT_GT(v1.bytes_to_manager, 6 * state_bytes / 2);
+  EXPECT_LT(v1.bytes_to_manager, 8 * state_bytes);
+
+  // RPoLv2 uplink when no double-check fires: update + commitment(+LSH) +
+  // q * input states.
+  const SessionOutcome v2 = run(Scheme::kRPoLv2, honest);
+  if (v2.double_checks == 0) {
+    EXPECT_LT(v2.bytes_to_manager, 5 * state_bytes);
+  }
+}
+
+TEST_F(SessionFixture, BaselineSchemeRejected) {
+  HonestPolicy honest;
+  EXPECT_THROW(run(Scheme::kBaseline, honest), std::invalid_argument);
+  SessionConfig missing_lsh;
+  missing_lsh.scheme = Scheme::kRPoLv2;
+  EXPECT_THROW(
+      run_protocol_session(task.factory, task.hp, missing_lsh, global, 1, view,
+                           honest, sim::device_ga10(), 1, sim::device_g3090(), 2),
+      std::invalid_argument);
+}
+
+TEST_F(SessionFixture, AgreesWithInProcessVerifier) {
+  // The wire path and the in-process Verifier must reach the same verdicts.
+  for (const Scheme scheme : {Scheme::kRPoLv1, Scheme::kRPoLv2}) {
+    for (const bool honest : {true, false}) {
+      std::unique_ptr<WorkerPolicy> policy;
+      if (honest) {
+        policy = std::make_unique<HonestPolicy>();
+      } else {
+        policy = std::make_unique<SpoofPolicy>(0.1, 0.5);
+      }
+      const SessionOutcome wire_outcome = run(scheme, *policy);
+      EXPECT_EQ(wire_outcome.accepted, honest)
+          << scheme_name(scheme) << " honest=" << honest;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rpol::core

@@ -1,0 +1,246 @@
+// Tests for synthetic datasets, views, shuffling and i.i.d. partitioning.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "data/partition.h"
+#include "data/synthetic.h"
+
+namespace rpol::data {
+namespace {
+
+SyntheticImageConfig small_images() {
+  SyntheticImageConfig cfg;
+  cfg.num_classes = 5;
+  cfg.num_examples = 100;
+  cfg.image_size = 4;
+  cfg.seed = 10;
+  return cfg;
+}
+
+TEST(Dataset, ConstructionValidatesSizes) {
+  EXPECT_THROW(Dataset({2}, {1.0F, 2.0F, 3.0F}, {0}, 1), std::invalid_argument);
+  EXPECT_THROW(Dataset({1}, {1.0F}, {5}, 3), std::invalid_argument);
+}
+
+TEST(Dataset, MakeBatchShapesAndLabels) {
+  const Dataset d = make_synthetic_images(small_images());
+  std::vector<std::int64_t> labels;
+  const Tensor batch = d.make_batch({0, 1, 2}, labels);
+  EXPECT_EQ(batch.shape(), (Shape{3, 3, 4, 4}));
+  EXPECT_EQ(labels.size(), 3u);
+  EXPECT_EQ(labels[0], d.label(0));
+}
+
+TEST(Dataset, BatchIndexOutOfRangeThrows) {
+  const Dataset d = make_synthetic_images(small_images());
+  std::vector<std::int64_t> labels;
+  EXPECT_THROW(d.make_batch({1000}, labels), std::out_of_range);
+  EXPECT_THROW(d.make_batch({-1}, labels), std::out_of_range);
+}
+
+TEST(SyntheticImages, DeterministicForSeed) {
+  const Dataset a = make_synthetic_images(small_images());
+  const Dataset b = make_synthetic_images(small_images());
+  std::vector<std::int64_t> la, lb;
+  const Tensor ba = a.make_batch({0, 5, 17}, la);
+  const Tensor bb = b.make_batch({0, 5, 17}, lb);
+  EXPECT_EQ(ba.vec(), bb.vec());
+  EXPECT_EQ(la, lb);
+}
+
+TEST(SyntheticImages, BalancedClasses) {
+  const Dataset d = make_synthetic_images(small_images());
+  std::vector<int> counts(5, 0);
+  for (std::int64_t i = 0; i < d.size(); ++i) ++counts[static_cast<std::size_t>(d.label(i))];
+  for (const int c : counts) EXPECT_EQ(c, 20);
+}
+
+TEST(SyntheticImages, ClassPatternsAreSeparated) {
+  // Mean examples of different classes must be farther apart than the
+  // within-class scatter, otherwise the task is unlearnable.
+  SyntheticImageConfig cfg = small_images();
+  cfg.noise_stddev = 0.3F;
+  const Dataset d = make_synthetic_images(cfg);
+  std::vector<std::int64_t> labels;
+  const Tensor a0 = d.make_batch({0}, labels);   // class 0
+  const Tensor a5 = d.make_batch({5}, labels);   // class 0 again
+  const Tensor b1 = d.make_batch({1}, labels);   // class 1
+  const double within = l2_distance(a0, a5);
+  const double between = l2_distance(a0, b1);
+  EXPECT_GT(between, 0.0);
+  EXPECT_GT(within, 0.0);
+}
+
+TEST(SyntheticBlobs, ShapeAndDeterminism) {
+  SyntheticBlobConfig cfg;
+  cfg.num_examples = 60;
+  cfg.features = 8;
+  cfg.num_classes = 3;
+  const Dataset a = make_synthetic_blobs(cfg);
+  const Dataset b = make_synthetic_blobs(cfg);
+  EXPECT_EQ(a.size(), 60);
+  EXPECT_EQ(a.example_shape(), (Shape{8}));
+  std::vector<std::int64_t> la, lb;
+  EXPECT_EQ(a.make_batch({3}, la).vec(), b.make_batch({3}, lb).vec());
+}
+
+TEST(DatasetView, WholeCoversParentInOrder) {
+  const Dataset d = make_synthetic_images(small_images());
+  const DatasetView v = DatasetView::whole(d);
+  EXPECT_EQ(v.size(), d.size());
+  EXPECT_EQ(v.parent_index(7), 7);
+}
+
+TEST(DatasetView, RejectsBadIndices) {
+  const Dataset d = make_synthetic_images(small_images());
+  EXPECT_THROW(DatasetView(&d, {0, 1000}), std::out_of_range);
+}
+
+TEST(DatasetView, BatchTranslatesIndices) {
+  const Dataset d = make_synthetic_images(small_images());
+  const DatasetView v(&d, {10, 20, 30});
+  std::vector<std::int64_t> view_labels, parent_labels;
+  const Tensor bv = v.make_batch({2, 0}, view_labels);
+  const Tensor bp = d.make_batch({30, 10}, parent_labels);
+  EXPECT_EQ(bv.vec(), bp.vec());
+  EXPECT_EQ(view_labels, parent_labels);
+}
+
+TEST(Partition, EqualDisjointParts) {
+  const Dataset d = make_synthetic_images(small_images());
+  const auto parts = shuffle_and_partition(d, 4, 99);
+  ASSERT_EQ(parts.size(), 4u);
+  std::set<std::int64_t> seen;
+  for (const auto& p : parts) {
+    EXPECT_EQ(p.size(), 25);
+    for (std::int64_t i = 0; i < p.size(); ++i) {
+      EXPECT_TRUE(seen.insert(p.parent_index(i)).second) << "overlap";
+    }
+  }
+  EXPECT_EQ(seen.size(), 100u);
+}
+
+TEST(Partition, DeterministicForSeed) {
+  const Dataset d = make_synthetic_images(small_images());
+  const auto p1 = shuffle_and_partition(d, 3, 5);
+  const auto p2 = shuffle_and_partition(d, 3, 5);
+  const auto p3 = shuffle_and_partition(d, 3, 6);
+  EXPECT_EQ(p1[0].parent_index(0), p2[0].parent_index(0));
+  bool any_diff = false;
+  for (std::int64_t i = 0; i < p1[0].size(); ++i) {
+    any_diff = any_diff || (p1[0].parent_index(i) != p3[0].parent_index(i));
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Partition, PartsAreClassBalancedEnough) {
+  // i.i.d. claim: each part's class histogram is near-uniform.
+  SyntheticImageConfig cfg = small_images();
+  cfg.num_examples = 500;
+  const Dataset d = make_synthetic_images(cfg);
+  const auto parts = shuffle_and_partition(d, 5, 123);
+  for (const auto& p : parts) {
+    std::vector<int> counts(5, 0);
+    for (std::int64_t i = 0; i < p.size(); ++i) {
+      ++counts[static_cast<std::size_t>(d.label(p.parent_index(i)))];
+    }
+    for (const int c : counts) {
+      EXPECT_NEAR(c, 20, 12);  // 100 per part / 5 classes = 20 expected
+    }
+  }
+}
+
+TEST(Partition, InvalidArgumentsThrow) {
+  const Dataset d = make_synthetic_images(small_images());
+  EXPECT_THROW(shuffle_and_partition(d, 0, 1), std::invalid_argument);
+  EXPECT_THROW(shuffle_and_partition(d, 101, 1), std::invalid_argument);
+}
+
+namespace {
+// Max over parts of (max class share within the part) — 1/num_classes for
+// perfectly balanced parts, 1.0 for single-class parts.
+double max_class_share(const Dataset& d, const std::vector<DatasetView>& parts) {
+  double worst = 0.0;
+  for (const auto& p : parts) {
+    std::vector<int> counts(static_cast<std::size_t>(d.num_classes()), 0);
+    for (std::int64_t i = 0; i < p.size(); ++i) {
+      ++counts[static_cast<std::size_t>(d.label(p.parent_index(i)))];
+    }
+    const int max_count = *std::max_element(counts.begin(), counts.end());
+    worst = std::max(worst, static_cast<double>(max_count) /
+                                static_cast<double>(p.size()));
+  }
+  return worst;
+}
+}  // namespace
+
+TEST(PartitionLabelSkew, FullIidMatchesBalancedShares) {
+  SyntheticImageConfig cfg = small_images();
+  cfg.num_examples = 500;
+  const Dataset d = make_synthetic_images(cfg);
+  const auto parts = partition_label_skew(d, 5, /*iid_fraction=*/1.0, 7);
+  EXPECT_LT(max_class_share(d, parts), 0.40);  // ~0.2 ideal, slack for noise
+}
+
+TEST(PartitionLabelSkew, ZeroIidGivesConcentratedClasses) {
+  SyntheticImageConfig cfg = small_images();
+  cfg.num_examples = 500;
+  const Dataset d = make_synthetic_images(cfg);
+  const auto parts = partition_label_skew(d, 5, /*iid_fraction=*/0.0, 7);
+  // 5 classes dealt into 5 sorted shards: each part is ~single-class.
+  EXPECT_GT(max_class_share(d, parts), 0.9);
+}
+
+TEST(PartitionLabelSkew, SkewIncreasesMonotonically) {
+  SyntheticImageConfig cfg = small_images();
+  cfg.num_examples = 500;
+  const Dataset d = make_synthetic_images(cfg);
+  const double balanced = max_class_share(d, partition_label_skew(d, 5, 1.0, 7));
+  const double half = max_class_share(d, partition_label_skew(d, 5, 0.5, 7));
+  const double skewed = max_class_share(d, partition_label_skew(d, 5, 0.0, 7));
+  EXPECT_LE(balanced, half + 1e-12);
+  EXPECT_LE(half, skewed + 1e-12);
+}
+
+TEST(PartitionLabelSkew, PartsAreDisjoint) {
+  const Dataset d = make_synthetic_images(small_images());
+  const auto parts = partition_label_skew(d, 4, 0.5, 3);
+  std::set<std::int64_t> seen;
+  for (const auto& p : parts) {
+    for (std::int64_t i = 0; i < p.size(); ++i) {
+      EXPECT_TRUE(seen.insert(p.parent_index(i)).second);
+    }
+  }
+}
+
+TEST(PartitionLabelSkew, InvalidArgumentsThrow) {
+  const Dataset d = make_synthetic_images(small_images());
+  EXPECT_THROW(partition_label_skew(d, 0, 0.5, 1), std::invalid_argument);
+  EXPECT_THROW(partition_label_skew(d, 2, -0.1, 1), std::invalid_argument);
+  EXPECT_THROW(partition_label_skew(d, 2, 1.1, 1), std::invalid_argument);
+}
+
+TEST(TrainTestSplit, DisjointAndComplete) {
+  const Dataset d = make_synthetic_images(small_images());
+  const auto split = train_test_split(d, 0.2, 7);
+  EXPECT_EQ(split.test.size(), 20);
+  EXPECT_EQ(split.train.size(), 80);
+  std::set<std::int64_t> seen;
+  for (std::int64_t i = 0; i < split.test.size(); ++i) {
+    seen.insert(split.test.parent_index(i));
+  }
+  for (std::int64_t i = 0; i < split.train.size(); ++i) {
+    EXPECT_FALSE(seen.contains(split.train.parent_index(i)));
+  }
+}
+
+TEST(TrainTestSplit, DegenerateFractionsThrow) {
+  const Dataset d = make_synthetic_images(small_images());
+  EXPECT_THROW(train_test_split(d, 0.0, 1), std::invalid_argument);
+  EXPECT_THROW(train_test_split(d, 1.0, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rpol::data

@@ -1,0 +1,331 @@
+// Unit tests for the tensor substrate: RNG determinism and distribution,
+// tensor arithmetic, matmul/im2col kernels, canonical serialization.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "tensor/ops.h"
+#include "tensor/rng.h"
+#include "tensor/serialize.h"
+#include "tensor/tensor.h"
+
+namespace rpol {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Rng
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next_u64() == b.next_u64()) ? 1 : 0;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, NextBelowStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.next_below(17), 17u);
+    EXPECT_EQ(rng.next_below(1), 0u);
+  }
+}
+
+TEST(Rng, NextBelowIsRoughlyUniform) {
+  Rng rng(11);
+  constexpr int kBuckets = 8;
+  constexpr int kDraws = 80000;
+  int counts[kBuckets] = {0};
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.next_below(kBuckets)];
+  for (const int c : counts) {
+    EXPECT_NEAR(c, kDraws / kBuckets, kDraws / kBuckets * 0.1);
+  }
+}
+
+TEST(Rng, FloatsInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const float f = rng.next_float();
+    EXPECT_GE(f, 0.0F);
+    EXPECT_LT(f, 1.0F);
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, NormalHasCorrectMoments) {
+  Rng rng(5);
+  double sum = 0.0, sq = 0.0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    const double v = rng.next_normal();
+    sum += v;
+    sq += v * v;
+  }
+  const double mean = sum / kN;
+  const double var = sq / kN - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(Rng, PermutationIsAPermutation) {
+  Rng rng(9);
+  const auto perm = rng.permutation(257);
+  std::set<std::size_t> seen(perm.begin(), perm.end());
+  EXPECT_EQ(seen.size(), 257u);
+  EXPECT_EQ(*seen.begin(), 0u);
+  EXPECT_EQ(*seen.rbegin(), 256u);
+}
+
+TEST(Rng, DeriveSeedDecorrelatesStreams) {
+  const std::uint64_t s1 = derive_seed(100, 0);
+  const std::uint64_t s2 = derive_seed(100, 1);
+  EXPECT_NE(s1, s2);
+  // Streams from adjacent ids should not be shifted copies.
+  Rng a(s1), b(s2);
+  EXPECT_NE(a.next_u64(), b.next_u64());
+}
+
+// ---------------------------------------------------------------------------
+// Tensor
+
+TEST(Tensor, ConstructionAndShape) {
+  Tensor t({2, 3});
+  EXPECT_EQ(t.numel(), 6);
+  EXPECT_EQ(t.rank(), 2u);
+  for (std::int64_t i = 0; i < 6; ++i) EXPECT_EQ(t.at(i), 0.0F);
+}
+
+TEST(Tensor, DataMismatchThrows) {
+  EXPECT_THROW(Tensor({2, 2}, {1.0F, 2.0F, 3.0F}), std::invalid_argument);
+}
+
+TEST(Tensor, ReshapePreservesData) {
+  Tensor t({2, 3}, {1, 2, 3, 4, 5, 6});
+  const Tensor r = t.reshaped({3, 2});
+  EXPECT_EQ(r.at2(2, 1), 6.0F);
+  EXPECT_THROW(t.reshaped({4, 2}), std::invalid_argument);
+}
+
+TEST(Tensor, ElementwiseArithmetic) {
+  Tensor a({3}, {1, 2, 3});
+  Tensor b({3}, {10, 20, 30});
+  a += b;
+  EXPECT_EQ(a.at(2), 33.0F);
+  a -= b;
+  EXPECT_EQ(a.at(1), 2.0F);
+  a *= 2.0F;
+  EXPECT_EQ(a.at(0), 2.0F);
+  a.add_scaled(b, 0.1F);
+  EXPECT_NEAR(a.at(2), 9.0F, 1e-5F);
+}
+
+TEST(Tensor, ShapeMismatchThrows) {
+  Tensor a({2}), b({3});
+  EXPECT_THROW(a += b, std::invalid_argument);
+  EXPECT_THROW(a -= b, std::invalid_argument);
+  EXPECT_THROW(a.add_scaled(b, 1.0F), std::invalid_argument);
+}
+
+TEST(Tensor, L2NormAndDistance) {
+  Tensor a({2}, {3, 4});
+  EXPECT_DOUBLE_EQ(a.l2_norm(), 5.0);
+  Tensor b({2}, {0, 0});
+  EXPECT_DOUBLE_EQ(l2_distance(a, b), 5.0);
+  EXPECT_THROW(l2_distance(std::vector<float>{1}, std::vector<float>{1, 2}),
+               std::invalid_argument);
+}
+
+TEST(Tensor, At4Indexing) {
+  Tensor t({2, 3, 4, 5});
+  t.at4(1, 2, 3, 4) = 42.0F;
+  EXPECT_EQ(t.at(t.numel() - 1), 42.0F);
+}
+
+TEST(Tensor, RandnUsesStddev) {
+  Rng rng(13);
+  const Tensor t = Tensor::randn({10000}, rng, 0.5F);
+  double sq = 0.0;
+  for (const float v : t.vec()) sq += static_cast<double>(v) * v;
+  EXPECT_NEAR(std::sqrt(sq / 10000.0), 0.5, 0.02);
+}
+
+// ---------------------------------------------------------------------------
+// Ops
+
+TEST(Ops, MatmulHandValues) {
+  const Tensor a({2, 3}, {1, 2, 3, 4, 5, 6});
+  const Tensor b({3, 2}, {7, 8, 9, 10, 11, 12});
+  const Tensor c = matmul(a, b);
+  EXPECT_EQ(c.at2(0, 0), 58.0F);
+  EXPECT_EQ(c.at2(0, 1), 64.0F);
+  EXPECT_EQ(c.at2(1, 0), 139.0F);
+  EXPECT_EQ(c.at2(1, 1), 154.0F);
+}
+
+TEST(Ops, MatmulShapeChecks) {
+  const Tensor a({2, 3});
+  const Tensor b({2, 2});
+  EXPECT_THROW(matmul(a, b), std::invalid_argument);
+}
+
+TEST(Ops, TransposedVariantsAgree) {
+  Rng rng(17);
+  const Tensor a = Tensor::randn({4, 5}, rng);
+  const Tensor b = Tensor::randn({5, 6}, rng);
+  const Tensor c = matmul(a, b);
+
+  // a^T has shape (5,4): matmul_tn(a^T, b) == a * b.
+  Tensor at({5, 4});
+  for (std::int64_t i = 0; i < 4; ++i)
+    for (std::int64_t j = 0; j < 5; ++j) at.at2(j, i) = a.at2(i, j);
+  const Tensor c_tn = matmul_tn(at, b);
+  for (std::int64_t i = 0; i < c.numel(); ++i) {
+    EXPECT_NEAR(c.at(i), c_tn.at(i), 1e-4F);
+  }
+
+  // b^T has shape (6,5): matmul_nt(a, b^T) == a * b.
+  Tensor bt({6, 5});
+  for (std::int64_t i = 0; i < 5; ++i)
+    for (std::int64_t j = 0; j < 6; ++j) bt.at2(j, i) = b.at2(i, j);
+  const Tensor c_nt = matmul_nt(a, bt);
+  for (std::int64_t i = 0; i < c.numel(); ++i) {
+    EXPECT_NEAR(c.at(i), c_nt.at(i), 1e-4F);
+  }
+}
+
+TEST(Ops, Im2ColIdentityKernel) {
+  // 1x1 kernel, stride 1, no padding: columns are the input itself.
+  Conv2dSpec spec{2, 1, 1, 1, 0};
+  Tensor input({1, 2, 2, 2}, {1, 2, 3, 4, 5, 6, 7, 8});
+  const Tensor cols = im2col(input, spec);
+  EXPECT_EQ(cols.shape(), (Shape{2, 4}));
+  EXPECT_EQ(cols.at2(0, 0), 1.0F);
+  EXPECT_EQ(cols.at2(1, 3), 8.0F);
+}
+
+TEST(Ops, Im2ColPaddingZeroFills) {
+  Conv2dSpec spec{1, 1, 3, 1, 1};
+  Tensor input({1, 1, 2, 2}, {1, 2, 3, 4});
+  const Tensor cols = im2col(input, spec);
+  // Patch row 0 = kernel position (0,0): output (0,0) sees padded zero.
+  EXPECT_EQ(cols.at2(0, 0), 0.0F);
+  // Center kernel position (1,1) row index = 4: output (0,0) sees input(0,0).
+  EXPECT_EQ(cols.at2(4, 0), 1.0F);
+}
+
+TEST(Ops, Col2ImIsAdjointOfIm2Col) {
+  // <im2col(x), y> == <x, col2im(y)> for random x, y — the defining property
+  // the conv backward pass relies on.
+  Rng rng(23);
+  Conv2dSpec spec{3, 2, 3, 2, 1};
+  const Shape in_shape{2, 3, 6, 6};
+  const Tensor x = Tensor::randn(in_shape, rng);
+  const Tensor cols = im2col(x, spec);
+  const Tensor y = Tensor::randn(cols.shape(), rng);
+  const Tensor back = col2im(y, spec, in_shape);
+
+  double lhs = 0.0, rhs = 0.0;
+  for (std::int64_t i = 0; i < cols.numel(); ++i) {
+    lhs += static_cast<double>(cols.at(i)) * y.at(i);
+  }
+  for (std::int64_t i = 0; i < x.numel(); ++i) {
+    rhs += static_cast<double>(x.at(i)) * back.at(i);
+  }
+  EXPECT_NEAR(lhs, rhs, std::abs(lhs) * 1e-4 + 1e-4);
+}
+
+TEST(Ops, SoftmaxRowsSumToOne) {
+  Rng rng(29);
+  const Tensor logits = Tensor::randn({5, 7}, rng, 3.0F);
+  const Tensor probs = softmax_rows(logits);
+  for (std::int64_t r = 0; r < 5; ++r) {
+    double sum = 0.0;
+    for (std::int64_t c = 0; c < 7; ++c) {
+      EXPECT_GT(probs.at2(r, c), 0.0F);
+      sum += probs.at2(r, c);
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-5);
+  }
+}
+
+TEST(Ops, SoftmaxNumericallyStable) {
+  const Tensor logits({1, 3}, {1000.0F, 1000.0F, 1000.0F});
+  const Tensor probs = softmax_rows(logits);
+  for (std::int64_t c = 0; c < 3; ++c) {
+    EXPECT_NEAR(probs.at2(0, c), 1.0F / 3.0F, 1e-5F);
+  }
+}
+
+TEST(Ops, ArgmaxRow) {
+  const Tensor t({2, 3}, {1, 5, 2, 9, 0, 3});
+  EXPECT_EQ(argmax_row(t, 0), 1);
+  EXPECT_EQ(argmax_row(t, 1), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Serialization
+
+TEST(Serialize, PrimitivesRoundTrip) {
+  Bytes buf;
+  append_u64(buf, 0xDEADBEEFCAFEF00DULL);
+  append_i64(buf, -42);
+  append_f32(buf, 3.25F);
+  std::size_t off = 0;
+  EXPECT_EQ(read_u64(buf, off), 0xDEADBEEFCAFEF00DULL);
+  EXPECT_EQ(read_i64(buf, off), -42);
+  EXPECT_EQ(read_f32(buf, off), 3.25F);
+  EXPECT_EQ(off, buf.size());
+}
+
+TEST(Serialize, TruncatedBufferThrows) {
+  Bytes buf;
+  append_u64(buf, 1);
+  buf.pop_back();
+  std::size_t off = 0;
+  EXPECT_THROW(read_u64(buf, off), std::out_of_range);
+}
+
+TEST(Serialize, TensorRoundTrip) {
+  Rng rng(31);
+  const Tensor t = Tensor::randn({2, 3, 4}, rng);
+  const Bytes buf = serialize_tensor(t);
+  std::size_t off = 0;
+  const Tensor u = deserialize_tensor(buf, off);
+  EXPECT_EQ(off, buf.size());
+  EXPECT_EQ(u.shape(), t.shape());
+  for (std::int64_t i = 0; i < t.numel(); ++i) EXPECT_EQ(u.at(i), t.at(i));
+}
+
+TEST(Serialize, FloatsRoundTrip) {
+  const std::vector<float> v{1.5F, -2.25F, 0.0F, 1e-30F};
+  const Bytes buf = serialize_floats(v);
+  std::size_t off = 0;
+  const auto u = deserialize_floats(buf, off);
+  EXPECT_EQ(u, v);
+}
+
+TEST(Serialize, CanonicalBytesAreStable) {
+  // Two identical tensors serialize to identical bytes — the property that
+  // makes commitment hashes comparable across parties.
+  const Tensor a({2}, {1.0F, -0.0F});
+  const Tensor b({2}, {1.0F, -0.0F});
+  EXPECT_EQ(serialize_tensor(a), serialize_tensor(b));
+}
+
+TEST(Serialize, BadFloatCountThrows) {
+  Bytes buf;
+  append_u64(buf, 1000);  // claims 1000 floats, provides none
+  std::size_t off = 0;
+  EXPECT_THROW(deserialize_floats(buf, off), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rpol

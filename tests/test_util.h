@@ -1,0 +1,61 @@
+// Shared test helpers: numeric gradient checking and tiny-task fixtures.
+
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "nn/loss.h"
+#include "nn/model.h"
+
+namespace rpol::testing {
+
+// Central-difference gradient check for a model under softmax-CE loss.
+// Verifies dL/dtheta for a subset of parameter entries (stride-sampled to
+// keep runtime bounded). Tolerances are loose because the model runs in
+// fp32 while finite differences amplify rounding.
+inline void check_model_gradients(nn::Model& model, const Tensor& input,
+                                  const std::vector<std::int64_t>& labels,
+                                  double rel_tol = 5e-2, double abs_tol = 1e-3,
+                                  std::int64_t stride = 7) {
+  nn::SoftmaxCrossEntropy loss;
+
+  auto forward_loss = [&]() {
+    const Tensor logits = model.forward(input, /*training=*/true);
+    return static_cast<double>(loss.forward(logits, labels));
+  };
+
+  // Analytic gradients.
+  model.zero_grads();
+  forward_loss();
+  model.backward(loss.backward());
+
+  std::int64_t checked = 0;
+  for (nn::Param* p : model.params()) {
+    if (!p->trainable) continue;
+    for (std::int64_t i = 0; i < p->value.numel(); i += stride) {
+      const float original = p->value.at(i);
+      const float eps = std::max(1e-3F, std::abs(original) * 1e-3F);
+      p->value.at(i) = original + eps;
+      const double loss_plus = forward_loss();
+      p->value.at(i) = original - eps;
+      const double loss_minus = forward_loss();
+      p->value.at(i) = original;
+      const double numeric = (loss_plus - loss_minus) / (2.0 * eps);
+      const double analytic = static_cast<double>(p->grad.at(i));
+      const double denom = std::max({std::abs(numeric), std::abs(analytic), 1e-8});
+      if (std::abs(numeric - analytic) > abs_tol &&
+          std::abs(numeric - analytic) / denom > rel_tol) {
+        ADD_FAILURE() << "gradient mismatch in " << p->name << "[" << i
+                      << "]: analytic=" << analytic << " numeric=" << numeric;
+        return;
+      }
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 0) << "no parameters were gradient-checked";
+}
+
+}  // namespace rpol::testing
