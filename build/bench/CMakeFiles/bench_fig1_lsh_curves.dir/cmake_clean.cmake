@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_lsh_curves.dir/bench_fig1_lsh_curves.cpp.o"
+  "CMakeFiles/bench_fig1_lsh_curves.dir/bench_fig1_lsh_curves.cpp.o.d"
+  "bench_fig1_lsh_curves"
+  "bench_fig1_lsh_curves.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_lsh_curves.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

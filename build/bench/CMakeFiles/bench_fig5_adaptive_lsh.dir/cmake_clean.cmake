@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_adaptive_lsh.dir/bench_fig5_adaptive_lsh.cpp.o"
+  "CMakeFiles/bench_fig5_adaptive_lsh.dir/bench_fig5_adaptive_lsh.cpp.o.d"
+  "bench_fig5_adaptive_lsh"
+  "bench_fig5_adaptive_lsh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_adaptive_lsh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_attack_accuracy.dir/bench_fig6_attack_accuracy.cpp.o"
+  "CMakeFiles/bench_fig6_attack_accuracy.dir/bench_fig6_attack_accuracy.cpp.o.d"
+  "bench_fig6_attack_accuracy"
+  "bench_fig6_attack_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_attack_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mining_competition.dir/bench_mining_competition.cpp.o"
+  "CMakeFiles/bench_mining_competition.dir/bench_mining_competition.cpp.o.d"
+  "bench_mining_competition"
+  "bench_mining_competition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mining_competition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

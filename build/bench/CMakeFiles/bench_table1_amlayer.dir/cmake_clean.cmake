@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_amlayer.dir/bench_table1_amlayer.cpp.o"
+  "CMakeFiles/bench_table1_amlayer.dir/bench_table1_amlayer.cpp.o.d"
+  "bench_table1_amlayer"
+  "bench_table1_amlayer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_amlayer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_epoch_time.dir/bench_table2_epoch_time.cpp.o"
+  "CMakeFiles/bench_table2_epoch_time.dir/bench_table2_epoch_time.cpp.o.d"
+  "bench_table2_epoch_time"
+  "bench_table2_epoch_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_epoch_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

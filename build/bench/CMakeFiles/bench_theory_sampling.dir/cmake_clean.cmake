@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_theory_sampling.dir/bench_theory_sampling.cpp.o"
+  "CMakeFiles/bench_theory_sampling.dir/bench_theory_sampling.cpp.o.d"
+  "bench_theory_sampling"
+  "bench_theory_sampling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_theory_sampling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

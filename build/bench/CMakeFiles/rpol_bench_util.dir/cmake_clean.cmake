@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpol_bench_util.dir/bench_util.cpp.o"
+  "CMakeFiles/rpol_bench_util.dir/bench_util.cpp.o.d"
+  "librpol_bench_util.a"
+  "librpol_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpol_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librpol_bench_util.a"
+)

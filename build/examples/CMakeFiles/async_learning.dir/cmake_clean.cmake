@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/async_learning.dir/async_learning.cpp.o"
+  "CMakeFiles/async_learning.dir/async_learning.cpp.o.d"
+  "async_learning"
+  "async_learning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/async_learning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blockchain_round.dir/blockchain_round.cpp.o"
+  "CMakeFiles/blockchain_round.dir/blockchain_round.cpp.o.d"
+  "blockchain_round"
+  "blockchain_round.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blockchain_round.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

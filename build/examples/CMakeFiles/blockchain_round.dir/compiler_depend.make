@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for blockchain_round.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decentralized_verification.dir/decentralized_verification.cpp.o"
+  "CMakeFiles/decentralized_verification.dir/decentralized_verification.cpp.o.d"
+  "decentralized_verification"
+  "decentralized_verification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decentralized_verification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pool_mining.dir/pool_mining.cpp.o"
+  "CMakeFiles/pool_mining.dir/pool_mining.cpp.o.d"
+  "pool_mining"
+  "pool_mining.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pool_mining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

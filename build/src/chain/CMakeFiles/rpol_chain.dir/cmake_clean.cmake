@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpol_chain.dir/blockchain.cpp.o"
+  "CMakeFiles/rpol_chain.dir/blockchain.cpp.o.d"
+  "CMakeFiles/rpol_chain.dir/escrow.cpp.o"
+  "CMakeFiles/rpol_chain.dir/escrow.cpp.o.d"
+  "librpol_chain.a"
+  "librpol_chain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpol_chain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/amlayer.cpp" "src/core/CMakeFiles/rpol_core.dir/amlayer.cpp.o" "gcc" "src/core/CMakeFiles/rpol_core.dir/amlayer.cpp.o.d"
+  "/root/repo/src/core/async_pool.cpp" "src/core/CMakeFiles/rpol_core.dir/async_pool.cpp.o" "gcc" "src/core/CMakeFiles/rpol_core.dir/async_pool.cpp.o.d"
+  "/root/repo/src/core/calibrate.cpp" "src/core/CMakeFiles/rpol_core.dir/calibrate.cpp.o" "gcc" "src/core/CMakeFiles/rpol_core.dir/calibrate.cpp.o.d"
+  "/root/repo/src/core/commitment.cpp" "src/core/CMakeFiles/rpol_core.dir/commitment.cpp.o" "gcc" "src/core/CMakeFiles/rpol_core.dir/commitment.cpp.o.d"
+  "/root/repo/src/core/costing.cpp" "src/core/CMakeFiles/rpol_core.dir/costing.cpp.o" "gcc" "src/core/CMakeFiles/rpol_core.dir/costing.cpp.o.d"
+  "/root/repo/src/core/decentralized.cpp" "src/core/CMakeFiles/rpol_core.dir/decentralized.cpp.o" "gcc" "src/core/CMakeFiles/rpol_core.dir/decentralized.cpp.o.d"
+  "/root/repo/src/core/detsel.cpp" "src/core/CMakeFiles/rpol_core.dir/detsel.cpp.o" "gcc" "src/core/CMakeFiles/rpol_core.dir/detsel.cpp.o.d"
+  "/root/repo/src/core/economics.cpp" "src/core/CMakeFiles/rpol_core.dir/economics.cpp.o" "gcc" "src/core/CMakeFiles/rpol_core.dir/economics.cpp.o.d"
+  "/root/repo/src/core/executor.cpp" "src/core/CMakeFiles/rpol_core.dir/executor.cpp.o" "gcc" "src/core/CMakeFiles/rpol_core.dir/executor.cpp.o.d"
+  "/root/repo/src/core/policy.cpp" "src/core/CMakeFiles/rpol_core.dir/policy.cpp.o" "gcc" "src/core/CMakeFiles/rpol_core.dir/policy.cpp.o.d"
+  "/root/repo/src/core/pool.cpp" "src/core/CMakeFiles/rpol_core.dir/pool.cpp.o" "gcc" "src/core/CMakeFiles/rpol_core.dir/pool.cpp.o.d"
+  "/root/repo/src/core/rewards.cpp" "src/core/CMakeFiles/rpol_core.dir/rewards.cpp.o" "gcc" "src/core/CMakeFiles/rpol_core.dir/rewards.cpp.o.d"
+  "/root/repo/src/core/session.cpp" "src/core/CMakeFiles/rpol_core.dir/session.cpp.o" "gcc" "src/core/CMakeFiles/rpol_core.dir/session.cpp.o.d"
+  "/root/repo/src/core/verifier.cpp" "src/core/CMakeFiles/rpol_core.dir/verifier.cpp.o" "gcc" "src/core/CMakeFiles/rpol_core.dir/verifier.cpp.o.d"
+  "/root/repo/src/core/wire.cpp" "src/core/CMakeFiles/rpol_core.dir/wire.cpp.o" "gcc" "src/core/CMakeFiles/rpol_core.dir/wire.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/rpol_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/rpol_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/rpol_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/rpol_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/lsh/CMakeFiles/rpol_lsh.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rpol_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpol_core.dir/amlayer.cpp.o"
+  "CMakeFiles/rpol_core.dir/amlayer.cpp.o.d"
+  "CMakeFiles/rpol_core.dir/async_pool.cpp.o"
+  "CMakeFiles/rpol_core.dir/async_pool.cpp.o.d"
+  "CMakeFiles/rpol_core.dir/calibrate.cpp.o"
+  "CMakeFiles/rpol_core.dir/calibrate.cpp.o.d"
+  "CMakeFiles/rpol_core.dir/commitment.cpp.o"
+  "CMakeFiles/rpol_core.dir/commitment.cpp.o.d"
+  "CMakeFiles/rpol_core.dir/costing.cpp.o"
+  "CMakeFiles/rpol_core.dir/costing.cpp.o.d"
+  "CMakeFiles/rpol_core.dir/decentralized.cpp.o"
+  "CMakeFiles/rpol_core.dir/decentralized.cpp.o.d"
+  "CMakeFiles/rpol_core.dir/detsel.cpp.o"
+  "CMakeFiles/rpol_core.dir/detsel.cpp.o.d"
+  "CMakeFiles/rpol_core.dir/economics.cpp.o"
+  "CMakeFiles/rpol_core.dir/economics.cpp.o.d"
+  "CMakeFiles/rpol_core.dir/executor.cpp.o"
+  "CMakeFiles/rpol_core.dir/executor.cpp.o.d"
+  "CMakeFiles/rpol_core.dir/policy.cpp.o"
+  "CMakeFiles/rpol_core.dir/policy.cpp.o.d"
+  "CMakeFiles/rpol_core.dir/pool.cpp.o"
+  "CMakeFiles/rpol_core.dir/pool.cpp.o.d"
+  "CMakeFiles/rpol_core.dir/rewards.cpp.o"
+  "CMakeFiles/rpol_core.dir/rewards.cpp.o.d"
+  "CMakeFiles/rpol_core.dir/session.cpp.o"
+  "CMakeFiles/rpol_core.dir/session.cpp.o.d"
+  "CMakeFiles/rpol_core.dir/verifier.cpp.o"
+  "CMakeFiles/rpol_core.dir/verifier.cpp.o.d"
+  "CMakeFiles/rpol_core.dir/wire.cpp.o"
+  "CMakeFiles/rpol_core.dir/wire.cpp.o.d"
+  "librpol_core.a"
+  "librpol_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpol_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

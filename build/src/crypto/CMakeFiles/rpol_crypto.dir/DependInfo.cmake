@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crypto/address.cpp" "src/crypto/CMakeFiles/rpol_crypto.dir/address.cpp.o" "gcc" "src/crypto/CMakeFiles/rpol_crypto.dir/address.cpp.o.d"
+  "/root/repo/src/crypto/hmac.cpp" "src/crypto/CMakeFiles/rpol_crypto.dir/hmac.cpp.o" "gcc" "src/crypto/CMakeFiles/rpol_crypto.dir/hmac.cpp.o.d"
+  "/root/repo/src/crypto/merkle.cpp" "src/crypto/CMakeFiles/rpol_crypto.dir/merkle.cpp.o" "gcc" "src/crypto/CMakeFiles/rpol_crypto.dir/merkle.cpp.o.d"
+  "/root/repo/src/crypto/prf.cpp" "src/crypto/CMakeFiles/rpol_crypto.dir/prf.cpp.o" "gcc" "src/crypto/CMakeFiles/rpol_crypto.dir/prf.cpp.o.d"
+  "/root/repo/src/crypto/sha256.cpp" "src/crypto/CMakeFiles/rpol_crypto.dir/sha256.cpp.o" "gcc" "src/crypto/CMakeFiles/rpol_crypto.dir/sha256.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/rpol_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpol_crypto.dir/address.cpp.o"
+  "CMakeFiles/rpol_crypto.dir/address.cpp.o.d"
+  "CMakeFiles/rpol_crypto.dir/hmac.cpp.o"
+  "CMakeFiles/rpol_crypto.dir/hmac.cpp.o.d"
+  "CMakeFiles/rpol_crypto.dir/merkle.cpp.o"
+  "CMakeFiles/rpol_crypto.dir/merkle.cpp.o.d"
+  "CMakeFiles/rpol_crypto.dir/prf.cpp.o"
+  "CMakeFiles/rpol_crypto.dir/prf.cpp.o.d"
+  "CMakeFiles/rpol_crypto.dir/sha256.cpp.o"
+  "CMakeFiles/rpol_crypto.dir/sha256.cpp.o.d"
+  "librpol_crypto.a"
+  "librpol_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpol_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpol_data.dir/cifar.cpp.o"
+  "CMakeFiles/rpol_data.dir/cifar.cpp.o.d"
+  "CMakeFiles/rpol_data.dir/dataset.cpp.o"
+  "CMakeFiles/rpol_data.dir/dataset.cpp.o.d"
+  "CMakeFiles/rpol_data.dir/partition.cpp.o"
+  "CMakeFiles/rpol_data.dir/partition.cpp.o.d"
+  "CMakeFiles/rpol_data.dir/synthetic.cpp.o"
+  "CMakeFiles/rpol_data.dir/synthetic.cpp.o.d"
+  "librpol_data.a"
+  "librpol_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpol_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lsh/probability.cpp" "src/lsh/CMakeFiles/rpol_lsh.dir/probability.cpp.o" "gcc" "src/lsh/CMakeFiles/rpol_lsh.dir/probability.cpp.o.d"
+  "/root/repo/src/lsh/pstable.cpp" "src/lsh/CMakeFiles/rpol_lsh.dir/pstable.cpp.o" "gcc" "src/lsh/CMakeFiles/rpol_lsh.dir/pstable.cpp.o.d"
+  "/root/repo/src/lsh/tuning.cpp" "src/lsh/CMakeFiles/rpol_lsh.dir/tuning.cpp.o" "gcc" "src/lsh/CMakeFiles/rpol_lsh.dir/tuning.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/rpol_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/rpol_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

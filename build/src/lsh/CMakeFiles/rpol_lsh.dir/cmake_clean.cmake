@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpol_lsh.dir/probability.cpp.o"
+  "CMakeFiles/rpol_lsh.dir/probability.cpp.o.d"
+  "CMakeFiles/rpol_lsh.dir/pstable.cpp.o"
+  "CMakeFiles/rpol_lsh.dir/pstable.cpp.o.d"
+  "CMakeFiles/rpol_lsh.dir/tuning.cpp.o"
+  "CMakeFiles/rpol_lsh.dir/tuning.cpp.o.d"
+  "librpol_lsh.a"
+  "librpol_lsh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpol_lsh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

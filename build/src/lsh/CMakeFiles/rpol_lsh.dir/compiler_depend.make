@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for rpol_lsh.
+# This may be replaced when dependencies are built.

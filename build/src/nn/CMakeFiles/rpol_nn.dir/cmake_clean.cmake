@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpol_nn.dir/blocks.cpp.o"
+  "CMakeFiles/rpol_nn.dir/blocks.cpp.o.d"
+  "CMakeFiles/rpol_nn.dir/layers.cpp.o"
+  "CMakeFiles/rpol_nn.dir/layers.cpp.o.d"
+  "CMakeFiles/rpol_nn.dir/loss.cpp.o"
+  "CMakeFiles/rpol_nn.dir/loss.cpp.o.d"
+  "CMakeFiles/rpol_nn.dir/model.cpp.o"
+  "CMakeFiles/rpol_nn.dir/model.cpp.o.d"
+  "CMakeFiles/rpol_nn.dir/models.cpp.o"
+  "CMakeFiles/rpol_nn.dir/models.cpp.o.d"
+  "CMakeFiles/rpol_nn.dir/optim.cpp.o"
+  "CMakeFiles/rpol_nn.dir/optim.cpp.o.d"
+  "librpol_nn.a"
+  "librpol_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpol_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for rpol_nn.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/device.cpp" "src/sim/CMakeFiles/rpol_sim.dir/device.cpp.o" "gcc" "src/sim/CMakeFiles/rpol_sim.dir/device.cpp.o.d"
+  "/root/repo/src/sim/model_specs.cpp" "src/sim/CMakeFiles/rpol_sim.dir/model_specs.cpp.o" "gcc" "src/sim/CMakeFiles/rpol_sim.dir/model_specs.cpp.o.d"
+  "/root/repo/src/sim/network.cpp" "src/sim/CMakeFiles/rpol_sim.dir/network.cpp.o" "gcc" "src/sim/CMakeFiles/rpol_sim.dir/network.cpp.o.d"
+  "/root/repo/src/sim/stats.cpp" "src/sim/CMakeFiles/rpol_sim.dir/stats.cpp.o" "gcc" "src/sim/CMakeFiles/rpol_sim.dir/stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/rpol_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/rpol_nn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

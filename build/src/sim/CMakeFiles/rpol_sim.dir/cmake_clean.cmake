@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpol_sim.dir/device.cpp.o"
+  "CMakeFiles/rpol_sim.dir/device.cpp.o.d"
+  "CMakeFiles/rpol_sim.dir/model_specs.cpp.o"
+  "CMakeFiles/rpol_sim.dir/model_specs.cpp.o.d"
+  "CMakeFiles/rpol_sim.dir/network.cpp.o"
+  "CMakeFiles/rpol_sim.dir/network.cpp.o.d"
+  "CMakeFiles/rpol_sim.dir/stats.cpp.o"
+  "CMakeFiles/rpol_sim.dir/stats.cpp.o.d"
+  "librpol_sim.a"
+  "librpol_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpol_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpol_tensor.dir/ops.cpp.o"
+  "CMakeFiles/rpol_tensor.dir/ops.cpp.o.d"
+  "CMakeFiles/rpol_tensor.dir/rng.cpp.o"
+  "CMakeFiles/rpol_tensor.dir/rng.cpp.o.d"
+  "CMakeFiles/rpol_tensor.dir/serialize.cpp.o"
+  "CMakeFiles/rpol_tensor.dir/serialize.cpp.o.d"
+  "CMakeFiles/rpol_tensor.dir/tensor.cpp.o"
+  "CMakeFiles/rpol_tensor.dir/tensor.cpp.o.d"
+  "librpol_tensor.a"
+  "librpol_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpol_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

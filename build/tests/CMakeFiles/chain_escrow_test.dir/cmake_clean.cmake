@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chain_escrow_test.dir/chain_escrow_test.cpp.o"
+  "CMakeFiles/chain_escrow_test.dir/chain_escrow_test.cpp.o.d"
+  "chain_escrow_test"
+  "chain_escrow_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chain_escrow_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chain_test.dir/chain_test.cpp.o"
+  "CMakeFiles/chain_test.dir/chain_test.cpp.o.d"
+  "chain_test"
+  "chain_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chain_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

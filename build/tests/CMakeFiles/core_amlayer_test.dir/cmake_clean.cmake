@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_amlayer_test.dir/core_amlayer_test.cpp.o"
+  "CMakeFiles/core_amlayer_test.dir/core_amlayer_test.cpp.o.d"
+  "core_amlayer_test"
+  "core_amlayer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_amlayer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

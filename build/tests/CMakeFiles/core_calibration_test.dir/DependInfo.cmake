@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core_calibration_test.cpp" "tests/CMakeFiles/core_calibration_test.dir/core_calibration_test.cpp.o" "gcc" "tests/CMakeFiles/core_calibration_test.dir/core_calibration_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/rpol_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/rpol_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/lsh/CMakeFiles/rpol_lsh.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/rpol_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rpol_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/rpol_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/rpol_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_calibration_test.dir/core_calibration_test.cpp.o"
+  "CMakeFiles/core_calibration_test.dir/core_calibration_test.cpp.o.d"
+  "core_calibration_test"
+  "core_calibration_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_calibration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_compact_commitment_test.dir/core_compact_commitment_test.cpp.o"
+  "CMakeFiles/core_compact_commitment_test.dir/core_compact_commitment_test.cpp.o.d"
+  "core_compact_commitment_test"
+  "core_compact_commitment_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_compact_commitment_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

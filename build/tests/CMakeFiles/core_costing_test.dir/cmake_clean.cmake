@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_costing_test.dir/core_costing_test.cpp.o"
+  "CMakeFiles/core_costing_test.dir/core_costing_test.cpp.o.d"
+  "core_costing_test"
+  "core_costing_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_costing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_decentralized_test.dir/core_decentralized_test.cpp.o"
+  "CMakeFiles/core_decentralized_test.dir/core_decentralized_test.cpp.o.d"
+  "core_decentralized_test"
+  "core_decentralized_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_decentralized_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

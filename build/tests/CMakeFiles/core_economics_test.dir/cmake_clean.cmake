@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_economics_test.dir/core_economics_test.cpp.o"
+  "CMakeFiles/core_economics_test.dir/core_economics_test.cpp.o.d"
+  "core_economics_test"
+  "core_economics_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_economics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

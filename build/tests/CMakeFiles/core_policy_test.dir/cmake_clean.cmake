@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_policy_test.dir/core_policy_test.cpp.o"
+  "CMakeFiles/core_policy_test.dir/core_policy_test.cpp.o.d"
+  "core_policy_test"
+  "core_policy_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_policy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_protocol_test.dir/core_protocol_test.cpp.o"
+  "CMakeFiles/core_protocol_test.dir/core_protocol_test.cpp.o.d"
+  "core_protocol_test"
+  "core_protocol_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_protocol_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_rewards_test.dir/core_rewards_test.cpp.o"
+  "CMakeFiles/core_rewards_test.dir/core_rewards_test.cpp.o.d"
+  "core_rewards_test"
+  "core_rewards_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_rewards_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_schedule_test.dir/core_schedule_test.cpp.o"
+  "CMakeFiles/core_schedule_test.dir/core_schedule_test.cpp.o.d"
+  "core_schedule_test"
+  "core_schedule_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_schedule_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

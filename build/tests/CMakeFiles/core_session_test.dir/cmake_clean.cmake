@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_session_test.dir/core_session_test.cpp.o"
+  "CMakeFiles/core_session_test.dir/core_session_test.cpp.o.d"
+  "core_session_test"
+  "core_session_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_session_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_stochastic_test.dir/core_stochastic_test.cpp.o"
+  "CMakeFiles/core_stochastic_test.dir/core_stochastic_test.cpp.o.d"
+  "core_stochastic_test"
+  "core_stochastic_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_stochastic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

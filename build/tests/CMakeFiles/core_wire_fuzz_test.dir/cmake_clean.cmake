@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_wire_fuzz_test.dir/core_wire_fuzz_test.cpp.o"
+  "CMakeFiles/core_wire_fuzz_test.dir/core_wire_fuzz_test.cpp.o.d"
+  "core_wire_fuzz_test"
+  "core_wire_fuzz_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_wire_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

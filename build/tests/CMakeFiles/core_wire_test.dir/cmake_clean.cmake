@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_wire_test.dir/core_wire_test.cpp.o"
+  "CMakeFiles/core_wire_test.dir/core_wire_test.cpp.o.d"
+  "core_wire_test"
+  "core_wire_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_wire_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

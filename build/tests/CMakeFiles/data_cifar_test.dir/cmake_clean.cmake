@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_cifar_test.dir/data_cifar_test.cpp.o"
+  "CMakeFiles/data_cifar_test.dir/data_cifar_test.cpp.o.d"
+  "data_cifar_test"
+  "data_cifar_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_cifar_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsh_test.dir/lsh_test.cpp.o"
+  "CMakeFiles/lsh_test.dir/lsh_test.cpp.o.d"
+  "lsh_test"
+  "lsh_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsh_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

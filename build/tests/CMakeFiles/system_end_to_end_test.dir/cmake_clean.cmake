@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/system_end_to_end_test.dir/system_end_to_end_test.cpp.o"
+  "CMakeFiles/system_end_to_end_test.dir/system_end_to_end_test.cpp.o.d"
+  "system_end_to_end_test"
+  "system_end_to_end_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/system_end_to_end_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

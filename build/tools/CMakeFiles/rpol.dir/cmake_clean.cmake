@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpol.dir/rpol_cli.cpp.o"
+  "CMakeFiles/rpol.dir/rpol_cli.cpp.o.d"
+  "rpol"
+  "rpol.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
