@@ -1,8 +1,18 @@
 // Microbenchmarks (google-benchmark) for the primitives on RPoL's hot
 // paths: hashing (commitments), p-stable LSH digests, AMLayer derivation,
-// training-step execution, and checkpoint state capture.
+// training-step execution, and checkpoint state capture — plus a
+// deterministic kernel harness that times the runtime's blocked GEMM /
+// im2col kernels at the paper models' layer shapes
+// (src/sim/model_specs.cpp) and writes BENCH_micro.json so future PRs have
+// a perf trajectory (ops/sec, speedup vs. the seed scalar kernels, and
+// thread scaling).
 
 #include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <vector>
 
 #include "core/amlayer.h"
 #include "core/commitment.h"
@@ -10,9 +20,205 @@
 #include "data/synthetic.h"
 #include "lsh/pstable.h"
 #include "nn/models.h"
+#include "runtime/thread_pool.h"
+#include "sim/model_specs.h"
+#include "tensor/ops.h"
 
 namespace {
 using namespace rpol;
+
+// ---------------------------------------------------------------------------
+// Seed scalar reference kernels (frozen copies of the pre-runtime
+// implementations) — the baseline BENCH_micro.json speedups are measured
+// against. Do not "optimize" these; they exist to keep the comparison
+// honest across PRs.
+
+Tensor seed_matmul(const Tensor& a, const Tensor& b) {
+  const std::int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  Tensor c({m, n});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t kk = 0; kk < k; ++kk) {
+      const float aik = pa[i * k + kk];
+      if (aik == 0.0F) continue;
+      const float* brow = pb + kk * n;
+      float* crow = pc + i * n;
+      for (std::int64_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
+    }
+  }
+  return c;
+}
+
+Tensor seed_im2col(const Tensor& input, const Conv2dSpec& spec) {
+  const std::int64_t n = input.dim(0), c = input.dim(1);
+  const std::int64_t h = input.dim(2), w = input.dim(3);
+  const std::int64_t oh = spec.out_size(h), ow = spec.out_size(w);
+  const std::int64_t patch = c * spec.kernel * spec.kernel;
+  Tensor cols({patch, n * oh * ow});
+  float* pc = cols.data();
+  const std::int64_t col_stride = n * oh * ow;
+  for (std::int64_t img = 0; img < n; ++img) {
+    for (std::int64_t ch = 0; ch < c; ++ch) {
+      for (std::int64_t kh = 0; kh < spec.kernel; ++kh) {
+        for (std::int64_t kw = 0; kw < spec.kernel; ++kw) {
+          const std::int64_t prow = (ch * spec.kernel + kh) * spec.kernel + kw;
+          for (std::int64_t y = 0; y < oh; ++y) {
+            const std::int64_t in_y = y * spec.stride + kh - spec.padding;
+            for (std::int64_t x = 0; x < ow; ++x) {
+              const std::int64_t in_x = x * spec.stride + kw - spec.padding;
+              const std::int64_t pcol = (img * oh + y) * ow + x;
+              float v = 0.0F;
+              if (in_y >= 0 && in_y < h && in_x >= 0 && in_x < w) {
+                v = input.at4(img, ch, in_y, in_x);
+              }
+              pc[prow * col_stride + pcol] = v;
+            }
+          }
+        }
+      }
+    }
+  }
+  return cols;
+}
+
+// Best-of-k wall-clock seconds for fn(), with one warmup call.
+template <typename Fn>
+double time_best(Fn&& fn, double min_total_s = 0.3, int max_iters = 5) {
+  fn();  // warmup
+  double best = 1e300, total = 0.0;
+  int iters = 0;
+  while ((total < min_total_s && iters < max_iters) || iters < 2) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const double s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    best = std::min(best, s);
+    total += s;
+    ++iters;
+  }
+  return best;
+}
+
+struct KernelResult {
+  std::string model, layer;
+  std::int64_t m = 0, k = 0, cols = 0, batch = 0, in_h = 0;
+  double gemm_flops = 0.0;
+  double seed_s = 0.0, new1_s = 0.0, new4_s = 0.0;       // conv GEMM (im2col+matmul)
+  double mm_seed_s = 0.0, mm_new1_s = 0.0, mm_new4_s = 0.0;  // pure GEMM
+};
+
+KernelResult run_shape(const std::string& model, const sim::ConvLayerShape& shape,
+                       std::int64_t batch, std::int64_t spatial_div) {
+  KernelResult r;
+  r.model = model;
+  r.layer = shape.layer;
+  sim::ConvLayerShape s = shape;
+  s.in_h /= spatial_div;
+  s.in_w /= spatial_div;
+  r.batch = batch;
+  r.in_h = s.in_h;
+  r.m = s.gemm_m();
+  r.k = s.gemm_k();
+  r.cols = s.gemm_n(batch);
+  r.gemm_flops = 2.0 * static_cast<double>(r.m) * static_cast<double>(r.k) *
+                 static_cast<double>(r.cols);
+
+  Rng rng(7);
+  const Tensor input =
+      Tensor::randn({batch, s.in_channels, s.in_h, s.in_w}, rng, 1.0F);
+  const Tensor weight = Tensor::randn({r.m, r.k}, rng, 0.05F);
+  const Conv2dSpec spec{s.in_channels, s.out_channels, s.kernel, s.stride,
+                        s.padding};
+
+  const Tensor cols = im2col(input, spec);
+  r.seed_s = time_best([&] {
+    benchmark::DoNotOptimize(seed_matmul(weight, seed_im2col(input, spec)));
+  });
+  r.mm_seed_s = time_best([&] {
+    benchmark::DoNotOptimize(seed_matmul(weight, cols));
+  });
+  runtime::set_threads(1);
+  r.new1_s = time_best([&] {
+    benchmark::DoNotOptimize(matmul(weight, im2col(input, spec)));
+  });
+  r.mm_new1_s = time_best([&] { benchmark::DoNotOptimize(matmul(weight, cols)); });
+  runtime::set_threads(4);
+  r.new4_s = time_best([&] {
+    benchmark::DoNotOptimize(matmul(weight, im2col(input, spec)));
+  });
+  r.mm_new4_s = time_best([&] { benchmark::DoNotOptimize(matmul(weight, cols)); });
+  return r;
+}
+
+void write_kernel_json(const std::vector<KernelResult>& results,
+                       int default_threads) {
+  std::FILE* f = std::fopen("BENCH_micro.json", "w");
+  if (f == nullptr) return;
+  std::fprintf(f, "{\n  \"bench\": \"micro_kernels\",\n");
+  std::fprintf(f, "  \"threads_default\": %d,\n", default_threads);
+  std::fprintf(f, "  \"note\": \"conv_gemm = im2col + GEMM at the layer shape; "
+                  "seed = frozen scalar kernels from the seed tree; "
+                  "speedups are wall-clock, new kernels at 1/4 threads\",\n");
+  std::fprintf(f, "  \"results\": [\n");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const KernelResult& r = results[i];
+    std::fprintf(
+        f,
+        "    {\"model\": \"%s\", \"layer\": \"%s\", \"batch\": %lld, "
+        "\"in_h\": %lld, \"m\": %lld, \"k\": %lld, \"cols\": %lld,\n"
+        "     \"conv_gemm\": {\"seed_gflops\": %.3f, \"new_1t_gflops\": %.3f, "
+        "\"new_4t_gflops\": %.3f, \"speedup_1t_vs_seed\": %.2f, "
+        "\"speedup_4t_vs_seed\": %.2f, \"speedup_4t_vs_1t\": %.2f},\n"
+        "     \"matmul\": {\"seed_gflops\": %.3f, \"new_1t_gflops\": %.3f, "
+        "\"new_4t_gflops\": %.3f, \"speedup_1t_vs_seed\": %.2f, "
+        "\"speedup_4t_vs_seed\": %.2f, \"speedup_4t_vs_1t\": %.2f}}%s\n",
+        r.model.c_str(), r.layer.c_str(), static_cast<long long>(r.batch),
+        static_cast<long long>(r.in_h), static_cast<long long>(r.m),
+        static_cast<long long>(r.k), static_cast<long long>(r.cols),
+        r.gemm_flops / r.seed_s / 1e9, r.gemm_flops / r.new1_s / 1e9,
+        r.gemm_flops / r.new4_s / 1e9, r.seed_s / r.new1_s,
+        r.seed_s / r.new4_s, r.new1_s / r.new4_s,
+        r.gemm_flops / r.mm_seed_s / 1e9, r.gemm_flops / r.mm_new1_s / 1e9,
+        r.gemm_flops / r.mm_new4_s / 1e9, r.mm_seed_s / r.mm_new1_s,
+        r.mm_seed_s / r.mm_new4_s, r.mm_new1_s / r.mm_new4_s,
+        i + 1 == results.size() ? "" : ",");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+}
+
+void run_kernel_harness() {
+  const int default_threads = runtime::threads();
+  std::vector<KernelResult> results;
+  // ResNet18 residual-stage shapes at full 224px spatial resolution,
+  // batch 1; VGG16's early layers at 1/4 spatial (their GEMMs are ~16x
+  // larger — same shape class, bench-sized spatial extent).
+  for (const auto& s : sim::resnet18_conv_shapes()) {
+    if (s.layer == "conv1" || s.layer.find("entry") != std::string::npos) continue;
+    results.push_back(run_shape("ResNet18", s, /*batch=*/1, /*spatial_div=*/1));
+  }
+  for (const auto& s : sim::vgg16_conv_shapes()) {
+    if (s.layer != "conv3_x" && s.layer != "conv5_x") continue;
+    results.push_back(run_shape("VGG16", s, /*batch=*/1, /*spatial_div=*/4));
+  }
+  runtime::set_threads(default_threads);
+  write_kernel_json(results, default_threads);
+
+  std::printf("kernel harness (threads default %d) -> BENCH_micro.json\n",
+              default_threads);
+  std::printf("%-10s %-10s %5s %5s %6s | conv_gemm gflops seed/1t/4t | speedup 4t vs seed\n",
+              "model", "layer", "m", "k", "cols");
+  for (const KernelResult& r : results) {
+    std::printf("%-10s %-10s %5lld %5lld %6lld | %7.3f %7.3f %7.3f | %.2fx\n",
+                r.model.c_str(), r.layer.c_str(), static_cast<long long>(r.m),
+                static_cast<long long>(r.k), static_cast<long long>(r.cols),
+                r.gemm_flops / r.seed_s / 1e9, r.gemm_flops / r.new1_s / 1e9,
+                r.gemm_flops / r.new4_s / 1e9, r.seed_s / r.new4_s);
+  }
+}
 
 void BM_Sha256_1MB(benchmark::State& state) {
   Bytes data(1 << 20, 0xAB);
@@ -112,6 +318,28 @@ void BM_CheckpointSaveRestore(benchmark::State& state) {
 }
 BENCHMARK(BM_CheckpointSaveRestore);
 
+void BM_ConvGemm_ResNet18_conv2(benchmark::State& state) {
+  const auto shapes = sim::resnet18_conv_shapes();
+  const sim::ConvLayerShape& s = shapes[1];  // conv2_x
+  Rng rng(7);
+  const Tensor input = Tensor::randn({1, s.in_channels, s.in_h, s.in_w}, rng);
+  const Tensor weight = Tensor::randn({s.gemm_m(), s.gemm_k()}, rng, 0.05F);
+  const Conv2dSpec spec{s.in_channels, s.out_channels, s.kernel, s.stride,
+                        s.padding};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(matmul(weight, im2col(input, spec)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ConvGemm_ResNet18_conv2);
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  run_kernel_harness();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

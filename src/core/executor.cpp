@@ -1,9 +1,11 @@
 #include "core/executor.h"
 
+#include <algorithm>
+#include <cmath>
 #include <stdexcept>
 #include <utility>
 
-#include <cmath>
+#include "runtime/thread_pool.h"
 
 namespace rpol::core {
 
@@ -26,12 +28,31 @@ double trainable_distance(const std::vector<float>& a,
   if (a.size() != b.size() || a.size() != mask.size()) {
     throw std::invalid_argument("trainable_distance size mismatch");
   }
+  // Verifier hot path (checkpoint distance): blocked parallel reduction.
+  // Block boundaries are FIXED (independent of thread count); each block's
+  // partial sum is accumulated serially and the partials are combined in
+  // block order, so the result is bit-identical for any RPOL_THREADS.
+  constexpr std::int64_t kBlock = 4096;
+  const std::int64_t total = static_cast<std::int64_t>(a.size());
+  const std::int64_t blocks = (total + kBlock - 1) / kBlock;
+  if (blocks <= 0) return 0.0;
+  std::vector<double> partial(static_cast<std::size_t>(blocks), 0.0);
+  runtime::parallel_for(0, blocks, 1, [&](std::int64_t b0, std::int64_t b1) {
+    for (std::int64_t blk = b0; blk < b1; ++blk) {
+      const std::int64_t lo = blk * kBlock;
+      const std::int64_t hi = std::min(total, lo + kBlock);
+      double acc = 0.0;
+      for (std::int64_t i = lo; i < hi; ++i) {
+        const std::size_t idx = static_cast<std::size_t>(i);
+        if (!mask[idx]) continue;
+        const double d = static_cast<double>(a[idx]) - b[idx];
+        acc += d * d;
+      }
+      partial[static_cast<std::size_t>(blk)] = acc;
+    }
+  });
   double acc = 0.0;
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    if (!mask[i]) continue;
-    const double d = static_cast<double>(a[i]) - b[i];
-    acc += d * d;
-  }
+  for (const double p : partial) acc += p;
   return std::sqrt(acc);
 }
 

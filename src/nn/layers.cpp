@@ -3,9 +3,16 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "runtime/thread_pool.h"
+
 namespace rpol::nn {
 
 namespace {
+
+// Parallel loops in this file partition disjoint output slices (a channel,
+// an (img, ch) plane, or an element range) across the deterministic thread
+// pool; per-element accumulation stays serial and fixed-order, so results
+// are bit-identical for any RPOL_THREADS setting.
 
 // Rearranges a GEMM output of shape (C, N*H*W) — column index ordered as
 // (img*H + y)*W + x — into NCHW.
@@ -16,13 +23,15 @@ Tensor gemm_out_to_nchw(const Tensor& gemm_out, std::int64_t n, std::int64_t c,
   const std::int64_t cols = n * hw;
   const float* src = gemm_out.data();
   float* dst = out.data();
-  for (std::int64_t ch = 0; ch < c; ++ch) {
-    for (std::int64_t img = 0; img < n; ++img) {
-      const float* s = src + ch * cols + img * hw;
-      float* d = dst + (img * c + ch) * hw;
-      for (std::int64_t i = 0; i < hw; ++i) d[i] = s[i];
+  runtime::parallel_for(0, c, 1, [&](std::int64_t c0, std::int64_t c1) {
+    for (std::int64_t ch = c0; ch < c1; ++ch) {
+      for (std::int64_t img = 0; img < n; ++img) {
+        const float* s = src + ch * cols + img * hw;
+        float* d = dst + (img * c + ch) * hw;
+        for (std::int64_t i = 0; i < hw; ++i) d[i] = s[i];
+      }
     }
-  }
+  });
   return out;
 }
 
@@ -35,13 +44,15 @@ Tensor nchw_to_gemm_out(const Tensor& nchw) {
   Tensor out({c, cols});
   const float* src = nchw.data();
   float* dst = out.data();
-  for (std::int64_t ch = 0; ch < c; ++ch) {
-    for (std::int64_t img = 0; img < n; ++img) {
-      const float* s = src + (img * c + ch) * hw;
-      float* d = dst + ch * cols + img * hw;
-      for (std::int64_t i = 0; i < hw; ++i) d[i] = s[i];
+  runtime::parallel_for(0, c, 1, [&](std::int64_t c0, std::int64_t c1) {
+    for (std::int64_t ch = c0; ch < c1; ++ch) {
+      for (std::int64_t img = 0; img < n; ++img) {
+        const float* s = src + (img * c + ch) * hw;
+        float* d = dst + ch * cols + img * hw;
+        for (std::int64_t i = 0; i < hw; ++i) d[i] = s[i];
+      }
     }
-  }
+  });
   return out;
 }
 
@@ -77,10 +88,14 @@ Tensor Conv2d::forward(const Tensor& input, bool /*training*/) {
   if (has_bias_) {
     const std::int64_t cols = n * oh * ow;
     float* p = gemm.data();
-    for (std::int64_t oc = 0; oc < spec_.out_channels; ++oc) {
-      const float b = bias_.value.at(oc);
-      for (std::int64_t j = 0; j < cols; ++j) p[oc * cols + j] += b;
-    }
+    const float* pb = bias_.value.data();
+    runtime::parallel_for(
+        0, spec_.out_channels, 1, [&](std::int64_t oc0, std::int64_t oc1) {
+          for (std::int64_t oc = oc0; oc < oc1; ++oc) {
+            const float b = pb[oc];
+            for (std::int64_t j = 0; j < cols; ++j) p[oc * cols + j] += b;
+          }
+        });
   }
   return gemm_out_to_nchw(gemm, n, spec_.out_channels, oh, ow);
 }
@@ -92,11 +107,16 @@ Tensor Conv2d::backward(const Tensor& grad_output) {
   weight_.grad += dw;
   if (has_bias_) {
     const std::int64_t cols = grad_gemm.dim(1);
-    for (std::int64_t oc = 0; oc < spec_.out_channels; ++oc) {
-      double acc = 0.0;
-      for (std::int64_t j = 0; j < cols; ++j) acc += grad_gemm.at2(oc, j);
-      bias_.grad.at(oc) += static_cast<float>(acc);
-    }
+    const float* pg = grad_gemm.data();
+    float* pbg = bias_.grad.data();
+    runtime::parallel_for(
+        0, spec_.out_channels, 1, [&](std::int64_t oc0, std::int64_t oc1) {
+          for (std::int64_t oc = oc0; oc < oc1; ++oc) {
+            double acc = 0.0;
+            for (std::int64_t j = 0; j < cols; ++j) acc += pg[oc * cols + j];
+            pbg[oc] += static_cast<float>(acc);
+          }
+        });
   }
   // dX = col2im(W^T * dY)
   const Tensor dcols = matmul_tn(weight_.value, grad_gemm);
@@ -134,11 +154,14 @@ Tensor Linear::forward(const Tensor& input, bool /*training*/) {
   cached_input_ = input;
   Tensor out = matmul_nt(input, weight_.value);
   const std::int64_t n = out.dim(0);
-  for (std::int64_t i = 0; i < n; ++i) {
-    for (std::int64_t j = 0; j < out_features_; ++j) {
-      out.at2(i, j) += bias_.value.at(j);
+  float* po = out.data();
+  const float* pb = bias_.value.data();
+  runtime::parallel_for(0, n, 8, [&](std::int64_t i0, std::int64_t i1) {
+    for (std::int64_t i = i0; i < i1; ++i) {
+      float* row = po + i * out_features_;
+      for (std::int64_t j = 0; j < out_features_; ++j) row[j] += pb[j];
     }
-  }
+  });
   return out;
 }
 
@@ -146,11 +169,15 @@ Tensor Linear::backward(const Tensor& grad_output) {
   // dW += dY^T X ; db += colsum(dY) ; dX = dY W
   weight_.grad += matmul_tn(grad_output, cached_input_);
   const std::int64_t n = grad_output.dim(0);
-  for (std::int64_t j = 0; j < out_features_; ++j) {
-    double acc = 0.0;
-    for (std::int64_t i = 0; i < n; ++i) acc += grad_output.at2(i, j);
-    bias_.grad.at(j) += static_cast<float>(acc);
-  }
+  const float* pg = grad_output.data();
+  float* pbg = bias_.grad.data();
+  runtime::parallel_for(0, out_features_, 4, [&](std::int64_t j0, std::int64_t j1) {
+    for (std::int64_t j = j0; j < j1; ++j) {
+      double acc = 0.0;
+      for (std::int64_t i = 0; i < n; ++i) acc += pg[i * out_features_ + j];
+      pbg[j] += static_cast<float>(acc);
+    }
+  });
   return matmul(grad_output, weight_.value);
 }
 
@@ -184,40 +211,52 @@ Tensor BatchNorm2d::forward(const Tensor& input, bool training) {
   cached_mean_.assign(static_cast<std::size_t>(channels_), 0.0F);
   cached_inv_std_.assign(static_cast<std::size_t>(channels_), 0.0F);
 
-  for (std::int64_t c = 0; c < channels_; ++c) {
-    float mean = 0.0F, var = 0.0F;
-    if (training) {
-      double sum = 0.0;
-      for (std::int64_t img = 0; img < n; ++img)
-        for (std::int64_t y = 0; y < h; ++y)
-          for (std::int64_t x = 0; x < w; ++x) sum += input.at4(img, c, y, x);
-      mean = static_cast<float>(sum / static_cast<double>(count));
-      double sq = 0.0;
-      for (std::int64_t img = 0; img < n; ++img)
-        for (std::int64_t y = 0; y < h; ++y)
-          for (std::int64_t x = 0; x < w; ++x) {
-            const double d = input.at4(img, c, y, x) - mean;
+  const std::int64_t hw = h * w;
+  const float* pin = input.data();
+  float* pout = out.data();
+  // Per-channel statistics and normalization: each channel is owned by one
+  // thread, with serial fixed-order (img, y, x) accumulation — bitwise
+  // deterministic for any thread count.
+  runtime::parallel_for(0, channels_, 1, [&](std::int64_t c0, std::int64_t c1) {
+    for (std::int64_t c = c0; c < c1; ++c) {
+      float mean = 0.0F, var = 0.0F;
+      if (training) {
+        double sum = 0.0;
+        for (std::int64_t img = 0; img < n; ++img) {
+          const float* plane = pin + (img * channels_ + c) * hw;
+          for (std::int64_t i = 0; i < hw; ++i) sum += plane[i];
+        }
+        mean = static_cast<float>(sum / static_cast<double>(count));
+        double sq = 0.0;
+        for (std::int64_t img = 0; img < n; ++img) {
+          const float* plane = pin + (img * channels_ + c) * hw;
+          for (std::int64_t i = 0; i < hw; ++i) {
+            const double d = plane[i] - mean;
             sq += d * d;
           }
-      var = static_cast<float>(sq / static_cast<double>(count));
-      running_mean_.value.at(c) =
-          (1.0F - momentum_) * running_mean_.value.at(c) + momentum_ * mean;
-      running_var_.value.at(c) =
-          (1.0F - momentum_) * running_var_.value.at(c) + momentum_ * var;
-    } else {
-      mean = running_mean_.value.at(c);
-      var = running_var_.value.at(c);
-    }
-    const float inv_std = 1.0F / std::sqrt(var + eps_);
-    cached_mean_[static_cast<std::size_t>(c)] = mean;
-    cached_inv_std_[static_cast<std::size_t>(c)] = inv_std;
-    const float g = gamma_.value.at(c), b = beta_.value.at(c);
-    for (std::int64_t img = 0; img < n; ++img)
-      for (std::int64_t y = 0; y < h; ++y)
-        for (std::int64_t x = 0; x < w; ++x) {
-          out.at4(img, c, y, x) = g * (input.at4(img, c, y, x) - mean) * inv_std + b;
         }
-  }
+        var = static_cast<float>(sq / static_cast<double>(count));
+        running_mean_.value.at(c) =
+            (1.0F - momentum_) * running_mean_.value.at(c) + momentum_ * mean;
+        running_var_.value.at(c) =
+            (1.0F - momentum_) * running_var_.value.at(c) + momentum_ * var;
+      } else {
+        mean = running_mean_.value.at(c);
+        var = running_var_.value.at(c);
+      }
+      const float inv_std = 1.0F / std::sqrt(var + eps_);
+      cached_mean_[static_cast<std::size_t>(c)] = mean;
+      cached_inv_std_[static_cast<std::size_t>(c)] = inv_std;
+      const float g = gamma_.value.at(c), b = beta_.value.at(c);
+      for (std::int64_t img = 0; img < n; ++img) {
+        const float* plane = pin + (img * channels_ + c) * hw;
+        float* out_plane = pout + (img * channels_ + c) * hw;
+        for (std::int64_t i = 0; i < hw; ++i) {
+          out_plane[i] = g * (plane[i] - mean) * inv_std + b;
+        }
+      }
+    }
+  });
   cached_input_ = input;
   return out;
 }
@@ -228,34 +267,46 @@ Tensor BatchNorm2d::backward(const Tensor& grad_output) {
   const std::int64_t count = n * h * w;
   Tensor dx(x.shape());
 
-  for (std::int64_t c = 0; c < channels_; ++c) {
-    const float mean = cached_mean_[static_cast<std::size_t>(c)];
-    const float inv_std = cached_inv_std_[static_cast<std::size_t>(c)];
-    const float g = gamma_.value.at(c);
-    double sum_dy = 0.0, sum_dy_xhat = 0.0;
-    for (std::int64_t img = 0; img < n; ++img)
-      for (std::int64_t y = 0; y < h; ++y)
-        for (std::int64_t xx = 0; xx < w; ++xx) {
-          const float dy = grad_output.at4(img, c, y, xx);
-          const float xhat = (x.at4(img, c, y, xx) - mean) * inv_std;
+  const std::int64_t hw = h * w;
+  const float* px = x.data();
+  const float* pg = grad_output.data();
+  float* pdx = dx.data();
+  runtime::parallel_for(0, channels_, 1, [&](std::int64_t c0, std::int64_t c1) {
+    for (std::int64_t c = c0; c < c1; ++c) {
+      const float mean = cached_mean_[static_cast<std::size_t>(c)];
+      const float inv_std = cached_inv_std_[static_cast<std::size_t>(c)];
+      const float g = gamma_.value.at(c);
+      double sum_dy = 0.0, sum_dy_xhat = 0.0;
+      for (std::int64_t img = 0; img < n; ++img) {
+        const std::int64_t base = (img * channels_ + c) * hw;
+        const float* gp = pg + base;
+        const float* xp = px + base;
+        for (std::int64_t i = 0; i < hw; ++i) {
+          const float dy = gp[i];
+          const float xhat = (xp[i] - mean) * inv_std;
           sum_dy += dy;
           sum_dy_xhat += static_cast<double>(dy) * xhat;
         }
-    gamma_.grad.at(c) += static_cast<float>(sum_dy_xhat);
-    beta_.grad.at(c) += static_cast<float>(sum_dy);
+      }
+      gamma_.grad.at(c) += static_cast<float>(sum_dy_xhat);
+      beta_.grad.at(c) += static_cast<float>(sum_dy);
 
-    const float inv_count = 1.0F / static_cast<float>(count);
-    for (std::int64_t img = 0; img < n; ++img)
-      for (std::int64_t y = 0; y < h; ++y)
-        for (std::int64_t xx = 0; xx < w; ++xx) {
-          const float dy = grad_output.at4(img, c, y, xx);
-          const float xhat = (x.at4(img, c, y, xx) - mean) * inv_std;
-          dx.at4(img, c, y, xx) =
-              g * inv_std *
-              (dy - static_cast<float>(sum_dy) * inv_count -
-               xhat * static_cast<float>(sum_dy_xhat) * inv_count);
+      const float inv_count = 1.0F / static_cast<float>(count);
+      for (std::int64_t img = 0; img < n; ++img) {
+        const std::int64_t base = (img * channels_ + c) * hw;
+        const float* gp = pg + base;
+        const float* xp = px + base;
+        float* dp = pdx + base;
+        for (std::int64_t i = 0; i < hw; ++i) {
+          const float dy = gp[i];
+          const float xhat = (xp[i] - mean) * inv_std;
+          dp[i] = g * inv_std *
+                  (dy - static_cast<float>(sum_dy) * inv_count -
+                   xhat * static_cast<float>(sum_dy_xhat) * inv_count);
         }
-  }
+      }
+    }
+  });
   return dx;
 }
 
@@ -275,13 +326,15 @@ Tensor ReLU::forward(const Tensor& input, bool /*training*/) {
   float* po = out.data();
   float* pm = cached_mask_.data();
   const std::int64_t n = input.numel();
-  for (std::int64_t i = 0; i < n; ++i) {
-    if (po[i] > 0.0F) {
-      pm[i] = 1.0F;
-    } else {
-      po[i] = 0.0F;
+  runtime::parallel_for(0, n, 4096, [&](std::int64_t i0, std::int64_t i1) {
+    for (std::int64_t i = i0; i < i1; ++i) {
+      if (po[i] > 0.0F) {
+        pm[i] = 1.0F;
+      } else {
+        po[i] = 0.0F;
+      }
     }
-  }
+  });
   return out;
 }
 
@@ -290,7 +343,9 @@ Tensor ReLU::backward(const Tensor& grad_output) {
   const float* pm = cached_mask_.data();
   float* pd = dx.data();
   const std::int64_t n = dx.numel();
-  for (std::int64_t i = 0; i < n; ++i) pd[i] *= pm[i];
+  runtime::parallel_for(0, n, 4096, [&](std::int64_t i0, std::int64_t i1) {
+    for (std::int64_t i = i0; i < i1; ++i) pd[i] *= pm[i];
+  });
   return dx;
 }
 
@@ -311,25 +366,36 @@ Tensor MaxPool2d::forward(const Tensor& input, bool /*training*/) {
   cached_input_shape_ = input.shape();
   Tensor out({n, c, oh, ow});
   cached_argmax_.assign(static_cast<std::size_t>(out.numel()), 0);
-  std::size_t oi = 0;
-  for (std::int64_t img = 0; img < n; ++img)
-    for (std::int64_t ch = 0; ch < c; ++ch)
-      for (std::int64_t y = 0; y < oh; ++y)
+  const float* pin = input.data();
+  float* pout = out.data();
+  std::int64_t* pargmax = cached_argmax_.data();
+  // One (img, ch) plane per thread; the output index is computed directly
+  // from (img, ch, y, x) so partitioning cannot reorder writes.
+  runtime::parallel_for(0, n * c, 1, [&](std::int64_t s0, std::int64_t s1) {
+    for (std::int64_t slice = s0; slice < s1; ++slice) {
+      const float* in_plane = pin + slice * h * w;
+      float* out_plane = pout + slice * oh * ow;
+      std::int64_t* arg_plane = pargmax + slice * oh * ow;
+      for (std::int64_t y = 0; y < oh; ++y) {
         for (std::int64_t x = 0; x < ow; ++x) {
           float best = -1e30F;
           std::int64_t best_idx = 0;
-          for (std::int64_t dy = 0; dy < 2; ++dy)
+          for (std::int64_t dy = 0; dy < 2; ++dy) {
             for (std::int64_t dx = 0; dx < 2; ++dx) {
               const std::int64_t yy = 2 * y + dy, xx = 2 * x + dx;
-              const float v = input.at4(img, ch, yy, xx);
+              const float v = in_plane[yy * w + xx];
               if (v > best) {
                 best = v;
-                best_idx = ((img * c + ch) * h + yy) * w + xx;
+                best_idx = slice * h * w + yy * w + xx;
               }
             }
-          out.at4(img, ch, y, x) = best;
-          cached_argmax_[oi++] = best_idx;
+          }
+          out_plane[y * ow + x] = best;
+          arg_plane[y * ow + x] = best_idx;
         }
+      }
+    }
+  });
   return out;
 }
 
@@ -337,9 +403,17 @@ Tensor MaxPool2d::backward(const Tensor& grad_output) {
   Tensor dx(cached_input_shape_);
   const float* pg = grad_output.data();
   float* pd = dx.data();
-  for (std::size_t i = 0; i < cached_argmax_.size(); ++i) {
-    pd[cached_argmax_[i]] += pg[i];
-  }
+  const std::int64_t n = cached_input_shape_[0], c = cached_input_shape_[1];
+  const std::int64_t total = static_cast<std::int64_t>(cached_argmax_.size());
+  const std::int64_t per_slice = total / (n * c);
+  const std::int64_t* pargmax = cached_argmax_.data();
+  // Argmax indices recorded for a slice always point into that slice's
+  // input plane, so the scatter-add partitions cleanly by (img, ch).
+  runtime::parallel_for(0, n * c, 1, [&](std::int64_t s0, std::int64_t s1) {
+    for (std::int64_t i = s0 * per_slice; i < s1 * per_slice; ++i) {
+      pd[pargmax[i]] += pg[i];
+    }
+  });
   return dx;
 }
 
@@ -356,13 +430,17 @@ Tensor GlobalAvgPool::forward(const Tensor& input, bool /*training*/) {
   cached_input_shape_ = input.shape();
   Tensor out({n, c});
   const float inv = 1.0F / static_cast<float>(h * w);
-  for (std::int64_t img = 0; img < n; ++img)
-    for (std::int64_t ch = 0; ch < c; ++ch) {
+  const std::int64_t hw = h * w;
+  const float* pin = input.data();
+  float* pout = out.data();
+  runtime::parallel_for(0, n * c, 4, [&](std::int64_t s0, std::int64_t s1) {
+    for (std::int64_t slice = s0; slice < s1; ++slice) {
+      const float* plane = pin + slice * hw;
       double acc = 0.0;
-      for (std::int64_t y = 0; y < h; ++y)
-        for (std::int64_t x = 0; x < w; ++x) acc += input.at4(img, ch, y, x);
-      out.at2(img, ch) = static_cast<float>(acc) * inv;
+      for (std::int64_t i = 0; i < hw; ++i) acc += plane[i];
+      pout[slice] = static_cast<float>(acc) * inv;
     }
+  });
   return out;
 }
 
@@ -371,12 +449,16 @@ Tensor GlobalAvgPool::backward(const Tensor& grad_output) {
   const std::int64_t h = cached_input_shape_[2], w = cached_input_shape_[3];
   Tensor dx(cached_input_shape_);
   const float inv = 1.0F / static_cast<float>(h * w);
-  for (std::int64_t img = 0; img < n; ++img)
-    for (std::int64_t ch = 0; ch < c; ++ch) {
-      const float g = grad_output.at2(img, ch) * inv;
-      for (std::int64_t y = 0; y < h; ++y)
-        for (std::int64_t x = 0; x < w; ++x) dx.at4(img, ch, y, x) = g;
+  const std::int64_t hw = h * w;
+  const float* pg = grad_output.data();
+  float* pd = dx.data();
+  runtime::parallel_for(0, n * c, 4, [&](std::int64_t s0, std::int64_t s1) {
+    for (std::int64_t slice = s0; slice < s1; ++slice) {
+      const float g = pg[slice] * inv;
+      float* plane = pd + slice * hw;
+      for (std::int64_t i = 0; i < hw; ++i) plane[i] = g;
     }
+  });
   return dx;
 }
 

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "runtime/thread_pool.h"
+
 namespace rpol::nn {
 
 float SoftmaxCrossEntropy::forward(const Tensor& logits,
@@ -25,11 +27,18 @@ float SoftmaxCrossEntropy::forward(const Tensor& logits,
 Tensor SoftmaxCrossEntropy::backward() const {
   Tensor grad = cached_probs_;
   const std::int64_t n = grad.dim(0);
+  const std::int64_t cols = grad.dim(1);
   const float inv_n = 1.0F / static_cast<float>(n);
-  for (std::int64_t i = 0; i < n; ++i) {
-    grad.at2(i, cached_labels_[static_cast<std::size_t>(i)]) -= 1.0F;
-  }
-  grad *= inv_n;
+  float* pg = grad.data();
+  // Row-parallel (p - 1[label]) * inv_n; elementwise, so any partition of
+  // the rows produces identical bits.
+  runtime::parallel_for(0, n, 8, [&](std::int64_t i0, std::int64_t i1) {
+    for (std::int64_t i = i0; i < i1; ++i) {
+      float* row = pg + i * cols;
+      row[cached_labels_[static_cast<std::size_t>(i)]] -= 1.0F;
+      for (std::int64_t j = 0; j < cols; ++j) row[j] *= inv_n;
+    }
+  });
   return grad;
 }
 

@@ -1,0 +1,187 @@
+#include "runtime/thread_pool.h"
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace rpol::runtime {
+
+namespace {
+
+constexpr int kMaxThreads = 256;
+
+// True while the current thread is executing a parallel_for slice; nested
+// calls then run inline (deterministic either way, but this avoids
+// deadlocking the pool on itself).
+thread_local bool t_in_worker = false;
+
+int default_thread_count() {
+  if (const char* env = std::getenv("RPOL_THREADS")) {
+    const long parsed = std::strtol(env, nullptr, 10);
+    if (parsed >= 1) return static_cast<int>(std::min<long>(parsed, kMaxThreads));
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(std::min<unsigned>(hw, kMaxThreads));
+}
+
+// Persistent pool: N-1 parked worker threads plus the calling thread.
+// Each job is a fixed vector of slices; worker w always takes slice w+1
+// and the caller takes slice 0 — static assignment, no stealing.
+class ThreadPool {
+ public:
+  static ThreadPool& instance() {
+    static ThreadPool pool;
+    return pool;
+  }
+
+  int threads() const { return num_threads_; }
+
+  void set_threads(int n) {
+    n = std::clamp(n, 1, kMaxThreads);
+    if (n == num_threads_) return;
+    stop_workers();
+    num_threads_ = n;
+    spawn_workers();
+  }
+
+  void run(std::int64_t begin, std::int64_t end, std::int64_t grain,
+           const RangeFn& fn) {
+    const std::int64_t range = end - begin;
+    if (range <= 0) return;
+    grain = std::max<std::int64_t>(grain, 1);
+    const std::int64_t max_slices = std::max<std::int64_t>(range / grain, 1);
+    const int slices = static_cast<int>(
+        std::min<std::int64_t>(max_slices, num_threads_));
+    if (slices <= 1 || t_in_worker) {
+      fn(begin, end);
+      return;
+    }
+    // One job at a time: a concurrent external caller falls back to inline
+    // serial execution (same bits, no deadlock) instead of queueing.
+    std::unique_lock<std::mutex> job_guard(run_mutex_, std::try_to_lock);
+    if (!job_guard.owns_lock()) {
+      fn(begin, end);
+      return;
+    }
+
+    std::int64_t own_lo = 0, own_hi = 0;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      slices_.clear();
+      const std::int64_t base = range / slices;
+      const std::int64_t rem = range % slices;
+      std::int64_t cursor = begin;
+      for (int s = 0; s < slices; ++s) {
+        const std::int64_t len = base + (s < rem ? 1 : 0);
+        slices_.emplace_back(cursor, cursor + len);
+        cursor += len;
+      }
+      job_fn_ = &fn;
+      job_error_ = nullptr;
+      pending_acks_ = num_threads_ - 1;
+      ++job_epoch_;
+      own_lo = slices_[0].first;
+      own_hi = slices_[0].second;
+    }
+    cv_start_.notify_all();
+
+    // The caller owns slice 0; workers own slices 1..slices-1.
+    run_slice(fn, own_lo, own_hi);
+
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_done_.wait(lock, [&] { return pending_acks_ == 0; });
+    job_fn_ = nullptr;
+    if (job_error_) std::rethrow_exception(job_error_);
+  }
+
+ private:
+  ThreadPool() : num_threads_(default_thread_count()) { spawn_workers(); }
+
+  ~ThreadPool() { stop_workers(); }
+
+  void run_slice(const RangeFn& fn, std::int64_t lo, std::int64_t hi) {
+    t_in_worker = true;
+    try {
+      fn(lo, hi);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!job_error_) job_error_ = std::current_exception();
+    }
+    t_in_worker = false;
+  }
+
+  void worker_main(int worker_id, std::uint64_t seen_epoch) {
+    for (;;) {
+      const RangeFn* fn = nullptr;
+      std::int64_t lo = 0, hi = 0;
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        cv_start_.wait(lock,
+                       [&] { return stop_ || job_epoch_ != seen_epoch; });
+        if (stop_) return;
+        seen_epoch = job_epoch_;
+        const std::size_t slot = static_cast<std::size_t>(worker_id) + 1;
+        if (slot < slices_.size()) {
+          fn = job_fn_;
+          lo = slices_[slot].first;
+          hi = slices_[slot].second;
+        }
+      }
+      if (fn != nullptr) run_slice(*fn, lo, hi);
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (--pending_acks_ == 0) cv_done_.notify_all();
+      }
+    }
+  }
+
+  void spawn_workers() {
+    stop_ = false;
+    const std::uint64_t epoch0 = job_epoch_;  // no job in flight here
+    workers_.reserve(static_cast<std::size_t>(num_threads_ - 1));
+    for (int w = 0; w < num_threads_ - 1; ++w) {
+      workers_.emplace_back([this, w, epoch0] { worker_main(w, epoch0); });
+    }
+  }
+
+  void stop_workers() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stop_ = true;
+      ++job_epoch_;  // wake workers even if they never saw a job
+    }
+    cv_start_.notify_all();
+    for (std::thread& t : workers_) t.join();
+    workers_.clear();
+  }
+
+  std::mutex run_mutex_;
+  std::mutex mutex_;
+  std::condition_variable cv_start_;
+  std::condition_variable cv_done_;
+  std::vector<std::thread> workers_;
+  std::vector<std::pair<std::int64_t, std::int64_t>> slices_;
+  const RangeFn* job_fn_ = nullptr;
+  std::exception_ptr job_error_;
+  std::uint64_t job_epoch_ = 0;
+  int pending_acks_ = 0;
+  int num_threads_ = 1;
+  bool stop_ = false;
+};
+
+}  // namespace
+
+int threads() { return ThreadPool::instance().threads(); }
+
+void set_threads(int n) { ThreadPool::instance().set_threads(n); }
+
+void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
+                  const RangeFn& fn) {
+  ThreadPool::instance().run(begin, end, grain, fn);
+}
+
+}  // namespace rpol::runtime

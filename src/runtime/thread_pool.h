@@ -1,0 +1,56 @@
+// Deterministic parallel compute runtime.
+//
+// RPoL's protocol depends on *bitwise* reproducible training: the verifier
+// re-executes a worker's steps and compares checkpoint hashes, so the
+// numeric result of every kernel must be independent of how many threads
+// happen to run it. This rules out the usual tricks (atomic float
+// reductions, dynamic work stealing, thread-count-dependent accumulation
+// splits). The runtime therefore provides exactly one primitive:
+//
+//   parallel_for(begin, end, grain, fn)
+//
+// which *statically* partitions [begin, end) into contiguous slices, one
+// per participating thread, and invokes fn(slice_begin, slice_end) on each.
+// Every output element is owned by exactly one slice, and kernels built on
+// top of it keep the per-element accumulation loop serial and in a fixed
+// order, so 1-thread and N-thread runs produce identical bits. See
+// DESIGN.md "Compute runtime & determinism contract".
+//
+// Thread count resolution order:
+//   1. runtime::set_threads(n)        — explicit API, highest priority
+//   2. RPOL_THREADS environment var   — read once at first use
+//   3. std::thread::hardware_concurrency()
+//
+// The pool is persistent (workers are spawned once and parked between
+// kernels) and work-stealing-free. parallel_for called from inside a worker
+// runs inline on the calling thread — nested parallelism never deadlocks
+// and never changes results.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace rpol::runtime {
+
+// fn receives a half-open index slice [slice_begin, slice_end).
+using RangeFn = std::function<void(std::int64_t, std::int64_t)>;
+
+// Number of threads parallel_for may use (including the calling thread).
+int threads();
+
+// Sets the thread count (clamped to [1, 256]); resizes the persistent pool.
+// Not safe to call concurrently with parallel_for.
+void set_threads(int n);
+
+// Runs fn over a static contiguous partition of [begin, end). `grain` is
+// the minimum slice width: ranges shorter than 2*grain (or a pool of one
+// thread, or a call made from inside a worker) run inline on the caller.
+// Exceptions thrown by fn are rethrown on the calling thread after all
+// slices finish. Partitioning only decides WHICH thread computes a slice;
+// callers must keep per-element math independent of slice boundaries
+// (see header comment) for the determinism guarantee to hold.
+void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
+                  const RangeFn& fn);
+
+}  // namespace rpol::runtime

@@ -37,4 +37,35 @@ RealDatasetSpec real_imagenet() {
   return {"ImageNet", 1'281'167ULL, 110ULL * 1024ULL};
 }
 
+std::vector<ConvLayerShape> resnet18_conv_shapes() {
+  // Distinct 3x3 conv shapes of ResNet18 at 224px input (He et al. 2016).
+  // conv1 is the 7x7 stem; each residual stage contributes four 3x3 convs
+  // sharing one shape (the stage-entry stride-2 conv is listed separately).
+  return {
+      {"conv1", 3, 64, 7, 2, 3, 224, 224, 1},
+      {"conv2_x", 64, 64, 3, 1, 1, 56, 56, 4},
+      {"conv3_entry", 64, 128, 3, 2, 1, 56, 56, 1},
+      {"conv3_x", 128, 128, 3, 1, 1, 28, 28, 3},
+      {"conv4_entry", 128, 256, 3, 2, 1, 28, 28, 1},
+      {"conv4_x", 256, 256, 3, 1, 1, 14, 14, 3},
+      {"conv5_entry", 256, 512, 3, 2, 1, 14, 14, 1},
+      {"conv5_x", 512, 512, 3, 1, 1, 7, 7, 3},
+  };
+}
+
+std::vector<ConvLayerShape> vgg16_conv_shapes() {
+  // Distinct 3x3 conv shapes of VGG16 at 224px input (Simonyan 2015).
+  return {
+      {"conv1_1", 3, 64, 3, 1, 1, 224, 224, 1},
+      {"conv1_2", 64, 64, 3, 1, 1, 224, 224, 1},
+      {"conv2_1", 64, 128, 3, 1, 1, 112, 112, 1},
+      {"conv2_2", 128, 128, 3, 1, 1, 112, 112, 1},
+      {"conv3_1", 128, 256, 3, 1, 1, 56, 56, 1},
+      {"conv3_x", 256, 256, 3, 1, 1, 56, 56, 2},
+      {"conv4_1", 256, 512, 3, 1, 1, 28, 28, 1},
+      {"conv4_x", 512, 512, 3, 1, 1, 28, 28, 2},
+      {"conv5_x", 512, 512, 3, 1, 1, 14, 14, 3},
+  };
+}
+
 }  // namespace rpol::sim

@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 namespace rpol::sim {
 
@@ -36,5 +37,34 @@ RealModelSpec real_vgg16();
 RealDatasetSpec real_cifar10();
 RealDatasetSpec real_cifar100();
 RealDatasetSpec real_imagenet();
+
+// Per-layer convolution shape of a real architecture at its canonical
+// ImageNet input resolution (224x224). These drive the micro-benchmarks
+// (bench/bench_micro.cpp): the im2col-GEMM for a layer has
+//   M = out_channels, K = in_channels * kernel^2, N = batch * out_h * out_w,
+// so kernel performance at exactly these shapes is what the paper's
+// epoch-time tables are made of. One entry per distinct shape; `repeats`
+// counts how many layers in the network share it.
+struct ConvLayerShape {
+  std::string layer;  // stage name, e.g. "conv2_x"
+  std::int64_t in_channels = 0;
+  std::int64_t out_channels = 0;
+  std::int64_t kernel = 3;
+  std::int64_t stride = 1;
+  std::int64_t padding = 1;
+  std::int64_t in_h = 0;  // input spatial size at this layer
+  std::int64_t in_w = 0;
+  int repeats = 1;
+
+  std::int64_t out_h() const { return (in_h + 2 * padding - kernel) / stride + 1; }
+  std::int64_t out_w() const { return (in_w + 2 * padding - kernel) / stride + 1; }
+  // im2col-GEMM dimensions at batch size `n`.
+  std::int64_t gemm_m() const { return out_channels; }
+  std::int64_t gemm_k() const { return in_channels * kernel * kernel; }
+  std::int64_t gemm_n(std::int64_t n) const { return n * out_h() * out_w(); }
+};
+
+std::vector<ConvLayerShape> resnet18_conv_shapes();
+std::vector<ConvLayerShape> vgg16_conv_shapes();
 
 }  // namespace rpol::sim

@@ -1,17 +1,220 @@
 #include "tensor/ops.h"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
+
+#include "runtime/thread_pool.h"
 
 namespace rpol {
 
 namespace {
+
 void check_rank2(const Tensor& t, const char* name) {
   if (t.rank() != 2) {
     throw std::invalid_argument(std::string(name) + " must be rank-2, got " +
                                 shape_to_string(t.shape()));
   }
 }
+
+// ---------------------------------------------------------------------------
+// GEMM micro-kernels.
+//
+// Determinism contract (see ops.h): every C element is accumulated in fp32
+// over kk = 0..k-1 in that fixed order, by exactly one thread. The register
+// blocking below only changes which elements share loop iterations, never
+// the per-element operation sequence, and blocks are aligned to absolute
+// row/column indices, so results are bit-identical for any thread count.
+
+constexpr std::int64_t kRowBlock = 4;   // rows of C per micro-kernel panel
+constexpr std::int64_t kColBlock = 16;  // j-unroll width (2 AVX2 vectors)
+
+// Computes C rows [i0, i1) for C = op(A) * B where element (i, kk) of
+// op(A) is pa[i * a_rs + kk * a_ks]:
+//   matmul    : a_rs = k, a_ks = 1  (A is m x k, row-major)
+//   matmul_tn : a_rs = 1, a_ks = m  (A is k x m, C = A^T * B)
+// i0 must be kRowBlock-aligned so every row takes the same code path
+// regardless of how the caller partitions rows across threads.
+void gemm_rows_axpy(const float* pa, std::int64_t a_rs, std::int64_t a_ks,
+                    const float* pb, float* pc, std::int64_t i0,
+                    std::int64_t i1, std::int64_t k, std::int64_t n) {
+  std::int64_t i = i0;
+  for (; i + kRowBlock <= i1; i += kRowBlock) {
+    const float* a0 = pa + (i + 0) * a_rs;
+    const float* a1 = pa + (i + 1) * a_rs;
+    const float* a2 = pa + (i + 2) * a_rs;
+    const float* a3 = pa + (i + 3) * a_rs;
+    float* c0 = pc + (i + 0) * n;
+    float* c1 = pc + (i + 1) * n;
+    float* c2 = pc + (i + 2) * n;
+    float* c3 = pc + (i + 3) * n;
+    std::int64_t j0 = 0;
+    for (; j0 + kColBlock <= n; j0 += kColBlock) {
+      float acc0[kColBlock] = {}, acc1[kColBlock] = {};
+      float acc2[kColBlock] = {}, acc3[kColBlock] = {};
+      for (std::int64_t kk = 0; kk < k; ++kk) {
+        const float* brow = pb + kk * n + j0;
+        const float av0 = a0[kk * a_ks];
+        const float av1 = a1[kk * a_ks];
+        const float av2 = a2[kk * a_ks];
+        const float av3 = a3[kk * a_ks];
+        for (std::int64_t jj = 0; jj < kColBlock; ++jj) {
+          const float bv = brow[jj];
+          acc0[jj] += av0 * bv;
+          acc1[jj] += av1 * bv;
+          acc2[jj] += av2 * bv;
+          acc3[jj] += av3 * bv;
+        }
+      }
+      for (std::int64_t jj = 0; jj < kColBlock; ++jj) {
+        c0[j0 + jj] = acc0[jj];
+        c1[j0 + jj] = acc1[jj];
+        c2[j0 + jj] = acc2[jj];
+        c3[j0 + jj] = acc3[jj];
+      }
+    }
+    if (j0 < n) {
+      const std::int64_t jw = n - j0;
+      float acc0[kColBlock] = {}, acc1[kColBlock] = {};
+      float acc2[kColBlock] = {}, acc3[kColBlock] = {};
+      for (std::int64_t kk = 0; kk < k; ++kk) {
+        const float* brow = pb + kk * n + j0;
+        const float av0 = a0[kk * a_ks];
+        const float av1 = a1[kk * a_ks];
+        const float av2 = a2[kk * a_ks];
+        const float av3 = a3[kk * a_ks];
+        for (std::int64_t jj = 0; jj < jw; ++jj) {
+          const float bv = brow[jj];
+          acc0[jj] += av0 * bv;
+          acc1[jj] += av1 * bv;
+          acc2[jj] += av2 * bv;
+          acc3[jj] += av3 * bv;
+        }
+      }
+      for (std::int64_t jj = 0; jj < jw; ++jj) {
+        c0[j0 + jj] = acc0[jj];
+        c1[j0 + jj] = acc1[jj];
+        c2[j0 + jj] = acc2[jj];
+        c3[j0 + jj] = acc3[jj];
+      }
+    }
+  }
+  for (; i < i1; ++i) {  // row tail (only at the global end of C)
+    const float* ar = pa + i * a_rs;
+    float* cr = pc + i * n;
+    std::int64_t j0 = 0;
+    for (; j0 + kColBlock <= n; j0 += kColBlock) {
+      float acc[kColBlock] = {};
+      for (std::int64_t kk = 0; kk < k; ++kk) {
+        const float* brow = pb + kk * n + j0;
+        const float av = ar[kk * a_ks];
+        for (std::int64_t jj = 0; jj < kColBlock; ++jj) acc[jj] += av * brow[jj];
+      }
+      for (std::int64_t jj = 0; jj < kColBlock; ++jj) cr[j0 + jj] = acc[jj];
+    }
+    if (j0 < n) {
+      const std::int64_t jw = n - j0;
+      float acc[kColBlock] = {};
+      for (std::int64_t kk = 0; kk < k; ++kk) {
+        const float* brow = pb + kk * n + j0;
+        const float av = ar[kk * a_ks];
+        for (std::int64_t jj = 0; jj < jw; ++jj) acc[jj] += av * brow[jj];
+      }
+      for (std::int64_t jj = 0; jj < jw; ++jj) cr[j0 + jj] = acc[jj];
+    }
+  }
+}
+
+// Row-parallel driver: partitions C rows in absolute kRowBlock-aligned
+// blocks so the panel layout is independent of the thread count.
+void gemm_rows_parallel(const float* pa, std::int64_t a_rs, std::int64_t a_ks,
+                        const float* pb, float* pc, std::int64_t m,
+                        std::int64_t k, std::int64_t n) {
+  const std::int64_t blocks = (m + kRowBlock - 1) / kRowBlock;
+  runtime::parallel_for(0, blocks, 1, [&](std::int64_t b0, std::int64_t b1) {
+    gemm_rows_axpy(pa, a_rs, a_ks, pb, pc, b0 * kRowBlock,
+                   std::min(m, b1 * kRowBlock), k, n);
+  });
+}
+
+// Dot-product panel for C = A * B^T: rows [i0, i1) of C, fp32 accumulation
+// over the shared k dimension. i0 must be kRowBlock-aligned (see above).
+void gemm_rows_dot_nt(const float* pa, const float* pb, float* pc,
+                      std::int64_t i0, std::int64_t i1, std::int64_t k,
+                      std::int64_t n) {
+  constexpr std::int64_t JB = 4;  // columns of C per register block
+  std::int64_t i = i0;
+  for (; i + kRowBlock <= i1; i += kRowBlock) {
+    const float* a0 = pa + (i + 0) * k;
+    const float* a1 = pa + (i + 1) * k;
+    const float* a2 = pa + (i + 2) * k;
+    const float* a3 = pa + (i + 3) * k;
+    std::int64_t j = 0;
+    for (; j + JB <= n; j += JB) {
+      float acc[kRowBlock][JB] = {};
+      for (std::int64_t kk = 0; kk < k; ++kk) {
+        const float b0 = pb[(j + 0) * k + kk];
+        const float b1 = pb[(j + 1) * k + kk];
+        const float b2 = pb[(j + 2) * k + kk];
+        const float b3 = pb[(j + 3) * k + kk];
+        const float av0 = a0[kk], av1 = a1[kk], av2 = a2[kk], av3 = a3[kk];
+        acc[0][0] += av0 * b0; acc[0][1] += av0 * b1;
+        acc[0][2] += av0 * b2; acc[0][3] += av0 * b3;
+        acc[1][0] += av1 * b0; acc[1][1] += av1 * b1;
+        acc[1][2] += av1 * b2; acc[1][3] += av1 * b3;
+        acc[2][0] += av2 * b0; acc[2][1] += av2 * b1;
+        acc[2][2] += av2 * b2; acc[2][3] += av2 * b3;
+        acc[3][0] += av3 * b0; acc[3][1] += av3 * b1;
+        acc[3][2] += av3 * b2; acc[3][3] += av3 * b3;
+      }
+      for (std::int64_t r = 0; r < kRowBlock; ++r)
+        for (std::int64_t jj = 0; jj < JB; ++jj) pc[(i + r) * n + j + jj] = acc[r][jj];
+    }
+    for (; j < n; ++j) {  // column tail
+      const float* br = pb + j * k;
+      float s0 = 0.0F, s1 = 0.0F, s2 = 0.0F, s3 = 0.0F;
+      for (std::int64_t kk = 0; kk < k; ++kk) {
+        const float bv = br[kk];
+        s0 += a0[kk] * bv;
+        s1 += a1[kk] * bv;
+        s2 += a2[kk] * bv;
+        s3 += a3[kk] * bv;
+      }
+      pc[(i + 0) * n + j] = s0;
+      pc[(i + 1) * n + j] = s1;
+      pc[(i + 2) * n + j] = s2;
+      pc[(i + 3) * n + j] = s3;
+    }
+  }
+  for (; i < i1; ++i) {  // row tail (only at the global end of C)
+    const float* ar = pa + i * k;
+    for (std::int64_t j = 0; j < n; ++j) {
+      const float* br = pb + j * k;
+      float s = 0.0F;
+      for (std::int64_t kk = 0; kk < k; ++kk) s += ar[kk] * br[kk];
+      pc[i * n + j] = s;
+    }
+  }
+}
+
+// Valid output-x range for a kernel column kw: the x for which
+// in_x = x*stride + kw - padding lies in [0, w). Hoisting this out of the
+// inner loops removes all per-element bounds checks from im2col/col2im.
+struct XRange {
+  std::int64_t lo = 0;
+  std::int64_t hi = 0;  // exclusive
+};
+
+XRange valid_x_range(std::int64_t ow, std::int64_t w, std::int64_t kw,
+                     std::int64_t stride, std::int64_t padding) {
+  XRange r;
+  r.lo = kw >= padding ? 0 : (padding - kw + stride - 1) / stride;
+  const std::int64_t num = w - 1 - kw + padding;
+  r.hi = num < 0 ? 0 : std::min(ow, num / stride + 1);
+  r.lo = std::min(r.lo, r.hi);
+  return r;
+}
+
 }  // namespace
 
 Tensor matmul(const Tensor& a, const Tensor& b) {
@@ -20,19 +223,7 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
   const std::int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
   if (b.dim(0) != k) throw std::invalid_argument("matmul inner-dim mismatch");
   Tensor c({m, n});
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* pc = c.data();
-  // ikj loop order: streams over B and C rows, good locality for row-major.
-  for (std::int64_t i = 0; i < m; ++i) {
-    for (std::int64_t kk = 0; kk < k; ++kk) {
-      const float aik = pa[i * k + kk];
-      if (aik == 0.0F) continue;
-      const float* brow = pb + kk * n;
-      float* crow = pc + i * n;
-      for (std::int64_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
-    }
-  }
+  gemm_rows_parallel(a.data(), /*a_rs=*/k, /*a_ks=*/1, b.data(), c.data(), m, k, n);
   return c;
 }
 
@@ -42,19 +233,8 @@ Tensor matmul_tn(const Tensor& a, const Tensor& b) {
   const std::int64_t k = a.dim(0), m = a.dim(1), n = b.dim(1);
   if (b.dim(0) != k) throw std::invalid_argument("matmul_tn inner-dim mismatch");
   Tensor c({m, n});
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* pc = c.data();
-  for (std::int64_t kk = 0; kk < k; ++kk) {
-    const float* arow = pa + kk * m;
-    const float* brow = pb + kk * n;
-    for (std::int64_t i = 0; i < m; ++i) {
-      const float aki = arow[i];
-      if (aki == 0.0F) continue;
-      float* crow = pc + i * n;
-      for (std::int64_t j = 0; j < n; ++j) crow[j] += aki * brow[j];
-    }
-  }
+  // Row i of C reads column i of A: element (i, kk) sits at pa[kk * m + i].
+  gemm_rows_parallel(a.data(), /*a_rs=*/1, /*a_ks=*/m, b.data(), c.data(), m, k, n);
   return c;
 }
 
@@ -67,15 +247,10 @@ Tensor matmul_nt(const Tensor& a, const Tensor& b) {
   const float* pa = a.data();
   const float* pb = b.data();
   float* pc = c.data();
-  for (std::int64_t i = 0; i < m; ++i) {
-    const float* arow = pa + i * k;
-    for (std::int64_t j = 0; j < n; ++j) {
-      const float* brow = pb + j * k;
-      double acc = 0.0;
-      for (std::int64_t kk = 0; kk < k; ++kk) acc += static_cast<double>(arow[kk]) * brow[kk];
-      pc[i * n + j] = static_cast<float>(acc);
-    }
-  }
+  const std::int64_t blocks = (m + kRowBlock - 1) / kRowBlock;
+  runtime::parallel_for(0, blocks, 1, [&](std::int64_t b0, std::int64_t b1) {
+    gemm_rows_dot_nt(pa, pb, pc, b0 * kRowBlock, std::min(m, b1 * kRowBlock), k, n);
+  });
   return c;
 }
 
@@ -85,31 +260,44 @@ Tensor im2col(const Tensor& input, const Conv2dSpec& spec) {
   const std::int64_t h = input.dim(2), w = input.dim(3);
   if (c != spec.in_channels) throw std::invalid_argument("im2col channel mismatch");
   const std::int64_t oh = spec.out_size(h), ow = spec.out_size(w);
-  const std::int64_t patch = c * spec.kernel * spec.kernel;
+  const std::int64_t kernel = spec.kernel, stride = spec.stride, pad = spec.padding;
+  const std::int64_t patch = c * kernel * kernel;
   Tensor cols({patch, n * oh * ow});
-  float* pc = cols.data();
   const std::int64_t col_stride = n * oh * ow;
-  for (std::int64_t img = 0; img < n; ++img) {
-    for (std::int64_t ch = 0; ch < c; ++ch) {
-      for (std::int64_t kh = 0; kh < spec.kernel; ++kh) {
-        for (std::int64_t kw = 0; kw < spec.kernel; ++kw) {
-          const std::int64_t prow = (ch * spec.kernel + kh) * spec.kernel + kw;
-          for (std::int64_t y = 0; y < oh; ++y) {
-            const std::int64_t in_y = y * spec.stride + kh - spec.padding;
-            for (std::int64_t x = 0; x < ow; ++x) {
-              const std::int64_t in_x = x * spec.stride + kw - spec.padding;
-              const std::int64_t pcol = (img * oh + y) * ow + x;
-              float v = 0.0F;
-              if (in_y >= 0 && in_y < h && in_x >= 0 && in_x < w) {
-                v = input.at4(img, ch, in_y, in_x);
-              }
-              pc[prow * col_stride + pcol] = v;
+  const float* pin = input.data();
+  float* pc = cols.data();
+  // Each patch row (ch, kh, kw) of the output matrix is written by exactly
+  // one thread; it is a pure gather, so any partition yields the same bits.
+  runtime::parallel_for(0, patch, 1, [&](std::int64_t p0, std::int64_t p1) {
+    for (std::int64_t prow = p0; prow < p1; ++prow) {
+      const std::int64_t ch = prow / (kernel * kernel);
+      const std::int64_t kh = (prow / kernel) % kernel;
+      const std::int64_t kw = prow % kernel;
+      const XRange xr = valid_x_range(ow, w, kw, stride, pad);
+      float* dst_row = pc + prow * col_stride;
+      for (std::int64_t img = 0; img < n; ++img) {
+        const float* src_plane = pin + (img * c + ch) * h * w;
+        for (std::int64_t y = 0; y < oh; ++y) {
+          float* dst = dst_row + (img * oh + y) * ow;
+          const std::int64_t in_y = y * stride + kh - pad;
+          if (in_y < 0 || in_y >= h) {
+            std::fill(dst, dst + ow, 0.0F);
+            continue;
+          }
+          std::fill(dst, dst + xr.lo, 0.0F);
+          std::fill(dst + xr.hi, dst + ow, 0.0F);
+          const float* src = src_plane + in_y * w + (xr.lo * stride + kw - pad);
+          if (stride == 1) {
+            std::copy(src, src + (xr.hi - xr.lo), dst + xr.lo);
+          } else {
+            for (std::int64_t x = xr.lo; x < xr.hi; ++x) {
+              dst[x] = src[(x - xr.lo) * stride];
             }
           }
         }
       }
     }
-  }
+  });
   return cols;
 }
 
@@ -118,28 +306,41 @@ Tensor col2im(const Tensor& cols, const Conv2dSpec& spec, const Shape& input_sha
   const std::int64_t n = input_shape[0], c = input_shape[1];
   const std::int64_t h = input_shape[2], w = input_shape[3];
   const std::int64_t oh = spec.out_size(h), ow = spec.out_size(w);
+  const std::int64_t kernel = spec.kernel, stride = spec.stride, pad = spec.padding;
   const std::int64_t col_stride = n * oh * ow;
   Tensor out(input_shape);
   const float* pc = cols.data();
-  for (std::int64_t img = 0; img < n; ++img) {
-    for (std::int64_t ch = 0; ch < c; ++ch) {
-      for (std::int64_t kh = 0; kh < spec.kernel; ++kh) {
-        for (std::int64_t kw = 0; kw < spec.kernel; ++kw) {
-          const std::int64_t prow = (ch * spec.kernel + kh) * spec.kernel + kw;
+  float* pout = out.data();
+  // Each (img, ch) output plane is accumulated by exactly one thread, in
+  // the fixed (kh, kw, y, x) order, so the scatter-add is deterministic
+  // for any thread count.
+  runtime::parallel_for(0, n * c, 1, [&](std::int64_t s0, std::int64_t s1) {
+    for (std::int64_t slice = s0; slice < s1; ++slice) {
+      const std::int64_t img = slice / c;
+      const std::int64_t ch = slice % c;
+      float* out_plane = pout + slice * h * w;
+      for (std::int64_t kh = 0; kh < kernel; ++kh) {
+        for (std::int64_t kw = 0; kw < kernel; ++kw) {
+          const std::int64_t prow = (ch * kernel + kh) * kernel + kw;
+          const float* col_row = pc + prow * col_stride;
+          const XRange xr = valid_x_range(ow, w, kw, stride, pad);
           for (std::int64_t y = 0; y < oh; ++y) {
-            const std::int64_t in_y = y * spec.stride + kh - spec.padding;
+            const std::int64_t in_y = y * stride + kh - pad;
             if (in_y < 0 || in_y >= h) continue;
-            for (std::int64_t x = 0; x < ow; ++x) {
-              const std::int64_t in_x = x * spec.stride + kw - spec.padding;
-              if (in_x < 0 || in_x >= w) continue;
-              const std::int64_t pcol = (img * oh + y) * ow + x;
-              out.at4(img, ch, in_y, in_x) += pc[prow * col_stride + pcol];
+            const float* src = col_row + (img * oh + y) * ow;
+            float* dst = out_plane + in_y * w + (xr.lo * stride + kw - pad);
+            if (stride == 1) {
+              for (std::int64_t x = xr.lo; x < xr.hi; ++x) dst[x - xr.lo] += src[x];
+            } else {
+              for (std::int64_t x = xr.lo; x < xr.hi; ++x) {
+                dst[(x - xr.lo) * stride] += src[x];
+              }
             }
           }
         }
       }
     }
-  }
+  });
   return out;
 }
 
@@ -147,18 +348,24 @@ Tensor softmax_rows(const Tensor& logits) {
   check_rank2(logits, "softmax_rows input");
   const std::int64_t rows = logits.dim(0), cols = logits.dim(1);
   Tensor out({rows, cols});
-  for (std::int64_t r = 0; r < rows; ++r) {
-    float max_v = logits.at2(r, 0);
-    for (std::int64_t c = 1; c < cols; ++c) max_v = std::max(max_v, logits.at2(r, c));
-    double sum = 0.0;
-    for (std::int64_t c = 0; c < cols; ++c) {
-      const double e = std::exp(static_cast<double>(logits.at2(r, c)) - max_v);
-      out.at2(r, c) = static_cast<float>(e);
-      sum += e;
+  const float* pin = logits.data();
+  float* pout = out.data();
+  runtime::parallel_for(0, rows, 8, [&](std::int64_t r0, std::int64_t r1) {
+    for (std::int64_t r = r0; r < r1; ++r) {
+      const float* in_row = pin + r * cols;
+      float* out_row = pout + r * cols;
+      float max_v = in_row[0];
+      for (std::int64_t c = 1; c < cols; ++c) max_v = std::max(max_v, in_row[c]);
+      double sum = 0.0;
+      for (std::int64_t c = 0; c < cols; ++c) {
+        const double e = std::exp(static_cast<double>(in_row[c]) - max_v);
+        out_row[c] = static_cast<float>(e);
+        sum += e;
+      }
+      const float inv = static_cast<float>(1.0 / sum);
+      for (std::int64_t c = 0; c < cols; ++c) out_row[c] *= inv;
     }
-    const float inv = static_cast<float>(1.0 / sum);
-    for (std::int64_t c = 0; c < cols; ++c) out.at2(r, c) *= inv;
-  }
+  });
   return out;
 }
 

@@ -1,9 +1,21 @@
 // Dense tensor kernels used by the neural-network layers.
 //
-// All kernels are straightforward cache-friendly loops; this repository
-// optimizes for determinism and clarity, not peak FLOPs. Convolution is
+// Kernels are register-blocked and parallelized over the runtime's
+// deterministic thread pool (src/runtime/thread_pool.h). Convolution is
 // implemented via im2col + GEMM, the textbook approach that also makes the
 // backward pass (col2im) symmetric and easy to verify by finite differences.
+//
+// Numeric contract (see DESIGN.md "Compute runtime & determinism contract"):
+//   * All three GEMM variants accumulate every output element in fp32, in
+//     a fixed k-order, computed entirely by one thread. Uniform fp32
+//     accumulation gives the forward and backward GEMMs one numeric policy
+//     (the seed implementation mixed fp32 and fp64 between variants, which
+//     made gradient precision depend on which transpose variant a layer
+//     happened to call).
+//   * Parallelism partitions OUTPUT elements only: no atomic float updates,
+//     no thread-count-dependent accumulation splits. A 1-thread run and an
+//     N-thread run produce bit-identical tensors — the property checkpoint
+//     re-execution (src/core/verifier.cpp) depends on.
 
 #pragma once
 

@@ -1,0 +1,298 @@
+// Determinism regression tests for the parallel compute runtime: the
+// verification protocol re-executes training and compares checkpoint
+// hashes, so every kernel must produce bit-identical results for any
+// RPOL_THREADS setting. These tests train the small fixture model under
+// 1 and 4 threads and assert the serialized checkpoint bytes and the
+// Merkle commitment digests match exactly — the end-to-end property the
+// whole runtime design (output-partitioned parallel_for, fixed-order
+// accumulation) exists to preserve.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+#include "core/commitment.h"
+#include "core/detsel.h"
+#include "core/executor.h"
+#include "crypto/sha256.h"
+#include "data/synthetic.h"
+#include "nn/models.h"
+#include "runtime/thread_pool.h"
+#include "tensor/ops.h"
+#include "tensor/rng.h"
+#include "tensor/serialize.h"
+
+namespace rpol {
+namespace {
+
+// Restores the ambient thread count when a test exits.
+struct ThreadGuard {
+  int saved = runtime::threads();
+  ~ThreadGuard() { runtime::set_threads(saved); }
+};
+
+// ---------------------------------------------------------------------------
+// parallel_for semantics
+
+TEST(ParallelFor, CoversRangeExactlyOnce) {
+  ThreadGuard guard;
+  runtime::set_threads(4);
+  std::vector<std::atomic<int>> hits(103);
+  runtime::parallel_for(0, 103, 1, [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t i = lo; i < hi; ++i) hits[static_cast<std::size_t>(i)]++;
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, GrainForcesInlineForSmallRanges) {
+  ThreadGuard guard;
+  runtime::set_threads(4);
+  int calls = 0;  // single fn(lo, hi) call => ran inline, no data race
+  runtime::parallel_for(0, 7, 8, [&](std::int64_t lo, std::int64_t hi) {
+    ++calls;
+    EXPECT_EQ(lo, 0);
+    EXPECT_EQ(hi, 7);
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ParallelFor, EmptyRangeDoesNothing) {
+  int calls = 0;
+  runtime::parallel_for(5, 5, 1, [&](std::int64_t, std::int64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ParallelFor, NestedCallsRunInline) {
+  ThreadGuard guard;
+  runtime::set_threads(4);
+  std::atomic<int> total{0};
+  runtime::parallel_for(0, 8, 1, [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t i = lo; i < hi; ++i) {
+      runtime::parallel_for(0, 4, 1,
+                            [&](std::int64_t l2, std::int64_t h2) {
+                              total += static_cast<int>(h2 - l2);
+                            });
+    }
+  });
+  EXPECT_EQ(total.load(), 32);
+}
+
+TEST(ParallelFor, PropagatesExceptions) {
+  ThreadGuard guard;
+  runtime::set_threads(4);
+  EXPECT_THROW(
+      runtime::parallel_for(0, 64, 1,
+                            [&](std::int64_t lo, std::int64_t) {
+                              if (lo >= 0) throw std::runtime_error("boom");
+                            }),
+      std::runtime_error);
+  // Pool must still be functional afterwards.
+  std::atomic<int> n{0};
+  runtime::parallel_for(0, 16, 1, [&](std::int64_t lo, std::int64_t hi) {
+    n += static_cast<int>(hi - lo);
+  });
+  EXPECT_EQ(n.load(), 16);
+}
+
+TEST(ParallelFor, SetThreadsReconfiguresPool) {
+  ThreadGuard guard;
+  runtime::set_threads(3);
+  EXPECT_EQ(runtime::threads(), 3);
+  runtime::set_threads(1);
+  EXPECT_EQ(runtime::threads(), 1);
+  runtime::set_threads(0);  // clamped
+  EXPECT_EQ(runtime::threads(), 1);
+}
+
+// ---------------------------------------------------------------------------
+// Kernel bitwise determinism across thread counts
+
+template <typename Fn>
+void expect_bitwise_thread_invariant(Fn&& fn) {
+  ThreadGuard guard;
+  runtime::set_threads(1);
+  const Tensor serial = fn();
+  runtime::set_threads(4);
+  const Tensor parallel = fn();
+  ASSERT_EQ(serial.shape(), parallel.shape());
+  EXPECT_EQ(serial.vec(), parallel.vec());  // exact float compare, on purpose
+}
+
+TEST(KernelDeterminism, MatmulVariantsAreThreadCountInvariant) {
+  Rng rng(11);
+  // Odd sizes exercise the row/column tail paths of the blocked kernels.
+  const Tensor a = Tensor::randn({37, 53}, rng);
+  const Tensor b = Tensor::randn({53, 41}, rng);
+  const Tensor at = Tensor::randn({53, 37}, rng);
+  const Tensor bt = Tensor::randn({41, 53}, rng);
+  expect_bitwise_thread_invariant([&] { return matmul(a, b); });
+  expect_bitwise_thread_invariant([&] { return matmul_tn(at, b); });
+  expect_bitwise_thread_invariant([&] { return matmul_nt(a, bt); });
+}
+
+TEST(KernelDeterminism, MatmulMatchesNaiveReference) {
+  Rng rng(13);
+  const Tensor a = Tensor::randn({19, 23}, rng);
+  const Tensor b = Tensor::randn({23, 29}, rng);
+  const Tensor c = matmul(a, b);
+  for (std::int64_t i = 0; i < 19; ++i) {
+    for (std::int64_t j = 0; j < 29; ++j) {
+      double ref = 0.0;
+      for (std::int64_t kk = 0; kk < 23; ++kk) {
+        ref += static_cast<double>(a.at2(i, kk)) * b.at2(kk, j);
+      }
+      EXPECT_NEAR(c.at2(i, j), ref, 1e-4) << "at (" << i << "," << j << ")";
+    }
+  }
+}
+
+TEST(KernelDeterminism, ConvKernelsAreThreadCountInvariant) {
+  Rng rng(17);
+  const Conv2dSpec spec{3, 8, 3, 1, 1};
+  const Tensor input = Tensor::randn({2, 3, 9, 9}, rng);
+  expect_bitwise_thread_invariant([&] { return im2col(input, spec); });
+  const Tensor cols = im2col(input, spec);
+  expect_bitwise_thread_invariant(
+      [&] { return col2im(cols, spec, input.shape()); });
+  // Strided conv exercises the hoisted valid-range arithmetic.
+  const Conv2dSpec strided{3, 8, 3, 2, 1};
+  expect_bitwise_thread_invariant([&] { return im2col(input, strided); });
+  const Tensor scols = im2col(input, strided);
+  expect_bitwise_thread_invariant(
+      [&] { return col2im(scols, strided, input.shape()); });
+}
+
+TEST(KernelDeterminism, SoftmaxRowsIsThreadCountInvariant) {
+  Rng rng(19);
+  const Tensor logits = Tensor::randn({33, 10}, rng);
+  expect_bitwise_thread_invariant([&] { return softmax_rows(logits); });
+}
+
+TEST(KernelDeterminism, TrainableDistanceIsThreadCountInvariant) {
+  Rng rng(23);
+  std::vector<float> a(10'000), b(10'000);
+  rng.fill_normal(a, 0.0F, 1.0F);
+  rng.fill_normal(b, 0.0F, 1.0F);
+  std::vector<bool> mask(10'000, true);
+  for (std::size_t i = 0; i < mask.size(); i += 7) mask[i] = false;
+  ThreadGuard guard;
+  runtime::set_threads(1);
+  const double d1 = core::trainable_distance(a, b, mask);
+  runtime::set_threads(4);
+  const double d4 = core::trainable_distance(a, b, mask);
+  EXPECT_EQ(d1, d4);  // exact double compare, on purpose
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: checkpoint bytes and commitment digests across thread counts
+
+struct TrainRun {
+  std::vector<Bytes> checkpoint_bytes;
+  core::Commitment commitment;
+  Digest merkle_root{};
+};
+
+TrainRun train_fixture_model(int threads) {
+  ThreadGuard guard;
+  runtime::set_threads(threads);
+
+  data::SyntheticImageConfig data_cfg;
+  data_cfg.num_examples = 64;
+  data_cfg.image_size = 8;
+  data_cfg.seed = 3;
+  const data::Dataset dataset = data::make_synthetic_images(data_cfg);
+  const data::DatasetView view = data::DatasetView::whole(dataset);
+
+  nn::ModelConfig mc;
+  mc.image_size = 8;
+  mc.width = 4;
+  mc.num_classes = 10;
+  core::Hyperparams hp;
+  hp.batch_size = 8;
+  hp.steps_per_epoch = 4;
+  hp.checkpoint_interval = 2;
+
+  core::StepExecutor executor(nn::mini_resnet18_factory(mc, 1), hp);
+  const core::DeterministicSelector selector(42);
+
+  core::EpochTrace trace;
+  trace.step_of = hp.checkpoint_boundaries();
+  trace.checkpoints.push_back(executor.save_state());
+  for (std::size_t t = 0; t + 1 < trace.step_of.size(); ++t) {
+    const std::int64_t first = trace.step_of[t];
+    const std::int64_t count = trace.step_of[t + 1] - first;
+    executor.run_steps(first, count, view, selector, nullptr);
+    trace.checkpoints.push_back(executor.save_state());
+  }
+
+  TrainRun run;
+  for (const core::TrainState& s : trace.checkpoints) {
+    run.checkpoint_bytes.push_back(core::serialize_state(s));
+  }
+  run.commitment = core::commit_v1(trace);
+  run.merkle_root = core::commitment_merkle_root(run.commitment);
+  return run;
+}
+
+TEST(TrainingDeterminism, CheckpointBytesAndDigestsMatchAcrossThreadCounts) {
+  const TrainRun serial = train_fixture_model(1);
+  const TrainRun parallel = train_fixture_model(4);
+
+  ASSERT_EQ(serial.checkpoint_bytes.size(), parallel.checkpoint_bytes.size());
+  ASSERT_GE(serial.checkpoint_bytes.size(), 3U);  // initial + 2 transitions
+  for (std::size_t i = 0; i < serial.checkpoint_bytes.size(); ++i) {
+    EXPECT_EQ(serial.checkpoint_bytes[i], parallel.checkpoint_bytes[i])
+        << "checkpoint " << i << " bytes differ across thread counts";
+  }
+  ASSERT_EQ(serial.commitment.state_hashes.size(),
+            parallel.commitment.state_hashes.size());
+  for (std::size_t i = 0; i < serial.commitment.state_hashes.size(); ++i) {
+    EXPECT_TRUE(digest_equal(serial.commitment.state_hashes[i],
+                             parallel.commitment.state_hashes[i]))
+        << "checkpoint " << i << " digest differs across thread counts";
+  }
+  EXPECT_TRUE(digest_equal(serial.commitment.root, parallel.commitment.root));
+  EXPECT_TRUE(digest_equal(serial.merkle_root, parallel.merkle_root));
+}
+
+// A verifier running with a different thread count than the worker must
+// still reproduce the exact checkpoint: replay transition 1 from C_1 under
+// 4 threads and compare against the committed C_2 digest from a 1-thread
+// worker. This is the protocol-level consequence of the kernel guarantees.
+TEST(TrainingDeterminism, ParallelVerifierReproducesSerialWorkerCheckpoint) {
+  const TrainRun worker = train_fixture_model(1);
+
+  ThreadGuard guard;
+  runtime::set_threads(4);
+  data::SyntheticImageConfig data_cfg;
+  data_cfg.num_examples = 64;
+  data_cfg.image_size = 8;
+  data_cfg.seed = 3;
+  const data::Dataset dataset = data::make_synthetic_images(data_cfg);
+  const data::DatasetView view = data::DatasetView::whole(dataset);
+  nn::ModelConfig mc;
+  mc.image_size = 8;
+  mc.width = 4;
+  mc.num_classes = 10;
+  core::Hyperparams hp;
+  hp.batch_size = 8;
+  hp.steps_per_epoch = 4;
+  hp.checkpoint_interval = 2;
+  core::StepExecutor executor(nn::mini_resnet18_factory(mc, 1), hp);
+  const core::DeterministicSelector selector(42);
+
+  // Re-execute the first transition from the serialized initial state.
+  std::size_t offset = 0;
+  core::TrainState initial;
+  initial.model = deserialize_floats(worker.checkpoint_bytes[0], offset);
+  initial.optimizer = deserialize_floats(worker.checkpoint_bytes[0], offset);
+  executor.load_state(initial);
+  executor.run_steps(0, 2, view, selector, nullptr);
+  const Bytes replayed = core::serialize_state(executor.save_state());
+  EXPECT_EQ(replayed, worker.checkpoint_bytes[1]);
+}
+
+}  // namespace
+}  // namespace rpol
