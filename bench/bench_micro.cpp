@@ -14,6 +14,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench_util.h"
 #include "core/amlayer.h"
 #include "core/commitment.h"
 #include "core/detsel.h"
@@ -83,23 +84,26 @@ Tensor seed_im2col(const Tensor& input, const Conv2dSpec& spec) {
   return cols;
 }
 
-// Best-of-k wall-clock seconds for fn(), with one warmup call.
+// Best-of-k wall-clock seconds for fn(), with one warmup call. The sample
+// set is reduced through bench::summarize_latencies so the "best" reported
+// here and the quantiles elsewhere share one definition.
 template <typename Fn>
 double time_best(Fn&& fn, double min_total_s = 0.3, int max_iters = 5) {
   fn();  // warmup
-  double best = 1e300, total = 0.0;
-  int iters = 0;
-  while ((total < min_total_s && iters < max_iters) || iters < 2) {
+  std::vector<double> samples;
+  double total = 0.0;
+  while ((total < min_total_s &&
+          samples.size() < static_cast<std::size_t>(max_iters)) ||
+         samples.size() < 2) {
     const auto t0 = std::chrono::steady_clock::now();
     fn();
     const double s =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
             .count();
-    best = std::min(best, s);
+    samples.push_back(s);
     total += s;
-    ++iters;
   }
-  return best;
+  return bench::summarize_latencies(samples).best;
 }
 
 struct KernelResult {

@@ -10,6 +10,7 @@
 
 #include "bench_util.h"
 #include "core/costing.h"
+#include "obs/obs.h"
 
 namespace {
 using namespace rpol;
@@ -23,6 +24,24 @@ core::CostScenario make_scenario(core::Scheme scheme) {
   return s;
 }
 
+// Runs one scheme's estimate inside a span and mirrors the headline costs
+// into the metrics registry, so the bench leaves the same kind of JSONL
+// artifact as a traced protocol run.
+core::EpochCostReport traced_estimate(core::Scheme scheme) {
+  obs::Span span("cost_estimate");
+  span.attr("scheme", core::scheme_name(scheme));
+  const auto r = core::estimate_epoch_cost(make_scenario(scheme));
+  const std::string prefix = "table3." + core::scheme_name(scheme);
+  obs::gauge(prefix + ".manager_compute_s").set(r.manager_compute_s());
+  obs::gauge(prefix + ".worker_compute_s").set(r.worker_train_s + r.worker_lsh_s);
+  obs::gauge(prefix + ".upload_bytes").set(static_cast<double>(r.upload_bytes_total));
+  obs::gauge(prefix + ".storage_bytes")
+      .set(static_cast<double>(r.storage_bytes_per_worker));
+  obs::gauge(prefix + ".capital_usd").set(r.capital.total());
+  span.attr("capital_usd", r.capital.total());
+  return r;
+}
+
 }  // namespace
 
 int main() {
@@ -30,9 +49,10 @@ int main() {
       "Table III — overhead of ResNet50/ImageNet, one epoch, 100 workers",
       "Sec. VII-E Table III (paper: see header of each row)");
 
-  const auto base = core::estimate_epoch_cost(make_scenario(core::Scheme::kBaseline));
-  const auto v1 = core::estimate_epoch_cost(make_scenario(core::Scheme::kRPoLv1));
-  const auto v2 = core::estimate_epoch_cost(make_scenario(core::Scheme::kRPoLv2));
+  obs::set_enabled(true);  // this bench always leaves a trace artifact
+  const auto base = traced_estimate(core::Scheme::kBaseline);
+  const auto v1 = traced_estimate(core::Scheme::kRPoLv1);
+  const auto v2 = traced_estimate(core::Scheme::kRPoLv2);
 
   auto gb = [](std::uint64_t bytes) {
     return static_cast<double>(bytes) / (1024.0 * 1024.0 * 1024.0);
@@ -67,5 +87,11 @@ int main() {
                            static_cast<double>(v1.storage_bytes_per_worker) -
                        1.0),
               100.0 * (1.0 - v2.capital.total() / v1.capital.total()));
+
+  const char* trace_path = "BENCH_table3_obs.jsonl";
+  if (obs::Registry::instance().export_jsonl_file(trace_path)) {
+    std::printf("\nmetrics registry exported to %s (see `rpol trace`)\n",
+                trace_path);
+  }
   return 0;
 }

@@ -12,11 +12,13 @@
 #include <cstdio>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "core/pool.h"
 #include "data/partition.h"
 #include "data/synthetic.h"
 #include "nn/models.h"
+#include "sim/stats.h"
 
 namespace rpol::bench {
 
@@ -31,6 +33,25 @@ inline double now_seconds() {
   return std::chrono::duration<double>(
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
+}
+
+// Quantile summary over repeated timing samples. Quantiles come from
+// sim::percentile so every number called "p50"/"p95" in this repo — bench
+// tables and the trace analyzer alike — uses the same R-7 definition.
+struct LatencySummary {
+  double best = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double worst = 0.0;
+};
+
+inline LatencySummary summarize_latencies(const std::vector<double>& samples) {
+  LatencySummary s;
+  s.best = sim::min_value(samples);
+  s.p50 = sim::percentile(samples, 50.0);
+  s.p95 = sim::percentile(samples, 95.0);
+  s.worst = sim::max_value(samples);
+  return s;
 }
 
 // A complete training task: dataset + splits + deterministic model factory.

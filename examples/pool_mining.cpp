@@ -8,6 +8,8 @@
 // cheaters, traffic, and test accuracy — then compares schemes.
 //
 // Run: ./build/examples/pool_mining
+// With RPOL_TRACE=1 the run also writes rpol_trace.jsonl (protocol spans +
+// metrics); summarize it with `rpol trace --file rpol_trace.jsonl`.
 
 #include <cstdio>
 
@@ -15,6 +17,7 @@
 #include "data/partition.h"
 #include "data/synthetic.h"
 #include "nn/models.h"
+#include "obs/obs.h"
 
 using namespace rpol;
 
@@ -91,6 +94,11 @@ int main() {
                   "(freeloaders excluded every epoch)\n",
                   report.final_accuracy, baseline_acc);
     }
+  }
+  const std::string trace_path = obs::maybe_export("rpol_trace.jsonl");
+  if (!trace_path.empty()) {
+    std::printf("trace written to %s (summarize with `rpol trace`)\n",
+                trace_path.c_str());
   }
   return 0;
 }

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "data/partition.h"
+#include "obs/obs.h"
 
 namespace rpol::core {
 
@@ -55,6 +56,9 @@ AsyncRunReport AsyncMiningPool::run() {
       InFlight& job = in_flight_[w];
       if (job.finish_tick != tick) continue;
 
+      obs::Span submission_span("submission", /*parent=*/0,
+                                static_cast<int>(w), tick);
+
       // The worker finishes its local epoch (trained from its grabbed base).
       EpochContext ctx;
       ctx.epoch = tick;
@@ -87,6 +91,9 @@ AsyncRunReport AsyncMiningPool::run() {
       }
       submission.accepted = accepted;
       report.submissions.push_back(submission);
+      submission_span.attr("staleness", submission.staleness);
+      submission_span.attr("accepted", accepted);
+      obs::count(accepted ? "async.applied" : "async.rejected", 1);
 
       if (accepted) {
         const double discount = config_.eta *
@@ -110,6 +117,7 @@ AsyncRunReport AsyncMiningPool::run() {
       job.started_at_version = global_version_;
       job.finish_tick = tick + workers_[w].period;
     }
+    obs::Span eval_span("evaluate", /*parent=*/0, /*worker=*/-1, tick);
     manager_executor_.load_state(current_state());
     report.accuracy_curve.push_back(manager_executor_.evaluate(test_));
   }

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "data/partition.h"
+#include "obs/obs.h"
 
 namespace rpol::core {
 
@@ -79,6 +80,7 @@ double MiningPool::evaluate_global() {
 }
 
 EpochReport MiningPool::run_epoch(std::int64_t epoch) {
+  obs::Span epoch_span("epoch", /*parent=*/0, /*worker=*/-1, epoch);
   EpochReport report;
   report.epoch = epoch;
   network_.reset_counters();
@@ -91,6 +93,7 @@ EpochReport MiningPool::run_epoch(std::int64_t epoch) {
   // Step 0: adaptive calibration (RPoL schemes only).
   const bool needs_rpol = config_.scheme != Scheme::kBaseline;
   if (needs_rpol && (config_.calibrate_every_epoch || !calibrated_)) {
+    obs::Span s("calibrate", epoch_span.id(), /*worker=*/-1, epoch);
     EpochContext manager_ctx;
     manager_ctx.epoch = epoch;
     manager_ctx.nonce = derive_seed(config_.seed,
@@ -136,13 +139,19 @@ EpochReport MiningPool::run_epoch(std::int64_t epoch) {
     contexts[w] = ctx;
 
     network_.download(w, model_bytes, workers_.size());  // global model out
+    obs::count("bytes.state", model_bytes);
 
     sim::DeviceExecution device(
         workers_[w].device,
         derive_seed(config_.seed, 0xE0000000ULL +
                                       static_cast<std::uint64_t>(epoch) * 4096ULL +
                                       static_cast<std::uint64_t>(w)));
-    traces[w] = workers_[w].policy->produce_trace(*worker_executors_[w], ctx, device);
+    {
+      obs::Span s("train", epoch_span.id(), static_cast<int>(w), epoch);
+      traces[w] =
+          workers_[w].policy->produce_trace(*worker_executors_[w], ctx, device);
+      s.attr("storage_bytes", traces[w].storage_bytes());
+    }
     commitments[w] = config_.scheme == Scheme::kRPoLv2
                          ? commit_v2(traces[w], *worker_hasher, &trainable_mask)
                          : commit_v1(traces[w]);
@@ -154,6 +163,8 @@ EpochReport MiningPool::run_epoch(std::int64_t epoch) {
             ? compact_commitment(commitments[w]).byte_size()
             : commitments[w].byte_size();
     network_.upload(w, model_bytes + commitment_bytes, workers_.size());
+    obs::count("bytes.update", model_bytes);
+    obs::count("bytes.commitment", commitment_bytes);
     report.worker_storage_bytes =
         std::max(report.worker_storage_bytes, traces[w].storage_bytes());
   }
@@ -181,9 +192,11 @@ EpochReport MiningPool::run_epoch(std::int64_t epoch) {
                               static_cast<std::uint64_t>(v));
         committee.push_back(node);
       }
+      obs::Span s("verify", epoch_span.id(), static_cast<int>(w), epoch);
       const DecentralizedResult dr = dec.verify(commitments[w], traces[w],
                                                 contexts[w], initial_hash,
                                                 committee);
+      s.attr("accepted", dr.accepted);
       report.accepted[w] = dr.accepted;
       report.manager_reexecuted_steps += dr.critical_path_steps;  // wall time
       if (!dr.accepted) ++report.rejected_count;
@@ -196,6 +209,7 @@ EpochReport MiningPool::run_epoch(std::int64_t epoch) {
           top, derive_seed(config_.seed,
                            0xF0000000ULL + static_cast<std::uint64_t>(epoch) * 4096ULL +
                                static_cast<std::uint64_t>(w)));
+      obs::Span s("verify", epoch_span.id(), static_cast<int>(w), epoch);
       const VerifyResult vr =
           config_.compact_commitments
               ? verifier_->verify_compact(compact_commitment(commitments[w]),
@@ -203,11 +217,16 @@ EpochReport MiningPool::run_epoch(std::int64_t epoch) {
                                           initial_hash, manager_device)
               : verifier_->verify(commitments[w], traces[w], contexts[w],
                                   initial_hash, manager_device);
+      s.attr("accepted", vr.accepted);
+      s.attr("double_checks", vr.double_checks);
+      s.attr("lsh_mismatches", vr.lsh_mismatches);
+      s.attr("reexecuted_steps", vr.reexecuted_steps);
       report.accepted[w] = vr.accepted;
       report.lsh_mismatches += vr.lsh_mismatches;
       report.double_checks += vr.double_checks;
       report.manager_reexecuted_steps += vr.reexecuted_steps;
       network_.upload(w, vr.proof_bytes, 1);  // proofs fetched on demand
+      obs::count("bytes.proof_response", vr.proof_bytes);
       if (!vr.accepted) ++report.rejected_count;
     }
   }
@@ -220,6 +239,8 @@ EpochReport MiningPool::run_epoch(std::int64_t epoch) {
   std::size_t accepted_count = 0;
   for (const bool a : report.accepted) accepted_count += a ? 1 : 0;
   if (accepted_count > 0) {
+    obs::Span s("aggregate", epoch_span.id(), /*worker=*/-1, epoch);
+    s.attr("accepted_count", static_cast<std::int64_t>(accepted_count));
     const float weight = static_cast<float>(config_.global_learning_rate) /
                          static_cast<float>(accepted_count);
     std::vector<float> next = global_model_;
@@ -233,7 +254,11 @@ EpochReport MiningPool::run_epoch(std::int64_t epoch) {
     global_model_ = std::move(next);
   }
 
-  report.test_accuracy = evaluate_global();
+  {
+    obs::Span s("evaluate", epoch_span.id(), /*worker=*/-1, epoch);
+    report.test_accuracy = evaluate_global();
+    s.attr("accuracy", report.test_accuracy);
+  }
   report.bytes_this_epoch = network_.total_bytes();
   return report;
 }

@@ -2,15 +2,42 @@
 
 #include <stdexcept>
 
+#include "obs/obs.h"
+
 namespace rpol::core {
 
-Bytes CountingChannel::send_to_worker(Bytes message) {
+const char* message_type_name(MessageType type) {
+  switch (type) {
+    case MessageType::kAnnouncement: return "announcement";
+    case MessageType::kGlobalState: return "state";
+    case MessageType::kCommitment: return "commitment";
+    case MessageType::kUpdate: return "update";
+    case MessageType::kProofRequest: return "proof_request";
+    case MessageType::kProofResponse: return "proof_response";
+  }
+  return "unknown";
+}
+
+namespace {
+
+void mirror_to_registry(MessageType type, std::uint64_t bytes) {
+  if (!obs::enabled()) return;
+  obs::counter(std::string("bytes.") + message_type_name(type)).add(bytes);
+}
+
+}  // namespace
+
+Bytes CountingChannel::send_to_worker(MessageType type, Bytes message) {
   to_worker_ += message.size();
+  by_type_[static_cast<std::size_t>(type)] += message.size();
+  mirror_to_registry(type, message.size());
   return message;
 }
 
-Bytes CountingChannel::send_to_manager(Bytes message) {
+Bytes CountingChannel::send_to_manager(MessageType type, Bytes message) {
   to_manager_ += message.size();
+  by_type_[static_cast<std::size_t>(type)] += message.size();
+  mirror_to_registry(type, message.size());
   return message;
 }
 
@@ -28,6 +55,7 @@ SessionOutcome run_protocol_session(
     throw std::invalid_argument("RPoLv2 session needs an LSH config");
   }
 
+  obs::Span session_span("session");
   CountingChannel channel;
   SessionOutcome outcome;
 
@@ -37,10 +65,14 @@ SessionOutcome run_protocol_session(
   announcement.hp = hp;
   announcement.initial_state_hash = hash_state(global_state);
   announcement.lsh = config.lsh;
-  const Bytes announce_wire =
-      channel.send_to_worker(encode_task_announcement(announcement));
-  const Bytes state_wire =
-      channel.send_to_worker(encode_train_state(global_state));
+  Bytes announce_wire, state_wire;
+  {
+    obs::Span s("announce", session_span.id());
+    announce_wire = channel.send_to_worker(MessageType::kAnnouncement,
+                                           encode_task_announcement(announcement));
+    state_wire = channel.send_to_worker(MessageType::kGlobalState,
+                                        encode_train_state(global_state));
+  }
 
   // --- Worker side: decode, train, commit. --------------------------------
   const TaskAnnouncement worker_view = decode_task_announcement(announce_wire);
@@ -57,21 +89,30 @@ SessionOutcome run_protocol_session(
   ctx.initial = std::move(worker_initial);
   ctx.dataset = &worker_data;
   sim::DeviceExecution worker_gpu(worker_device, worker_run_seed);
-  const EpochTrace trace = policy.produce_trace(worker_executor, ctx, worker_gpu);
+  EpochTrace trace;
+  {
+    obs::Span s("train", session_span.id(), /*worker=*/0);
+    trace = policy.produce_trace(worker_executor, ctx, worker_gpu);
+    s.attr("storage_bytes", trace.storage_bytes());
+  }
 
   Commitment commitment;
-  if (config.scheme == Scheme::kRPoLv2) {
-    const lsh::PStableLsh hasher(*worker_view.lsh);
-    commitment = commit_v2(trace, hasher, &worker_executor.trainable_mask());
-  } else {
-    commitment = commit_v1(trace);
+  Bytes commit_wire;
+  {
+    obs::Span s("commit", session_span.id(), /*worker=*/0);
+    if (config.scheme == Scheme::kRPoLv2) {
+      const lsh::PStableLsh hasher(*worker_view.lsh);
+      commitment = commit_v2(trace, hasher, &worker_executor.trainable_mask());
+    } else {
+      commitment = commit_v1(trace);
+    }
+    commit_wire = channel.send_to_manager(MessageType::kCommitment,
+                                          encode_commitment(commitment));
+    // The model update itself (final weights) travels with the commitment.
+    TrainState update;
+    update.model = trace.checkpoints.back().model;
+    channel.send_to_manager(MessageType::kUpdate, encode_train_state(update));
   }
-  const Bytes commit_wire =
-      channel.send_to_manager(encode_commitment(commitment));
-  // The model update itself (final weights) travels with the commitment.
-  TrainState update;
-  update.model = trace.checkpoints.back().model;
-  channel.send_to_manager(encode_train_state(update));
 
   // --- Manager: sample post-commitment, request proofs. -------------------
   const Commitment manager_commitment = decode_commitment(commit_wire);
@@ -79,27 +120,32 @@ SessionOutcome run_protocol_session(
   request.transitions =
       sample_transitions(config.sampling_seed, manager_commitment.root,
                          trace.num_transitions(), config.samples_q);
-  const Bytes request_wire =
-      channel.send_to_worker(encode_proof_request(request));
+  Bytes request_wire, response_wire;
+  {
+    obs::Span s("proof_exchange", session_span.id());
+    request_wire = channel.send_to_worker(MessageType::kProofRequest,
+                                          encode_proof_request(request));
 
-  // --- Worker: answer the proof request. ----------------------------------
-  const ProofRequest worker_request = decode_proof_request(request_wire);
-  ProofResponse response;
-  for (const auto j : worker_request.transitions) {
-    if (j < 0 || j >= trace.num_transitions()) {
-      throw std::runtime_error("proof request out of range");
+    // --- Worker: answer the proof request. --------------------------------
+    const ProofRequest worker_request = decode_proof_request(request_wire);
+    ProofResponse response;
+    for (const auto j : worker_request.transitions) {
+      if (j < 0 || j >= trace.num_transitions()) {
+        throw std::runtime_error("proof request out of range");
+      }
+      response.input_states.push_back(
+          trace.checkpoints[static_cast<std::size_t>(j)]);
+      if (config.scheme == Scheme::kRPoLv1) {
+        response.output_states.push_back(
+            trace.checkpoints[static_cast<std::size_t>(j + 1)]);
+      }
     }
-    response.input_states.push_back(
-        trace.checkpoints[static_cast<std::size_t>(j)]);
-    if (config.scheme == Scheme::kRPoLv1) {
-      response.output_states.push_back(
-          trace.checkpoints[static_cast<std::size_t>(j + 1)]);
-    }
+    response_wire = channel.send_to_manager(MessageType::kProofResponse,
+                                            encode_proof_response(response));
   }
-  Bytes response_wire =
-      channel.send_to_manager(encode_proof_response(response));
 
   // --- Manager: re-execute and decide. -------------------------------------
+  obs::Span verify_span("verify", session_span.id(), /*worker=*/0);
   StepExecutor manager_executor(factory, hp);
   const std::vector<bool>& mask = manager_executor.trainable_mask();
   std::optional<lsh::PStableLsh> manager_hasher;
@@ -127,8 +173,14 @@ SessionOutcome run_protocol_session(
     const std::int64_t first = j * hp.checkpoint_interval;
     const std::int64_t count =
         std::min(hp.checkpoint_interval, hp.steps_per_epoch - first);
-    manager_executor.load_state(proof_in);
-    manager_executor.run_steps(first, count, worker_data, selector, &manager_gpu);
+    {
+      obs::Span reexec("reexecute", verify_span.id(), /*worker=*/0);
+      reexec.attr("transition", j);
+      reexec.attr("steps", count);
+      manager_executor.load_state(proof_in);
+      manager_executor.run_steps(first, count, worker_data, selector,
+                                 &manager_gpu);
+    }
     const TrainState replay = manager_executor.save_state();
 
     if (config.scheme == Scheme::kRPoLv1) {
@@ -149,14 +201,17 @@ SessionOutcome run_protocol_session(
                               .lsh_digests[static_cast<std::size_t>(j + 1)])) {
         // Double-check round trip: one more request/response pair.
         ++outcome.double_checks;
+        obs::count("verify.lsh_mismatch", 1);
+        obs::count("verify.double_check", 1);
         ProofRequest dc_request;
         dc_request.transitions = {j};  // re-request: raw output this time
-        channel.send_to_worker(encode_proof_request(dc_request));
+        channel.send_to_worker(MessageType::kProofRequest,
+                               encode_proof_request(dc_request));
         ProofResponse dc_response;
         dc_response.output_states.push_back(
             trace.checkpoints[static_cast<std::size_t>(j + 1)]);
-        const Bytes dc_wire =
-            channel.send_to_manager(encode_proof_response(dc_response));
+        const Bytes dc_wire = channel.send_to_manager(
+            MessageType::kProofResponse, encode_proof_response(dc_response));
         const ProofResponse dc_decoded = decode_proof_response(dc_wire);
         const TrainState& claimed = dc_decoded.output_states.front();
         if (!digest_equal(hash_state(claimed),
@@ -175,6 +230,10 @@ SessionOutcome run_protocol_session(
   outcome.final_model = trace.checkpoints.back().model;
   outcome.bytes_to_worker = channel.bytes_to_worker();
   outcome.bytes_to_manager = channel.bytes_to_manager();
+  outcome.bytes_by_type = channel.bytes_by_type();
+  verify_span.attr("accepted", outcome.accepted);
+  verify_span.attr("double_checks", outcome.double_checks);
+  obs::count(all_passed ? "verify.accept" : "verify.reject", 1);
   return outcome;
 }
 

@@ -20,25 +20,53 @@
 
 #pragma once
 
+#include <array>
+
 #include "core/pool.h"
 #include "core/wire.h"
 
 namespace rpol::core {
 
-// Byte-counting in-process transport.
+// The protocol's message taxonomy: everything that crosses the channel is
+// one of these. The same names form the `bytes.<type>` counter namespace in
+// the metrics registry (docs/observability.md), so traffic accounting in
+// traces, sessions, and the analytic cost model line up by construction.
+enum class MessageType : int {
+  kAnnouncement = 0,  // TaskAnnouncement (manager -> worker)
+  kGlobalState,       // global TrainState download
+  kCommitment,        // checkpoint commitment upload
+  kUpdate,            // final model update upload
+  kProofRequest,      // sampled transition indices
+  kProofResponse,     // requested checkpoint states (incl. double-checks)
+};
+inline constexpr int kNumMessageTypes = 6;
+
+const char* message_type_name(MessageType type);
+
+// Byte-counting in-process transport with per-message-type accounting.
 class CountingChannel {
  public:
-  // Delivers a message and returns it to the receiving side; counts bytes.
-  Bytes send_to_worker(Bytes message);
-  Bytes send_to_manager(Bytes message);
+  // Delivers a message and returns it to the receiving side; counts bytes
+  // under both the direction total and the message type (and mirrors the
+  // type counts into the metrics registry when tracing is enabled).
+  Bytes send_to_worker(MessageType type, Bytes message);
+  Bytes send_to_manager(MessageType type, Bytes message);
 
   std::uint64_t bytes_to_worker() const { return to_worker_; }
   std::uint64_t bytes_to_manager() const { return to_manager_; }
   std::uint64_t total_bytes() const { return to_worker_ + to_manager_; }
 
+  std::uint64_t bytes_for(MessageType type) const {
+    return by_type_[static_cast<std::size_t>(type)];
+  }
+  const std::array<std::uint64_t, kNumMessageTypes>& bytes_by_type() const {
+    return by_type_;
+  }
+
  private:
   std::uint64_t to_worker_ = 0;
   std::uint64_t to_manager_ = 0;
+  std::array<std::uint64_t, kNumMessageTypes> by_type_{};
 };
 
 struct SessionConfig {
@@ -54,6 +82,9 @@ struct SessionOutcome {
   std::vector<float> final_model;      // the worker's submitted update
   std::uint64_t bytes_to_worker = 0;   // announcement + global state + request
   std::uint64_t bytes_to_manager = 0;  // commitment + update + proofs
+  // Per-message-type breakdown, indexed by MessageType; sums to
+  // bytes_to_worker + bytes_to_manager.
+  std::array<std::uint64_t, kNumMessageTypes> bytes_by_type{};
   std::int64_t double_checks = 0;
 };
 

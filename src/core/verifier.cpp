@@ -3,7 +3,28 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/obs.h"
+
 namespace rpol::core {
+
+namespace {
+
+// Shared verdict accounting for both verification paths. The registry is
+// write-only from here: nothing read back, so tracing cannot perturb the
+// accept/reject decision.
+void record_verdict(const VerifyResult& result) {
+  obs::count(result.accepted ? "verify.accept" : "verify.reject", 1);
+  if (result.lsh_mismatches > 0) {
+    obs::count("verify.lsh_mismatch",
+               static_cast<std::uint64_t>(result.lsh_mismatches));
+  }
+  if (result.double_checks > 0) {
+    obs::count("verify.double_check",
+               static_cast<std::uint64_t>(result.double_checks));
+  }
+}
+
+}  // namespace
 
 std::vector<std::int64_t> sample_transitions(std::uint64_t seed,
                                              const Digest& commitment_root,
@@ -72,10 +93,14 @@ VerifyResult Verifier::verify_compact(const CompactCommitment& compact,
       compact.num_checkpoints != static_cast<std::int64_t>(trace.checkpoints.size()) ||
       compact.version != full.version ||
       trace.step_of != hp_.checkpoint_boundaries()) {
+    record_verdict(result);
     return result;
   }
   const bool use_lsh = compact.version == CommitmentVersion::kV2;
-  if (use_lsh != config_.use_lsh) return result;
+  if (use_lsh != config_.use_lsh) {
+    record_verdict(result);
+    return result;
+  }
 
   // Initial-state binding: the worker proves leaf 0 under state_root is the
   // distributed state's hash.
@@ -86,6 +111,7 @@ VerifyResult Verifier::verify_compact(const CompactCommitment& compact,
         leaf0.in_membership.path_index() != 0 ||
         !MerkleTree::verify(compact.state_root, leaf0.in_hash,
                             leaf0.in_membership)) {
+      record_verdict(result);
       return result;
     }
   }
@@ -124,8 +150,13 @@ VerifyResult Verifier::verify_compact(const CompactCommitment& compact,
 
     const std::int64_t first = trace.step_of[static_cast<std::size_t>(j)];
     const std::int64_t count = trace.step_of[static_cast<std::size_t>(j + 1)] - first;
-    executor_.load_state(proof_in);
-    executor_.run_steps(first, count, *context.dataset, selector, &device);
+    {
+      obs::Span reexec("reexecute");
+      reexec.attr("transition", j);
+      reexec.attr("steps", count);
+      executor_.load_state(proof_in);
+      executor_.run_steps(first, count, *context.dataset, selector, &device);
+    }
     result.reexecuted_steps += count;
     const TrainState replay = executor_.save_state();
 
@@ -161,6 +192,7 @@ VerifyResult Verifier::verify_compact(const CompactCommitment& compact,
     result.checks.push_back(check);
   }
   result.accepted = all_passed;
+  record_verdict(result);
   return result;
 }
 
@@ -177,12 +209,17 @@ VerifyResult Verifier::verify(const Commitment& commitment,
   if (transitions <= 0 ||
       commitment.state_hashes.size() != trace.checkpoints.size() ||
       trace.step_of != hp_.checkpoint_boundaries()) {
+    record_verdict(result);
     return result;  // malformed => reject
   }
-  if (!commitment_consistent(commitment)) return result;
+  if (!commitment_consistent(commitment)) {
+    record_verdict(result);
+    return result;
+  }
 
   // The first checkpoint must be exactly the state the manager handed out.
   if (!digest_equal(commitment.state_hashes.front(), expected_initial_hash)) {
+    record_verdict(result);
     return result;
   }
 
@@ -209,8 +246,13 @@ VerifyResult Verifier::verify(const Commitment& commitment,
     // Re-execute the transition on the manager's device.
     const std::int64_t first = trace.step_of[static_cast<std::size_t>(j)];
     const std::int64_t count = trace.step_of[static_cast<std::size_t>(j + 1)] - first;
-    executor_.load_state(proof_in);
-    executor_.run_steps(first, count, *context.dataset, selector, &device);
+    {
+      obs::Span reexec("reexecute");
+      reexec.attr("transition", j);
+      reexec.attr("steps", count);
+      executor_.load_state(proof_in);
+      executor_.run_steps(first, count, *context.dataset, selector, &device);
+    }
     result.reexecuted_steps += count;
     const TrainState replay = executor_.save_state();
 
@@ -255,6 +297,7 @@ VerifyResult Verifier::verify(const Commitment& commitment,
     result.checks.push_back(check);
   }
   result.accepted = all_passed;
+  record_verdict(result);
   return result;
 }
 

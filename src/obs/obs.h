@@ -1,0 +1,230 @@
+// Protocol-aware tracing & metrics: the measurement substrate behind every
+// quantitative claim the protocol makes (communication volume, re-execution
+// cost, double-check rates, kernel throughput).
+//
+// Three primitives, all owned by a global Registry:
+//   * Span        — RAII wall-clock scope with an explicit parent id, an
+//                   optional worker/epoch tag, and free-form attributes.
+//                   Spans cover the protocol lifecycle (task announce ->
+//                   train -> commit -> sampling -> proof exchange ->
+//                   re-execution -> LSH match -> decision).
+//   * Counter     — monotonically increasing u64 (bytes per message type,
+//                   verify verdicts, parallel_for invocations).
+//   * Gauge       — last-write-wins double (thread count, modeled costs).
+//   * Histogram   — fixed log-linear buckets over u64 values (kernel
+//                   nanoseconds); recording is a relaxed atomic increment,
+//                   no allocation on the hot path.
+//
+// Determinism contract: the registry is WRITE-ONLY from protocol code.
+// Timing fields are wall-clock-tagged but never feed back into any protocol
+// decision, batch selection, or kernel result, so a traced run is bitwise
+// identical to an untraced one (tests/runtime_determinism_test.cpp proves
+// it at the checkpoint-bytes / Merkle-root level).
+//
+// Cost when disabled: every entry point first checks one relaxed atomic
+// bool (`enabled()`); spans skip both clock reads, counters skip the add.
+// Enablement: RPOL_TRACE env var (read once; any value except "" / "0"),
+// overridden by obs::set_enabled(). Export is explicit — call
+// Registry::export_jsonl (or the maybe_export helper, which honors
+// RPOL_TRACE_FILE) from the binary that owns the run. Schema:
+// docs/observability.md ("rpol.trace.v1").
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rpol::obs {
+
+// True when tracing is on: RPOL_TRACE env (cached at first call) unless
+// overridden by set_enabled().
+bool enabled();
+
+// Explicit override of the RPOL_TRACE default; wins until called again.
+void set_enabled(bool on);
+
+// Nanoseconds since the registry's steady-clock anchor (process start).
+std::uint64_t now_ns();
+
+// Hot-path sampling guard: fires for 1 call in `every` while tracing is
+// enabled. `counter` is a call-site-owned relaxed atomic so concurrent
+// kernels never contend on registry state just to decide "not this one".
+inline bool sample_tick(std::atomic<std::uint64_t>& counter,
+                        std::uint64_t every) {
+  if (!enabled()) return false;
+  return counter.fetch_add(1, std::memory_order_relaxed) % every == 0;
+}
+
+class Counter {
+ public:
+  void add(std::uint64_t v) { value_.fetch_add(v, std::memory_order_relaxed); }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  const std::string& name() const { return name_; }
+
+  // Construct via Registry::counter(); public only for in-place container
+  // construction.
+  explicit Counter(std::string name) : name_(std::move(name)) {}
+
+ private:
+  friend class Registry;
+  std::string name_;
+  std::atomic<std::uint64_t> value_{0};
+};
+
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  const std::string& name() const { return name_; }
+
+  // Construct via Registry::gauge().
+  explicit Gauge(std::string name) : name_(std::move(name)) {}
+
+ private:
+  friend class Registry;
+  std::string name_;
+  std::atomic<double> value_{0.0};
+};
+
+// Log-linear bucketed histogram over u64 values: values 0..7 get exact
+// buckets, larger values land in 4 sub-buckets per power of two (HDR-style),
+// bounding the relative quantile error at ~12.5% with 2 KB of state.
+class Histogram {
+ public:
+  static constexpr int kSmallBuckets = 8;   // exact buckets for 0..7
+  static constexpr int kSubBuckets = 4;     // per power of two above 8
+  static constexpr int kNumBuckets = kSmallBuckets + 61 * kSubBuckets;
+
+  static int bucket_index(std::uint64_t v);
+  // Largest value that lands in bucket i (inclusive).
+  static std::uint64_t bucket_upper_bound(int i);
+
+  void record(std::uint64_t v);
+
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  std::uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  std::uint64_t max() const { return max_.load(std::memory_order_relaxed); }
+  std::uint64_t bucket(int i) const {
+    return buckets_[static_cast<std::size_t>(i)].load(std::memory_order_relaxed);
+  }
+  // Upper-bound estimate of the p-th percentile (p in [0, 100]) from the
+  // bucket counts; 0 for an empty histogram.
+  std::uint64_t approx_percentile(double p) const;
+  const std::string& name() const { return name_; }
+
+  // Construct via Registry::histogram().
+  explicit Histogram(std::string name) : name_(std::move(name)) {}
+
+ private:
+  friend class Registry;
+  std::string name_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> max_{0};
+  std::atomic<std::uint64_t> buckets_[kNumBuckets] = {};
+};
+
+// One span attribute; `quoted` distinguishes JSON strings from raw
+// number/bool tokens so export and the analyzer round-trip exactly.
+struct SpanAttr {
+  std::string key;
+  std::string value;
+  bool quoted = false;
+};
+
+struct SpanRecord {
+  std::uint64_t id = 0;
+  std::uint64_t parent = 0;  // 0 = root
+  std::string name;
+  std::int64_t worker = -1;  // -1 = not worker-scoped (manager / global)
+  std::int64_t epoch = -1;   // -1 = not epoch-scoped
+  std::uint64_t start_ns = 0;  // relative to the registry anchor
+  std::uint64_t dur_ns = 0;
+  std::vector<SpanAttr> attrs;
+};
+
+// RAII protocol scope. Construction snapshots the clock when tracing is
+// enabled; destruction appends the completed record to the registry.
+// A span constructed while tracing is disabled is inert (id() == 0).
+class Span {
+ public:
+  explicit Span(std::string_view name, std::uint64_t parent = 0,
+                std::int64_t worker = -1, std::int64_t epoch = -1);
+  ~Span();
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  bool active() const { return active_; }
+  std::uint64_t id() const { return rec_.id; }
+
+  void attr(std::string_view key, double v);
+  void attr(std::string_view key, std::int64_t v);
+  void attr(std::string_view key, std::uint64_t v);
+  void attr(std::string_view key, bool v);
+  void attr(std::string_view key, std::string_view v);
+
+ private:
+  SpanRecord rec_;
+  bool active_ = false;
+};
+
+class Registry {
+ public:
+  static Registry& instance();
+
+  // Metric handles are created on first use and live for the process;
+  // returned references stay valid across reset().
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  std::uint64_t next_span_id();
+  void record_span(SpanRecord rec);
+
+  std::vector<SpanRecord> spans() const;  // snapshot copy
+  std::size_t span_count() const;
+
+  // Zeroes every metric and drops recorded spans; handles stay registered.
+  void reset();
+
+  // Writes the whole registry as JSONL ("rpol.trace.v1"): one meta line,
+  // then counters, gauges, histograms (each sorted by name), then spans in
+  // completion order. Returns the number of lines written.
+  std::size_t export_jsonl(std::FILE* out) const;
+  bool export_jsonl_file(const std::string& path) const;
+
+  std::uint64_t wall_anchor_unix_ns() const { return wall_anchor_unix_ns_; }
+
+ private:
+  Registry();
+  struct Impl;
+  Impl* impl_;  // intentionally leaked: metrics may be touched at exit
+  std::uint64_t wall_anchor_unix_ns_ = 0;
+};
+
+// Convenience forwards to the global registry.
+inline Counter& counter(std::string_view name) {
+  return Registry::instance().counter(name);
+}
+inline Gauge& gauge(std::string_view name) {
+  return Registry::instance().gauge(name);
+}
+inline Histogram& histogram(std::string_view name) {
+  return Registry::instance().histogram(name);
+}
+
+// Counts only while tracing is enabled (the common call-site pattern).
+inline void count(std::string_view name, std::uint64_t v) {
+  if (enabled()) counter(name).add(v);
+}
+
+// If tracing is enabled, exports the registry to RPOL_TRACE_FILE (or
+// `default_path` when unset) and returns the path written; returns "" when
+// tracing is disabled or the file cannot be opened.
+std::string maybe_export(const std::string& default_path);
+
+}  // namespace rpol::obs

@@ -8,6 +8,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/obs.h"
+
 namespace rpol::runtime {
 
 namespace {
@@ -56,7 +58,13 @@ class ThreadPool {
     const std::int64_t max_slices = std::max<std::int64_t>(range / grain, 1);
     const int slices = static_cast<int>(
         std::min<std::int64_t>(max_slices, num_threads_));
+    // Scheduling telemetry (write-only; slicing never depends on it).
+    if (obs::enabled()) {
+      obs::count("runtime.parallel_for.calls", 1);
+      obs::gauge("runtime.threads").set(static_cast<double>(num_threads_));
+    }
     if (slices <= 1 || t_in_worker) {
+      if (obs::enabled()) obs::count("runtime.parallel_for.inline", 1);
       fn(begin, end);
       return;
     }
@@ -64,8 +72,13 @@ class ThreadPool {
     // serial execution (same bits, no deadlock) instead of queueing.
     std::unique_lock<std::mutex> job_guard(run_mutex_, std::try_to_lock);
     if (!job_guard.owns_lock()) {
+      if (obs::enabled()) obs::count("runtime.parallel_for.inline", 1);
       fn(begin, end);
       return;
+    }
+    if (obs::enabled()) {
+      obs::count("runtime.parallel_for.slices",
+                 static_cast<std::uint64_t>(slices));
     }
 
     std::int64_t own_lo = 0, own_hi = 0;

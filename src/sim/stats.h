@@ -13,6 +13,13 @@ double stddev(const std::vector<double>& xs);
 double max_value(const std::vector<double>& xs);
 double min_value(const std::vector<double>& xs);
 
+// p-th percentile (p in [0, 100]) with linear interpolation between order
+// statistics (the common "R-7" definition): p=0 is the minimum, p=100 the
+// maximum, p=50 the median. Copies and sorts internally; throws on an empty
+// sample. Shared by the trace analyzer's latency summaries (src/obs) and
+// the bench harness so every quantile in the repo means the same thing.
+double percentile(const std::vector<double>& xs, double p);
+
 struct KsTestResult {
   double statistic = 0.0;   // sup |F_empirical - F_normal(mean, sd)|
   double p_value = 0.0;     // asymptotic Kolmogorov distribution

@@ -1,14 +1,38 @@
 #include "tensor/ops.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/obs.h"
 #include "runtime/thread_pool.h"
 
 namespace rpol {
 
 namespace {
+
+// Sampled kernel timer: records elapsed nanoseconds into a named histogram
+// for 1 in 8 invocations while tracing is enabled. The tick counter is
+// call-site-owned so concurrent kernels never contend just to decide "not
+// this one"; when tracing is off the cost is a single relaxed atomic load.
+class KernelTimer {
+ public:
+  KernelTimer(std::atomic<std::uint64_t>& tick, const char* histogram)
+      : sampled_(obs::sample_tick(tick, 8)),
+        name_(histogram),
+        start_(sampled_ ? obs::now_ns() : 0) {}
+  ~KernelTimer() {
+    if (sampled_) obs::histogram(name_).record(obs::now_ns() - start_);
+  }
+  KernelTimer(const KernelTimer&) = delete;
+  KernelTimer& operator=(const KernelTimer&) = delete;
+
+ private:
+  bool sampled_;
+  const char* name_;
+  std::uint64_t start_;
+};
 
 void check_rank2(const Tensor& t, const char* name) {
   if (t.rank() != 2) {
@@ -222,6 +246,8 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
   check_rank2(b, "matmul rhs");
   const std::int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
   if (b.dim(0) != k) throw std::invalid_argument("matmul inner-dim mismatch");
+  static std::atomic<std::uint64_t> tick{0};
+  KernelTimer timer(tick, "kernel.matmul_ns");
   Tensor c({m, n});
   gemm_rows_parallel(a.data(), /*a_rs=*/k, /*a_ks=*/1, b.data(), c.data(), m, k, n);
   return c;
@@ -232,6 +258,8 @@ Tensor matmul_tn(const Tensor& a, const Tensor& b) {
   check_rank2(b, "matmul_tn rhs");
   const std::int64_t k = a.dim(0), m = a.dim(1), n = b.dim(1);
   if (b.dim(0) != k) throw std::invalid_argument("matmul_tn inner-dim mismatch");
+  static std::atomic<std::uint64_t> tick{0};
+  KernelTimer timer(tick, "kernel.matmul_tn_ns");
   Tensor c({m, n});
   // Row i of C reads column i of A: element (i, kk) sits at pa[kk * m + i].
   gemm_rows_parallel(a.data(), /*a_rs=*/1, /*a_ks=*/m, b.data(), c.data(), m, k, n);
@@ -243,6 +271,8 @@ Tensor matmul_nt(const Tensor& a, const Tensor& b) {
   check_rank2(b, "matmul_nt rhs");
   const std::int64_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
   if (b.dim(1) != k) throw std::invalid_argument("matmul_nt inner-dim mismatch");
+  static std::atomic<std::uint64_t> tick{0};
+  KernelTimer timer(tick, "kernel.matmul_nt_ns");
   Tensor c({m, n});
   const float* pa = a.data();
   const float* pb = b.data();
@@ -262,6 +292,8 @@ Tensor im2col(const Tensor& input, const Conv2dSpec& spec) {
   const std::int64_t oh = spec.out_size(h), ow = spec.out_size(w);
   const std::int64_t kernel = spec.kernel, stride = spec.stride, pad = spec.padding;
   const std::int64_t patch = c * kernel * kernel;
+  static std::atomic<std::uint64_t> tick{0};
+  KernelTimer timer(tick, "kernel.im2col_ns");
   Tensor cols({patch, n * oh * ow});
   const std::int64_t col_stride = n * oh * ow;
   const float* pin = input.data();
@@ -308,6 +340,8 @@ Tensor col2im(const Tensor& cols, const Conv2dSpec& spec, const Shape& input_sha
   const std::int64_t oh = spec.out_size(h), ow = spec.out_size(w);
   const std::int64_t kernel = spec.kernel, stride = spec.stride, pad = spec.padding;
   const std::int64_t col_stride = n * oh * ow;
+  static std::atomic<std::uint64_t> tick{0};
+  KernelTimer timer(tick, "kernel.col2im_ns");
   Tensor out(input_shape);
   const float* pc = cols.data();
   float* pout = out.data();

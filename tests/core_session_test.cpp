@@ -100,6 +100,48 @@ TEST_F(SessionFixture, TrafficStructureMatchesCostModel) {
   }
 }
 
+TEST_F(SessionFixture, BytesByTypeAccountsForEveryMessage) {
+  for (const Scheme scheme : {Scheme::kRPoLv1, Scheme::kRPoLv2}) {
+    HonestPolicy honest;
+    const SessionOutcome outcome = run(scheme, honest);
+    ASSERT_TRUE(outcome.accepted) << scheme_name(scheme);
+    std::uint64_t typed_total = 0;
+    for (const std::uint64_t b : outcome.bytes_by_type) typed_total += b;
+    // The taxonomy is exhaustive: every byte crossing the channel is
+    // attributed to exactly one message type.
+    EXPECT_EQ(typed_total, outcome.bytes_to_worker + outcome.bytes_to_manager)
+        << scheme_name(scheme);
+    // An honest exchange uses every message type at least once.
+    for (int t = 0; t < kNumMessageTypes; ++t) {
+      EXPECT_GT(outcome.bytes_by_type[static_cast<std::size_t>(t)], 0u)
+          << scheme_name(scheme) << " "
+          << message_type_name(static_cast<MessageType>(t));
+    }
+    // The global state download dominates announcements, and proofs carry
+    // full states so responses dominate requests.
+    EXPECT_GT(outcome.bytes_by_type[static_cast<std::size_t>(
+                  MessageType::kGlobalState)],
+              outcome.bytes_by_type[static_cast<std::size_t>(
+                  MessageType::kAnnouncement)]);
+    EXPECT_GT(outcome.bytes_by_type[static_cast<std::size_t>(
+                  MessageType::kProofResponse)],
+              outcome.bytes_by_type[static_cast<std::size_t>(
+                  MessageType::kProofRequest)]);
+  }
+}
+
+TEST_F(SessionFixture, MessageTypeNamesAreStable) {
+  // These names form the "bytes.<type>" counter namespace in trace exports
+  // (docs/observability.md) — renaming them breaks trace consumers.
+  EXPECT_STREQ(message_type_name(MessageType::kAnnouncement), "announcement");
+  EXPECT_STREQ(message_type_name(MessageType::kGlobalState), "state");
+  EXPECT_STREQ(message_type_name(MessageType::kCommitment), "commitment");
+  EXPECT_STREQ(message_type_name(MessageType::kUpdate), "update");
+  EXPECT_STREQ(message_type_name(MessageType::kProofRequest), "proof_request");
+  EXPECT_STREQ(message_type_name(MessageType::kProofResponse),
+               "proof_response");
+}
+
 TEST_F(SessionFixture, BaselineSchemeRejected) {
   HonestPolicy honest;
   EXPECT_THROW(run(Scheme::kBaseline, honest), std::invalid_argument);

@@ -1,0 +1,268 @@
+// Exporter & analyzer coverage for the observability layer (src/obs):
+// golden-line checks of the rpol.trace.v1 JSONL schema, a full
+// export -> parse round trip through the analyzer, the empty-trace and
+// disabled-registry edge cases, histogram bucket math, and the shared
+// sim::percentile quantile routine.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/analyze.h"
+#include "obs/obs.h"
+#include "sim/stats.h"
+
+namespace rpol {
+namespace {
+
+// Every test starts from a disabled, empty registry and leaves it that way,
+// so obs state never leaks across tests (or into other suites' processes).
+class ObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::set_enabled(false);
+    obs::Registry::instance().reset();
+  }
+  void TearDown() override {
+    obs::set_enabled(false);
+    obs::Registry::instance().reset();
+  }
+};
+
+std::vector<std::string> export_lines() {
+  const char* path = "obs_trace_test_out.jsonl";
+  EXPECT_TRUE(obs::Registry::instance().export_jsonl_file(path));
+  std::ifstream in(path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+// ---------------------------------------------------------------------------
+// sim::percentile (shared by analyzer summaries and the bench harness)
+
+TEST(Percentile, EndpointsAndMedian) {
+  const std::vector<double> xs = {5.0, 1.0, 3.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(sim::percentile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(sim::percentile(xs, 50.0), 3.0);
+  EXPECT_DOUBLE_EQ(sim::percentile(xs, 100.0), 5.0);
+}
+
+TEST(Percentile, LinearInterpolationR7) {
+  const std::vector<double> xs = {10.0, 20.0};
+  EXPECT_DOUBLE_EQ(sim::percentile(xs, 25.0), 12.5);
+  EXPECT_DOUBLE_EQ(sim::percentile(xs, 75.0), 17.5);
+  // Singleton: every percentile is the single value.
+  EXPECT_DOUBLE_EQ(sim::percentile({7.0}, 95.0), 7.0);
+}
+
+TEST(Percentile, RejectsBadInput) {
+  EXPECT_THROW(sim::percentile({}, 50.0), std::invalid_argument);
+  EXPECT_THROW(sim::percentile({1.0}, -1.0), std::invalid_argument);
+  EXPECT_THROW(sim::percentile({1.0}, 101.0), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Histogram bucket math
+
+TEST(Histogram, SmallValuesGetExactBuckets) {
+  for (std::uint64_t v = 0; v < 8; ++v) {
+    EXPECT_EQ(obs::Histogram::bucket_index(v), static_cast<int>(v));
+    EXPECT_EQ(obs::Histogram::bucket_upper_bound(static_cast<int>(v)), v);
+  }
+}
+
+TEST(Histogram, BucketBoundsAreConsistent) {
+  // Each value lands in exactly the bucket whose bound interval covers it.
+  for (int i = 0; i < obs::Histogram::kNumBuckets - 1; ++i) {
+    const std::uint64_t ub = obs::Histogram::bucket_upper_bound(i);
+    EXPECT_EQ(obs::Histogram::bucket_index(ub), i) << "bucket " << i;
+    EXPECT_EQ(obs::Histogram::bucket_index(ub + 1), i + 1) << "bucket " << i;
+    EXPECT_LT(ub, obs::Histogram::bucket_upper_bound(i + 1));
+  }
+  EXPECT_EQ(obs::Histogram::bucket_index(UINT64_MAX),
+            obs::Histogram::kNumBuckets - 1);
+}
+
+TEST(Histogram, RecordsAndApproximatesPercentiles) {
+  obs::Histogram h("t");
+  for (std::uint64_t v = 1; v <= 100; ++v) h.record(v * 1000);
+  EXPECT_EQ(h.count(), 100U);
+  EXPECT_EQ(h.max(), 100'000U);
+  // Log-linear buckets bound the relative error at ~12.5% (upper estimate).
+  const std::uint64_t p50 = h.approx_percentile(50.0);
+  EXPECT_GE(p50, 50'000U);
+  EXPECT_LE(p50, 58'000U);
+  const std::uint64_t p95 = h.approx_percentile(95.0);
+  EXPECT_GE(p95, 95'000U);
+  EXPECT_LE(p95, 108'000U);
+  // Empty histogram reports 0 everywhere.
+  obs::Histogram empty("e");
+  EXPECT_EQ(empty.approx_percentile(50.0), 0U);
+}
+
+// ---------------------------------------------------------------------------
+// Exporter schema (golden lines) and analyzer round trip
+
+TEST_F(ObsTest, GoldenJsonlSchema) {
+  obs::set_enabled(true);
+  obs::count("bytes.commitment", 42);
+  obs::gauge("runtime.threads").set(4.0);
+  obs::histogram("kernel.matmul_ns").record(5);
+  {
+    obs::Span root("epoch", 0, -1, 3);
+    obs::Span child("train", root.id(), 1, 3);
+    child.attr("storage_bytes", std::uint64_t{1024});
+    child.attr("note", std::string_view("a\"b"));
+  }
+
+  const std::vector<std::string> lines = export_lines();
+  ASSERT_EQ(lines.size(), 6U);  // meta, counter, gauge, histogram, 2 spans
+  EXPECT_EQ(lines[0].rfind("{\"type\":\"meta\",\"schema\":\"rpol.trace.v1\","
+                           "\"wall_unix_ns\":",
+                           0),
+            0U);
+  EXPECT_EQ(lines[1],
+            "{\"type\":\"counter\",\"name\":\"bytes.commitment\",\"value\":42}");
+  EXPECT_EQ(lines[2],
+            "{\"type\":\"gauge\",\"name\":\"runtime.threads\",\"value\":4}");
+  EXPECT_EQ(lines[3].rfind("{\"type\":\"histogram\",\"name\":\"kernel.matmul_"
+                           "ns\",\"count\":1,\"sum\":5,\"max\":5,",
+                           0),
+            0U);
+  EXPECT_NE(lines[3].find("\"buckets\":[[5,1]]"), std::string::npos);
+  // Spans export in completion order: the child closes before the root.
+  EXPECT_EQ(lines[4].rfind("{\"type\":\"span\",\"id\":2,\"parent\":1,"
+                           "\"name\":\"train\",\"worker\":1,\"epoch\":3,",
+                           0),
+            0U);
+  EXPECT_NE(lines[4].find("\"storage_bytes\":1024"), std::string::npos);
+  EXPECT_NE(lines[4].find("\"note\":\"a\\\"b\""), std::string::npos);
+  EXPECT_EQ(lines[5].rfind("{\"type\":\"span\",\"id\":1,\"parent\":0,"
+                           "\"name\":\"epoch\",\"worker\":-1,\"epoch\":3,",
+                           0),
+            0U);
+}
+
+TEST_F(ObsTest, ExportParsesBackLosslessly) {
+  obs::set_enabled(true);
+  obs::count("bytes.state", 123'456'789'012ULL);  // needs u64 round trip
+  obs::count("bytes.update", 7);
+  obs::count("verify.accept", 2);
+  obs::gauge("table3.RPoLv2.capital_usd").set(5.46);
+  obs::histogram("kernel.matmul_ns").record(1000);
+  obs::histogram("kernel.matmul_ns").record(2000);
+  {
+    obs::Span verify("verify", 0, 2, 1);
+    verify.attr("accepted", true);
+    verify.attr("double_checks", std::int64_t{1});
+  }
+  ASSERT_TRUE(obs::Registry::instance().export_jsonl_file(
+      "obs_trace_test_out.jsonl"));
+
+  const obs::Trace trace = obs::load_trace_file("obs_trace_test_out.jsonl");
+  EXPECT_EQ(trace.schema, "rpol.trace.v1");
+  EXPECT_GT(trace.wall_unix_ns, 0U);
+  EXPECT_EQ(trace.counters.at("bytes.state"), 123'456'789'012ULL);
+  EXPECT_EQ(trace.counters.at("verify.accept"), 2U);
+  EXPECT_DOUBLE_EQ(trace.gauges.at("table3.RPoLv2.capital_usd"), 5.46);
+  ASSERT_EQ(trace.histograms.size(), 1U);
+  EXPECT_EQ(trace.histograms[0].count, 2U);
+  EXPECT_EQ(trace.histograms[0].sum, 3000U);
+  ASSERT_EQ(trace.spans.size(), 1U);
+  EXPECT_EQ(trace.spans[0].name, "verify");
+  EXPECT_EQ(trace.spans[0].worker, 2);
+  EXPECT_EQ(trace.spans[0].epoch, 1);
+
+  const obs::TraceSummary summary = obs::summarize_trace(trace);
+  EXPECT_EQ(summary.bytes_total, 123'456'789'019ULL);
+  ASSERT_EQ(summary.bytes_by_type.size(), 2U);
+  EXPECT_EQ(summary.bytes_by_type[0].first, "state");
+  ASSERT_EQ(summary.workers.size(), 1U);
+  EXPECT_EQ(summary.workers[0].worker, 2);
+  EXPECT_EQ(summary.workers[0].accepts, 1);
+  EXPECT_EQ(summary.workers[0].double_checks, 1);
+  ASSERT_EQ(summary.phases.size(), 1U);
+  EXPECT_EQ(summary.phases[0].name, "verify");
+  EXPECT_EQ(summary.phases[0].count, 1U);
+}
+
+TEST_F(ObsTest, EmptyTraceExportsMetaOnlyAndSummarizes) {
+  obs::set_enabled(true);
+  const std::vector<std::string> lines = export_lines();
+  ASSERT_EQ(lines.size(), 1U);  // just the meta line
+
+  const obs::Trace trace = obs::load_trace_file("obs_trace_test_out.jsonl");
+  EXPECT_TRUE(trace.spans.empty());
+  EXPECT_TRUE(trace.counters.empty());
+  const obs::TraceSummary summary = obs::summarize_trace(trace);
+  EXPECT_EQ(summary.wall_extent_s, 0.0);
+  EXPECT_TRUE(summary.phases.empty());
+  EXPECT_EQ(summary.bytes_total, 0U);
+  // Printing an empty trace must not crash.
+  obs::print_trace_summary(trace, stdout);
+}
+
+TEST_F(ObsTest, ParserRejectsMalformedInput) {
+  std::istringstream empty("");
+  EXPECT_THROW(obs::parse_trace_jsonl(empty), std::runtime_error);
+  std::istringstream no_meta(
+      "{\"type\":\"counter\",\"name\":\"x\",\"value\":1}\n");
+  EXPECT_THROW(obs::parse_trace_jsonl(no_meta), std::runtime_error);
+  std::istringstream bad_schema(
+      "{\"type\":\"meta\",\"schema\":\"other.v9\",\"wall_unix_ns\":1}\n");
+  EXPECT_THROW(obs::parse_trace_jsonl(bad_schema), std::runtime_error);
+  std::istringstream garbage("not json at all\n");
+  EXPECT_THROW(obs::parse_trace_jsonl(garbage), std::runtime_error);
+  EXPECT_THROW(obs::load_trace_file("does_not_exist.jsonl"),
+               std::runtime_error);
+}
+
+TEST_F(ObsTest, DisabledRegistryRecordsNothing) {
+  ASSERT_FALSE(obs::enabled());
+  obs::count("bytes.state", 100);  // guarded: must not register
+  {
+    obs::Span s("epoch");
+    EXPECT_FALSE(s.active());
+    EXPECT_EQ(s.id(), 0U);
+    s.attr("ignored", std::int64_t{1});
+  }
+  EXPECT_EQ(obs::Registry::instance().span_count(), 0U);
+  EXPECT_EQ(obs::maybe_export("obs_trace_test_unwritten.jsonl"), "");
+  // Direct handle use still works (set_enabled only gates the hot paths) —
+  // but the export remains schema-valid either way.
+  const std::vector<std::string> lines = export_lines();
+  ASSERT_EQ(lines.size(), 1U);
+}
+
+TEST_F(ObsTest, ResetZeroesMetricsButKeepsHandles) {
+  obs::set_enabled(true);
+  obs::Counter& c = obs::counter("bytes.update");
+  c.add(5);
+  { obs::Span s("epoch"); }
+  EXPECT_EQ(obs::Registry::instance().span_count(), 1U);
+  obs::Registry::instance().reset();
+  EXPECT_EQ(c.value(), 0U);  // the same handle, zeroed
+  EXPECT_EQ(obs::Registry::instance().span_count(), 0U);
+  c.add(3);
+  EXPECT_EQ(obs::counter("bytes.update").value(), 3U);
+}
+
+TEST_F(ObsTest, SampleTickFiresOneInEvery) {
+  obs::set_enabled(true);
+  std::atomic<std::uint64_t> tick{0};
+  int fired = 0;
+  for (int i = 0; i < 64; ++i) fired += obs::sample_tick(tick, 8) ? 1 : 0;
+  EXPECT_EQ(fired, 8);
+  obs::set_enabled(false);
+  EXPECT_FALSE(obs::sample_tick(tick, 8));
+  EXPECT_EQ(tick.load(), 64U);  // disabled guard skips the increment too
+}
+
+}  // namespace
+}  // namespace rpol

@@ -19,6 +19,7 @@
 #include "crypto/sha256.h"
 #include "data/synthetic.h"
 #include "nn/models.h"
+#include "obs/obs.h"
 #include "runtime/thread_pool.h"
 #include "tensor/ops.h"
 #include "tensor/rng.h"
@@ -292,6 +293,41 @@ TEST(TrainingDeterminism, ParallelVerifierReproducesSerialWorkerCheckpoint) {
   executor.run_steps(0, 2, view, selector, nullptr);
   const Bytes replayed = core::serialize_state(executor.save_state());
   EXPECT_EQ(replayed, worker.checkpoint_bytes[1]);
+}
+
+// The observability layer (src/obs) must be strictly write-only: enabling
+// tracing may record spans and histograms but can never change a single
+// training bit. Train the fixture untraced and traced and require the
+// checkpoint bytes and Merkle commitment roots to be bitwise identical —
+// the tentpole guarantee that RPOL_TRACE=1 runs stay verifiable against
+// untraced workers.
+TEST(TrainingDeterminism, TracedRunIsBitwiseIdenticalToUntraced) {
+  obs::set_enabled(false);
+  obs::Registry::instance().reset();
+  const TrainRun untraced = train_fixture_model(4);
+  EXPECT_EQ(obs::Registry::instance().span_count(), 0U);
+
+  obs::set_enabled(true);
+  obs::Registry::instance().reset();
+  const TrainRun traced = train_fixture_model(4);
+  // Tracing must have actually observed the run (kernel sampling is 1-in-8,
+  // and a training step issues far more than 8 kernel calls)...
+  EXPECT_GT(obs::counter("runtime.parallel_for.calls").value(), 0U);
+  EXPECT_GT(obs::histogram("kernel.matmul_ns").count() +
+                obs::histogram("kernel.matmul_tn_ns").count() +
+                obs::histogram("kernel.matmul_nt_ns").count(),
+            0U);
+  obs::set_enabled(false);
+  obs::Registry::instance().reset();
+
+  // ...without perturbing one byte of protocol state.
+  ASSERT_EQ(untraced.checkpoint_bytes.size(), traced.checkpoint_bytes.size());
+  for (std::size_t i = 0; i < untraced.checkpoint_bytes.size(); ++i) {
+    EXPECT_EQ(untraced.checkpoint_bytes[i], traced.checkpoint_bytes[i])
+        << "checkpoint " << i << " bytes differ between traced and untraced";
+  }
+  EXPECT_TRUE(digest_equal(untraced.commitment.root, traced.commitment.root));
+  EXPECT_TRUE(digest_equal(untraced.merkle_root, traced.merkle_root));
 }
 
 }  // namespace

@@ -5,12 +5,17 @@
 //   calibrate  run one adaptive-calibration pass (alpha/beta/LSH params)
 //   economics  print Theorem-2/3 sampling tables for given parameters
 //   costs      estimate real-scale epoch costs (Tables II/III model)
+//   trace      summarize a JSONL trace produced with RPOL_TRACE=1
 //
 // Examples:
 //   rpol simulate --workers 8 --adversaries 3 --adv-type replay
 //                 --scheme v2 --epochs 6
 //   rpol economics --pr-beta 0.05 --target 0.01
 //   rpol costs --model vgg16 --workers 100 --scheme v1
+//   RPOL_TRACE=1 rpol simulate --epochs 2 && rpol trace
+//
+// `simulate` exports the registry to rpol_trace.jsonl (or RPOL_TRACE_FILE)
+// when RPOL_TRACE is set; `trace` loads and summarizes such a file.
 
 #include <cstdio>
 #include <cstring>
@@ -23,6 +28,8 @@
 #include "data/partition.h"
 #include "data/synthetic.h"
 #include "nn/models.h"
+#include "obs/analyze.h"
+#include "obs/obs.h"
 
 namespace {
 using namespace rpol;
@@ -139,6 +146,21 @@ int cmd_simulate(const Args& args) {
     std::printf(" %llu", static_cast<unsigned long long>(p));
   }
   std::printf("\n");
+  const std::string trace_path = obs::maybe_export("rpol_trace.jsonl");
+  if (!trace_path.empty()) {
+    std::printf("trace written to %s (summarize with `rpol trace --file %s`)\n",
+                trace_path.c_str(), trace_path.c_str());
+  }
+  return 0;
+}
+
+int cmd_trace(const Args& args) {
+  const std::string path = args.get("file", "rpol_trace.jsonl");
+  const obs::Trace trace = obs::load_trace_file(path);
+  std::printf("trace %s: %zu spans, %zu counters, %zu histograms\n",
+              path.c_str(), trace.spans.size(), trace.counters.size(),
+              trace.histograms.size());
+  obs::print_trace_summary(trace, stdout);
   return 0;
 }
 
@@ -247,7 +269,8 @@ void usage() {
       "  calibrate  --seed S --beta-x X --k-lsh K\n"
       "  economics  --pr-beta P --target T --c-train C\n"
       "  costs      --model resnet18|resnet50|vgg16 --workers N --scheme v1|v2\n"
-      "             --q Q --interval I\n");
+      "             --q Q --interval I\n"
+      "  trace      --file rpol_trace.jsonl   (from RPOL_TRACE=1 runs)\n");
 }
 
 }  // namespace
@@ -264,6 +287,7 @@ int main(int argc, char** argv) {
     if (command == "calibrate") return cmd_calibrate(args);
     if (command == "economics") return cmd_economics(args);
     if (command == "costs") return cmd_costs(args);
+    if (command == "trace") return cmd_trace(args);
     usage();
     return 2;
   } catch (const std::exception& e) {

@@ -1,10 +1,11 @@
 #!/usr/bin/env bash
-# Tier-1 verification: configure, build, and run the full test suite twice —
-# once pinned to a single compute thread and once with RPOL_THREADS unset
-# (pool defaults to hardware_concurrency). Both passes must be green: the
-# runtime's determinism contract says thread count can never change results,
-# so a test that passes serially but fails parallel (or vice versa) is a
-# runtime bug, not flakiness.
+# Tier-1 verification: configure, build, and run the full test suite three
+# times — once pinned to a single compute thread, once with RPOL_THREADS unset
+# (pool defaults to hardware_concurrency), and once with RPOL_TRACE=1. All
+# passes must be green: the runtime's determinism contract says neither thread
+# count nor tracing can ever change results, so a test that passes serially
+# but fails parallel (or only fails while traced) is a runtime bug, not
+# flakiness.
 #
 # Usage: tools/run_tier1.sh [build-dir]   (default: build)
 set -euo pipefail
@@ -15,10 +16,13 @@ BUILD_DIR="${1:-build}"
 cmake -B "$BUILD_DIR" -S .
 cmake --build "$BUILD_DIR" -j "$(nproc)"
 
-echo "==> tier-1 pass 1/2: RPOL_THREADS=1"
+echo "==> tier-1 pass 1/3: RPOL_THREADS=1"
 (cd "$BUILD_DIR" && RPOL_THREADS=1 ctest --output-on-failure -j "$(nproc)")
 
-echo "==> tier-1 pass 2/2: RPOL_THREADS unset (default thread count)"
+echo "==> tier-1 pass 2/3: RPOL_THREADS unset (default thread count)"
 (cd "$BUILD_DIR" && env -u RPOL_THREADS ctest --output-on-failure -j "$(nproc)")
 
-echo "==> tier-1 OK: both thread configurations green"
+echo "==> tier-1 pass 3/3: RPOL_TRACE=1 (tracing on; results must not change)"
+(cd "$BUILD_DIR" && RPOL_TRACE=1 ctest --output-on-failure -j "$(nproc)")
+
+echo "==> tier-1 OK: all three configurations green"
