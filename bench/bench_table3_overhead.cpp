@@ -10,6 +10,7 @@
 
 #include "bench_util.h"
 #include "core/costing.h"
+#include "fault/fault.h"
 #include "obs/obs.h"
 
 namespace {
@@ -42,6 +43,20 @@ core::EpochCostReport traced_estimate(core::Scheme scheme) {
   return r;
 }
 
+// Variant rows: communication overhead under a lossy transport. With a
+// uniform drop probability p and the session retry budget, every message is
+// transmitted E[T] = sum_{i<A} p^i times in expectation (fault/fault.h), so
+// upload volume scales by that factor. Mirrored into the same table3.*
+// gauge namespace so BENCH_table3_obs.jsonl carries the lossy rows too.
+double lossy_upload_gb(const core::EpochCostReport& r, double drop_p,
+                       int max_attempts, const std::string& scheme) {
+  const double factor = fault::expected_transmissions(drop_p, max_attempts);
+  const double bytes = static_cast<double>(r.upload_bytes_total) * factor;
+  obs::gauge("table3." + scheme + ".upload_bytes_drop5").set(bytes);
+  obs::gauge("table3." + scheme + ".retransmission_factor").set(factor);
+  return bytes / (1024.0 * 1024.0 * 1024.0);
+}
+
 }  // namespace
 
 int main() {
@@ -68,6 +83,20 @@ int main() {
   std::printf("%-26s %-20.1f %-14.1f %-14.1f\n", "Comm. M&W (GB, uploads)",
               gb(base.upload_bytes_total), gb(v1.upload_bytes_total),
               gb(v2.upload_bytes_total));
+  {
+    // Lossy-transport variant: 5% uniform drop, default retry budget.
+    const fault::RetryPolicy retry;
+    const double drop = 0.05;
+    const double f = fault::expected_transmissions(drop, retry.max_attempts);
+    std::printf("%-26s %-20.1f %-14.1f %-14.1f\n",
+                "  ... under 5% drop (GB)",
+                lossy_upload_gb(base, drop, retry.max_attempts, "baseline"),
+                lossy_upload_gb(v1, drop, retry.max_attempts, "rpol_v1"),
+                lossy_upload_gb(v2, drop, retry.max_attempts, "rpol_v2"));
+    std::printf("%-26s %.2f%% expected retransmission overhead (retry "
+                "budget %d)\n",
+                "", 100.0 * (f - 1.0), retry.max_attempts);
+  }
   std::printf("%-26s %-20.2f %-14.2f %-14.2f\n", "Storage per worker (GB)",
               gb(base.storage_bytes_per_worker), gb(v1.storage_bytes_per_worker),
               gb(v2.storage_bytes_per_worker));

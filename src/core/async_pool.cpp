@@ -21,6 +21,8 @@ AsyncMiningPool::AsyncMiningPool(AsyncPoolConfig config, nn::ModelFactory factor
   for (const auto& w : workers_) {
     if (w.period < 1) throw std::invalid_argument("worker period must be >= 1");
   }
+  consecutive_failures_.assign(workers_.size(), 0);
+  evicted_.assign(workers_.size(), false);
   partitions_ = data::shuffle_and_partition(
       train, static_cast<std::int64_t>(workers_.size()),
       derive_seed(config_.seed, 0xA57A));
@@ -54,10 +56,32 @@ AsyncRunReport AsyncMiningPool::run() {
   for (std::int64_t tick = 1; tick <= config_.ticks; ++tick) {
     for (std::size_t w = 0; w < workers_.size(); ++w) {
       InFlight& job = in_flight_[w];
-      if (job.finish_tick != tick) continue;
+      if (evicted_[w] || job.finish_tick != tick) continue;
 
       obs::Span submission_span("submission", /*parent=*/0,
                                 static_cast<int>(w), tick);
+
+      // Submission transport under the fault plan: the worker retransmits
+      // its trained update up to the retry budget; exhausting it loses this
+      // cadence slot entirely (the manager never sees the trace).
+      bool delivered = true;
+      if (config_.fault_plan != nullptr) {
+        fault::FaultInjector injector(
+            *config_.fault_plan,
+            static_cast<std::uint64_t>(tick) * 256ULL + w);
+        delivered = false;
+        for (int attempt = 0; attempt < config_.retry.max_attempts; ++attempt) {
+          if (attempt > 0) {
+            ++report.retransmissions;
+            obs::count("async.retransmission", 1);
+          }
+          const fault::Delivery d = injector.attempt(/*kCommitment*/ 2);
+          if (d.status == fault::DeliveryStatus::kDelivered && !d.corrupted) {
+            delivered = true;
+            break;
+          }
+        }
+      }
 
       // The worker finishes its local epoch (trained from its grabbed base).
       EpochContext ctx;
@@ -78,8 +102,8 @@ AsyncRunReport AsyncMiningPool::run() {
       submission.worker = w;
       submission.staleness = global_version_ - job.started_at_version;
 
-      bool accepted = true;
-      if (config_.verify) {
+      bool accepted = delivered;
+      if (delivered && config_.verify) {
         sim::DeviceExecution manager_device(
             sim::device_g3090(),
             derive_seed(config_.seed,
@@ -90,10 +114,14 @@ AsyncRunReport AsyncMiningPool::run() {
                        .accepted;
       }
       submission.accepted = accepted;
+      submission.delivered = delivered;
       report.submissions.push_back(submission);
       submission_span.attr("staleness", submission.staleness);
       submission_span.attr("accepted", accepted);
-      obs::count(accepted ? "async.applied" : "async.rejected", 1);
+      submission_span.attr("delivered", delivered);
+      obs::count(!delivered ? "async.lost"
+                            : (accepted ? "async.applied" : "async.rejected"),
+                 1);
 
       if (accepted) {
         const double discount = config_.eta *
@@ -106,8 +134,21 @@ AsyncRunReport AsyncMiningPool::run() {
         }
         ++global_version_;
         ++report.applied;
-      } else {
+      } else if (delivered) {
         ++report.rejected;
+      } else {
+        ++report.lost;
+      }
+
+      // Graceful degradation: consecutive failed submissions (lost or
+      // rejected) evict the worker; the scheduler keeps ticking with the
+      // survivors.
+      if (accepted) {
+        consecutive_failures_[w] = 0;
+      } else if (++consecutive_failures_[w] >= config_.eviction_threshold) {
+        evicted_[w] = true;
+        obs::count("async.eviction", 1);
+        continue;  // never re-arms; finish_tick stays in the past
       }
 
       // The worker immediately grabs the fresh state and starts over.

@@ -20,6 +20,7 @@
 #pragma once
 
 #include "core/verifier.h"
+#include "fault/fault.h"
 
 namespace rpol::core {
 
@@ -40,6 +41,13 @@ struct AsyncPoolConfig {
   double staleness_discount = 0.6;     // gamma
   std::uint64_t seed = 7;
   bool verify = true;                  // false = insecure async baseline
+  // Fault environment on the submission path (nullptr = lossless). A
+  // submission that exhausts the retry budget is lost for that cadence slot;
+  // eviction_threshold consecutive failed submissions retire the worker and
+  // the pool keeps ticking with the survivors.
+  const fault::FaultPlan* fault_plan = nullptr;
+  fault::RetryPolicy retry;
+  std::int64_t eviction_threshold = 3;
 };
 
 struct AsyncSubmission {
@@ -47,6 +55,7 @@ struct AsyncSubmission {
   std::size_t worker = 0;
   std::int64_t staleness = 0;   // global updates since the worker's base
   bool accepted = false;
+  bool delivered = true;        // false: lost to transport, never verified
 };
 
 struct AsyncRunReport {
@@ -55,6 +64,9 @@ struct AsyncRunReport {
   double final_accuracy = 0.0;
   std::int64_t rejected = 0;
   std::int64_t applied = 0;
+  std::int64_t lost = 0;               // submissions lost to transport
+  std::int64_t retransmissions = 0;
+  std::int64_t evicted_workers = 0;    // evicted by the end of the run
 };
 
 class AsyncMiningPool {
@@ -66,6 +78,7 @@ class AsyncMiningPool {
   AsyncRunReport run();
 
   const std::vector<float>& global_model() const { return global_model_; }
+  bool worker_evicted(std::size_t worker) const { return evicted_[worker]; }
 
  private:
   struct InFlight {
@@ -87,6 +100,8 @@ class AsyncMiningPool {
   std::vector<float> global_model_;
   std::vector<float> fresh_optimizer_;
   std::int64_t global_version_ = 0;
+  std::vector<std::int64_t> consecutive_failures_;
+  std::vector<bool> evicted_;
 
   TrainState current_state() const;
 };

@@ -36,18 +36,10 @@ std::vector<double> measure_reproduction_errors(
   return errors;
 }
 
-CalibrationResult calibrate_epoch(const nn::ModelFactory& factory,
-                                  const Hyperparams& hp,
-                                  const EpochContext& manager_context,
-                                  const sim::DeviceProfile& top_device,
-                                  const sim::DeviceProfile& second_device,
-                                  std::uint64_t epoch_seed,
-                                  const CalibrationConfig& config) {
+CalibrationResult derive_thresholds(std::vector<double> errors,
+                                    const CalibrationConfig& config) {
   CalibrationResult result;
-  result.errors = measure_reproduction_errors(
-      factory, hp, manager_context, top_device,
-      derive_seed(epoch_seed, 0xCA11A), second_device,
-      derive_seed(epoch_seed, 0xCA11B));
+  result.errors = std::move(errors);
   if (result.errors.empty()) throw std::logic_error("calibration yielded no errors");
 
   result.max_error = sim::max_value(result.errors);
@@ -61,6 +53,21 @@ CalibrationResult calibrate_epoch(const nn::ModelFactory& factory,
   result.beta = config.beta_x * result.alpha + config.beta_y;
   result.lsh = lsh::optimize_lsh(result.alpha, result.beta, config.k_lsh);
   return result;
+}
+
+CalibrationResult calibrate_epoch(const nn::ModelFactory& factory,
+                                  const Hyperparams& hp,
+                                  const EpochContext& manager_context,
+                                  const sim::DeviceProfile& top_device,
+                                  const sim::DeviceProfile& second_device,
+                                  std::uint64_t epoch_seed,
+                                  const CalibrationConfig& config) {
+  return derive_thresholds(
+      measure_reproduction_errors(factory, hp, manager_context, top_device,
+                                  derive_seed(epoch_seed, 0xCA11A),
+                                  second_device,
+                                  derive_seed(epoch_seed, 0xCA11B)),
+      config);
 }
 
 }  // namespace rpol::core

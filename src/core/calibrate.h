@@ -54,6 +54,16 @@ struct CalibrationResult {
   lsh::TuningResult lsh;           // optimized {r, k, l} + achieved probs
 };
 
+// Threshold derivation from an already-measured error distribution: alpha
+// per the configured mode, beta = beta_x * alpha + beta_y, LSH re-optimized
+// for (alpha, beta). Split out from calibrate_epoch so property tests can
+// sweep synthetic error distributions without paying for training; the
+// invariant it must uphold is that the honest trace used to calibrate is
+// accepted (every measured error <= beta whenever beta_x >= 1 under
+// kMaxPlusSd). Throws on an empty distribution.
+CalibrationResult derive_thresholds(std::vector<double> errors,
+                                    const CalibrationConfig& config);
+
 // Full per-epoch calibration: measure errors on the top-2 devices, derive
 // alpha/beta, optimize LSH.
 CalibrationResult calibrate_epoch(const nn::ModelFactory& factory,

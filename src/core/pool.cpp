@@ -7,6 +7,20 @@
 #include "obs/obs.h"
 
 namespace rpol::core {
+namespace {
+
+// Message-type indices for the pool's analytically modeled legs; values
+// match core::MessageType (session.h) so fault plans configured per type
+// apply identically to sessions and pools. pool.h cannot include session.h
+// (session.h includes pool.h), hence the plain ints the fault layer keys on.
+enum : int {
+  kLegState = 1,
+  kLegCommitment = 2,
+  kLegUpdate = 3,
+  kLegProofResponse = 5,
+};
+
+}  // namespace
 
 std::string scheme_name(Scheme scheme) {
   switch (scheme) {
@@ -27,6 +41,8 @@ MiningPool::MiningPool(PoolConfig config, nn::ModelFactory factory,
       manager_executor_(factory_, config_.hp),
       network_(config_.network, std::max<std::size_t>(workers_.size(), 1)) {
   if (workers_.empty()) throw std::invalid_argument("pool needs >= 1 worker");
+  consecutive_failures_.assign(workers_.size(), 0);
+  evicted_.assign(workers_.size(), false);
   // n+1 i.i.d. parts: the manager keeps part 0 for calibration (Sec. V-C).
   partitions_ = data::shuffle_and_partition(
       train, static_cast<std::int64_t>(workers_.size()) + 1,
@@ -83,7 +99,59 @@ EpochReport MiningPool::run_epoch(std::int64_t epoch) {
   obs::Span epoch_span("epoch", /*parent=*/0, /*worker=*/-1, epoch);
   EpochReport report;
   report.epoch = epoch;
+  report.participated.assign(workers_.size(), true);
+  report.accepted.assign(workers_.size(), true);
   network_.reset_counters();
+
+  // One fault stream per (epoch, worker) link: individually reproducible,
+  // statistically independent. No plan => no injectors, and every deliver()
+  // below is the exact single-transmission legacy path.
+  std::vector<std::optional<fault::FaultInjector>> injectors(workers_.size());
+  if (config_.fault_plan != nullptr) {
+    for (std::size_t w = 0; w < workers_.size(); ++w) {
+      injectors[w].emplace(*config_.fault_plan,
+                           static_cast<std::uint64_t>(epoch) * 4096ULL + w);
+    }
+  }
+
+  // One protocol leg under the fault environment. Every transmission
+  // attempt — retransmissions and duplicates included — puts the full leg
+  // on the WAN and its byte counter: that is what the sender actually
+  // transmitted. Returns false when the retry budget is spent.
+  const auto deliver = [&](std::size_t w, int leg, const char* counter,
+                           std::uint64_t bytes, bool upload,
+                           std::size_t fanout) -> bool {
+    const bool faulty = injectors[w].has_value();
+    const int attempts = faulty ? config_.retry.max_attempts : 1;
+    for (int attempt = 0; attempt < attempts; ++attempt) {
+      if (attempt > 0) {
+        ++report.retransmissions;
+        obs::count("pool.retransmission", 1);
+      }
+      if (upload) {
+        network_.upload(w, bytes, fanout);
+      } else {
+        network_.download(w, bytes, fanout);
+      }
+      obs::count(counter, bytes);
+      if (!faulty) return true;
+      const fault::Delivery d = injectors[w]->attempt(leg);
+      if (d.duplicated) {
+        if (upload) {
+          network_.upload(w, bytes, fanout);
+        } else {
+          network_.download(w, bytes, fanout);
+        }
+        obs::count(counter, bytes);
+      }
+      if (d.status == fault::DeliveryStatus::kDelivered && !d.corrupted) {
+        return true;
+      }
+    }
+    ++report.session_failures;
+    obs::count("pool.session_failure", 1);
+    return false;
+  };
 
   const TrainState initial = initial_state();
   const Digest initial_hash = hash_state(initial);
@@ -131,6 +199,13 @@ EpochReport MiningPool::run_epoch(std::int64_t epoch) {
   std::vector<Commitment> commitments(workers_.size());
   std::vector<EpochContext> contexts(workers_.size());
   for (std::size_t w = 0; w < workers_.size(); ++w) {
+    if (evicted_[w]) {
+      // Evicted workers sit the epoch out; the pool degrades gracefully to
+      // the survivors.
+      report.participated[w] = false;
+      report.accepted[w] = false;
+      continue;
+    }
     EpochContext ctx;
     ctx.epoch = epoch;
     ctx.nonce = worker_nonce(epoch, w);
@@ -138,8 +213,13 @@ EpochReport MiningPool::run_epoch(std::int64_t epoch) {
     ctx.dataset = &partitions_[w + 1];
     contexts[w] = ctx;
 
-    network_.download(w, model_bytes, workers_.size());  // global model out
-    obs::count("bytes.state", model_bytes);
+    // Global model out to the worker.
+    if (!deliver(w, kLegState, "bytes.state", model_bytes, /*upload=*/false,
+                 workers_.size())) {
+      report.participated[w] = false;
+      report.accepted[w] = false;
+      continue;
+    }
 
     sim::DeviceExecution device(
         workers_[w].device,
@@ -162,15 +242,21 @@ EpochReport MiningPool::run_epoch(std::int64_t epoch) {
         config_.compact_commitments
             ? compact_commitment(commitments[w]).byte_size()
             : commitments[w].byte_size();
-    network_.upload(w, model_bytes + commitment_bytes, workers_.size());
-    obs::count("bytes.update", model_bytes);
-    obs::count("bytes.commitment", commitment_bytes);
+    const bool uploaded =
+        deliver(w, kLegUpdate, "bytes.update", model_bytes, /*upload=*/true,
+                workers_.size()) &&
+        deliver(w, kLegCommitment, "bytes.commitment", commitment_bytes,
+                /*upload=*/true, workers_.size());
+    if (!uploaded) {
+      report.participated[w] = false;
+      report.accepted[w] = false;
+      continue;
+    }
     report.worker_storage_bytes =
         std::max(report.worker_storage_bytes, traces[w].storage_bytes());
   }
 
   // Step 3: verification (RPoL schemes).
-  report.accepted.assign(workers_.size(), true);
   if (needs_rpol && config_.decentralized_verification) {
     // Peer-committee verification: each worker is checked by a committee of
     // the OTHER workers (it never votes on itself).
@@ -182,6 +268,7 @@ EpochReport MiningPool::run_epoch(std::int64_t epoch) {
                                                          static_cast<std::uint64_t>(epoch));
     DecentralizedVerifier dec(factory_, config_.hp, dcfg);
     for (std::size_t w = 0; w < workers_.size(); ++w) {
+      if (!report.participated[w]) continue;
       std::vector<VerifierNode> committee;
       for (std::size_t v = 0; v < workers_.size(); ++v) {
         if (v == w) continue;
@@ -205,6 +292,7 @@ EpochReport MiningPool::run_epoch(std::int64_t epoch) {
     const auto [top, second] = top_two_devices();
     (void)second;
     for (std::size_t w = 0; w < workers_.size(); ++w) {
+      if (!report.participated[w]) continue;
       sim::DeviceExecution manager_device(
           top, derive_seed(config_.seed,
                            0xF0000000ULL + static_cast<std::uint64_t>(epoch) * 4096ULL +
@@ -221,15 +309,38 @@ EpochReport MiningPool::run_epoch(std::int64_t epoch) {
       s.attr("double_checks", vr.double_checks);
       s.attr("lsh_mismatches", vr.lsh_mismatches);
       s.attr("reexecuted_steps", vr.reexecuted_steps);
-      report.accepted[w] = vr.accepted;
       report.lsh_mismatches += vr.lsh_mismatches;
       report.double_checks += vr.double_checks;
       report.manager_reexecuted_steps += vr.reexecuted_steps;
-      network_.upload(w, vr.proof_bytes, 1);  // proofs fetched on demand
-      obs::count("bytes.proof_response", vr.proof_bytes);
+      // Proofs fetched on demand; losing them means the manager cannot
+      // reach a verdict, which fails the session rather than rejecting it.
+      if (!deliver(w, kLegProofResponse, "bytes.proof_response",
+                   vr.proof_bytes, /*upload=*/true, 1)) {
+        report.participated[w] = false;
+        report.accepted[w] = false;
+        continue;
+      }
+      report.accepted[w] = vr.accepted;
       if (!vr.accepted) ++report.rejected_count;
     }
   }
+
+  // Graceful degradation: a worker whose session failed this epoch (lost
+  // legs or a rejected verdict) accrues a strike; eviction_threshold
+  // consecutive strikes retire it and subsequent epochs run with the
+  // survivors. One accepted session clears the record.
+  for (std::size_t w = 0; w < workers_.size(); ++w) {
+    if (evicted_[w]) continue;
+    const bool failed = !report.participated[w] || !report.accepted[w];
+    if (!failed) {
+      consecutive_failures_[w] = 0;
+    } else if (++consecutive_failures_[w] >= config_.eviction_threshold) {
+      evicted_[w] = true;
+      obs::count("pool.eviction", 1);
+    }
+  }
+  report.evicted.assign(evicted_.begin(), evicted_.end());
+  for (const bool e : evicted_) report.evicted_count += e ? 1 : 0;
 
   // Aggregation, Eq. (1) with equal |D_w| weights renormalized over the
   // accepted set (FedAvg convention): rejected submissions are excluded
@@ -260,6 +371,8 @@ EpochReport MiningPool::run_epoch(std::int64_t epoch) {
     s.attr("accuracy", report.test_accuracy);
   }
   report.bytes_this_epoch = network_.total_bytes();
+  epoch_span.attr("session_failures", report.session_failures);
+  epoch_span.attr("evicted", report.evicted_count);
   return report;
 }
 
@@ -268,6 +381,8 @@ PoolRunReport MiningPool::run() {
   for (std::int64_t t = 0; t < config_.epochs; ++t) {
     report.epochs.push_back(run_epoch(t));
     report.total_bytes += report.epochs.back().bytes_this_epoch;
+    report.total_session_failures += report.epochs.back().session_failures;
+    report.total_retransmissions += report.epochs.back().retransmissions;
   }
   report.final_accuracy =
       report.epochs.empty() ? 0.0 : report.epochs.back().test_accuracy;

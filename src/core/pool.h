@@ -24,6 +24,7 @@
 
 #include "core/calibrate.h"
 #include "core/decentralized.h"
+#include "fault/fault.h"
 #include "sim/network.h"
 
 namespace rpol::core {
@@ -54,6 +55,16 @@ struct PoolConfig {
   // and sampled transitions travel with logarithmic membership proofs,
   // instead of the default ordered hash list.
   bool compact_commitments = false;
+  // Fault environment on every manager<->worker link. nullptr keeps the
+  // exact lossless accounting (no injector constructed); otherwise each
+  // protocol leg retries under `retry` and a leg that exhausts the budget
+  // fails the worker's session for this epoch.
+  const fault::FaultPlan* fault_plan = nullptr;
+  fault::RetryPolicy retry;
+  // Graceful degradation: a worker whose sessions fail (transport
+  // exhaustion or rejected verification) this many epochs in a row is
+  // evicted and the pool continues each epoch with the survivors.
+  std::int64_t eviction_threshold = 3;
 };
 
 struct WorkerSpec {
@@ -74,12 +85,20 @@ struct EpochReport {
   std::uint64_t bytes_this_epoch = 0;    // WAN traffic
   std::uint64_t worker_storage_bytes = 0;  // max per-worker checkpoint store
   std::int64_t manager_reexecuted_steps = 0;
+  // Fault-environment accounting (all zero without a fault plan).
+  std::vector<bool> participated;        // per worker: completed every leg
+  std::vector<bool> evicted;             // per worker, cumulative
+  std::int64_t session_failures = 0;     // legs lost to transport this epoch
+  std::int64_t retransmissions = 0;      // extra transmissions this epoch
+  std::int64_t evicted_count = 0;        // cumulative evictions so far
 };
 
 struct PoolRunReport {
   std::vector<EpochReport> epochs;
   double final_accuracy = 0.0;
   std::uint64_t total_bytes = 0;
+  std::int64_t total_session_failures = 0;
+  std::int64_t total_retransmissions = 0;
 };
 
 class MiningPool {
@@ -100,6 +119,8 @@ class MiningPool {
   const std::vector<float>& global_model() const { return global_model_; }
   double evaluate_global();
 
+  bool worker_evicted(std::size_t worker) const { return evicted_[worker]; }
+
  private:
   PoolConfig config_;
   nn::ModelFactory factory_;
@@ -116,6 +137,9 @@ class MiningPool {
   std::vector<float> fresh_optimizer_;  // pristine optimizer state template
   CalibrationResult last_calibration_;
   bool calibrated_ = false;
+  // Graceful-degradation bookkeeping, indexed by worker.
+  std::vector<std::int64_t> consecutive_failures_;
+  std::vector<bool> evicted_;
 
   TrainState initial_state() const;
   std::uint64_t worker_nonce(std::int64_t epoch, std::size_t worker) const;

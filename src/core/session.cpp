@@ -18,11 +18,94 @@ const char* message_type_name(MessageType type) {
   return "unknown";
 }
 
+const char* session_status_name(SessionStatus status) {
+  switch (status) {
+    case SessionStatus::kAccepted: return "accepted";
+    case SessionStatus::kVerdictRejected: return "verdict_rejected";
+    case SessionStatus::kDecodeRejected: return "decode_rejected";
+    case SessionStatus::kTimeout: return "timeout";
+  }
+  return "unknown";
+}
+
+static_assert(kNumMessageTypes <= fault::kMaxMessageTypes,
+              "fault plans must be able to profile every message type");
+
 namespace {
 
 void mirror_to_registry(MessageType type, std::uint64_t bytes) {
   if (!obs::enabled()) return;
   obs::counter(std::string("bytes.") + message_type_name(type)).add(bytes);
+}
+
+// One message exchange under the session's retry state machine: transmit
+// through the (possibly faulty) channel, decode-and-validate on the
+// receiving side, retry with exponential backoff on loss or mangling, and
+// classify the failure when the budget runs out. `decode` must throw on any
+// payload the receiver cannot accept; its return value is the exchange's
+// result. `withheld` scripts a byzantine peer that never transmits at all
+// (the sender's timeouts still burn the retry budget).
+struct ExchangeDriver {
+  fault::FaultyChannel<CountingChannel>& channel;
+  const SessionConfig& config;
+  SessionOutcome& outcome;
+  bool failed = false;
+
+  template <typename DecodeFn>
+  auto run(MessageType type, const Bytes& encoded, bool to_worker,
+           DecodeFn&& decode, bool withheld = false)
+      -> std::optional<decltype(decode(encoded))> {
+    const auto type_index = static_cast<std::size_t>(type);
+    bool last_failure_was_decode = false;
+    for (int attempt = 0; attempt < config.retry.max_attempts; ++attempt) {
+      if (attempt > 0) {
+        ++outcome.retries_by_type[type_index];
+        ++outcome.total_retries;
+        outcome.backoff_ticks += fault::backoff_ticks(config.retry, attempt - 1);
+        obs::count("session.retry", 1);
+      }
+      if (withheld) {
+        // The peer stays silent: nothing crosses the wire, the sender's
+        // timer expires, and the retry loop spins down to a timeout.
+        last_failure_was_decode = false;
+        continue;
+      }
+      fault::Delivery delivery =
+          to_worker ? channel.send_to_worker(type, encoded)
+                    : channel.send_to_manager(type, encoded);
+      if (delivery.status != fault::DeliveryStatus::kDelivered) {
+        last_failure_was_decode = false;
+        continue;
+      }
+      if (delivery.payload.size() > config.retry.max_message_bytes) {
+        // Size cap enforced before parsing: a hostile peer cannot force
+        // the receiver to buffer or decode unbounded payloads.
+        obs::count("session.oversize_rejected", 1);
+        last_failure_was_decode = true;
+        continue;
+      }
+      try {
+        return decode(delivery.payload);
+      } catch (const std::exception&) {
+        obs::count("session.decode_reject", 1);
+        last_failure_was_decode = true;
+        continue;
+      }
+    }
+    failed = true;
+    outcome.status = last_failure_was_decode ? SessionStatus::kDecodeRejected
+                                             : SessionStatus::kTimeout;
+    obs::count(std::string("session.fail.") +
+                   session_status_name(outcome.status),
+               1);
+    return std::nullopt;
+  }
+};
+
+// Deterministic checkpoint mutation for the scripted byzantine behaviors;
+// large enough that no honest threshold can absorb it.
+void perturb_state(TrainState& state, float delta) {
+  if (!state.model.empty()) state.model[0] += delta;
 }
 
 }  // namespace
@@ -54,10 +137,31 @@ SessionOutcome run_protocol_session(
   if (config.scheme == Scheme::kRPoLv2 && !config.lsh.has_value()) {
     throw std::invalid_argument("RPoLv2 session needs an LSH config");
   }
+  if (config.retry.max_attempts < 1) {
+    throw std::invalid_argument("retry budget needs >= 1 attempt");
+  }
 
   obs::Span session_span("session");
-  CountingChannel channel;
+  CountingChannel counting;
+  fault::FaultyChannel<CountingChannel> channel(counting, config.fault_plan);
   SessionOutcome outcome;
+  ExchangeDriver exchange{channel, config, outcome};
+  const fault::Byzantine byzantine =
+      config.fault_plan ? config.fault_plan->byzantine
+                        : fault::Byzantine::kNone;
+
+  // Fills transport accounting before any return; keeps every exit path
+  // consistent with the "typed bytes sum to the totals" invariant.
+  const auto finish = [&](SessionOutcome&& out) {
+    out.bytes_to_worker = counting.bytes_to_worker();
+    out.bytes_to_manager = counting.bytes_to_manager();
+    out.bytes_by_type = counting.bytes_by_type();
+    if (const fault::FaultStats* stats = channel.stats()) out.faults = *stats;
+    session_span.attr("status", session_status_name(out.status));
+    session_span.attr("retries", out.total_retries);
+    session_span.attr("backoff_ticks", out.backoff_ticks);
+    return std::move(out);
+  };
 
   // --- Manager -> worker: task announcement + global state. ---------------
   TaskAnnouncement announcement;
@@ -65,28 +169,42 @@ SessionOutcome run_protocol_session(
   announcement.hp = hp;
   announcement.initial_state_hash = hash_state(global_state);
   announcement.lsh = config.lsh;
-  Bytes announce_wire, state_wire;
+  std::optional<TaskAnnouncement> worker_view;
+  std::optional<TrainState> worker_initial;
   {
     obs::Span s("announce", session_span.id());
-    announce_wire = channel.send_to_worker(MessageType::kAnnouncement,
-                                           encode_task_announcement(announcement));
-    state_wire = channel.send_to_worker(MessageType::kGlobalState,
-                                        encode_train_state(global_state));
+    worker_view = exchange.run(
+        MessageType::kAnnouncement, encode_task_announcement(announcement),
+        /*to_worker=*/true,
+        [](const Bytes& b) { return decode_task_announcement(b); });
+    if (!worker_view.has_value()) return finish(std::move(outcome));
+
+    // The worker validates the transfer against the announced hash; a
+    // mismatch (in-flight corruption that still decodes) is indistinct from
+    // a decode failure at the protocol level, so it NACKs and the manager
+    // retransmits.
+    worker_initial = exchange.run(
+        MessageType::kGlobalState, encode_train_state(global_state),
+        /*to_worker=*/true, [&](const Bytes& b) {
+          std::size_t offset = 0;
+          TrainState state = decode_train_state(b, offset);
+          if (offset != b.size()) {
+            throw std::invalid_argument("trailing bytes in state");
+          }
+          if (!digest_equal(hash_state(state),
+                            worker_view->initial_state_hash)) {
+            throw std::runtime_error("state transfer corrupted");
+          }
+          return state;
+        });
+    if (!worker_initial.has_value()) return finish(std::move(outcome));
   }
 
   // --- Worker side: decode, train, commit. --------------------------------
-  const TaskAnnouncement worker_view = decode_task_announcement(announce_wire);
-  std::size_t state_offset = 0;
-  TrainState worker_initial = decode_train_state(state_wire, state_offset);
-  if (!digest_equal(hash_state(worker_initial),
-                    worker_view.initial_state_hash)) {
-    throw std::runtime_error("state transfer corrupted");
-  }
-
-  StepExecutor worker_executor(factory, worker_view.hp);
+  StepExecutor worker_executor(factory, worker_view->hp);
   EpochContext ctx;
-  ctx.nonce = worker_view.nonce;
-  ctx.initial = std::move(worker_initial);
+  ctx.nonce = worker_view->nonce;
+  ctx.initial = std::move(*worker_initial);
   ctx.dataset = &worker_data;
   sim::DeviceExecution worker_gpu(worker_device, worker_run_seed);
   EpochTrace trace;
@@ -96,52 +214,132 @@ SessionOutcome run_protocol_session(
     s.attr("storage_bytes", trace.storage_bytes());
   }
 
+  // Scripted byzantine mutations of what the worker is about to commit.
+  if (byzantine == fault::Byzantine::kStaleCommitmentReplay) {
+    // Replay of a commitment built for an older global state: internally
+    // consistent (hashes match its own checkpoints) but C_0 no longer
+    // matches the state the manager distributed this epoch.
+    for (auto& checkpoint : trace.checkpoints) perturb_state(checkpoint, 0.5F);
+  }
+
   Commitment commitment;
   Bytes commit_wire;
   {
     obs::Span s("commit", session_span.id(), /*worker=*/0);
     if (config.scheme == Scheme::kRPoLv2) {
-      const lsh::PStableLsh hasher(*worker_view.lsh);
+      const lsh::PStableLsh hasher(*worker_view->lsh);
       commitment = commit_v2(trace, hasher, &worker_executor.trainable_mask());
     } else {
       commitment = commit_v1(trace);
     }
-    commit_wire = channel.send_to_manager(MessageType::kCommitment,
-                                          encode_commitment(commitment));
+    commit_wire = encode_commitment(commitment);
+    if (byzantine == fault::Byzantine::kOversizedPayload) {
+      commit_wire.assign(
+          static_cast<std::size_t>(config.fault_plan->oversized_payload_bytes),
+          0xEE);
+    }
+  }
+
+  std::optional<Commitment> manager_commitment;
+  std::optional<TrainState> manager_update;
+  {
+    obs::Span s("submit", session_span.id(), /*worker=*/0);
+    manager_commitment = exchange.run(
+        MessageType::kCommitment, commit_wire, /*to_worker=*/false,
+        [](const Bytes& b) { return decode_commitment(b); });
+    if (!manager_commitment.has_value()) return finish(std::move(outcome));
+
     // The model update itself (final weights) travels with the commitment.
     TrainState update;
     update.model = trace.checkpoints.back().model;
-    channel.send_to_manager(MessageType::kUpdate, encode_train_state(update));
+    manager_update = exchange.run(
+        MessageType::kUpdate, encode_train_state(update), /*to_worker=*/false,
+        [](const Bytes& b) {
+          std::size_t offset = 0;
+          TrainState state = decode_train_state(b, offset);
+          if (offset != b.size()) {
+            throw std::invalid_argument("trailing bytes in update");
+          }
+          return state;
+        });
+    if (!manager_update.has_value()) return finish(std::move(outcome));
   }
 
+  // Worker-side proof store: what proof responses are served from. A forger
+  // keeps an honest commitment but answers requests with doctored states.
+  const auto serve_checkpoint = [&](std::int64_t j) {
+    TrainState state = trace.checkpoints[static_cast<std::size_t>(j)];
+    if (byzantine == fault::Byzantine::kForgedCheckpointState) {
+      perturb_state(state, 1.0e-2F);
+    }
+    return state;
+  };
+  const bool withholds_proofs =
+      byzantine == fault::Byzantine::kProofWithholding;
+
   // --- Manager: sample post-commitment, request proofs. -------------------
-  const Commitment manager_commitment = decode_commitment(commit_wire);
   ProofRequest request;
   request.transitions =
-      sample_transitions(config.sampling_seed, manager_commitment.root,
+      sample_transitions(config.sampling_seed, manager_commitment->root,
                          trace.num_transitions(), config.samples_q);
-  Bytes request_wire, response_wire;
+  std::optional<ProofResponse> manager_response;
   {
     obs::Span s("proof_exchange", session_span.id());
-    request_wire = channel.send_to_worker(MessageType::kProofRequest,
-                                          encode_proof_request(request));
+    const auto worker_request = exchange.run(
+        MessageType::kProofRequest, encode_proof_request(request),
+        /*to_worker=*/true, [&](const Bytes& b) {
+          ProofRequest decoded = decode_proof_request(b);
+          for (const auto j : decoded.transitions) {
+            if (j < 0 || j >= trace.num_transitions()) {
+              throw std::runtime_error("proof request out of range");
+            }
+          }
+          return decoded;
+        });
+    if (!worker_request.has_value()) return finish(std::move(outcome));
 
-    // --- Worker: answer the proof request. --------------------------------
-    const ProofRequest worker_request = decode_proof_request(request_wire);
+    // --- Worker: answer the proof request (or withhold it). ---------------
     ProofResponse response;
-    for (const auto j : worker_request.transitions) {
-      if (j < 0 || j >= trace.num_transitions()) {
-        throw std::runtime_error("proof request out of range");
-      }
-      response.input_states.push_back(
-          trace.checkpoints[static_cast<std::size_t>(j)]);
+    for (const auto j : worker_request->transitions) {
+      response.input_states.push_back(serve_checkpoint(j));
       if (config.scheme == Scheme::kRPoLv1) {
-        response.output_states.push_back(
-            trace.checkpoints[static_cast<std::size_t>(j + 1)]);
+        response.output_states.push_back(serve_checkpoint(j + 1));
       }
     }
-    response_wire = channel.send_to_manager(MessageType::kProofResponse,
-                                            encode_proof_response(response));
+    // The manager validates received proof states against the commitment at
+    // decode time: transport corruption of a proof is indistinguishable from
+    // any other mangled payload, so it NACKs and refetches instead of
+    // blaming the worker. A peer that persistently serves states that do
+    // not hash to its own commitment (forgery) exhausts the budget and is
+    // rejected with kDecodeRejected.
+    manager_response = exchange.run(
+        MessageType::kProofResponse, encode_proof_response(response),
+        /*to_worker=*/false,
+        [&](const Bytes& b) {
+          ProofResponse decoded = decode_proof_response(b);
+          const bool wants_outputs = config.scheme == Scheme::kRPoLv1;
+          if (decoded.input_states.size() != request.transitions.size() ||
+              decoded.output_states.size() !=
+                  (wants_outputs ? request.transitions.size() : 0u)) {
+            throw std::invalid_argument("proof response shape mismatch");
+          }
+          for (std::size_t s = 0; s < request.transitions.size(); ++s) {
+            const auto j = static_cast<std::size_t>(request.transitions[s]);
+            if (j + 1 >= manager_commitment->state_hashes.size()) {
+              throw std::out_of_range("proof transition beyond commitment");
+            }
+            if (!digest_equal(hash_state(decoded.input_states[s]),
+                              manager_commitment->state_hashes[j]) ||
+                (wants_outputs &&
+                 !digest_equal(hash_state(decoded.output_states[s]),
+                               manager_commitment->state_hashes[j + 1]))) {
+              throw std::runtime_error("proof state does not match commitment");
+            }
+          }
+          return decoded;
+        },
+        withholds_proofs);
+    if (!manager_response.has_value()) return finish(std::move(outcome));
   }
 
   // --- Manager: re-execute and decide. -------------------------------------
@@ -150,22 +348,21 @@ SessionOutcome run_protocol_session(
   const std::vector<bool>& mask = manager_executor.trainable_mask();
   std::optional<lsh::PStableLsh> manager_hasher;
   if (config.scheme == Scheme::kRPoLv2) manager_hasher.emplace(*config.lsh);
-  const ProofResponse manager_response = decode_proof_response(response_wire);
   const DeterministicSelector selector(nonce);
   sim::DeviceExecution manager_gpu(manager_device, manager_run_seed);
 
   bool all_passed =
-      digest_equal(manager_commitment.state_hashes.front(),
+      digest_equal(manager_commitment->state_hashes.front(),
                    announcement.initial_state_hash) &&
-      manager_response.input_states.size() == request.transitions.size() &&
+      manager_response->input_states.size() == request.transitions.size() &&
       (config.scheme != Scheme::kRPoLv1 ||
-       manager_response.output_states.size() == request.transitions.size());
+       manager_response->output_states.size() == request.transitions.size());
   for (std::size_t s = 0; all_passed && s < request.transitions.size(); ++s) {
     const std::int64_t j = request.transitions[s];
-    const TrainState& proof_in = manager_response.input_states[s];
+    const TrainState& proof_in = manager_response->input_states[s];
     if (!digest_equal(
             hash_state(proof_in),
-            manager_commitment.state_hashes[static_cast<std::size_t>(j)])) {
+            manager_commitment->state_hashes[static_cast<std::size_t>(j)])) {
       all_passed = false;
       break;
     }
@@ -184,10 +381,10 @@ SessionOutcome run_protocol_session(
     const TrainState replay = manager_executor.save_state();
 
     if (config.scheme == Scheme::kRPoLv1) {
-      const TrainState& claimed = manager_response.output_states[s];
+      const TrainState& claimed = manager_response->output_states[s];
       if (!digest_equal(hash_state(claimed),
                         manager_commitment
-                            .state_hashes[static_cast<std::size_t>(j + 1)])) {
+                            ->state_hashes[static_cast<std::size_t>(j + 1)])) {
         all_passed = false;
         break;
       }
@@ -198,28 +395,40 @@ SessionOutcome run_protocol_session(
           manager_hasher->hash(extract_trainable(replay.model, mask));
       if (!lsh::lsh_match(replay_digest,
                           manager_commitment
-                              .lsh_digests[static_cast<std::size_t>(j + 1)])) {
-        // Double-check round trip: one more request/response pair.
+                              ->lsh_digests[static_cast<std::size_t>(j + 1)])) {
+        // Double-check round trip: one more request/response pair, under
+        // the same retry machinery as every other exchange.
         ++outcome.double_checks;
         obs::count("verify.lsh_mismatch", 1);
         obs::count("verify.double_check", 1);
         ProofRequest dc_request;
         dc_request.transitions = {j};  // re-request: raw output this time
-        channel.send_to_worker(MessageType::kProofRequest,
-                               encode_proof_request(dc_request));
+        const auto dc_seen = exchange.run(
+            MessageType::kProofRequest, encode_proof_request(dc_request),
+            /*to_worker=*/true,
+            [](const Bytes& b) { return decode_proof_request(b); });
+        if (!dc_seen.has_value()) return finish(std::move(outcome));
         ProofResponse dc_response;
-        dc_response.output_states.push_back(
-            trace.checkpoints[static_cast<std::size_t>(j + 1)]);
-        const Bytes dc_wire = channel.send_to_manager(
-            MessageType::kProofResponse, encode_proof_response(dc_response));
-        const ProofResponse dc_decoded = decode_proof_response(dc_wire);
-        const TrainState& claimed = dc_decoded.output_states.front();
-        if (!digest_equal(hash_state(claimed),
-                          manager_commitment
-                              .state_hashes[static_cast<std::size_t>(j + 1)])) {
-          all_passed = false;
-          break;
-        }
+        dc_response.output_states.push_back(serve_checkpoint(j + 1));
+        const auto dc_decoded = exchange.run(
+            MessageType::kProofResponse, encode_proof_response(dc_response),
+            /*to_worker=*/false,
+            [&](const Bytes& b) {
+              ProofResponse decoded = decode_proof_response(b);
+              if (decoded.output_states.size() != 1) {
+                throw std::invalid_argument("double-check shape mismatch");
+              }
+              if (!digest_equal(hash_state(decoded.output_states.front()),
+                                manager_commitment->state_hashes
+                                    [static_cast<std::size_t>(j + 1)])) {
+                throw std::runtime_error(
+                    "proof state does not match commitment");
+              }
+              return decoded;
+            },
+            withholds_proofs);
+        if (!dc_decoded.has_value()) return finish(std::move(outcome));
+        const TrainState& claimed = dc_decoded->output_states.front();
         all_passed = trainable_distance(replay.model, claimed.model, mask) <=
                      config.beta;
       }
@@ -227,14 +436,13 @@ SessionOutcome run_protocol_session(
   }
 
   outcome.accepted = all_passed;
-  outcome.final_model = trace.checkpoints.back().model;
-  outcome.bytes_to_worker = channel.bytes_to_worker();
-  outcome.bytes_to_manager = channel.bytes_to_manager();
-  outcome.bytes_by_type = channel.bytes_by_type();
+  outcome.status =
+      all_passed ? SessionStatus::kAccepted : SessionStatus::kVerdictRejected;
+  outcome.final_model = manager_update->model;
   verify_span.attr("accepted", outcome.accepted);
   verify_span.attr("double_checks", outcome.double_checks);
   obs::count(all_passed ? "verify.accept" : "verify.reject", 1);
-  return outcome;
+  return finish(std::move(outcome));
 }
 
 }  // namespace rpol::core

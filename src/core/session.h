@@ -17,6 +17,14 @@
 // Tests use it to assert that the analytic cost model's message structure
 // matches what the protocol actually sends, and that a malicious worker
 // cannot gain anything by sending malformed bytes (decode rejects them).
+//
+// Robustness: every exchange runs through a bounded timeout/retry/backoff
+// state machine (SessionConfig::retry). An optional fault::FaultPlan drops,
+// corrupts, truncates, duplicates, or delays messages deterministically, and
+// scripts byzantine worker behaviors; the session must then either succeed
+// (honest worker, transport faults within budget) or fail with a typed
+// SessionStatus — never crash, never accept a byzantine peer.
+// tests/fault_conformance_test.cpp sweeps this contract.
 
 #pragma once
 
@@ -24,6 +32,7 @@
 
 #include "core/pool.h"
 #include "core/wire.h"
+#include "fault/fault.h"
 
 namespace rpol::core {
 
@@ -75,17 +84,50 @@ struct SessionConfig {
   double beta = 1e-3;
   std::uint64_t sampling_seed = 77;
   std::optional<lsh::LshConfig> lsh;  // required for kRPoLv2
+  // Fault environment: nullptr means perfect lossless transport and an
+  // honest-transport worker — the exact pre-fault-layer behavior, with no
+  // RNG constructed (fault injection is zero-cost when not installed).
+  const fault::FaultPlan* fault_plan = nullptr;
+  // Timeout/retry/backoff budget the session grants each message exchange.
+  fault::RetryPolicy retry;
 };
+
+// Why a session ended — the typed failure taxonomy (pinned by
+// tests/core_session_test.cpp and swept by tests/fault_conformance_test.cpp):
+//   kAccepted        every exchange delivered and every sampled transition
+//                    verified;
+//   kVerdictRejected all messages arrived but verification failed (hash
+//                    mismatch, distance above beta, LSH + double-check miss);
+//   kDecodeRejected  a message stayed undecodable (or over the size cap)
+//                    for the whole retry budget — malformed beyond what
+//                    transport noise explains within budget;
+//   kTimeout         a message was never delivered within the retry budget
+//                    (drops, delays, or a withholding peer).
+enum class SessionStatus : int {
+  kAccepted = 0,
+  kVerdictRejected,
+  kDecodeRejected,
+  kTimeout,
+};
+
+const char* session_status_name(SessionStatus status);
 
 struct SessionOutcome {
   bool accepted = false;
+  SessionStatus status = SessionStatus::kVerdictRejected;
   std::vector<float> final_model;      // the worker's submitted update
   std::uint64_t bytes_to_worker = 0;   // announcement + global state + request
   std::uint64_t bytes_to_manager = 0;  // commitment + update + proofs
   // Per-message-type breakdown, indexed by MessageType; sums to
-  // bytes_to_worker + bytes_to_manager.
+  // bytes_to_worker + bytes_to_manager (retransmissions and duplicates
+  // included, counted under their type).
   std::array<std::uint64_t, kNumMessageTypes> bytes_by_type{};
   std::int64_t double_checks = 0;
+  // Retry/backoff accounting (all zero on a lossless run).
+  std::array<std::uint64_t, kNumMessageTypes> retries_by_type{};
+  std::int64_t total_retries = 0;
+  std::int64_t backoff_ticks = 0;      // simulated waiting, never wall clock
+  fault::FaultStats faults;            // what the injector actually did
 };
 
 // Runs the complete epoch exchange. The worker side is driven by `policy`

@@ -14,6 +14,11 @@ namespace {
 // accept/reject decision.
 void record_verdict(const VerifyResult& result) {
   obs::count(result.accepted ? "verify.accept" : "verify.reject", 1);
+  if (!result.accepted) {
+    obs::count(std::string("verify.reject.") +
+                   verify_failure_name(result.failure),
+               1);
+  }
   if (result.lsh_mismatches > 0) {
     obs::count("verify.lsh_mismatch",
                static_cast<std::uint64_t>(result.lsh_mismatches));
@@ -24,7 +29,30 @@ void record_verdict(const VerifyResult& result) {
   }
 }
 
+// First-failure classification of one failed transition check.
+VerifyFailure classify_check(const TransitionCheck& check) {
+  if (!check.hash_ok) return VerifyFailure::kHashMismatch;
+  if (check.double_checked) return VerifyFailure::kLshMismatch;
+  return VerifyFailure::kDistance;
+}
+
+void note_failure(VerifyResult& result, VerifyFailure failure) {
+  if (result.failure == VerifyFailure::kNone) result.failure = failure;
+}
+
 }  // namespace
+
+const char* verify_failure_name(VerifyFailure failure) {
+  switch (failure) {
+    case VerifyFailure::kNone: return "none";
+    case VerifyFailure::kMalformed: return "malformed";
+    case VerifyFailure::kInitialBinding: return "initial_binding";
+    case VerifyFailure::kHashMismatch: return "hash_mismatch";
+    case VerifyFailure::kDistance: return "distance";
+    case VerifyFailure::kLshMismatch: return "lsh_mismatch";
+  }
+  return "unknown";
+}
 
 std::vector<std::int64_t> sample_transitions(std::uint64_t seed,
                                              const Digest& commitment_root,
@@ -93,11 +121,13 @@ VerifyResult Verifier::verify_compact(const CompactCommitment& compact,
       compact.num_checkpoints != static_cast<std::int64_t>(trace.checkpoints.size()) ||
       compact.version != full.version ||
       trace.step_of != hp_.checkpoint_boundaries()) {
+    result.failure = VerifyFailure::kMalformed;
     record_verdict(result);
     return result;
   }
   const bool use_lsh = compact.version == CommitmentVersion::kV2;
   if (use_lsh != config_.use_lsh) {
+    result.failure = VerifyFailure::kMalformed;
     record_verdict(result);
     return result;
   }
@@ -111,6 +141,7 @@ VerifyResult Verifier::verify_compact(const CompactCommitment& compact,
         leaf0.in_membership.path_index() != 0 ||
         !MerkleTree::verify(compact.state_root, leaf0.in_hash,
                             leaf0.in_membership)) {
+      result.failure = VerifyFailure::kInitialBinding;
       record_verdict(result);
       return result;
     }
@@ -133,6 +164,7 @@ VerifyResult Verifier::verify_compact(const CompactCommitment& compact,
     result.proof_bytes += proof.byte_size();
     check.hash_ok = verify_transition_proof(compact, proof);
     if (!check.hash_ok) {
+      note_failure(result, VerifyFailure::kHashMismatch);
       all_passed = false;
       result.checks.push_back(check);
       continue;
@@ -142,6 +174,7 @@ VerifyResult Verifier::verify_compact(const CompactCommitment& compact,
     const TrainState& proof_in = trace.checkpoints[static_cast<std::size_t>(j)];
     result.proof_bytes += proof_in.byte_size();
     if (!digest_equal(hash_state(proof_in), proof.in_hash)) {
+      note_failure(result, VerifyFailure::kHashMismatch);
       check.hash_ok = false;
       all_passed = false;
       result.checks.push_back(check);
@@ -188,6 +221,7 @@ VerifyResult Verifier::verify_compact(const CompactCommitment& compact,
         }
       }
     }
+    if (!check.passed) note_failure(result, classify_check(check));
     all_passed = all_passed && check.passed;
     result.checks.push_back(check);
   }
@@ -209,16 +243,19 @@ VerifyResult Verifier::verify(const Commitment& commitment,
   if (transitions <= 0 ||
       commitment.state_hashes.size() != trace.checkpoints.size() ||
       trace.step_of != hp_.checkpoint_boundaries()) {
+    result.failure = VerifyFailure::kMalformed;
     record_verdict(result);
     return result;  // malformed => reject
   }
   if (!commitment_consistent(commitment)) {
+    result.failure = VerifyFailure::kMalformed;
     record_verdict(result);
     return result;
   }
 
   // The first checkpoint must be exactly the state the manager handed out.
   if (!digest_equal(commitment.state_hashes.front(), expected_initial_hash)) {
+    result.failure = VerifyFailure::kInitialBinding;
     record_verdict(result);
     return result;
   }
@@ -238,6 +275,7 @@ VerifyResult Verifier::verify(const Commitment& commitment,
     check.hash_ok = digest_equal(hash_state(proof_in),
                                  commitment.state_hashes[static_cast<std::size_t>(j)]);
     if (!check.hash_ok) {
+      note_failure(result, VerifyFailure::kHashMismatch);
       all_passed = false;
       result.checks.push_back(check);
       continue;
@@ -293,6 +331,7 @@ VerifyResult Verifier::verify(const Commitment& commitment,
         }
       }
     }
+    if (!check.passed) note_failure(result, classify_check(check));
     all_passed = all_passed && check.passed;
     result.checks.push_back(check);
   }

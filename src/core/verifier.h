@@ -48,8 +48,23 @@ struct TransitionCheck {
   bool passed = false;
 };
 
+// Why a verification rejected (kNone when accepted). The first failing
+// condition wins; each rejection also bumps a `verify.reject.<reason>`
+// counter so traces can break verdicts down by cause.
+enum class VerifyFailure : int {
+  kNone = 0,        // accepted
+  kMalformed,       // wrong shapes/boundaries/version — rejected unsampled
+  kInitialBinding,  // C_0 does not hash-match the distributed state
+  kHashMismatch,    // a fetched proof state failed its commitment hash check
+  kDistance,        // re-execution distance above beta (v1 or double-check)
+  kLshMismatch,     // LSH miss whose double-check also failed
+};
+
+const char* verify_failure_name(VerifyFailure failure);
+
 struct VerifyResult {
   bool accepted = false;
+  VerifyFailure failure = VerifyFailure::kNone;
   std::vector<TransitionCheck> checks;
   std::uint64_t proof_bytes = 0;        // states fetched from the worker
   std::int64_t reexecuted_steps = 0;    // manager compute

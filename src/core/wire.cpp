@@ -1,15 +1,11 @@
 #include "core/wire.h"
 
+#include <limits>
 #include <stdexcept>
 
 namespace rpol::core {
 
 namespace {
-
-constexpr std::uint8_t kTagTask = 0x01;
-constexpr std::uint8_t kTagCommitment = 0x02;
-constexpr std::uint8_t kTagProofRequest = 0x03;
-constexpr std::uint8_t kTagProofResponse = 0x04;
 
 void append_digest(Bytes& out, const Digest& d) {
   out.insert(out.end(), d.begin(), d.end());
@@ -112,18 +108,27 @@ TaskAnnouncement decode_task_announcement(const Bytes& in) {
   msg.hp = read_hyperparams(in, offset);
   msg.initial_state_hash = read_digest(in, offset);
   if (offset >= in.size()) throw std::out_of_range("truncated announcement");
-  const bool has_lsh = in[offset++] != 0;
-  if (has_lsh) {
+  // Only 0/1 are canonical: any other flag byte would decode to a message
+  // that re-encodes differently, breaking encode(decode(x)) == x.
+  const std::uint8_t lsh_flag = in[offset++];
+  if (lsh_flag > 1) throw std::invalid_argument("bad lsh flag");
+  if (lsh_flag == 1) {
     lsh::LshConfig cfg;
     cfg.params.r = read_f32(in, offset);
-    cfg.params.k = static_cast<int>(read_i64(in, offset));
-    cfg.params.l = static_cast<int>(read_i64(in, offset));
+    // k and l travel as i64 but live in int fields: values beyond int range
+    // would truncate on decode and re-encode differently, so they are
+    // rejected to keep the encoding canonical.
+    const std::int64_t k = read_i64(in, offset);
+    const std::int64_t l = read_i64(in, offset);
     cfg.dim = read_i64(in, offset);
     cfg.seed = read_u64(in, offset);
-    if (cfg.params.r <= 0.0 || cfg.params.k < 1 || cfg.params.l < 1 ||
-        cfg.dim <= 0) {
+    constexpr std::int64_t kMaxHashes = std::numeric_limits<int>::max();
+    if (cfg.params.r <= 0.0 || k < 1 || k > kMaxHashes || l < 1 ||
+        l > kMaxHashes || cfg.dim <= 0) {
       throw std::invalid_argument("bad LSH config");
     }
+    cfg.params.k = static_cast<int>(k);
+    cfg.params.l = static_cast<int>(l);
     msg.lsh = cfg;
   }
   check_consumed(in, offset);

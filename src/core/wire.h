@@ -20,6 +20,14 @@
 
 namespace rpol::core {
 
+// Leading tag byte of each framed message kind. Exposed so structure-aware
+// fuzzers (tests/core_wire_fuzz_test.cpp) can build seeds and lie about
+// framing without re-deriving magic numbers.
+inline constexpr std::uint8_t kTagTask = 0x01;
+inline constexpr std::uint8_t kTagCommitment = 0x02;
+inline constexpr std::uint8_t kTagProofRequest = 0x03;
+inline constexpr std::uint8_t kTagProofResponse = 0x04;
+
 struct TaskAnnouncement {
   std::int64_t epoch = 0;
   std::uint64_t nonce = 0;

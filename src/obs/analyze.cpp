@@ -455,6 +455,27 @@ void print_trace_summary(const Trace& trace, std::FILE* out) {
                    counter_or_zero("verify.lsh_mismatch")),
                static_cast<unsigned long long>(
                    counter_or_zero("verify.double_check")));
+  // Fault/retry resilience counters (src/fault/): only printed when the run
+  // saw transport faults or evictions, so fault-free traces are unchanged.
+  const std::uint64_t retries = counter_or_zero("session.retry") +
+                                counter_or_zero("pool.retransmission") +
+                                counter_or_zero("async.retransmission");
+  const std::uint64_t session_failures =
+      counter_or_zero("pool.session_failure") + counter_or_zero("async.lost");
+  const std::uint64_t evictions =
+      counter_or_zero("pool.eviction") + counter_or_zero("async.eviction");
+  const std::uint64_t decode_rejects =
+      counter_or_zero("session.decode_reject") +
+      counter_or_zero("session.oversize_rejected");
+  if (retries + session_failures + evictions + decode_rejects > 0) {
+    std::fprintf(out,
+                 "fault resilience: retransmissions=%llu session_failures=%llu "
+                 "evictions=%llu decode_rejects=%llu\n",
+                 static_cast<unsigned long long>(retries),
+                 static_cast<unsigned long long>(session_failures),
+                 static_cast<unsigned long long>(evictions),
+                 static_cast<unsigned long long>(decode_rejects));
+  }
   const std::uint64_t pf_calls = counter_or_zero("runtime.parallel_for.calls");
   if (pf_calls > 0) {
     const std::uint64_t pf_inline =

@@ -4,6 +4,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <random>
+#include <stdexcept>
+
 #include "core/calibrate.h"
 #include "data/partition.h"
 #include "sim/stats.h"
@@ -124,6 +128,98 @@ TEST_F(CalibrationFixture, AlphaCoversObservedWorkerErrors) {
   for (const double e : worker_errors) {
     EXPECT_LT(e, calib.beta);
   }
+}
+
+// ---------------------------------------------------------------------------
+// Property tests over derive_thresholds(): seeded synthetic reproduction-
+// error distributions must always yield thresholds that accept the honest
+// trace the calibration was derived from (every measured error stays inside
+// the verifier's acceptance region) while respecting the LSH budget.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// Seeded synthetic reproduction-error distribution. Lognormal matches the
+// heavy-ish right tail of real fp-reassociation noise; the scale sweeps many
+// orders of magnitude so the property holds across task sizes.
+std::vector<double> synthetic_errors(std::uint64_t seed, std::size_t n,
+                                     double scale, double sigma) {
+  std::mt19937_64 rng(seed);
+  std::lognormal_distribution<double> dist(0.0, sigma);
+  std::vector<double> errors;
+  errors.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) errors.push_back(scale * dist(rng));
+  return errors;
+}
+
+}  // namespace
+
+TEST(CalibrationProperty, HonestTraceAlwaysAcceptedUnderMaxPlusSd) {
+  // With alpha = max + sd and beta = beta_x * alpha (beta_x >= 1), every
+  // error in the calibrating distribution is <= beta: the honest trace that
+  // produced the distribution can never be rejected by the distance test.
+  CalibrationConfig cfg;
+  cfg.alpha_mode = AlphaMode::kMaxPlusSd;
+  for (std::uint64_t seed = 1; seed <= 24; ++seed) {
+    const double scale = std::pow(10.0, -9.0 + static_cast<double>(seed % 8));
+    const auto errors =
+        synthetic_errors(seed * 7919, /*n=*/4 + seed % 13, scale,
+                         /*sigma=*/0.25 + 0.1 * static_cast<double>(seed % 5));
+    const CalibrationResult result = derive_thresholds(errors, cfg);
+    EXPECT_DOUBLE_EQ(result.max_error, sim::max_value(errors));
+    EXPECT_GE(result.alpha, result.max_error) << "seed " << seed;
+    for (const double e : errors) {
+      EXPECT_LE(e, result.beta) << "seed " << seed;
+    }
+  }
+}
+
+TEST(CalibrationProperty, LshBudgetAndSeparationHoldAcrossDistributions) {
+  // For every seeded distribution the re-optimized LSH family must respect
+  // the k*l <= K_lsh budget and separate the thresholds: accepting at alpha
+  // is always at least as likely as accepting at beta (alpha < beta).
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    CalibrationConfig cfg;
+    cfg.k_lsh = 4 + static_cast<int>(seed % 3) * 8;  // 4, 12, 20
+    cfg.alpha_mode = seed % 2 == 0 ? AlphaMode::kMaxPlusSd
+                                   : AlphaMode::kMeanPlusSd;
+    const auto errors = synthetic_errors(seed * 104729, /*n=*/8, 1e-4, 0.5);
+    const CalibrationResult result = derive_thresholds(errors, cfg);
+    EXPECT_LT(result.alpha, result.beta) << "seed " << seed;
+    EXPECT_LE(result.lsh.params.k * result.lsh.params.l, cfg.k_lsh)
+        << "seed " << seed;
+    EXPECT_GE(result.lsh.params.k, 1);
+    EXPECT_GE(result.lsh.params.l, 1);
+    EXPECT_GE(result.lsh.pr_alpha, result.lsh.pr_beta) << "seed " << seed;
+  }
+}
+
+TEST(CalibrationProperty, DerivationIsDeterministic) {
+  const auto errors = synthetic_errors(42, 10, 1e-3, 0.4);
+  CalibrationConfig cfg;
+  const CalibrationResult a = derive_thresholds(errors, cfg);
+  const CalibrationResult b = derive_thresholds(errors, cfg);
+  EXPECT_EQ(a.alpha, b.alpha);
+  EXPECT_EQ(a.beta, b.beta);
+  EXPECT_EQ(a.lsh.params.k, b.lsh.params.k);
+  EXPECT_EQ(a.lsh.params.l, b.lsh.params.l);
+  EXPECT_EQ(a.lsh.params.r, b.lsh.params.r);
+}
+
+TEST(CalibrationProperty, DegenerateDistributionsStayWellPosed) {
+  CalibrationConfig cfg;
+  // Empty distribution: calibration cannot proceed.
+  EXPECT_THROW(derive_thresholds({}, cfg), std::logic_error);
+  // All-zero errors (bitwise-identical devices): the degenerate guard must
+  // still produce a positive, ordered (alpha, beta) pair.
+  const CalibrationResult zero =
+      derive_thresholds(std::vector<double>(5, 0.0), cfg);
+  EXPECT_GT(zero.alpha, 0.0);
+  EXPECT_GT(zero.beta, zero.alpha);
+  // A single measurement is a legal (if thin) distribution.
+  const CalibrationResult one = derive_thresholds({1e-5}, cfg);
+  EXPECT_GT(one.alpha, 0.0);
+  EXPECT_LE(one.lsh.params.k * one.lsh.params.l, cfg.k_lsh);
 }
 
 TEST_F(CalibrationFixture, PerTaskErrorsLookNormal) {

@@ -170,5 +170,79 @@ TEST_F(SessionFixture, AgreesWithInProcessVerifier) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// SessionStatus taxonomy: the typed failure reason distinguishes protocol
+// verdicts from transport pathologies. Pinned here so downstream consumers
+// (pool eviction, trace analysis, the fault-conformance suite) can rely on
+// the classification.
+// ---------------------------------------------------------------------------
+
+TEST_F(SessionFixture, StatusTaxonomyNamesArePinned) {
+  // These names feed "session.fail.<status>" obs counters and trace
+  // exports — renaming them breaks consumers.
+  EXPECT_STREQ(session_status_name(SessionStatus::kAccepted), "accepted");
+  EXPECT_STREQ(session_status_name(SessionStatus::kVerdictRejected),
+               "verdict_rejected");
+  EXPECT_STREQ(session_status_name(SessionStatus::kDecodeRejected),
+               "decode_rejected");
+  EXPECT_STREQ(session_status_name(SessionStatus::kTimeout), "timeout");
+}
+
+TEST_F(SessionFixture, AcceptedSessionsCarryAcceptedStatus) {
+  for (const Scheme scheme : {Scheme::kRPoLv1, Scheme::kRPoLv2}) {
+    HonestPolicy honest;
+    const SessionOutcome outcome = run(scheme, honest);
+    ASSERT_TRUE(outcome.accepted) << scheme_name(scheme);
+    EXPECT_EQ(outcome.status, SessionStatus::kAccepted) << scheme_name(scheme);
+    // A fault-free session never retries and never backs off.
+    EXPECT_EQ(outcome.total_retries, 0);
+    EXPECT_EQ(outcome.backoff_ticks, 0);
+    EXPECT_EQ(outcome.faults.total_faults(), 0);
+  }
+}
+
+TEST_F(SessionFixture, AdversarialPoliciesClassifyAsVerdictRejected) {
+  // A worker that completes the exchange but fails verification is a
+  // protocol verdict, not a transport failure: the distinction is what lets
+  // pools evict flaky transports without misclassifying cheaters (and vice
+  // versa).
+  for (const Scheme scheme : {Scheme::kRPoLv1, Scheme::kRPoLv2}) {
+    ReplayPolicy replay;
+    const SessionOutcome r = run(scheme, replay);
+    EXPECT_FALSE(r.accepted) << scheme_name(scheme);
+    EXPECT_EQ(r.status, SessionStatus::kVerdictRejected) << scheme_name(scheme);
+    SpoofPolicy spoof(0.1, 0.5);
+    const SessionOutcome s = run(scheme, spoof);
+    EXPECT_FALSE(s.accepted) << scheme_name(scheme);
+    EXPECT_EQ(s.status, SessionStatus::kVerdictRejected) << scheme_name(scheme);
+  }
+}
+
+TEST_F(SessionFixture, StatusAndAcceptedAreCoherent) {
+  // accepted is exactly (status == kAccepted) — redundant storage, but both
+  // fields are public API, so their coherence is an invariant.
+  HonestPolicy honest;
+  SpoofPolicy spoof(0.1, 0.5);
+  for (const Scheme scheme : {Scheme::kRPoLv1, Scheme::kRPoLv2}) {
+    for (WorkerPolicy* policy :
+         std::initializer_list<WorkerPolicy*>{&honest, &spoof}) {
+      const SessionOutcome outcome = run(scheme, *policy);
+      EXPECT_EQ(outcome.accepted, outcome.status == SessionStatus::kAccepted)
+          << scheme_name(scheme);
+    }
+  }
+}
+
+TEST_F(SessionFixture, InvalidRetryPolicyRejected) {
+  HonestPolicy honest;
+  SessionConfig cfg = config(Scheme::kRPoLv1);
+  cfg.retry.max_attempts = 0;
+  EXPECT_THROW(
+      run_protocol_session(task.factory, task.hp, cfg, global, 505, view,
+                           honest, sim::device_ga10(), 3, sim::device_g3090(),
+                           4),
+      std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace rpol::core

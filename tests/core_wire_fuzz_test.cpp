@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <functional>
+
 #include "core/wire.h"
 #include "task_fixture.h"
 
@@ -93,6 +95,197 @@ TEST_F(FuzzFixture, ProofResponseDecoderSurvivesFuzz) {
   resp.output_states.push_back(trace.checkpoints[1]);
   fuzz_decoder(encode_proof_response(resp),
                [](const Bytes& b) { decode_proof_response(b); }, 4, 200);
+}
+
+// ---------------------------------------------------------------------------
+// Structure-aware mutation suite: seeds are valid encodings of all six
+// MessageTypes; mutations are systematic bit flips, truncations at every
+// byte boundary, and lies written into known length fields. Two properties:
+//   * decode never crashes (throwing std::exception is the only exit), and
+//   * any mutation that still decodes must round-trip to EXACTLY the bytes
+//     it was decoded from — the encodings are canonical, so a wire attacker
+//     cannot produce two distinct byte strings for one message value.
+
+// A decode/encode pair closed over one message kind.
+struct Codec {
+  const char* name;
+  std::function<Bytes(const Bytes&)> reencode;  // decode + encode, may throw
+};
+
+// Valid seed encodings of all six protocol message types. The global state
+// and the model update share TrainState framing but are seeded separately
+// so both taxonomy entries are fuzzed.
+struct StructuredSeeds {
+  Bytes announcement;
+  Bytes state;
+  Bytes commitment;
+  Bytes update;
+  Bytes proof_request;
+  Bytes proof_response;
+
+  std::vector<std::pair<Bytes, Codec>> all() const {
+    const Codec announcement_codec{
+        "announcement", [](const Bytes& b) {
+          return encode_task_announcement(decode_task_announcement(b));
+        }};
+    const Codec state_codec{"train_state", [](const Bytes& b) {
+                              std::size_t offset = 0;
+                              const TrainState s = decode_train_state(b, offset);
+                              if (offset != b.size()) {
+                                throw std::invalid_argument("trailing bytes");
+                              }
+                              return encode_train_state(s);
+                            }};
+    const Codec commitment_codec{"commitment", [](const Bytes& b) {
+                                   return encode_commitment(decode_commitment(b));
+                                 }};
+    const Codec request_codec{"proof_request", [](const Bytes& b) {
+                                return encode_proof_request(decode_proof_request(b));
+                              }};
+    const Codec response_codec{"proof_response", [](const Bytes& b) {
+                                 return encode_proof_response(
+                                     decode_proof_response(b));
+                               }};
+    return {{announcement, announcement_codec}, {state, state_codec},
+            {commitment, commitment_codec},     {update, state_codec},
+            {proof_request, request_codec},     {proof_response, response_codec}};
+  }
+};
+
+// Decodes `candidate`; if it decodes at all, the re-encoding must be
+// byte-identical to the candidate.
+void expect_rejects_or_roundtrips(const Codec& codec, const Bytes& candidate) {
+  Bytes reencoded;
+  try {
+    reencoded = codec.reencode(candidate);
+  } catch (const std::exception&) {
+    return;  // rejecting is always conformant
+  }
+  EXPECT_EQ(reencoded, candidate)
+      << codec.name << ": accepted bytes are not canonical";
+}
+
+struct StructuredFuzz : public FuzzFixture {
+  void SetUp() override {
+    FuzzFixture::SetUp();
+    TaskAnnouncement announcement;
+    announcement.epoch = 3;
+    announcement.nonce = 42;
+    announcement.hp = task.hp;
+    announcement.initial_state_hash = hash_state(context.initial);
+    announcement.lsh = lsh::LshConfig{{1.5, 3, 4}, 100, 9};
+    seeds.announcement = encode_task_announcement(announcement);
+    seeds.state = encode_train_state(context.initial);
+    seeds.commitment = encode_commitment(commit_v1(trace));
+    TrainState update;
+    update.model = trace.checkpoints.back().model;
+    seeds.update = encode_train_state(update);
+    seeds.proof_request = encode_proof_request(ProofRequest{{0, 1, 3}});
+    ProofResponse response;
+    response.input_states.push_back(trace.checkpoints[0]);
+    response.output_states.push_back(trace.checkpoints[1]);
+    seeds.proof_response = encode_proof_response(response);
+  }
+
+  StructuredSeeds seeds;
+};
+
+TEST_F(StructuredFuzz, ValidEncodingsOfAllSixTypesRoundTripExactly) {
+  for (const auto& [valid, codec] : seeds.all()) {
+    SCOPED_TRACE(codec.name);
+    EXPECT_EQ(codec.reencode(valid), valid);
+  }
+}
+
+TEST_F(StructuredFuzz, BitFlipsNeverRoundTripToADifferentValue) {
+  // Every single-bit flip of every seed byte: the decoder either rejects or
+  // accepts a message that re-encodes to the flipped bytes themselves (so
+  // the flip changed the VALUE, never created an alias of another value).
+  for (const auto& [valid, codec] : seeds.all()) {
+    SCOPED_TRACE(codec.name);
+    for (std::size_t pos = 0; pos < valid.size(); ++pos) {
+      for (int bit = 0; bit < 8; ++bit) {
+        Bytes mutated = valid;
+        mutated[pos] ^= static_cast<std::uint8_t>(1u << bit);
+        expect_rejects_or_roundtrips(codec, mutated);
+      }
+    }
+  }
+}
+
+TEST_F(StructuredFuzz, TruncationAtEveryBoundaryIsRejected) {
+  // Every strict prefix must throw: all six encodings are self-delimiting
+  // with trailing-byte checks, so losing any suffix is always detectable.
+  for (const auto& [valid, codec] : seeds.all()) {
+    SCOPED_TRACE(codec.name);
+    for (std::size_t len = 0; len < valid.size(); ++len) {
+      Bytes truncated(valid.begin(),
+                      valid.begin() + static_cast<std::ptrdiff_t>(len));
+      EXPECT_THROW(codec.reencode(truncated), std::exception)
+          << "prefix of length " << len << " decoded";
+    }
+  }
+}
+
+TEST_F(StructuredFuzz, LengthFieldLiesAreRejected) {
+  // Overwrite each known length field with lie values. A lied length either
+  // over-reads (throws) or leaves trailing bytes (throws): no lie may
+  // decode.
+  const std::uint64_t lies[] = {0,          1,          1000,
+                                1ull << 32, 1ull << 63, ~0ull};
+  const auto lie_at = [&](const Codec& codec, const Bytes& valid,
+                          std::size_t offset, std::uint64_t original) {
+    for (const std::uint64_t lie : lies) {
+      if (lie == original) continue;
+      Bytes mutated = valid;
+      for (int i = 0; i < 8; ++i) {
+        mutated[offset + static_cast<std::size_t>(i)] =
+            static_cast<std::uint8_t>(lie >> (8 * i));
+      }
+      EXPECT_THROW(codec.reencode(mutated), std::exception)
+          << codec.name << ": length lie " << lie << " at offset " << offset
+          << " decoded";
+    }
+  };
+
+  const auto table = seeds.all();
+  const std::size_t num_checkpoints = trace.checkpoints.size();
+
+  // Commitment: hash count at offset 2, LSH-digest count after the hashes.
+  lie_at(table[2].second, seeds.commitment, 2, num_checkpoints);
+  lie_at(table[2].second, seeds.commitment, 2 + 8 + 32 * num_checkpoints, 0);
+
+  // Proof request: index count at offset 1.
+  lie_at(table[4].second, seeds.proof_request, 1, 3);
+
+  // Proof response: input-state count at offset 1, then the first state's
+  // byte length, then the output-state count after that state.
+  const std::uint64_t state_len =
+      encode_train_state(trace.checkpoints[0]).size();
+  lie_at(table[5].second, seeds.proof_response, 1, 1);
+  lie_at(table[5].second, seeds.proof_response, 9, state_len);
+  lie_at(table[5].second, seeds.proof_response,
+         17 + static_cast<std::size_t>(state_len), 1);
+
+  // TrainState: model float count at offset 0, optimizer count after it.
+  const std::uint64_t model_floats = context.initial.model.size();
+  lie_at(table[1].second, seeds.state, 0, model_floats);
+  lie_at(table[1].second, seeds.state, 8 + 4 * model_floats,
+         context.initial.optimizer.size());
+}
+
+TEST_F(StructuredFuzz, LshPresenceFlagAcceptsOnlyCanonicalBytes) {
+  // The announcement's has-LSH flag is the one bool on the wire; only 0x00
+  // and 0x01 are canonical. Any other byte must be rejected, otherwise 254
+  // distinct encodings would decode to the same message value.
+  const std::size_t flag_offset = seeds.announcement.size() - 37;  // 36B cfg
+  ASSERT_EQ(seeds.announcement[flag_offset], 1);
+  for (int v = 2; v < 256; ++v) {
+    Bytes mutated = seeds.announcement;
+    mutated[flag_offset] = static_cast<std::uint8_t>(v);
+    EXPECT_THROW(decode_task_announcement(mutated), std::exception)
+        << "flag byte " << v << " decoded";
+  }
 }
 
 TEST_F(FuzzFixture, MutatedCommitmentNeverDecodesToDifferentValidRoot) {

@@ -1,13 +1,15 @@
 #!/usr/bin/env bash
-# Tier-1 verification: configure, build, and run the full test suite three
+# Tier-1 verification: configure, build, and run the full test suite five
 # times — once pinned to a single compute thread, once with RPOL_THREADS unset
-# (pool defaults to hardware_concurrency), and once with RPOL_TRACE=1. All
-# passes must be green: the runtime's determinism contract says neither thread
-# count nor tracing can ever change results, so a test that passes serially
-# but fails parallel (or only fails while traced) is a runtime bug, not
-# flakiness.
+# (pool defaults to hardware_concurrency), once with RPOL_TRACE=1, and once
+# each under AddressSanitizer and UndefinedBehaviorSanitizer in separate
+# build trees. All passes must be green: the runtime's determinism contract
+# says neither thread count nor tracing can ever change results, and the
+# fault-injection/fuzz suites push hostile bytes through every decoder, so
+# memory or UB findings anywhere are real bugs, not flakiness.
 #
 # Usage: tools/run_tier1.sh [build-dir]   (default: build)
+# Set RPOL_SKIP_SANITIZERS=1 to run only the three fast passes.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -22,7 +24,22 @@ echo "==> tier-1 pass 1/3: RPOL_THREADS=1"
 echo "==> tier-1 pass 2/3: RPOL_THREADS unset (default thread count)"
 (cd "$BUILD_DIR" && env -u RPOL_THREADS ctest --output-on-failure -j "$(nproc)")
 
-echo "==> tier-1 pass 3/3: RPOL_TRACE=1 (tracing on; results must not change)"
+echo "==> tier-1 pass 3/5: RPOL_TRACE=1 (tracing on; results must not change)"
 (cd "$BUILD_DIR" && RPOL_TRACE=1 ctest --output-on-failure -j "$(nproc)")
 
-echo "==> tier-1 OK: all three configurations green"
+if [[ "${RPOL_SKIP_SANITIZERS:-0}" == "1" ]]; then
+  echo "==> tier-1 OK: three fast configurations green (sanitizers skipped)"
+  exit 0
+fi
+
+echo "==> tier-1 pass 4/5: AddressSanitizer (RPOL_SANITIZE=address)"
+cmake -B "${BUILD_DIR}-asan" -S . -DRPOL_SANITIZE=address
+cmake --build "${BUILD_DIR}-asan" -j "$(nproc)"
+(cd "${BUILD_DIR}-asan" && ctest --output-on-failure -j "$(nproc)")
+
+echo "==> tier-1 pass 5/5: UndefinedBehaviorSanitizer (RPOL_SANITIZE=undefined)"
+cmake -B "${BUILD_DIR}-ubsan" -S . -DRPOL_SANITIZE=undefined
+cmake --build "${BUILD_DIR}-ubsan" -j "$(nproc)"
+(cd "${BUILD_DIR}-ubsan" && ctest --output-on-failure -j "$(nproc)")
+
+echo "==> tier-1 OK: all five configurations green"
