@@ -191,11 +191,15 @@ int main() {
   bench::print_header("Ablations — double-check, K_lsh, checkpoint interval, "
                       "q, adaptive calibration, non-i.i.d. data",
                       "design choices called out in DESIGN.md / Sec. V");
+  const double bench_t0 = bench::now_seconds();
   ablate_double_check();
   ablate_k_lsh();
   ablate_checkpoint_interval();
   ablate_sample_count();
   ablate_adaptive_calibration();
   ablate_noniid_calibration();
+  bench::BenchRecorder recorder("bench_ablations");
+  recorder.add("wall_s", "s", bench::now_seconds() - bench_t0);
+  recorder.write();
   return 0;
 }

@@ -147,7 +147,11 @@ int main() {
       "Future-work extensions — decentralized verification & async learning",
       "Sec. IX: smart-contract fair exchange is tested in chain_escrow_test; "
       "here: committee verification scaling and async pooled training");
+  const double bench_t0 = bench::now_seconds();
   bench_decentralized();
   bench_async();
+  bench::BenchRecorder recorder("bench_extensions");
+  recorder.add("wall_s", "s", bench::now_seconds() - bench_t0);
+  recorder.write();
   return 0;
 }

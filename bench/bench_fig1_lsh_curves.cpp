@@ -83,5 +83,14 @@ int main() {
       "  (K_lsh=24 reaches the quoted 95/5 point: Pr(a)=%.4f Pr(b)=%.4f, "
       "k=%d l=%d)\n",
       tuned24.pr_alpha, tuned24.pr_beta, tuned24.params.k, tuned24.params.l);
+
+  rpol::bench::BenchRecorder recorder("bench_fig1");
+  recorder.add("tuned.k16.pr_alpha", "prob", tuned.pr_alpha,
+               /*higher_is_better=*/true);
+  recorder.add("tuned.k16.pr_beta", "prob", tuned.pr_beta);
+  recorder.add("tuned.k24.pr_alpha", "prob", tuned24.pr_alpha,
+               /*higher_is_better=*/true);
+  recorder.add("tuned.k24.pr_beta", "prob", tuned24.pr_beta);
+  recorder.write();
   return 0;
 }

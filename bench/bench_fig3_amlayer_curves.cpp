@@ -36,7 +36,10 @@ std::vector<double> accuracy_curve(const bench::BenchTask& task,
   return curve;
 }
 
-void run_task(const std::string& which, const char* label, std::int64_t epochs) {
+// Returns the converged accuracy delta (AMLayer minus origin, in fractional
+// accuracy) for the bench registry.
+double run_task(const std::string& which, const char* label,
+                std::int64_t epochs) {
   const auto task = bench::make_conv_task(which, /*seed=*/404, 12, 3);
   std::printf("\nTask %s: %s (%lld epochs x %lld steps)\n", label,
               task->name.c_str(), static_cast<long long>(epochs),
@@ -64,6 +67,7 @@ void run_task(const std::string& which, const char* label, std::int64_t epochs) 
               100.0 * tail_mean(origin), 100.0 * tail_mean(amlayer),
               100.0 * (tail_mean(amlayer) - tail_mean(origin)),
               bench::now_seconds() - t0);
+  return tail_mean(amlayer) - tail_mean(origin);
 }
 
 }  // namespace
@@ -72,7 +76,15 @@ int main() {
   bench::print_header(
       "Fig. 3 — testing accuracy with vs without AMLayer",
       "Sec. VII-B Fig. 3: accuracy curves nearly coincide for both tasks");
-  run_task("resnet18_c10", "A (ResNet18-family / 10-class)", 24);
-  run_task("resnet50_c100", "B (ResNet50-family / 20-class)", 24);
+  const double t0 = bench::now_seconds();
+  const double delta_a = run_task("resnet18_c10", "A (ResNet18-family / 10-class)", 24);
+  const double delta_b = run_task("resnet50_c100", "B (ResNet50-family / 20-class)", 24);
+  bench::BenchRecorder recorder("bench_fig3");
+  recorder.add("taskA.amlayer_acc_delta_pp", "pp", 100.0 * delta_a,
+               /*higher_is_better=*/true);
+  recorder.add("taskB.amlayer_acc_delta_pp", "pp", 100.0 * delta_b,
+               /*higher_is_better=*/true);
+  recorder.add("wall_s", "s", bench::now_seconds() - t0);
+  recorder.write();
   return 0;
 }

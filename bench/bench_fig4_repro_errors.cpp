@@ -81,6 +81,8 @@ int main() {
       "checkpoint interval",
       "Sec. VII-C Fig. 4 + text: error trends across hardware and settings");
 
+  const double bench_t0 = bench::now_seconds();
+  bench::BenchRecorder recorder("bench_fig4");
   const auto devices = sim::all_devices();  // G3090, GA10, GP100, GT4
 
   // (1)+(2): device-pair matrix, averaged over the 5 i.i.d. parts.
@@ -117,6 +119,7 @@ int main() {
                 "cross-pair %.4fe-3 -> %s\n",
                 1e3 * top2, 1e3 * max_other,
                 top2 >= max_other ? "largest (matches paper)" : "NOT largest");
+    recorder.add("repro_error.g3090_ga10.mean", "l2", top2);
   }
 
   // (3): errors across i.i.d. sub-datasets + KS normality.
@@ -194,5 +197,7 @@ int main() {
     }
     std::printf("  (paper: errors increase linearly as the interval grows)\n");
   }
+  recorder.add("wall_s", "s", bench::now_seconds() - bench_t0);
+  recorder.write();
   return 0;
 }

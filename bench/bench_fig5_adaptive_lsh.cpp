@@ -208,10 +208,14 @@ int main() {
   // reproduction errors (more ReLU-boundary events per interval), so its
   // pool manager tunes x up — exactly the knob Sec. V-C exposes
   // ("x and y are tunable for the pool manager").
+  const double bench_t0 = bench::now_seconds();
   run_task("resnet18_c10", 5.0);
   run_task("resnet18_c100", 5.0);
   run_task("resnet50_c10", 25.0);
   run_task("resnet50_c100", 25.0);
+  bench::BenchRecorder recorder("bench_fig5");
+  recorder.add("wall_s", "s", bench::now_seconds() - bench_t0);
+  recorder.write();
   std::printf(
       "\nNote: with beta = x*alpha (x=5 for the ResNet18-family, x=25 for the\n"
       "deeper ResNet50-family) always below min_spoof and above max_repr,\n"

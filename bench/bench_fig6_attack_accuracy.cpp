@@ -95,6 +95,7 @@ int main() {
       "Sec. VII-E Fig. 6: verified pools preserve accuracy; gap grows with "
       "the adversary fraction; v1 == v2");
 
+  const double bench_t0 = bench::now_seconds();
   const auto task = bench::make_mlp_task(6006, /*steps=*/8, /*interval=*/2);
 
   // Honest reference (no adversaries).
@@ -115,5 +116,13 @@ int main() {
   for (std::size_t e = 0; e < bl.curve.size(); ++e) {
     std::printf("%-8zu %-12.4f %-12.4f\n", e + 1, bl.curve[e], v2.curve[e]);
   }
+
+  bench::BenchRecorder recorder("bench_fig6");
+  recorder.add("honest_pool.final_acc", "acc", honest.final_accuracy,
+               /*higher_is_better=*/true);
+  recorder.add("adv2_50pct.v2.final_acc", "acc", v2.final_accuracy,
+               /*higher_is_better=*/true);
+  recorder.add("wall_s", "s", bench::now_seconds() - bench_t0);
+  recorder.write();
   return 0;
 }

@@ -211,6 +211,21 @@ void run_kernel_harness() {
   runtime::set_threads(default_threads);
   write_kernel_json(results, default_threads);
 
+  // Registry records (rpol.bench.v1) for the bench-diff trajectory: GFLOP/s
+  // per shape at 1 and 4 threads, keyed so baseline comparisons survive
+  // reordering.
+  bench::BenchRecorder recorder("bench_micro");
+  for (const KernelResult& r : results) {
+    const std::string key = r.model + "." + r.layer;
+    recorder.add("conv_gemm." + key + ".gflops.1t", "gflop/s",
+                 r.gemm_flops / r.new1_s / 1e9, /*higher_is_better=*/true);
+    recorder.add("conv_gemm." + key + ".gflops.4t", "gflop/s",
+                 r.gemm_flops / r.new4_s / 1e9, /*higher_is_better=*/true);
+    recorder.add("matmul." + key + ".gflops.4t", "gflop/s",
+                 r.gemm_flops / r.mm_new4_s / 1e9, /*higher_is_better=*/true);
+  }
+  recorder.write();
+
   std::printf("kernel harness (threads default %d) -> BENCH_micro.json\n",
               default_threads);
   std::printf("%-10s %-10s %5s %5s %6s | conv_gemm gflops seed/1t/4t | speedup 4t vs seed\n",

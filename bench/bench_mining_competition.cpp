@@ -159,5 +159,10 @@ int main() {
               kRounds, wins_verified, wins_unverified, wins_individual);
   std::printf("(paper's claim: the RPoL pool produces the better model in the "
               "same time budget, hence wins the block race)\n");
+
+  bench::BenchRecorder recorder("bench_mining");
+  recorder.add("verified_pool.wins", "rounds",
+               static_cast<double>(wins_verified), /*higher_is_better=*/true);
+  recorder.write();
   return 0;
 }

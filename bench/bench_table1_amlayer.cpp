@@ -112,8 +112,23 @@ int main() {
 
   std::printf("\n%-28s %-10s %-14s %-12s %s\n", "Task", "Variant",
               "epoch time(s)", "accuracy(%)", "accuracy w/ attack");
-  print_row("A: MiniResNet18/synthC10", run_task("resnet18_c10", 20));
-  print_row("B: MiniResNet50/synthC100", run_task("resnet50_c100", 20));
+  const TaskResult a = run_task("resnet18_c10", 20);
+  const TaskResult b = run_task("resnet50_c100", 20);
+  print_row("A: MiniResNet18/synthC10", a);
+  print_row("B: MiniResNet50/synthC100", b);
+
+  bench::BenchRecorder recorder("bench_table1");
+  recorder.add("taskA.epoch_time_inflation_pct", "pct",
+               100.0 * (a.amlayer_epoch_s / a.origin_epoch_s - 1.0));
+  recorder.add("taskA.attack_drop_pp", "pp",
+               100.0 * (a.amlayer_acc - a.attack_acc_mean),
+               /*higher_is_better=*/true);
+  recorder.add("taskB.epoch_time_inflation_pct", "pct",
+               100.0 * (b.amlayer_epoch_s / b.origin_epoch_s - 1.0));
+  recorder.add("taskB.attack_drop_pp", "pp",
+               100.0 * (b.amlayer_acc - b.attack_acc_mean),
+               /*higher_is_better=*/true);
+  recorder.write();
   std::printf(
       "\nNote: epoch times are measured CPU wall-clock of the Mini models; the\n"
       "paper's absolute GPU seconds live in Table II/III's real-scale model.\n");

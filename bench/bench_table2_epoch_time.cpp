@@ -29,7 +29,7 @@ core::CostScenario make_scenario(const sim::RealModelSpec& model,
   return s;
 }
 
-void run_model(const sim::RealModelSpec& model) {
+void run_model(const sim::RealModelSpec& model, bench::BenchRecorder& recorder) {
   std::printf("\n%s (%s, %.1f MB weights)\n", model.name.c_str(), "ImageNet",
               static_cast<double>(model.weight_bytes) / (1024.0 * 1024.0));
   std::printf("%-12s %-22s %-12s %-12s %-18s\n", "# workers",
@@ -44,6 +44,10 @@ void run_model(const sim::RealModelSpec& model) {
     std::printf("%-12zu %-22.0f %-12.0f %-12.0f %.0f%%\n", workers,
                 base.epoch_wall_s, v1.epoch_wall_s, v2.epoch_wall_s,
                 100.0 * (v1.epoch_wall_s - v2.epoch_wall_s) / v1.epoch_wall_s);
+    const std::string key = model.name + "." + std::to_string(workers) + "w";
+    recorder.add(key + ".baseline.epoch_s", "s", base.epoch_wall_s);
+    recorder.add(key + ".v1.epoch_s", "s", v1.epoch_wall_s);
+    recorder.add(key + ".v2.epoch_s", "s", v2.epoch_wall_s);
   }
 }
 
@@ -54,8 +58,10 @@ int main() {
       "Table II — one-epoch training time (s) of different schemes",
       "Sec. VII-E Table II (paper: ResNet50 307/369/348 @10, 37/99/78 @100; "
       "VGG16 282/548/429 @10, 66/332/212 @100)");
-  run_model(sim::real_resnet50());
-  run_model(sim::real_vgg16());
+  bench::BenchRecorder recorder("bench_table2");
+  run_model(sim::real_resnet50(), recorder);
+  run_model(sim::real_vgg16(), recorder);
+  recorder.write();
   std::printf(
       "\nModel: worker wall time = download + train + (v2: LSH hashing) +\n"
       "upload(update+commitment+proofs) + manager verification re-execution.\n"

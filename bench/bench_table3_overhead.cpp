@@ -122,5 +122,23 @@ int main() {
     std::printf("\nmetrics registry exported to %s (see `rpol trace`)\n",
                 trace_path);
   }
+
+  // rpol.bench.v1 records: the cost model is deterministic, so these values
+  // only move when the protocol's cost structure changes — exactly what the
+  // bench-diff gate should flag.
+  bench::BenchRecorder recorder("bench_table3");
+  struct SchemeRow {
+    const char* name;
+    const core::EpochCostReport* r;
+  };
+  for (const SchemeRow row : {SchemeRow{"baseline", &base},
+                              SchemeRow{"v1", &v1}, SchemeRow{"v2", &v2}}) {
+    const std::string p = std::string("resnet50.") + row.name;
+    recorder.add(p + ".manager_compute_s", "s", row.r->manager_compute_s());
+    recorder.add(p + ".upload_gb", "GB", gb(row.r->upload_bytes_total));
+    recorder.add(p + ".storage_gb", "GB", gb(row.r->storage_bytes_per_worker));
+    recorder.add(p + ".capital_usd", "USD", row.r->capital.total());
+  }
+  recorder.write();
   return 0;
 }

@@ -84,5 +84,16 @@ int main() {
   std::printf("\n[Theorem 3] honest worker net gain (h=1, q=3): %.4f  (positive => "
               "honesty pays)\n",
               expected_net_gain(1.0, 3, params));
+
+  bench::BenchRecorder recorder("bench_theory");
+  recorder.add("thm2.q.h10.err1pct", "samples",
+               static_cast<double>(required_samples(0.01, 0.10, pr_beta)));
+  recorder.add("thm2.q.h90.err1pct", "samples",
+               static_cast<double>(required_samples(0.01, 0.90, pr_beta)));
+  recorder.add("thm2.soundness_err.q3.h90", "prob",
+               soundness_error(0.90, pr_beta, 3));
+  recorder.add("thm3.q_econ.h90", "samples",
+               static_cast<double>(economic_samples(0.90, params)));
+  recorder.write();
   return 0;
 }

@@ -1,8 +1,75 @@
 #include "bench_util.h"
 
+#include <cstdlib>
 #include <stdexcept>
 
+#include "runtime/thread_pool.h"
+
 namespace rpol::bench {
+
+namespace {
+
+obs::BenchEnv bench_env() {
+  obs::BenchEnv env;
+  env.threads = runtime::threads();
+#ifdef NDEBUG
+  env.build = std::string("release");
+#else
+  env.build = std::string("debug");
+#endif
+#ifdef __VERSION__
+  env.compiler = std::string(__VERSION__);
+#else
+  env.compiler = std::string("unknown");
+#endif
+  return env;
+}
+
+}  // namespace
+
+void BenchRecorder::add(const std::string& name, const std::string& unit,
+                        double value, bool higher_is_better) {
+  obs::BenchRecord r;
+  r.bench = bench_;
+  r.name = name;
+  r.unit = unit;
+  r.value = value;
+  r.higher_is_better = higher_is_better;
+  r.env = bench_env();
+  report_.records.push_back(std::move(r));
+}
+
+void BenchRecorder::add_latency(const std::string& name,
+                                const LatencySummary& summary) {
+  obs::BenchRecord r;
+  r.bench = bench_;
+  r.name = name;
+  r.unit = std::string("s");
+  r.value = summary.p50;
+  r.higher_is_better = false;
+  r.has_stats = true;
+  r.stats = {summary.best, summary.p50, summary.p95, summary.worst};
+  r.env = bench_env();
+  report_.records.push_back(std::move(r));
+}
+
+std::string BenchRecorder::write() const {
+  const char* override_path = std::getenv("RPOL_BENCH_FILE");
+  const std::string path = (override_path != nullptr && *override_path != '\0')
+                               ? override_path
+                               : "BENCH_" + bench_ + ".json";
+  obs::BenchReport merged;
+  try {
+    merged = obs::load_bench_file(path);
+  } catch (const std::exception&) {
+    // No prior registry at this path (or unreadable) — start fresh.
+  }
+  merged = obs::merge_bench_reports(merged, report_);
+  if (!obs::write_bench_json_file(merged, path)) return "";
+  std::printf("bench registry: %zu record(s) -> %s\n", report_.records.size(),
+              path.c_str());
+  return path;
+}
 
 BenchTaskPtr make_conv_task(const std::string& which, std::uint64_t seed,
                             std::int64_t steps_per_epoch,

@@ -18,6 +18,7 @@
 #include "data/partition.h"
 #include "data/synthetic.h"
 #include "nn/models.h"
+#include "obs/benchreg.h"
 #include "sim/stats.h"
 
 namespace rpol::bench {
@@ -86,5 +87,34 @@ BenchTaskPtr make_conv_task(const std::string& which, std::uint64_t seed,
 
 BenchTaskPtr make_mlp_task(std::uint64_t seed, std::int64_t steps_per_epoch = 20,
                            std::int64_t checkpoint_interval = 5);
+
+// Collects this binary's headline numbers as rpol.bench.v1 records
+// (src/obs/benchreg.h) and writes them into the benchmark registry, so the
+// human-readable tables gain a machine-checkable counterpart that
+// `rpol bench-diff` can gate on. Every record carries the environment
+// fingerprint (thread count, build flavor, compiler).
+class BenchRecorder {
+ public:
+  explicit BenchRecorder(std::string bench) : bench_(std::move(bench)) {}
+
+  // Headline scalar; `higher_is_better` steers the bench-diff direction
+  // (false for latencies/bytes, true for throughput/accuracy).
+  void add(const std::string& name, const std::string& unit, double value,
+           bool higher_is_better = false);
+
+  // Latency record: value = p50, full spread kept in stats.
+  void add_latency(const std::string& name, const LatencySummary& summary);
+
+  // Writes to RPOL_BENCH_FILE (or "BENCH_<bench>.json"), overlay-merging
+  // over any existing file at that path so several binaries can feed one
+  // registry. Returns the path written, "" on failure.
+  std::string write() const;
+
+  const obs::BenchReport& report() const { return report_; }
+
+ private:
+  std::string bench_;
+  obs::BenchReport report_;
+};
 
 }  // namespace rpol::bench

@@ -58,7 +58,9 @@ AsyncRunReport AsyncMiningPool::run() {
       InFlight& job = in_flight_[w];
       if (evicted_[w] || job.finish_tick != tick) continue;
 
-      obs::Span submission_span("submission", /*parent=*/0,
+      // Each submission roots its own causal tree (async epochs have no
+      // shared root); the verifier's re-execution spans link under it.
+      obs::Span submission_span("submission", obs::TraceContext{},
                                 static_cast<int>(w), tick);
 
       // Submission transport under the fault plan: the worker retransmits
@@ -110,7 +112,8 @@ AsyncRunReport AsyncMiningPool::run() {
                         0xD000ULL + static_cast<std::uint64_t>(tick) * 256ULL + w));
         accepted = verifier_
                        ->verify(commit_v1(trace), trace, ctx,
-                                hash_state(job.base), manager_device)
+                                hash_state(job.base), manager_device,
+                                submission_span.context())
                        .accepted;
       }
       submission.accepted = accepted;
@@ -158,7 +161,7 @@ AsyncRunReport AsyncMiningPool::run() {
       job.started_at_version = global_version_;
       job.finish_tick = tick + workers_[w].period;
     }
-    obs::Span eval_span("evaluate", /*parent=*/0, /*worker=*/-1, tick);
+    obs::Span eval_span("evaluate", obs::TraceContext{}, /*worker=*/-1, tick);
     manager_executor_.load_state(current_state());
     report.accuracy_curve.push_back(manager_executor_.evaluate(test_));
   }

@@ -96,7 +96,9 @@ double MiningPool::evaluate_global() {
 }
 
 EpochReport MiningPool::run_epoch(std::int64_t epoch) {
-  obs::Span epoch_span("epoch", /*parent=*/0, /*worker=*/-1, epoch);
+  // Roots this epoch's causal tree: every span below (manager or worker
+  // side) carries epoch_span.id() as its trace id.
+  obs::Span epoch_span("epoch", obs::TraceContext{}, /*worker=*/-1, epoch);
   EpochReport report;
   report.epoch = epoch;
   report.participated.assign(workers_.size(), true);
@@ -161,7 +163,7 @@ EpochReport MiningPool::run_epoch(std::int64_t epoch) {
   // Step 0: adaptive calibration (RPoL schemes only).
   const bool needs_rpol = config_.scheme != Scheme::kBaseline;
   if (needs_rpol && (config_.calibrate_every_epoch || !calibrated_)) {
-    obs::Span s("calibrate", epoch_span.id(), /*worker=*/-1, epoch);
+    obs::Span s("calibrate", epoch_span, /*worker=*/-1, epoch);
     EpochContext manager_ctx;
     manager_ctx.epoch = epoch;
     manager_ctx.nonce = derive_seed(config_.seed,
@@ -227,14 +229,18 @@ EpochReport MiningPool::run_epoch(std::int64_t epoch) {
                                       static_cast<std::uint64_t>(epoch) * 4096ULL +
                                       static_cast<std::uint64_t>(w)));
     {
-      obs::Span s("train", epoch_span.id(), static_cast<int>(w), epoch);
+      obs::Span s("train", epoch_span, static_cast<int>(w), epoch);
       traces[w] =
           workers_[w].policy->produce_trace(*worker_executors_[w], ctx, device);
       s.attr("storage_bytes", traces[w].storage_bytes());
     }
-    commitments[w] = config_.scheme == Scheme::kRPoLv2
-                         ? commit_v2(traces[w], *worker_hasher, &trainable_mask)
-                         : commit_v1(traces[w]);
+    {
+      obs::Span s("commit", epoch_span, static_cast<int>(w), epoch);
+      commitments[w] =
+          config_.scheme == Scheme::kRPoLv2
+              ? commit_v2(traces[w], *worker_hasher, &trainable_mask)
+              : commit_v1(traces[w]);
+    }
 
     // Upload: final model update + commitment (compact mode uploads only
     // the Merkle roots).
@@ -279,7 +285,7 @@ EpochReport MiningPool::run_epoch(std::int64_t epoch) {
                               static_cast<std::uint64_t>(v));
         committee.push_back(node);
       }
-      obs::Span s("verify", epoch_span.id(), static_cast<int>(w), epoch);
+      obs::Span s("verify", epoch_span, static_cast<int>(w), epoch);
       const DecentralizedResult dr = dec.verify(commitments[w], traces[w],
                                                 contexts[w], initial_hash,
                                                 committee);
@@ -297,14 +303,15 @@ EpochReport MiningPool::run_epoch(std::int64_t epoch) {
           top, derive_seed(config_.seed,
                            0xF0000000ULL + static_cast<std::uint64_t>(epoch) * 4096ULL +
                                static_cast<std::uint64_t>(w)));
-      obs::Span s("verify", epoch_span.id(), static_cast<int>(w), epoch);
+      obs::Span s("verify", epoch_span, static_cast<int>(w), epoch);
       const VerifyResult vr =
           config_.compact_commitments
               ? verifier_->verify_compact(compact_commitment(commitments[w]),
                                           commitments[w], traces[w], contexts[w],
-                                          initial_hash, manager_device)
+                                          initial_hash, manager_device,
+                                          s.context())
               : verifier_->verify(commitments[w], traces[w], contexts[w],
-                                  initial_hash, manager_device);
+                                  initial_hash, manager_device, s.context());
       s.attr("accepted", vr.accepted);
       s.attr("double_checks", vr.double_checks);
       s.attr("lsh_mismatches", vr.lsh_mismatches);
@@ -350,7 +357,7 @@ EpochReport MiningPool::run_epoch(std::int64_t epoch) {
   std::size_t accepted_count = 0;
   for (const bool a : report.accepted) accepted_count += a ? 1 : 0;
   if (accepted_count > 0) {
-    obs::Span s("aggregate", epoch_span.id(), /*worker=*/-1, epoch);
+    obs::Span s("aggregate", epoch_span, /*worker=*/-1, epoch);
     s.attr("accepted_count", static_cast<std::int64_t>(accepted_count));
     const float weight = static_cast<float>(config_.global_learning_rate) /
                          static_cast<float>(accepted_count);
@@ -366,7 +373,7 @@ EpochReport MiningPool::run_epoch(std::int64_t epoch) {
   }
 
   {
-    obs::Span s("evaluate", epoch_span.id(), /*worker=*/-1, epoch);
+    obs::Span s("evaluate", epoch_span, /*worker=*/-1, epoch);
     report.test_accuracy = evaluate_global();
     s.attr("accuracy", report.test_accuracy);
   }

@@ -50,10 +50,21 @@ struct ExchangeDriver {
   const SessionConfig& config;
   SessionOutcome& outcome;
   bool failed = false;
+  // Trace context that rode the envelope of the last successfully decoded
+  // message — what the receiving side's spans adopt as their remote parent.
+  obs::TraceContext last_rx{};
 
+  // `sender` is the transmitting span's trace context. The envelope is
+  // attached AFTER fault delivery and stripped before decode: fault
+  // injection, size caps, and byte accounting all see only the canonical
+  // inner message, so a traced run takes byte-identical protocol decisions
+  // to an untraced one (the determinism contract). On a real network the
+  // envelope would wrap the whole frame; the strip-before-decode point is
+  // the same either way.
   template <typename DecodeFn>
   auto run(MessageType type, const Bytes& encoded, bool to_worker,
-           DecodeFn&& decode, bool withheld = false)
+           DecodeFn&& decode, const obs::TraceContext& sender = {},
+           bool withheld = false)
       -> std::optional<decltype(decode(encoded))> {
     const auto type_index = static_cast<std::size_t>(type);
     bool last_failure_was_decode = false;
@@ -85,6 +96,16 @@ struct ExchangeDriver {
         continue;
       }
       try {
+        if (obs::enabled()) {
+          const Bytes framed = core::wrap_trace_envelope(
+              sender.trace_id, sender.span_id, delivery.payload);
+          obs::TraceContext rx;
+          const Bytes inner =
+              strip_trace_envelope(framed, &rx.trace_id, &rx.span_id);
+          auto result = decode(inner);
+          last_rx = rx;
+          return result;
+        }
         return decode(delivery.payload);
       } catch (const std::exception&) {
         obs::count("session.decode_reject", 1);
@@ -141,7 +162,7 @@ SessionOutcome run_protocol_session(
     throw std::invalid_argument("retry budget needs >= 1 attempt");
   }
 
-  obs::Span session_span("session");
+  obs::Span session_span("session", config.trace_parent);
   CountingChannel counting;
   fault::FaultyChannel<CountingChannel> channel(counting, config.fault_plan);
   SessionOutcome outcome;
@@ -172,11 +193,12 @@ SessionOutcome run_protocol_session(
   std::optional<TaskAnnouncement> worker_view;
   std::optional<TrainState> worker_initial;
   {
-    obs::Span s("announce", session_span.id());
+    obs::Span s("announce", session_span);
     worker_view = exchange.run(
         MessageType::kAnnouncement, encode_task_announcement(announcement),
         /*to_worker=*/true,
-        [](const Bytes& b) { return decode_task_announcement(b); });
+        [](const Bytes& b) { return decode_task_announcement(b); },
+        s.context());
     if (!worker_view.has_value()) return finish(std::move(outcome));
 
     // The worker validates the transfer against the announced hash; a
@@ -196,7 +218,8 @@ SessionOutcome run_protocol_session(
             throw std::runtime_error("state transfer corrupted");
           }
           return state;
-        });
+        },
+        s.context());
     if (!worker_initial.has_value()) return finish(std::move(outcome));
   }
 
@@ -208,61 +231,72 @@ SessionOutcome run_protocol_session(
   ctx.dataset = &worker_data;
   sim::DeviceExecution worker_gpu(worker_device, worker_run_seed);
   EpochTrace trace;
-  {
-    obs::Span s("train", session_span.id(), /*worker=*/0);
-    trace = policy.produce_trace(worker_executor, ctx, worker_gpu);
-    s.attr("storage_bytes", trace.storage_bytes());
-  }
-
-  // Scripted byzantine mutations of what the worker is about to commit.
-  if (byzantine == fault::Byzantine::kStaleCommitmentReplay) {
-    // Replay of a commitment built for an older global state: internally
-    // consistent (hashes match its own checkpoints) but C_0 no longer
-    // matches the state the manager distributed this epoch.
-    for (auto& checkpoint : trace.checkpoints) perturb_state(checkpoint, 0.5F);
-  }
-
   Commitment commitment;
   Bytes commit_wire;
-  {
-    obs::Span s("commit", session_span.id(), /*worker=*/0);
-    if (config.scheme == Scheme::kRPoLv2) {
-      const lsh::PStableLsh hasher(*worker_view->lsh);
-      commitment = commit_v2(trace, hasher, &worker_executor.trainable_mask());
-    } else {
-      commitment = commit_v1(trace);
-    }
-    commit_wire = encode_commitment(commitment);
-    if (byzantine == fault::Byzantine::kOversizedPayload) {
-      commit_wire.assign(
-          static_cast<std::size_t>(config.fault_plan->oversized_payload_bytes),
-          0xEE);
-    }
-  }
-
   std::optional<Commitment> manager_commitment;
   std::optional<TrainState> manager_update;
   {
-    obs::Span s("submit", session_span.id(), /*worker=*/0);
-    manager_commitment = exchange.run(
-        MessageType::kCommitment, commit_wire, /*to_worker=*/false,
-        [](const Bytes& b) { return decode_commitment(b); });
-    if (!manager_commitment.has_value()) return finish(std::move(outcome));
+    // The worker agent's spans hang off the context that arrived with the
+    // announcement, stitching both sides of the wire into one causal tree.
+    obs::Span worker_span("worker_epoch", exchange.last_rx, /*worker=*/0);
+    {
+      obs::Span s("train", worker_span, /*worker=*/0);
+      trace = policy.produce_trace(worker_executor, ctx, worker_gpu);
+      s.attr("storage_bytes", trace.storage_bytes());
+    }
 
-    // The model update itself (final weights) travels with the commitment.
-    TrainState update;
-    update.model = trace.checkpoints.back().model;
-    manager_update = exchange.run(
-        MessageType::kUpdate, encode_train_state(update), /*to_worker=*/false,
-        [](const Bytes& b) {
-          std::size_t offset = 0;
-          TrainState state = decode_train_state(b, offset);
-          if (offset != b.size()) {
-            throw std::invalid_argument("trailing bytes in update");
-          }
-          return state;
-        });
-    if (!manager_update.has_value()) return finish(std::move(outcome));
+    // Scripted byzantine mutations of what the worker is about to commit.
+    if (byzantine == fault::Byzantine::kStaleCommitmentReplay) {
+      // Replay of a commitment built for an older global state: internally
+      // consistent (hashes match its own checkpoints) but C_0 no longer
+      // matches the state the manager distributed this epoch.
+      for (auto& checkpoint : trace.checkpoints) {
+        perturb_state(checkpoint, 0.5F);
+      }
+    }
+
+    {
+      obs::Span s("commit", worker_span, /*worker=*/0);
+      if (config.scheme == Scheme::kRPoLv2) {
+        const lsh::PStableLsh hasher(*worker_view->lsh);
+        commitment =
+            commit_v2(trace, hasher, &worker_executor.trainable_mask());
+      } else {
+        commitment = commit_v1(trace);
+      }
+      commit_wire = encode_commitment(commitment);
+      if (byzantine == fault::Byzantine::kOversizedPayload) {
+        commit_wire.assign(
+            static_cast<std::size_t>(
+                config.fault_plan->oversized_payload_bytes),
+            0xEE);
+      }
+    }
+
+    {
+      obs::Span s("submit", worker_span, /*worker=*/0);
+      manager_commitment = exchange.run(
+          MessageType::kCommitment, commit_wire, /*to_worker=*/false,
+          [](const Bytes& b) { return decode_commitment(b); }, s.context());
+      if (!manager_commitment.has_value()) return finish(std::move(outcome));
+
+      // The model update itself (final weights) travels with the commitment.
+      TrainState update;
+      update.model = trace.checkpoints.back().model;
+      manager_update = exchange.run(
+          MessageType::kUpdate, encode_train_state(update),
+          /*to_worker=*/false,
+          [](const Bytes& b) {
+            std::size_t offset = 0;
+            TrainState state = decode_train_state(b, offset);
+            if (offset != b.size()) {
+              throw std::invalid_argument("trailing bytes in update");
+            }
+            return state;
+          },
+          s.context());
+      if (!manager_update.has_value()) return finish(std::move(outcome));
+    }
   }
 
   // Worker-side proof store: what proof responses are served from. A forger
@@ -284,10 +318,11 @@ SessionOutcome run_protocol_session(
                          trace.num_transitions(), config.samples_q);
   std::optional<ProofResponse> manager_response;
   {
-    obs::Span s("proof_exchange", session_span.id());
+    obs::Span s("proof_exchange", session_span);
     const auto worker_request = exchange.run(
         MessageType::kProofRequest, encode_proof_request(request),
-        /*to_worker=*/true, [&](const Bytes& b) {
+        /*to_worker=*/true,
+        [&](const Bytes& b) {
           ProofRequest decoded = decode_proof_request(b);
           for (const auto j : decoded.transitions) {
             if (j < 0 || j >= trace.num_transitions()) {
@@ -295,10 +330,12 @@ SessionOutcome run_protocol_session(
             }
           }
           return decoded;
-        });
+        },
+        s.context());
     if (!worker_request.has_value()) return finish(std::move(outcome));
 
     // --- Worker: answer the proof request (or withhold it). ---------------
+    obs::Span serve_span("serve_proof", exchange.last_rx, /*worker=*/0);
     ProofResponse response;
     for (const auto j : worker_request->transitions) {
       response.input_states.push_back(serve_checkpoint(j));
@@ -338,12 +375,12 @@ SessionOutcome run_protocol_session(
           }
           return decoded;
         },
-        withholds_proofs);
+        serve_span.context(), withholds_proofs);
     if (!manager_response.has_value()) return finish(std::move(outcome));
   }
 
   // --- Manager: re-execute and decide. -------------------------------------
-  obs::Span verify_span("verify", session_span.id(), /*worker=*/0);
+  obs::Span verify_span("verify", session_span, /*worker=*/0);
   StepExecutor manager_executor(factory, hp);
   const std::vector<bool>& mask = manager_executor.trainable_mask();
   std::optional<lsh::PStableLsh> manager_hasher;
@@ -371,7 +408,7 @@ SessionOutcome run_protocol_session(
     const std::int64_t count =
         std::min(hp.checkpoint_interval, hp.steps_per_epoch - first);
     {
-      obs::Span reexec("reexecute", verify_span.id(), /*worker=*/0);
+      obs::Span reexec("reexecute", verify_span, /*worker=*/0);
       reexec.attr("transition", j);
       reexec.attr("steps", count);
       manager_executor.load_state(proof_in);
@@ -406,27 +443,32 @@ SessionOutcome run_protocol_session(
         const auto dc_seen = exchange.run(
             MessageType::kProofRequest, encode_proof_request(dc_request),
             /*to_worker=*/true,
-            [](const Bytes& b) { return decode_proof_request(b); });
+            [](const Bytes& b) { return decode_proof_request(b); },
+            verify_span.context());
         if (!dc_seen.has_value()) return finish(std::move(outcome));
-        ProofResponse dc_response;
-        dc_response.output_states.push_back(serve_checkpoint(j + 1));
-        const auto dc_decoded = exchange.run(
-            MessageType::kProofResponse, encode_proof_response(dc_response),
-            /*to_worker=*/false,
-            [&](const Bytes& b) {
-              ProofResponse decoded = decode_proof_response(b);
-              if (decoded.output_states.size() != 1) {
-                throw std::invalid_argument("double-check shape mismatch");
-              }
-              if (!digest_equal(hash_state(decoded.output_states.front()),
-                                manager_commitment->state_hashes
-                                    [static_cast<std::size_t>(j + 1)])) {
-                throw std::runtime_error(
-                    "proof state does not match commitment");
-              }
-              return decoded;
-            },
-            withholds_proofs);
+        std::optional<ProofResponse> dc_decoded;
+        {
+          obs::Span dc_serve("serve_proof", exchange.last_rx, /*worker=*/0);
+          ProofResponse dc_response;
+          dc_response.output_states.push_back(serve_checkpoint(j + 1));
+          dc_decoded = exchange.run(
+              MessageType::kProofResponse, encode_proof_response(dc_response),
+              /*to_worker=*/false,
+              [&](const Bytes& b) {
+                ProofResponse decoded = decode_proof_response(b);
+                if (decoded.output_states.size() != 1) {
+                  throw std::invalid_argument("double-check shape mismatch");
+                }
+                if (!digest_equal(hash_state(decoded.output_states.front()),
+                                  manager_commitment->state_hashes
+                                      [static_cast<std::size_t>(j + 1)])) {
+                  throw std::runtime_error(
+                      "proof state does not match commitment");
+                }
+                return decoded;
+              },
+              dc_serve.context(), withholds_proofs);
+        }
         if (!dc_decoded.has_value()) return finish(std::move(outcome));
         const TrainState& claimed = dc_decoded->output_states.front();
         all_passed = trainable_distance(replay.model, claimed.model, mask) <=

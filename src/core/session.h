@@ -33,6 +33,7 @@
 #include "core/pool.h"
 #include "core/wire.h"
 #include "fault/fault.h"
+#include "obs/obs.h"
 
 namespace rpol::core {
 
@@ -90,6 +91,10 @@ struct SessionConfig {
   const fault::FaultPlan* fault_plan = nullptr;
   // Timeout/retry/backoff budget the session grants each message exchange.
   fault::RetryPolicy retry;
+  // Causal parent the session's root span adopts (e.g. a pool epoch span),
+  // so many sessions stitch into one epoch tree. Default: the session roots
+  // its own trace. Observability only — never read by protocol logic.
+  obs::TraceContext trace_parent{};
 };
 
 // Why a session ended — the typed failure taxonomy (pinned by

@@ -114,7 +114,8 @@ VerifyResult Verifier::verify_compact(const CompactCommitment& compact,
                                       const EpochTrace& trace,
                                       const EpochContext& context,
                                       const Digest& expected_initial_hash,
-                                      sim::DeviceExecution& device) {
+                                      sim::DeviceExecution& device,
+                                      const obs::TraceContext& trace_parent) {
   VerifyResult result;
   const std::int64_t transitions = trace.num_transitions();
   if (transitions <= 0 ||
@@ -184,7 +185,7 @@ VerifyResult Verifier::verify_compact(const CompactCommitment& compact,
     const std::int64_t first = trace.step_of[static_cast<std::size_t>(j)];
     const std::int64_t count = trace.step_of[static_cast<std::size_t>(j + 1)] - first;
     {
-      obs::Span reexec("reexecute");
+      obs::Span reexec("reexecute", trace_parent);
       reexec.attr("transition", j);
       reexec.attr("steps", count);
       executor_.load_state(proof_in);
@@ -234,7 +235,8 @@ VerifyResult Verifier::verify(const Commitment& commitment,
                               const EpochTrace& trace,
                               const EpochContext& context,
                               const Digest& expected_initial_hash,
-                              sim::DeviceExecution& device) {
+                              sim::DeviceExecution& device,
+                              const obs::TraceContext& trace_parent) {
   VerifyResult result;
   const std::int64_t transitions = trace.num_transitions();
   // The step boundaries are derived from the agreed hyper-parameters, never
@@ -285,7 +287,7 @@ VerifyResult Verifier::verify(const Commitment& commitment,
     const std::int64_t first = trace.step_of[static_cast<std::size_t>(j)];
     const std::int64_t count = trace.step_of[static_cast<std::size_t>(j + 1)] - first;
     {
-      obs::Span reexec("reexecute");
+      obs::Span reexec("reexecute", trace_parent);
       reexec.attr("transition", j);
       reexec.attr("steps", count);
       executor_.load_state(proof_in);

@@ -28,6 +28,7 @@
 
 #include "core/commitment.h"
 #include "core/policy.h"
+#include "obs/obs.h"
 
 namespace rpol::core {
 
@@ -97,10 +98,15 @@ class Verifier {
   // proof store the manager requests samples from; only the fetched
   // checkpoints count toward proof_bytes. `expected_initial_hash` is the
   // hash of the state the manager handed out at epoch start.
+  // `trace_parent` (observability only) parents the verifier's re-execution
+  // spans under the caller's verify span so they join the epoch's causal
+  // tree; the default roots them standalone (legacy behavior, still
+  // orphan-free).
   VerifyResult verify(const Commitment& commitment, const EpochTrace& trace,
                       const EpochContext& context,
                       const Digest& expected_initial_hash,
-                      sim::DeviceExecution& device);
+                      sim::DeviceExecution& device,
+                      const obs::TraceContext& trace_parent = {});
 
   // Compact-commitment variant (Sec. V-B's Merkle construction): the worker
   // uploaded only the O(1) CompactCommitment; sampled transitions arrive
@@ -112,7 +118,8 @@ class Verifier {
                               const Commitment& full, const EpochTrace& trace,
                               const EpochContext& context,
                               const Digest& expected_initial_hash,
-                              sim::DeviceExecution& device);
+                              sim::DeviceExecution& device,
+                              const obs::TraceContext& trace_parent = {});
 
  private:
   Hyperparams hp_;

@@ -28,6 +28,17 @@ inline constexpr std::uint8_t kTagCommitment = 0x02;
 inline constexpr std::uint8_t kTagProofRequest = 0x03;
 inline constexpr std::uint8_t kTagProofResponse = 0x04;
 
+// Optional trace-context envelope (observability propagation, PR 4): a
+// 17-byte prefix [tag][trace_id u64 le][span_id u64 le] wrapped AROUND a
+// canonical message so causal links can cross the wire without ever
+// entering the message bytes that decoders parse and hashes commit to.
+// The tag is deliberately outside the message-tag range so an enveloped
+// frame can never be confused with (or decode as) a bare message, and a
+// legacy receiver that strips nothing simply rejects the unknown tag —
+// the envelope is ignorable metadata, not protocol surface.
+inline constexpr std::uint8_t kTagTraceEnvelope = 0x7C;
+inline constexpr std::size_t kTraceEnvelopeBytes = 17;
+
 struct TaskAnnouncement {
   std::int64_t epoch = 0;
   std::uint64_t nonce = 0;
@@ -67,5 +78,20 @@ ProofResponse decode_proof_response(const Bytes& in);
 
 Bytes encode_train_state(const TrainState& state);
 TrainState decode_train_state(const Bytes& in, std::size_t& offset);
+
+// Prefixes `payload` with a canonical trace envelope. The payload bytes are
+// copied verbatim — wrap(strip(x)) == x for any enveloped frame.
+Bytes wrap_trace_envelope(std::uint64_t trace_id, std::uint64_t span_id,
+                          const Bytes& payload);
+
+// Removes a leading trace envelope if present, returning the inner message
+// and (optionally) the carried ids. Frames that do not start with
+// kTagTraceEnvelope pass through unchanged with ids reported as 0 — this is
+// what makes the envelope ignorable by construction: receivers always strip
+// before decoding, and un-enveloped legacy traffic is a no-op strip. An
+// envelope tag with fewer than kTraceEnvelopeBytes bytes behind it throws
+// std::invalid_argument like every other truncated frame.
+Bytes strip_trace_envelope(const Bytes& in, std::uint64_t* trace_id = nullptr,
+                           std::uint64_t* span_id = nullptr);
 
 }  // namespace rpol::core

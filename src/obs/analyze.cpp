@@ -6,211 +6,12 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "obs/json.h"
 #include "sim/stats.h"
 
 namespace rpol::obs {
 
 namespace {
-
-// ---------------------------------------------------------------------------
-// Minimal JSON parser — just enough for the flat objects, nested attr
-// objects, and bucket arrays that rpol.trace.v1 emits. Numbers keep their
-// raw token so u64 fields (byte counts, timestamps) parse losslessly.
-
-struct Json {
-  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
-  Kind kind = Kind::kNull;
-  bool b = false;
-  std::string token;  // raw number token, or string payload
-  std::vector<Json> arr;
-  std::vector<std::pair<std::string, Json>> obj;
-
-  double as_double() const { return std::strtod(token.c_str(), nullptr); }
-  std::uint64_t as_u64() const {
-    return std::strtoull(token.c_str(), nullptr, 10);
-  }
-  std::int64_t as_i64() const {
-    return std::strtoll(token.c_str(), nullptr, 10);
-  }
-  const Json* find(std::string_view key) const {
-    for (const auto& [k, v] : obj) {
-      if (k == key) return &v;
-    }
-    return nullptr;
-  }
-};
-
-class JsonParser {
- public:
-  explicit JsonParser(std::string_view text) : text_(text) {}
-
-  Json parse() {
-    Json v = parse_value();
-    skip_ws();
-    if (pos_ != text_.size()) fail("trailing characters");
-    return v;
-  }
-
- private:
-  [[noreturn]] void fail(const std::string& what) {
-    throw std::runtime_error("trace JSON parse error at byte " +
-                             std::to_string(pos_) + ": " + what);
-  }
-
-  void skip_ws() {
-    while (pos_ < text_.size() &&
-           (text_[pos_] == ' ' || text_[pos_] == '\t')) {
-      ++pos_;
-    }
-  }
-
-  char peek() {
-    if (pos_ >= text_.size()) fail("unexpected end of input");
-    return text_[pos_];
-  }
-
-  void expect(char c) {
-    if (peek() != c) fail(std::string("expected '") + c + "'");
-    ++pos_;
-  }
-
-  Json parse_value() {
-    skip_ws();
-    switch (peek()) {
-      case '{': return parse_object();
-      case '[': return parse_array();
-      case '"': return parse_string();
-      case 't':
-      case 'f': return parse_bool();
-      case 'n': return parse_null();
-      default: return parse_number();
-    }
-  }
-
-  Json parse_object() {
-    Json v;
-    v.kind = Json::Kind::kObject;
-    expect('{');
-    skip_ws();
-    if (peek() == '}') {
-      ++pos_;
-      return v;
-    }
-    for (;;) {
-      skip_ws();
-      Json key = parse_string();
-      skip_ws();
-      expect(':');
-      v.obj.emplace_back(std::move(key.token), parse_value());
-      skip_ws();
-      if (peek() == ',') {
-        ++pos_;
-        continue;
-      }
-      expect('}');
-      return v;
-    }
-  }
-
-  Json parse_array() {
-    Json v;
-    v.kind = Json::Kind::kArray;
-    expect('[');
-    skip_ws();
-    if (peek() == ']') {
-      ++pos_;
-      return v;
-    }
-    for (;;) {
-      v.arr.push_back(parse_value());
-      skip_ws();
-      if (peek() == ',') {
-        ++pos_;
-        continue;
-      }
-      expect(']');
-      return v;
-    }
-  }
-
-  Json parse_string() {
-    Json v;
-    v.kind = Json::Kind::kString;
-    expect('"');
-    for (;;) {
-      const char c = peek();
-      ++pos_;
-      if (c == '"') return v;
-      if (c != '\\') {
-        v.token += c;
-        continue;
-      }
-      const char esc = peek();
-      ++pos_;
-      switch (esc) {
-        case '"': v.token += '"'; break;
-        case '\\': v.token += '\\'; break;
-        case '/': v.token += '/'; break;
-        case 'n': v.token += '\n'; break;
-        case 'r': v.token += '\r'; break;
-        case 't': v.token += '\t'; break;
-        case 'u': {
-          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
-          const unsigned long cp =
-              std::strtoul(std::string(text_.substr(pos_, 4)).c_str(),
-                           nullptr, 16);
-          pos_ += 4;
-          // The exporter only escapes control characters, all < 0x80.
-          v.token += static_cast<char>(cp & 0x7F);
-          break;
-        }
-        default: fail("unsupported escape");
-      }
-    }
-  }
-
-  Json parse_bool() {
-    Json v;
-    v.kind = Json::Kind::kBool;
-    if (text_.substr(pos_, 4) == "true") {
-      v.b = true;
-      pos_ += 4;
-    } else if (text_.substr(pos_, 5) == "false") {
-      v.b = false;
-      pos_ += 5;
-    } else {
-      fail("bad literal");
-    }
-    return v;
-  }
-
-  Json parse_null() {
-    if (text_.substr(pos_, 4) != "null") fail("bad literal");
-    pos_ += 4;
-    return Json{};
-  }
-
-  Json parse_number() {
-    Json v;
-    v.kind = Json::Kind::kNumber;
-    const std::size_t start = pos_;
-    while (pos_ < text_.size()) {
-      const char c = text_[pos_];
-      if ((c >= '0' && c <= '9') || c == '-' || c == '+' || c == '.' ||
-          c == 'e' || c == 'E') {
-        ++pos_;
-      } else {
-        break;
-      }
-    }
-    if (pos_ == start) fail("expected a value");
-    v.token = std::string(text_.substr(start, pos_ - start));
-    return v;
-  }
-
-  std::string_view text_;
-  std::size_t pos_ = 0;
-};
 
 const Json& require(const Json& obj, std::string_view key) {
   const Json* v = obj.find(key);
@@ -225,6 +26,9 @@ SpanRecord parse_span(const Json& obj) {
   SpanRecord s;
   s.id = require(obj, "id").as_u64();
   s.parent = require(obj, "parent").as_u64();
+  // v2 additions; absent in v1 files, where every span is trace-less.
+  if (const Json* t = obj.find("trace")) s.trace_id = t->as_u64();
+  if (const Json* l = obj.find("link")) s.link = l->as_u64();
   s.name = require(obj, "name").token;
   s.worker = require(obj, "worker").as_i64();
   s.epoch = require(obj, "epoch").as_i64();
@@ -272,42 +76,52 @@ const std::string* span_attr(const SpanRecord& s, std::string_view key) {
 
 }  // namespace
 
-Trace parse_trace_jsonl(std::istream& in) {
+Trace parse_trace_jsonl(std::istream& in, bool strict) {
   Trace trace;
   std::string line;
   bool saw_meta = false;
   std::size_t line_no = 0;
+  constexpr std::size_t kMaxKeptErrors = 8;
   while (std::getline(in, line)) {
     ++line_no;
     if (line.empty()) continue;
-    Json obj;
     try {
-      obj = JsonParser(line).parse();
-    } catch (const std::exception& e) {
-      throw std::runtime_error("line " + std::to_string(line_no) + ": " +
-                               e.what());
-    }
-    const std::string& type = require(obj, "type").token;
-    if (type == "meta") {
-      trace.schema = require(obj, "schema").token;
-      if (trace.schema != "rpol.trace.v1") {
-        throw std::runtime_error("unknown trace schema: " + trace.schema);
+      const Json obj = parse_json(line);
+      const std::string& type = require(obj, "type").token;
+      if (type == "meta") {
+        trace.schema = require(obj, "schema").token;
+        if (trace.schema != "rpol.trace.v1" &&
+            trace.schema != "rpol.trace.v2") {
+          // Not tolerable even in lenient mode: the whole file speaks a
+          // dialect this analyzer does not know.
+          throw std::runtime_error("unknown trace schema: " + trace.schema);
+        }
+        trace.wall_unix_ns = require(obj, "wall_unix_ns").as_u64();
+        saw_meta = true;
+      } else if (type == "counter") {
+        trace.counters[require(obj, "name").token] =
+            require(obj, "value").as_u64();
+      } else if (type == "gauge") {
+        trace.gauges[require(obj, "name").token] =
+            require(obj, "value").as_double();
+      } else if (type == "histogram") {
+        trace.histograms.push_back(parse_histogram(obj));
+      } else if (type == "span") {
+        trace.spans.push_back(parse_span(obj));
+      } else {
+        throw std::runtime_error("unknown record type '" + type + "'");
       }
-      trace.wall_unix_ns = require(obj, "wall_unix_ns").as_u64();
-      saw_meta = true;
-    } else if (type == "counter") {
-      trace.counters[require(obj, "name").token] =
-          require(obj, "value").as_u64();
-    } else if (type == "gauge") {
-      trace.gauges[require(obj, "name").token] =
-          require(obj, "value").as_double();
-    } else if (type == "histogram") {
-      trace.histograms.push_back(parse_histogram(obj));
-    } else if (type == "span") {
-      trace.spans.push_back(parse_span(obj));
-    } else {
-      throw std::runtime_error("line " + std::to_string(line_no) +
-                               ": unknown record type '" + type + "'");
+    } catch (const std::exception& e) {
+      const std::string what =
+          "line " + std::to_string(line_no) + ": " + e.what();
+      const bool schema_error =
+          std::string_view(e.what()).find("unknown trace schema") !=
+          std::string_view::npos;
+      if (strict || schema_error) throw std::runtime_error(what);
+      ++trace.skipped_lines;
+      if (trace.parse_errors.size() < kMaxKeptErrors) {
+        trace.parse_errors.push_back(what);
+      }
     }
   }
   if (!saw_meta) {
@@ -316,12 +130,12 @@ Trace parse_trace_jsonl(std::istream& in) {
   return trace;
 }
 
-Trace load_trace_file(const std::string& path) {
+Trace load_trace_file(const std::string& path, bool strict) {
   std::ifstream in(path);
   if (!in.is_open()) {
     throw std::runtime_error("cannot open trace file: " + path);
   }
-  return parse_trace_jsonl(in);
+  return parse_trace_jsonl(in, strict);
 }
 
 TraceSummary summarize_trace(const Trace& trace) {
@@ -399,6 +213,17 @@ void print_trace_summary(const Trace& trace, std::FILE* out) {
   std::fprintf(out, "schema %s, %zu spans, %zu counters, %zu histograms\n",
                trace.schema.c_str(), trace.spans.size(), trace.counters.size(),
                trace.histograms.size());
+  if (trace.skipped_lines > 0) {
+    std::fprintf(out, "WARNING: skipped %zu malformed line%s:\n",
+                 trace.skipped_lines, trace.skipped_lines == 1 ? "" : "s");
+    for (const std::string& err : trace.parse_errors) {
+      std::fprintf(out, "  %s\n", err.c_str());
+    }
+    if (trace.parse_errors.size() < trace.skipped_lines) {
+      std::fprintf(out, "  ... and %zu more\n",
+                   trace.skipped_lines - trace.parse_errors.size());
+    }
+  }
   std::fprintf(out, "wall extent covered by spans: %.3f s\n", s.wall_extent_s);
 
   if (!s.phases.empty()) {

@@ -1,8 +1,9 @@
-// Trace analyzer: loads a "rpol.trace.v1" JSONL export (src/obs/obs.h) back
+// Trace analyzer: loads a "rpol.trace.v2" JSONL export (src/obs/obs.h) back
 // into structured records and summarizes it — per-phase wall-time shares and
 // latency quantiles, per-worker train/verify time and verdicts, and
 // per-message-type byte shares. Backs the `rpol trace` CLI subcommand and
-// the exporter round-trip tests.
+// the exporter round-trip tests. Legacy "rpol.trace.v1" files (no
+// trace/link span fields) load too; the missing fields default to 0.
 //
 // Quantiles over span durations use sim::percentile (the same routine the
 // bench harness uses), so analyzer and bench numbers are computed by one
@@ -37,13 +38,19 @@ struct Trace {
   std::map<std::string, double> gauges;
   std::vector<ParsedHistogram> histograms;
   std::vector<SpanRecord> spans;
+  // Tolerant-mode damage report: lines that failed to parse (truncated
+  // writes, editor mangling) are skipped and counted here, with the first
+  // few error messages kept for diagnosis.
+  std::size_t skipped_lines = 0;
+  std::vector<std::string> parse_errors;  // "line N: why", capped
 };
 
-// Parses one JSONL stream; throws std::runtime_error on malformed lines or
-// a missing/unknown schema meta line (an empty stream is also an error —
-// a valid export always carries the meta line).
-Trace parse_trace_jsonl(std::istream& in);
-Trace load_trace_file(const std::string& path);
+// Parses one JSONL stream. A missing meta line or an unknown schema always
+// throws std::runtime_error — the file is not an rpol trace at all. Damaged
+// individual records are skipped and counted (Trace::skipped_lines) by
+// default; with strict=true any unparsable line throws instead.
+Trace parse_trace_jsonl(std::istream& in, bool strict = false);
+Trace load_trace_file(const std::string& path, bool strict = false);
 
 struct PhaseSummary {
   std::string name;

@@ -1,0 +1,109 @@
+// Benchmark registry ("rpol.bench.v1"): a standardized JSON record for every
+// kernel / phase / protocol benchmark, so performance has a machine-checkable
+// trajectory instead of free-form stdout tables.
+//
+// File format — one JSON object per file:
+//   {"schema":"rpol.bench.v1",
+//    "records":[
+//      {"bench":"bench_micro","name":"gemm.256","unit":"s","value":1.2e-3,
+//       "higher_is_better":false,
+//       "stats":{"best":...,"p50":...,"p95":...,"worst":...},
+//       "env":{"threads":8,"build":"release","compiler":"..."}}, ...]}
+//
+// `value` is the headline number compared by bench-diff (conventionally the
+// p50 for latencies); `stats` keeps the spread for humans. Records are keyed
+// and sorted by (bench, name) so files diff cleanly in git.
+//
+// `rpol bench-diff <baseline> <current> [--tolerance 0.xx]` compares two
+// files: a record regresses when its value moves past the tolerance in the
+// bad direction (higher for latencies, lower for throughputs). The committed
+// BENCH_baseline.json seeds the trajectory; tools/run_tier1.sh runs the diff
+// advisorily.
+
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rpol::obs {
+
+struct BenchStats {
+  double best = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double worst = 0.0;
+};
+
+// Environment fingerprint: enough to explain "why did this number move"
+// without being so specific that every machine produces a diff.
+struct BenchEnv {
+  std::int64_t threads = 0;
+  std::string build;     // "release" / "debug"
+  std::string compiler;  // __VERSION__
+};
+
+struct BenchRecord {
+  std::string bench;  // emitting binary, e.g. "bench_micro"
+  std::string name;   // metric, e.g. "gemm.f32.256x256"
+  std::string unit;   // "s", "ops/s", "bytes", ...
+  double value = 0.0;
+  bool higher_is_better = false;
+  bool has_stats = false;
+  BenchStats stats{};
+  BenchEnv env{};
+};
+
+struct BenchReport {
+  std::vector<BenchRecord> records;
+};
+
+// Sorts by (bench, name) — the canonical on-disk order.
+void sort_bench_records(BenchReport& report);
+
+// Serializes as rpol.bench.v1 (records sorted first). Returns records written.
+std::size_t write_bench_json(const BenchReport& report, std::FILE* out);
+bool write_bench_json_file(const BenchReport& report, const std::string& path);
+
+// Throws std::runtime_error on wrong/missing schema or malformed JSON.
+BenchReport parse_bench_json(std::string_view text);
+BenchReport load_bench_file(const std::string& path);
+
+// Overlay merge: records from `update` replace same-(bench,name) records in
+// `base`; everything else is kept. Used to build BENCH_baseline.json from
+// several binaries' outputs.
+BenchReport merge_bench_reports(const BenchReport& base,
+                                const BenchReport& update);
+
+struct BenchDelta {
+  std::string bench;
+  std::string name;
+  std::string unit;
+  double baseline = 0.0;
+  double current = 0.0;
+  double ratio = 0.0;  // current / baseline (0 when baseline == 0)
+  bool higher_is_better = false;
+  bool regression = false;
+  bool improvement = false;  // moved past tolerance in the good direction
+};
+
+struct BenchDiffResult {
+  std::vector<BenchDelta> deltas;          // (bench,name) order
+  std::vector<std::string> only_baseline;  // "bench/name" dropped records
+  std::vector<std::string> only_current;   // "bench/name" new records
+  double tolerance = 0.0;
+  std::size_t regressions = 0;
+  bool ok() const { return regressions == 0; }
+};
+
+// A record regresses when the bad-direction relative change exceeds
+// `tolerance`: value > baseline*(1+tol) for lower-is-better, value <
+// baseline*(1-tol) for higher-is-better. Records present on only one side
+// are reported but never gate.
+BenchDiffResult diff_bench(const BenchReport& baseline,
+                           const BenchReport& current, double tolerance);
+
+void print_bench_diff(const BenchDiffResult& diff, std::FILE* out);
+
+}  // namespace rpol::obs

@@ -1,0 +1,37 @@
+// Minimal JSON reader shared by the trace analyzer (src/obs/analyze.cpp),
+// the timeline reconstructor (src/obs/timeline.cpp), and the benchmark
+// registry (src/obs/benchreg.cpp) — just enough for the objects, nested
+// objects, and arrays the rpol.trace.v2 / rpol.bench.v1 exporters emit.
+// Numbers keep their raw token so u64 fields (byte counts, timestamps)
+// parse losslessly; rpol::obs emitters never produce values a double can't
+// round-trip except those u64s, which callers read back via as_u64().
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rpol::obs {
+
+struct Json {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool b = false;
+  std::string token;  // raw number token, or string payload
+  std::vector<Json> arr;
+  std::vector<std::pair<std::string, Json>> obj;
+
+  double as_double() const;
+  std::uint64_t as_u64() const;
+  std::int64_t as_i64() const;
+  const Json* find(std::string_view key) const;
+};
+
+// Parses one complete JSON value (whitespace incl. newlines allowed around
+// tokens, nothing may trail it); throws std::runtime_error on malformed
+// input with the failing byte offset in the message.
+Json parse_json(std::string_view text);
+
+}  // namespace rpol::obs

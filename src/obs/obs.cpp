@@ -127,6 +127,24 @@ Span::Span(std::string_view name, std::uint64_t parent, std::int64_t worker,
   rec_.start_ns = now_ns();
 }
 
+Span::Span(std::string_view name, const Span& parent, std::int64_t worker,
+           std::int64_t epoch)
+    : Span(name, parent.id(), worker, epoch) {
+  rec_.trace_id = parent.trace_id();
+}
+
+Span::Span(std::string_view name, const TraceContext& remote_parent,
+           std::int64_t worker, std::int64_t epoch)
+    : Span(name, /*parent=*/std::uint64_t{0}, worker, epoch) {
+  if (!active_) return;
+  if (remote_parent.valid()) {
+    rec_.trace_id = remote_parent.trace_id;
+    rec_.link = remote_parent.span_id;
+  } else {
+    rec_.trace_id = rec_.id;  // roots a new causal tree
+  }
+}
+
 Span::~Span() {
   if (!active_) return;
   rec_.dur_ns = now_ns() - rec_.start_ns;
@@ -262,7 +280,7 @@ std::size_t Registry::export_jsonl(std::FILE* out) const {
   std::string buf;
 
   std::fprintf(out,
-               "{\"type\":\"meta\",\"schema\":\"rpol.trace.v1\","
+               "{\"type\":\"meta\",\"schema\":\"rpol.trace.v2\","
                "\"wall_unix_ns\":%llu}\n",
                static_cast<unsigned long long>(wall_anchor_unix_ns_));
   ++lines;
@@ -317,10 +335,13 @@ std::size_t Registry::export_jsonl(std::FILE* out) const {
     json_escape(buf, s.name);
     std::fprintf(out,
                  "{\"type\":\"span\",\"id\":%llu,\"parent\":%llu,"
+                 "\"trace\":%llu,\"link\":%llu,"
                  "\"name\":\"%s\",\"worker\":%lld,\"epoch\":%lld,"
                  "\"start_ns\":%llu,\"dur_ns\":%llu,\"attrs\":{",
                  static_cast<unsigned long long>(s.id),
-                 static_cast<unsigned long long>(s.parent), buf.c_str(),
+                 static_cast<unsigned long long>(s.parent),
+                 static_cast<unsigned long long>(s.trace_id),
+                 static_cast<unsigned long long>(s.link), buf.c_str(),
                  static_cast<long long>(s.worker),
                  static_cast<long long>(s.epoch),
                  static_cast<unsigned long long>(s.start_ns),

@@ -27,7 +27,16 @@
 // overridden by obs::set_enabled(). Export is explicit — call
 // Registry::export_jsonl (or the maybe_export helper, which honors
 // RPOL_TRACE_FILE) from the binary that owns the run. Schema:
-// docs/observability.md ("rpol.trace.v1").
+// docs/observability.md ("rpol.trace.v2").
+//
+// Causal propagation: every span carries a trace_id (the id of the root
+// span of its causal tree — one tree per epoch/submission) and, when its
+// parent lives in ANOTHER agent, a `link` to that remote span. The
+// TraceContext {trace_id, span_id} pair is what crosses the wire (see
+// core/wire.h's trace envelope); receivers adopt it so one epoch becomes a
+// single stitched tree spanning manager and workers. Propagation is as
+// write-only as everything else here: contexts ride OUTSIDE the canonical
+// message bytes and are stripped before any decode or hash.
 
 #pragma once
 
@@ -136,9 +145,21 @@ struct SpanAttr {
   bool quoted = false;
 };
 
+// The causal coordinates one span hands to its descendants: the id of the
+// tree root (trace_id) and its own span id. A zero span_id means "no
+// context" — produced by inert spans and legacy (pre-v2) senders — and
+// adopting it starts a fresh tree instead of linking.
+struct TraceContext {
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+  bool valid() const { return span_id != 0; }
+};
+
 struct SpanRecord {
   std::uint64_t id = 0;
-  std::uint64_t parent = 0;  // 0 = root
+  std::uint64_t parent = 0;    // same-agent parent span, 0 = root
+  std::uint64_t trace_id = 0;  // root span id of the causal tree, 0 = legacy
+  std::uint64_t link = 0;      // remote (cross-agent) parent span, 0 = none
   std::string name;
   std::int64_t worker = -1;  // -1 = not worker-scoped (manager / global)
   std::int64_t epoch = -1;   // -1 = not epoch-scoped
@@ -152,14 +173,28 @@ struct SpanRecord {
 // A span constructed while tracing is disabled is inert (id() == 0).
 class Span {
  public:
+  // Legacy form: raw parent id, no trace membership (trace_id stays 0).
   explicit Span(std::string_view name, std::uint64_t parent = 0,
                 std::int64_t worker = -1, std::int64_t epoch = -1);
+  // Same-agent child: inherits the parent's trace_id.
+  Span(std::string_view name, const Span& parent, std::int64_t worker = -1,
+       std::int64_t epoch = -1);
+  // Trace-aware span. A valid remote context makes this span a cross-agent
+  // child (trace_id adopted, `link` set to the remote span); an invalid one
+  // roots a NEW trace (trace_id = own id). Pass obs::TraceContext{} to start
+  // an epoch/submission tree.
+  Span(std::string_view name, const TraceContext& remote_parent,
+       std::int64_t worker = -1, std::int64_t epoch = -1);
   ~Span();
   Span(const Span&) = delete;
   Span& operator=(const Span&) = delete;
 
   bool active() const { return active_; }
   std::uint64_t id() const { return rec_.id; }
+  std::uint64_t trace_id() const { return rec_.trace_id; }
+  // Coordinates descendants (local or remote) should adopt. All-zero when
+  // the span is inert, so propagation degrades to the legacy no-op.
+  TraceContext context() const { return {rec_.trace_id, rec_.id}; }
 
   void attr(std::string_view key, double v);
   void attr(std::string_view key, std::int64_t v);
@@ -191,7 +226,7 @@ class Registry {
   // Zeroes every metric and drops recorded spans; handles stay registered.
   void reset();
 
-  // Writes the whole registry as JSONL ("rpol.trace.v1"): one meta line,
+  // Writes the whole registry as JSONL ("rpol.trace.v2"): one meta line,
   // then counters, gauges, histograms (each sorted by name), then spans in
   // completion order. Returns the number of lines written.
   std::size_t export_jsonl(std::FILE* out) const;

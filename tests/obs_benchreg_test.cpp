@@ -1,0 +1,200 @@
+// Benchmark-registry coverage (src/obs/benchreg.*): rpol.bench.v1
+// serialization round trips, overlay merge semantics, and the bench-diff
+// tolerance gate — including the acceptance-criteria case that an injected
+// 2x regression is detected while baseline-vs-baseline passes clean.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+
+#include "obs/benchreg.h"
+
+namespace rpol {
+namespace {
+
+obs::BenchRecord record(std::string bench, std::string name, double value,
+                        bool higher_is_better = false) {
+  obs::BenchRecord r;
+  r.bench = std::move(bench);
+  r.name = std::move(name);
+  r.unit = std::string("s");  // temporary dodges a GCC 12 -Wrestrict warning
+  r.value = value;
+  r.higher_is_better = higher_is_better;
+  return r;
+}
+
+obs::BenchReport sample_report() {
+  obs::BenchReport report;
+  report.records.push_back(record("bench_micro", "gemm.256", 1.5e-3));
+  report.records.push_back(
+      record("bench_micro", "gemm.gflops", 42.5, /*higher_is_better=*/true));
+  obs::BenchRecord latency = record("bench_table3", "verify.p50", 0.25);
+  latency.has_stats = true;
+  latency.stats = {0.20, 0.25, 0.40, 0.55};
+  latency.env.threads = 4;
+  latency.env.build = "release";
+  latency.env.compiler = "test-cc 1.0";
+  report.records.push_back(latency);
+  return report;
+}
+
+TEST(BenchReg, WriteParseRoundTripsEveryField) {
+  const obs::BenchReport report = sample_report();
+  const char* path = "obs_benchreg_test_roundtrip.json";
+  ASSERT_TRUE(obs::write_bench_json_file(report, path));
+
+  const obs::BenchReport loaded = obs::load_bench_file(path);
+  ASSERT_EQ(loaded.records.size(), 3U);
+  // Canonical order is (bench, name): gemm.256 < gemm.gflops < verify.p50.
+  EXPECT_EQ(loaded.records[0].name, "gemm.256");
+  EXPECT_DOUBLE_EQ(loaded.records[0].value, 1.5e-3);
+  EXPECT_FALSE(loaded.records[0].higher_is_better);
+  EXPECT_FALSE(loaded.records[0].has_stats);
+  EXPECT_EQ(loaded.records[1].name, "gemm.gflops");
+  EXPECT_TRUE(loaded.records[1].higher_is_better);
+
+  const obs::BenchRecord& latency = loaded.records[2];
+  EXPECT_EQ(latency.bench, "bench_table3");
+  EXPECT_EQ(latency.unit, "s");
+  ASSERT_TRUE(latency.has_stats);
+  EXPECT_DOUBLE_EQ(latency.stats.best, 0.20);
+  EXPECT_DOUBLE_EQ(latency.stats.p95, 0.40);
+  EXPECT_DOUBLE_EQ(latency.stats.worst, 0.55);
+  EXPECT_EQ(latency.env.threads, 4);
+  EXPECT_EQ(latency.env.build, "release");
+  EXPECT_EQ(latency.env.compiler, "test-cc 1.0");
+}
+
+TEST(BenchReg, ParserRejectsWrongOrMissingSchema) {
+  EXPECT_THROW(obs::parse_bench_json("{\"schema\":\"other.v2\",\"records\":[]}"),
+               std::runtime_error);
+  EXPECT_THROW(obs::parse_bench_json("{\"records\":[]}"), std::runtime_error);
+  EXPECT_THROW(obs::parse_bench_json("{\"schema\":\"rpol.bench.v1\"}"),
+               std::runtime_error);
+  EXPECT_THROW(obs::parse_bench_json("not json"), std::runtime_error);
+  EXPECT_THROW(obs::load_bench_file("does_not_exist_bench.json"),
+               std::runtime_error);
+  // A record missing a required key is an error, not a silent default.
+  EXPECT_THROW(
+      obs::parse_bench_json("{\"schema\":\"rpol.bench.v1\",\"records\":["
+                            "{\"bench\":\"b\",\"name\":\"n\"}]}"),
+      std::runtime_error);
+}
+
+TEST(BenchReg, MergeOverlaysLaterRecordsAndKeepsTheRest) {
+  obs::BenchReport base = sample_report();
+  obs::BenchReport update;
+  update.records.push_back(record("bench_micro", "gemm.256", 9.9e-3));  // wins
+  update.records.push_back(record("bench_new", "fresh.metric", 1.0));
+
+  const obs::BenchReport merged = obs::merge_bench_reports(base, update);
+  ASSERT_EQ(merged.records.size(), 4U);
+  double gemm256 = -1.0;
+  bool saw_fresh = false, saw_verify = false;
+  for (const obs::BenchRecord& r : merged.records) {
+    if (r.bench == "bench_micro" && r.name == "gemm.256") gemm256 = r.value;
+    if (r.bench == "bench_new") saw_fresh = true;
+    if (r.name == "verify.p50") saw_verify = true;
+  }
+  EXPECT_DOUBLE_EQ(gemm256, 9.9e-3);  // update replaced the base record
+  EXPECT_TRUE(saw_fresh);
+  EXPECT_TRUE(saw_verify);  // untouched base record survives
+}
+
+TEST(BenchReg, BaselineVsItselfPassesClean) {
+  const obs::BenchReport report = sample_report();
+  const obs::BenchDiffResult diff = obs::diff_bench(report, report, 0.35);
+  EXPECT_TRUE(diff.ok());
+  EXPECT_EQ(diff.regressions, 0U);
+  ASSERT_EQ(diff.deltas.size(), 3U);
+  for (const obs::BenchDelta& d : diff.deltas) {
+    EXPECT_DOUBLE_EQ(d.ratio, 1.0);
+    EXPECT_FALSE(d.regression);
+    EXPECT_FALSE(d.improvement);
+  }
+  EXPECT_TRUE(diff.only_baseline.empty());
+  EXPECT_TRUE(diff.only_current.empty());
+}
+
+TEST(BenchReg, DetectsInjectedTwoXRegression) {
+  const obs::BenchReport baseline = sample_report();
+  obs::BenchReport current = sample_report();
+  for (obs::BenchRecord& r : current.records) {
+    if (r.name == "gemm.256") r.value *= 2.0;  // latency doubled: regression
+  }
+  const obs::BenchDiffResult diff = obs::diff_bench(baseline, current, 0.35);
+  EXPECT_FALSE(diff.ok());
+  EXPECT_EQ(diff.regressions, 1U);
+  bool flagged = false;
+  for (const obs::BenchDelta& d : diff.deltas) {
+    if (d.name == "gemm.256") {
+      flagged = d.regression;
+      EXPECT_DOUBLE_EQ(d.ratio, 2.0);
+    } else {
+      EXPECT_FALSE(d.regression);
+    }
+  }
+  EXPECT_TRUE(flagged);
+}
+
+TEST(BenchReg, DirectionAwareTolerance) {
+  const obs::BenchReport baseline = sample_report();
+
+  // Halved throughput (higher_is_better) regresses; halved latency improves.
+  obs::BenchReport current = sample_report();
+  for (obs::BenchRecord& r : current.records) r.value *= 0.5;
+  const obs::BenchDiffResult diff = obs::diff_bench(baseline, current, 0.35);
+  EXPECT_EQ(diff.regressions, 1U);
+  for (const obs::BenchDelta& d : diff.deltas) {
+    if (d.name == "gemm.gflops") {
+      EXPECT_TRUE(d.regression);
+    } else {
+      EXPECT_FALSE(d.regression);
+      EXPECT_TRUE(d.improvement);
+    }
+  }
+
+  // Movement inside the tolerance band gates nothing in either direction.
+  obs::BenchReport close = sample_report();
+  for (obs::BenchRecord& r : close.records) r.value *= 1.1;
+  EXPECT_TRUE(obs::diff_bench(baseline, close, 0.35).ok());
+}
+
+TEST(BenchReg, OneSidedRecordsReportButNeverGate) {
+  obs::BenchReport baseline = sample_report();
+  obs::BenchReport current = sample_report();
+  current.records.pop_back();  // dropped from current
+  current.records.push_back(record("bench_new", "added.metric", 5.0));
+
+  const obs::BenchDiffResult diff = obs::diff_bench(baseline, current, 0.35);
+  EXPECT_TRUE(diff.ok());  // presence changes alone never fail the gate
+  ASSERT_EQ(diff.only_baseline.size(), 1U);
+  EXPECT_EQ(diff.only_baseline[0], "bench_table3/verify.p50");
+  ASSERT_EQ(diff.only_current.size(), 1U);
+  EXPECT_EQ(diff.only_current[0], "bench_new/added.metric");
+
+  // print_bench_diff must render every section without crashing.
+  std::FILE* out = std::fopen("obs_benchreg_test_print.txt", "w");
+  ASSERT_NE(out, nullptr);
+  obs::print_bench_diff(diff, out);
+  std::fclose(out);
+}
+
+TEST(BenchReg, ZeroBaselineOnlyGatesOnNonFiniteCurrent) {
+  obs::BenchReport baseline;
+  baseline.records.push_back(record("b", "starts.at.zero", 0.0));
+  obs::BenchReport current;
+  current.records.push_back(record("b", "starts.at.zero", 123.0));
+  // Any finite movement off a zero baseline is reported, not gated: there
+  // is no meaningful relative change to threshold.
+  EXPECT_TRUE(obs::diff_bench(baseline, current, 0.35).ok());
+
+  current.records[0].value = std::nan("");
+  EXPECT_FALSE(obs::diff_bench(baseline, current, 0.35).ok());
+}
+
+}  // namespace
+}  // namespace rpol

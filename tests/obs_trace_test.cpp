@@ -1,8 +1,9 @@
 // Exporter & analyzer coverage for the observability layer (src/obs):
-// golden-line checks of the rpol.trace.v1 JSONL schema, a full
-// export -> parse round trip through the analyzer, the empty-trace and
-// disabled-registry edge cases, histogram bucket math, and the shared
-// sim::percentile quantile routine.
+// golden-line checks of the rpol.trace.v2 JSONL schema, a full
+// export -> parse round trip through the analyzer, TraceContext propagation
+// semantics, tolerant vs strict parsing of damaged files, the empty-trace
+// and disabled-registry edge cases, histogram bucket math, fault-counter
+// reporting, and the shared sim::percentile quantile routine.
 
 #include <gtest/gtest.h>
 
@@ -106,6 +107,31 @@ TEST(Histogram, RecordsAndApproximatesPercentiles) {
   EXPECT_EQ(empty.approx_percentile(50.0), 0U);
 }
 
+TEST(Histogram, SingleSampleCollapsesAllPercentiles) {
+  obs::Histogram h("one");
+  h.record(5);  // small value -> exact bucket, so the estimate is exact
+  EXPECT_EQ(h.count(), 1U);
+  EXPECT_EQ(h.max(), 5U);
+  EXPECT_EQ(h.approx_percentile(0.0), 5U);
+  EXPECT_EQ(h.approx_percentile(50.0), 5U);
+  EXPECT_EQ(h.approx_percentile(95.0), 5U);
+  EXPECT_EQ(h.approx_percentile(100.0), 5U);
+}
+
+TEST(Histogram, AllSamplesInOneBucketShareOneEstimate) {
+  obs::Histogram h("same");
+  for (int i = 0; i < 1000; ++i) h.record(70'000);
+  EXPECT_EQ(h.count(), 1000U);
+  const int idx = obs::Histogram::bucket_index(70'000);
+  EXPECT_EQ(h.bucket(idx), 1000U);
+  // Every percentile resolves to the one occupied bucket, clamped by max():
+  // with identical samples the estimate is exact at every p.
+  EXPECT_GE(obs::Histogram::bucket_upper_bound(idx), 70'000U);
+  EXPECT_EQ(h.approx_percentile(1.0), 70'000U);
+  EXPECT_EQ(h.approx_percentile(50.0), 70'000U);
+  EXPECT_EQ(h.approx_percentile(99.0), 70'000U);
+}
+
 // ---------------------------------------------------------------------------
 // Exporter schema (golden lines) and analyzer round trip
 
@@ -115,15 +141,17 @@ TEST_F(ObsTest, GoldenJsonlSchema) {
   obs::gauge("runtime.threads").set(4.0);
   obs::histogram("kernel.matmul_ns").record(5);
   {
-    obs::Span root("epoch", 0, -1, 3);
-    obs::Span child("train", root.id(), 1, 3);
+    // Root a fresh causal tree (invalid remote context), then hang a
+    // same-agent child off it — the propagation shape every epoch uses.
+    obs::Span root("epoch", obs::TraceContext{}, -1, 3);
+    obs::Span child("train", root, 1, 3);
     child.attr("storage_bytes", std::uint64_t{1024});
     child.attr("note", std::string_view("a\"b"));
   }
 
   const std::vector<std::string> lines = export_lines();
   ASSERT_EQ(lines.size(), 6U);  // meta, counter, gauge, histogram, 2 spans
-  EXPECT_EQ(lines[0].rfind("{\"type\":\"meta\",\"schema\":\"rpol.trace.v1\","
+  EXPECT_EQ(lines[0].rfind("{\"type\":\"meta\",\"schema\":\"rpol.trace.v2\","
                            "\"wall_unix_ns\":",
                            0),
             0U);
@@ -137,16 +165,63 @@ TEST_F(ObsTest, GoldenJsonlSchema) {
             0U);
   EXPECT_NE(lines[3].find("\"buckets\":[[5,1]]"), std::string::npos);
   // Spans export in completion order: the child closes before the root.
+  // Both carry the root's id as their trace; neither crossed an agent
+  // boundary, so link stays 0.
   EXPECT_EQ(lines[4].rfind("{\"type\":\"span\",\"id\":2,\"parent\":1,"
+                           "\"trace\":1,\"link\":0,"
                            "\"name\":\"train\",\"worker\":1,\"epoch\":3,",
                            0),
             0U);
   EXPECT_NE(lines[4].find("\"storage_bytes\":1024"), std::string::npos);
   EXPECT_NE(lines[4].find("\"note\":\"a\\\"b\""), std::string::npos);
   EXPECT_EQ(lines[5].rfind("{\"type\":\"span\",\"id\":1,\"parent\":0,"
+                           "\"trace\":1,\"link\":0,"
                            "\"name\":\"epoch\",\"worker\":-1,\"epoch\":3,",
                            0),
             0U);
+}
+
+TEST_F(ObsTest, SpanPropagationSemantics) {
+  obs::set_enabled(true);
+  // Legacy ctor: raw parent id, no trace membership.
+  obs::Span legacy("legacy", std::uint64_t{0});
+  EXPECT_EQ(legacy.trace_id(), 0U);
+  EXPECT_EQ(legacy.context().trace_id, 0U);
+  EXPECT_TRUE(legacy.context().valid());  // span_id is still real
+
+  // Invalid remote context roots a new tree: trace_id == own id.
+  obs::Span root("epoch", obs::TraceContext{});
+  EXPECT_EQ(root.trace_id(), root.id());
+
+  // Same-agent child inherits the tree, links nothing.
+  obs::Span child("train", root);
+  EXPECT_EQ(child.trace_id(), root.trace_id());
+
+  // A valid remote context is adopted: same tree, link = remote span.
+  const obs::TraceContext remote = root.context();
+  obs::Span adopted("worker_epoch", remote, 2, 0);
+  EXPECT_EQ(adopted.trace_id(), root.trace_id());
+  EXPECT_NE(adopted.id(), root.id());
+
+  // Inert spans (tracing off) hand out the all-zero context, so remote
+  // receivers degrade to fresh roots instead of linking to id 0.
+  obs::set_enabled(false);
+  obs::Span inert("off");
+  EXPECT_FALSE(inert.context().valid());
+  EXPECT_EQ(inert.context().trace_id, 0U);
+  obs::set_enabled(true);
+
+  // The recorded link field round-trips through the registry snapshot.
+  const auto spans = obs::Registry::instance().spans();
+  ASSERT_EQ(spans.size(), 0U);  // all spans above are still open
+  {
+    obs::Span closed("verify", remote, 2, 0);
+  }
+  const auto closed_spans = obs::Registry::instance().spans();
+  ASSERT_EQ(closed_spans.size(), 1U);
+  EXPECT_EQ(closed_spans[0].trace_id, root.trace_id());
+  EXPECT_EQ(closed_spans[0].link, root.id());
+  EXPECT_EQ(closed_spans[0].parent, 0U);  // cross-agent: no local parent
 }
 
 TEST_F(ObsTest, ExportParsesBackLosslessly) {
@@ -158,7 +233,8 @@ TEST_F(ObsTest, ExportParsesBackLosslessly) {
   obs::histogram("kernel.matmul_ns").record(1000);
   obs::histogram("kernel.matmul_ns").record(2000);
   {
-    obs::Span verify("verify", 0, 2, 1);
+    // Adopt a synthetic remote context so non-zero trace/link round-trip.
+    obs::Span verify("verify", obs::TraceContext{10, 5}, 2, 1);
     verify.attr("accepted", true);
     verify.attr("double_checks", std::int64_t{1});
   }
@@ -166,8 +242,9 @@ TEST_F(ObsTest, ExportParsesBackLosslessly) {
       "obs_trace_test_out.jsonl"));
 
   const obs::Trace trace = obs::load_trace_file("obs_trace_test_out.jsonl");
-  EXPECT_EQ(trace.schema, "rpol.trace.v1");
+  EXPECT_EQ(trace.schema, "rpol.trace.v2");
   EXPECT_GT(trace.wall_unix_ns, 0U);
+  EXPECT_EQ(trace.skipped_lines, 0U);
   EXPECT_EQ(trace.counters.at("bytes.state"), 123'456'789'012ULL);
   EXPECT_EQ(trace.counters.at("verify.accept"), 2U);
   EXPECT_DOUBLE_EQ(trace.gauges.at("table3.RPoLv2.capital_usd"), 5.46);
@@ -178,6 +255,8 @@ TEST_F(ObsTest, ExportParsesBackLosslessly) {
   EXPECT_EQ(trace.spans[0].name, "verify");
   EXPECT_EQ(trace.spans[0].worker, 2);
   EXPECT_EQ(trace.spans[0].epoch, 1);
+  EXPECT_EQ(trace.spans[0].trace_id, 10U);
+  EXPECT_EQ(trace.spans[0].link, 5U);
 
   const obs::TraceSummary summary = obs::summarize_trace(trace);
   EXPECT_EQ(summary.bytes_total, 123'456'789'019ULL);
@@ -221,6 +300,86 @@ TEST_F(ObsTest, ParserRejectsMalformedInput) {
   EXPECT_THROW(obs::parse_trace_jsonl(garbage), std::runtime_error);
   EXPECT_THROW(obs::load_trace_file("does_not_exist.jsonl"),
                std::runtime_error);
+}
+
+TEST_F(ObsTest, TolerantParserSkipsDamagedRecordsAndCountsThem) {
+  // A valid meta line followed by a mix of good records and damage: the
+  // default (tolerant) mode keeps the good records and counts the rest.
+  const std::string body =
+      "{\"type\":\"meta\",\"schema\":\"rpol.trace.v2\",\"wall_unix_ns\":1}\n"
+      "{\"type\":\"counter\",\"name\":\"bytes.update\",\"value\":7}\n"
+      "{\"type\":\"span\",\"id\":1,\"parent\":0,\"trace\":1,\"link\"\n"
+      "totally not json\n"
+      "{\"type\":\"gauge\",\"name\":\"runtime.threads\",\"value\":4}\n";
+  std::istringstream tolerant(body);
+  const obs::Trace trace = obs::parse_trace_jsonl(tolerant);
+  EXPECT_EQ(trace.counters.at("bytes.update"), 7U);
+  EXPECT_DOUBLE_EQ(trace.gauges.at("runtime.threads"), 4.0);
+  EXPECT_TRUE(trace.spans.empty());
+  EXPECT_EQ(trace.skipped_lines, 2U);
+  ASSERT_GE(trace.parse_errors.size(), 1U);
+  // Messages carry the 1-based line number for diagnosis.
+  EXPECT_NE(trace.parse_errors[0].find("line 3"), std::string::npos);
+
+  // Strict mode refuses the same stream.
+  std::istringstream strict(body);
+  EXPECT_THROW(obs::parse_trace_jsonl(strict, /*strict=*/true),
+               std::runtime_error);
+}
+
+TEST_F(ObsTest, LegacyV1TracesStillLoad) {
+  // Pre-propagation exports have no trace/link span fields; they must load
+  // with both defaulting to 0 so old captures stay analyzable.
+  const std::string body =
+      "{\"type\":\"meta\",\"schema\":\"rpol.trace.v1\",\"wall_unix_ns\":9}\n"
+      "{\"type\":\"span\",\"id\":4,\"parent\":2,\"name\":\"train\","
+      "\"worker\":0,\"epoch\":1,\"start_ns\":10,\"dur_ns\":20,\"attrs\":{}}\n";
+  std::istringstream in(body);
+  const obs::Trace trace = obs::parse_trace_jsonl(in);
+  EXPECT_EQ(trace.schema, "rpol.trace.v1");
+  ASSERT_EQ(trace.spans.size(), 1U);
+  EXPECT_EQ(trace.spans[0].id, 4U);
+  EXPECT_EQ(trace.spans[0].parent, 2U);
+  EXPECT_EQ(trace.spans[0].trace_id, 0U);
+  EXPECT_EQ(trace.spans[0].link, 0U);
+  EXPECT_EQ(trace.skipped_lines, 0U);
+}
+
+// Reads `path` fully; print_trace_summary writes to FILE*, so the fault
+// counter tests route it through a scratch file.
+std::string slurp(const char* path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+TEST_F(ObsTest, FaultCountersAppearInSummaryOnlyWhenNonzero) {
+  obs::Trace trace;
+  trace.schema = "rpol.trace.v2";
+  trace.counters["bytes.update"] = 10;
+
+  const char* path = "obs_trace_test_summary.txt";
+  std::FILE* out = std::fopen(path, "w");
+  ASSERT_NE(out, nullptr);
+  obs::print_trace_summary(trace, out);
+  std::fclose(out);
+  // Fault-free runs keep the report unchanged — no resilience block.
+  EXPECT_EQ(slurp(path).find("fault resilience"), std::string::npos);
+
+  trace.counters["session.retry"] = 2;
+  trace.counters["pool.retransmission"] = 3;
+  trace.counters["pool.eviction"] = 1;
+  trace.counters["session.decode_reject"] = 4;
+  out = std::fopen(path, "w");
+  ASSERT_NE(out, nullptr);
+  obs::print_trace_summary(trace, out);
+  std::fclose(out);
+  const std::string report = slurp(path);
+  EXPECT_NE(report.find("fault resilience"), std::string::npos);
+  EXPECT_NE(report.find("retransmissions=5"), std::string::npos);
+  EXPECT_NE(report.find("evictions=1"), std::string::npos);
+  EXPECT_NE(report.find("decode_rejects=4"), std::string::npos);
 }
 
 TEST_F(ObsTest, DisabledRegistryRecordsNothing) {

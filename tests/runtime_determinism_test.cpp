@@ -17,10 +17,12 @@
 #include "core/detsel.h"
 #include "core/executor.h"
 #include "crypto/sha256.h"
+#include "data/partition.h"
 #include "data/synthetic.h"
 #include "nn/models.h"
 #include "obs/obs.h"
 #include "runtime/thread_pool.h"
+#include "task_fixture.h"
 #include "tensor/ops.h"
 #include "tensor/rng.h"
 #include "tensor/serialize.h"
@@ -328,6 +330,71 @@ TEST(TrainingDeterminism, TracedRunIsBitwiseIdenticalToUntraced) {
   }
   EXPECT_TRUE(digest_equal(untraced.commitment.root, traced.commitment.root));
   EXPECT_TRUE(digest_equal(untraced.merkle_root, traced.merkle_root));
+}
+
+// The same guarantee through the FULL protocol stack: a MiningPool run with
+// tracing on exercises causal propagation end to end — epoch root spans,
+// TraceContext riding the wire envelope on every session message, workers
+// adopting remote parents — and must still produce bit-identical protocol
+// results. This is the strongest form of "envelopes never reach a hash":
+// if a single envelope byte leaked into any commitment, digest, or decode,
+// the global models would diverge.
+TEST(TrainingDeterminism, TracedPoolRunWithPropagationIsBitwiseIdentical) {
+  auto run_pool = [](bool traced) {
+    obs::set_enabled(traced);
+    obs::Registry::instance().reset();
+    const testing::TinyTask task = testing::TinyTask::make(61, 10, 3);
+    const data::TrainTestSplit split =
+        data::train_test_split(task.dataset, 0.25, 17);
+    core::PoolConfig cfg;
+    cfg.hp = task.hp;
+    cfg.epochs = 2;
+    cfg.samples_q = 3;
+    cfg.seed = 71;
+    std::vector<core::WorkerSpec> workers;
+    const auto devices = sim::all_devices();
+    for (std::size_t w = 0; w < 3; ++w) {
+      core::WorkerSpec spec;
+      spec.policy = std::make_unique<core::HonestPolicy>();
+      spec.device = devices[w % devices.size()];
+      workers.push_back(std::move(spec));
+    }
+    core::MiningPool pool(cfg, task.factory, task.dataset, split.test,
+                          std::move(workers));
+    const core::PoolRunReport report = pool.run();
+
+    struct Result {
+      std::vector<float> model;
+      double final_accuracy = 0.0;
+      std::uint64_t total_bytes = 0;
+      std::size_t spans = 0;
+      bool propagated = false;  // any span joined a tree via a remote link
+    };
+    Result r;
+    r.model = pool.global_model();
+    r.final_accuracy = report.final_accuracy;
+    r.total_bytes = report.total_bytes;
+    r.spans = obs::Registry::instance().span_count();
+    for (const obs::SpanRecord& s : obs::Registry::instance().spans()) {
+      if (s.link != 0) r.propagated = true;
+    }
+    obs::set_enabled(false);
+    obs::Registry::instance().reset();
+    return r;
+  };
+
+  const auto untraced = run_pool(false);
+  const auto traced = run_pool(true);
+
+  // The traced run really propagated contexts across agents...
+  EXPECT_EQ(untraced.spans, 0U);
+  EXPECT_GT(traced.spans, 0U);
+  EXPECT_TRUE(traced.propagated);
+  // ...and not one protocol byte moved: same model floats, same accuracy,
+  // same WAN byte accounting (envelopes are excluded from it by design).
+  EXPECT_EQ(untraced.model, traced.model);
+  EXPECT_EQ(untraced.final_accuracy, traced.final_accuracy);
+  EXPECT_EQ(untraced.total_bytes, traced.total_bytes);
 }
 
 }  // namespace

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Regenerates BENCH_baseline.json — the committed rpol.bench.v1 registry that
+# seeds the performance trajectory (`rpol bench-diff BENCH_baseline.json ...`).
+#
+# Only the two smoke-shape benches feed the baseline (the full suite takes
+# minutes): bench_micro's kernel harness (wall-clock GFLOP/s) and
+# bench_table3's deterministic cost-model rows. Both write into the same file
+# via RPOL_BENCH_FILE; BenchRecorder overlay-merges on write.
+#
+# Usage: tools/make_bench_baseline.sh [build-dir]   (default: build)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+BUILD="${1:-build}"
+
+for bin in bench_micro bench_table3_overhead; do
+  if [[ ! -x "$BUILD/bench/$bin" ]]; then
+    echo "missing $BUILD/bench/$bin — build first: cmake --build $BUILD -j" >&2
+    exit 1
+  fi
+done
+
+rm -f BENCH_baseline.json
+
+# The kernel harness always runs; '^$' filters out the google-benchmark
+# suite so the baseline pass stays short.
+RPOL_BENCH_FILE=BENCH_baseline.json \
+  "$BUILD/bench/bench_micro" --benchmark_filter='^$' >/dev/null
+
+RPOL_BENCH_FILE=BENCH_baseline.json \
+  "$BUILD/bench/bench_table3_overhead" >/dev/null
+
+echo "wrote BENCH_baseline.json:"
+"$BUILD/tools/rpol" bench-diff BENCH_baseline.json BENCH_baseline.json

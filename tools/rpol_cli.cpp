@@ -1,26 +1,32 @@
 // rpol — command-line front end to the RPoL library.
 //
 // Subcommands:
-//   simulate   run a mining-pool simulation and print per-epoch reports
-//   calibrate  run one adaptive-calibration pass (alpha/beta/LSH params)
-//   economics  print Theorem-2/3 sampling tables for given parameters
-//   costs      estimate real-scale epoch costs (Tables II/III model)
-//   trace      summarize a JSONL trace produced with RPOL_TRACE=1
+//   simulate    run a mining-pool simulation and print per-epoch reports
+//   calibrate   run one adaptive-calibration pass (alpha/beta/LSH params)
+//   economics   print Theorem-2/3 sampling tables for given parameters
+//   costs       estimate real-scale epoch costs (Tables II/III model)
+//   trace       summarize a JSONL trace produced with RPOL_TRACE=1
+//   timeline    reconstruct per-epoch causal trees from a trace
+//   bench-diff  compare two rpol.bench.v1 files with a tolerance gate
+//   bench-merge overlay-merge rpol.bench.v1 files into one registry
 //
 // Examples:
 //   rpol simulate --workers 8 --adversaries 3 --adv-type replay
 //                 --scheme v2 --epochs 6
 //   rpol economics --pr-beta 0.05 --target 0.01
 //   rpol costs --model vgg16 --workers 100 --scheme v1
-//   RPOL_TRACE=1 rpol simulate --epochs 2 && rpol trace
+//   RPOL_TRACE=1 rpol simulate --epochs 2 && rpol trace --verify-refs
+//   rpol timeline --file rpol_trace.jsonl --export trace.perfetto.json
+//   rpol bench-diff BENCH_baseline.json BENCH_current.json --tolerance 0.35
 //
 // `simulate` exports the registry to rpol_trace.jsonl (or RPOL_TRACE_FILE)
-// when RPOL_TRACE is set; `trace` loads and summarizes such a file.
+// when RPOL_TRACE is set; `trace`/`timeline` load and analyze such a file.
 
 #include <cstdio>
 #include <cstring>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "core/costing.h"
 #include "core/economics.h"
@@ -29,20 +35,31 @@
 #include "data/synthetic.h"
 #include "nn/models.h"
 #include "obs/analyze.h"
+#include "obs/benchreg.h"
 #include "obs/obs.h"
+#include "obs/timeline.h"
 
 namespace {
 using namespace rpol;
 
-// Minimal --key value argument parser.
+// Minimal argument parser: `--key value` pairs, bare `--flag` switches
+// (value "1" when the next token is another flag or the end), and anything
+// without a leading `--` collected as a positional.
 class Args {
  public:
   Args(int argc, char** argv, int first) {
-    for (int i = first; i + 1 < argc; i += 2) {
+    for (int i = first; i < argc; ++i) {
       if (std::strncmp(argv[i], "--", 2) != 0) {
-        throw std::invalid_argument(std::string("expected --flag, got ") + argv[i]);
+        positional_.emplace_back(argv[i]);
+        continue;
       }
-      values_[argv[i] + 2] = argv[i + 1];
+      const std::string key(argv[i] + 2);
+      if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+        values_.insert_or_assign(key, std::string(argv[i + 1]));
+        ++i;
+      } else {
+        values_.insert_or_assign(key, std::string("1"));
+      }
     }
   }
 
@@ -58,9 +75,14 @@ class Args {
     const auto it = values_.find(key);
     return it == values_.end() ? fallback : std::stod(it->second);
   }
+  bool has(const std::string& key) const {
+    return values_.find(key) != values_.end();
+  }
+  const std::vector<std::string>& positional() const { return positional_; }
 
  private:
   std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
 };
 
 core::Scheme parse_scheme(const std::string& name) {
@@ -156,11 +178,95 @@ int cmd_simulate(const Args& args) {
 
 int cmd_trace(const Args& args) {
   const std::string path = args.get("file", "rpol_trace.jsonl");
-  const obs::Trace trace = obs::load_trace_file(path);
+  const bool strict = args.has("strict");
+  const obs::Trace trace = obs::load_trace_file(path, strict);
   std::printf("trace %s: %zu spans, %zu counters, %zu histograms\n",
               path.c_str(), trace.spans.size(), trace.counters.size(),
               trace.histograms.size());
   obs::print_trace_summary(trace, stdout);
+  int rc = 0;
+  if (trace.skipped_lines > 0) {
+    // Already detailed by print_trace_summary; --strict would have thrown
+    // before reaching here, so this only flags the tolerant path's verdict.
+    std::printf("note: %zu malformed line(s) skipped (rerun with --strict to "
+                "fail on them)\n",
+                trace.skipped_lines);
+  }
+  if (args.has("verify-refs")) {
+    const obs::RefCheck refs = obs::verify_refs(trace);
+    if (refs.ok()) {
+      std::printf("verify-refs: OK — every parent/link among %zu spans "
+                  "resolves in-file\n",
+                  refs.total_spans);
+    } else {
+      std::printf("verify-refs: FAILED — %zu orphan parent(s), %zu orphan "
+                  "link(s) out of %zu spans\n",
+                  refs.orphan_parents.size(), refs.orphan_links.size(),
+                  refs.total_spans);
+      for (const auto id : refs.orphan_parents) {
+        std::printf("  span %llu: parent missing\n",
+                    static_cast<unsigned long long>(id));
+      }
+      for (const auto id : refs.orphan_links) {
+        std::printf("  span %llu: link missing\n",
+                    static_cast<unsigned long long>(id));
+      }
+      rc = 1;
+    }
+  }
+  return rc;
+}
+
+int cmd_timeline(const Args& args) {
+  const std::string path = args.get("file", "rpol_trace.jsonl");
+  const obs::Trace trace = obs::load_trace_file(path, args.has("strict"));
+  const obs::TimelineReport report = obs::build_timeline(trace);
+  obs::print_timeline(report, stdout);
+  const std::string export_path = args.get("export", "");
+  if (!export_path.empty()) {
+    if (!obs::export_chrome_trace_file(trace, export_path)) {
+      std::fprintf(stderr, "error: cannot write %s\n", export_path.c_str());
+      return 1;
+    }
+    std::printf("\nChrome-trace JSON written to %s (open in Perfetto or "
+                "chrome://tracing)\n",
+                export_path.c_str());
+  }
+  return report.refs.ok() ? 0 : 1;
+}
+
+int cmd_bench_diff(const Args& args) {
+  if (args.positional().size() != 2) {
+    std::fprintf(stderr,
+                 "usage: rpol bench-diff <baseline.json> <current.json> "
+                 "[--tolerance 0.xx]\n");
+    return 2;
+  }
+  const obs::BenchReport baseline = obs::load_bench_file(args.positional()[0]);
+  const obs::BenchReport current = obs::load_bench_file(args.positional()[1]);
+  const double tolerance = args.get_double("tolerance", 0.35);
+  const obs::BenchDiffResult diff = obs::diff_bench(baseline, current, tolerance);
+  obs::print_bench_diff(diff, stdout);
+  return diff.ok() ? 0 : 1;
+}
+
+int cmd_bench_merge(const Args& args) {
+  const std::string out = args.get("out", "");
+  if (out.empty() || args.positional().empty()) {
+    std::fprintf(stderr,
+                 "usage: rpol bench-merge --out <merged.json> <in.json>...\n");
+    return 2;
+  }
+  obs::BenchReport merged;
+  for (const auto& path : args.positional()) {
+    merged = obs::merge_bench_reports(merged, obs::load_bench_file(path));
+  }
+  if (!obs::write_bench_json_file(merged, out)) {
+    std::fprintf(stderr, "error: cannot write %s\n", out.c_str());
+    return 1;
+  }
+  std::printf("merged %zu file(s) -> %s (%zu records)\n",
+              args.positional().size(), out.c_str(), merged.records.size());
   return 0;
 }
 
@@ -270,7 +376,10 @@ void usage() {
       "  economics  --pr-beta P --target T --c-train C\n"
       "  costs      --model resnet18|resnet50|vgg16 --workers N --scheme v1|v2\n"
       "             --q Q --interval I\n"
-      "  trace      --file rpol_trace.jsonl   (from RPOL_TRACE=1 runs)\n");
+      "  trace      --file rpol_trace.jsonl [--strict] [--verify-refs]\n"
+      "  timeline   --file rpol_trace.jsonl [--export out.perfetto.json]\n"
+      "  bench-diff <baseline.json> <current.json> [--tolerance 0.xx]\n"
+      "  bench-merge --out merged.json <in.json>...\n");
 }
 
 }  // namespace
@@ -288,6 +397,9 @@ int main(int argc, char** argv) {
     if (command == "economics") return cmd_economics(args);
     if (command == "costs") return cmd_costs(args);
     if (command == "trace") return cmd_trace(args);
+    if (command == "timeline") return cmd_timeline(args);
+    if (command == "bench-diff") return cmd_bench_diff(args);
+    if (command == "bench-merge") return cmd_bench_merge(args);
     usage();
     return 2;
   } catch (const std::exception& e) {

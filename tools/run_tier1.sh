@@ -27,6 +27,20 @@ echo "==> tier-1 pass 2/3: RPOL_THREADS unset (default thread count)"
 echo "==> tier-1 pass 3/5: RPOL_TRACE=1 (tracing on; results must not change)"
 (cd "$BUILD_DIR" && RPOL_TRACE=1 ctest --output-on-failure -j "$(nproc)")
 
+# Advisory regression check against the committed benchmark baseline: the
+# cost-model rows are deterministic, so only genuine protocol-cost changes
+# (or a stale baseline — regenerate with tools/make_bench_baseline.sh) move
+# them. Advisory because wall-clock GFLOP/s rows vary across machines.
+if [[ -f BENCH_baseline.json ]]; then
+  echo "==> advisory: rpol bench-diff vs BENCH_baseline.json (does not gate)"
+  rm -f "$BUILD_DIR/BENCH_current.json"
+  (cd "$BUILD_DIR" && RPOL_BENCH_FILE=BENCH_current.json \
+    ./bench/bench_table3_overhead >/dev/null)
+  "$BUILD_DIR/tools/rpol" bench-diff BENCH_baseline.json \
+    "$BUILD_DIR/BENCH_current.json" --tolerance 0.35 \
+    || echo "==> advisory bench-diff flagged deltas (non-fatal)"
+fi
+
 if [[ "${RPOL_SKIP_SANITIZERS:-0}" == "1" ]]; then
   echo "==> tier-1 OK: three fast configurations green (sanitizers skipped)"
   exit 0
