@@ -10,8 +10,11 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <array>
 #include <chrono>
 #include <cstdio>
+#include <cstring>
+#include <string>
 #include <vector>
 
 #include "bench_util.h"
@@ -82,6 +85,197 @@ Tensor seed_im2col(const Tensor& input, const Conv2dSpec& spec) {
     }
   }
   return cols;
+}
+
+// ---------------------------------------------------------------------------
+// Frozen seed crypto reference (pre-pipeline implementations): staging-buffer
+// SHA-256, copy-then-hash state hashing, serial commitments, and
+// rebuild-the-tree-per-proof transition proofs. Same "do not optimize" rule
+// as the scalar kernels above — these anchor the crypto speedup records.
+
+class SeedSha256 {
+ public:
+  void update(const std::uint8_t* data, std::size_t len) {
+    total_len_ += len;
+    while (len > 0) {
+      const std::size_t take = std::min(len, buffer_.size() - buffer_len_);
+      std::memcpy(buffer_.data() + buffer_len_, data, take);
+      buffer_len_ += take;
+      data += take;
+      len -= take;
+      if (buffer_len_ == buffer_.size()) {
+        process_block(buffer_.data());
+        buffer_len_ = 0;
+      }
+    }
+  }
+  void update(const Bytes& data) { update(data.data(), data.size()); }
+
+  Digest finish() {
+    const std::uint64_t bit_len = total_len_ * 8;
+    const std::uint8_t pad_byte = 0x80;
+    update(&pad_byte, 1);
+    const std::uint8_t zero = 0x00;
+    while (buffer_len_ != 56) update(&zero, 1);
+    std::array<std::uint8_t, 8> len_bytes{};
+    for (int i = 0; i < 8; ++i) {
+      len_bytes[i] = static_cast<std::uint8_t>(bit_len >> (56 - 8 * i));
+    }
+    std::memcpy(buffer_.data() + buffer_len_, len_bytes.data(), 8);
+    process_block(buffer_.data());
+    Digest out{};
+    for (int i = 0; i < 8; ++i) {
+      out[4 * i] = static_cast<std::uint8_t>(state_[i] >> 24);
+      out[4 * i + 1] = static_cast<std::uint8_t>(state_[i] >> 16);
+      out[4 * i + 2] = static_cast<std::uint8_t>(state_[i] >> 8);
+      out[4 * i + 3] = static_cast<std::uint8_t>(state_[i]);
+    }
+    return out;
+  }
+
+ private:
+  static std::uint32_t rotr(std::uint32_t x, int n) {
+    return (x >> n) | (x << (32 - n));
+  }
+  void process_block(const std::uint8_t* block) {
+    static constexpr std::array<std::uint32_t, 64> kk = {
+        0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1,
+        0x923f82a4, 0xab1c5ed5, 0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3,
+        0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174, 0xe49b69c1, 0xefbe4786,
+        0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+        0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147,
+        0x06ca6351, 0x14292967, 0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13,
+        0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85, 0xa2bfe8a1, 0xa81a664b,
+        0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+        0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a,
+        0x5b9cca4f, 0x682e6ff3, 0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208,
+        0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2};
+    std::array<std::uint32_t, 64> w{};
+    for (int i = 0; i < 16; ++i) {
+      w[i] = (static_cast<std::uint32_t>(block[4 * i]) << 24) |
+             (static_cast<std::uint32_t>(block[4 * i + 1]) << 16) |
+             (static_cast<std::uint32_t>(block[4 * i + 2]) << 8) |
+             static_cast<std::uint32_t>(block[4 * i + 3]);
+    }
+    for (int i = 16; i < 64; ++i) {
+      const std::uint32_t s0 =
+          rotr(w[i - 15], 7) ^ rotr(w[i - 15], 18) ^ (w[i - 15] >> 3);
+      const std::uint32_t s1 =
+          rotr(w[i - 2], 17) ^ rotr(w[i - 2], 19) ^ (w[i - 2] >> 10);
+      w[i] = w[i - 16] + s0 + w[i - 7] + s1;
+    }
+    auto a = state_[0], b = state_[1], c = state_[2], d = state_[3];
+    auto e = state_[4], f = state_[5], g = state_[6], h = state_[7];
+    for (int i = 0; i < 64; ++i) {
+      const std::uint32_t s1 = rotr(e, 6) ^ rotr(e, 11) ^ rotr(e, 25);
+      const std::uint32_t ch = (e & f) ^ (~e & g);
+      const std::uint32_t t1 = h + s1 + ch + kk[i] + w[i];
+      const std::uint32_t s0 = rotr(a, 2) ^ rotr(a, 13) ^ rotr(a, 22);
+      const std::uint32_t maj = (a & b) ^ (a & c) ^ (b & c);
+      const std::uint32_t t2 = s0 + maj;
+      h = g; g = f; f = e; e = d + t1;
+      d = c; c = b; b = a; a = t1 + t2;
+    }
+    state_[0] += a; state_[1] += b; state_[2] += c; state_[3] += d;
+    state_[4] += e; state_[5] += f; state_[6] += g; state_[7] += h;
+  }
+
+  std::array<std::uint32_t, 8> state_ = {0x6a09e667, 0xbb67ae85, 0x3c6ef372,
+                                         0xa54ff53a, 0x510e527f, 0x9b05688c,
+                                         0x1f83d9ab, 0x5be0cd19};
+  std::array<std::uint8_t, 64> buffer_{};
+  std::size_t buffer_len_ = 0;
+  std::uint64_t total_len_ = 0;
+};
+
+Digest seed_sha256(const Bytes& data) {
+  SeedSha256 h;
+  h.update(data);
+  return h.finish();
+}
+
+Digest seed_hash_state(const core::TrainState& s) {
+  return seed_sha256(core::serialize_state(s));  // full serialize copy
+}
+
+Digest seed_lsh_leaf(const lsh::LshDigest& d) {
+  SeedSha256 h;
+  const std::uint8_t domain = 0x4C;
+  h.update(&domain, 1);
+  h.update(lsh::serialize_lsh_digest(d));
+  return h.finish();
+}
+
+Digest seed_merkle_parent(const Digest& left, const Digest& right) {
+  SeedSha256 h;
+  const std::uint8_t domain = 0x01;
+  h.update(&domain, 1);
+  h.update(left.data(), left.size());
+  h.update(right.data(), right.size());
+  return h.finish();
+}
+
+// Serial bottom-up tree build; returns all levels (leaves first).
+std::vector<std::vector<Digest>> seed_merkle_levels(std::vector<Digest> leaves) {
+  std::vector<std::vector<Digest>> levels;
+  levels.push_back(std::move(leaves));
+  while (levels.back().size() > 1) {
+    const auto& prev = levels.back();
+    std::vector<Digest> next;
+    next.reserve((prev.size() + 1) / 2);
+    for (std::size_t i = 0; i < prev.size(); i += 2) {
+      const Digest& left = prev[i];
+      const Digest& right = (i + 1 < prev.size()) ? prev[i + 1] : prev[i];
+      next.push_back(seed_merkle_parent(left, right));
+    }
+    levels.push_back(std::move(next));
+  }
+  return levels;
+}
+
+std::vector<Digest> seed_merkle_prove(
+    const std::vector<std::vector<Digest>>& levels, std::size_t leaf) {
+  std::vector<Digest> siblings;
+  std::size_t idx = leaf;
+  for (std::size_t level = 0; level + 1 < levels.size(); ++level) {
+    const auto& nodes = levels[level];
+    const std::size_t sib = (idx % 2 == 0) ? idx + 1 : idx - 1;
+    siblings.push_back(sib < nodes.size() ? nodes[sib] : nodes[idx]);
+    idx /= 2;
+  }
+  return siblings;
+}
+
+core::Commitment seed_commit_v2(const core::EpochTrace& trace,
+                                const lsh::PStableLsh& hasher) {
+  core::Commitment c;
+  c.version = core::CommitmentVersion::kV2;
+  c.state_hashes.reserve(trace.checkpoints.size());
+  c.lsh_digests.reserve(trace.checkpoints.size());
+  for (const auto& state : trace.checkpoints) {
+    c.state_hashes.push_back(seed_hash_state(state));
+    c.lsh_digests.push_back(hasher.hash(state.model));
+  }
+  c.root = core::commitment_root(c);
+  return c;
+}
+
+// Seed-shaped proof generation: rebuilds the state tree AND re-hashes every
+// LSH leaf for each transition, exactly like pre-pipeline
+// make_transition_proof.
+std::vector<Digest> seed_transition_proof(const core::Commitment& full,
+                                          std::size_t transition) {
+  const auto state_levels = seed_merkle_levels(full.state_hashes);
+  std::vector<Digest> lsh_leaves;
+  lsh_leaves.reserve(full.lsh_digests.size());
+  for (const auto& d : full.lsh_digests) lsh_leaves.push_back(seed_lsh_leaf(d));
+  const auto lsh_levels = seed_merkle_levels(std::move(lsh_leaves));
+  std::vector<Digest> out = seed_merkle_prove(state_levels, transition);
+  const auto second = seed_merkle_prove(state_levels, transition + 1);
+  const auto third = seed_merkle_prove(lsh_levels, transition + 1);
+  out.insert(out.end(), second.begin(), second.end());
+  out.insert(out.end(), third.begin(), third.end());
+  return out;
 }
 
 // Best-of-k wall-clock seconds for fn(), with one warmup call. The sample
@@ -214,15 +408,22 @@ void run_kernel_harness() {
   // Registry records (rpol.bench.v1) for the bench-diff trajectory: GFLOP/s
   // per shape at 1 and 4 threads, keyed so baseline comparisons survive
   // reordering.
+  // The measurements above ran at explicitly pinned thread counts and the
+  // ambient pool was restored before this point, so every record carries its
+  // measurement-time count (stamping the ambient value here mislabeled every
+  // .4t row as threads:1).
   bench::BenchRecorder recorder("bench_micro");
   for (const KernelResult& r : results) {
     const std::string key = r.model + "." + r.layer;
     recorder.add("conv_gemm." + key + ".gflops.1t", "gflop/s",
-                 r.gemm_flops / r.new1_s / 1e9, /*higher_is_better=*/true);
+                 r.gemm_flops / r.new1_s / 1e9, /*higher_is_better=*/true,
+                 /*threads=*/1);
     recorder.add("conv_gemm." + key + ".gflops.4t", "gflop/s",
-                 r.gemm_flops / r.new4_s / 1e9, /*higher_is_better=*/true);
+                 r.gemm_flops / r.new4_s / 1e9, /*higher_is_better=*/true,
+                 /*threads=*/4);
     recorder.add("matmul." + key + ".gflops.4t", "gflop/s",
-                 r.gemm_flops / r.mm_new4_s / 1e9, /*higher_is_better=*/true);
+                 r.gemm_flops / r.mm_new4_s / 1e9, /*higher_is_better=*/true,
+                 /*threads=*/4);
   }
   recorder.write();
 
@@ -237,6 +438,146 @@ void run_kernel_harness() {
                 r.gemm_flops / r.seed_s / 1e9, r.gemm_flops / r.new1_s / 1e9,
                 r.gemm_flops / r.new4_s / 1e9, r.seed_s / r.new4_s);
   }
+}
+
+// Crypto/commitment harness: SHA-256 streaming throughput, batched state
+// hashing, end-to-end commit_v1/commit_v2 at ResNet18-scale state sizes,
+// Merkle construction, and memoized transition proofs — each against the
+// frozen seed reference above, recorded in the rpol.bench.v1 registry.
+void run_crypto_harness() {
+  const int default_threads = runtime::threads();
+  bench::BenchRecorder recorder("bench_micro");
+
+  // SHA-256 streaming throughput (single-threaded, one-shot over 8 MiB).
+  const double stream_mb = 8.0;
+  Bytes stream(static_cast<std::size_t>(stream_mb * (1 << 20)));
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    stream[i] = static_cast<std::uint8_t>(i * 131 + 7);
+  }
+  const double seed_sha_s =
+      time_best([&] { benchmark::DoNotOptimize(seed_sha256(stream)); });
+  const double new_sha_s =
+      time_best([&] { benchmark::DoNotOptimize(sha256(stream)); });
+  recorder.add("crypto.sha256.stream.mb_s", "MB/s", stream_mb / new_sha_s,
+               /*higher_is_better=*/true, /*threads=*/1);
+
+  // ResNet18-scale trace: 11.7M model floats + momentum-sized optimizer per
+  // checkpoint, 4 checkpoints (3 transitions).
+  const std::size_t model_n = 11'689'512;
+  const std::size_t opt_n = model_n / 2;
+  const std::size_t checkpoints = 4;
+  core::EpochTrace trace;
+  Rng rng(11);
+  for (std::size_t i = 0; i < checkpoints; ++i) {
+    core::TrainState s;
+    s.model.resize(model_n);
+    s.optimizer.resize(opt_n);
+    rng.fill_normal(s.model, 0.0F, 0.1F);
+    rng.fill_normal(s.optimizer, 0.0F, 0.1F);
+    trace.checkpoints.push_back(std::move(s));
+    trace.step_of.push_back(static_cast<std::int64_t>(i));
+  }
+  const double commit_mb = static_cast<double>(checkpoints) *
+                           (16.0 + 4.0 * static_cast<double>(model_n + opt_n)) /
+                           (1 << 20);
+
+  // Small LSH family (1x2 projections) so the records isolate the hashing
+  // pipeline rather than LSH projection arithmetic.
+  lsh::LshConfig lsh_cfg{{1.0, 1, 2}, static_cast<std::int64_t>(model_n), 17};
+  const lsh::PStableLsh hasher(lsh_cfg);
+
+  const double seed_v2_s = time_best(
+      [&] { benchmark::DoNotOptimize(seed_commit_v2(trace, hasher)); });
+
+  runtime::set_threads(1);
+  const double v1_1t_s =
+      time_best([&] { benchmark::DoNotOptimize(core::commit_v1(trace)); });
+  const double v2_1t_s = time_best(
+      [&] { benchmark::DoNotOptimize(core::commit_v2(trace, hasher)); });
+  runtime::set_threads(4);
+  const double v1_4t_s =
+      time_best([&] { benchmark::DoNotOptimize(core::commit_v1(trace)); });
+  const double v2_4t_s = time_best(
+      [&] { benchmark::DoNotOptimize(core::commit_v2(trace, hasher)); });
+
+  recorder.add("crypto.state_hash.batch.mb_s.1t", "MB/s", commit_mb / v1_1t_s,
+               /*higher_is_better=*/true, /*threads=*/1);
+  recorder.add("crypto.state_hash.batch.mb_s.4t", "MB/s", commit_mb / v1_4t_s,
+               /*higher_is_better=*/true, /*threads=*/4);
+  recorder.add("crypto.commit_v1.resnet18.s.4t", "s", v1_4t_s,
+               /*higher_is_better=*/false, /*threads=*/4);
+  recorder.add("crypto.commit_v2.resnet18.s.1t", "s", v2_1t_s,
+               /*higher_is_better=*/false, /*threads=*/1);
+  recorder.add("crypto.commit_v2.resnet18.s.4t", "s", v2_4t_s,
+               /*higher_is_better=*/false, /*threads=*/4);
+  recorder.add("crypto.commit_v2.resnet18.speedup_vs_seed", "x",
+               seed_v2_s / v2_4t_s, /*higher_is_better=*/true, /*threads=*/4);
+
+  // Merkle construction over 65536 leaves (parallel per-level build).
+  std::vector<Digest> leaves(65'536);
+  for (std::size_t i = 0; i < leaves.size(); ++i) {
+    Bytes b(8);
+    for (int j = 0; j < 8; ++j) b[j] = static_cast<std::uint8_t>(i >> (8 * j));
+    leaves[i] = sha256(b);
+  }
+  const double seed_merkle_s = time_best(
+      [&] { benchmark::DoNotOptimize(seed_merkle_levels(leaves)); });
+  const double merkle_s =
+      time_best([&] { benchmark::DoNotOptimize(MerkleTree(leaves)); });
+  recorder.add("crypto.merkle.build_65536.s", "s", merkle_s,
+               /*higher_is_better=*/false, /*threads=*/4);
+
+  // Transition proofs: n=1024 small checkpoints, q=16 sampled transitions.
+  // Seed rebuilds both trees per sample (O(n) hashing each); the pipeline
+  // builds a CommitmentIndex once and answers each sample in O(log n).
+  core::EpochTrace small_trace;
+  for (std::size_t i = 0; i < 1024; ++i) {
+    core::TrainState s;
+    s.model.resize(32);
+    s.optimizer.resize(16);
+    rng.fill_normal(s.model, 0.0F, 0.1F);
+    rng.fill_normal(s.optimizer, 0.0F, 0.1F);
+    small_trace.checkpoints.push_back(std::move(s));
+    small_trace.step_of.push_back(static_cast<std::int64_t>(i));
+  }
+  lsh::LshConfig small_cfg{{1.0, 2, 3}, 32, 23};
+  const lsh::PStableLsh small_hasher(small_cfg);
+  const core::Commitment small_full =
+      core::commit_v2(small_trace, small_hasher);
+  std::vector<std::size_t> samples;
+  for (std::size_t q = 0; q < 16; ++q) samples.push_back((q * 61) % 1023);
+  const double seed_proofs_s = time_best([&] {
+    for (const std::size_t j : samples) {
+      benchmark::DoNotOptimize(seed_transition_proof(small_full, j));
+    }
+  });
+  const double new_proofs_s = time_best([&] {
+    const core::CommitmentIndex index(small_full);
+    for (const std::size_t j : samples) {
+      benchmark::DoNotOptimize(
+          index.prove_transition(static_cast<std::int64_t>(j)));
+    }
+  });
+  recorder.add("crypto.transition_proof.n1024.q16.speedup_vs_seed", "x",
+               seed_proofs_s / new_proofs_s, /*higher_is_better=*/true,
+               /*threads=*/4);
+
+  runtime::set_threads(default_threads);
+  recorder.write();
+
+  std::printf("\ncrypto harness (state = %.1f MB/commit)\n", commit_mb);
+  std::printf("  sha256 stream 8MiB      : seed %7.1f MB/s, new %7.1f MB/s (%.2fx)\n",
+              stream_mb / seed_sha_s, stream_mb / new_sha_s,
+              seed_sha_s / new_sha_s);
+  std::printf("  commit_v1 resnet18      : 1t %.3fs, 4t %.3fs\n", v1_1t_s,
+              v1_4t_s);
+  std::printf("  commit_v2 resnet18      : seed %.3fs, 1t %.3fs, 4t %.3fs "
+              "(%.2fx vs seed)\n",
+              seed_v2_s, v2_1t_s, v2_4t_s, seed_v2_s / v2_4t_s);
+  std::printf("  merkle build 65536      : seed %.4fs, new %.4fs (%.2fx)\n",
+              seed_merkle_s, merkle_s, seed_merkle_s / merkle_s);
+  std::printf("  transition proofs q16   : seed %.4fs, indexed %.4fs (%.1fx)\n",
+              seed_proofs_s, new_proofs_s, seed_proofs_s / new_proofs_s);
 }
 
 void BM_Sha256_1MB(benchmark::State& state) {
@@ -355,7 +696,17 @@ BENCHMARK(BM_ConvGemm_ResNet18_conv2);
 }  // namespace
 
 int main(int argc, char** argv) {
+  // --crypto-only: just the crypto/commitment harness (the tier-1 advisory
+  // bench-diff runs this; the kernel harness + google-benchmark suite take
+  // much longer).
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--crypto-only") {
+      run_crypto_harness();
+      return 0;
+    }
+  }
   run_kernel_harness();
+  run_crypto_harness();
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

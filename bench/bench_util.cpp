@@ -9,9 +9,13 @@ namespace rpol::bench {
 
 namespace {
 
-obs::BenchEnv bench_env() {
+// `threads` == 0 falls back to the ambient pool size; records measured under
+// a temporarily overridden thread count must pass that count explicitly or
+// the registry stamps the restored ambient value (the ".4t says threads:1"
+// bug this parameter exists to prevent).
+obs::BenchEnv bench_env(int threads) {
   obs::BenchEnv env;
-  env.threads = runtime::threads();
+  env.threads = threads > 0 ? threads : runtime::threads();
 #ifdef NDEBUG
   env.build = std::string("release");
 #else
@@ -28,19 +32,19 @@ obs::BenchEnv bench_env() {
 }  // namespace
 
 void BenchRecorder::add(const std::string& name, const std::string& unit,
-                        double value, bool higher_is_better) {
+                        double value, bool higher_is_better, int threads) {
   obs::BenchRecord r;
   r.bench = bench_;
   r.name = name;
   r.unit = unit;
   r.value = value;
   r.higher_is_better = higher_is_better;
-  r.env = bench_env();
+  r.env = bench_env(threads);
   report_.records.push_back(std::move(r));
 }
 
 void BenchRecorder::add_latency(const std::string& name,
-                                const LatencySummary& summary) {
+                                const LatencySummary& summary, int threads) {
   obs::BenchRecord r;
   r.bench = bench_;
   r.name = name;
@@ -49,7 +53,7 @@ void BenchRecorder::add_latency(const std::string& name,
   r.higher_is_better = false;
   r.has_stats = true;
   r.stats = {summary.best, summary.p50, summary.p95, summary.worst};
-  r.env = bench_env();
+  r.env = bench_env(threads);
   report_.records.push_back(std::move(r));
 }
 

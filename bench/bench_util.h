@@ -98,12 +98,17 @@ class BenchRecorder {
   explicit BenchRecorder(std::string bench) : bench_(std::move(bench)) {}
 
   // Headline scalar; `higher_is_better` steers the bench-diff direction
-  // (false for latencies/bytes, true for throughput/accuracy).
+  // (false for latencies/bytes, true for throughput/accuracy). `threads` is
+  // the thread count the measurement RAN WITH; 0 means "the ambient count at
+  // add() time", which is only right when the record is added while that
+  // configuration is still active. Harnesses that restore the thread count
+  // before recording must pass the measurement-time value explicitly.
   void add(const std::string& name, const std::string& unit, double value,
-           bool higher_is_better = false);
+           bool higher_is_better = false, int threads = 0);
 
   // Latency record: value = p50, full spread kept in stats.
-  void add_latency(const std::string& name, const LatencySummary& summary);
+  void add_latency(const std::string& name, const LatencySummary& summary,
+                   int threads = 0);
 
   // Writes to RPOL_BENCH_FILE (or "BENCH_<bench>.json"), overlay-merging
   // over any existing file at that path so several binaries can feed one

@@ -1,8 +1,54 @@
 #include "core/commitment.h"
 
+#include <bit>
 #include <stdexcept>
 
+#include "runtime/thread_pool.h"
+
 namespace rpol::core {
+
+namespace {
+
+// Checkpoint states are megabytes each, so one leaf per slice is the right
+// granularity for the deterministic pool; each index writes only its own
+// pre-sized slot, preserving bitwise thread-count invariance.
+constexpr std::int64_t kLeafGrain = 1;
+
+void hash_state_range(const EpochTrace& trace, std::vector<Digest>& out,
+                      std::int64_t lo, std::int64_t hi) {
+  for (std::int64_t j = lo; j < hi; ++j) {
+    out[static_cast<std::size_t>(j)] =
+        hash_state(trace.checkpoints[static_cast<std::size_t>(j)]);
+  }
+}
+
+// Hashes every LSH digest into its domain-separated Merkle leaf, in parallel.
+std::vector<Digest> hash_lsh_leaves(const std::vector<lsh::LshDigest>& digests) {
+  std::vector<Digest> leaves(digests.size());
+  runtime::parallel_for(
+      0, static_cast<std::int64_t>(digests.size()), kLeafGrain,
+      [&](std::int64_t lo, std::int64_t hi) {
+        for (std::int64_t j = lo; j < hi; ++j) {
+          leaves[static_cast<std::size_t>(j)] =
+              lsh_leaf_digest(digests[static_cast<std::size_t>(j)]);
+        }
+      });
+  return leaves;
+}
+
+const std::vector<Digest>& checked_state_hashes(const Commitment& full) {
+  if (full.state_hashes.empty()) {
+    throw std::invalid_argument("empty commitment");
+  }
+  return full.state_hashes;
+}
+
+std::optional<MerkleTree> make_lsh_tree(const Commitment& full) {
+  if (full.version != CommitmentVersion::kV2) return std::nullopt;
+  return MerkleTree(hash_lsh_leaves(full.lsh_digests));
+}
+
+}  // namespace
 
 std::uint64_t EpochTrace::storage_bytes() const {
   std::uint64_t total = 0;
@@ -20,8 +66,40 @@ Bytes serialize_state(const TrainState& state) {
   return out;
 }
 
+void update_with_floats(Sha256& h, const std::vector<float>& v) {
+  std::uint8_t prefix[8];
+  const std::uint64_t count = v.size();
+  for (int i = 0; i < 8; ++i) {
+    prefix[i] = static_cast<std::uint8_t>(count >> (8 * i));
+  }
+  h.update(prefix, sizeof prefix);
+  static_assert(sizeof(float) == 4, "canonical encoding assumes fp32");
+  if constexpr (std::endian::native == std::endian::little) {
+    // The canonical payload (LE IEEE-754 fp32) IS the vector's raw memory.
+    h.update(reinterpret_cast<const std::uint8_t*>(v.data()), 4 * v.size());
+  } else {
+    // Byte-swapping fallback; chunked so the staging buffer stays small.
+    std::uint8_t chunk[4 * 256];
+    std::size_t fill = 0;
+    for (const float f : v) {
+      std::uint32_t bits = std::bit_cast<std::uint32_t>(f);
+      for (int i = 0; i < 4; ++i) {
+        chunk[fill++] = static_cast<std::uint8_t>(bits >> (8 * i));
+      }
+      if (fill == sizeof chunk) {
+        h.update(chunk, fill);
+        fill = 0;
+      }
+    }
+    if (fill != 0) h.update(chunk, fill);
+  }
+}
+
 Digest hash_state(const TrainState& state) {
-  return sha256(serialize_state(state));
+  Sha256 h;
+  update_with_floats(h, state.model);
+  update_with_floats(h, state.optimizer);
+  return h.finish();
 }
 
 std::uint64_t Commitment::byte_size() const {
@@ -35,10 +113,11 @@ Commitment commit_v1(const EpochTrace& trace) {
   if (trace.checkpoints.empty()) throw std::invalid_argument("empty trace");
   Commitment c;
   c.version = CommitmentVersion::kV1;
-  c.state_hashes.reserve(trace.checkpoints.size());
-  for (const auto& state : trace.checkpoints) {
-    c.state_hashes.push_back(hash_state(state));
-  }
+  c.state_hashes.resize(trace.checkpoints.size());
+  runtime::parallel_for(0, static_cast<std::int64_t>(trace.checkpoints.size()),
+                        kLeafGrain, [&](std::int64_t lo, std::int64_t hi) {
+                          hash_state_range(trace, c.state_hashes, lo, hi);
+                        });
   c.root = commitment_root(c);
   return c;
 }
@@ -48,13 +127,19 @@ Commitment commit_v2(const EpochTrace& trace, const lsh::PStableLsh& hasher,
   if (trace.checkpoints.empty()) throw std::invalid_argument("empty trace");
   Commitment c;
   c.version = CommitmentVersion::kV2;
-  c.state_hashes.reserve(trace.checkpoints.size());
-  c.lsh_digests.reserve(trace.checkpoints.size());
-  for (const auto& state : trace.checkpoints) {
-    c.state_hashes.push_back(hash_state(state));
-    c.lsh_digests.push_back(hasher.hash(
-        mask != nullptr ? extract_trainable(state.model, *mask) : state.model));
-  }
+  const auto n = static_cast<std::int64_t>(trace.checkpoints.size());
+  c.state_hashes.resize(trace.checkpoints.size());
+  c.lsh_digests.resize(trace.checkpoints.size());
+  // PStableLsh::hash is const and stateless per call, so fanning both the
+  // SHA and LSH leaf work across checkpoints is safe and deterministic.
+  runtime::parallel_for(0, n, kLeafGrain, [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t j = lo; j < hi; ++j) {
+      const auto& state = trace.checkpoints[static_cast<std::size_t>(j)];
+      c.state_hashes[static_cast<std::size_t>(j)] = hash_state(state);
+      c.lsh_digests[static_cast<std::size_t>(j)] = hasher.hash(
+          mask != nullptr ? extract_trainable(state.model, *mask) : state.model);
+    }
+  });
   c.root = commitment_root(c);
   return c;
 }
@@ -85,19 +170,44 @@ Digest lsh_leaf_digest(const lsh::LshDigest& digest) {
   return h.finish();
 }
 
-CompactCommitment compact_commitment(const Commitment& full) {
-  if (full.state_hashes.empty()) throw std::invalid_argument("empty commitment");
+CommitmentIndex::CommitmentIndex(const Commitment& full)
+    : full_(&full),
+      state_tree_(checked_state_hashes(full)),
+      lsh_tree_(make_lsh_tree(full)) {}
+
+CompactCommitment CommitmentIndex::compact() const {
   CompactCommitment compact;
-  compact.version = full.version;
-  compact.num_checkpoints = static_cast<std::int64_t>(full.state_hashes.size());
-  compact.state_root = MerkleTree(full.state_hashes).root();
-  if (full.version == CommitmentVersion::kV2) {
-    std::vector<Digest> lsh_leaves;
-    lsh_leaves.reserve(full.lsh_digests.size());
-    for (const auto& d : full.lsh_digests) lsh_leaves.push_back(lsh_leaf_digest(d));
-    compact.lsh_root = MerkleTree(lsh_leaves).root();
-  }
+  compact.version = full_->version;
+  compact.num_checkpoints =
+      static_cast<std::int64_t>(full_->state_hashes.size());
+  compact.state_root = state_tree_.root();
+  if (lsh_tree_.has_value()) compact.lsh_root = lsh_tree_->root();
   return compact;
+}
+
+TransitionProof CommitmentIndex::prove_transition(
+    std::int64_t transition) const {
+  const auto count = static_cast<std::int64_t>(full_->state_hashes.size());
+  if (transition < 0 || transition + 1 >= count) {
+    throw std::out_of_range("transition index out of range");
+  }
+  TransitionProof proof;
+  proof.transition = transition;
+  proof.in_hash = full_->state_hashes[static_cast<std::size_t>(transition)];
+  proof.in_membership = state_tree_.prove(static_cast<std::size_t>(transition));
+  proof.out_hash = full_->state_hashes[static_cast<std::size_t>(transition + 1)];
+  proof.out_membership =
+      state_tree_.prove(static_cast<std::size_t>(transition + 1));
+  if (lsh_tree_.has_value()) {
+    proof.out_lsh = full_->lsh_digests[static_cast<std::size_t>(transition + 1)];
+    proof.out_lsh_membership =
+        lsh_tree_->prove(static_cast<std::size_t>(transition + 1));
+  }
+  return proof;
+}
+
+CompactCommitment compact_commitment(const Commitment& full) {
+  return CommitmentIndex(full).compact();
 }
 
 std::uint64_t TransitionProof::byte_size() const {
@@ -115,23 +225,7 @@ TransitionProof make_transition_proof(const Commitment& full,
   if (transition < 0 || transition + 1 >= count) {
     throw std::out_of_range("transition index out of range");
   }
-  const MerkleTree state_tree(full.state_hashes);
-  TransitionProof proof;
-  proof.transition = transition;
-  proof.in_hash = full.state_hashes[static_cast<std::size_t>(transition)];
-  proof.in_membership = state_tree.prove(static_cast<std::size_t>(transition));
-  proof.out_hash = full.state_hashes[static_cast<std::size_t>(transition + 1)];
-  proof.out_membership = state_tree.prove(static_cast<std::size_t>(transition + 1));
-  if (full.version == CommitmentVersion::kV2) {
-    std::vector<Digest> lsh_leaves;
-    lsh_leaves.reserve(full.lsh_digests.size());
-    for (const auto& d : full.lsh_digests) lsh_leaves.push_back(lsh_leaf_digest(d));
-    const MerkleTree lsh_tree(std::move(lsh_leaves));
-    proof.out_lsh = full.lsh_digests[static_cast<std::size_t>(transition + 1)];
-    proof.out_lsh_membership =
-        lsh_tree.prove(static_cast<std::size_t>(transition + 1));
-  }
-  return proof;
+  return CommitmentIndex(full).prove_transition(transition);
 }
 
 bool verify_transition_proof(const CompactCommitment& compact,

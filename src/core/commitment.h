@@ -39,8 +39,15 @@ struct EpochTrace {
 
 // Canonical serialization of a TrainState (model + optimizer vectors).
 Bytes serialize_state(const TrainState& state);
-// SHA-256 over the canonical serialization.
+// SHA-256 over the canonical serialization. Streams the length prefix and
+// float payload straight into the hasher (no intermediate Bytes buffer);
+// byte-identical to sha256(serialize_state(state)).
 Digest hash_state(const TrainState& state);
+
+// Streams serialize_floats(v) — u64 count then little-endian fp32 payload —
+// into `h` without materializing the byte vector. On little-endian hosts the
+// payload is the vector's raw memory, so this is a zero-copy update.
+void update_with_floats(Sha256& h, const std::vector<float>& v);
 
 enum class CommitmentVersion { kV1, kV2 };
 
@@ -107,8 +114,39 @@ struct TransitionProof {
 };
 
 // Builds the membership proofs from the worker-side full commitment.
+// Convenience wrapper: builds a throwaway CommitmentIndex, so each call pays
+// O(n) hashing. Callers proving more than one transition (the verifier's
+// sampled loop, batch provers) should build a CommitmentIndex once instead.
 TransitionProof make_transition_proof(const Commitment& full,
                                       std::int64_t transition);
+
+// Memoized Merkle trees over a full commitment. Builds the state tree (and,
+// for v2, the LSH-leaf tree) exactly once — with parallel leaf hashing and
+// level construction — then answers compact roots and transition proofs in
+// O(log n) without re-hashing anything. Borrows `full`, which must outlive
+// the index and must not be mutated while the index is alive.
+class CommitmentIndex {
+ public:
+  // Throws std::invalid_argument on an empty commitment.
+  explicit CommitmentIndex(const Commitment& full);
+
+  const Commitment& full() const { return *full_; }
+  const MerkleTree& state_tree() const { return state_tree_; }
+  // Present iff the commitment is v2.
+  const std::optional<MerkleTree>& lsh_tree() const { return lsh_tree_; }
+
+  // Equivalent to compact_commitment(full()), from the memoized trees.
+  CompactCommitment compact() const;
+
+  // Equivalent to make_transition_proof(full(), transition); throws
+  // std::out_of_range on a bad index.
+  TransitionProof prove_transition(std::int64_t transition) const;
+
+ private:
+  const Commitment* full_;
+  MerkleTree state_tree_;
+  std::optional<MerkleTree> lsh_tree_;
+};
 
 // Manager-side check: both state hashes (and, for v2, the LSH digest) are
 // bound to the committed roots at the right positions.

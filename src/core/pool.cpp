@@ -1,6 +1,7 @@
 #include "core/pool.h"
 
 #include <algorithm>
+#include <optional>
 #include <stdexcept>
 
 #include "data/partition.h"
@@ -199,6 +200,10 @@ EpochReport MiningPool::run_epoch(std::int64_t epoch) {
   // Steps 1-2: workers train locally and commit.
   std::vector<EpochTrace> traces(workers_.size());
   std::vector<Commitment> commitments(workers_.size());
+  // Compact-mode Merkle roots, collapsed once per worker at upload time and
+  // reused by verification (rebuilding the trees per phase doubles the
+  // manager's hashing bill for nothing).
+  std::vector<std::optional<CompactCommitment>> compacts(workers_.size());
   std::vector<EpochContext> contexts(workers_.size());
   for (std::size_t w = 0; w < workers_.size(); ++w) {
     if (evicted_[w]) {
@@ -244,10 +249,12 @@ EpochReport MiningPool::run_epoch(std::int64_t epoch) {
 
     // Upload: final model update + commitment (compact mode uploads only
     // the Merkle roots).
-    const std::uint64_t commitment_bytes =
-        config_.compact_commitments
-            ? compact_commitment(commitments[w]).byte_size()
-            : commitments[w].byte_size();
+    if (config_.compact_commitments) {
+      compacts[w] = compact_commitment(commitments[w]);
+    }
+    const std::uint64_t commitment_bytes = config_.compact_commitments
+                                               ? compacts[w]->byte_size()
+                                               : commitments[w].byte_size();
     const bool uploaded =
         deliver(w, kLegUpdate, "bytes.update", model_bytes, /*upload=*/true,
                 workers_.size()) &&
@@ -306,10 +313,9 @@ EpochReport MiningPool::run_epoch(std::int64_t epoch) {
       obs::Span s("verify", epoch_span, static_cast<int>(w), epoch);
       const VerifyResult vr =
           config_.compact_commitments
-              ? verifier_->verify_compact(compact_commitment(commitments[w]),
-                                          commitments[w], traces[w], contexts[w],
-                                          initial_hash, manager_device,
-                                          s.context())
+              ? verifier_->verify_compact(*compacts[w], commitments[w],
+                                          traces[w], contexts[w], initial_hash,
+                                          manager_device, s.context())
               : verifier_->verify(commitments[w], traces[w], contexts[w],
                                   initial_hash, manager_device, s.context());
       s.attr("accepted", vr.accepted);

@@ -396,13 +396,11 @@ SessionOutcome run_protocol_session(
        manager_response->output_states.size() == request.transitions.size());
   for (std::size_t s = 0; all_passed && s < request.transitions.size(); ++s) {
     const std::int64_t j = request.transitions[s];
+    // Every state in manager_response already hash-matched the commitment in
+    // the decode validator above (mismatches NACK and exhaust the retry
+    // budget before reaching this loop), so the states are bound without
+    // re-hashing multi-megabyte checkpoints here.
     const TrainState& proof_in = manager_response->input_states[s];
-    if (!digest_equal(
-            hash_state(proof_in),
-            manager_commitment->state_hashes[static_cast<std::size_t>(j)])) {
-      all_passed = false;
-      break;
-    }
     // Re-execute. The checkpoint boundaries are reconstructable from hp.
     const std::int64_t first = j * hp.checkpoint_interval;
     const std::int64_t count =
@@ -419,12 +417,6 @@ SessionOutcome run_protocol_session(
 
     if (config.scheme == Scheme::kRPoLv1) {
       const TrainState& claimed = manager_response->output_states[s];
-      if (!digest_equal(hash_state(claimed),
-                        manager_commitment
-                            ->state_hashes[static_cast<std::size_t>(j + 1)])) {
-        all_passed = false;
-        break;
-      }
       all_passed =
           trainable_distance(replay.model, claimed.model, mask) <= config.beta;
     } else {

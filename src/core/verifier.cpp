@@ -133,10 +133,15 @@ VerifyResult Verifier::verify_compact(const CompactCommitment& compact,
     return result;
   }
 
+  // One memoized tree build covers the leaf-0 binding AND every sampled
+  // transition below: proof generation drops from O(n) hashing per sample
+  // to O(log n) lookups against these trees.
+  const CommitmentIndex index(full);
+
   // Initial-state binding: the worker proves leaf 0 under state_root is the
   // distributed state's hash.
   {
-    const TransitionProof leaf0 = make_transition_proof(full, 0);
+    const TransitionProof leaf0 = index.prove_transition(0);
     result.proof_bytes += leaf0.byte_size();
     if (!digest_equal(leaf0.in_hash, expected_initial_hash) ||
         leaf0.in_membership.path_index() != 0 ||
@@ -161,7 +166,7 @@ VerifyResult Verifier::verify_compact(const CompactCommitment& compact,
     check.transition = j;
 
     // Membership proofs for this transition, generated worker-side.
-    const TransitionProof proof = make_transition_proof(full, j);
+    const TransitionProof proof = index.prove_transition(j);
     result.proof_bytes += proof.byte_size();
     check.hash_ok = verify_transition_proof(compact, proof);
     if (!check.hash_ok) {

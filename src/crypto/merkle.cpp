@@ -2,7 +2,17 @@
 
 #include <stdexcept>
 
+#include "runtime/thread_pool.h"
+
 namespace rpol {
+
+namespace {
+
+// Pairs below this count are hashed inline; the per-level fan-out only pays
+// off once a level has enough independent parent hashes to amortize dispatch.
+constexpr std::size_t kParallelPairGrain = 64;
+
+}  // namespace
 
 Digest merkle_parent(const Digest& left, const Digest& right) {
   Sha256 h;
@@ -18,13 +28,23 @@ MerkleTree::MerkleTree(std::vector<Digest> leaves) {
   levels_.push_back(std::move(leaves));
   while (levels_.back().size() > 1) {
     const auto& prev = levels_.back();
-    std::vector<Digest> next;
-    next.reserve((prev.size() + 1) / 2);
-    for (std::size_t i = 0; i < prev.size(); i += 2) {
-      const Digest& left = prev[i];
-      const Digest& right = (i + 1 < prev.size()) ? prev[i + 1] : prev[i];
-      next.push_back(merkle_parent(left, right));
-    }
+    const std::size_t pairs = (prev.size() + 1) / 2;
+    std::vector<Digest> next(pairs);
+    // Parent hashes within a level are independent, so they fan out across
+    // the deterministic pool; each index writes only its own slot, and the
+    // static partitioning makes the result thread-count invariant.
+    runtime::parallel_for(
+        0, static_cast<std::int64_t>(pairs),
+        static_cast<std::int64_t>(kParallelPairGrain),
+        [&](std::int64_t lo, std::int64_t hi) {
+          for (std::int64_t p = lo; p < hi; ++p) {
+            const std::size_t i = static_cast<std::size_t>(p);
+            const Digest& left = prev[2 * i];
+            const Digest& right =
+                (2 * i + 1 < prev.size()) ? prev[2 * i + 1] : prev[2 * i];
+            next[i] = merkle_parent(left, right);
+          }
+        });
     levels_.push_back(std::move(next));
   }
 }

@@ -1,6 +1,13 @@
 #include "crypto/sha256.h"
 
+#include <algorithm>
 #include <cstring>
+
+#if defined(__x86_64__) && defined(__GNUC__)
+#define RPOL_SHA256_HW 1
+#include <cpuid.h>
+#include <immintrin.h>
+#endif
 
 namespace rpol {
 
@@ -19,96 +26,301 @@ constexpr std::array<std::uint32_t, 64> kRoundConstants = {
     0x5b9cca4f, 0x682e6ff3, 0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208,
     0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2};
 
+constexpr std::array<std::uint32_t, 8> kInitialState = {
+    0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a,
+    0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19};
+
 inline std::uint32_t rotr(std::uint32_t x, int n) {
   return (x >> n) | (x << (32 - n));
 }
 
-}  // namespace
-
-Sha256::Sha256() {
-  state_ = {0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a,
-            0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19};
+inline std::uint32_t load_be32(const std::uint8_t* p) {
+  return (static_cast<std::uint32_t>(p[0]) << 24) |
+         (static_cast<std::uint32_t>(p[1]) << 16) |
+         (static_cast<std::uint32_t>(p[2]) << 8) |
+         static_cast<std::uint32_t>(p[3]);
 }
 
-void Sha256::process_block(const std::uint8_t* block) {
-  std::array<std::uint32_t, 64> w{};
-  for (int i = 0; i < 16; ++i) {
-    w[i] = (static_cast<std::uint32_t>(block[4 * i]) << 24) |
-           (static_cast<std::uint32_t>(block[4 * i + 1]) << 16) |
-           (static_cast<std::uint32_t>(block[4 * i + 2]) << 8) |
-           static_cast<std::uint32_t>(block[4 * i + 3]);
-  }
-  for (int i = 16; i < 64; ++i) {
-    const std::uint32_t s0 = rotr(w[i - 15], 7) ^ rotr(w[i - 15], 18) ^ (w[i - 15] >> 3);
-    const std::uint32_t s1 = rotr(w[i - 2], 17) ^ rotr(w[i - 2], 19) ^ (w[i - 2] >> 10);
-    w[i] = w[i - 16] + s0 + w[i - 7] + s1;
+#ifdef RPOL_SHA256_HW
+
+// CPUID probe for the SHA extensions (leaf 7 EBX bit 29) plus the SSSE3 /
+// SSE4.1 shuffles the kernel uses. Checked once at startup; the scalar path
+// below stays the fallback, and both produce identical digests.
+bool detect_sha_ni() {
+  unsigned eax = 0, ebx = 0, ecx = 0, edx = 0;
+  if (__get_cpuid_count(7, 0, &eax, &ebx, &ecx, &edx) == 0) return false;
+  const bool sha = (ebx & (1U << 29)) != 0;
+  if (__get_cpuid(1, &eax, &ebx, &ecx, &edx) == 0) return false;
+  const bool ssse3 = (ecx & (1U << 9)) != 0;
+  const bool sse41 = (ecx & (1U << 19)) != 0;
+  return sha && ssse3 && sse41;
+}
+
+const bool kHasShaNi = detect_sha_ni();
+
+// SHA-NI compression: two sha256rnds2 per 4 rounds, message schedule kept in
+// four xmm registers via sha256msg1/msg2. Round constants come from the same
+// kRoundConstants table as the scalar path (memory order == lane order).
+__attribute__((target("sha,sse4.1,ssse3"))) void process_blocks_sha_ni(
+    std::uint32_t* state, const std::uint8_t* data, std::size_t count) {
+  const __m128i mask =
+      _mm_set_epi64x(0x0c0d0e0f08090a0bULL, 0x0405060700010203ULL);
+  const auto kvec = [](int i) {
+    return _mm_loadu_si128(
+        reinterpret_cast<const __m128i*>(kRoundConstants.data() + i));
+  };
+
+  // Repack {A..D}, {E..H} into the (ABEF, CDGH) layout sha256rnds2 expects.
+  __m128i tmp =
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(state));  // DCBA
+  __m128i state1 =
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(state + 4));  // HGFE
+  tmp = _mm_shuffle_epi32(tmp, 0xB1);                                // CDAB
+  state1 = _mm_shuffle_epi32(state1, 0x1B);                          // EFGH
+  __m128i state0 = _mm_alignr_epi8(tmp, state1, 8);                  // ABEF
+  state1 = _mm_blend_epi16(state1, tmp, 0xF0);                       // CDGH
+
+  __m128i msg, msg0, msg1, msg2, msg3;
+
+// One schedule-extending 4-round group: cur feeds the rounds, nxt picks up
+// sha256msg2, prv picks up sha256msg1.
+#define RPOL_SHANI_QROUND(k, cur, nxt, prv)             \
+  do {                                                  \
+    msg = _mm_add_epi32(cur, kvec(k));                  \
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg); \
+    tmp = _mm_alignr_epi8(cur, prv, 4);                 \
+    (nxt) = _mm_add_epi32(nxt, tmp);                    \
+    (nxt) = _mm_sha256msg2_epu32(nxt, cur);             \
+    msg = _mm_shuffle_epi32(msg, 0x0E);                 \
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg); \
+    (prv) = _mm_sha256msg1_epu32(prv, cur);             \
+  } while (0)
+
+  while (count-- > 0) {
+    const __m128i abef_save = state0;
+    const __m128i cdgh_save = state1;
+
+    // Rounds 0-3.
+    msg0 = _mm_shuffle_epi8(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(data)), mask);
+    msg = _mm_add_epi32(msg0, kvec(0));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+
+    // Rounds 4-7.
+    msg1 = _mm_shuffle_epi8(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(data + 16)), mask);
+    msg = _mm_add_epi32(msg1, kvec(4));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+    msg0 = _mm_sha256msg1_epu32(msg0, msg1);
+
+    // Rounds 8-11.
+    msg2 = _mm_shuffle_epi8(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(data + 32)), mask);
+    msg = _mm_add_epi32(msg2, kvec(8));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+    msg1 = _mm_sha256msg1_epu32(msg1, msg2);
+
+    // Rounds 12-15.
+    msg3 = _mm_shuffle_epi8(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(data + 48)), mask);
+    RPOL_SHANI_QROUND(12, msg3, msg0, msg2);
+    // Rounds 16-51: schedule keeps extending, registers rotate.
+    RPOL_SHANI_QROUND(16, msg0, msg1, msg3);
+    RPOL_SHANI_QROUND(20, msg1, msg2, msg0);
+    RPOL_SHANI_QROUND(24, msg2, msg3, msg1);
+    RPOL_SHANI_QROUND(28, msg3, msg0, msg2);
+    RPOL_SHANI_QROUND(32, msg0, msg1, msg3);
+    RPOL_SHANI_QROUND(36, msg1, msg2, msg0);
+    RPOL_SHANI_QROUND(40, msg2, msg3, msg1);
+    RPOL_SHANI_QROUND(44, msg3, msg0, msg2);
+    RPOL_SHANI_QROUND(48, msg0, msg1, msg3);
+
+    // Rounds 52-55 (schedule tail: msg2 extension only).
+    msg = _mm_add_epi32(msg1, kvec(52));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    tmp = _mm_alignr_epi8(msg1, msg0, 4);
+    msg2 = _mm_add_epi32(msg2, tmp);
+    msg2 = _mm_sha256msg2_epu32(msg2, msg1);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+
+    // Rounds 56-59.
+    msg = _mm_add_epi32(msg2, kvec(56));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    tmp = _mm_alignr_epi8(msg2, msg1, 4);
+    msg3 = _mm_add_epi32(msg3, tmp);
+    msg3 = _mm_sha256msg2_epu32(msg3, msg2);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+
+    // Rounds 60-63.
+    msg = _mm_add_epi32(msg3, kvec(60));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+
+    state0 = _mm_add_epi32(state0, abef_save);
+    state1 = _mm_add_epi32(state1, cdgh_save);
+    data += 64;
   }
 
-  auto a = state_[0], b = state_[1], c = state_[2], d = state_[3];
-  auto e = state_[4], f = state_[5], g = state_[6], h = state_[7];
-  for (int i = 0; i < 64; ++i) {
-    const std::uint32_t s1 = rotr(e, 6) ^ rotr(e, 11) ^ rotr(e, 25);
-    const std::uint32_t ch = (e & f) ^ (~e & g);
-    const std::uint32_t t1 = h + s1 + ch + kRoundConstants[i] + w[i];
-    const std::uint32_t s0 = rotr(a, 2) ^ rotr(a, 13) ^ rotr(a, 22);
-    const std::uint32_t maj = (a & b) ^ (a & c) ^ (b & c);
-    const std::uint32_t t2 = s0 + maj;
-    h = g;
-    g = f;
-    f = e;
-    e = d + t1;
-    d = c;
-    c = b;
-    b = a;
-    a = t1 + t2;
+#undef RPOL_SHANI_QROUND
+
+  // Repack to the {A..D}, {E..H} memory layout.
+  tmp = _mm_shuffle_epi32(state0, 0x1B);         // FEBA
+  state1 = _mm_shuffle_epi32(state1, 0xB1);      // DCHG
+  state0 = _mm_blend_epi16(tmp, state1, 0xF0);   // DCBA
+  state1 = _mm_alignr_epi8(state1, tmp, 8);      // HGFE
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(state), state0);
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(state + 4), state1);
+}
+
+#endif  // RPOL_SHA256_HW
+
+}  // namespace
+
+Sha256::Sha256() { state_ = kInitialState; }
+
+void Sha256::reset() {
+  state_ = kInitialState;
+  buffer_len_ = 0;
+  total_len_ = 0;
+}
+
+// Unrolled compression over `count` consecutive 64-byte blocks. The message
+// schedule lives in a 16-word rolling window and the eight working variables
+// stay in registers across rounds (no per-round variable rotation), which is
+// where the throughput over the naive formulation comes from.
+void Sha256::process_blocks(const std::uint8_t* data, std::size_t count) {
+#ifdef RPOL_SHA256_HW
+  if (kHasShaNi) {
+    process_blocks_sha_ni(state_.data(), data, count);
+    return;
   }
-  state_[0] += a;
-  state_[1] += b;
-  state_[2] += c;
-  state_[3] += d;
-  state_[4] += e;
-  state_[5] += f;
-  state_[6] += g;
-  state_[7] += h;
+#endif
+  std::uint32_t s0 = state_[0], s1 = state_[1], s2 = state_[2], s3 = state_[3];
+  std::uint32_t s4 = state_[4], s5 = state_[5], s6 = state_[6], s7 = state_[7];
+  std::array<std::uint32_t, 16> w;
+
+#define RPOL_SHA256_EXPAND(i)                                              \
+  (w[(i) & 15] += (rotr(w[((i) + 14) & 15], 17) ^                          \
+                   rotr(w[((i) + 14) & 15], 19) ^ (w[((i) + 14) & 15] >> 10)) + \
+                  w[((i) + 9) & 15] +                                      \
+                  (rotr(w[((i) + 1) & 15], 7) ^ rotr(w[((i) + 1) & 15], 18) ^ \
+                   (w[((i) + 1) & 15] >> 3)))
+
+#define RPOL_SHA256_ROUND(a, b, c, d, e, f, g, h, i, wi)                   \
+  do {                                                                     \
+    const std::uint32_t t1 =                                               \
+        (h) + (rotr(e, 6) ^ rotr(e, 11) ^ rotr(e, 25)) +                   \
+        (((e) & (f)) ^ (~(e) & (g))) + kRoundConstants[i] + (wi);          \
+    const std::uint32_t t2 = (rotr(a, 2) ^ rotr(a, 13) ^ rotr(a, 22)) +    \
+                             (((a) & (b)) ^ ((a) & (c)) ^ ((b) & (c)));    \
+    (d) += t1;                                                             \
+    (h) = t1 + t2;                                                         \
+  } while (0)
+
+#define RPOL_SHA256_ROUND8(base, load)                                     \
+  RPOL_SHA256_ROUND(a, b, c, d, e, f, g, h, (base) + 0, load((base) + 0)); \
+  RPOL_SHA256_ROUND(h, a, b, c, d, e, f, g, (base) + 1, load((base) + 1)); \
+  RPOL_SHA256_ROUND(g, h, a, b, c, d, e, f, (base) + 2, load((base) + 2)); \
+  RPOL_SHA256_ROUND(f, g, h, a, b, c, d, e, (base) + 3, load((base) + 3)); \
+  RPOL_SHA256_ROUND(e, f, g, h, a, b, c, d, (base) + 4, load((base) + 4)); \
+  RPOL_SHA256_ROUND(d, e, f, g, h, a, b, c, (base) + 5, load((base) + 5)); \
+  RPOL_SHA256_ROUND(c, d, e, f, g, h, a, b, (base) + 6, load((base) + 6)); \
+  RPOL_SHA256_ROUND(b, c, d, e, f, g, h, a, (base) + 7, load((base) + 7))
+
+#define RPOL_SHA256_LOAD(i) (w[i] = load_be32(data + 4 * (i)))
+
+  while (count-- > 0) {
+    std::uint32_t a = s0, b = s1, c = s2, d = s3;
+    std::uint32_t e = s4, f = s5, g = s6, h = s7;
+    RPOL_SHA256_ROUND8(0, RPOL_SHA256_LOAD);
+    RPOL_SHA256_ROUND8(8, RPOL_SHA256_LOAD);
+    RPOL_SHA256_ROUND8(16, RPOL_SHA256_EXPAND);
+    RPOL_SHA256_ROUND8(24, RPOL_SHA256_EXPAND);
+    RPOL_SHA256_ROUND8(32, RPOL_SHA256_EXPAND);
+    RPOL_SHA256_ROUND8(40, RPOL_SHA256_EXPAND);
+    RPOL_SHA256_ROUND8(48, RPOL_SHA256_EXPAND);
+    RPOL_SHA256_ROUND8(56, RPOL_SHA256_EXPAND);
+    s0 += a;
+    s1 += b;
+    s2 += c;
+    s3 += d;
+    s4 += e;
+    s5 += f;
+    s6 += g;
+    s7 += h;
+    data += 64;
+  }
+
+#undef RPOL_SHA256_LOAD
+#undef RPOL_SHA256_ROUND8
+#undef RPOL_SHA256_ROUND
+#undef RPOL_SHA256_EXPAND
+
+  state_ = {s0, s1, s2, s3, s4, s5, s6, s7};
 }
 
 void Sha256::update(const std::uint8_t* data, std::size_t len) {
+  if (len == 0) return;  // empty vectors hand us data() == nullptr
   total_len_ += len;
-  while (len > 0) {
+  // Top up a partially filled staging buffer first.
+  if (buffer_len_ != 0) {
     const std::size_t take = std::min(len, buffer_.size() - buffer_len_);
     std::memcpy(buffer_.data() + buffer_len_, data, take);
     buffer_len_ += take;
     data += take;
     len -= take;
     if (buffer_len_ == buffer_.size()) {
-      process_block(buffer_.data());
+      process_blocks(buffer_.data(), 1);
       buffer_len_ = 0;
     }
+  }
+  // Whole blocks compress straight from the caller's memory — the zero-copy
+  // fast path the streaming state hasher relies on.
+  const std::size_t blocks = len / 64;
+  if (blocks != 0) {
+    process_blocks(data, blocks);
+    data += blocks * 64;
+    len -= blocks * 64;
+  }
+  if (len != 0) {
+    std::memcpy(buffer_.data(), data, len);
+    buffer_len_ = len;
   }
 }
 
 Digest Sha256::finish() {
   const std::uint64_t bit_len = total_len_ * 8;
-  const std::uint8_t pad_byte = 0x80;
-  update(&pad_byte, 1);
-  const std::uint8_t zero = 0x00;
-  while (buffer_len_ != 56) update(&zero, 1);
-  std::array<std::uint8_t, 8> len_bytes{};
-  for (int i = 0; i < 8; ++i) {
-    len_bytes[i] = static_cast<std::uint8_t>(bit_len >> (56 - 8 * i));
+  // update() keeps buffer_len_ < 64, so there is always room for 0x80.
+  buffer_[buffer_len_++] = 0x80;
+  if (buffer_len_ > 56) {
+    std::memset(buffer_.data() + buffer_len_, 0, buffer_.size() - buffer_len_);
+    process_blocks(buffer_.data(), 1);
+    buffer_len_ = 0;
   }
-  // Manually splice the length: update() counts it into total_len_, which no
-  // longer matters after this block.
-  std::memcpy(buffer_.data() + buffer_len_, len_bytes.data(), 8);
-  process_block(buffer_.data());
+  std::memset(buffer_.data() + buffer_len_, 0, 56 - buffer_len_);
+  for (int i = 0; i < 8; ++i) {
+    buffer_[56 + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(bit_len >> (56 - 8 * i));
+  }
+  process_blocks(buffer_.data(), 1);
 
   Digest out{};
   for (int i = 0; i < 8; ++i) {
-    out[4 * i] = static_cast<std::uint8_t>(state_[i] >> 24);
-    out[4 * i + 1] = static_cast<std::uint8_t>(state_[i] >> 16);
-    out[4 * i + 2] = static_cast<std::uint8_t>(state_[i] >> 8);
-    out[4 * i + 3] = static_cast<std::uint8_t>(state_[i]);
+    out[4 * i] = static_cast<std::uint8_t>(state_[static_cast<std::size_t>(i)] >> 24);
+    out[4 * i + 1] = static_cast<std::uint8_t>(state_[static_cast<std::size_t>(i)] >> 16);
+    out[4 * i + 2] = static_cast<std::uint8_t>(state_[static_cast<std::size_t>(i)] >> 8);
+    out[4 * i + 3] = static_cast<std::uint8_t>(state_[static_cast<std::size_t>(i)]);
   }
+  reset();
   return out;
 }
 

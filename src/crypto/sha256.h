@@ -1,5 +1,12 @@
 // SHA-256 (FIPS 180-4). Self-contained implementation used for
 // commitments, Merkle trees, the PRF (via HMAC), and blockchain addresses.
+//
+// The commitment pipeline hashes multi-megabyte checkpoint states, so the
+// streaming path is built for throughput: update() compresses full blocks
+// directly from the caller's buffer (no staging copy) with an unrolled
+// multi-block compression loop, and finish() resets the hasher to a fresh
+// state so batch paths (parallel leaf hashing, HMAC) can recycle hasher
+// objects without reconstructing them.
 
 #pragma once
 
@@ -23,11 +30,16 @@ class Sha256 {
   void update(const std::string& s) {
     update(reinterpret_cast<const std::uint8_t*>(s.data()), s.size());
   }
-  // Finishes the hash. The hasher must not be reused afterwards.
+  // Finishes the hash AND resets the hasher to a fresh state: reuse after
+  // finish() is well-defined and hashes a new, independent message. (The
+  // reset is an enforced contract, not advisory — pooled hashers recycle
+  // these objects.)
   Digest finish();
+  // Discards any buffered input and returns to the initial state.
+  void reset();
 
  private:
-  void process_block(const std::uint8_t* block);
+  void process_blocks(const std::uint8_t* data, std::size_t count);
 
   std::array<std::uint32_t, 8> state_{};
   std::array<std::uint8_t, 64> buffer_{};

@@ -7,6 +7,7 @@
 #include "crypto/address.h"
 #include "crypto/merkle.h"
 #include "crypto/prf.h"
+#include "runtime/thread_pool.h"
 
 namespace rpol {
 namespace {
@@ -55,6 +56,33 @@ TEST(Sha256, PaddingBoundaries) {
     seen.insert(digest_to_hex(sha256(std::string(len, 'x'))));
   }
   EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Sha256, FinishResetsForReuse) {
+  // finish() leaves the hasher in the fresh-construction state, so one object
+  // can hash a sequence of messages (the contract CommitmentIndex and the
+  // commit loops rely on).
+  Sha256 h;
+  h.update(std::string("abc"));
+  EXPECT_EQ(digest_to_hex(h.finish()),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+  // Second use without an explicit reset: must equal a fresh hash, not a
+  // continuation of the first message.
+  h.update(std::string("abc"));
+  EXPECT_EQ(digest_to_hex(h.finish()),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+  // And an empty third message hashes to the empty-string digest.
+  EXPECT_EQ(digest_to_hex(h.finish()),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, ResetDiscardsBufferedInput) {
+  Sha256 h;
+  h.update(std::string(100, 'z'));  // leaves a partial block buffered
+  h.reset();
+  h.update(std::string("abc"));
+  EXPECT_EQ(digest_to_hex(h.finish()),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
 }
 
 TEST(Sha256, DigestToU64IsLittleEndianPrefix) {
@@ -189,6 +217,34 @@ TEST(Merkle, RootChangesWithAnyLeaf) {
 TEST(Merkle, OutOfRangeProofThrows) {
   MerkleTree tree({leaf_digest(0)});
   EXPECT_THROW(tree.prove(1), std::out_of_range);
+}
+
+TEST(Merkle, ParallelBuildMatchesSerialFold) {
+  // The pooled per-level construction must equal a serial bottom-up fold at
+  // leaf counts below, at, and above the parallel grain (64 pairs), odd and
+  // even, at both thread settings.
+  const int saved = runtime::threads();
+  for (int n : {255, 256, 257, 1000}) {
+    std::vector<Digest> leaves;
+    for (int i = 0; i < n; ++i) leaves.push_back(leaf_digest(i));
+
+    std::vector<Digest> level = leaves;
+    while (level.size() > 1) {
+      std::vector<Digest> next;
+      for (std::size_t i = 0; i < level.size(); i += 2) {
+        const Digest& right = i + 1 < level.size() ? level[i + 1] : level[i];
+        next.push_back(merkle_parent(level[i], right));
+      }
+      level = std::move(next);
+    }
+
+    for (int threads : {1, 4}) {
+      runtime::set_threads(threads);
+      EXPECT_TRUE(digest_equal(MerkleTree(leaves).root(), level[0]))
+          << "n=" << n << " threads=" << threads;
+    }
+  }
+  runtime::set_threads(saved);
 }
 
 // ---------------------------------------------------------------------------

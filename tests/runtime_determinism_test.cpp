@@ -297,6 +297,67 @@ TEST(TrainingDeterminism, ParallelVerifierReproducesSerialWorkerCheckpoint) {
   EXPECT_EQ(replayed, worker.checkpoint_bytes[1]);
 }
 
+// The parallel commitment pipeline (pooled leaf hashing, parallel Merkle
+// levels, memoized CommitmentIndex) must be bitwise invariant across thread
+// counts: same state hashes, LSH digests, roots, compact roots, and
+// transition-proof bytes at RPOL_THREADS=1 and 4.
+TEST(TrainingDeterminism, CommitmentPipelineIsThreadCountInvariant) {
+  core::EpochTrace trace;
+  Rng rng(29);
+  for (int i = 0; i < 9; ++i) {  // odd count: self-pairing on several levels
+    core::TrainState s;
+    s.model.resize(1024);
+    s.optimizer.resize(512);
+    rng.fill_normal(s.model, 0.0F, 1.0F);
+    rng.fill_normal(s.optimizer, 0.0F, 1.0F);
+    trace.checkpoints.push_back(std::move(s));
+    trace.step_of.push_back(i);
+  }
+  const lsh::PStableLsh hasher(lsh::LshConfig{{1.0, 2, 3}, 1024, 31});
+
+  auto run = [&](int threads) {
+    ThreadGuard guard;
+    runtime::set_threads(threads);
+    struct Result {
+      core::Commitment commitment;
+      core::CompactCommitment compact;
+      std::vector<Bytes> proof_paths;
+    };
+    Result r;
+    r.commitment = core::commit_v2(trace, hasher);
+    const core::CommitmentIndex index(r.commitment);
+    r.compact = index.compact();
+    for (std::int64_t j = 0; j < trace.num_transitions(); ++j) {
+      const core::TransitionProof p = index.prove_transition(j);
+      Bytes path;
+      for (const Digest& d : p.in_membership.siblings)
+        path.insert(path.end(), d.begin(), d.end());
+      for (const Digest& d : p.out_membership.siblings)
+        path.insert(path.end(), d.begin(), d.end());
+      for (const Digest& d : p.out_lsh_membership.siblings)
+        path.insert(path.end(), d.begin(), d.end());
+      r.proof_paths.push_back(std::move(path));
+    }
+    return r;
+  };
+
+  const auto serial = run(1);
+  const auto parallel = run(4);
+  ASSERT_EQ(serial.commitment.state_hashes.size(),
+            parallel.commitment.state_hashes.size());
+  for (std::size_t i = 0; i < serial.commitment.state_hashes.size(); ++i) {
+    EXPECT_TRUE(digest_equal(serial.commitment.state_hashes[i],
+                             parallel.commitment.state_hashes[i]));
+    EXPECT_TRUE(serial.commitment.lsh_digests[i] ==
+                parallel.commitment.lsh_digests[i]);
+  }
+  EXPECT_TRUE(digest_equal(serial.commitment.root, parallel.commitment.root));
+  EXPECT_TRUE(
+      digest_equal(serial.compact.state_root, parallel.compact.state_root));
+  EXPECT_TRUE(digest_equal(serial.compact.lsh_root, parallel.compact.lsh_root));
+  EXPECT_EQ(serial.proof_paths, parallel.proof_paths);
+}
+
 // The observability layer (src/obs) must be strictly write-only: enabling
 // tracing may record spans and histograms but can never change a single
 // training bit. Train the fixture untraced and traced and require the

@@ -3,9 +3,10 @@
 # seeds the performance trajectory (`rpol bench-diff BENCH_baseline.json ...`).
 #
 # Only the two smoke-shape benches feed the baseline (the full suite takes
-# minutes): bench_micro's kernel harness (wall-clock GFLOP/s) and
-# bench_table3's deterministic cost-model rows. Both write into the same file
-# via RPOL_BENCH_FILE; BenchRecorder overlay-merges on write.
+# minutes): bench_micro's kernel + crypto/commitment harnesses (wall-clock
+# GFLOP/s, SHA/commit throughput and speedups) and bench_table3's
+# deterministic cost-model rows. Both write into the same file via
+# RPOL_BENCH_FILE; BenchRecorder overlay-merges on write.
 #
 # Usage: tools/make_bench_baseline.sh [build-dir]   (default: build)
 

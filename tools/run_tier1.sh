@@ -1,10 +1,10 @@
 #!/usr/bin/env bash
-# Tier-1 verification: configure, build, and run the full test suite five
-# times — once pinned to a single compute thread, once with RPOL_THREADS unset
-# (pool defaults to hardware_concurrency), once with RPOL_TRACE=1, and once
-# each under AddressSanitizer and UndefinedBehaviorSanitizer in separate
-# build trees. All passes must be green: the runtime's determinism contract
-# says neither thread count nor tracing can ever change results, and the
+# Tier-1 verification: configure, build, and run the full test suite in five
+# passes — (1) pinned to a single compute thread, (2) RPOL_THREADS unset
+# (pool defaults to hardware_concurrency), (3) RPOL_TRACE=1, then (4) and (5)
+# under AddressSanitizer and UndefinedBehaviorSanitizer in separate build
+# trees. All passes must be green: the runtime's determinism contract says
+# neither thread count nor tracing can ever change results, and the
 # fault-injection/fuzz suites push hostile bytes through every decoder, so
 # memory or UB findings anywhere are real bugs, not flakiness.
 #
@@ -18,10 +18,10 @@ BUILD_DIR="${1:-build}"
 cmake -B "$BUILD_DIR" -S .
 cmake --build "$BUILD_DIR" -j "$(nproc)"
 
-echo "==> tier-1 pass 1/3: RPOL_THREADS=1"
+echo "==> tier-1 pass 1/5: RPOL_THREADS=1"
 (cd "$BUILD_DIR" && RPOL_THREADS=1 ctest --output-on-failure -j "$(nproc)")
 
-echo "==> tier-1 pass 2/3: RPOL_THREADS unset (default thread count)"
+echo "==> tier-1 pass 2/5: RPOL_THREADS unset (default thread count)"
 (cd "$BUILD_DIR" && env -u RPOL_THREADS ctest --output-on-failure -j "$(nproc)")
 
 echo "==> tier-1 pass 3/5: RPOL_TRACE=1 (tracing on; results must not change)"
@@ -30,12 +30,15 @@ echo "==> tier-1 pass 3/5: RPOL_TRACE=1 (tracing on; results must not change)"
 # Advisory regression check against the committed benchmark baseline: the
 # cost-model rows are deterministic, so only genuine protocol-cost changes
 # (or a stale baseline — regenerate with tools/make_bench_baseline.sh) move
-# them. Advisory because wall-clock GFLOP/s rows vary across machines.
+# them, and the crypto/commitment harness covers the hashing hot path.
+# Advisory because wall-clock rows vary across machines.
 if [[ -f BENCH_baseline.json ]]; then
   echo "==> advisory: rpol bench-diff vs BENCH_baseline.json (does not gate)"
   rm -f "$BUILD_DIR/BENCH_current.json"
   (cd "$BUILD_DIR" && RPOL_BENCH_FILE=BENCH_current.json \
     ./bench/bench_table3_overhead >/dev/null)
+  (cd "$BUILD_DIR" && RPOL_BENCH_FILE=BENCH_current.json \
+    ./bench/bench_micro --crypto-only >/dev/null)
   "$BUILD_DIR/tools/rpol" bench-diff BENCH_baseline.json \
     "$BUILD_DIR/BENCH_current.json" --tolerance 0.35 \
     || echo "==> advisory bench-diff flagged deltas (non-fatal)"
