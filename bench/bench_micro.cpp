@@ -12,6 +12,7 @@
 #include <algorithm>
 #include <array>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -23,9 +24,11 @@
 #include "core/detsel.h"
 #include "data/synthetic.h"
 #include "lsh/pstable.h"
+#include "nn/layers.h"
 #include "nn/models.h"
 #include "runtime/thread_pool.h"
 #include "sim/model_specs.h"
+#include "tensor/layout.h"
 #include "tensor/ops.h"
 
 namespace {
@@ -440,6 +443,129 @@ void run_kernel_harness() {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Layout harness: the blocked direct-conv path (tensor/layout.h) against
+// the im2col + GEMM fallback, measured THROUGH the Conv2d layer so the
+// numbers include everything a verifier re-execution pays — nchw<->nChw8c
+// reorders, the pack cache, column-buffer management. Emits nn.layout.*
+// rpol.bench.v1 records; the geometric-mean forward speedup over the
+// ResNet18 shapes at 4 threads is the PR's acceptance metric.
+
+struct LayoutResult {
+  std::string model, layer;
+  std::int64_t batch = 0, in_h = 0;
+  double fb_fwd_1t = 0.0, fb_fwd_4t = 0.0;    // fallback forward seconds
+  double dir_fwd_1t = 0.0, dir_fwd_4t = 0.0;  // direct forward seconds
+  double fb_train_4t = 0.0, dir_train_4t = 0.0;  // forward + backward
+};
+
+LayoutResult run_layout_shape(const std::string& model,
+                              const sim::ConvLayerShape& shape,
+                              std::int64_t batch, std::int64_t spatial_div) {
+  LayoutResult r;
+  r.model = model;
+  r.layer = shape.layer;
+  sim::ConvLayerShape s = shape;
+  s.in_h /= spatial_div;
+  s.in_w /= spatial_div;
+  r.batch = batch;
+  r.in_h = s.in_h;
+
+  Rng rng(7);
+  const Conv2dSpec spec{s.in_channels, s.out_channels, s.kernel, s.stride,
+                        s.padding};
+  nn::Conv2d conv(spec, rng, /*bias=*/true);
+  const Tensor input =
+      Tensor::randn({batch, s.in_channels, s.in_h, s.in_w}, rng, 1.0F);
+  Rng grng(9);
+  const Tensor dy = Tensor::randn(conv.output_shape(input.shape()), grng, 0.1F);
+
+  auto fwd = [&] { benchmark::DoNotOptimize(conv.forward(input, true)); };
+  auto train = [&] {
+    conv.forward(input, true);
+    benchmark::DoNotOptimize(conv.backward(dy));
+  };
+
+  // These shapes run in single-digit milliseconds, so the default 5-sample
+  // cap leaves the direct-vs-fallback ratio at the mercy of one scheduler
+  // stall; give each measurement a real time budget instead.
+  constexpr double kMinS = 0.25;
+  constexpr int kMaxIters = 60;
+  layout::set_direct_conv_enabled(false);
+  runtime::set_threads(1);
+  r.fb_fwd_1t = time_best(fwd, kMinS, kMaxIters);
+  runtime::set_threads(4);
+  r.fb_fwd_4t = time_best(fwd, kMinS, kMaxIters);
+  r.fb_train_4t = time_best(train, kMinS, kMaxIters);
+
+  layout::set_direct_conv_enabled(true);
+  runtime::set_threads(1);
+  r.dir_fwd_1t = time_best(fwd, kMinS, kMaxIters);
+  runtime::set_threads(4);
+  r.dir_fwd_4t = time_best(fwd, kMinS, kMaxIters);
+  r.dir_train_4t = time_best(train, kMinS, kMaxIters);
+  return r;
+}
+
+void run_layout_harness() {
+  const int default_threads = runtime::threads();
+  const bool saved_gate = layout::direct_conv_enabled();
+  std::vector<LayoutResult> results;
+  // Same shape selection as the kernel harness: ResNet18 residual stages at
+  // full spatial resolution (batch 1 — the verifier's re-execution regime),
+  // VGG16 mid/late stages at 1/4 spatial.
+  for (const auto& s : sim::resnet18_conv_shapes()) {
+    if (s.layer == "conv1" || s.layer.find("entry") != std::string::npos) continue;
+    results.push_back(run_layout_shape("ResNet18", s, /*batch=*/1, /*spatial_div=*/1));
+  }
+  for (const auto& s : sim::vgg16_conv_shapes()) {
+    if (s.layer != "conv3_x" && s.layer != "conv5_x") continue;
+    results.push_back(run_layout_shape("VGG16", s, /*batch=*/1, /*spatial_div=*/4));
+  }
+  layout::set_direct_conv_enabled(saved_gate);
+  runtime::set_threads(default_threads);
+
+  bench::BenchRecorder recorder("bench_micro");
+  double log_sum = 0.0;
+  int resnet_rows = 0;
+  for (const LayoutResult& r : results) {
+    const std::string key = r.model + "." + r.layer;
+    recorder.add("nn.layout.fwd." + key + ".speedup.1t", "x",
+                 r.fb_fwd_1t / r.dir_fwd_1t, /*higher_is_better=*/true,
+                 /*threads=*/1);
+    recorder.add("nn.layout.fwd." + key + ".speedup.4t", "x",
+                 r.fb_fwd_4t / r.dir_fwd_4t, /*higher_is_better=*/true,
+                 /*threads=*/4);
+    recorder.add("nn.layout.train." + key + ".speedup.4t", "x",
+                 r.fb_train_4t / r.dir_train_4t, /*higher_is_better=*/true,
+                 /*threads=*/4);
+    recorder.add("nn.layout.fwd." + key + ".ms.4t", "ms", r.dir_fwd_4t * 1e3,
+                 /*higher_is_better=*/false, /*threads=*/4);
+    if (r.model == "ResNet18") {
+      log_sum += std::log(r.fb_fwd_4t / r.dir_fwd_4t);
+      ++resnet_rows;
+    }
+  }
+  const double geomean =
+      resnet_rows > 0 ? std::exp(log_sum / resnet_rows) : 0.0;
+  recorder.add("nn.layout.fwd.resnet18.geomean_speedup.4t", "x", geomean,
+               /*higher_is_better=*/true, /*threads=*/4);
+  recorder.write();
+
+  std::printf("\nlayout harness: direct (nChw8c + packed weights) vs "
+              "im2col+GEMM fallback, Conv2d end to end\n");
+  std::printf("%-10s %-10s | fwd 1t fb/dir (ms) | fwd 4t fb/dir (ms) | "
+              "speedup 4t fwd/train\n",
+              "model", "layer");
+  for (const LayoutResult& r : results) {
+    std::printf("%-10s %-10s | %8.2f %8.2f | %8.2f %8.2f | %5.2fx %5.2fx\n",
+                r.model.c_str(), r.layer.c_str(), r.fb_fwd_1t * 1e3,
+                r.dir_fwd_1t * 1e3, r.fb_fwd_4t * 1e3, r.dir_fwd_4t * 1e3,
+                r.fb_fwd_4t / r.dir_fwd_4t, r.fb_train_4t / r.dir_train_4t);
+  }
+  std::printf("ResNet18 forward geomean speedup (4t): %.2fx\n", geomean);
+}
+
 // Crypto/commitment harness: SHA-256 streaming throughput, batched state
 // hashing, end-to-end commit_v1/commit_v2 at ResNet18-scale state sizes,
 // Merkle construction, and memoized transition proofs — each against the
@@ -696,16 +822,21 @@ BENCHMARK(BM_ConvGemm_ResNet18_conv2);
 }  // namespace
 
 int main(int argc, char** argv) {
-  // --crypto-only: just the crypto/commitment harness (the tier-1 advisory
-  // bench-diff runs this; the kernel harness + google-benchmark suite take
-  // much longer).
+  // --crypto-only / --layout-only: run just that harness (the tier-1
+  // advisory bench-diff runs these; the kernel harness + google-benchmark
+  // suite take much longer).
   for (int i = 1; i < argc; ++i) {
     if (std::string(argv[i]) == "--crypto-only") {
       run_crypto_harness();
       return 0;
     }
+    if (std::string(argv[i]) == "--layout-only") {
+      run_layout_harness();
+      return 0;
+    }
   }
   run_kernel_harness();
+  run_layout_harness();
   run_crypto_harness();
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;

@@ -28,11 +28,20 @@ struct Param {
   Tensor value;
   Tensor grad;        // same shape as value; zeroed by Optimizer::zero_grad.
   bool trainable = true;
+  // Monotonic mutation counter for `value`. Layers cache packed weight
+  // forms (tensor/packcache.h) keyed on this; EVERY site that writes
+  // `value` after construction must call mark_updated() or packed-path
+  // forwards will read stale weights. Current writers: optimizer steps,
+  // Model::load_state_vector, BatchNorm running stats (unpacked, bumps
+  // anyway for uniformity is unnecessary), and test perturbation helpers.
+  std::uint64_t version = 0;
 
   Param() = default;
   Param(std::string n, Tensor v, bool train = true)
       : name(std::move(n)), value(std::move(v)), grad(value.shape()),
         trainable(train) {}
+
+  void mark_updated() { ++version; }
 };
 
 class Layer {

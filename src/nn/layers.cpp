@@ -56,6 +56,28 @@ Tensor nchw_to_gemm_out(const Tensor& nchw) {
   return out;
 }
 
+// Bias gradient: db[oc] += sum over (img, y, x) of dY, accumulated in
+// double in exactly the j = (img*oh + y)*ow + x order the gemm-layout
+// version of this loop used, so both conv paths produce identical bits.
+void conv_bias_grad_nchw(const Tensor& grad_output, std::int64_t out_channels,
+                         Tensor& bias_grad) {
+  const std::int64_t n = grad_output.dim(0);
+  const std::int64_t hw = grad_output.dim(2) * grad_output.dim(3);
+  const float* pg = grad_output.data();
+  float* pbg = bias_grad.data();
+  runtime::parallel_for(
+      0, out_channels, 1, [&](std::int64_t oc0, std::int64_t oc1) {
+        for (std::int64_t oc = oc0; oc < oc1; ++oc) {
+          double acc = 0.0;
+          for (std::int64_t img = 0; img < n; ++img) {
+            const float* plane = pg + (img * out_channels + oc) * hw;
+            for (std::int64_t i = 0; i < hw; ++i) acc += plane[i];
+          }
+          pbg[oc] += static_cast<float>(acc);
+        }
+      });
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -80,7 +102,22 @@ Shape Conv2d::output_shape(const Shape& input_shape) const {
 
 Tensor Conv2d::forward(const Tensor& input, bool /*training*/) {
   cached_input_shape_ = input.shape();
-  cached_cols_ = im2col(input, spec_);
+  used_direct_ =
+      layout::direct_conv_enabled() && layout::direct_conv_supports(spec_);
+  if (used_direct_) {
+    cached_cols_.clear_keep_capacity();
+    const layout::ConvWeightPack& pack = pack_cache_.get(
+        weight_.value, weight_.version, [this](const Tensor& w) {
+          return layout::make_conv_weight_pack(w, spec_);
+        });
+    cached_input_blocked_ = layout::nchw_to_nchw8c(input, spec_.padding);
+    Tensor out_blocked = layout::conv2d_direct_forward(
+        cached_input_blocked_, pack.blocked,
+        has_bias_ ? bias_.value : Tensor(), spec_, input.dim(2), input.dim(3));
+    return layout::nchw8c_to_nchw(out_blocked, spec_.out_channels);
+  }
+  cached_input_blocked_.clear_keep_capacity();
+  im2col_into(input, spec_, cached_cols_);
   Tensor gemm = matmul(weight_.value, cached_cols_);
   const std::int64_t n = input.dim(0);
   const std::int64_t oh = spec_.out_size(input.dim(2));
@@ -101,25 +138,34 @@ Tensor Conv2d::forward(const Tensor& input, bool /*training*/) {
 }
 
 Tensor Conv2d::backward(const Tensor& grad_output) {
+  if (used_direct_) {
+    const layout::ConvWeightPack& pack = pack_cache_.get(
+        weight_.value, weight_.version, [this](const Tensor& w) {
+          return layout::make_conv_weight_pack(w, spec_);
+        });
+    const std::int64_t in_h = cached_input_shape_[2];
+    const std::int64_t in_w = cached_input_shape_[3];
+    const Tensor grad_blocked = layout::nchw_to_nchw8c(grad_output);
+    layout::conv2d_direct_backward_weights(grad_blocked, cached_input_blocked_,
+                                           spec_, in_h, in_w, weight_.grad);
+    if (has_bias_) {
+      conv_bias_grad_nchw(grad_output, spec_.out_channels, bias_.grad);
+    }
+    Tensor dx = layout::conv2d_direct_backward_data(
+        grad_output, pack.transposed, spec_, cached_input_shape_);
+    cached_input_blocked_.clear_keep_capacity();
+    return dx;
+  }
   const Tensor grad_gemm = nchw_to_gemm_out(grad_output);
   // dW += dY * cols^T
   const Tensor dw = matmul_nt(grad_gemm, cached_cols_);
   weight_.grad += dw;
   if (has_bias_) {
-    const std::int64_t cols = grad_gemm.dim(1);
-    const float* pg = grad_gemm.data();
-    float* pbg = bias_.grad.data();
-    runtime::parallel_for(
-        0, spec_.out_channels, 1, [&](std::int64_t oc0, std::int64_t oc1) {
-          for (std::int64_t oc = oc0; oc < oc1; ++oc) {
-            double acc = 0.0;
-            for (std::int64_t j = 0; j < cols; ++j) acc += pg[oc * cols + j];
-            pbg[oc] += static_cast<float>(acc);
-          }
-        });
+    conv_bias_grad_nchw(grad_output, spec_.out_channels, bias_.grad);
   }
   // dX = col2im(W^T * dY)
   const Tensor dcols = matmul_tn(weight_.value, grad_gemm);
+  cached_cols_.clear_keep_capacity();
   return col2im(dcols, spec_, cached_input_shape_);
 }
 
@@ -152,7 +198,15 @@ Tensor Linear::forward(const Tensor& input, bool /*training*/) {
                                 shape_to_string(input.shape()));
   }
   cached_input_ = input;
-  Tensor out = matmul_nt(input, weight_.value);
+  Tensor out;
+  if (layout::direct_conv_enabled()) {
+    const PackedPanels& panels = pack_cache_.get(
+        weight_.value, weight_.version,
+        [](const Tensor& w) { return pack_nt_panels(w); });
+    out = matmul_nt_packed(input, panels);
+  } else {
+    out = matmul_nt(input, weight_.value);
+  }
   const std::int64_t n = out.dim(0);
   float* po = out.data();
   const float* pb = bias_.value.data();

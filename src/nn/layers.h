@@ -3,12 +3,23 @@
 #pragma once
 
 #include "nn/layer.h"
+#include "tensor/layout.h"
 #include "tensor/ops.h"
+#include "tensor/packcache.h"
 
 namespace rpol::nn {
 
-// 2-D convolution (square kernel/stride), implemented as im2col + GEMM.
-// Weight layout: (out_channels, in_channels * kernel * kernel); He init.
+// 2-D convolution (square kernel/stride). Weight layout:
+// (out_channels, in_channels * kernel * kernel); He init.
+//
+// Two bitwise-identical execution paths (see tensor/layout.h):
+//   * direct (default for 1x1/3x3): input reordered to nChw8c once per
+//     call, weights packed to OIhw8i8o + W^T cached across steps keyed by
+//     the weight version, forward/backward run blocked direct kernels and
+//     never materialize im2col columns;
+//   * fallback (RPOL_DIRECT_CONV=0, or kernel sizes without a direct
+//     kernel): classic im2col + GEMM, with the column buffer's capacity
+//     reused across batches and released after backward.
 class Conv2d : public Layer {
  public:
   Conv2d(Conv2dSpec spec, Rng& rng, bool bias = true, std::string name = "conv");
@@ -30,12 +41,21 @@ class Conv2d : public Layer {
   Param bias_;
   bool has_bias_;
   std::string name_;
-  // Forward cache.
+  // Forward cache. Exactly one of the two buffers is live per step —
+  // cached_cols_ on the fallback path, cached_input_blocked_ on the direct
+  // path — and backward releases it (keeping capacity for the next batch).
   Tensor cached_cols_;
+  Tensor cached_input_blocked_;
   Shape cached_input_shape_;
+  bool used_direct_ = false;
+  // Packed weight forms, rebuilt only when weight_.version changes.
+  PackCache<layout::ConvWeightPack> pack_cache_;
 };
 
 // Fully connected layer: y = x W^T + b, W is (out_features, in_features).
+// The forward GEMM runs against a panel-packed W (ops.h PackedPanels)
+// cached across steps keyed by the weight version; bitwise-identical to
+// the unpacked matmul_nt, which remains reachable via RPOL_DIRECT_CONV=0.
 class Linear : public Layer {
  public:
   Linear(std::int64_t in_features, std::int64_t out_features, Rng& rng,
@@ -57,6 +77,7 @@ class Linear : public Layer {
   Param bias_;
   std::string name_;
   Tensor cached_input_;
+  PackCache<PackedPanels> pack_cache_;
 };
 
 // Spatial batch normalization over (N, H, W) per channel, with running

@@ -98,6 +98,7 @@ void Model::load_state_vector(const std::vector<float>& state) {
     std::copy(state.begin() + static_cast<std::ptrdiff_t>(offset),
               state.begin() + static_cast<std::ptrdiff_t>(offset + n),
               p->value.vec().begin());
+    p->mark_updated();  // invalidate packed-weight caches (tensor/packcache.h)
     offset += n;
   }
   if (offset != state.size()) {

@@ -75,6 +75,7 @@ void Sgd::step() {
   ++step_count_;
   for (Param* p : params_) {
     p->value.add_scaled(p->grad, -lr_);
+    p->mark_updated();
   }
 }
 
@@ -91,6 +92,7 @@ void SgdMomentum::step() {
     v *= momentum_;
     v += p->grad;
     p->value.add_scaled(v, -lr_);
+    p->mark_updated();
   }
 }
 
@@ -112,6 +114,7 @@ void RmsProp::step() {
       ps[j] = rho_ * ps[j] + (1.0F - rho_) * pg[j] * pg[j];
       pv[j] -= lr_ * pg[j] / (std::sqrt(ps[j]) + eps_);
     }
+    p->mark_updated();
   }
 }
 
@@ -142,6 +145,7 @@ void Adam::step() {
       pv[j] = beta2_ * pv[j] + (1.0F - beta2_) * pg[j] * pg[j];
       pw[j] -= corrected_lr * pm[j] / (std::sqrt(pv[j]) + eps_);
     }
+    p->mark_updated();
   }
 }
 

@@ -30,6 +30,14 @@ int default_thread_count() {
   return hw == 0 ? 1 : static_cast<int>(std::min<unsigned>(hw, kMaxThreads));
 }
 
+int hw_cores() {
+  static const int cores = [] {
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<int>(hw);
+  }();
+  return cores;
+}
+
 // Persistent pool: N-1 parked worker threads plus the calling thread.
 // Each job is a fixed vector of slices; worker w always takes slice w+1
 // and the caller takes slice 0 — static assignment, no stealing.
@@ -66,6 +74,30 @@ class ThreadPool {
     if (slices <= 1 || t_in_worker) {
       if (obs::enabled()) obs::count("runtime.parallel_for.inline", 1);
       fn(begin, end);
+      return;
+    }
+    // Oversubscription guard: the requested thread count pins the slice
+    // decomposition above — partition boundaries (and therefore which
+    // per-element chains share a panel) are the same on every host. But on
+    // a single-core host the parked workers can only fight the caller for
+    // that core, so execute the identical slices serially instead of
+    // dispatching them. Bitwise this is a no-op by the §6 contract (every
+    // element is computed wholly inside one slice); it only removes wakeup
+    // and preemption overhead.
+    if (hw_cores() <= 1) {
+      if (obs::enabled()) {
+        obs::count("runtime.parallel_for.slices",
+                   static_cast<std::uint64_t>(slices));
+        obs::count("runtime.parallel_for.serialized", 1);
+      }
+      const std::int64_t base = range / slices;
+      const std::int64_t rem = range % slices;
+      std::int64_t cursor = begin;
+      for (int s = 0; s < slices; ++s) {
+        const std::int64_t len = base + (s < rem ? 1 : 0);
+        fn(cursor, cursor + len);
+        cursor += len;
+      }
       return;
     }
     // One job at a time: a concurrent external caller falls back to inline
@@ -195,6 +227,18 @@ void set_threads(int n) { ThreadPool::instance().set_threads(n); }
 void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
                   const RangeFn& fn) {
   ThreadPool::instance().run(begin, end, grain, fn);
+}
+
+void parallel_for_aligned(std::int64_t count, std::int64_t align,
+                          std::int64_t grain, const RangeFn& fn) {
+  if (count <= 0) return;
+  align = std::max<std::int64_t>(align, 1);
+  // Partition whole blocks; the last block absorbs the unaligned tail.
+  const std::int64_t blocks = (count + align - 1) / align;
+  ThreadPool::instance().run(
+      0, blocks, grain, [&](std::int64_t b0, std::int64_t b1) {
+        fn(b0 * align, std::min(count, b1 * align));
+      });
 }
 
 }  // namespace rpol::runtime

@@ -25,6 +25,11 @@
 // kernels) and work-stealing-free. parallel_for called from inside a worker
 // runs inline on the calling thread — nested parallelism never deadlocks
 // and never changes results.
+//
+// The slice decomposition depends only on the requested thread count, never
+// on the hardware: on a single-core host the same slices are executed
+// serially by the caller (oversubscribed workers would only add preemption
+// overhead), which by the determinism contract cannot change any bit.
 
 #pragma once
 
@@ -52,5 +57,17 @@ void set_threads(int n);
 // (see header comment) for the determinism guarantee to hold.
 void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
                   const RangeFn& fn);
+
+// Panel-partitioned variant: runs fn over [0, count) with every partition
+// boundary a multiple of `align`. Kernels whose micro-panels span `align`
+// consecutive outputs (4-row GEMM panels, 8-channel layout blocks) need
+// alignment so a panel never straddles two threads — otherwise the panel
+// code path (and with it the FMA contraction pattern) would depend on where
+// the thread boundaries happen to fall. `grain` is the minimum number of
+// ALIGNED BLOCKS per slice, mirroring parallel_for's meaning. fn still
+// receives element (not block) indices; the final slice's end is `count`
+// itself, which may be unaligned (the global tail).
+void parallel_for_aligned(std::int64_t count, std::int64_t align,
+                          std::int64_t grain, const RangeFn& fn);
 
 }  // namespace rpol::runtime

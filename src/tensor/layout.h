@@ -1,0 +1,144 @@
+// Blocked tensor layouts and direct convolution kernels.
+//
+// The im2col + GEMM convolution in ops.h is simple and verifiable but pays
+// for it twice: it materializes a (C*k*k, N*oh*ow) column matrix on every
+// call, and the GEMM then streams that matrix from memory. This header
+// provides the cache-friendly alternative the verifier's re-execution loop
+// (and the workers it audits) route through by default:
+//
+//   * nChw8c activations — channels grouped into blocks of 8 with the block
+//     innermost: data[(((n*Cb + cb)*H + y)*W + x)*8 + ci]. One AVX2 vector
+//     covers 8 channels of one pixel. Channel counts that are not multiples
+//     of 8 are zero-padded in the last block.
+//   * OIhw8i8o weights — conv weights blocked over both channel axes:
+//     data[((((ob*Cb + ib)*k + kh)*k + kw)*8 + ii)*8 + oo], output block
+//     innermost so one contiguous vector load yields 8 output-channel taps.
+//   * direct convolution kernels (forward, backward-weights, backward-data)
+//     that read these layouts and skip im2col entirely.
+//
+// Determinism / bitwise-parity contract
+// -------------------------------------
+// Every kernel here is bitwise-identical to its im2col + GEMM counterpart
+// in ops.cpp, which is what lets Conv2d switch paths (RPOL_DIRECT_CONV)
+// without perturbing checkpoint bytes or Merkle roots. Two facts make that
+// possible:
+//
+//   1. Same per-element madd() chain. Each output element is accumulated
+//      serially, by one thread, in exactly the order the fallback uses:
+//      forward and backward-weights iterate taps as (ic, kh, kw) — the
+//      im2col patch-row order — and backward-data reduces over oc in
+//      ascending order (matmul_tn's k-order) before scattering in col2im's
+//      fixed (kh, kw, y, x) order. Register blocking only changes which
+//      elements share loop iterations, never one element's op sequence.
+//
+//   2. Skipping a zero tap is exact. The fallback multiplies explicit
+//      zeros (im2col's padding entries, the zero-padded channel lanes);
+//      the direct kernels skip them. The skipped step would have computed
+//      acc' = madd(a, b, acc) with a*b = +/-0. An accumulator that starts
+//      at +0 can never become -0 under round-to-nearest: a negative zero
+//      sum requires both addends to be -0 (exact cancellation of nonzero
+//      terms yields +0), and fma's product term being -0 cannot flip an
+//      accumulator that is +0 (+0 + -0 = +0) or nonzero. Hence acc is
+//      never -0, adding +/-0 to it is the identity, and the skipped and
+//      unskipped chains agree bit for bit.
+//
+// Shapes with kernel size 1 or 3 (every conv in the ResNet/VGG models
+// except ResNet's 7x7 stem) take the direct path; everything else falls
+// back to im2col + GEMM. The fallback is also reachable explicitly via
+// RPOL_DIRECT_CONV=0 for debugging and A/B benching.
+
+#pragma once
+
+#include <cstdint>
+
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+
+namespace rpol::layout {
+
+// Channel block width: one AVX2 vector of fp32.
+constexpr std::int64_t kBlock = 8;
+
+inline std::int64_t blocks(std::int64_t channels) {
+  return (channels + kBlock - 1) / kBlock;
+}
+
+// --- Runtime gate -----------------------------------------------------------
+
+// True when Conv2d/Linear should route through the blocked/packed kernels.
+// Resolution order (mirrors RPOL_THREADS):
+//   1. set_direct_conv_enabled(b)      — explicit API, highest priority
+//   2. RPOL_DIRECT_CONV environment var ("0" disables), read once
+//   3. enabled by default
+bool direct_conv_enabled();
+void set_direct_conv_enabled(bool enabled);
+
+// True when `spec` has a direct kernel (1x1 and 3x3 square kernels); other
+// shapes always use the im2col + GEMM fallback.
+inline bool direct_conv_supports(const Conv2dSpec& spec) {
+  return spec.kernel == 1 || spec.kernel == 3;
+}
+
+// --- Reorders (pure data movement, never arithmetic) ------------------------
+
+// NCHW -> nChw8c with an optional zeroed spatial padding ring. Output shape
+// {n, blocks(C), h + 2*padding, w + 2*padding, 8}; padded channel lanes are
+// zeroed. Pre-padding lets the direct conv kernels run every tap branch-free:
+// they multiply explicit +0s exactly where the fallback's im2col writes them,
+// so the serial per-element chains stay bitwise identical.
+Tensor nchw_to_nchw8c(const Tensor& input, std::int64_t padding = 0);
+
+// nChw8c -> NCHW with `channels` real channels (drops padded lanes).
+Tensor nchw8c_to_nchw(const Tensor& blocked, std::int64_t channels);
+
+// Conv weight (O, C*k*k) -> OIhw8i8o. Output shape
+// {blocks(O), blocks(C), k, k, 8, 8}; padded lanes are zeroed.
+Tensor oihw_to_oihw8i8o(const Tensor& weight, const Conv2dSpec& spec);
+
+// OIhw8i8o -> (O, C*k*k) GEMM-view weight (drops padded lanes).
+Tensor oihw8i8o_to_oihw(const Tensor& blocked, const Conv2dSpec& spec);
+
+// --- Packed weight forms cached across steps (see tensor/packcache.h) -------
+
+// All packed forms a Conv2d needs, derived from the (O, C*k*k) weight by
+// pure data movement. Rebuilt only when the weight version changes.
+struct ConvWeightPack {
+  Tensor blocked;     // OIhw8i8o, used by the forward kernel
+  Tensor transposed;  // (C*k*k, O) row-major W^T, used by backward-data
+};
+
+ConvWeightPack make_conv_weight_pack(const Tensor& weight,
+                                     const Conv2dSpec& spec);
+
+// --- Direct convolution kernels ---------------------------------------------
+// All three take pre-reordered operands; Conv2d (src/nn/layers.cpp) owns the
+// reorder + cache plumbing.
+
+// Forward: blocked input (nChw8c) * blocked weight (OIhw8i8o) -> blocked
+// output {n, blocks(O), oh, ow, 8}. `bias` may be empty; when present it is
+// added once per output element after the full accumulation, matching the
+// fallback's post-GEMM bias add.
+Tensor conv2d_direct_forward(const Tensor& input_blocked,
+                             const Tensor& weight_blocked, const Tensor& bias,
+                             const Conv2dSpec& spec, std::int64_t in_h,
+                             std::int64_t in_w);
+
+// Backward-weights: accumulates dW into `weight_grad` (shape (O, C*k*k)),
+// bitwise-identical to weight_grad += matmul_nt(dY_gemm, im2col(X)).
+// `grad_blocked` is dY in nChw8c over output channels; `input_blocked` is
+// the forward input in nChw8c.
+void conv2d_direct_backward_weights(const Tensor& grad_blocked,
+                                    const Tensor& input_blocked,
+                                    const Conv2dSpec& spec, std::int64_t in_h,
+                                    std::int64_t in_w, Tensor& weight_grad);
+
+// Backward-data: returns dX in NCHW, bitwise-identical to
+// col2im(matmul_tn(W, dY_gemm)). `grad_nchw` is dY in plain NCHW (as handed
+// to Conv2d::backward — no reorder needed); `weight_t` is the (C*k*k, O)
+// transposed weight from ConvWeightPack.
+Tensor conv2d_direct_backward_data(const Tensor& grad_nchw,
+                                   const Tensor& weight_t,
+                                   const Conv2dSpec& spec,
+                                   const Shape& input_shape);
+
+}  // namespace rpol::layout

@@ -45,10 +45,13 @@ void check_rank2(const Tensor& t, const char* name) {
 // GEMM micro-kernels.
 //
 // Determinism contract (see ops.h): every C element is accumulated in fp32
-// over kk = 0..k-1 in that fixed order, by exactly one thread. The register
-// blocking below only changes which elements share loop iterations, never
-// the per-element operation sequence, and blocks are aligned to absolute
-// row/column indices, so results are bit-identical for any thread count.
+// over kk = 0..k-1 in that fixed order, by exactly one thread, one explicit
+// madd() per step. The register blocking below only changes which elements
+// share loop iterations, never the per-element operation sequence, and
+// blocks are aligned to absolute row/column indices, so results are
+// bit-identical for any thread count — and bit-identical to the packed and
+// direct-convolution kernels (tensor/layout.h) built from the same madd
+// chains.
 
 constexpr std::int64_t kRowBlock = 4;   // rows of C per micro-kernel panel
 constexpr std::int64_t kColBlock = 16;  // j-unroll width (2 AVX2 vectors)
@@ -84,10 +87,10 @@ void gemm_rows_axpy(const float* pa, std::int64_t a_rs, std::int64_t a_ks,
         const float av3 = a3[kk * a_ks];
         for (std::int64_t jj = 0; jj < kColBlock; ++jj) {
           const float bv = brow[jj];
-          acc0[jj] += av0 * bv;
-          acc1[jj] += av1 * bv;
-          acc2[jj] += av2 * bv;
-          acc3[jj] += av3 * bv;
+          acc0[jj] = madd(av0, bv, acc0[jj]);
+          acc1[jj] = madd(av1, bv, acc1[jj]);
+          acc2[jj] = madd(av2, bv, acc2[jj]);
+          acc3[jj] = madd(av3, bv, acc3[jj]);
         }
       }
       for (std::int64_t jj = 0; jj < kColBlock; ++jj) {
@@ -109,10 +112,10 @@ void gemm_rows_axpy(const float* pa, std::int64_t a_rs, std::int64_t a_ks,
         const float av3 = a3[kk * a_ks];
         for (std::int64_t jj = 0; jj < jw; ++jj) {
           const float bv = brow[jj];
-          acc0[jj] += av0 * bv;
-          acc1[jj] += av1 * bv;
-          acc2[jj] += av2 * bv;
-          acc3[jj] += av3 * bv;
+          acc0[jj] = madd(av0, bv, acc0[jj]);
+          acc1[jj] = madd(av1, bv, acc1[jj]);
+          acc2[jj] = madd(av2, bv, acc2[jj]);
+          acc3[jj] = madd(av3, bv, acc3[jj]);
         }
       }
       for (std::int64_t jj = 0; jj < jw; ++jj) {
@@ -132,7 +135,8 @@ void gemm_rows_axpy(const float* pa, std::int64_t a_rs, std::int64_t a_ks,
       for (std::int64_t kk = 0; kk < k; ++kk) {
         const float* brow = pb + kk * n + j0;
         const float av = ar[kk * a_ks];
-        for (std::int64_t jj = 0; jj < kColBlock; ++jj) acc[jj] += av * brow[jj];
+        for (std::int64_t jj = 0; jj < kColBlock; ++jj)
+          acc[jj] = madd(av, brow[jj], acc[jj]);
       }
       for (std::int64_t jj = 0; jj < kColBlock; ++jj) cr[j0 + jj] = acc[jj];
     }
@@ -142,23 +146,23 @@ void gemm_rows_axpy(const float* pa, std::int64_t a_rs, std::int64_t a_ks,
       for (std::int64_t kk = 0; kk < k; ++kk) {
         const float* brow = pb + kk * n + j0;
         const float av = ar[kk * a_ks];
-        for (std::int64_t jj = 0; jj < jw; ++jj) acc[jj] += av * brow[jj];
+        for (std::int64_t jj = 0; jj < jw; ++jj)
+          acc[jj] = madd(av, brow[jj], acc[jj]);
       }
       for (std::int64_t jj = 0; jj < jw; ++jj) cr[j0 + jj] = acc[jj];
     }
   }
 }
 
-// Row-parallel driver: partitions C rows in absolute kRowBlock-aligned
-// blocks so the panel layout is independent of the thread count.
+// Row-parallel driver: partitions C rows at absolute kRowBlock-aligned
+// boundaries so the panel layout is independent of the thread count.
 void gemm_rows_parallel(const float* pa, std::int64_t a_rs, std::int64_t a_ks,
                         const float* pb, float* pc, std::int64_t m,
                         std::int64_t k, std::int64_t n) {
-  const std::int64_t blocks = (m + kRowBlock - 1) / kRowBlock;
-  runtime::parallel_for(0, blocks, 1, [&](std::int64_t b0, std::int64_t b1) {
-    gemm_rows_axpy(pa, a_rs, a_ks, pb, pc, b0 * kRowBlock,
-                   std::min(m, b1 * kRowBlock), k, n);
-  });
+  runtime::parallel_for_aligned(
+      m, kRowBlock, 1, [&](std::int64_t i0, std::int64_t i1) {
+        gemm_rows_axpy(pa, a_rs, a_ks, pb, pc, i0, i1, k, n);
+      });
 }
 
 // Dot-product panel for C = A * B^T: rows [i0, i1) of C, fp32 accumulation
@@ -182,14 +186,14 @@ void gemm_rows_dot_nt(const float* pa, const float* pb, float* pc,
         const float b2 = pb[(j + 2) * k + kk];
         const float b3 = pb[(j + 3) * k + kk];
         const float av0 = a0[kk], av1 = a1[kk], av2 = a2[kk], av3 = a3[kk];
-        acc[0][0] += av0 * b0; acc[0][1] += av0 * b1;
-        acc[0][2] += av0 * b2; acc[0][3] += av0 * b3;
-        acc[1][0] += av1 * b0; acc[1][1] += av1 * b1;
-        acc[1][2] += av1 * b2; acc[1][3] += av1 * b3;
-        acc[2][0] += av2 * b0; acc[2][1] += av2 * b1;
-        acc[2][2] += av2 * b2; acc[2][3] += av2 * b3;
-        acc[3][0] += av3 * b0; acc[3][1] += av3 * b1;
-        acc[3][2] += av3 * b2; acc[3][3] += av3 * b3;
+        acc[0][0] = madd(av0, b0, acc[0][0]); acc[0][1] = madd(av0, b1, acc[0][1]);
+        acc[0][2] = madd(av0, b2, acc[0][2]); acc[0][3] = madd(av0, b3, acc[0][3]);
+        acc[1][0] = madd(av1, b0, acc[1][0]); acc[1][1] = madd(av1, b1, acc[1][1]);
+        acc[1][2] = madd(av1, b2, acc[1][2]); acc[1][3] = madd(av1, b3, acc[1][3]);
+        acc[2][0] = madd(av2, b0, acc[2][0]); acc[2][1] = madd(av2, b1, acc[2][1]);
+        acc[2][2] = madd(av2, b2, acc[2][2]); acc[2][3] = madd(av2, b3, acc[2][3]);
+        acc[3][0] = madd(av3, b0, acc[3][0]); acc[3][1] = madd(av3, b1, acc[3][1]);
+        acc[3][2] = madd(av3, b2, acc[3][2]); acc[3][3] = madd(av3, b3, acc[3][3]);
       }
       for (std::int64_t r = 0; r < kRowBlock; ++r)
         for (std::int64_t jj = 0; jj < JB; ++jj) pc[(i + r) * n + j + jj] = acc[r][jj];
@@ -199,10 +203,10 @@ void gemm_rows_dot_nt(const float* pa, const float* pb, float* pc,
       float s0 = 0.0F, s1 = 0.0F, s2 = 0.0F, s3 = 0.0F;
       for (std::int64_t kk = 0; kk < k; ++kk) {
         const float bv = br[kk];
-        s0 += a0[kk] * bv;
-        s1 += a1[kk] * bv;
-        s2 += a2[kk] * bv;
-        s3 += a3[kk] * bv;
+        s0 = madd(a0[kk], bv, s0);
+        s1 = madd(a1[kk], bv, s1);
+        s2 = madd(a2[kk], bv, s2);
+        s3 = madd(a3[kk], bv, s3);
       }
       pc[(i + 0) * n + j] = s0;
       pc[(i + 1) * n + j] = s1;
@@ -215,8 +219,67 @@ void gemm_rows_dot_nt(const float* pa, const float* pb, float* pc,
     for (std::int64_t j = 0; j < n; ++j) {
       const float* br = pb + j * k;
       float s = 0.0F;
-      for (std::int64_t kk = 0; kk < k; ++kk) s += ar[kk] * br[kk];
+      for (std::int64_t kk = 0; kk < k; ++kk) s = madd(ar[kk], br[kk], s);
       pc[i * n + j] = s;
+    }
+  }
+}
+
+// Packed-B variant of gemm_rows_dot_nt: B^T was pre-packed into 8-row
+// panels (see PackedPanels in ops.h), so each k-step reads one contiguous
+// 8-float vector instead of 8 strided rows. Per output element the
+// accumulation is the identical serial madd chain over kk = 0..k-1, so the
+// result is bitwise equal to the unpacked kernel; only the register-block
+// width (8 columns here vs 4 there) and the memory access pattern differ —
+// neither affects any individual element's operation sequence.
+void gemm_rows_dot_nt_packed(const float* pa, const float* pbp, float* pc,
+                             std::int64_t i0, std::int64_t i1, std::int64_t k,
+                             std::int64_t n) {
+  constexpr std::int64_t P = PackedPanels::kPanelRows;
+  const std::int64_t panels = (n + P - 1) / P;
+  std::int64_t i = i0;
+  for (; i + kRowBlock <= i1; i += kRowBlock) {
+    const float* a0 = pa + (i + 0) * k;
+    const float* a1 = pa + (i + 1) * k;
+    const float* a2 = pa + (i + 2) * k;
+    const float* a3 = pa + (i + 3) * k;
+    for (std::int64_t q = 0; q < panels; ++q) {
+      const float* bp = pbp + q * k * P;
+      float acc0[P] = {}, acc1[P] = {}, acc2[P] = {}, acc3[P] = {};
+      for (std::int64_t kk = 0; kk < k; ++kk) {
+        const float* bv = bp + kk * P;
+        const float av0 = a0[kk], av1 = a1[kk], av2 = a2[kk], av3 = a3[kk];
+        for (std::int64_t jj = 0; jj < P; ++jj) {
+          acc0[jj] = madd(av0, bv[jj], acc0[jj]);
+          acc1[jj] = madd(av1, bv[jj], acc1[jj]);
+          acc2[jj] = madd(av2, bv[jj], acc2[jj]);
+          acc3[jj] = madd(av3, bv[jj], acc3[jj]);
+        }
+      }
+      const std::int64_t j0 = q * P;
+      const std::int64_t jw = std::min(P, n - j0);  // zero-padded lane tail
+      for (std::int64_t jj = 0; jj < jw; ++jj) {
+        pc[(i + 0) * n + j0 + jj] = acc0[jj];
+        pc[(i + 1) * n + j0 + jj] = acc1[jj];
+        pc[(i + 2) * n + j0 + jj] = acc2[jj];
+        pc[(i + 3) * n + j0 + jj] = acc3[jj];
+      }
+    }
+  }
+  for (; i < i1; ++i) {  // row tail (only at the global end of C)
+    const float* ar = pa + i * k;
+    for (std::int64_t q = 0; q < panels; ++q) {
+      const float* bp = pbp + q * k * P;
+      float acc[P] = {};
+      for (std::int64_t kk = 0; kk < k; ++kk) {
+        const float* bv = bp + kk * P;
+        const float av = ar[kk];
+        for (std::int64_t jj = 0; jj < P; ++jj)
+          acc[jj] = madd(av, bv[jj], acc[jj]);
+      }
+      const std::int64_t j0 = q * P;
+      const std::int64_t jw = std::min(P, n - j0);
+      for (std::int64_t jj = 0; jj < jw; ++jj) pc[i * n + j0 + jj] = acc[jj];
     }
   }
 }
@@ -277,14 +340,62 @@ Tensor matmul_nt(const Tensor& a, const Tensor& b) {
   const float* pa = a.data();
   const float* pb = b.data();
   float* pc = c.data();
-  const std::int64_t blocks = (m + kRowBlock - 1) / kRowBlock;
-  runtime::parallel_for(0, blocks, 1, [&](std::int64_t b0, std::int64_t b1) {
-    gemm_rows_dot_nt(pa, pb, pc, b0 * kRowBlock, std::min(m, b1 * kRowBlock), k, n);
+  runtime::parallel_for_aligned(
+      m, kRowBlock, 1, [&](std::int64_t i0, std::int64_t i1) {
+        gemm_rows_dot_nt(pa, pb, pc, i0, i1, k, n);
+      });
+  return c;
+}
+
+PackedPanels pack_nt_panels(const Tensor& b) {
+  check_rank2(b, "pack_nt_panels input");
+  constexpr std::int64_t P = PackedPanels::kPanelRows;
+  PackedPanels packed;
+  packed.rows = b.dim(0);
+  packed.cols = b.dim(1);
+  const std::int64_t panels = packed.panels();
+  const std::int64_t k = packed.cols;
+  packed.data.assign(static_cast<std::size_t>(panels * k * P), 0.0F);
+  const float* pb = b.data();
+  float* pd = packed.data.data();
+  runtime::parallel_for(0, panels, 1, [&](std::int64_t q0, std::int64_t q1) {
+    for (std::int64_t q = q0; q < q1; ++q) {
+      float* panel = pd + q * k * P;
+      const std::int64_t rows = std::min(P, packed.rows - q * P);
+      for (std::int64_t r = 0; r < rows; ++r) {
+        const float* src = pb + (q * P + r) * k;
+        for (std::int64_t kk = 0; kk < k; ++kk) panel[kk * P + r] = src[kk];
+      }
+    }
   });
+  return packed;
+}
+
+Tensor matmul_nt_packed(const Tensor& a, const PackedPanels& pb) {
+  check_rank2(a, "matmul_nt_packed lhs");
+  const std::int64_t m = a.dim(0), k = a.dim(1), n = pb.rows;
+  if (pb.cols != k)
+    throw std::invalid_argument("matmul_nt_packed inner-dim mismatch");
+  static std::atomic<std::uint64_t> tick{0};
+  KernelTimer timer(tick, "kernel.matmul_nt_packed_ns");
+  Tensor c({m, n});
+  const float* pa = a.data();
+  const float* pd = pb.data.data();
+  float* pc = c.data();
+  runtime::parallel_for_aligned(
+      m, kRowBlock, 1, [&](std::int64_t i0, std::int64_t i1) {
+        gemm_rows_dot_nt_packed(pa, pd, pc, i0, i1, k, n);
+      });
   return c;
 }
 
 Tensor im2col(const Tensor& input, const Conv2dSpec& spec) {
+  Tensor cols;
+  im2col_into(input, spec, cols);
+  return cols;
+}
+
+void im2col_into(const Tensor& input, const Conv2dSpec& spec, Tensor& cols) {
   if (input.rank() != 4) throw std::invalid_argument("im2col expects NCHW input");
   const std::int64_t n = input.dim(0), c = input.dim(1);
   const std::int64_t h = input.dim(2), w = input.dim(3);
@@ -294,7 +405,7 @@ Tensor im2col(const Tensor& input, const Conv2dSpec& spec) {
   const std::int64_t patch = c * kernel * kernel;
   static std::atomic<std::uint64_t> tick{0};
   KernelTimer timer(tick, "kernel.im2col_ns");
-  Tensor cols({patch, n * oh * ow});
+  cols.resize_reuse({patch, n * oh * ow});
   const std::int64_t col_stride = n * oh * ow;
   const float* pin = input.data();
   float* pc = cols.data();
@@ -330,7 +441,6 @@ Tensor im2col(const Tensor& input, const Conv2dSpec& spec) {
       }
     }
   });
-  return cols;
 }
 
 Tensor col2im(const Tensor& cols, const Conv2dSpec& spec, const Shape& input_shape) {

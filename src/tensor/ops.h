@@ -20,10 +20,27 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "tensor/tensor.h"
 
 namespace rpol {
+
+// The one accumulation step every fp32 kernel in this repo is built from:
+// a fused multiply-add when the build targets FMA hardware (the pinned
+// -mavx2 -mfma ISA), a separate multiply+add otherwise. Making the step
+// explicit — instead of writing `c += a * b` and hoping the compiler
+// contracts it — is what lets the direct-convolution and packed-GEMM paths
+// (tensor/layout.h) guarantee bitwise equality with the im2col+GEMM
+// fallback: both sides perform literally the same operation sequence per
+// output element, independent of how each loop nest happens to vectorize.
+inline float madd(float a, float b, float c) {
+#if defined(__FMA__)
+  return __builtin_fmaf(a, b, c);
+#else
+  return a * b + c;
+#endif
+}
 
 // C = A * B for 2-D tensors: A is (m x k), B is (k x n), C is (m x n).
 Tensor matmul(const Tensor& a, const Tensor& b);
@@ -33,6 +50,34 @@ Tensor matmul_tn(const Tensor& a, const Tensor& b);
 
 // C = A * B^T: A is (m x k), B is (n x k), C is (m x n).
 Tensor matmul_nt(const Tensor& a, const Tensor& b);
+
+// B^T packed once into cache-friendly 8-row panels for repeated NT GEMMs
+// against the same weight matrix (Linear layers re-use the packed form until
+// the optimizer bumps the weight version — see nn/packcache.h).
+//
+// Panel layout: rows of B (n x k) are grouped into panels of kPanelRows
+// consecutive rows, each panel stored k-major:
+//   data[(panel*k + kk)*kPanelRows + r] = B(panel*kPanelRows + r, kk)
+// with missing rows in the final panel zero-filled. A GEMM inner loop then
+// reads 8 contiguous floats per k-step — one aligned vector load instead of
+// 8 strided row reads.
+struct PackedPanels {
+  static constexpr std::int64_t kPanelRows = 8;
+  std::int64_t rows = 0;  // n: logical rows of B
+  std::int64_t cols = 0;  // k: shared inner dimension
+  std::vector<float> data;
+
+  std::int64_t panels() const { return (rows + kPanelRows - 1) / kPanelRows; }
+};
+
+// Packs B (n x k) into PackedPanels. Pure data movement: no arithmetic, so
+// packing can never perturb results.
+PackedPanels pack_nt_panels(const Tensor& b);
+
+// C = A * B^T using a pre-packed B. Bitwise-identical to matmul_nt(a, b):
+// every output element accumulates in the same fixed k-order with the same
+// madd() sequence; only the memory access pattern differs.
+Tensor matmul_nt_packed(const Tensor& a, const PackedPanels& pb);
 
 // Parameters of a 2-D convolution; square kernels/strides only, which is all
 // the ResNet/VGG-style models in src/nn need.
@@ -52,6 +97,11 @@ struct Conv2dSpec {
 // (C*kernel*kernel, N*out_h*out_w). The GEMM weight view is
 // (out_channels, C*kernel*kernel).
 Tensor im2col(const Tensor& input, const Conv2dSpec& spec);
+
+// im2col into a caller-owned buffer (resized as needed, capacity reused
+// across calls). Lets Conv2d keep one scratch buffer per layer instead of
+// allocating a fresh (C*k*k, N*oh*ow) tensor every forward.
+void im2col_into(const Tensor& input, const Conv2dSpec& spec, Tensor& cols);
 
 // Folds columns back into an input-shaped gradient; exact adjoint of im2col.
 Tensor col2im(const Tensor& cols, const Conv2dSpec& spec, const Shape& input_shape);

@@ -1,0 +1,54 @@
+// Version-keyed cache for packed weight forms.
+//
+// Packing a weight into its blocked/panel form (tensor/layout.h, ops.h) is
+// pure data movement, but doing it on every forward would eat most of the
+// win. Weights only change when the optimizer steps (or a checkpoint is
+// loaded), so each Param carries a monotonically increasing `version`
+// (nn/layer.h) that every mutation site bumps, and layers cache the packed
+// form keyed on (version, data pointer). The pointer guards against a Param
+// being wholesale replaced (tests do this) without a version bump from a
+// different tensor that happens to share the version number.
+//
+// Packing never performs arithmetic, so a cache hit vs rebuild cannot
+// change any computed bit — staleness is the only hazard, and versions
+// eliminate it.
+
+#pragma once
+
+#include <cstdint>
+#include <utility>
+
+#include "obs/obs.h"
+#include "tensor/tensor.h"
+
+namespace rpol {
+
+template <typename PackT>
+class PackCache {
+ public:
+  // Returns the cached pack for `w`, rebuilding via make(w) when the
+  // (version, data pointer) key no longer matches.
+  template <typename MakeFn>
+  const PackT& get(const Tensor& w, std::uint64_t version, MakeFn&& make) {
+    if (!valid_ || version != version_ || w.data() != src_) {
+      pack_ = make(w);
+      version_ = version;
+      src_ = w.data();
+      valid_ = true;
+      if (obs::enabled()) obs::count("tensor.pack.rebuild", 1);
+    } else if (obs::enabled()) {
+      obs::count("tensor.pack.hit", 1);
+    }
+    return pack_;
+  }
+
+  void invalidate() { valid_ = false; }
+
+ private:
+  PackT pack_{};
+  std::uint64_t version_ = 0;
+  const float* src_ = nullptr;
+  bool valid_ = false;
+};
+
+}  // namespace rpol

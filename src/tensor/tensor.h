@@ -75,6 +75,23 @@ class Tensor {
   void fill(float value);
   void zero() { fill(0.0F); }
 
+  // Reshapes this tensor in place, reusing the current heap allocation when
+  // its capacity suffices. Retained elements keep their old values — callers
+  // are expected to overwrite every element. Used by layer scratch buffers
+  // (e.g. Conv2d's im2col workspace) recycled across batches.
+  void resize_reuse(Shape new_shape) {
+    data_.resize(static_cast<std::size_t>(shape_numel(new_shape)));
+    shape_ = std::move(new_shape);
+  }
+
+  // Logically empties the tensor (numel() == 0) while keeping the heap
+  // allocation for a later resize_reuse(). Lets layers release per-batch
+  // state after backward without paying a realloc on the next forward.
+  void clear_keep_capacity() {
+    shape_.clear();
+    data_.clear();
+  }
+
   // Elementwise in-place arithmetic; shapes must match exactly.
   Tensor& operator+=(const Tensor& other);
   Tensor& operator-=(const Tensor& other);

@@ -8,6 +8,7 @@
 
 #include "nn/blocks.h"
 #include "nn/loss.h"
+#include "nn/optim.h"
 #include "test_util.h"
 
 namespace rpol::nn {
@@ -89,6 +90,128 @@ TEST(Conv2d, GradientCheckStride2NoBias) {
   m.add(std::make_unique<Linear>(2 * 2 * 2, 2, rng));
   const Tensor x = random_input({2, 2, 4, 4}, 102);
   rpol::testing::check_model_gradients(m, x, cyclic_labels(2, 2), 5e-2, 2e-3, 3);
+}
+
+// ---------------------------------------------------------------------------
+// Direct-vs-fallback path parity (tensor/layout.h).
+//
+// The blocked/packed kernels must be BITWISE equal to im2col + GEMM — the
+// determinism contract extends across execution paths, not just thread
+// counts. These tests flip the RPOL_DIRECT_CONV gate programmatically and
+// compare outputs and gradients with EXPECT_EQ on raw floats.
+
+// Restores the direct-conv gate on scope exit.
+class DirectConvGuard {
+ public:
+  DirectConvGuard() : initial_(layout::direct_conv_enabled()) {}
+  ~DirectConvGuard() { layout::set_direct_conv_enabled(initial_); }
+
+ private:
+  bool initial_;
+};
+
+TEST(Conv2d, DirectPathBitwiseMatchesFallbackForwardBackward) {
+  DirectConvGuard guard;
+  const std::vector<Conv2dSpec> specs = {
+      {5, 7, 3, 1, 1},   // unaligned channels
+      {8, 16, 3, 2, 1},  // stride 2
+      {8, 16, 1, 1, 0},  // 1x1
+      {3, 12, 1, 2, 0},  // 1x1 stride 2 (ResNet projection shortcut)
+  };
+  for (const Conv2dSpec& spec : specs) {
+    Rng rng(200);
+    Conv2d conv(spec, rng, /*bias=*/true);
+    const Tensor x = random_input({2, spec.in_channels, 8, 8}, 201);
+    Rng grng(202);
+    const Tensor dy =
+        Tensor::randn(conv.output_shape(x.shape()), grng, 0.5F);
+
+    layout::set_direct_conv_enabled(false);
+    const Tensor y_ref = conv.forward(x, true);
+    const Tensor dx_ref = conv.backward(dy);
+    const Tensor dw_ref = conv.weight().grad;
+    const Tensor db_ref = conv.bias().grad;
+
+    conv.weight().grad.zero();
+    conv.bias().grad.zero();
+    layout::set_direct_conv_enabled(true);
+    const Tensor y_dir = conv.forward(x, true);
+    const Tensor dx_dir = conv.backward(dy);
+
+    for (std::int64_t i = 0; i < y_ref.numel(); ++i) {
+      ASSERT_EQ(y_dir.at(i), y_ref.at(i)) << "forward el " << i;
+    }
+    for (std::int64_t i = 0; i < dx_ref.numel(); ++i) {
+      ASSERT_EQ(dx_dir.at(i), dx_ref.at(i)) << "dX el " << i;
+    }
+    for (std::int64_t i = 0; i < dw_ref.numel(); ++i) {
+      ASSERT_EQ(conv.weight().grad.at(i), dw_ref.at(i)) << "dW el " << i;
+    }
+    for (std::int64_t i = 0; i < db_ref.numel(); ++i) {
+      ASSERT_EQ(conv.bias().grad.at(i), db_ref.at(i)) << "db el " << i;
+    }
+  }
+}
+
+TEST(Linear, PackedPathBitwiseMatchesFallback) {
+  DirectConvGuard guard;
+  Rng rng(210);
+  Linear fc(13, 11, rng);  // unaligned: final panel is zero-padded
+  const Tensor x = random_input({5, 13}, 211);
+
+  layout::set_direct_conv_enabled(false);
+  const Tensor y_ref = fc.forward(x, true);
+  layout::set_direct_conv_enabled(true);
+  const Tensor y_packed = fc.forward(x, true);
+  for (std::int64_t i = 0; i < y_ref.numel(); ++i) {
+    ASSERT_EQ(y_packed.at(i), y_ref.at(i));
+  }
+}
+
+TEST(Linear, PackCacheInvalidatesOnOptimizerStep) {
+  Rng rng(212);
+  Linear fc(6, 4, rng);
+  const Tensor x = random_input({2, 6}, 213);
+  const Tensor y0 = fc.forward(x, true);  // populates the pack cache
+  std::vector<Param*> params;
+  fc.collect_params(params);
+  // Give the weight a nonzero gradient and step: the version bump must
+  // invalidate the cached panels, so the next forward sees new weights.
+  fc.weight().grad.fill(1.0F);
+  Sgd opt(params, /*lr=*/0.5F);
+  opt.step();
+  const Tensor y1 = fc.forward(x, true);
+  bool changed = false;
+  for (std::int64_t i = 0; i < y0.numel(); ++i) {
+    if (y0.at(i) != y1.at(i)) changed = true;
+  }
+  EXPECT_TRUE(changed) << "stale packed weights served after optimizer step";
+}
+
+TEST(Conv2d, UnsupportedKernelFallsBackUnderDefaultGate) {
+  // 5x5 has no direct kernel; the layer must route through im2col + GEMM
+  // even with the gate enabled, and gradients must still check out.
+  Rng rng(214);
+  Model m("t");
+  m.add(std::make_unique<Conv2d>(Conv2dSpec{2, 2, 5, 1, 2}, rng));
+  m.add(std::make_unique<Flatten>());
+  m.add(std::make_unique<Linear>(2 * 4 * 4, 2, rng));
+  const Tensor x = random_input({2, 2, 4, 4}, 215);
+  rpol::testing::check_model_gradients(m, x, cyclic_labels(2, 2), 5e-2, 2e-3, 7);
+}
+
+TEST(Conv2d, GradientCheckThroughFallbackPath) {
+  // Same model as GradientCheckStride1 but with the direct gate forced
+  // off, keeping the legacy path covered by finite differences.
+  DirectConvGuard guard;
+  layout::set_direct_conv_enabled(false);
+  Rng rng(216);
+  Model m("t");
+  m.add(std::make_unique<Conv2d>(Conv2dSpec{2, 3, 3, 1, 1}, rng));
+  m.add(std::make_unique<Flatten>());
+  m.add(std::make_unique<Linear>(3 * 4 * 4, 3, rng));
+  const Tensor x = random_input({2, 2, 4, 4}, 217);
+  rpol::testing::check_model_gradients(m, x, cyclic_labels(2, 3), 5e-2, 2e-3, 5);
 }
 
 // ---------------------------------------------------------------------------

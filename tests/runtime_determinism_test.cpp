@@ -23,6 +23,7 @@
 #include "obs/obs.h"
 #include "runtime/thread_pool.h"
 #include "task_fixture.h"
+#include "tensor/layout.h"
 #include "tensor/ops.h"
 #include "tensor/rng.h"
 #include "tensor/serialize.h"
@@ -258,6 +259,37 @@ TEST(TrainingDeterminism, CheckpointBytesAndDigestsMatchAcrossThreadCounts) {
   }
   EXPECT_TRUE(digest_equal(serial.commitment.root, parallel.commitment.root));
   EXPECT_TRUE(digest_equal(serial.merkle_root, parallel.merkle_root));
+}
+
+// The determinism contract also spans EXECUTION PATHS: the blocked direct
+// conv / packed GEMM pipeline (tensor/layout.h, the default) and the
+// im2col + GEMM fallback (RPOL_DIRECT_CONV=0) must produce bit-identical
+// training trajectories, so a verifier may re-execute on either path —
+// and at any thread count — against a worker that used the other. This is
+// the end-to-end form of the per-kernel parity tests in tensor_test.cpp.
+TEST(TrainingDeterminism, DirectAndFallbackConvPathsProduceIdenticalRuns) {
+  const bool saved = layout::direct_conv_enabled();
+
+  layout::set_direct_conv_enabled(true);
+  const TrainRun direct_1t = train_fixture_model(1);
+  const TrainRun direct_4t = train_fixture_model(4);
+  layout::set_direct_conv_enabled(false);
+  const TrainRun fallback_4t = train_fixture_model(4);
+  layout::set_direct_conv_enabled(saved);
+
+  ASSERT_EQ(direct_1t.checkpoint_bytes.size(), direct_4t.checkpoint_bytes.size());
+  ASSERT_EQ(direct_1t.checkpoint_bytes.size(), fallback_4t.checkpoint_bytes.size());
+  for (std::size_t i = 0; i < direct_1t.checkpoint_bytes.size(); ++i) {
+    EXPECT_EQ(direct_1t.checkpoint_bytes[i], direct_4t.checkpoint_bytes[i])
+        << "direct-path checkpoint " << i << " differs across thread counts";
+    EXPECT_EQ(direct_1t.checkpoint_bytes[i], fallback_4t.checkpoint_bytes[i])
+        << "checkpoint " << i << " differs between direct and fallback paths";
+  }
+  EXPECT_TRUE(digest_equal(direct_1t.commitment.root, direct_4t.commitment.root));
+  EXPECT_TRUE(
+      digest_equal(direct_1t.commitment.root, fallback_4t.commitment.root));
+  EXPECT_TRUE(digest_equal(direct_1t.merkle_root, direct_4t.merkle_root));
+  EXPECT_TRUE(digest_equal(direct_1t.merkle_root, fallback_4t.merkle_root));
 }
 
 // A verifier running with a different thread count than the worker must

@@ -6,6 +6,7 @@
 #include <cmath>
 #include <set>
 
+#include "tensor/layout.h"
 #include "tensor/ops.h"
 #include "tensor/rng.h"
 #include "tensor/serialize.h"
@@ -268,6 +269,199 @@ TEST(Ops, ArgmaxRow) {
   const Tensor t({2, 3}, {1, 5, 2, 9, 0, 3});
   EXPECT_EQ(argmax_row(t, 0), 1);
   EXPECT_EQ(argmax_row(t, 1), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Blocked layouts & packed GEMM (tensor/layout.h). Parity expectations here
+// are BITWISE (EXPECT_EQ on floats): the direct/packed kernels promise
+// bit-identical results to the im2col + GEMM fallback, not merely close
+// ones — that is what keeps checkpoint hashes stable across paths.
+
+TEST(Layout, NchwBlockRoundTrip) {
+  Rng rng(41);
+  for (const std::int64_t c : {1, 5, 8, 19}) {
+    const Tensor x = Tensor::randn({2, c, 3, 4}, rng);
+    const Tensor blocked = layout::nchw_to_nchw8c(x);
+    EXPECT_EQ(blocked.shape(), (Shape{2, layout::blocks(c), 3, 4, 8}));
+    const Tensor back = layout::nchw8c_to_nchw(blocked, c);
+    ASSERT_EQ(back.shape(), x.shape());
+    for (std::int64_t i = 0; i < x.numel(); ++i) EXPECT_EQ(back.at(i), x.at(i));
+  }
+}
+
+TEST(Layout, NchwBlockPadsLanesWithZeros) {
+  Rng rng(43);
+  const std::int64_t c = 5;  // 3 padded lanes in the single block
+  const Tensor x = Tensor::randn({1, c, 2, 2}, rng);
+  const Tensor blocked = layout::nchw_to_nchw8c(x);
+  const float* p = blocked.data();
+  for (std::int64_t i = 0; i < 2 * 2; ++i) {
+    for (std::int64_t lane = c; lane < 8; ++lane) {
+      EXPECT_EQ(p[i * 8 + lane], 0.0F);
+    }
+  }
+}
+
+TEST(Layout, WeightBlockRoundTrip) {
+  Rng rng(47);
+  for (const auto& [o, c, k] : {std::tuple<std::int64_t, std::int64_t,
+                                           std::int64_t>{7, 5, 3},
+                                {8, 8, 1},
+                                {16, 3, 3}}) {
+    const Conv2dSpec spec{c, o, k, 1, k / 2};
+    const Tensor w = Tensor::randn({o, c * k * k}, rng);
+    const Tensor blocked = layout::oihw_to_oihw8i8o(w, spec);
+    const Tensor back = layout::oihw8i8o_to_oihw(blocked, spec);
+    ASSERT_EQ(back.shape(), w.shape());
+    for (std::int64_t i = 0; i < w.numel(); ++i) EXPECT_EQ(back.at(i), w.at(i));
+  }
+}
+
+TEST(Layout, PackedNtGemmBitwiseEqualsUnpacked) {
+  Rng rng(53);
+  // n = 11 exercises the zero-padded final panel; m = 5 the GEMM row tail.
+  const Tensor a = Tensor::randn({5, 13}, rng);
+  const Tensor b = Tensor::randn({11, 13}, rng);
+  const Tensor ref = matmul_nt(a, b);
+  const PackedPanels packed = pack_nt_panels(b);
+  const Tensor got = matmul_nt_packed(a, packed);
+  ASSERT_EQ(got.shape(), ref.shape());
+  for (std::int64_t i = 0; i < ref.numel(); ++i) EXPECT_EQ(got.at(i), ref.at(i));
+}
+
+TEST(Layout, PackedNtGemmShapeMismatchThrows) {
+  const Tensor a({2, 4});
+  const PackedPanels packed = pack_nt_panels(Tensor({3, 5}));
+  EXPECT_THROW(matmul_nt_packed(a, packed), std::invalid_argument);
+}
+
+// Reference conv forward: the exact im2col + GEMM computation Conv2d's
+// fallback path performs, producing NCHW output.
+Tensor conv_ref_forward(const Tensor& x, const Tensor& w, const Conv2dSpec& spec) {
+  const Tensor cols = im2col(x, spec);
+  const Tensor gemm = matmul(w, cols);
+  const std::int64_t n = x.dim(0);
+  const std::int64_t oh = spec.out_size(x.dim(2)), ow = spec.out_size(x.dim(3));
+  Tensor out({n, spec.out_channels, oh, ow});
+  for (std::int64_t img = 0; img < n; ++img)
+    for (std::int64_t oc = 0; oc < spec.out_channels; ++oc)
+      for (std::int64_t i = 0; i < oh * ow; ++i)
+        out.at((img * spec.out_channels + oc) * oh * ow + i) =
+            gemm.at2(oc, img * oh * ow + i);
+  return out;
+}
+
+TEST(Layout, DirectForwardBitwiseEqualsIm2colGemm) {
+  Rng rng(59);
+  const std::vector<Conv2dSpec> specs = {
+      {5, 7, 3, 1, 1},   // unaligned channels, 3x3 stride 1
+      {5, 7, 3, 2, 1},   // 3x3 stride 2
+      {8, 16, 1, 1, 0},  // aligned 1x1
+      {3, 9, 1, 2, 0},   // 1x1 stride 2
+  };
+  for (const Conv2dSpec& spec : specs) {
+    const Tensor x = Tensor::randn({2, spec.in_channels, 6, 6}, rng);
+    const Tensor w = Tensor::randn(
+        {spec.out_channels, spec.in_channels * spec.kernel * spec.kernel}, rng);
+    const Tensor ref = conv_ref_forward(x, w, spec);
+    const Tensor xb = layout::nchw_to_nchw8c(x, spec.padding);
+    const layout::ConvWeightPack pack = layout::make_conv_weight_pack(w, spec);
+    const Tensor yb = layout::conv2d_direct_forward(xb, pack.blocked, Tensor(),
+                                                    spec, 6, 6);
+    const Tensor y = layout::nchw8c_to_nchw(yb, spec.out_channels);
+    ASSERT_EQ(y.shape(), ref.shape());
+    for (std::int64_t i = 0; i < ref.numel(); ++i) {
+      ASSERT_EQ(y.at(i), ref.at(i))
+          << "kernel=" << spec.kernel << " stride=" << spec.stride
+          << " element " << i;
+    }
+  }
+}
+
+TEST(Layout, DirectBackwardWeightsBitwiseEqualsGemm) {
+  Rng rng(61);
+  for (const Conv2dSpec spec :
+       {Conv2dSpec{5, 7, 3, 1, 1}, Conv2dSpec{4, 6, 3, 2, 1},
+        Conv2dSpec{5, 9, 1, 1, 0}}) {
+    const std::int64_t oh = spec.out_size(6), ow = spec.out_size(6);
+    const Tensor x = Tensor::randn({2, spec.in_channels, 6, 6}, rng);
+    const Tensor dy = Tensor::randn({2, spec.out_channels, oh, ow}, rng);
+    // Reference: dW = dY_gemm * cols^T.
+    const Tensor cols = im2col(x, spec);
+    Tensor dy_gemm({spec.out_channels, 2 * oh * ow});
+    for (std::int64_t img = 0; img < 2; ++img)
+      for (std::int64_t oc = 0; oc < spec.out_channels; ++oc)
+        for (std::int64_t i = 0; i < oh * ow; ++i)
+          dy_gemm.at2(oc, img * oh * ow + i) =
+              dy.at((img * spec.out_channels + oc) * oh * ow + i);
+    const Tensor ref = matmul_nt(dy_gemm, cols);
+    Tensor got(ref.shape());
+    layout::conv2d_direct_backward_weights(
+        layout::nchw_to_nchw8c(dy), layout::nchw_to_nchw8c(x, spec.padding),
+        spec, 6, 6, got);
+    for (std::int64_t i = 0; i < ref.numel(); ++i) {
+      ASSERT_EQ(got.at(i), ref.at(i))
+          << "kernel=" << spec.kernel << " stride=" << spec.stride
+          << " element " << i;
+    }
+  }
+}
+
+TEST(Layout, DirectBackwardDataBitwiseEqualsGemm) {
+  Rng rng(67);
+  for (const Conv2dSpec spec :
+       {Conv2dSpec{5, 7, 3, 1, 1}, Conv2dSpec{4, 6, 3, 2, 1},
+        Conv2dSpec{5, 9, 1, 1, 0}}) {
+    const Shape in_shape{2, spec.in_channels, 6, 6};
+    const std::int64_t oh = spec.out_size(6), ow = spec.out_size(6);
+    const Tensor w = Tensor::randn(
+        {spec.out_channels, spec.in_channels * spec.kernel * spec.kernel}, rng);
+    const Tensor dy = Tensor::randn({2, spec.out_channels, oh, ow}, rng);
+    Tensor dy_gemm({spec.out_channels, 2 * oh * ow});
+    for (std::int64_t img = 0; img < 2; ++img)
+      for (std::int64_t oc = 0; oc < spec.out_channels; ++oc)
+        for (std::int64_t i = 0; i < oh * ow; ++i)
+          dy_gemm.at2(oc, img * oh * ow + i) =
+              dy.at((img * spec.out_channels + oc) * oh * ow + i);
+    const Tensor ref = col2im(matmul_tn(w, dy_gemm), spec, in_shape);
+    const layout::ConvWeightPack pack = layout::make_conv_weight_pack(w, spec);
+    const Tensor got = layout::conv2d_direct_backward_data(dy, pack.transposed,
+                                                           spec, in_shape);
+    for (std::int64_t i = 0; i < ref.numel(); ++i) {
+      ASSERT_EQ(got.at(i), ref.at(i))
+          << "kernel=" << spec.kernel << " stride=" << spec.stride
+          << " element " << i;
+    }
+  }
+}
+
+TEST(Layout, DirectConvGateDefaultsOnAndOverrides) {
+  // The build never sets RPOL_DIRECT_CONV in tier-1 runs, so the default
+  // must be enabled; the programmatic override must win in both directions.
+  const bool initial = layout::direct_conv_enabled();
+  layout::set_direct_conv_enabled(false);
+  EXPECT_FALSE(layout::direct_conv_enabled());
+  layout::set_direct_conv_enabled(true);
+  EXPECT_TRUE(layout::direct_conv_enabled());
+  layout::set_direct_conv_enabled(initial);
+}
+
+TEST(Layout, DirectConvSupportsOnlySmallKernels) {
+  EXPECT_TRUE(layout::direct_conv_supports(Conv2dSpec{3, 8, 3, 1, 1}));
+  EXPECT_TRUE(layout::direct_conv_supports(Conv2dSpec{3, 8, 1, 1, 0}));
+  EXPECT_FALSE(layout::direct_conv_supports(Conv2dSpec{3, 8, 7, 2, 3}));
+  EXPECT_FALSE(layout::direct_conv_supports(Conv2dSpec{3, 8, 5, 1, 2}));
+}
+
+TEST(Tensor, ResizeReuseKeepsCapacity) {
+  Tensor t({4, 4});
+  t.fill(1.0F);
+  const float* before = t.data();
+  t.clear_keep_capacity();
+  EXPECT_EQ(t.numel(), 0);
+  t.resize_reuse({2, 3});
+  EXPECT_EQ(t.numel(), 6);
+  EXPECT_EQ(t.data(), before);  // vector capacity was reused, no realloc
 }
 
 // ---------------------------------------------------------------------------

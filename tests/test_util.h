@@ -38,11 +38,17 @@ inline void check_model_gradients(nn::Model& model, const Tensor& input,
     for (std::int64_t i = 0; i < p->value.numel(); i += stride) {
       const float original = p->value.at(i);
       const float eps = std::max(1e-3F, std::abs(original) * 1e-3F);
+      // Every direct write to p->value must bump the version, or the
+      // perturbed forwards would run against stale packed weights
+      // (tensor/packcache.h).
       p->value.at(i) = original + eps;
+      p->mark_updated();
       const double loss_plus = forward_loss();
       p->value.at(i) = original - eps;
+      p->mark_updated();
       const double loss_minus = forward_loss();
       p->value.at(i) = original;
+      p->mark_updated();
       const double numeric = (loss_plus - loss_minus) / (2.0 * eps);
       const double analytic = static_cast<double>(p->grad.at(i));
       const double denom = std::max({std::abs(numeric), std::abs(analytic), 1e-8});

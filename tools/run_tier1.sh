@@ -30,7 +30,8 @@ echo "==> tier-1 pass 3/5: RPOL_TRACE=1 (tracing on; results must not change)"
 # Advisory regression check against the committed benchmark baseline: the
 # cost-model rows are deterministic, so only genuine protocol-cost changes
 # (or a stale baseline — regenerate with tools/make_bench_baseline.sh) move
-# them, and the crypto/commitment harness covers the hashing hot path.
+# them, the crypto/commitment harness covers the hashing hot path, and the
+# blocked-layout conv harness covers the direct-vs-fallback speedup rows.
 # Advisory because wall-clock rows vary across machines.
 if [[ -f BENCH_baseline.json ]]; then
   echo "==> advisory: rpol bench-diff vs BENCH_baseline.json (does not gate)"
@@ -39,6 +40,8 @@ if [[ -f BENCH_baseline.json ]]; then
     ./bench/bench_table3_overhead >/dev/null)
   (cd "$BUILD_DIR" && RPOL_BENCH_FILE=BENCH_current.json \
     ./bench/bench_micro --crypto-only >/dev/null)
+  (cd "$BUILD_DIR" && RPOL_BENCH_FILE=BENCH_current.json \
+    ./bench/bench_micro --layout-only >/dev/null)
   "$BUILD_DIR/tools/rpol" bench-diff BENCH_baseline.json \
     "$BUILD_DIR/BENCH_current.json" --tolerance 0.35 \
     || echo "==> advisory bench-diff flagged deltas (non-fatal)"
