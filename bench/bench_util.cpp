@@ -3,6 +3,7 @@
 #include <cstdlib>
 #include <stdexcept>
 
+#include "obs/mem.h"
 #include "runtime/thread_pool.h"
 
 namespace rpol::bench {
@@ -26,6 +27,9 @@ obs::BenchEnv bench_env(int threads) {
 #else
   env.compiler = std::string("unknown");
 #endif
+  // Memory column: the process peak at record time (0 off Linux), so every
+  // rpol.bench.v1 record carries its RSS cost next to its time cost.
+  env.peak_rss_bytes = obs::read_proc_rss().vm_hwm_bytes;
   return env;
 }
 

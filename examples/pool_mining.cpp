@@ -9,14 +9,19 @@
 //
 // Run: ./build/examples/pool_mining
 // With RPOL_TRACE=1 the run also writes rpol_trace.jsonl (protocol spans +
-// metrics); summarize it with `rpol trace --file rpol_trace.jsonl`.
+// metrics) and rpol_health.jsonl (per-worker health scores + memory
+// accounting); summarize with `rpol trace` / `rpol health`.
 
+#include <chrono>
 #include <cstdio>
+#include <optional>
 
 #include "core/pool.h"
 #include "data/partition.h"
 #include "data/synthetic.h"
 #include "nn/models.h"
+#include "obs/health.h"
+#include "obs/mem.h"
 #include "obs/obs.h"
 
 using namespace rpol;
@@ -61,6 +66,11 @@ int main() {
   const nn::ModelFactory factory = nn::mlp_factory(32, {32, 16}, 10, 5);
 
   double baseline_acc = 0.0;
+  // Sample peak RSS while the RPoLv2 pool is built and run (write-only
+  // observation); the summary rides along in the rpol.health.v1 export
+  // below. The window brackets only the measured pool so its growth is
+  // attributable to that pool's tagged subsystems.
+  std::optional<obs::RssSampler> rss;
   for (const core::Scheme scheme :
        {core::Scheme::kBaseline, core::Scheme::kRPoLv2}) {
     core::PoolConfig cfg;
@@ -69,6 +79,9 @@ int main() {
     cfg.epochs = 8;
     cfg.samples_q = 3;
     cfg.seed = 123;
+    if (scheme == core::Scheme::kRPoLv2 && obs::enabled()) {
+      rss.emplace(std::chrono::milliseconds(5));
+    }
     core::MiningPool pool(cfg, factory, dataset, split.test, build_workers());
 
     std::printf("\n=== scheme: %s ===\n", core::scheme_name(scheme).c_str());
@@ -93,6 +106,18 @@ int main() {
       std::printf("\nRPoLv2 final accuracy %.4f vs insecure baseline %.4f "
                   "(freeloaders excluded every epoch)\n",
                   report.final_accuracy, baseline_acc);
+      // Export per-worker health + memory accounting from the RPoLv2 pool
+      // (the pool is loop-scoped, so export before it is destroyed).
+      if (rss.has_value()) rss->stop();
+      obs::RssSampler::Summary rss_summary;
+      if (rss.has_value()) rss_summary = rss->summary();
+      const std::string health_path = obs::maybe_export_health(
+          "rpol_health.jsonl", pool.health(),
+          rss.has_value() ? &rss_summary : nullptr);
+      if (!health_path.empty()) {
+        std::printf("health written to %s (summarize with `rpol health`)\n",
+                    health_path.c_str());
+      }
     }
   }
   const std::string trace_path = obs::maybe_export("rpol_trace.jsonl");

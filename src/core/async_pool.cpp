@@ -16,13 +16,12 @@ AsyncMiningPool::AsyncMiningPool(AsyncPoolConfig config, nn::ModelFactory factor
       factory_(std::move(factory)),
       test_(std::move(test)),
       workers_(std::move(workers)),
-      manager_executor_(factory_, config_.hp) {
+      manager_executor_(factory_, config_.hp),
+      health_(static_cast<int>(config_.eviction_threshold), workers_.size()) {
   if (workers_.empty()) throw std::invalid_argument("async pool needs workers");
   for (const auto& w : workers_) {
     if (w.period < 1) throw std::invalid_argument("worker period must be >= 1");
   }
-  consecutive_failures_.assign(workers_.size(), 0);
-  evicted_.assign(workers_.size(), false);
   partitions_ = data::shuffle_and_partition(
       train, static_cast<std::int64_t>(workers_.size()),
       derive_seed(config_.seed, 0xA57A));
@@ -56,12 +55,14 @@ AsyncRunReport AsyncMiningPool::run() {
   for (std::int64_t tick = 1; tick <= config_.ticks; ++tick) {
     for (std::size_t w = 0; w < workers_.size(); ++w) {
       InFlight& job = in_flight_[w];
-      if (evicted_[w] || job.finish_tick != tick) continue;
+      if (health_.evicted(w) || job.finish_tick != tick) continue;
 
       // Each submission roots its own causal tree (async epochs have no
       // shared root); the verifier's re-execution spans link under it.
       obs::Span submission_span("submission", obs::TraceContext{},
                                 static_cast<int>(w), tick);
+      const std::uint64_t submission_start_ns = obs::now_ns();
+      std::uint64_t submission_retrans = 0;
 
       // Submission transport under the fault plan: the worker retransmits
       // its trained update up to the retry budget; exhausting it loses this
@@ -75,6 +76,7 @@ AsyncRunReport AsyncMiningPool::run() {
         for (int attempt = 0; attempt < config_.retry.max_attempts; ++attempt) {
           if (attempt > 0) {
             ++report.retransmissions;
+            ++submission_retrans;
             obs::count("async.retransmission", 1);
           }
           const fault::Delivery d = injector.attempt(/*kCommitment*/ 2);
@@ -98,6 +100,12 @@ AsyncRunReport AsyncMiningPool::run() {
                       0xC000ULL + static_cast<std::uint64_t>(tick) * 256ULL + w));
       const EpochTrace trace =
           workers_[w].policy->produce_trace(worker_executor, ctx, device);
+      // Checkpoint store lives until this submission is resolved; the
+      // session's working state (grabbed base copy + the transient
+      // executor's model+optimizer image) rides along with it.
+      obs::MemScope trace_mem(obs::MemTag::kCheckpoint,
+                              trace.storage_bytes() +
+                                  ctx.initial.byte_size() * 2);
 
       AsyncSubmission submission;
       submission.tick = tick;
@@ -143,13 +151,16 @@ AsyncRunReport AsyncMiningPool::run() {
         ++report.lost;
       }
 
-      // Graceful degradation: consecutive failed submissions (lost or
-      // rejected) evict the worker; the scheduler keeps ticking with the
-      // survivors.
-      if (accepted) {
-        consecutive_failures_[w] = 0;
-      } else if (++consecutive_failures_[w] >= config_.eviction_threshold) {
-        evicted_[w] = true;
+      // Graceful degradation via the health registry: consecutive failed
+      // submissions (lost or rejected) evict the worker; the scheduler
+      // keeps ticking with the survivors. The same outcome feeds the
+      // windowed per-worker score (latency and retries are report-only).
+      obs::HealthOutcome outcome;
+      outcome.participated = delivered;
+      outcome.accepted = accepted;
+      outcome.retransmissions = submission_retrans;
+      outcome.latency_ns = obs::now_ns() - submission_start_ns;
+      if (health_.record(w, outcome)) {
         obs::count("async.eviction", 1);
         continue;  // never re-arms; finish_tick stays in the past
       }
@@ -164,6 +175,9 @@ AsyncRunReport AsyncMiningPool::run() {
     obs::Span eval_span("evaluate", obs::TraceContext{}, /*worker=*/-1, tick);
     manager_executor_.load_state(current_state());
     report.accuracy_curve.push_back(manager_executor_.evaluate(test_));
+  }
+  for (std::size_t w = 0; w < workers_.size(); ++w) {
+    report.evicted_workers += health_.evicted(w) ? 1 : 0;
   }
   report.final_accuracy =
       report.accuracy_curve.empty() ? 0.0 : report.accuracy_curve.back();

@@ -21,6 +21,7 @@
 
 #include "core/verifier.h"
 #include "fault/fault.h"
+#include "obs/health.h"
 
 namespace rpol::core {
 
@@ -78,7 +79,12 @@ class AsyncMiningPool {
   AsyncRunReport run();
 
   const std::vector<float>& global_model() const { return global_model_; }
-  bool worker_evicted(std::size_t worker) const { return evicted_[worker]; }
+  bool worker_evicted(std::size_t worker) const {
+    return health_.evicted(worker);
+  }
+  // Per-worker health scores and windowed submission stats (obs/health.h);
+  // the eviction strike counters live here too.
+  const obs::HealthRegistry& health() const { return health_; }
 
  private:
   struct InFlight {
@@ -100,8 +106,7 @@ class AsyncMiningPool {
   std::vector<float> global_model_;
   std::vector<float> fresh_optimizer_;
   std::int64_t global_version_ = 0;
-  std::vector<std::int64_t> consecutive_failures_;
-  std::vector<bool> evicted_;
+  obs::HealthRegistry health_;
 
   TrainState current_state() const;
 };

@@ -173,7 +173,10 @@ Digest lsh_leaf_digest(const lsh::LshDigest& digest) {
 CommitmentIndex::CommitmentIndex(const Commitment& full)
     : full_(&full),
       state_tree_(checked_state_hashes(full)),
-      lsh_tree_(make_lsh_tree(full)) {}
+      lsh_tree_(make_lsh_tree(full)) {
+  mem_.set(state_tree_.byte_size() +
+           (lsh_tree_.has_value() ? lsh_tree_->byte_size() : 0));
+}
 
 CompactCommitment CommitmentIndex::compact() const {
   CompactCommitment compact;

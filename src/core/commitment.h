@@ -22,6 +22,7 @@
 #include "core/executor.h"
 #include "crypto/merkle.h"
 #include "lsh/pstable.h"
+#include "obs/mem.h"
 
 namespace rpol::core {
 
@@ -146,6 +147,9 @@ class CommitmentIndex {
   const Commitment* full_;
   MerkleTree state_tree_;
   std::optional<MerkleTree> lsh_tree_;
+  // Charges the trees' resident bytes to the "merkle" tag for as long as
+  // the index is alive (obs/mem.h); makes the class move-only.
+  obs::MemScope mem_{obs::MemTag::kMerkle};
 };
 
 // Manager-side check: both state hashes (and, for v2, the LSH digest) are

@@ -40,10 +40,9 @@ MiningPool::MiningPool(PoolConfig config, nn::ModelFactory factory,
       test_(std::move(test)),
       workers_(std::move(workers)),
       manager_executor_(factory_, config_.hp),
-      network_(config_.network, std::max<std::size_t>(workers_.size(), 1)) {
+      network_(config_.network, std::max<std::size_t>(workers_.size(), 1)),
+      health_(static_cast<int>(config_.eviction_threshold), workers_.size()) {
   if (workers_.empty()) throw std::invalid_argument("pool needs >= 1 worker");
-  consecutive_failures_.assign(workers_.size(), 0);
-  evicted_.assign(workers_.size(), false);
   // n+1 i.i.d. parts: the manager keeps part 0 for calibration (Sec. V-C).
   partitions_ = data::shuffle_and_partition(
       train, static_cast<std::int64_t>(workers_.size()) + 1,
@@ -62,6 +61,11 @@ MiningPool::MiningPool(PoolConfig config, nn::ModelFactory factory,
   const TrainState pristine = manager_executor_.save_state();
   global_model_ = pristine.model;
   fresh_optimizer_ = pristine.optimizer;
+  // Checkpoint-class memory resident for the pool's lifetime: one
+  // model+optimizer image per executor (manager + verifier + one per
+  // worker) plus the global vectors themselves.
+  state_mem_.set(pristine.byte_size() *
+                 static_cast<std::uint64_t>(workers_.size() + 3));
 }
 
 TrainState MiningPool::initial_state() const {
@@ -106,6 +110,19 @@ EpochReport MiningPool::run_epoch(std::int64_t epoch) {
   report.accepted.assign(workers_.size(), true);
   network_.reset_counters();
 
+  // Health-report inputs (all write-only telemetry except the protocol
+  // facts already in `report`): wire retries per worker, and wall-clock
+  // session latency from first leg to final verdict. Latency never feeds a
+  // decision — obs/health.h folds it into the score only.
+  std::vector<std::uint64_t> worker_retrans(workers_.size(), 0);
+  std::vector<std::uint64_t> worker_start_ns(workers_.size(), 0);
+  std::vector<std::uint64_t> worker_end_ns(workers_.size(), 0);
+  // Per-epoch byte balances for the big transient owners: checkpoint traces
+  // and commitments live until the epoch ends, so scoping the charge to
+  // run_epoch makes tag peaks track the true per-epoch footprint.
+  obs::MemScope checkpoint_mem(obs::MemTag::kCheckpoint);
+  obs::MemScope merkle_mem(obs::MemTag::kMerkle);
+
   // One fault stream per (epoch, worker) link: individually reproducible,
   // statistically independent. No plan => no injectors, and every deliver()
   // below is the exact single-transmission legacy path.
@@ -129,6 +146,7 @@ EpochReport MiningPool::run_epoch(std::int64_t epoch) {
     for (int attempt = 0; attempt < attempts; ++attempt) {
       if (attempt > 0) {
         ++report.retransmissions;
+        ++worker_retrans[w];
         obs::count("pool.retransmission", 1);
       }
       if (upload) {
@@ -157,6 +175,7 @@ EpochReport MiningPool::run_epoch(std::int64_t epoch) {
   };
 
   const TrainState initial = initial_state();
+  checkpoint_mem.add(initial.byte_size());
   const Digest initial_hash = hash_state(initial);
   const std::uint64_t model_bytes =
       static_cast<std::uint64_t>(global_model_.size()) * sizeof(float);
@@ -206,25 +225,30 @@ EpochReport MiningPool::run_epoch(std::int64_t epoch) {
   std::vector<std::optional<CompactCommitment>> compacts(workers_.size());
   std::vector<EpochContext> contexts(workers_.size());
   for (std::size_t w = 0; w < workers_.size(); ++w) {
-    if (evicted_[w]) {
+    if (health_.evicted(w)) {
       // Evicted workers sit the epoch out; the pool degrades gracefully to
       // the survivors.
       report.participated[w] = false;
       report.accepted[w] = false;
       continue;
     }
+    worker_start_ns[w] = obs::now_ns();
     EpochContext ctx;
     ctx.epoch = epoch;
     ctx.nonce = worker_nonce(epoch, w);
     ctx.initial = initial;
     ctx.dataset = &partitions_[w + 1];
     contexts[w] = ctx;
+    // Each context keeps its own copy of the initial state until the
+    // epoch's verification phase is done.
+    checkpoint_mem.add(ctx.initial.byte_size());
 
     // Global model out to the worker.
     if (!deliver(w, kLegState, "bytes.state", model_bytes, /*upload=*/false,
                  workers_.size())) {
       report.participated[w] = false;
       report.accepted[w] = false;
+      worker_end_ns[w] = obs::now_ns();
       continue;
     }
 
@@ -238,6 +262,7 @@ EpochReport MiningPool::run_epoch(std::int64_t epoch) {
       traces[w] =
           workers_[w].policy->produce_trace(*worker_executors_[w], ctx, device);
       s.attr("storage_bytes", traces[w].storage_bytes());
+      checkpoint_mem.add(traces[w].storage_bytes());
     }
     {
       obs::Span s("commit", epoch_span, static_cast<int>(w), epoch);
@@ -245,6 +270,7 @@ EpochReport MiningPool::run_epoch(std::int64_t epoch) {
           config_.scheme == Scheme::kRPoLv2
               ? commit_v2(traces[w], *worker_hasher, &trainable_mask)
               : commit_v1(traces[w]);
+      merkle_mem.add(commitments[w].byte_size());
     }
 
     // Upload: final model update + commitment (compact mode uploads only
@@ -263,8 +289,10 @@ EpochReport MiningPool::run_epoch(std::int64_t epoch) {
     if (!uploaded) {
       report.participated[w] = false;
       report.accepted[w] = false;
+      worker_end_ns[w] = obs::now_ns();
       continue;
     }
+    worker_end_ns[w] = obs::now_ns();  // refined to the verdict time below
     report.worker_storage_bytes =
         std::max(report.worker_storage_bytes, traces[w].storage_bytes());
   }
@@ -300,6 +328,7 @@ EpochReport MiningPool::run_epoch(std::int64_t epoch) {
       report.accepted[w] = dr.accepted;
       report.manager_reexecuted_steps += dr.critical_path_steps;  // wall time
       if (!dr.accepted) ++report.rejected_count;
+      worker_end_ns[w] = obs::now_ns();
     }
   } else if (needs_rpol) {
     const auto [top, second] = top_two_devices();
@@ -331,29 +360,37 @@ EpochReport MiningPool::run_epoch(std::int64_t epoch) {
                    vr.proof_bytes, /*upload=*/true, 1)) {
         report.participated[w] = false;
         report.accepted[w] = false;
+        worker_end_ns[w] = obs::now_ns();
         continue;
       }
       report.accepted[w] = vr.accepted;
       if (!vr.accepted) ++report.rejected_count;
+      worker_end_ns[w] = obs::now_ns();
     }
   }
 
-  // Graceful degradation: a worker whose session failed this epoch (lost
-  // legs or a rejected verdict) accrues a strike; eviction_threshold
-  // consecutive strikes retire it and subsequent epochs run with the
-  // survivors. One accepted session clears the record.
+  // Graceful degradation, now routed through the health registry: a worker
+  // whose session failed this epoch (lost legs or a rejected verdict)
+  // accrues a strike; eviction_threshold consecutive strikes retire it and
+  // subsequent epochs run with the survivors. One accepted session clears
+  // the record. The registry folds the same outcomes into the windowed
+  // 0-100 score exported as rpol.health.v1.
   for (std::size_t w = 0; w < workers_.size(); ++w) {
-    if (evicted_[w]) continue;
-    const bool failed = !report.participated[w] || !report.accepted[w];
-    if (!failed) {
-      consecutive_failures_[w] = 0;
-    } else if (++consecutive_failures_[w] >= config_.eviction_threshold) {
-      evicted_[w] = true;
-      obs::count("pool.eviction", 1);
+    if (health_.evicted(w)) continue;
+    obs::HealthOutcome outcome;
+    outcome.participated = report.participated[w];
+    outcome.accepted = report.accepted[w];
+    outcome.retransmissions = worker_retrans[w];
+    if (worker_end_ns[w] > worker_start_ns[w] && worker_start_ns[w] != 0) {
+      outcome.latency_ns = worker_end_ns[w] - worker_start_ns[w];
     }
+    if (health_.record(w, outcome)) obs::count("pool.eviction", 1);
   }
-  report.evicted.assign(evicted_.begin(), evicted_.end());
-  for (const bool e : evicted_) report.evicted_count += e ? 1 : 0;
+  report.evicted.resize(workers_.size());
+  for (std::size_t w = 0; w < workers_.size(); ++w) {
+    report.evicted[w] = health_.evicted(w);
+    report.evicted_count += health_.evicted(w) ? 1 : 0;
+  }
 
   // Aggregation, Eq. (1) with equal |D_w| weights renormalized over the
   // accepted set (FedAvg convention): rejected submissions are excluded

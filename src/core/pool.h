@@ -25,6 +25,8 @@
 #include "core/calibrate.h"
 #include "core/decentralized.h"
 #include "fault/fault.h"
+#include "obs/health.h"
+#include "obs/mem.h"
 #include "sim/network.h"
 
 namespace rpol::core {
@@ -119,7 +121,12 @@ class MiningPool {
   const std::vector<float>& global_model() const { return global_model_; }
   double evaluate_global();
 
-  bool worker_evicted(std::size_t worker) const { return evicted_[worker]; }
+  bool worker_evicted(std::size_t worker) const {
+    return health_.evicted(worker);
+  }
+  // Per-worker health scores, states, and windowed session stats; eviction
+  // decisions live here too (obs/health.h keeps them deterministic).
+  const obs::HealthRegistry& health() const { return health_; }
 
  private:
   PoolConfig config_;
@@ -137,9 +144,14 @@ class MiningPool {
   std::vector<float> fresh_optimizer_;  // pristine optimizer state template
   CalibrationResult last_calibration_;
   bool calibrated_ = false;
-  // Graceful-degradation bookkeeping, indexed by worker.
-  std::vector<std::int64_t> consecutive_failures_;
-  std::vector<bool> evicted_;
+  // Graceful-degradation bookkeeping: strike counting, eviction, and the
+  // windowed health scores all live in the registry (one slot per worker).
+  obs::HealthRegistry health_;
+  // Long-lived model state: every executor (manager, verifier, one per
+  // worker) holds a model+optimizer image for the pool's lifetime, plus the
+  // pool's own global vectors. Charged once at construction, approximated
+  // by the state-vector size.
+  obs::MemScope state_mem_{obs::MemTag::kCheckpoint};
 
   TrainState initial_state() const;
   std::uint64_t worker_nonce(std::int64_t epoch, std::size_t worker) const;

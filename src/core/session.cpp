@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "obs/mem.h"
 #include "obs/obs.h"
 
 namespace rpol::core {
@@ -68,6 +69,9 @@ struct ExchangeDriver {
       -> std::optional<decltype(decode(encoded))> {
     const auto type_index = static_cast<std::size_t>(type);
     bool last_failure_was_decode = false;
+    // The encoded message is buffered for the whole exchange (every retry
+    // retransmits it); received payloads are charged per attempt below.
+    obs::MemScope wire_mem(obs::MemTag::kWire, encoded.size());
     for (int attempt = 0; attempt < config.retry.max_attempts; ++attempt) {
       if (attempt > 0) {
         ++outcome.retries_by_type[type_index];
@@ -88,6 +92,8 @@ struct ExchangeDriver {
         last_failure_was_decode = false;
         continue;
       }
+      // Receive-side buffer, live until this attempt decodes or rejects.
+      obs::MemScope rx_mem(obs::MemTag::kWire, delivery.payload.size());
       if (delivery.payload.size() > config.retry.max_message_bytes) {
         // Size cap enforced before parsing: a hostile peer cannot force
         // the receiver to buffer or decode unbounded payloads.

@@ -36,6 +36,14 @@ class MerkleTree {
   const Digest& root() const { return levels_.back().front(); }
   std::size_t leaf_count() const { return levels_.front().size(); }
 
+  // Digest payload held across every level (~2x the leaf bytes): what the
+  // memory accounting charges for a resident tree.
+  std::size_t byte_size() const {
+    std::size_t nodes = 0;
+    for (const auto& level : levels_) nodes += level.size();
+    return nodes * sizeof(Digest);
+  }
+
   MerkleProof prove(std::size_t leaf_index) const;
 
   // Verifies that `leaf` is at `proof.leaf_index` under `root`.

@@ -111,6 +111,7 @@ Tensor Conv2d::forward(const Tensor& input, bool /*training*/) {
           return layout::make_conv_weight_pack(w, spec_);
         });
     cached_input_blocked_ = layout::nchw_to_nchw8c(input, spec_.padding);
+    account_scratch();
     Tensor out_blocked = layout::conv2d_direct_forward(
         cached_input_blocked_, pack.blocked,
         has_bias_ ? bias_.value : Tensor(), spec_, input.dim(2), input.dim(3));
@@ -118,6 +119,7 @@ Tensor Conv2d::forward(const Tensor& input, bool /*training*/) {
   }
   cached_input_blocked_.clear_keep_capacity();
   im2col_into(input, spec_, cached_cols_);
+  account_scratch();
   Tensor gemm = matmul(weight_.value, cached_cols_);
   const std::int64_t n = input.dim(0);
   const std::int64_t oh = spec_.out_size(input.dim(2));
@@ -154,6 +156,7 @@ Tensor Conv2d::backward(const Tensor& grad_output) {
     Tensor dx = layout::conv2d_direct_backward_data(
         grad_output, pack.transposed, spec_, cached_input_shape_);
     cached_input_blocked_.clear_keep_capacity();
+    account_scratch();
     return dx;
   }
   const Tensor grad_gemm = nchw_to_gemm_out(grad_output);

@@ -50,6 +50,15 @@ class Conv2d : public Layer {
   bool used_direct_ = false;
   // Packed weight forms, rebuilt only when weight_.version changes.
   PackCache<layout::ConvWeightPack> pack_cache_;
+  // Charges the retained capacity of the two scratch buffers above to the
+  // "scratch" memory tag (obs/mem.h); refreshed after forward/backward.
+  obs::MemScope scratch_mem_{obs::MemTag::kScratch};
+  void account_scratch() {
+    scratch_mem_.set(static_cast<std::uint64_t>(
+                         cached_cols_.vec().capacity() +
+                         cached_input_blocked_.vec().capacity()) *
+                     sizeof(float));
+  }
 };
 
 // Fully connected layer: y = x W^T + b, W is (out_features, in_features).

@@ -76,7 +76,8 @@ std::size_t write_bench_json(const BenchReport& report, std::FILE* out) {
     write_escaped(out, r.env.build);
     std::fputs("\",\"compiler\":\"", out);
     write_escaped(out, r.env.compiler);
-    std::fputs("\"}}", out);
+    std::fprintf(out, "\",\"peak_rss_bytes\":%llu}}",
+                 static_cast<unsigned long long>(r.env.peak_rss_bytes));
   }
   std::fputs("\n]}\n", out);
   return sorted.records.size();
@@ -141,6 +142,10 @@ BenchReport parse_bench_json(std::string_view text) {
           v != nullptr && v->kind == Json::Kind::kString) {
         r.env.compiler = v->token;
       }
+      // Absent in pre-memory-column files: stays 0 (= not recorded).
+      if (const Json* v = env->find("peak_rss_bytes")) {
+        r.env.peak_rss_bytes = v->as_u64();
+      }
     }
     report.records.push_back(std::move(r));
   }
@@ -169,9 +174,11 @@ BenchReport merge_bench_reports(const BenchReport& base,
 }
 
 BenchDiffResult diff_bench(const BenchReport& baseline,
-                           const BenchReport& current, double tolerance) {
+                           const BenchReport& current, double tolerance,
+                           double mem_tolerance) {
   BenchDiffResult diff;
   diff.tolerance = tolerance;
+  diff.mem_tolerance = mem_tolerance;
 
   std::map<std::string, const BenchRecord*> cur;
   for (const auto& r : current.records) cur[record_key(r)] = &r;
@@ -208,6 +215,18 @@ BenchDiffResult diff_bench(const BenchReport& baseline,
       d.regression = !std::isfinite(c.value);
     }
     if (d.regression) ++diff.regressions;
+    // Memory column: compared only when both sides recorded a peak RSS
+    // (older baselines carry 0), always lower-is-better.
+    d.baseline_rss = b.env.peak_rss_bytes;
+    d.current_rss = c.env.peak_rss_bytes;
+    if (d.baseline_rss > 0 && d.current_rss > 0) {
+      d.rss_ratio = static_cast<double>(d.current_rss) /
+                    static_cast<double>(d.baseline_rss);
+      if (mem_tolerance > 0.0) {
+        d.rss_regression = d.rss_ratio > 1.0 + mem_tolerance;
+        if (d.rss_regression) ++diff.mem_regressions;
+      }
+    }
     diff.deltas.push_back(std::move(d));
   }
   for (const auto& r : current.records) {
@@ -219,18 +238,42 @@ BenchDiffResult diff_bench(const BenchReport& baseline,
 }
 
 void print_bench_diff(const BenchDiffResult& diff, std::FILE* out) {
-  std::fprintf(out,
-               "== bench-diff: %zu compared, %zu regression(s) at ±%.0f%% ==\n",
-               diff.deltas.size(), diff.regressions, diff.tolerance * 100.0);
-  std::fprintf(out, "%-14s %-28s %12s %12s %8s  %s\n", "bench", "name",
-               "baseline", "current", "ratio", "verdict");
+  // RSS columns appear only when some record carries the memory column, so
+  // diffs of old files render exactly as before.
+  bool any_rss = false;
   for (const auto& d : diff.deltas) {
-    const char* verdict = d.regression ? "REGRESSION"
-                          : d.improvement ? "improved"
-                                          : "ok";
-    std::fprintf(out, "%-14s %-28s %12.5g %12.5g %7.2fx  %s\n",
-                 d.bench.c_str(), d.name.c_str(), d.baseline, d.current,
-                 d.ratio, verdict);
+    if (d.baseline_rss > 0 || d.current_rss > 0) any_rss = true;
+  }
+  if (diff.mem_tolerance > 0.0) {
+    std::fprintf(out,
+                 "== bench-diff: %zu compared, %zu regression(s) at ±%.0f%%, "
+                 "%zu memory regression(s) at +%.0f%% ==\n",
+                 diff.deltas.size(), diff.regressions, diff.tolerance * 100.0,
+                 diff.mem_regressions, diff.mem_tolerance * 100.0);
+  } else {
+    std::fprintf(
+        out, "== bench-diff: %zu compared, %zu regression(s) at ±%.0f%% ==\n",
+        diff.deltas.size(), diff.regressions, diff.tolerance * 100.0);
+  }
+  std::fprintf(out, "%-14s %-28s %12s %12s %8s", "bench", "name", "baseline",
+               "current", "ratio");
+  if (any_rss) std::fprintf(out, " %9s", "rss");
+  std::fprintf(out, "  %s\n", "verdict");
+  for (const auto& d : diff.deltas) {
+    const char* verdict = d.regression     ? "REGRESSION"
+                          : d.rss_regression ? "MEM-REGRESSION"
+                          : d.improvement    ? "improved"
+                                             : "ok";
+    std::fprintf(out, "%-14s %-28s %12.5g %12.5g %7.2fx", d.bench.c_str(),
+                 d.name.c_str(), d.baseline, d.current, d.ratio);
+    if (any_rss) {
+      if (d.rss_ratio > 0.0) {
+        std::fprintf(out, " %8.2fx", d.rss_ratio);
+      } else {
+        std::fprintf(out, " %9s", "-");
+      }
+    }
+    std::fprintf(out, "  %s\n", verdict);
   }
   for (const auto& k : diff.only_baseline) {
     std::fprintf(out, "  missing from current: %s\n", k.c_str());

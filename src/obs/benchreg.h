@@ -42,6 +42,9 @@ struct BenchEnv {
   std::int64_t threads = 0;
   std::string build;     // "release" / "debug"
   std::string compiler;  // __VERSION__
+  // VmHWM at record time (obs/mem.h read_proc_rss); 0 when unavailable.
+  // Carried per record so bench-diff can gate memory like time.
+  std::uint64_t peak_rss_bytes = 0;
 };
 
 struct BenchRecord {
@@ -86,6 +89,11 @@ struct BenchDelta {
   bool higher_is_better = false;
   bool regression = false;
   bool improvement = false;  // moved past tolerance in the good direction
+  // Memory column (env.peak_rss_bytes, 0 = not recorded on that side).
+  std::uint64_t baseline_rss = 0;
+  std::uint64_t current_rss = 0;
+  double rss_ratio = 0.0;  // current_rss / baseline_rss (0 when unknown)
+  bool rss_regression = false;
 };
 
 struct BenchDiffResult {
@@ -93,16 +101,22 @@ struct BenchDiffResult {
   std::vector<std::string> only_baseline;  // "bench/name" dropped records
   std::vector<std::string> only_current;   // "bench/name" new records
   double tolerance = 0.0;
+  double mem_tolerance = 0.0;  // <= 0: memory is advisory, never gates
   std::size_t regressions = 0;
-  bool ok() const { return regressions == 0; }
+  std::size_t mem_regressions = 0;
+  bool ok() const { return regressions == 0 && mem_regressions == 0; }
 };
 
 // A record regresses when the bad-direction relative change exceeds
 // `tolerance`: value > baseline*(1+tol) for lower-is-better, value <
 // baseline*(1-tol) for higher-is-better. Records present on only one side
-// are reported but never gate.
+// are reported but never gate. When `mem_tolerance` > 0, peak RSS is gated
+// the same way (always lower-is-better) for records where both sides carry
+// env.peak_rss_bytes; the default 0 keeps memory advisory, so existing
+// callers see no new failures.
 BenchDiffResult diff_bench(const BenchReport& baseline,
-                           const BenchReport& current, double tolerance);
+                           const BenchReport& current, double tolerance,
+                           double mem_tolerance = 0.0);
 
 void print_bench_diff(const BenchDiffResult& diff, std::FILE* out);
 

@@ -1,0 +1,132 @@
+// Per-worker health scoring + the rpol.health.v1 report: turns the session
+// outcomes a pool already observes (participation, verification verdicts,
+// retransmissions, submission latency) into a 0-100 score and a
+// healthy / degraded / evicted state per worker, and owns the eviction
+// bookkeeping the pools previously kept as ad-hoc strike counters.
+//
+// Two strictly separated roles:
+//
+//   * DECISIONS (eviction) use only deterministic protocol facts: a session
+//     failed iff the worker did not participate or was not accepted, one
+//     accepted session clears the strike count, and `eviction_threshold`
+//     consecutive failures evict permanently. This is byte-for-byte the
+//     policy MiningPool / AsyncMiningPool implemented inline, so moving it
+//     here changes no protocol behavior (fault_conformance_test holds).
+//
+//   * REPORTING (score, state) may additionally fold in wall-clock facts —
+//     submission latency, retransmission counts — because nothing ever
+//     reads a score back into the protocol. Scores are telemetry, exactly
+//     like span durations: hash-blind and decision-blind (DESIGN.md §7).
+//
+// Scoring is windowed: each worker keeps a fixed ring of the last kWindow
+// session outcomes, so a worker that recovers from an early bad patch sees
+// its score recover too (the strike counter — the decision side — already
+// worked this way). Memory per worker is fixed at construction; nothing
+// grows with epoch count.
+//
+// Export: export_health_jsonl writes the rpol.health.v1 schema — one meta
+// line, one line per worker, one line per memory tag (mem.h breakdown),
+// and one RSS line when a sampler summary is supplied. maybe_export_health
+// mirrors obs::maybe_export: enabled()-gated, honors RPOL_HEALTH_FILE.
+// Schema: docs/observability.md §health. `rpol health <file>` renders it.
+
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "obs/mem.h"
+
+namespace rpol::obs {
+
+// One protocol session / submission as the pool saw it.
+struct HealthOutcome {
+  bool participated = false;      // worker produced a decodable submission
+  bool accepted = false;          // verification verdict
+  std::uint64_t retransmissions = 0;  // wire-level retries this session
+  std::uint64_t latency_ns = 0;       // wall-clock train->verdict (report-only)
+};
+
+enum class HealthState : int { kHealthy = 0, kDegraded, kEvicted };
+
+// Stable lowercase name ("healthy" / "degraded" / "evicted").
+const char* health_state_name(HealthState state);
+// Inverse; returns kEvicted for unknown names (conservative for tooling).
+HealthState health_state_from_name(std::string_view name);
+
+class HealthRegistry {
+ public:
+  // Outcomes retained per worker for scoring. Fixed so registry memory is
+  // workers * O(kWindow), independent of run length.
+  static constexpr std::size_t kWindow = 16;
+
+  // `eviction_threshold` consecutive failures evict (same default the pool
+  // configs use). Values < 1 are clamped to 1.
+  explicit HealthRegistry(int eviction_threshold = 3,
+                          std::size_t workers = 0);
+
+  // Drops all state and re-sizes to `workers` fresh slots.
+  void reset(std::size_t workers);
+  std::size_t size() const { return slots_.size(); }
+  int eviction_threshold() const { return threshold_; }
+
+  // Records one session outcome. Returns true when this exact outcome newly
+  // evicted the worker (callers bump their eviction counter on it).
+  // Outcomes for already-evicted or out-of-range workers are ignored.
+  bool record(std::size_t worker, const HealthOutcome& outcome);
+
+  bool evicted(std::size_t worker) const;
+  int consecutive_failures(std::size_t worker) const;
+
+  // Deterministic-decision-blind report card, 0..100. 100 for a fresh
+  // worker, 0 once evicted. Weighted window facts: acceptance 55,
+  // participation 25, retransmission burden 10, latency stability 10.
+  double score(std::size_t worker) const;
+  HealthState state(std::size_t worker) const;
+
+  // Aggregates over the worker's outcome window (not the whole run).
+  struct WindowStats {
+    std::uint64_t total = 0;
+    std::uint64_t participated = 0;
+    std::uint64_t accepted = 0;
+    std::uint64_t retransmissions = 0;
+    std::uint64_t mean_latency_ns = 0;
+    std::uint64_t min_latency_ns = 0;
+    std::uint64_t max_latency_ns = 0;
+  };
+  WindowStats window_stats(std::size_t worker) const;
+
+ private:
+  struct Slot {
+    HealthOutcome ring[kWindow];
+    std::size_t count = 0;  // outcomes recorded, saturates at kWindow
+    std::size_t next = 0;   // overwrite position once full
+    int consecutive_failures = 0;
+    bool evicted = false;
+  };
+  const Slot* slot(std::size_t worker) const;
+
+  int threshold_;
+  std::vector<Slot> slots_;
+};
+
+// ---------------------------------------------------------------------------
+// rpol.health.v1 export
+
+// Writes the registry (plus the mem.h tag breakdown and, when given, an RSS
+// sampler summary) as JSONL; returns lines written.
+std::size_t export_health_jsonl(std::FILE* out, const HealthRegistry& reg,
+                                const RssSampler::Summary* rss = nullptr);
+bool export_health_jsonl_file(const std::string& path,
+                              const HealthRegistry& reg,
+                              const RssSampler::Summary* rss = nullptr);
+
+// If tracing is enabled (obs::enabled()), exports to RPOL_HEALTH_FILE (or
+// `default_path` when unset) and returns the path written; "" otherwise.
+std::string maybe_export_health(const std::string& default_path,
+                                const HealthRegistry& reg,
+                                const RssSampler::Summary* rss = nullptr);
+
+}  // namespace rpol::obs

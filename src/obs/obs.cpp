@@ -9,6 +9,8 @@
 #include <map>
 #include <mutex>
 
+#include "obs/mem.h"
+
 namespace rpol::obs {
 
 namespace {
@@ -88,6 +90,18 @@ std::uint64_t Histogram::bucket_upper_bound(int i) {
 }
 
 void Histogram::record(std::uint64_t v) {
+  // Writer entry: announce first, THEN check for an exclusive op. An
+  // exclusive op that sees writers_ == 0 after flipping seq_ odd is
+  // guaranteed no recorder is past this gate, so its multi-word work can
+  // never interleave with a half-applied sample.
+  for (;;) {
+    writers_.fetch_add(1, std::memory_order_acq_rel);
+    if ((seq_.load(std::memory_order_acquire) & 1) == 0) break;
+    writers_.fetch_sub(1, std::memory_order_acq_rel);
+    while ((seq_.load(std::memory_order_acquire) & 1) != 0) {
+      // Exclusive ops copy or zero ~2 KB; spinning is cheaper than parking.
+    }
+  }
   count_.fetch_add(1, std::memory_order_relaxed);
   sum_.fetch_add(v, std::memory_order_relaxed);
   buckets_[static_cast<std::size_t>(bucket_index(v))].fetch_add(
@@ -96,20 +110,70 @@ void Histogram::record(std::uint64_t v) {
   while (prev < v &&
          !max_.compare_exchange_weak(prev, v, std::memory_order_relaxed)) {
   }
+  writers_.fetch_sub(1, std::memory_order_release);
 }
 
-std::uint64_t Histogram::approx_percentile(double p) const {
-  const std::uint64_t n = count();
+template <typename Fn>
+void Histogram::exclusive(Fn&& fn) const {
+  seq_.fetch_add(1, std::memory_order_acq_rel);  // now odd: recorders back off
+  while (writers_.load(std::memory_order_acquire) != 0) {
+    // Drain in-flight recorders (each holds the gate for a few increments).
+  }
+  fn();
+  seq_.fetch_add(1, std::memory_order_release);  // even again
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  Snapshot s;
+  exclusive([&] {
+    s.count = count_.load(std::memory_order_relaxed);
+    s.sum = sum_.load(std::memory_order_relaxed);
+    s.max = max_.load(std::memory_order_relaxed);
+    for (int i = 0; i < kNumBuckets; ++i) {
+      s.buckets[i] =
+          buckets_[static_cast<std::size_t>(i)].load(std::memory_order_relaxed);
+    }
+  });
+  return s;
+}
+
+void Histogram::reset() {
+  exclusive([&] {
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0, std::memory_order_relaxed);
+    max_.store(0, std::memory_order_relaxed);
+    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  });
+}
+
+namespace {
+
+std::uint64_t percentile_from_buckets(double p, std::uint64_t n,
+                                      std::uint64_t max,
+                                      const std::uint64_t* buckets) {
   if (n == 0) return 0;
   p = std::clamp(p, 0.0, 100.0);
   const std::uint64_t rank = static_cast<std::uint64_t>(
       std::max(1.0, std::ceil(p / 100.0 * static_cast<double>(n))));
   std::uint64_t seen = 0;
-  for (int i = 0; i < kNumBuckets; ++i) {
-    seen += bucket(i);
-    if (seen >= rank) return std::min(bucket_upper_bound(i), max());
+  for (int i = 0; i < Histogram::kNumBuckets; ++i) {
+    seen += buckets[i];
+    if (seen >= rank) {
+      return std::min(Histogram::bucket_upper_bound(i), max);
+    }
   }
-  return max();
+  return max;
+}
+
+}  // namespace
+
+std::uint64_t Histogram::approx_percentile(double p) const {
+  const Snapshot s = snapshot();
+  return percentile_from_buckets(p, s.count, s.max, s.buckets);
+}
+
+std::uint64_t Histogram::Snapshot::approx_percentile(double p) const {
+  return percentile_from_buckets(p, count, max, buckets);
 }
 
 // ---------------------------------------------------------------------------
@@ -191,8 +255,26 @@ struct Registry::Impl {
   std::map<std::string, Gauge*, std::less<>> gauge_by_name;
   std::map<std::string, Histogram*, std::less<>> histogram_by_name;
   std::vector<SpanRecord> spans;
+  // Bytes charged to MemTag::kOther for the span store (the registry
+  // accounting its own footprint); released on reset().
+  std::uint64_t span_mem_bytes = 0;
   std::atomic<std::uint64_t> next_span_id{1};
 };
+
+namespace {
+
+// Approximate heap footprint of one recorded span: the record itself plus
+// the heap blocks behind its name and attribute strings.
+std::uint64_t span_record_bytes(const SpanRecord& rec) {
+  std::uint64_t bytes = sizeof(SpanRecord) + rec.name.capacity();
+  bytes += rec.attrs.capacity() * sizeof(SpanAttr);
+  for (const SpanAttr& a : rec.attrs) {
+    bytes += a.key.capacity() + a.value.capacity();
+  }
+  return bytes;
+}
+
+}  // namespace
 
 Registry::Registry() : impl_(new Impl) {
   (void)steady_anchor();  // pin the time base before any span exists
@@ -242,8 +324,11 @@ std::uint64_t Registry::next_span_id() {
 }
 
 void Registry::record_span(SpanRecord rec) {
+  const std::uint64_t bytes = span_record_bytes(rec);
   std::lock_guard<std::mutex> lock(impl_->mutex);
   impl_->spans.push_back(std::move(rec));
+  impl_->span_mem_bytes += bytes;
+  mem_add(MemTag::kOther, bytes);
 }
 
 std::vector<SpanRecord> Registry::spans() const {
@@ -259,18 +344,17 @@ std::size_t Registry::span_count() const {
 void Registry::reset() {
   std::lock_guard<std::mutex> lock(impl_->mutex);
   for (Counter& c : impl_->counters) {
-    c.value_.store(0, std::memory_order_relaxed);
+    c.drain();  // exchange, not store: concurrent adds land before or after
   }
   for (Gauge& g : impl_->gauges) {
     g.value_.store(0.0, std::memory_order_relaxed);
   }
   for (Histogram& h : impl_->histograms) {
-    h.count_.store(0, std::memory_order_relaxed);
-    h.sum_.store(0, std::memory_order_relaxed);
-    h.max_.store(0, std::memory_order_relaxed);
-    for (auto& b : h.buckets_) b.store(0, std::memory_order_relaxed);
+    h.reset();  // under the writer-exclusion guard
   }
   impl_->spans.clear();
+  mem_sub(MemTag::kOther, impl_->span_mem_bytes);
+  impl_->span_mem_bytes = 0;
   impl_->next_span_id.store(1, std::memory_order_relaxed);
 }
 
@@ -305,21 +389,25 @@ std::size_t Registry::export_jsonl(std::FILE* out) const {
     ++lines;
   }
   for (const auto& [name, h] : impl_->histogram_by_name) {
-    if (h->count() == 0) continue;
+    // One consistent snapshot per histogram: count, sum, and buckets are
+    // taken under the writer-exclusion guard, so the exported line always
+    // satisfies count == sum over buckets even with recorders running.
+    const Histogram::Snapshot snap = h->snapshot();
+    if (snap.count == 0) continue;
     buf.clear();
     json_escape(buf, name);
     std::fprintf(out,
                  "{\"type\":\"histogram\",\"name\":\"%s\",\"count\":%llu,"
                  "\"sum\":%llu,\"max\":%llu,\"p50\":%llu,\"p95\":%llu,"
                  "\"buckets\":[",
-                 buf.c_str(), static_cast<unsigned long long>(h->count()),
-                 static_cast<unsigned long long>(h->sum()),
-                 static_cast<unsigned long long>(h->max()),
-                 static_cast<unsigned long long>(h->approx_percentile(50.0)),
-                 static_cast<unsigned long long>(h->approx_percentile(95.0)));
+                 buf.c_str(), static_cast<unsigned long long>(snap.count),
+                 static_cast<unsigned long long>(snap.sum),
+                 static_cast<unsigned long long>(snap.max),
+                 static_cast<unsigned long long>(snap.approx_percentile(50.0)),
+                 static_cast<unsigned long long>(snap.approx_percentile(95.0)));
     bool first = true;
     for (int i = 0; i < Histogram::kNumBuckets; ++i) {
-      const std::uint64_t n = h->bucket(i);
+      const std::uint64_t n = snap.buckets[i];
       if (n == 0) continue;
       std::fprintf(out, "%s[%llu,%llu]", first ? "" : ",",
                    static_cast<unsigned long long>(

@@ -72,6 +72,11 @@ class Counter {
  public:
   void add(std::uint64_t v) { value_.fetch_add(v, std::memory_order_relaxed); }
   std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  // Atomic read-and-zero. Counters are a single word, so unlike histograms
+  // they cannot tear — but a load followed by a store CAN drop a concurrent
+  // add between the two. Reset paths drain instead, making every recorded
+  // increment land either in the returned value or in the fresh window.
+  std::uint64_t drain() { return value_.exchange(0, std::memory_order_relaxed); }
   const std::string& name() const { return name_; }
 
   // Construct via Registry::counter(); public only for in-place container
@@ -102,6 +107,16 @@ class Gauge {
 // Log-linear bucketed histogram over u64 values: values 0..7 get exact
 // buckets, larger values land in 4 sub-buckets per power of two (HDR-style),
 // bounding the relative quantile error at ~12.5% with 2 KB of state.
+//
+// Concurrency: record() is a handful of relaxed atomic increments spread
+// over several words (count, sum, one bucket), so a reset or multi-word
+// read racing a record could observe a half-applied sample. Both therefore
+// go through a seqlock-style writer-exclusion guard: recorders announce
+// themselves on `writers_` and back off while `seq_` is odd; reset() and
+// snapshot() flip `seq_` odd, wait for in-flight recorders to drain, do
+// their multi-word work exclusively, and flip `seq_` even again. Snapshots
+// and resets are thus always internally consistent (count == sum of the
+// buckets), while the record() fast path stays lock- and allocation-free.
 class Histogram {
  public:
   static constexpr int kSmallBuckets = 8;   // exact buckets for 0..7
@@ -125,16 +140,41 @@ class Histogram {
   std::uint64_t approx_percentile(double p) const;
   const std::string& name() const { return name_; }
 
+  // Consistent multi-word copy of the histogram state: taken under the
+  // writer-exclusion guard, so count == sum over buckets always holds.
+  // This is what the exporter and window aggregation (window.h) read.
+  struct Snapshot {
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+    std::uint64_t max = 0;
+    std::uint64_t buckets[kNumBuckets] = {};
+
+    std::uint64_t approx_percentile(double p) const;
+  };
+  Snapshot snapshot() const;
+
+  // Zeroes everything under the same guard (no concurrent record is ever
+  // torn across the reset boundary).
+  void reset();
+
   // Construct via Registry::histogram().
   explicit Histogram(std::string name) : name_(std::move(name)) {}
 
  private:
   friend class Registry;
+
+  // Runs `fn` with every record() excluded; used by reset()/snapshot().
+  template <typename Fn>
+  void exclusive(Fn&& fn) const;
+
   std::string name_;
   std::atomic<std::uint64_t> count_{0};
   std::atomic<std::uint64_t> sum_{0};
   std::atomic<std::uint64_t> max_{0};
   std::atomic<std::uint64_t> buckets_[kNumBuckets] = {};
+  // Seqlock guard state (mutable: snapshot() is logically const).
+  mutable std::atomic<std::uint64_t> seq_{0};     // odd = exclusive op running
+  mutable std::atomic<std::uint32_t> writers_{0};  // in-flight record() count
 };
 
 // One span attribute; `quoted` distinguishes JSON strings from raw

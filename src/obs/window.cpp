@@ -1,0 +1,99 @@
+#include "obs/window.h"
+
+namespace rpol::obs {
+
+// ---------------------------------------------------------------------------
+// CounterWindow
+
+CounterWindow::CounterWindow(std::size_t capacity)
+    : capacity_(capacity > 1 ? capacity : 2) {
+  ring_.reserve(capacity_);
+}
+
+void CounterWindow::sample(std::uint64_t cumulative_value) {
+  if (ring_.size() < capacity_) {
+    ring_.push_back(cumulative_value);
+    return;
+  }
+  ring_[next_] = cumulative_value;
+  next_ = (next_ + 1) % ring_.size();
+}
+
+std::uint64_t CounterWindow::latest() const {
+  if (ring_.empty()) return 0;
+  if (ring_.size() < capacity_) return ring_.back();
+  return ring_[(next_ + ring_.size() - 1) % ring_.size()];
+}
+
+std::uint64_t CounterWindow::oldest() const {
+  if (ring_.empty()) return 0;
+  if (ring_.size() < capacity_) return ring_.front();
+  return ring_[next_];
+}
+
+std::uint64_t CounterWindow::window_delta() const {
+  if (ring_.size() < 2) return 0;
+  const std::uint64_t newest = latest();
+  const std::uint64_t old = oldest();
+  return newest > old ? newest - old : 0;
+}
+
+double CounterWindow::rate_per_sample() const {
+  if (ring_.size() < 2) return 0.0;
+  return static_cast<double>(window_delta()) /
+         static_cast<double>(ring_.size() - 1);
+}
+
+// ---------------------------------------------------------------------------
+// HistogramWindow
+
+HistogramWindow::HistogramWindow(std::size_t capacity)
+    : capacity_(capacity > 1 ? capacity : 2) {
+  ring_.reserve(capacity_);
+}
+
+void HistogramWindow::push(const Histogram::Snapshot& snapshot) {
+  if (ring_.size() < capacity_) {
+    ring_.push_back(snapshot);
+    return;
+  }
+  ring_[next_] = snapshot;
+  next_ = (next_ + 1) % ring_.size();
+}
+
+Histogram::Snapshot HistogramWindow::window_delta() const {
+  Histogram::Snapshot delta;
+  if (ring_.size() < 2) return delta;
+  const std::size_t n = ring_.size();
+  const bool full = n == capacity_;
+  const Histogram::Snapshot& oldest = full ? ring_[next_] : ring_.front();
+  const Histogram::Snapshot& newest =
+      full ? ring_[(next_ + n - 1) % n] : ring_.back();
+  // Saturating subtraction: a reset() mid-window makes newest < oldest, in
+  // which case the affected fields collapse to zero instead of wrapping.
+  delta.count = newest.count > oldest.count ? newest.count - oldest.count : 0;
+  delta.sum = newest.sum > oldest.sum ? newest.sum - oldest.sum : 0;
+  delta.max = newest.max;  // lifetime max: upper bound for the window
+  for (int i = 0; i < Histogram::kNumBuckets; ++i) {
+    delta.buckets[i] = newest.buckets[i] > oldest.buckets[i]
+                           ? newest.buckets[i] - oldest.buckets[i]
+                           : 0;
+  }
+  return delta;
+}
+
+std::uint64_t HistogramWindow::windowed_percentile(double p) const {
+  return window_delta().approx_percentile(p);
+}
+
+std::uint64_t HistogramWindow::windowed_count() const {
+  return window_delta().count;
+}
+
+double HistogramWindow::rate_per_sample() const {
+  if (ring_.size() < 2) return 0.0;
+  return static_cast<double>(windowed_count()) /
+         static_cast<double>(ring_.size() - 1);
+}
+
+}  // namespace rpol::obs

@@ -1,0 +1,90 @@
+// Windowed metric aggregation: bounded ring buffers of cumulative metric
+// snapshots, turned into rates and rolling percentiles on demand.
+//
+// The registry's counters and histograms are cumulative for the process
+// lifetime — ideal for totals, useless for "what happened recently". These
+// windows close the gap without unbounded growth: a sampler (a bench
+// harness, the health exporter, a future dashboard) calls sample() on a
+// fixed cadence, the window keeps the last N cumulative snapshots in a
+// fixed-size ring, and deltas between ring entries yield per-window rates
+// and percentiles. Memory is bounded at construction: capacity * 8 bytes
+// for a CounterWindow, capacity * sizeof(Histogram::Snapshot) (~2 KB) for
+// a HistogramWindow, and nothing ever reallocates after the ring fills.
+//
+// Histogram windows subtract bucket vectors entrywise. Because every
+// sample is a consistent Snapshot (taken under the histogram's writer-
+// exclusion guard, obs.h), newest - oldest is itself a valid histogram of
+// exactly the values recorded inside the window, so windowed percentiles
+// carry the same ~12.5% bucket error bound as cumulative ones.
+//
+// Windows are single-sampler objects: call sample() from one thread (the
+// underlying metric may be written from any number of threads — reads go
+// through the atomics / the snapshot guard). They never feed back into the
+// metrics they observe, preserving the obs write-only contract.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "obs/obs.h"
+
+namespace rpol::obs {
+
+// Ring of cumulative counter readings.
+class CounterWindow {
+ public:
+  explicit CounterWindow(std::size_t capacity);
+
+  void sample(const Counter& c) { sample(c.value()); }
+  void sample(std::uint64_t cumulative_value);
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t size() const { return ring_.size(); }  // samples held (<= cap)
+
+  // Newest minus oldest sample in the ring (0 with < 2 samples). Saturates
+  // at 0 if the counter was drained mid-window.
+  std::uint64_t window_delta() const;
+  // window_delta() averaged over the sample gaps in the ring; 0 with < 2
+  // samples. With a fixed sampling cadence this is "per tick" rate.
+  double rate_per_sample() const;
+  std::uint64_t latest() const;
+  std::uint64_t oldest() const;
+
+ private:
+  std::size_t capacity_;
+  std::vector<std::uint64_t> ring_;
+  std::size_t next_ = 0;  // overwrite position once full
+};
+
+// Ring of cumulative histogram snapshots.
+class HistogramWindow {
+ public:
+  explicit HistogramWindow(std::size_t capacity);
+
+  void sample(const Histogram& h) { push(h.snapshot()); }
+  void push(const Histogram::Snapshot& snapshot);
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t size() const { return ring_.size(); }
+
+  // Newest minus oldest snapshot, bucketwise (all-zero with < 2 samples).
+  // `max` is the newest cumulative max: the true windowed max is not
+  // recoverable from cumulative state, so the delta's percentiles clamp
+  // against the lifetime max (an upper bound, same as the cumulative path).
+  Histogram::Snapshot window_delta() const;
+
+  // Rolling percentile over just the values recorded inside the window.
+  std::uint64_t windowed_percentile(double p) const;
+  // Values recorded inside the window (window_delta().count).
+  std::uint64_t windowed_count() const;
+  // windowed_count() averaged over the ring's sample gaps.
+  double rate_per_sample() const;
+
+ private:
+  std::size_t capacity_;
+  std::vector<Histogram::Snapshot> ring_;
+  std::size_t next_ = 0;
+};
+
+}  // namespace rpol::obs

@@ -134,6 +134,8 @@ Tensor nchw8c_to_nchw(const Tensor& blocked, std::int64_t channels) {
     throw std::invalid_argument("nchw8c_to_nchw channel-block mismatch");
   }
   const std::int64_t hw = h * w;
+  static std::atomic<std::uint64_t> tick{0};
+  KernelTimer timer(tick, "kernel.reorder_nchw_ns");
   Tensor out({n, channels, h, w});
   const float* pin = blocked.data();
   float* pout = out.data();
@@ -159,6 +161,8 @@ Tensor oihw_to_oihw8i8o(const Tensor& weight, const Conv2dSpec& spec) {
     throw std::invalid_argument("oihw_to_oihw8i8o weight shape mismatch");
   }
   const std::int64_t ob = blocks(o), cb = blocks(c);
+  static std::atomic<std::uint64_t> tick{0};
+  KernelTimer timer(tick, "kernel.reorder_oihw8i8o_ns");
   Tensor out({ob, cb, k, k, kBlock, kBlock});  // zero-init pads both axes
   const float* pw = weight.data();
   float* po = out.data();
@@ -194,6 +198,8 @@ Tensor oihw8i8o_to_oihw(const Tensor& blocked, const Conv2dSpec& spec) {
     throw std::invalid_argument("oihw8i8o_to_oihw shape mismatch");
   }
   const std::int64_t ckk = c * k * k;
+  static std::atomic<std::uint64_t> tick{0};
+  KernelTimer timer(tick, "kernel.reorder_oihw_ns");
   Tensor out({o, ckk});
   const float* pb = blocked.data();
   float* pw = out.data();
@@ -220,6 +226,10 @@ ConvWeightPack make_conv_weight_pack(const Tensor& weight,
                                      const Conv2dSpec& spec) {
   ConvWeightPack pack;
   pack.blocked = oihw_to_oihw8i8o(weight, spec);
+  // Times only the W^T transpose below; the blocked reorder above has its
+  // own histogram (kernel.reorder_oihw8i8o_ns).
+  static std::atomic<std::uint64_t> tick{0};
+  KernelTimer timer(tick, "kernel.weight_pack_ns");
   const std::int64_t o = weight.dim(0), ckk = weight.dim(1);
   pack.transposed = Tensor({ckk, o});
   const float* pw = weight.data();

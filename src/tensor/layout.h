@@ -107,6 +107,14 @@ struct ConvWeightPack {
   Tensor transposed;  // (C*k*k, O) row-major W^T, used by backward-data
 };
 
+// Resident bytes of a cached pack, for the PackCache memory accounting
+// (tensor/packcache.h finds this by ADL).
+inline std::uint64_t pack_byte_size(const ConvWeightPack& pack) {
+  return static_cast<std::uint64_t>(pack.blocked.numel() +
+                                    pack.transposed.numel()) *
+         sizeof(float);
+}
+
 ConvWeightPack make_conv_weight_pack(const Tensor& weight,
                                      const Conv2dSpec& spec);
 

@@ -70,6 +70,12 @@ struct PackedPanels {
   std::int64_t panels() const { return (rows + kPanelRows - 1) / kPanelRows; }
 };
 
+// Resident bytes of a cached pack, for the PackCache memory accounting
+// (tensor/packcache.h finds this by ADL).
+inline std::uint64_t pack_byte_size(const PackedPanels& pack) {
+  return static_cast<std::uint64_t>(pack.data.capacity()) * sizeof(float);
+}
+
 // Packs B (n x k) into PackedPanels. Pure data movement: no arithmetic, so
 // packing can never perturb results.
 PackedPanels pack_nt_panels(const Tensor& b);

@@ -18,10 +18,16 @@
 #include <cstdint>
 #include <utility>
 
+#include "obs/mem.h"
 #include "obs/obs.h"
 #include "tensor/tensor.h"
 
 namespace rpol {
+
+// Memory-accounting hook: each pack type advertises its resident bytes via
+// an ADL-found pack_byte_size(const PackT&) overload (layout.h, ops.h
+// provide them). The cache charges that many bytes to the "packcache" tag
+// while the pack is held.
 
 template <typename PackT>
 class PackCache {
@@ -35,6 +41,7 @@ class PackCache {
       version_ = version;
       src_ = w.data();
       valid_ = true;
+      mem_.set(pack_byte_size(pack_));
       if (obs::enabled()) obs::count("tensor.pack.rebuild", 1);
     } else if (obs::enabled()) {
       obs::count("tensor.pack.hit", 1);
@@ -49,6 +56,7 @@ class PackCache {
   std::uint64_t version_ = 0;
   const float* src_ = nullptr;
   bool valid_ = false;
+  obs::MemScope mem_{obs::MemTag::kPackCache};
 };
 
 }  // namespace rpol

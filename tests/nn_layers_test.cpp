@@ -9,6 +9,7 @@
 #include "nn/blocks.h"
 #include "nn/loss.h"
 #include "nn/optim.h"
+#include "obs/obs.h"
 #include "test_util.h"
 
 namespace rpol::nn {
@@ -186,6 +187,73 @@ TEST(Linear, PackCacheInvalidatesOnOptimizerStep) {
     if (y0.at(i) != y1.at(i)) changed = true;
   }
   EXPECT_TRUE(changed) << "stale packed weights served after optimizer step";
+}
+
+TEST(Model, PackCacheInvalidatesAcrossStateReload) {
+  // Regression test for the full checkpoint round trip: every Param mutation
+  // path — optimizer steps AND load_state_vector — must bump the version so
+  // the pack caches never serve panels built from stale weights. Observed
+  // via the rebuild/hit counters (write-only, so enabling obs here cannot
+  // perturb the numerics under test).
+  DirectConvGuard guard;
+  layout::set_direct_conv_enabled(true);
+  obs::set_enabled(true);
+
+  auto build = [](std::uint64_t seed) {
+    Rng r(seed);
+    Model m("t");
+    m.add(std::make_unique<Conv2d>(Conv2dSpec{2, 8, 3, 1, 1}, r));
+    m.add(std::make_unique<Flatten>());
+    m.add(std::make_unique<Linear>(8 * 4 * 4, 3, r));
+    return m;
+  };
+  Model m = build(218);
+  const Tensor x = random_input({2, 2, 4, 4}, 219);
+
+  Sgd opt(m.trainable_params(), /*lr=*/0.1F);
+  auto train_step = [&] {
+    (void)m.forward(x, true);  // builds packs against the current versions
+    for (Param* p : m.trainable_params()) p->grad.fill(0.25F);
+    opt.step();
+  };
+
+  train_step();
+  const std::vector<float> snapshot = m.state_vector();
+  const Tensor y_at_snapshot = m.forward(x, false);
+
+  train_step();  // moves past the snapshot; packs now hold newer weights
+
+  const std::uint64_t rebuilds_before =
+      obs::counter("tensor.pack.rebuild").value();
+  m.load_state_vector(snapshot);
+  const Tensor y_reloaded = m.forward(x, false);
+  EXPECT_GT(obs::counter("tensor.pack.rebuild").value(), rebuilds_before)
+      << "load_state_vector did not invalidate the pack caches";
+  ASSERT_EQ(y_reloaded.numel(), y_at_snapshot.numel());
+  for (std::int64_t i = 0; i < y_reloaded.numel(); ++i) {
+    ASSERT_EQ(y_reloaded.at(i), y_at_snapshot.at(i))
+        << "stale panel reuse after reload, el " << i;
+  }
+
+  // A fresh model fed the same state must agree bitwise — the reloaded
+  // model's caches carry no history.
+  Model fresh = build(999);
+  fresh.load_state_vector(snapshot);
+  const Tensor y_fresh = fresh.forward(x, false);
+  for (std::int64_t i = 0; i < y_reloaded.numel(); ++i) {
+    ASSERT_EQ(y_reloaded.at(i), y_fresh.at(i)) << "el " << i;
+  }
+
+  // Repeat forwards without mutation are hits, never rebuilds.
+  const std::uint64_t rebuilds_stable =
+      obs::counter("tensor.pack.rebuild").value();
+  const std::uint64_t hits_before = obs::counter("tensor.pack.hit").value();
+  (void)m.forward(x, false);
+  EXPECT_EQ(obs::counter("tensor.pack.rebuild").value(), rebuilds_stable);
+  EXPECT_GT(obs::counter("tensor.pack.hit").value(), hits_before);
+
+  obs::set_enabled(false);
+  obs::Registry::instance().reset();
 }
 
 TEST(Conv2d, UnsupportedKernelFallsBackUnderDefaultGate) {

@@ -196,5 +196,66 @@ TEST(BenchReg, ZeroBaselineOnlyGatesOnNonFiniteCurrent) {
   EXPECT_FALSE(obs::diff_bench(baseline, current, 0.35).ok());
 }
 
+TEST(BenchReg, PeakRssRoundTripsAndOldFilesReadAsZero) {
+  obs::BenchReport report = sample_report();
+  report.records[0].env.peak_rss_bytes = 123'456'789ULL;
+  const char* path = "obs_benchreg_test_rss.json";
+  ASSERT_TRUE(obs::write_bench_json_file(report, path));
+
+  const obs::BenchReport loaded = obs::load_bench_file(path);
+  ASSERT_EQ(loaded.records.size(), 3U);
+  EXPECT_EQ(loaded.records[0].env.peak_rss_bytes, 123'456'789ULL);
+  // Records written without the memory column parse with rss == 0
+  // (pre-memory-column files stay loadable).
+  EXPECT_EQ(loaded.records[1].env.peak_rss_bytes, 0U);
+}
+
+TEST(BenchReg, MemoryGateOnlyFiresWhenToleranceIsSet) {
+  obs::BenchReport baseline = sample_report();
+  obs::BenchReport current = sample_report();
+  for (obs::BenchRecord& r : baseline.records) r.env.peak_rss_bytes = 1000;
+  for (obs::BenchRecord& r : current.records) r.env.peak_rss_bytes = 2000;
+
+  // Default: memory is advisory. The doubled RSS is visible in the deltas
+  // but does not gate.
+  const obs::BenchDiffResult advisory = obs::diff_bench(baseline, current, 0.35);
+  EXPECT_TRUE(advisory.ok());
+  EXPECT_EQ(advisory.mem_regressions, 0U);
+  for (const obs::BenchDelta& d : advisory.deltas) {
+    EXPECT_DOUBLE_EQ(d.rss_ratio, 2.0);
+    EXPECT_FALSE(d.rss_regression);
+  }
+
+  // With a tolerance, the same diff gates — time regressions stay at zero,
+  // so ok() flips purely on memory.
+  const obs::BenchDiffResult gated =
+      obs::diff_bench(baseline, current, 0.35, /*mem_tolerance=*/0.25);
+  EXPECT_FALSE(gated.ok());
+  EXPECT_EQ(gated.regressions, 0U);
+  EXPECT_EQ(gated.mem_regressions, 3U);
+
+  // Movement inside the memory band passes.
+  for (obs::BenchRecord& r : current.records) r.env.peak_rss_bytes = 1100;
+  EXPECT_TRUE(obs::diff_bench(baseline, current, 0.35, 0.25).ok());
+}
+
+TEST(BenchReg, MemoryAbsentOnEitherSideNeverGates) {
+  obs::BenchReport baseline = sample_report();
+  obs::BenchReport current = sample_report();
+  // Baseline predates the memory column; current carries huge RSS values.
+  for (obs::BenchRecord& r : current.records) r.env.peak_rss_bytes = 1u << 30;
+  obs::BenchDiffResult diff =
+      obs::diff_bench(baseline, current, 0.35, /*mem_tolerance=*/0.01);
+  EXPECT_TRUE(diff.ok());
+  for (const obs::BenchDelta& d : diff.deltas) {
+    EXPECT_FALSE(d.rss_regression);
+    EXPECT_DOUBLE_EQ(d.rss_ratio, 0.0);
+  }
+
+  // And the mirror case: baseline has it, current dropped it.
+  diff = obs::diff_bench(current, baseline, 0.35, 0.01);
+  EXPECT_TRUE(diff.ok());
+}
+
 }  // namespace
 }  // namespace rpol

@@ -1,0 +1,374 @@
+// Tests for the resource & health observability layer: tagged memory
+// accounting (obs/mem.h), windowed metric aggregation (obs/window.h), the
+// per-worker health registry (obs/health.h), and the rpol.health.v1
+// export/parse round trip (obs/health_read.h).
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "obs/health.h"
+#include "obs/health_read.h"
+#include "obs/mem.h"
+#include "obs/obs.h"
+#include "obs/window.h"
+
+namespace rpol::obs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Tagged memory accounting
+
+TEST(MemTags, NamesRoundTrip) {
+  for (int t = 0; t < kNumMemTags; ++t) {
+    const MemTag tag = static_cast<MemTag>(t);
+    EXPECT_EQ(mem_tag_from_name(mem_tag_name(tag)), tag);
+  }
+  EXPECT_STREQ(mem_tag_name(MemTag::kCheckpoint), "checkpoint");
+  EXPECT_STREQ(mem_tag_name(MemTag::kPackCache), "packcache");
+  EXPECT_EQ(mem_tag_from_name("no-such-tag"), MemTag::kNumTags);
+}
+
+TEST(MemTags, AddSubTrackCurrentPeakTotal) {
+  mem_reset();
+  mem_add(MemTag::kWire, 100);
+  mem_add(MemTag::kWire, 50);
+  mem_sub(MemTag::kWire, 120);
+  const MemStats s = mem_stats(MemTag::kWire);
+  EXPECT_EQ(s.current_bytes, 30U);
+  EXPECT_EQ(s.peak_bytes, 150U);
+  EXPECT_EQ(s.total_bytes, 150U);
+  mem_reset();
+}
+
+TEST(MemTags, SubClampsAtZeroInsteadOfWrapping) {
+  mem_reset();
+  mem_add(MemTag::kScratch, 10);
+  mem_sub(MemTag::kScratch, 1'000'000);  // unmatched release
+  EXPECT_EQ(mem_stats(MemTag::kScratch).current_bytes, 0U);
+  mem_reset();
+}
+
+TEST(MemScopeTest, ReleasesOnDestructionAndSetIsDeltaAccounted) {
+  mem_reset();
+  {
+    MemScope scope(MemTag::kMerkle, 1000);
+    EXPECT_EQ(mem_stats(MemTag::kMerkle).current_bytes, 1000U);
+    scope.set(400);  // shrink: subtracts the 600-byte delta
+    EXPECT_EQ(mem_stats(MemTag::kMerkle).current_bytes, 400U);
+    scope.set(700);  // grow: adds 300
+    EXPECT_EQ(mem_stats(MemTag::kMerkle).current_bytes, 700U);
+    EXPECT_EQ(scope.bytes(), 700U);
+  }
+  EXPECT_EQ(mem_stats(MemTag::kMerkle).current_bytes, 0U);
+  // Peak and cumulative survive the release.
+  EXPECT_EQ(mem_stats(MemTag::kMerkle).peak_bytes, 1000U);
+  mem_reset();
+}
+
+TEST(MemScopeTest, MoveTransfersTheBalance) {
+  mem_reset();
+  MemScope a(MemTag::kCheckpoint, 256);
+  MemScope b = std::move(a);
+  EXPECT_EQ(a.bytes(), 0U);
+  EXPECT_EQ(b.bytes(), 256U);
+  EXPECT_EQ(mem_stats(MemTag::kCheckpoint).current_bytes, 256U);
+  b.release();
+  EXPECT_EQ(mem_stats(MemTag::kCheckpoint).current_bytes, 0U);
+  mem_reset();
+}
+
+TEST(MemTags, TaggedTotalSumsCurrentAcrossTags) {
+  mem_reset();
+  mem_add(MemTag::kWire, 5);
+  mem_add(MemTag::kOther, 7);
+  EXPECT_EQ(mem_tagged_total(), 12U);
+  EXPECT_EQ(mem_stats_all().size(), static_cast<std::size_t>(kNumMemTags));
+  mem_reset();
+}
+
+// ---------------------------------------------------------------------------
+// Process RSS
+
+TEST(ProcRss, ReadsNonZeroOnLinux) {
+  const RssSample s = read_proc_rss();
+#ifdef __linux__
+  ASSERT_TRUE(s.valid);
+  EXPECT_GT(s.vm_rss_bytes, 0U);
+  EXPECT_GE(s.vm_hwm_bytes, s.vm_rss_bytes);
+#else
+  EXPECT_FALSE(s.valid);
+#endif
+}
+
+TEST(RssSamplerTest, SamplesAndSummarizes) {
+  RssSampler sampler(std::chrono::milliseconds(1), /*window=*/8);
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  sampler.stop();
+  sampler.stop();  // idempotent
+  const RssSampler::Summary s = sampler.summary();
+#ifdef __linux__
+  ASSERT_TRUE(s.valid);
+  EXPECT_GT(s.samples, 1U);
+  EXPECT_GT(s.baseline_bytes, 0U);
+  EXPECT_GE(s.peak_bytes, s.min_bytes);
+  EXPECT_EQ(s.growth_bytes,
+            s.peak_bytes > s.baseline_bytes ? s.peak_bytes - s.baseline_bytes
+                                            : 0U);
+  // Ring is bounded by the window passed at construction.
+  EXPECT_LE(sampler.window().size(), 8U);
+#else
+  EXPECT_FALSE(s.valid);
+#endif
+}
+
+// ---------------------------------------------------------------------------
+// Windowed aggregation
+
+TEST(CounterWindowTest, DeltaAndRateOverTheRing) {
+  CounterWindow w(4);
+  EXPECT_EQ(w.window_delta(), 0U);  // < 2 samples
+  w.sample(10);
+  w.sample(30);
+  w.sample(60);
+  EXPECT_EQ(w.window_delta(), 50U);
+  EXPECT_DOUBLE_EQ(w.rate_per_sample(), 25.0);
+  // Fill past capacity: the oldest readings fall out of the window.
+  w.sample(100);
+  w.sample(140);
+  EXPECT_EQ(w.size(), 4U);
+  EXPECT_EQ(w.oldest(), 30U);
+  EXPECT_EQ(w.latest(), 140U);
+  EXPECT_EQ(w.window_delta(), 110U);
+}
+
+TEST(CounterWindowTest, SaturatesWhenCounterWasDrainedMidWindow) {
+  CounterWindow w(4);
+  w.sample(500);
+  w.sample(20);  // counter drained between samples
+  EXPECT_EQ(w.window_delta(), 0U);
+}
+
+TEST(CounterWindowTest, ObservesARealCounter) {
+  Counter c("test.window.counter");
+  CounterWindow w(8);
+  w.sample(c);
+  c.add(5);
+  c.add(7);
+  w.sample(c);
+  EXPECT_EQ(w.window_delta(), 12U);
+}
+
+TEST(HistogramWindowTest, WindowedPercentileSeesOnlyWindowValues) {
+  Histogram h("test.window.hist");
+  HistogramWindow w(4);
+  // Old regime: tiny values, recorded before the window opens.
+  for (int i = 0; i < 100; ++i) h.record(1);
+  w.sample(h);
+  // New regime inside the window: large values.
+  for (int i = 0; i < 50; ++i) h.record(5000);
+  w.sample(h);
+
+  EXPECT_EQ(w.windowed_count(), 50U);
+  // The cumulative histogram's median is still 1, but the windowed median
+  // must reflect only the in-window values (bucketed, so approximate).
+  EXPECT_EQ(h.approx_percentile(50.0), 1U);
+  EXPECT_GE(w.windowed_percentile(50.0), 4096U);
+  EXPECT_DOUBLE_EQ(w.rate_per_sample(), 50.0);
+}
+
+TEST(HistogramWindowTest, EmptyAndSingleSampleAreZero) {
+  HistogramWindow w(3);
+  EXPECT_EQ(w.windowed_count(), 0U);
+  EXPECT_EQ(w.windowed_percentile(99.0), 0U);
+  Histogram h("test.window.hist2");
+  h.record(42);
+  w.sample(h);
+  EXPECT_EQ(w.windowed_count(), 0U);  // still < 2 snapshots
+}
+
+// ---------------------------------------------------------------------------
+// Health registry: decision semantics (must match the legacy pool strikes)
+
+HealthOutcome ok_outcome() {
+  HealthOutcome o;
+  o.participated = true;
+  o.accepted = true;
+  return o;
+}
+
+HealthOutcome failed_outcome() {
+  HealthOutcome o;
+  o.participated = true;
+  o.accepted = false;
+  return o;
+}
+
+TEST(HealthRegistryTest, ConsecutiveFailuresEvictExactlyAtThreshold) {
+  HealthRegistry reg(/*eviction_threshold=*/3, /*workers=*/2);
+  EXPECT_FALSE(reg.record(0, failed_outcome()));
+  EXPECT_FALSE(reg.record(0, failed_outcome()));
+  EXPECT_EQ(reg.consecutive_failures(0), 2);
+  EXPECT_FALSE(reg.evicted(0));
+  // The third consecutive failure evicts, and record() reports it exactly
+  // once so callers can bump their eviction counters.
+  EXPECT_TRUE(reg.record(0, failed_outcome()));
+  EXPECT_TRUE(reg.evicted(0));
+  EXPECT_EQ(reg.state(0), HealthState::kEvicted);
+  EXPECT_EQ(reg.score(0), 0.0);
+  // Further outcomes for an evicted worker are ignored (eviction is
+  // permanent, matching the pools' legacy behavior).
+  EXPECT_FALSE(reg.record(0, ok_outcome()));
+  EXPECT_TRUE(reg.evicted(0));
+}
+
+TEST(HealthRegistryTest, OneAcceptedSessionClearsTheStrikes) {
+  HealthRegistry reg(3, 1);
+  reg.record(0, failed_outcome());
+  reg.record(0, failed_outcome());
+  reg.record(0, ok_outcome());
+  EXPECT_EQ(reg.consecutive_failures(0), 0);
+  reg.record(0, failed_outcome());
+  reg.record(0, failed_outcome());
+  EXPECT_FALSE(reg.evicted(0));  // non-consecutive failures never evict
+}
+
+TEST(HealthRegistryTest, NonParticipationCountsAsFailure) {
+  HealthRegistry reg(1, 1);  // threshold 1: single failure evicts
+  HealthOutcome absent;      // participated=false, accepted=false
+  EXPECT_TRUE(reg.record(0, absent));
+  EXPECT_TRUE(reg.evicted(0));
+}
+
+TEST(HealthRegistryTest, ScoresRankCleanWorkersAboveStrugglingOnes) {
+  HealthRegistry reg(3, 3);
+  // Fresh workers start at 100 / healthy.
+  EXPECT_EQ(reg.score(2), 100.0);
+  EXPECT_EQ(reg.state(2), HealthState::kHealthy);
+
+  for (int i = 0; i < 8; ++i) {
+    HealthOutcome clean = ok_outcome();
+    clean.latency_ns = 1'000'000;
+    reg.record(0, clean);
+
+    HealthOutcome flaky = (i % 2 == 0) ? failed_outcome() : ok_outcome();
+    flaky.retransmissions = 3;
+    flaky.latency_ns = (i % 2 == 0) ? 9'000'000 : 1'000'000;
+    reg.record(1, flaky);
+  }
+  EXPECT_GT(reg.score(0), 90.0);
+  EXPECT_LT(reg.score(1), reg.score(0));
+  EXPECT_EQ(reg.state(1), HealthState::kDegraded);
+
+  const HealthRegistry::WindowStats s = reg.window_stats(1);
+  EXPECT_EQ(s.total, 8U);
+  EXPECT_EQ(s.accepted, 4U);
+  EXPECT_EQ(s.retransmissions, 24U);
+  EXPECT_EQ(s.min_latency_ns, 1'000'000U);
+  EXPECT_EQ(s.max_latency_ns, 9'000'000U);
+}
+
+TEST(HealthRegistryTest, WindowIsBoundedAndForgetsOldOutcomes) {
+  HealthRegistry reg(100, 1);  // threshold high enough to never evict
+  for (std::size_t i = 0; i < HealthRegistry::kWindow; ++i) {
+    reg.record(0, failed_outcome());
+  }
+  const double bad = reg.score(0);
+  // A full window of clean sessions pushes every failure out of the ring.
+  for (std::size_t i = 0; i < HealthRegistry::kWindow; ++i) {
+    reg.record(0, ok_outcome());
+  }
+  EXPECT_EQ(reg.window_stats(0).total, HealthRegistry::kWindow);
+  EXPECT_EQ(reg.window_stats(0).accepted, HealthRegistry::kWindow);
+  EXPECT_GT(reg.score(0), bad);
+  EXPECT_EQ(reg.state(0), HealthState::kHealthy);
+}
+
+TEST(HealthRegistryTest, OutOfRangeWorkersAreIgnored) {
+  HealthRegistry reg(3, 2);
+  EXPECT_FALSE(reg.record(7, failed_outcome()));
+  EXPECT_TRUE(reg.evicted(7));  // out-of-range reads conservatively evicted
+  EXPECT_EQ(reg.score(7), 0.0);
+}
+
+TEST(HealthStateNames, RoundTripAndConservativeFallback) {
+  EXPECT_EQ(health_state_from_name(health_state_name(HealthState::kHealthy)),
+            HealthState::kHealthy);
+  EXPECT_EQ(health_state_from_name(health_state_name(HealthState::kDegraded)),
+            HealthState::kDegraded);
+  EXPECT_EQ(health_state_from_name("garbage"), HealthState::kEvicted);
+}
+
+// ---------------------------------------------------------------------------
+// rpol.health.v1 export -> parse round trip
+
+TEST(HealthExport, JsonlRoundTripsThroughTheReader) {
+  mem_reset();
+  mem_add(MemTag::kCheckpoint, 4096);
+  mem_add(MemTag::kWire, 128);
+
+  HealthRegistry reg(3, 3);
+  for (int i = 0; i < 3; ++i) reg.record(0, ok_outcome());
+  reg.record(1, failed_outcome());
+  for (int i = 0; i < 3; ++i) reg.record(2, failed_outcome());
+
+  RssSampler::Summary rss;
+  rss.valid = true;
+  rss.samples = 10;
+  rss.baseline_bytes = 1000;
+  rss.min_bytes = 900;
+  rss.peak_bytes = 9192;
+  rss.last_bytes = 5000;
+  rss.growth_bytes = 8192;
+
+  const std::string path = ::testing::TempDir() + "health_roundtrip.jsonl";
+  ASSERT_TRUE(export_health_jsonl_file(path, reg, &rss));
+
+  const HealthReport report = load_health_file(path);
+  EXPECT_EQ(report.schema, "rpol.health.v1");
+  EXPECT_EQ(report.eviction_threshold, 3);
+  EXPECT_EQ(report.workers_declared, 3U);
+  ASSERT_EQ(report.workers.size(), 3U);
+
+  EXPECT_EQ(report.workers[0].state, HealthState::kHealthy);
+  EXPECT_DOUBLE_EQ(report.workers[0].score, reg.score(0));
+  EXPECT_EQ(report.workers[0].window.accepted, 3U);
+  EXPECT_EQ(report.workers[1].state, HealthState::kDegraded);
+  EXPECT_EQ(report.workers[1].consecutive_failures, 1);
+  EXPECT_TRUE(report.workers[2].evicted);
+  EXPECT_EQ(report.workers[2].score, 0.0);
+
+  ASSERT_EQ(report.mem.size(), static_cast<std::size_t>(kNumMemTags));
+  EXPECT_EQ(report.mem[0].tag, "checkpoint");
+  EXPECT_EQ(report.mem[0].stats.current_bytes, 4096U);
+  EXPECT_EQ(report.mem[2].tag, "wire");
+  EXPECT_EQ(report.mem[2].stats.peak_bytes, 128U);
+
+  ASSERT_TRUE(report.has_rss);
+  EXPECT_TRUE(report.rss.valid);
+  EXPECT_EQ(report.rss.growth_bytes, 8192U);
+  // Coverage: (4096 + 128) tagged peak over 8192 growth.
+  EXPECT_EQ(report.tagged_peak_total(), 4224U);
+  EXPECT_NEAR(report.coverage_vs_rss_growth(), 4224.0 / 8192.0, 1e-12);
+
+  std::remove(path.c_str());
+  mem_reset();
+}
+
+TEST(HealthExport, UnknownLineTypesAreSkippedAndBadJsonThrows) {
+  const std::string doc =
+      "{\"type\":\"meta\",\"schema\":\"rpol.health.v1\",\"wall_unix_ns\":1,"
+      "\"eviction_threshold\":3,\"workers\":0}\n"
+      "{\"type\":\"future-extension\",\"anything\":true}\n";
+  const HealthReport report = parse_health_jsonl(doc);
+  EXPECT_EQ(report.schema, "rpol.health.v1");
+  EXPECT_TRUE(report.workers.empty());
+
+  EXPECT_THROW(parse_health_jsonl("{\"type\":\"meta\""), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace rpol::obs

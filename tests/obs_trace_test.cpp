@@ -7,10 +7,12 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "obs/analyze.h"
@@ -421,6 +423,62 @@ TEST_F(ObsTest, SampleTickFiresOneInEvery) {
   obs::set_enabled(false);
   EXPECT_FALSE(obs::sample_tick(tick, 8));
   EXPECT_EQ(tick.load(), 64U);  // disabled guard skips the increment too
+}
+
+// Histogram record() spreads a sample over several words (count, sum, one
+// bucket), so a reset or snapshot racing writers could once observe a
+// half-applied sample. The writer-exclusion guard must make every snapshot
+// internally consistent — count == sum over buckets — no matter how hard
+// concurrent recorders hammer it, and nothing recorded may be torn in half
+// (each value lands entirely before or entirely after each reset).
+TEST_F(ObsTest, HistogramResetAndSnapshotStayConsistentUnderWriters) {
+  obs::Histogram h("test.hammer");
+  std::atomic<bool> stop{false};
+  constexpr int kWriters = 4;
+  std::vector<std::thread> writers;
+  std::vector<std::uint64_t> recorded(kWriters, 0);
+  for (int t = 0; t < kWriters; ++t) {
+    writers.emplace_back([&h, &stop, &recorded, t] {
+      std::uint64_t n = 0;
+      do {  // at least one record even if the main loop finishes first
+        h.record(static_cast<std::uint64_t>(t) * 1000 + (n % 97));
+        ++n;
+      } while (!stop.load(std::memory_order_relaxed));
+      recorded[static_cast<std::size_t>(t)] = n;
+    });
+  }
+
+  // Wait for the writers to actually be running so the snapshots below
+  // genuinely race them (the rounds otherwise finish before the OS
+  // schedules a single writer thread).
+  while (h.count() == 0) {
+  }
+
+  for (int round = 0; round < 200; ++round) {
+    const obs::Histogram::Snapshot snap = h.snapshot();
+    std::uint64_t bucket_sum = 0;
+    for (const std::uint64_t b : snap.buckets) bucket_sum += b;
+    ASSERT_EQ(snap.count, bucket_sum)
+        << "snapshot tore a concurrent record at round " << round;
+    // Interleave resets with the snapshots: a torn reset would leave a
+    // half-wiped state the next consistency check catches.
+    if (round % 10 == 9) h.reset();
+  }
+  stop.store(true);
+  for (auto& w : writers) w.join();
+
+  // Final consistency after the dust settles: one more full reset leaves a
+  // genuinely empty histogram.
+  h.reset();
+  const obs::Histogram::Snapshot fin = h.snapshot();
+  EXPECT_EQ(fin.count, 0U);
+  EXPECT_EQ(fin.sum, 0U);
+  std::uint64_t fin_sum = 0;
+  for (const std::uint64_t b : fin.buckets) fin_sum += b;
+  EXPECT_EQ(fin_sum, 0U);
+  std::uint64_t total = 0;
+  for (const std::uint64_t n : recorded) total += n;
+  EXPECT_GT(total, 0U);  // the hammer actually ran
 }
 
 }  // namespace

@@ -10,6 +10,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <optional>
 #include <stdexcept>
 #include <vector>
 
@@ -20,6 +22,8 @@
 #include "data/partition.h"
 #include "data/synthetic.h"
 #include "nn/models.h"
+#include "obs/health.h"
+#include "obs/mem.h"
 #include "obs/obs.h"
 #include "runtime/thread_pool.h"
 #include "task_fixture.h"
@@ -488,6 +492,100 @@ TEST(TrainingDeterminism, TracedPoolRunWithPropagationIsBitwiseIdentical) {
   EXPECT_EQ(untraced.model, traced.model);
   EXPECT_EQ(untraced.final_accuracy, traced.final_accuracy);
   EXPECT_EQ(untraced.total_bytes, traced.total_bytes);
+}
+
+// Health scoring and memory accounting are part of the same write-only
+// contract: a pool run with tracing enabled, a live background RssSampler,
+// and the health registry folding in wall-clock latencies must produce the
+// exact global model, accuracy, eviction set, and Merkle-relevant bytes of
+// a run with all of it off. Latency and retransmission facts may only ever
+// reach the SCORE — never the eviction decision or a hash (DESIGN.md §7).
+TEST(TrainingDeterminism, HealthScoredPoolRunIsBitwiseIdentical) {
+  auto run_pool = [](bool observed) {
+    obs::set_enabled(observed);
+    obs::Registry::instance().reset();
+    obs::mem_reset();
+    std::optional<obs::RssSampler> rss;
+    if (observed) rss.emplace(std::chrono::milliseconds(1));
+
+    const testing::TinyTask task = testing::TinyTask::make(61, 10, 3);
+    const data::TrainTestSplit split =
+        data::train_test_split(task.dataset, 0.25, 17);
+    core::PoolConfig cfg;
+    cfg.hp = task.hp;
+    cfg.epochs = 3;
+    cfg.samples_q = 3;
+    cfg.seed = 71;
+    cfg.eviction_threshold = 2;
+    std::vector<core::WorkerSpec> workers;
+    const auto devices = sim::all_devices();
+    for (std::size_t w = 0; w < 3; ++w) {
+      core::WorkerSpec spec;
+      // One replay adversary: makes the health registry take real eviction
+      // decisions in both runs, so the comparison covers the decision path.
+      spec.policy =
+          w == 0 ? std::unique_ptr<core::WorkerPolicy>(
+                       std::make_unique<core::ReplayPolicy>())
+                 : std::unique_ptr<core::WorkerPolicy>(
+                       std::make_unique<core::HonestPolicy>());
+      spec.device = devices[w % devices.size()];
+      workers.push_back(std::move(spec));
+    }
+    core::MiningPool pool(cfg, task.factory, task.dataset, split.test,
+                          std::move(workers));
+    const core::PoolRunReport report = pool.run();
+
+    struct Result {
+      std::vector<float> model;
+      double final_accuracy = 0.0;
+      std::uint64_t total_bytes = 0;
+      std::vector<bool> evicted;
+      std::vector<double> scores;
+      std::uint64_t tagged_bytes = 0;
+      bool rss_sampled = false;
+    };
+    Result r;
+    r.model = pool.global_model();
+    r.final_accuracy = report.final_accuracy;
+    r.total_bytes = report.total_bytes;
+    for (std::size_t w = 0; w < 3; ++w) {
+      r.evicted.push_back(pool.health().evicted(w));
+      r.scores.push_back(pool.health().score(w));
+    }
+    r.tagged_bytes = obs::mem_stats(obs::MemTag::kCheckpoint).total_bytes;
+    if (rss.has_value()) {
+      rss->stop();
+      r.rss_sampled = rss->summary().valid && rss->summary().samples > 0;
+    }
+    obs::set_enabled(false);
+    obs::Registry::instance().reset();
+    obs::mem_reset();
+    return r;
+  };
+
+  const auto plain = run_pool(false);
+  const auto observed = run_pool(true);
+
+  // The observed run really observed: memory was tagged and RSS sampled...
+  EXPECT_GT(observed.tagged_bytes, 0U);
+#ifdef __linux__
+  EXPECT_TRUE(observed.rss_sampled);
+#endif
+  // ...while the protocol results stayed bitwise identical, including the
+  // eviction decisions the health registry now owns.
+  EXPECT_EQ(plain.model, observed.model);
+  EXPECT_EQ(plain.final_accuracy, observed.final_accuracy);
+  EXPECT_EQ(plain.total_bytes, observed.total_bytes);
+  EXPECT_EQ(plain.evicted, observed.evicted);
+  // The adversary was actually evicted (both runs agree on it).
+  EXPECT_TRUE(plain.evicted[0]);
+  EXPECT_FALSE(plain.evicted[1]);
+  // Scores come from the same protocol facts; latency differs run to run
+  // but only moves the 10-point latency-stability term, so both runs agree
+  // on the ordering: adversary pinned at 0, honest workers far above.
+  EXPECT_EQ(observed.scores[0], 0.0);
+  EXPECT_GT(observed.scores[1], 50.0);
+  EXPECT_GT(observed.scores[2], 50.0);
 }
 
 }  // namespace

@@ -6,7 +6,9 @@
 # minutes): bench_micro's kernel + crypto/commitment harnesses (wall-clock
 # GFLOP/s, SHA/commit throughput and speedups) and bench_table3's
 # deterministic cost-model rows. Both write into the same file via
-# RPOL_BENCH_FILE; BenchRecorder overlay-merges on write.
+# RPOL_BENCH_FILE; BenchRecorder overlay-merges on write. Every record's env
+# now carries peak_rss_bytes (VmHWM at record time), so a regenerated
+# baseline lets `rpol bench-diff --mem-tolerance 0.xx` gate memory too.
 #
 # Usage: tools/make_bench_baseline.sh [build-dir]   (default: build)
 

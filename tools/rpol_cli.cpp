@@ -7,6 +7,7 @@
 //   costs       estimate real-scale epoch costs (Tables II/III model)
 //   trace       summarize a JSONL trace produced with RPOL_TRACE=1
 //   timeline    reconstruct per-epoch causal trees from a trace
+//   health      summarize an rpol.health.v1 file (worker scores + memory)
 //   bench-diff  compare two rpol.bench.v1 files with a tolerance gate
 //   bench-merge overlay-merge rpol.bench.v1 files into one registry
 //
@@ -16,15 +17,19 @@
 //   rpol economics --pr-beta 0.05 --target 0.01
 //   rpol costs --model vgg16 --workers 100 --scheme v1
 //   RPOL_TRACE=1 rpol simulate --epochs 2 && rpol trace --verify-refs
+//   RPOL_TRACE=1 rpol simulate --epochs 2 && rpol health
 //   rpol timeline --file rpol_trace.jsonl --export trace.perfetto.json
 //   rpol bench-diff BENCH_baseline.json BENCH_current.json --tolerance 0.35
+//                   --mem-tolerance 0.25
 //
 // `simulate` exports the registry to rpol_trace.jsonl (or RPOL_TRACE_FILE)
 // when RPOL_TRACE is set; `trace`/`timeline` load and analyze such a file.
 
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -36,6 +41,9 @@
 #include "nn/models.h"
 #include "obs/analyze.h"
 #include "obs/benchreg.h"
+#include "obs/health.h"
+#include "obs/health_read.h"
+#include "obs/mem.h"
 #include "obs/obs.h"
 #include "obs/timeline.h"
 
@@ -145,6 +153,12 @@ int cmd_simulate(const Args& args) {
     specs.push_back(std::move(spec));
   }
 
+  // Peak-RSS sampling rides along only when tracing is on: the sampler is
+  // pure observation, but there is no reason to spin a thread otherwise.
+  // Started before the pool is built so the executors' tagged allocations
+  // fall inside the sampling window.
+  std::optional<obs::RssSampler> rss;
+  if (obs::enabled()) rss.emplace(std::chrono::milliseconds(10));
   core::MiningPool pool(cfg, nn::mlp_factory(32, {32, 16}, 10, derive_seed(seed, 3)),
                         dataset, split.test, std::move(specs));
   std::printf("scheme=%s workers=%zu adversaries=%zu (%s) epochs=%ld\n",
@@ -153,6 +167,7 @@ int cmd_simulate(const Args& args) {
   std::printf("%-7s %-10s %-10s %-12s %-12s %-10s\n", "epoch", "test acc",
               "rejected", "alpha", "beta", "MB");
   const core::PoolRunReport report = pool.run();
+  if (rss.has_value()) rss->stop();
   for (const auto& e : report.epochs) {
     std::printf("%-7lld %-10.4f %lld/%zu%-5s %-12.2e %-12.2e %-10.2f\n",
                 static_cast<long long>(e.epoch), e.test_accuracy,
@@ -172,6 +187,16 @@ int cmd_simulate(const Args& args) {
   if (!trace_path.empty()) {
     std::printf("trace written to %s (summarize with `rpol trace --file %s`)\n",
                 trace_path.c_str(), trace_path.c_str());
+  }
+  obs::RssSampler::Summary rss_summary;
+  if (rss.has_value()) rss_summary = rss->summary();
+  const std::string health_path = obs::maybe_export_health(
+      "rpol_health.jsonl", pool.health(),
+      rss.has_value() ? &rss_summary : nullptr);
+  if (!health_path.empty()) {
+    std::printf("health written to %s (summarize with `rpol health --file "
+                "%s`)\n",
+                health_path.c_str(), health_path.c_str());
   }
   return 0;
 }
@@ -235,17 +260,28 @@ int cmd_timeline(const Args& args) {
   return report.refs.ok() ? 0 : 1;
 }
 
+int cmd_health(const Args& args) {
+  const std::string path = args.get("file", "rpol_health.jsonl");
+  const obs::HealthReport report = obs::load_health_file(path);
+  std::printf("health %s:\n", path.c_str());
+  obs::print_health_report(report, stdout);
+  return 0;
+}
+
 int cmd_bench_diff(const Args& args) {
   if (args.positional().size() != 2) {
     std::fprintf(stderr,
                  "usage: rpol bench-diff <baseline.json> <current.json> "
-                 "[--tolerance 0.xx]\n");
+                 "[--tolerance 0.xx] [--mem-tolerance 0.xx]\n");
     return 2;
   }
   const obs::BenchReport baseline = obs::load_bench_file(args.positional()[0]);
   const obs::BenchReport current = obs::load_bench_file(args.positional()[1]);
   const double tolerance = args.get_double("tolerance", 0.35);
-  const obs::BenchDiffResult diff = obs::diff_bench(baseline, current, tolerance);
+  // Default 0 keeps memory advisory (ratio column only, never gates).
+  const double mem_tolerance = args.get_double("mem-tolerance", 0.0);
+  const obs::BenchDiffResult diff =
+      obs::diff_bench(baseline, current, tolerance, mem_tolerance);
   obs::print_bench_diff(diff, stdout);
   return diff.ok() ? 0 : 1;
 }
@@ -378,7 +414,9 @@ void usage() {
       "             --q Q --interval I\n"
       "  trace      --file rpol_trace.jsonl [--strict] [--verify-refs]\n"
       "  timeline   --file rpol_trace.jsonl [--export out.perfetto.json]\n"
+      "  health     --file rpol_health.jsonl\n"
       "  bench-diff <baseline.json> <current.json> [--tolerance 0.xx]\n"
+      "             [--mem-tolerance 0.xx]\n"
       "  bench-merge --out merged.json <in.json>...\n");
 }
 
@@ -398,6 +436,7 @@ int main(int argc, char** argv) {
     if (command == "costs") return cmd_costs(args);
     if (command == "trace") return cmd_trace(args);
     if (command == "timeline") return cmd_timeline(args);
+    if (command == "health") return cmd_health(args);
     if (command == "bench-diff") return cmd_bench_diff(args);
     if (command == "bench-merge") return cmd_bench_merge(args);
     usage();

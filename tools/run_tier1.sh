@@ -32,7 +32,9 @@ echo "==> tier-1 pass 3/5: RPOL_TRACE=1 (tracing on; results must not change)"
 # (or a stale baseline — regenerate with tools/make_bench_baseline.sh) move
 # them, the crypto/commitment harness covers the hashing hot path, and the
 # blocked-layout conv harness covers the direct-vs-fallback speedup rows.
-# Advisory because wall-clock rows vary across machines.
+# Advisory because wall-clock rows vary across machines. --mem-tolerance adds
+# an advisory peak-RSS comparison on records where both sides carry the
+# memory column (old baselines without it are simply not compared).
 if [[ -f BENCH_baseline.json ]]; then
   echo "==> advisory: rpol bench-diff vs BENCH_baseline.json (does not gate)"
   rm -f "$BUILD_DIR/BENCH_current.json"
@@ -43,7 +45,7 @@ if [[ -f BENCH_baseline.json ]]; then
   (cd "$BUILD_DIR" && RPOL_BENCH_FILE=BENCH_current.json \
     ./bench/bench_micro --layout-only >/dev/null)
   "$BUILD_DIR/tools/rpol" bench-diff BENCH_baseline.json \
-    "$BUILD_DIR/BENCH_current.json" --tolerance 0.35 \
+    "$BUILD_DIR/BENCH_current.json" --tolerance 0.35 --mem-tolerance 0.50 \
     || echo "==> advisory bench-diff flagged deltas (non-fatal)"
 fi
 
