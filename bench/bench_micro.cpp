@@ -20,6 +20,7 @@
 
 #include "bench_util.h"
 #include "core/amlayer.h"
+#include "core/ckptstore.h"
 #include "core/commitment.h"
 #include "core/detsel.h"
 #include "data/synthetic.h"
@@ -706,6 +707,109 @@ void run_crypto_harness() {
               seed_proofs_s, new_proofs_s, seed_proofs_s / new_proofs_s);
 }
 
+// ---------------------------------------------------------------------------
+// Streaming bounded-memory harness (core.stream.*): one epoch's checkpoint
+// pipeline at 10x the crypto harness's checkpoint count (40 vs 4), under a
+// hot-cache budget a fraction of the epoch's footprint. Commit phase streams
+// every checkpoint through CommitmentBuilder + CheckpointStore (hash, fold,
+// spill, evict); verify phase fetches sampled transition endpoints back
+// through the store (mostly cold reloads) and re-checks them against the
+// commitment. Each record carries env.peak_rss_bytes, so the tier-1
+// bench-diff's --mem-tolerance gates the bounded-memory claim: if streaming
+// ever starts materializing the epoch, peak RSS jumps and the diff fails.
+void run_stream_harness() {
+  bench::BenchRecorder recorder("bench_micro");
+
+  const std::size_t checkpoints = 40;  // 10x the crypto harness's trace
+  const std::size_t model_n = 250'000;
+  const std::size_t opt_n = model_n / 2;
+  const std::uint64_t budget_bytes = 4ull << 20;  // ~2.8 hot states
+
+  // One resident state, permuted cheaply per checkpoint: the harness times
+  // the hashing/spill pipeline, not synthetic data generation.
+  core::TrainState state;
+  state.model.resize(model_n);
+  state.optimizer.resize(opt_n);
+  Rng rng(13);
+  rng.fill_normal(state.model, 0.0F, 0.1F);
+  rng.fill_normal(state.optimizer, 0.0F, 0.1F);
+
+  const double state_mb =
+      (16.0 + 4.0 * static_cast<double>(model_n + opt_n)) / (1 << 20);
+  const double epoch_mb = static_cast<double>(checkpoints) * state_mb;
+
+  core::CkptStoreConfig store_cfg;
+  store_cfg.budget_bytes = budget_bytes;
+
+  std::unique_ptr<core::CheckpointStore> store;
+  core::Commitment full;
+  core::CompactCommitment compact;
+  const double commit_s = time_best([&] {
+    store = std::make_unique<core::CheckpointStore>(store_cfg);
+    core::CommitmentBuilder builder(core::CommitmentVersion::kV1);
+    for (std::size_t i = 0; i < checkpoints; ++i) {
+      state.model[i % model_n] += 0.25F;  // new bits every checkpoint
+      builder.add_checkpoint(state);
+      store->append(state);
+    }
+    full = builder.finish();
+    compact = builder.compact();
+    benchmark::DoNotOptimize(compact);
+  });
+
+  // Verify phase: q=16 sampled transitions; fetch both endpoints through
+  // the store (the scattered stride defeats the LRU, so most reads are
+  // cold spill reloads) and re-check their hashes against the commitment.
+  std::vector<std::size_t> samples;
+  for (std::size_t q = 0; q < 16; ++q) {
+    samples.push_back((q * 23) % (checkpoints - 1));
+  }
+  bool verified = true;
+  const double verify_s = time_best([&] {
+    for (const std::size_t j : samples) {
+      const core::TrainState in =
+          store->fetch(static_cast<std::int64_t>(j));
+      const core::TrainState out =
+          store->fetch(static_cast<std::int64_t>(j + 1));
+      verified = verified &&
+                 digest_equal(core::hash_state(in), full.state_hashes[j]) &&
+                 digest_equal(core::hash_state(out), full.state_hashes[j + 1]);
+    }
+    benchmark::DoNotOptimize(verified);
+  });
+
+  const core::CkptStoreStats stats = store->stats();
+  const double peak_hot_mb =
+      static_cast<double>(
+          obs::mem_stats(obs::MemTag::kCkptStore).peak_bytes) /
+      (1 << 20);
+
+  recorder.add("core.stream.commit.epoch40.mb_s", "MB/s", epoch_mb / commit_s,
+               /*higher_is_better=*/true, /*threads=*/runtime::threads());
+  recorder.add("core.stream.commit.epoch40.s", "s", commit_s,
+               /*higher_is_better=*/false, /*threads=*/runtime::threads());
+  recorder.add("core.stream.verify.q16.s", "s", verify_s,
+               /*higher_is_better=*/false, /*threads=*/runtime::threads());
+  recorder.add("core.stream.peak_hot_mb", "MB", peak_hot_mb,
+               /*higher_is_better=*/false, /*threads=*/runtime::threads());
+  recorder.write();
+
+  std::printf("\nstream harness (epoch = %zu checkpoints x %.1f MB = %.0f MB, "
+              "hot budget %.0f MB)\n",
+              checkpoints, state_mb, epoch_mb,
+              static_cast<double>(budget_bytes) / (1 << 20));
+  std::printf("  commit+spill            : %.3fs (%.1f MB/s)\n", commit_s,
+              epoch_mb / commit_s);
+  std::printf("  verify fetch q16        : %.3fs (%llu reloads, %llu "
+              "evictions)\n",
+              verify_s, static_cast<unsigned long long>(stats.reloads),
+              static_cast<unsigned long long>(stats.evictions));
+  std::printf("  hot peak                : %.1f MB (budget %.1f MB), "
+              "verified=%s\n",
+              peak_hot_mb, static_cast<double>(budget_bytes) / (1 << 20),
+              verified ? "yes" : "NO");
+}
+
 void BM_Sha256_1MB(benchmark::State& state) {
   Bytes data(1 << 20, 0xAB);
   for (auto _ : state) {
@@ -822,7 +926,8 @@ BENCHMARK(BM_ConvGemm_ResNet18_conv2);
 }  // namespace
 
 int main(int argc, char** argv) {
-  // --crypto-only / --layout-only: run just that harness (the tier-1
+  // --crypto-only / --layout-only / --stream-only: run just that harness
+  // (the tier-1
   // advisory bench-diff runs these; the kernel harness + google-benchmark
   // suite take much longer).
   for (int i = 1; i < argc; ++i) {
@@ -834,10 +939,15 @@ int main(int argc, char** argv) {
       run_layout_harness();
       return 0;
     }
+    if (std::string(argv[i]) == "--stream-only") {
+      run_stream_harness();
+      return 0;
+    }
   }
   run_kernel_harness();
   run_layout_harness();
   run_crypto_harness();
+  run_stream_harness();
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

@@ -213,6 +213,51 @@ CompactCommitment compact_commitment(const Commitment& full) {
   return CommitmentIndex(full).compact();
 }
 
+CommitmentBuilder::CommitmentBuilder(CommitmentVersion version,
+                                     const lsh::PStableLsh* hasher,
+                                     const std::vector<bool>* mask)
+    : version_(version), hasher_(hasher), mask_(mask) {
+  if (version_ == CommitmentVersion::kV2 && hasher_ == nullptr) {
+    throw std::invalid_argument("v2 commitment builder needs an LSH hasher");
+  }
+  acc_.version = version_;
+}
+
+void CommitmentBuilder::add_checkpoint(const TrainState& state) {
+  const Digest state_hash = hash_state(state);
+  acc_.state_hashes.push_back(state_hash);
+  state_acc_.push(state_hash);
+  if (version_ == CommitmentVersion::kV2) {
+    lsh::LshDigest digest = hasher_->hash(
+        mask_ != nullptr ? extract_trainable(state.model, *mask_)
+                         : state.model);
+    lsh_acc_.push(lsh_leaf_digest(digest));
+    acc_.lsh_digests.push_back(std::move(digest));
+  }
+  mem_.set(acc_.byte_size() + state_acc_.byte_size() + lsh_acc_.byte_size());
+}
+
+Commitment CommitmentBuilder::finish() const {
+  if (acc_.state_hashes.empty()) {
+    throw std::invalid_argument("empty trace");
+  }
+  Commitment out = acc_;
+  out.root = commitment_root(out);
+  return out;
+}
+
+CompactCommitment CommitmentBuilder::compact() const {
+  if (acc_.state_hashes.empty()) {
+    throw std::invalid_argument("empty commitment");
+  }
+  CompactCommitment compact;
+  compact.version = version_;
+  compact.num_checkpoints = count();
+  compact.state_root = state_acc_.root();
+  if (version_ == CommitmentVersion::kV2) compact.lsh_root = lsh_acc_.root();
+  return compact;
+}
+
 std::uint64_t TransitionProof::byte_size() const {
   std::uint64_t total = 8 + 32 + 32;  // index + two hashes
   total += 33ULL * (in_membership.siblings.size() +

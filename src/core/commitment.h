@@ -152,6 +152,56 @@ class CommitmentIndex {
   obs::MemScope mem_{obs::MemTag::kMerkle};
 };
 
+// ---------------------------------------------------------------------------
+// Streaming commitment construction (ROADMAP item 5): checkpoints are hashed
+// and folded AS THEY ARE PRODUCED, so only the 32-byte digests (plus two
+// O(log n) Merkle frontiers) stay resident — never the checkpoint states.
+// The worker trains a transition, feeds the fresh state here, and can drop
+// (or spill, core/ckptstore.h) the state immediately.
+//
+// Equivalence contract (§6, pinned by tests/core_commitment_golden_test):
+// for any checkpoint sequence, finish() is bitwise identical to
+// commit_v1/commit_v2 over the materialized trace, and compact() matches
+// CommitmentIndex::compact() roots.
+class CommitmentBuilder {
+ public:
+  // v1: hasher == nullptr. v2: `hasher` is the epoch's manager-distributed
+  // LSH family (must outlive the builder) and `mask` selects the trainable
+  // weights — the same contract as commit_v2. Throws std::invalid_argument
+  // on a v2 builder without a hasher.
+  explicit CommitmentBuilder(CommitmentVersion version,
+                             const lsh::PStableLsh* hasher = nullptr,
+                             const std::vector<bool>* mask = nullptr);
+
+  // Hashes the checkpoint (SHA + LSH for v2) and folds the leaves into the
+  // running accumulators. The state is not retained.
+  void add_checkpoint(const TrainState& state);
+
+  std::int64_t count() const {
+    return static_cast<std::int64_t>(acc_.state_hashes.size());
+  }
+
+  // Seals the sequence so far into a full Commitment (ordered lists + root,
+  // exactly as commitment_root computes it). Non-destructive: more
+  // checkpoints may be added and finish() called again. Throws
+  // std::invalid_argument when no checkpoint was added.
+  Commitment finish() const;
+
+  // The streamed compact roots — identical to compact_commitment(finish())
+  // but O(log n) from the frontiers, with no tree ever materialized.
+  CompactCommitment compact() const;
+
+ private:
+  CommitmentVersion version_;
+  const lsh::PStableLsh* hasher_;
+  const std::vector<bool>* mask_;
+  Commitment acc_;                // digest lists only; root filled by finish()
+  MerkleAccumulator state_acc_;   // over the state hashes
+  MerkleAccumulator lsh_acc_;     // v2: over the domain-separated LSH leaves
+  // Resident digest bytes charged to the merkle tag while the builder lives.
+  obs::MemScope mem_{obs::MemTag::kMerkle};
+};
+
 // Manager-side check: both state hashes (and, for v2, the LSH digest) are
 // bound to the committed roots at the right positions.
 bool verify_transition_proof(const CompactCommitment& compact,

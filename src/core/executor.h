@@ -34,6 +34,21 @@ struct TrainState {
   }
 };
 
+// Read-only random access to an ordered checkpoint sequence. Two
+// realizations: the in-memory EpochTrace (adapter in core/verifier.cpp) and
+// the spill-to-disk CheckpointStore (core/ckptstore.h). fetch() returns a
+// COPY so a spill-backed source can serve evicted checkpoints from disk;
+// callers hold at most the checkpoints they are actively re-executing,
+// which is what makes verification memory-bounded (ROADMAP item 5).
+class CheckpointSource {
+ public:
+  virtual ~CheckpointSource() = default;
+  virtual std::int64_t num_checkpoints() const = 0;
+  // Checkpoint `index` in [0, num_checkpoints()); throws std::out_of_range
+  // outside that window.
+  virtual TrainState fetch(std::int64_t index) const = 0;
+};
+
 // Extracts the trainable-weight subvector of a model state (mask from
 // Model::trainable_mask()). Verification distances and LSH digests operate
 // on this subset: buffer (BatchNorm statistics) divergence scales with

@@ -43,12 +43,59 @@ EpochTrace run_honest_transitions(StepExecutor& executor,
   return trace;
 }
 
+StreamedTraceInfo WorkerPolicy::stream_trace(StepExecutor& executor,
+                                             const EpochContext& context,
+                                             sim::DeviceExecution& device,
+                                             CheckpointSink& sink) {
+  // Generic fallback: materialize, then replay through the sink. Bitwise
+  // identical to produce_trace by construction, but NOT bounded-memory —
+  // policies with a sequential structure override this.
+  EpochTrace trace = produce_trace(executor, context, device);
+  for (const TrainState& state : trace.checkpoints) sink.append(state);
+  StreamedTraceInfo info;
+  info.step_of = std::move(trace.step_of);
+  info.mean_loss = trace.mean_loss;
+  return info;
+}
+
 EpochTrace HonestPolicy::produce_trace(StepExecutor& executor,
                                        const EpochContext& context,
                                        sim::DeviceExecution& device) {
   const auto steps = checkpoint_steps(executor.hyperparams());
   return run_honest_transitions(executor, context, device,
                                 static_cast<std::int64_t>(steps.size()) - 1);
+}
+
+StreamedTraceInfo HonestPolicy::stream_trace(StepExecutor& executor,
+                                             const EpochContext& context,
+                                             sim::DeviceExecution& device,
+                                             CheckpointSink& sink) {
+  // Mirrors run_honest_transitions step for step — same load_state /
+  // run_steps / save_state sequence, so the emitted checkpoints are bitwise
+  // identical (§6) — but each checkpoint leaves the policy immediately.
+  if (context.dataset == nullptr) throw std::invalid_argument("missing dataset");
+  const auto steps = checkpoint_steps(executor.hyperparams());
+  const auto transitions = static_cast<std::int64_t>(steps.size()) - 1;
+  const DeterministicSelector selector(context.nonce);
+
+  StreamedTraceInfo info;
+  info.step_of = steps;
+  executor.load_state(context.initial);
+  sink.append(context.initial);
+
+  double loss_acc = 0.0;
+  for (std::int64_t j = 0; j < transitions; ++j) {
+    const std::int64_t first = steps[static_cast<std::size_t>(j)];
+    const std::int64_t count = steps[static_cast<std::size_t>(j + 1)] - first;
+    loss_acc += executor.run_steps(first, count, *context.dataset, selector,
+                                   &device);
+    sink.append(executor.save_state());
+  }
+  info.mean_loss =
+      transitions > 0
+          ? static_cast<float>(loss_acc / static_cast<double>(transitions))
+          : 0.0F;
+  return info;
 }
 
 EpochTrace ReplayPolicy::produce_trace(StepExecutor& executor,

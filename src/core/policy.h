@@ -30,6 +30,23 @@ struct EpochContext {
   const data::DatasetView* dataset = nullptr;
 };
 
+// Receives checkpoints one at a time as a policy produces them. The
+// streaming pipeline (core/ckptstore.h) implements it by folding each state
+// into a CommitmentBuilder and parking the bytes in a spill-backed
+// CheckpointStore, so a streaming producer never owns the full chain.
+class CheckpointSink {
+ public:
+  virtual ~CheckpointSink() = default;
+  virtual void append(const TrainState& state) = 0;
+};
+
+// Trace metadata that travels alongside a streamed checkpoint sequence —
+// everything EpochTrace carries except the checkpoints themselves.
+struct StreamedTraceInfo {
+  std::vector<std::int64_t> step_of;
+  float mean_loss = 0.0F;
+};
+
 class WorkerPolicy {
  public:
   virtual ~WorkerPolicy() = default;
@@ -41,6 +58,17 @@ class WorkerPolicy {
                                    const EpochContext& context,
                                    sim::DeviceExecution& device) = 0;
 
+  // Streams the epoch's checkpoints through `sink` instead of returning a
+  // materialized EpochTrace. The default implementation calls
+  // produce_trace and replays it — correct for every policy, bounded for
+  // none. HonestPolicy overrides it with a loop whose resident set is one
+  // checkpoint; both paths emit bitwise-identical states in the same order
+  // (§6, proven by tests/runtime_determinism_test.cpp).
+  virtual StreamedTraceInfo stream_trace(StepExecutor& executor,
+                                         const EpochContext& context,
+                                         sim::DeviceExecution& device,
+                                         CheckpointSink& sink);
+
   // Fraction of transitions honestly computed (h_A of Sec. VI).
   virtual double honesty_ratio() const { return 1.0; }
 };
@@ -50,6 +78,12 @@ class HonestPolicy : public WorkerPolicy {
   std::string name() const override { return "honest"; }
   EpochTrace produce_trace(StepExecutor& executor, const EpochContext& context,
                            sim::DeviceExecution& device) override;
+  // Truly streaming honest epoch: each checkpoint goes to the sink the
+  // moment it is saved and is never retained by the policy.
+  StreamedTraceInfo stream_trace(StepExecutor& executor,
+                                 const EpochContext& context,
+                                 sim::DeviceExecution& device,
+                                 CheckpointSink& sink) override;
 };
 
 class ReplayPolicy : public WorkerPolicy {

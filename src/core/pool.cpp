@@ -4,6 +4,7 @@
 #include <optional>
 #include <stdexcept>
 
+#include "core/ckptstore.h"
 #include "data/partition.h"
 #include "obs/obs.h"
 
@@ -43,6 +44,10 @@ MiningPool::MiningPool(PoolConfig config, nn::ModelFactory factory,
       network_(config_.network, std::max<std::size_t>(workers_.size(), 1)),
       health_(static_cast<int>(config_.eviction_threshold), workers_.size()) {
   if (workers_.empty()) throw std::invalid_argument("pool needs >= 1 worker");
+  if (config_.streaming && config_.decentralized_verification) {
+    throw std::invalid_argument(
+        "streaming pools cannot use decentralized verification");
+  }
   // n+1 i.i.d. parts: the manager keeps part 0 for calibration (Sec. V-C).
   partitions_ = data::shuffle_and_partition(
       train, static_cast<std::int64_t>(workers_.size()) + 1,
@@ -216,8 +221,12 @@ EpochReport MiningPool::run_epoch(std::int64_t epoch) {
   if (config_.scheme == Scheme::kRPoLv2) worker_hasher.emplace(lsh_config);
   const std::vector<bool>& trainable_mask = manager_executor_.trainable_mask();
 
-  // Steps 1-2: workers train locally and commit.
+  // Steps 1-2: workers train locally and commit. In streaming mode the
+  // traces stay empty: each worker's checkpoints flow straight into a
+  // CommitmentBuilder and a spill-backed CheckpointStore, and later phases
+  // fetch from the store instead of indexing a trace.
   std::vector<EpochTrace> traces(workers_.size());
+  std::vector<StreamedEpoch> streamed(config_.streaming ? workers_.size() : 0);
   std::vector<Commitment> commitments(workers_.size());
   // Compact-mode Merkle roots, collapsed once per worker at upload time and
   // reused by verification (rebuilding the trees per phase doubles the
@@ -257,26 +266,47 @@ EpochReport MiningPool::run_epoch(std::int64_t epoch) {
         derive_seed(config_.seed, 0xE0000000ULL +
                                       static_cast<std::uint64_t>(epoch) * 4096ULL +
                                       static_cast<std::uint64_t>(w)));
-    {
+    if (config_.streaming) {
+      // Train + commit fused: the sink hashes each checkpoint into the
+      // commitment and spills it the moment it exists, so worker residency
+      // is one state + the store's hot cache (charged to the ckptstore
+      // tag by the store itself, never to the checkpoint tag).
       obs::Span s("train", epoch_span, static_cast<int>(w), epoch);
-      traces[w] =
-          workers_[w].policy->produce_trace(*worker_executors_[w], ctx, device);
-      s.attr("storage_bytes", traces[w].storage_bytes());
-      checkpoint_mem.add(traces[w].storage_bytes());
-    }
-    {
-      obs::Span s("commit", epoch_span, static_cast<int>(w), epoch);
-      commitments[w] =
-          config_.scheme == Scheme::kRPoLv2
-              ? commit_v2(traces[w], *worker_hasher, &trainable_mask)
-              : commit_v1(traces[w]);
+      CkptStoreConfig scfg;
+      scfg.budget_bytes = config_.ckpt_budget_bytes;
+      streamed[w] = run_streamed_epoch(
+          *workers_[w].policy, *worker_executors_[w], ctx, device,
+          config_.scheme == Scheme::kRPoLv2 ? CommitmentVersion::kV2
+                                            : CommitmentVersion::kV1,
+          worker_hasher ? &*worker_hasher : nullptr,
+          config_.scheme == Scheme::kRPoLv2 ? &trainable_mask : nullptr, scfg);
+      s.attr("storage_bytes", streamed[w].store->total_bytes());
+      commitments[w] = std::move(streamed[w].commitment);
       merkle_mem.add(commitments[w].byte_size());
+    } else {
+      {
+        obs::Span s("train", epoch_span, static_cast<int>(w), epoch);
+        traces[w] = workers_[w].policy->produce_trace(*worker_executors_[w],
+                                                      ctx, device);
+        s.attr("storage_bytes", traces[w].storage_bytes());
+        checkpoint_mem.add(traces[w].storage_bytes());
+      }
+      {
+        obs::Span s("commit", epoch_span, static_cast<int>(w), epoch);
+        commitments[w] =
+            config_.scheme == Scheme::kRPoLv2
+                ? commit_v2(traces[w], *worker_hasher, &trainable_mask)
+                : commit_v1(traces[w]);
+        merkle_mem.add(commitments[w].byte_size());
+      }
     }
 
     // Upload: final model update + commitment (compact mode uploads only
-    // the Merkle roots).
+    // the Merkle roots). The streamed compact roots are identical to
+    // compact_commitment's (CommitmentBuilder contract).
     if (config_.compact_commitments) {
-      compacts[w] = compact_commitment(commitments[w]);
+      compacts[w] = config_.streaming ? streamed[w].compact
+                                      : compact_commitment(commitments[w]);
     }
     const std::uint64_t commitment_bytes = config_.compact_commitments
                                                ? compacts[w]->byte_size()
@@ -294,7 +324,9 @@ EpochReport MiningPool::run_epoch(std::int64_t epoch) {
     }
     worker_end_ns[w] = obs::now_ns();  // refined to the verdict time below
     report.worker_storage_bytes =
-        std::max(report.worker_storage_bytes, traces[w].storage_bytes());
+        std::max(report.worker_storage_bytes,
+                 config_.streaming ? streamed[w].store->total_bytes()
+                                   : traces[w].storage_bytes());
   }
 
   // Step 3: verification (RPoL schemes).
@@ -340,13 +372,27 @@ EpochReport MiningPool::run_epoch(std::int64_t epoch) {
                            0xF0000000ULL + static_cast<std::uint64_t>(epoch) * 4096ULL +
                                static_cast<std::uint64_t>(w)));
       obs::Span s("verify", epoch_span, static_cast<int>(w), epoch);
-      const VerifyResult vr =
-          config_.compact_commitments
-              ? verifier_->verify_compact(*compacts[w], commitments[w],
-                                          traces[w], contexts[w], initial_hash,
-                                          manager_device, s.context())
-              : verifier_->verify(commitments[w], traces[w], contexts[w],
-                                  initial_hash, manager_device, s.context());
+      VerifyResult vr;
+      if (config_.streaming) {
+        // Sampled checkpoints are fetched back through the spill-backed
+        // store; decisions are bitwise identical to the trace overloads.
+        vr = config_.compact_commitments
+                 ? verifier_->verify_compact(
+                       *compacts[w], commitments[w], *streamed[w].store,
+                       streamed[w].step_of, contexts[w], initial_hash,
+                       manager_device, s.context())
+                 : verifier_->verify(commitments[w], *streamed[w].store,
+                                     streamed[w].step_of, contexts[w],
+                                     initial_hash, manager_device, s.context());
+      } else {
+        vr = config_.compact_commitments
+                 ? verifier_->verify_compact(*compacts[w], commitments[w],
+                                             traces[w], contexts[w],
+                                             initial_hash, manager_device,
+                                             s.context())
+                 : verifier_->verify(commitments[w], traces[w], contexts[w],
+                                     initial_hash, manager_device, s.context());
+      }
       s.attr("accepted", vr.accepted);
       s.attr("double_checks", vr.double_checks);
       s.attr("lsh_mismatches", vr.lsh_mismatches);
@@ -407,7 +453,16 @@ EpochReport MiningPool::run_epoch(std::int64_t epoch) {
     std::vector<float> next = global_model_;
     for (std::size_t w = 0; w < workers_.size(); ++w) {
       if (!report.accepted[w]) continue;
-      const std::vector<float>& worker_final = traces[w].checkpoints.back().model;
+      // Streaming: the final checkpoint comes back through the store,
+      // bitwise identical to the state the worker saved (round-trip
+      // contract), so aggregation output matches the in-memory path.
+      std::vector<float> fetched;
+      if (config_.streaming) {
+        const CheckpointStore& store = *streamed[w].store;
+        fetched = store.fetch(store.num_checkpoints() - 1).model;
+      }
+      const std::vector<float>& worker_final =
+          config_.streaming ? fetched : traces[w].checkpoints.back().model;
       for (std::size_t d = 0; d < next.size(); ++d) {
         next[d] += weight * (worker_final[d] - global_model_[d]);
       }

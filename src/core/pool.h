@@ -67,6 +67,19 @@ struct PoolConfig {
   // exhaustion or rejected verification) this many epochs in a row is
   // evicted and the pool continues each epoch with the survivors.
   std::int64_t eviction_threshold = 3;
+  // Bounded-memory epochs (ROADMAP item 5): each worker streams its
+  // checkpoints — hashed into the commitment and spilled to disk
+  // (core/ckptstore.h) as they are produced — so no EpochTrace is ever
+  // materialized, and verification fetches sampled states back through the
+  // store. Commitments, verdicts, the global model, and every report field
+  // are bitwise identical to the in-memory path (§6, pinned by
+  // tests/runtime_determinism_test.cpp). Incompatible with
+  // decentralized_verification (committees replay whole traces; the
+  // constructor rejects the combination).
+  bool streaming = false;
+  // Hot-cache budget for the per-worker checkpoint stores; 0 resolves
+  // RPOL_CKPT_BUDGET from the environment (256 MiB default).
+  std::uint64_t ckpt_budget_bytes = 0;
 };
 
 struct WorkerSpec {

@@ -1,5 +1,6 @@
 #include "core/session.h"
 
+#include <functional>
 #include <stdexcept>
 
 #include "obs/mem.h"
@@ -135,6 +136,45 @@ void perturb_state(TrainState& state, float delta) {
   if (!state.model.empty()) state.model[0] += delta;
 }
 
+// Transfers one TrainState as a sequence of integrity-checked chunks, each
+// chunk a full exchange (timeout/retry/backoff, fault injection, byte
+// accounting) under the logical `type`. `validate` (may be empty) runs once
+// over the fully assembled state; a throw NACKs the final chunk, and since
+// the assembler has already consumed that offset, the retransmits exhaust
+// the budget into kDecodeRejected — a state that fails validation is never
+// taken, so a torn or forged transfer cannot be accepted.
+std::optional<TrainState> exchange_state_chunked(
+    ExchangeDriver& exchange, MessageType type, const TrainState& state,
+    bool to_worker, const SessionConfig& config,
+    const std::function<void(const TrainState&)>& validate,
+    const obs::TraceContext& sender) {
+  ChunkedStateEncoder encoder(state, config.chunk_bytes);
+  ChunkedStateAssembler assembler(config.max_state_bytes);
+  const std::int64_t n = encoder.num_chunks();
+  for (std::int64_t i = 0; i < n; ++i) {
+    // Materialized per iteration: the sender's resident wire footprint is
+    // one encoded chunk, never the full state encoding.
+    const Bytes frame = encode_state_chunk(encoder.chunk(i));
+    const auto ok = exchange.run(
+        type, frame, to_worker,
+        [&](const Bytes& b) {
+          assembler.accept(decode_state_chunk(b));
+          if (assembler.complete() && validate) validate(assembler.peek());
+          return true;
+        },
+        sender);
+    if (!ok.has_value()) return std::nullopt;
+  }
+  if (!assembler.complete()) {
+    // Unreachable with the local encoder (chunk totals add up by
+    // construction), kept as a typed failure rather than a crash.
+    exchange.failed = true;
+    exchange.outcome.status = SessionStatus::kDecodeRejected;
+    return std::nullopt;
+  }
+  return assembler.take();
+}
+
 }  // namespace
 
 Bytes CountingChannel::send_to_worker(MessageType type, Bytes message) {
@@ -210,22 +250,31 @@ SessionOutcome run_protocol_session(
     // The worker validates the transfer against the announced hash; a
     // mismatch (in-flight corruption that still decodes) is indistinct from
     // a decode failure at the protocol level, so it NACKs and the manager
-    // retransmits.
-    worker_initial = exchange.run(
-        MessageType::kGlobalState, encode_train_state(global_state),
-        /*to_worker=*/true, [&](const Bytes& b) {
-          std::size_t offset = 0;
-          TrainState state = decode_train_state(b, offset);
-          if (offset != b.size()) {
-            throw std::invalid_argument("trailing bytes in state");
-          }
-          if (!digest_equal(hash_state(state),
-                            worker_view->initial_state_hash)) {
-            throw std::runtime_error("state transfer corrupted");
-          }
-          return state;
-        },
-        s.context());
+    // retransmits. Chunked mode applies the same check once the stream
+    // assembles; per-chunk digests catch transport corruption earlier.
+    const auto validate_initial = [&](const TrainState& state) {
+      if (!digest_equal(hash_state(state), worker_view->initial_state_hash)) {
+        throw std::runtime_error("state transfer corrupted");
+      }
+    };
+    if (config.chunk_bytes > 0) {
+      worker_initial = exchange_state_chunked(
+          exchange, MessageType::kGlobalState, global_state,
+          /*to_worker=*/true, config, validate_initial, s.context());
+    } else {
+      worker_initial = exchange.run(
+          MessageType::kGlobalState, encode_train_state(global_state),
+          /*to_worker=*/true, [&](const Bytes& b) {
+            std::size_t offset = 0;
+            TrainState state = decode_train_state(b, offset);
+            if (offset != b.size()) {
+              throw std::invalid_argument("trailing bytes in state");
+            }
+            validate_initial(state);
+            return state;
+          },
+          s.context());
+    }
     if (!worker_initial.has_value()) return finish(std::move(outcome));
   }
 
@@ -289,18 +338,24 @@ SessionOutcome run_protocol_session(
       // The model update itself (final weights) travels with the commitment.
       TrainState update;
       update.model = trace.checkpoints.back().model;
-      manager_update = exchange.run(
-          MessageType::kUpdate, encode_train_state(update),
-          /*to_worker=*/false,
-          [](const Bytes& b) {
-            std::size_t offset = 0;
-            TrainState state = decode_train_state(b, offset);
-            if (offset != b.size()) {
-              throw std::invalid_argument("trailing bytes in update");
-            }
-            return state;
-          },
-          s.context());
+      if (config.chunk_bytes > 0) {
+        manager_update = exchange_state_chunked(
+            exchange, MessageType::kUpdate, update, /*to_worker=*/false,
+            config, /*validate=*/nullptr, s.context());
+      } else {
+        manager_update = exchange.run(
+            MessageType::kUpdate, encode_train_state(update),
+            /*to_worker=*/false,
+            [](const Bytes& b) {
+              std::size_t offset = 0;
+              TrainState state = decode_train_state(b, offset);
+              if (offset != b.size()) {
+                throw std::invalid_argument("trailing bytes in update");
+              }
+              return state;
+            },
+            s.context());
+      }
       if (!manager_update.has_value()) return finish(std::move(outcome));
     }
   }

@@ -91,6 +91,20 @@ struct SessionConfig {
   const fault::FaultPlan* fault_plan = nullptr;
   // Timeout/retry/backoff budget the session grants each message exchange.
   fault::RetryPolicy retry;
+  // Chunked TrainState transfer (bounded-memory sessions): when > 0, the
+  // global-state download and the update upload travel as kTagStateChunk
+  // frames carrying at most this many payload bytes each. Every chunk is
+  // its own retried exchange under the SAME MessageType (so per-type fault
+  // profiles and byte accounting apply per chunk) with its own integrity
+  // digest, and neither endpoint ever materializes the full encoding —
+  // the sender slices on demand, the receiver decodes incrementally.
+  // 0 keeps the legacy single-frame path. ProofResponse stays unchunked:
+  // proof states are already fetched one sampled transition at a time.
+  std::size_t chunk_bytes = 0;
+  // Receiver-side cap on the announced total of a chunked state stream; a
+  // stream claiming more is rejected before any buffering (the chunked
+  // counterpart of RetryPolicy::max_message_bytes).
+  std::uint64_t max_state_bytes = 256ULL * 1024 * 1024;
   // Causal parent the session's root span adopts (e.g. a pool epoch span),
   // so many sessions stitch into one epoch tree. Default: the session roots
   // its own trace. Observability only — never read by protocol logic.

@@ -40,6 +40,26 @@ void note_failure(VerifyResult& result, VerifyFailure failure) {
   if (result.failure == VerifyFailure::kNone) result.failure = failure;
 }
 
+// In-memory adapter: lets the EpochTrace overloads delegate to the
+// streaming implementations, so both paths share one decision procedure
+// (bitwise-identical verdicts by construction).
+class TraceSource final : public CheckpointSource {
+ public:
+  explicit TraceSource(const EpochTrace& trace) : trace_(&trace) {}
+  std::int64_t num_checkpoints() const override {
+    return static_cast<std::int64_t>(trace_->checkpoints.size());
+  }
+  TrainState fetch(std::int64_t index) const override {
+    if (index < 0 || index >= num_checkpoints()) {
+      throw std::out_of_range("checkpoint index out of range");
+    }
+    return trace_->checkpoints[static_cast<std::size_t>(index)];
+  }
+
+ private:
+  const EpochTrace* trace_;
+};
+
 }  // namespace
 
 const char* verify_failure_name(VerifyFailure failure) {
@@ -116,12 +136,23 @@ VerifyResult Verifier::verify_compact(const CompactCommitment& compact,
                                       const Digest& expected_initial_hash,
                                       sim::DeviceExecution& device,
                                       const obs::TraceContext& trace_parent) {
+  return verify_compact(compact, full, TraceSource(trace), trace.step_of,
+                        context, expected_initial_hash, device, trace_parent);
+}
+
+VerifyResult Verifier::verify_compact(const CompactCommitment& compact,
+                                      const Commitment& full,
+                                      const CheckpointSource& source,
+                                      const std::vector<std::int64_t>& step_of,
+                                      const EpochContext& context,
+                                      const Digest& expected_initial_hash,
+                                      sim::DeviceExecution& device,
+                                      const obs::TraceContext& trace_parent) {
   VerifyResult result;
-  const std::int64_t transitions = trace.num_transitions();
-  if (transitions <= 0 ||
-      compact.num_checkpoints != static_cast<std::int64_t>(trace.checkpoints.size()) ||
+  const std::int64_t transitions = source.num_checkpoints() - 1;
+  if (transitions <= 0 || compact.num_checkpoints != source.num_checkpoints() ||
       compact.version != full.version ||
-      trace.step_of != hp_.checkpoint_boundaries()) {
+      step_of != hp_.checkpoint_boundaries()) {
     result.failure = VerifyFailure::kMalformed;
     record_verdict(result);
     return result;
@@ -176,31 +207,36 @@ VerifyResult Verifier::verify_compact(const CompactCommitment& compact,
       continue;
     }
 
-    // Fetch and hash-check the input state against the proven leaf.
-    const TrainState& proof_in = trace.checkpoints[static_cast<std::size_t>(j)];
-    result.proof_bytes += proof_in.byte_size();
-    if (!digest_equal(hash_state(proof_in), proof.in_hash)) {
-      note_failure(result, VerifyFailure::kHashMismatch);
-      check.hash_ok = false;
-      all_passed = false;
-      result.checks.push_back(check);
-      continue;
-    }
-
-    const std::int64_t first = trace.step_of[static_cast<std::size_t>(j)];
-    const std::int64_t count = trace.step_of[static_cast<std::size_t>(j + 1)] - first;
+    // Fetch and hash-check the input state against the proven leaf. The
+    // fetch is a copy (possibly reloaded from a spill file); it dies with
+    // this block so at most one non-replay checkpoint is resident at once.
     {
-      obs::Span reexec("reexecute", trace_parent);
-      reexec.attr("transition", j);
-      reexec.attr("steps", count);
-      executor_.load_state(proof_in);
-      executor_.run_steps(first, count, *context.dataset, selector, &device);
+      const TrainState proof_in = source.fetch(j);
+      result.proof_bytes += proof_in.byte_size();
+      if (!digest_equal(hash_state(proof_in), proof.in_hash)) {
+        note_failure(result, VerifyFailure::kHashMismatch);
+        check.hash_ok = false;
+        all_passed = false;
+        result.checks.push_back(check);
+        continue;
+      }
+
+      const std::int64_t first = step_of[static_cast<std::size_t>(j)];
+      const std::int64_t count =
+          step_of[static_cast<std::size_t>(j + 1)] - first;
+      {
+        obs::Span reexec("reexecute", trace_parent);
+        reexec.attr("transition", j);
+        reexec.attr("steps", count);
+        executor_.load_state(proof_in);
+        executor_.run_steps(first, count, *context.dataset, selector, &device);
+      }
+      result.reexecuted_steps += count;
     }
-    result.reexecuted_steps += count;
     const TrainState replay = executor_.save_state();
 
-    const TrainState& claimed = trace.checkpoints[static_cast<std::size_t>(j + 1)];
     if (!use_lsh) {
+      const TrainState claimed = source.fetch(j + 1);
       result.proof_bytes += claimed.byte_size();
       if (digest_equal(hash_state(claimed), proof.out_hash)) {
         check.distance = trainable_distance(replay.model, claimed.model, mask);
@@ -218,6 +254,8 @@ VerifyResult Verifier::verify_compact(const CompactCommitment& compact,
         ++result.lsh_mismatches;
         ++result.double_checks;
         check.double_checked = true;
+        // Double-check fetches the raw output state on demand only.
+        const TrainState claimed = source.fetch(j + 1);
         result.proof_bytes += claimed.byte_size();
         if (digest_equal(hash_state(claimed), proof.out_hash)) {
           check.distance = trainable_distance(replay.model, claimed.model, mask);
@@ -242,14 +280,26 @@ VerifyResult Verifier::verify(const Commitment& commitment,
                               const Digest& expected_initial_hash,
                               sim::DeviceExecution& device,
                               const obs::TraceContext& trace_parent) {
+  return verify(commitment, TraceSource(trace), trace.step_of, context,
+                expected_initial_hash, device, trace_parent);
+}
+
+VerifyResult Verifier::verify(const Commitment& commitment,
+                              const CheckpointSource& source,
+                              const std::vector<std::int64_t>& step_of,
+                              const EpochContext& context,
+                              const Digest& expected_initial_hash,
+                              sim::DeviceExecution& device,
+                              const obs::TraceContext& trace_parent) {
   VerifyResult result;
-  const std::int64_t transitions = trace.num_transitions();
+  const std::int64_t transitions = source.num_checkpoints() - 1;
   // The step boundaries are derived from the agreed hyper-parameters, never
   // trusted from the prover: malformed step_of vectors (zero-length
   // intervals, wrong counts) are rejected outright.
   if (transitions <= 0 ||
-      commitment.state_hashes.size() != trace.checkpoints.size() ||
-      trace.step_of != hp_.checkpoint_boundaries()) {
+      static_cast<std::int64_t>(commitment.state_hashes.size()) !=
+          source.num_checkpoints() ||
+      step_of != hp_.checkpoint_boundaries()) {
     result.failure = VerifyFailure::kMalformed;
     record_verdict(result);
     return result;  // malformed => reject
@@ -276,36 +326,41 @@ VerifyResult Verifier::verify(const Commitment& commitment,
     TransitionCheck check;
     check.transition = j;
 
-    // Fetch proof_in = C_j and hash-check it against the commitment.
-    const TrainState& proof_in = trace.checkpoints[static_cast<std::size_t>(j)];
-    result.proof_bytes += proof_in.byte_size();
-    check.hash_ok = digest_equal(hash_state(proof_in),
-                                 commitment.state_hashes[static_cast<std::size_t>(j)]);
-    if (!check.hash_ok) {
-      note_failure(result, VerifyFailure::kHashMismatch);
-      all_passed = false;
-      result.checks.push_back(check);
-      continue;
-    }
-
-    // Re-execute the transition on the manager's device.
-    const std::int64_t first = trace.step_of[static_cast<std::size_t>(j)];
-    const std::int64_t count = trace.step_of[static_cast<std::size_t>(j + 1)] - first;
+    // Fetch proof_in = C_j and hash-check it against the commitment. The
+    // fetched copy dies with this block (the executor holds the loaded
+    // weights), bounding residency to the states actively in use.
     {
-      obs::Span reexec("reexecute", trace_parent);
-      reexec.attr("transition", j);
-      reexec.attr("steps", count);
-      executor_.load_state(proof_in);
-      executor_.run_steps(first, count, *context.dataset, selector, &device);
+      const TrainState proof_in = source.fetch(j);
+      result.proof_bytes += proof_in.byte_size();
+      check.hash_ok =
+          digest_equal(hash_state(proof_in),
+                       commitment.state_hashes[static_cast<std::size_t>(j)]);
+      if (!check.hash_ok) {
+        note_failure(result, VerifyFailure::kHashMismatch);
+        all_passed = false;
+        result.checks.push_back(check);
+        continue;
+      }
+
+      // Re-execute the transition on the manager's device.
+      const std::int64_t first = step_of[static_cast<std::size_t>(j)];
+      const std::int64_t count =
+          step_of[static_cast<std::size_t>(j + 1)] - first;
+      {
+        obs::Span reexec("reexecute", trace_parent);
+        reexec.attr("transition", j);
+        reexec.attr("steps", count);
+        executor_.load_state(proof_in);
+        executor_.run_steps(first, count, *context.dataset, selector, &device);
+      }
+      result.reexecuted_steps += count;
     }
-    result.reexecuted_steps += count;
     const TrainState replay = executor_.save_state();
 
-    const TrainState& claimed =
-        trace.checkpoints[static_cast<std::size_t>(j + 1)];
     const std::vector<bool>& mask = executor_.trainable_mask();
     if (!config_.use_lsh) {
       // RPoLv1: fetch the claimed output too and distance-test it.
+      const TrainState claimed = source.fetch(j + 1);
       result.proof_bytes += claimed.byte_size();
       const bool out_hash_ok =
           digest_equal(hash_state(claimed),
@@ -328,6 +383,8 @@ VerifyResult Verifier::verify(const Commitment& commitment,
         ++result.lsh_mismatches;
         ++result.double_checks;
         check.double_checked = true;
+        // Double-check: only now is the raw output state pulled in.
+        const TrainState claimed = source.fetch(j + 1);
         result.proof_bytes += claimed.byte_size();
         const bool out_hash_ok = digest_equal(
             hash_state(claimed),

@@ -108,6 +108,20 @@ class Verifier {
                       sim::DeviceExecution& device,
                       const obs::TraceContext& trace_parent = {});
 
+  // Streaming variant: checkpoints are fetched one at a time through
+  // `source` (e.g. a spill-backed core::CheckpointStore), so the manager
+  // never holds the full chain — only the sampled states it is actively
+  // re-executing. `step_of` plays EpochTrace::step_of. Decisions are
+  // bitwise identical to the in-memory overload over the same sequence
+  // (the trace overload delegates here; §6).
+  VerifyResult verify(const Commitment& commitment,
+                      const CheckpointSource& source,
+                      const std::vector<std::int64_t>& step_of,
+                      const EpochContext& context,
+                      const Digest& expected_initial_hash,
+                      sim::DeviceExecution& device,
+                      const obs::TraceContext& trace_parent = {});
+
   // Compact-commitment variant (Sec. V-B's Merkle construction): the worker
   // uploaded only the O(1) CompactCommitment; sampled transitions arrive
   // with logarithmic membership proofs generated on demand from the
@@ -116,6 +130,17 @@ class Verifier {
   // committed tree is the state the manager distributed.
   VerifyResult verify_compact(const CompactCommitment& compact,
                               const Commitment& full, const EpochTrace& trace,
+                              const EpochContext& context,
+                              const Digest& expected_initial_hash,
+                              sim::DeviceExecution& device,
+                              const obs::TraceContext& trace_parent = {});
+
+  // Streaming variant of the compact path (same delegation contract as the
+  // streaming verify overload above).
+  VerifyResult verify_compact(const CompactCommitment& compact,
+                              const Commitment& full,
+                              const CheckpointSource& source,
+                              const std::vector<std::int64_t>& step_of,
                               const EpochContext& context,
                               const Digest& expected_initial_hash,
                               sim::DeviceExecution& device,

@@ -1,5 +1,7 @@
 #include "core/wire.h"
 
+#include <algorithm>
+#include <cstring>
 #include <limits>
 #include <stdexcept>
 
@@ -221,6 +223,254 @@ ProofRequest decode_proof_request(const Bytes& in) {
 
 Bytes encode_train_state(const TrainState& state) {
   return serialize_state(state);
+}
+
+Bytes encode_state_chunk(const StateChunk& chunk) {
+  Bytes out;
+  out.reserve(1 + 8 + 8 + 8 + chunk.payload.size() + 32);
+  out.push_back(kTagStateChunk);
+  append_u64(out, chunk.total_bytes);
+  append_u64(out, chunk.offset);
+  append_u64(out, chunk.payload.size());
+  out.insert(out.end(), chunk.payload.begin(), chunk.payload.end());
+  append_digest(out, chunk.payload_hash);
+  return out;
+}
+
+StateChunk decode_state_chunk(const Bytes& in) {
+  std::size_t offset = 0;
+  expect_tag(in, offset, kTagStateChunk);
+  StateChunk chunk;
+  chunk.total_bytes = read_u64(in, offset);
+  chunk.offset = read_u64(in, offset);
+  const std::uint64_t len = read_u64(in, offset);
+  if (len == 0) throw std::invalid_argument("empty state chunk");
+  if (len > in.size() - offset) throw std::invalid_argument("bad chunk length");
+  if (chunk.offset > chunk.total_bytes ||
+      len > chunk.total_bytes - chunk.offset) {
+    throw std::invalid_argument("chunk window outside announced total");
+  }
+  chunk.payload.assign(in.begin() + static_cast<std::ptrdiff_t>(offset),
+                       in.begin() + static_cast<std::ptrdiff_t>(offset + len));
+  offset += static_cast<std::size_t>(len);
+  chunk.payload_hash = read_digest(in, offset);
+  check_consumed(in, offset);
+  // Per-chunk integrity: transport corruption of any payload byte fails
+  // here, turning into a NACK the per-chunk retry budget can heal.
+  if (sha256(chunk.payload) != chunk.payload_hash) {
+    throw std::invalid_argument("state chunk payload hash mismatch");
+  }
+  return chunk;
+}
+
+ChunkedStateEncoder::ChunkedStateEncoder(const TrainState& state,
+                                         std::size_t chunk_payload_bytes)
+    : state_(&state), chunk_bytes_(chunk_payload_bytes) {
+  if (chunk_payload_bytes == 0) {
+    throw std::invalid_argument("chunk payload size must be >= 1");
+  }
+  total_ = 16 + 4 * (static_cast<std::uint64_t>(state.model.size()) +
+                     static_cast<std::uint64_t>(state.optimizer.size()));
+}
+
+std::int64_t ChunkedStateEncoder::num_chunks() const {
+  return static_cast<std::int64_t>((total_ + chunk_bytes_ - 1) / chunk_bytes_);
+}
+
+namespace {
+
+// Copies bytes [pos, pos+n) of serialize_floats(v)'s PAYLOAD section (the
+// 4*|v| little-endian fp32 bytes, counts excluded) into `out`.
+void copy_float_bytes(const std::vector<float>& v, std::uint64_t pos,
+                      std::size_t n, std::uint8_t* out) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t byte = pos + i;
+    std::uint32_t bits = 0;
+    std::memcpy(&bits, &v[static_cast<std::size_t>(byte / 4)], sizeof bits);
+    out[i] = static_cast<std::uint8_t>(bits >> (8 * (byte % 4)));
+  }
+}
+
+}  // namespace
+
+void ChunkedStateEncoder::copy_window(std::uint64_t pos, std::size_t n,
+                                      std::uint8_t* out) const {
+  // Logical stream (== encode_train_state):
+  //   [u64 model_count][4*m model][u64 opt_count][4*o optimizer]
+  const std::uint64_t m = state_->model.size();
+  const std::uint64_t o = state_->optimizer.size();
+  const std::uint64_t seg_bounds[4] = {8, 8 + 4 * m, 16 + 4 * m,
+                                       16 + 4 * m + 4 * o};
+  std::uint64_t seg_start = 0;
+  for (int seg = 0; seg < 4 && n > 0; ++seg) {
+    const std::uint64_t seg_end = seg_bounds[seg];
+    if (pos < seg_end) {
+      const std::uint64_t local = pos - seg_start;
+      const std::size_t take = static_cast<std::size_t>(
+          std::min<std::uint64_t>(n, seg_end - pos));
+      switch (seg) {
+        case 0:
+          for (std::size_t i = 0; i < take; ++i) {
+            out[i] = static_cast<std::uint8_t>(m >> (8 * (local + i)));
+          }
+          break;
+        case 1:
+          copy_float_bytes(state_->model, local, take, out);
+          break;
+        case 2:
+          for (std::size_t i = 0; i < take; ++i) {
+            out[i] = static_cast<std::uint8_t>(o >> (8 * (local + i)));
+          }
+          break;
+        default:
+          copy_float_bytes(state_->optimizer, local, take, out);
+          break;
+      }
+      out += take;
+      pos += take;
+      n -= take;
+    }
+    seg_start = seg_end;
+  }
+}
+
+StateChunk ChunkedStateEncoder::chunk(std::int64_t index) const {
+  if (index < 0 || index >= num_chunks()) {
+    throw std::out_of_range("state chunk index out of range");
+  }
+  StateChunk out;
+  out.total_bytes = total_;
+  out.offset = static_cast<std::uint64_t>(index) * chunk_bytes_;
+  const std::size_t len = static_cast<std::size_t>(
+      std::min<std::uint64_t>(chunk_bytes_, total_ - out.offset));
+  out.payload.resize(len);
+  copy_window(out.offset, len, out.payload.data());
+  out.payload_hash = sha256(out.payload);
+  return out;
+}
+
+ChunkedStateAssembler::ChunkedStateAssembler(std::uint64_t max_total_bytes)
+    : max_total_(max_total_bytes) {}
+
+void ChunkedStateAssembler::feed_byte(std::uint8_t b) {
+  scalar_ |= static_cast<std::uint64_t>(b) << (8 * scalar_fill_);
+  ++scalar_fill_;
+  switch (phase_) {
+    case Phase::kModelCount:
+    case Phase::kOptCount: {
+      if (scalar_fill_ < 8) return;
+      const std::uint64_t count = scalar_;
+      const bool model = phase_ == Phase::kModelCount;
+      // A lying count is rejected the moment it completes, not at
+      // end-of-stream: the model vector must leave room for the optimizer
+      // count behind it, and the optimizer vector must land EXACTLY on the
+      // announced total (total_ >= 16 was enforced at accept()).
+      if (model) {
+        if (count > (total_ - 16) / 4) {
+          throw std::invalid_argument("state chunk float count exceeds total");
+        }
+      } else {
+        const std::uint64_t room =
+            total_ - 16 - 4 * static_cast<std::uint64_t>(state_.model.size());
+        if (count != room / 4) {
+          throw std::invalid_argument("state chunk float count exceeds total");
+        }
+      }
+      auto& vec = model ? state_.model : state_.optimizer;
+      vec.reserve(static_cast<std::size_t>(count));
+      floats_left_ = count;
+      scalar_ = 0;
+      scalar_fill_ = 0;
+      phase_ = model ? (count > 0 ? Phase::kModelData : Phase::kOptCount)
+                     : (count > 0 ? Phase::kOptData : Phase::kDone);
+      return;
+    }
+    case Phase::kModelData:
+    case Phase::kOptData: {
+      if (scalar_fill_ < 4) return;
+      float f = 0.0F;
+      const std::uint32_t bits = static_cast<std::uint32_t>(scalar_);
+      std::memcpy(&f, &bits, sizeof f);
+      auto& vec =
+          phase_ == Phase::kModelData ? state_.model : state_.optimizer;
+      vec.push_back(f);
+      scalar_ = 0;
+      scalar_fill_ = 0;
+      if (--floats_left_ == 0) {
+        phase_ = phase_ == Phase::kModelData ? Phase::kOptCount : Phase::kDone;
+      }
+      return;
+    }
+    case Phase::kDone:
+      throw std::invalid_argument("trailing bytes after state stream");
+  }
+}
+
+void ChunkedStateAssembler::feed(const std::uint8_t* data, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) feed_byte(data[i]);
+}
+
+void ChunkedStateAssembler::accept(const StateChunk& chunk) {
+  if (taken_) throw std::logic_error("assembler already consumed");
+  // Validate everything BEFORE mutating so a thrown (NACKed) chunk can be
+  // retried against unchanged assembler state.
+  if (chunk.payload.empty()) throw std::invalid_argument("empty state chunk");
+  if (total_ == 0 && received_ == 0) {
+    if (chunk.total_bytes < 16) {
+      throw std::invalid_argument("state stream shorter than its counts");
+    }
+    if (chunk.total_bytes > max_total_) {
+      throw std::invalid_argument("state stream exceeds receiver cap");
+    }
+  } else if (chunk.total_bytes != total_) {
+    throw std::invalid_argument("chunk disagrees on total size");
+  }
+  if (chunk.offset != received_) {
+    throw std::invalid_argument("chunk out of order");
+  }
+  const std::uint64_t cap = total_ == 0 ? chunk.total_bytes : total_;
+  if (chunk.payload.size() > cap - received_) {
+    throw std::invalid_argument("chunk overruns announced total");
+  }
+  // The phase machine can still reject content (a lying float count). Its
+  // scalar state is snapshotted and the vectors trimmed back on throw, so
+  // failure leaves the assembler exactly as it was.
+  const Phase phase0 = phase_;
+  const std::uint64_t scalar0 = scalar_;
+  const int fill0 = scalar_fill_;
+  const std::uint64_t left0 = floats_left_;
+  const std::size_t model0 = state_.model.size();
+  const std::size_t opt0 = state_.optimizer.size();
+  total_ = cap;
+  try {
+    feed(chunk.payload.data(), chunk.payload.size());
+  } catch (...) {
+    phase_ = phase0;
+    scalar_ = scalar0;
+    scalar_fill_ = fill0;
+    floats_left_ = left0;
+    state_.model.resize(model0);
+    state_.optimizer.resize(opt0);
+    if (received_ == 0) total_ = 0;
+    throw;
+  }
+  received_ += chunk.payload.size();
+}
+
+bool ChunkedStateAssembler::complete() const {
+  return !taken_ && received_ > 0 && received_ == total_ &&
+         phase_ == Phase::kDone;
+}
+
+const TrainState& ChunkedStateAssembler::peek() const {
+  if (!complete()) throw std::logic_error("state stream incomplete");
+  return state_;
+}
+
+TrainState ChunkedStateAssembler::take() {
+  if (!complete()) throw std::logic_error("state stream incomplete");
+  taken_ = true;
+  return std::move(state_);
 }
 
 TrainState decode_train_state(const Bytes& in, std::size_t& offset) {

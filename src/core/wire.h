@@ -27,6 +27,7 @@ inline constexpr std::uint8_t kTagTask = 0x01;
 inline constexpr std::uint8_t kTagCommitment = 0x02;
 inline constexpr std::uint8_t kTagProofRequest = 0x03;
 inline constexpr std::uint8_t kTagProofResponse = 0x04;
+inline constexpr std::uint8_t kTagStateChunk = 0x05;
 
 // Optional trace-context envelope (observability propagation, PR 4): a
 // 17-byte prefix [tag][trace_id u64 le][span_id u64 le] wrapped AROUND a
@@ -78,6 +79,101 @@ ProofResponse decode_proof_response(const Bytes& in);
 
 Bytes encode_train_state(const TrainState& state);
 TrainState decode_train_state(const Bytes& in, std::size_t& offset);
+
+// ---------------------------------------------------------------------------
+// Chunked TrainState transfer (bounded-memory sessions, ROADMAP item 5).
+//
+// A full model state can dwarf every other message in the protocol; sending
+// it as one frame forces both endpoints to materialize the whole encoding.
+// StateChunk splits the CANONICAL encoding — the exact bytes of
+// encode_train_state, so hashes and golden digests are untouched — into
+// windows of a negotiated size:
+//
+//   [kTagStateChunk][total u64][offset u64][payload_len u64]
+//   [payload bytes][sha256(payload) 32B]
+//
+// `total` is the full encoding's byte count (identical in every chunk of a
+// transfer); `offset` is the window position. The trailing digest makes
+// each chunk independently integrity-checked: a transport bit-flip is
+// caught at decode (throw -> NACK) and heals via the per-chunk retry
+// budget, instead of poisoning a multi-megabyte transfer.
+struct StateChunk {
+  std::uint64_t total_bytes = 0;
+  std::uint64_t offset = 0;
+  Bytes payload;
+  Digest payload_hash{};
+
+  bool operator==(const StateChunk& other) const {
+    return total_bytes == other.total_bytes && offset == other.offset &&
+           payload == other.payload && payload_hash == other.payload_hash;
+  }
+};
+
+Bytes encode_state_chunk(const StateChunk& chunk);
+// Validates framing (tag, lengths, offset+len <= total, len >= 1) and the
+// payload digest; throws std::invalid_argument / std::out_of_range on any
+// violation. decode(encode(x)) == x and the encoding is canonical.
+StateChunk decode_state_chunk(const Bytes& in);
+
+// Produces the chunks of one state's canonical encoding ON DEMAND: chunk(i)
+// materializes only that window (plus its digest), so the sender's resident
+// wire footprint is one chunk, never the full encoding.
+class ChunkedStateEncoder {
+ public:
+  // `state` must outlive the encoder. chunk_payload_bytes >= 1 or throws.
+  ChunkedStateEncoder(const TrainState& state, std::size_t chunk_payload_bytes);
+
+  std::uint64_t total_bytes() const { return total_; }
+  std::int64_t num_chunks() const;
+  // Chunk `index` in [0, num_chunks()); throws std::out_of_range outside.
+  StateChunk chunk(std::int64_t index) const;
+
+ private:
+  void copy_window(std::uint64_t pos, std::size_t n, std::uint8_t* out) const;
+
+  const TrainState* state_;
+  std::size_t chunk_bytes_;
+  std::uint64_t total_ = 0;
+};
+
+// Receiver side: consumes chunks strictly in offset order, decoding the
+// float stream incrementally (phase machine with an <= 8-byte carry) so the
+// full encoding is never buffered. accept() leaves the assembler UNCHANGED
+// when it throws, so a NACKed chunk can simply be retried. Rejected input:
+// out-of-order/duplicate/overlapping offsets, total_bytes disagreement
+// between chunks, totals above `max_total_bytes` (resource cap), and
+// streams whose float counts contradict the announced total.
+class ChunkedStateAssembler {
+ public:
+  explicit ChunkedStateAssembler(std::uint64_t max_total_bytes);
+
+  void accept(const StateChunk& chunk);
+  bool complete() const;
+  std::uint64_t bytes_received() const { return received_; }
+  // Read-only view of the assembled state, for end-of-stream validation
+  // (hash checks) before committing to take(); throws std::logic_error
+  // before complete().
+  const TrainState& peek() const;
+  // Moves out the assembled state; throws std::logic_error before
+  // complete() or after a previous take().
+  TrainState take();
+
+ private:
+  enum class Phase { kModelCount, kModelData, kOptCount, kOptData, kDone };
+
+  void feed(const std::uint8_t* data, std::size_t n);
+  void feed_byte(std::uint8_t b);
+
+  std::uint64_t max_total_;
+  std::uint64_t total_ = 0;       // 0 until the first chunk announces it
+  std::uint64_t received_ = 0;
+  bool taken_ = false;
+  Phase phase_ = Phase::kModelCount;
+  std::uint64_t scalar_ = 0;      // u64 count / f32 bits under assembly
+  int scalar_fill_ = 0;           // bytes of `scalar_` filled so far
+  std::uint64_t floats_left_ = 0; // remaining floats of the current vector
+  TrainState state_;
+};
 
 // Prefixes `payload` with a canonical trace envelope. The payload bytes are
 // copied verbatim — wrap(strip(x)) == x for any enveloped frame.

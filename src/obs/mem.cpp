@@ -27,7 +27,8 @@ TagCell& cell(MemTag tag) {
 }
 
 constexpr const char* kTagNames[kNumMemTags] = {
-    "checkpoint", "merkle", "wire", "packcache", "scratch", "other",
+    "checkpoint", "merkle", "wire", "packcache", "scratch", "ckptstore",
+    "other",
 };
 
 }  // namespace

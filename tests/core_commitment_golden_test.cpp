@@ -281,5 +281,83 @@ TEST(CommitmentGolden, IndexExceptionBehavior) {
   EXPECT_THROW(make_transition_proof(full, 3), std::out_of_range);
 }
 
+// ---------------------------------------------------------------------------
+// Streaming construction: CommitmentBuilder folds checkpoints one at a time
+// and must land on the exact same pinned roots as the batch builders — the
+// §6 equivalence contract for the bounded-memory epoch path.
+
+TEST(CommitmentGolden, StreamedBuilderMatchesPinnedRoots) {
+  const lsh::PStableLsh hasher = golden_hasher();
+  for (const auto& g : kRootGoldens) {
+    const EpochTrace trace = make_trace(g.n);
+
+    CommitmentBuilder b1(CommitmentVersion::kV1);
+    CommitmentBuilder b2(CommitmentVersion::kV2, &hasher);
+    for (const auto& ckpt : trace.checkpoints) {
+      b1.add_checkpoint(ckpt);
+      b2.add_checkpoint(ckpt);
+    }
+
+    const Commitment v1 = b1.finish();
+    EXPECT_EQ(digest_to_hex(v1.root), g.v1_root) << "n=" << g.n;
+    const Commitment v2 = b2.finish();
+    EXPECT_EQ(digest_to_hex(v2.root), g.v2_root) << "n=" << g.n;
+
+    // Streamed O(log n) compact roots vs the pinned tree roots.
+    const CompactCommitment c1 = b1.compact();
+    EXPECT_EQ(digest_to_hex(c1.state_root), g.state_root) << "n=" << g.n;
+    const CompactCommitment c2 = b2.compact();
+    EXPECT_EQ(digest_to_hex(c2.state_root), g.state_root) << "n=" << g.n;
+    EXPECT_EQ(digest_to_hex(c2.lsh_root), g.lsh_root) << "n=" << g.n;
+
+    EXPECT_EQ(v2.state_hashes.size(), g.n);
+    EXPECT_EQ(v2.lsh_digests.size(), g.n);
+    EXPECT_TRUE(commitment_consistent(v1));
+    EXPECT_TRUE(commitment_consistent(v2));
+  }
+}
+
+TEST(CommitmentGolden, StreamedProofTranscriptsMatchBatch) {
+  // finish() is non-destructive and the resulting Commitment feeds the same
+  // proof machinery: transcripts must equal the pinned batch transcripts.
+  const lsh::PStableLsh hasher = golden_hasher();
+  CommitmentBuilder b5(CommitmentVersion::kV2, &hasher);
+  CommitmentBuilder b8(CommitmentVersion::kV2, &hasher);
+  const EpochTrace t5 = make_trace(5);
+  const EpochTrace t8 = make_trace(8);
+  for (const auto& c : t5.checkpoints) b5.add_checkpoint(c);
+  for (const auto& c : t8.checkpoints) b8.add_checkpoint(c);
+  const Commitment v2_5 = b5.finish();
+  const Commitment v2_8 = b8.finish();
+  for (const auto& g : kProofGoldens) {
+    const Commitment& full = g.n == 5 ? v2_5 : v2_8;
+    EXPECT_EQ(proof_transcript_hex(
+                  make_transition_proof(full, static_cast<std::int64_t>(g.j))),
+              g.hex)
+        << "n=" << g.n << " j=" << g.j;
+  }
+  // Interleaved finish(): sealing early then adding more checkpoints must
+  // not perturb the final roots (the accumulators are pure folds).
+  CommitmentBuilder inc(CommitmentVersion::kV2, &hasher);
+  for (std::size_t i = 0; i < t8.checkpoints.size(); ++i) {
+    inc.add_checkpoint(t8.checkpoints[i]);
+    (void)inc.finish();
+    (void)inc.compact();
+  }
+  EXPECT_EQ(digest_to_hex(inc.finish().root), digest_to_hex(v2_8.root));
+  EXPECT_EQ(digest_to_hex(inc.compact().state_root),
+            digest_to_hex(b8.compact().state_root));
+  EXPECT_EQ(digest_to_hex(inc.compact().lsh_root),
+            digest_to_hex(b8.compact().lsh_root));
+}
+
+TEST(CommitmentGolden, StreamedBuilderExceptionBehavior) {
+  EXPECT_THROW(CommitmentBuilder(CommitmentVersion::kV2, nullptr),
+               std::invalid_argument);
+  CommitmentBuilder empty(CommitmentVersion::kV1);
+  EXPECT_THROW((void)empty.finish(), std::invalid_argument);
+  EXPECT_THROW((void)empty.compact(), std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace rpol::core

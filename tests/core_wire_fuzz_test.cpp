@@ -288,6 +288,213 @@ TEST_F(StructuredFuzz, LshPresenceFlagAcceptsOnlyCanonicalBytes) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// State-chunk codec (bounded-memory transfers): the chunk frame carries its
+// own payload digest, so the conformance bar is higher than round-trip —
+// every content mutation must be REJECTED, not merely re-encoded.
+
+struct ChunkFuzz : public FuzzFixture {
+  // The fixture state's canonical encoding, the ground truth every chunk
+  // stream must reassemble to.
+  Bytes canonical() const { return encode_train_state(context.initial); }
+};
+
+TEST_F(ChunkFuzz, RoundTripAtManyChunkSizesReassemblesCanonicalBytes) {
+  const Bytes whole = canonical();
+  for (const std::size_t chunk_bytes : {1ul, 3ul, 7ul, 16ul, 64ul, 1024ul,
+                                        whole.size(), whole.size() + 100}) {
+    SCOPED_TRACE(chunk_bytes);
+    ChunkedStateEncoder encoder(context.initial, chunk_bytes);
+    ASSERT_EQ(encoder.total_bytes(), whole.size());
+
+    Bytes concatenated;
+    ChunkedStateAssembler assembler(whole.size());
+    for (std::int64_t i = 0; i < encoder.num_chunks(); ++i) {
+      const StateChunk chunk = encoder.chunk(i);
+      // decode(encode(x)) == x, and the encoding is canonical.
+      const Bytes frame = encode_state_chunk(chunk);
+      EXPECT_TRUE(decode_state_chunk(frame) == chunk);
+      EXPECT_EQ(encode_state_chunk(decode_state_chunk(frame)), frame);
+      concatenated.insert(concatenated.end(), chunk.payload.begin(),
+                          chunk.payload.end());
+      assembler.accept(chunk);
+    }
+    // Payload concatenation IS the canonical encoding — chunking never
+    // re-frames, so hashes computed over the assembled state are untouched.
+    EXPECT_EQ(concatenated, whole);
+    ASSERT_TRUE(assembler.complete());
+    const TrainState out = assembler.take();
+    EXPECT_EQ(out.model, context.initial.model);
+    EXPECT_EQ(out.optimizer, context.initial.optimizer);
+  }
+}
+
+TEST_F(ChunkFuzz, ChunkDecoderSurvivesFuzz) {
+  ChunkedStateEncoder encoder(context.initial, 64);
+  fuzz_decoder(encode_state_chunk(encoder.chunk(1)),
+               [](const Bytes& b) { decode_state_chunk(b); }, 6, 300);
+}
+
+TEST_F(ChunkFuzz, TruncationAtEveryBoundaryIsRejected) {
+  ChunkedStateEncoder encoder(context.initial, 48);
+  const Bytes frame = encode_state_chunk(encoder.chunk(0));
+  for (std::size_t len = 0; len < frame.size(); ++len) {
+    Bytes truncated(frame.begin(),
+                    frame.begin() + static_cast<std::ptrdiff_t>(len));
+    EXPECT_THROW(decode_state_chunk(truncated), std::exception)
+        << "prefix of length " << len << " decoded";
+  }
+}
+
+TEST_F(ChunkFuzz, HeaderLiesAreRejected) {
+  ChunkedStateEncoder encoder(context.initial, 48);
+  const StateChunk middle = encoder.chunk(1);
+  const Bytes frame = encode_state_chunk(middle);
+  const auto lie_at = [&](std::size_t offset, std::uint64_t original) {
+    const std::uint64_t lies[] = {0, 1, 1000, 1ull << 32, 1ull << 63, ~0ull};
+    for (const std::uint64_t lie : lies) {
+      if (lie == original) continue;
+      Bytes mutated = frame;
+      for (int i = 0; i < 8; ++i) {
+        mutated[offset + static_cast<std::size_t>(i)] =
+            static_cast<std::uint8_t>(lie >> (8 * i));
+      }
+      EXPECT_THROW(decode_state_chunk(mutated), std::exception)
+          << "header lie " << lie << " at offset " << offset << " decoded";
+    }
+  };
+  // payload_len lies always break the frame parse (short read leaves
+  // trailing bytes, long read over-reads) — every lie is rejected.
+  lie_at(17, middle.payload.size());
+  // total/offset lies that push the window outside [0, total) break the
+  // framing invariant offset+len <= total and are rejected at decode.
+  // In-window relabelings still decode (the digest binds only the payload);
+  // those are the ASSEMBLER's job — strict offset ordering and total
+  // agreement (AssemblerRejectsMisuseAndStaysRetrySafe below).
+  const std::uint64_t len = middle.payload.size();
+  for (const std::uint64_t total_lie :
+       {std::uint64_t{0}, std::uint64_t{1}, middle.offset, middle.offset + len - 1}) {
+    Bytes mutated = frame;
+    for (int i = 0; i < 8; ++i) {
+      mutated[1 + static_cast<std::size_t>(i)] =
+          static_cast<std::uint8_t>(total_lie >> (8 * i));
+    }
+    EXPECT_THROW(decode_state_chunk(mutated), std::exception)
+        << "shrunken total " << total_lie << " decoded";
+  }
+  for (const std::uint64_t offset_lie :
+       {middle.total_bytes - len + 1, middle.total_bytes,
+        std::uint64_t{1} << 63, ~std::uint64_t{0}}) {
+    Bytes mutated = frame;
+    for (int i = 0; i < 8; ++i) {
+      mutated[9 + static_cast<std::size_t>(i)] =
+          static_cast<std::uint8_t>(offset_lie >> (8 * i));
+    }
+    EXPECT_THROW(decode_state_chunk(mutated), std::exception)
+        << "out-of-window offset " << offset_lie << " decoded";
+  }
+  // Wrong tag byte: every non-0x05 value is rejected.
+  for (int v = 0; v < 256; ++v) {
+    if (v == kTagStateChunk) continue;
+    Bytes mutated = frame;
+    mutated[0] = static_cast<std::uint8_t>(v);
+    EXPECT_THROW(decode_state_chunk(mutated), std::exception);
+  }
+}
+
+TEST_F(ChunkFuzz, EveryPayloadOrDigestBitFlipIsRejected) {
+  // The per-chunk digest must catch EVERY single-bit payload corruption,
+  // and a corrupted digest must never validate: content mutations are
+  // always typed rejections, never silently-altered floats.
+  ChunkedStateEncoder encoder(context.initial, 32);
+  const Bytes frame = encode_state_chunk(encoder.chunk(2));
+  for (std::size_t pos = 25; pos < frame.size(); ++pos) {  // payload + digest
+    for (int bit = 0; bit < 8; ++bit) {
+      Bytes mutated = frame;
+      mutated[pos] ^= static_cast<std::uint8_t>(1u << bit);
+      EXPECT_THROW(decode_state_chunk(mutated), std::exception)
+          << "payload flip at byte " << pos << " bit " << bit << " decoded";
+    }
+  }
+}
+
+TEST_F(ChunkFuzz, AssemblerRejectsMisuseAndStaysRetrySafe) {
+  const Bytes whole = canonical();
+  ChunkedStateEncoder encoder(context.initial, 40);
+  ASSERT_GE(encoder.num_chunks(), 3);
+
+  // Resource cap: a first chunk announcing more than max_total_bytes.
+  {
+    ChunkedStateAssembler capped(whole.size() - 1);
+    EXPECT_THROW(capped.accept(encoder.chunk(0)), std::exception);
+  }
+
+  ChunkedStateAssembler assembler(whole.size());
+  EXPECT_FALSE(assembler.complete());
+  EXPECT_THROW((void)assembler.peek(), std::logic_error);
+  EXPECT_THROW((void)assembler.take(), std::logic_error);
+
+  // Out-of-order start, then recovery with the true first chunk.
+  EXPECT_THROW(assembler.accept(encoder.chunk(1)), std::exception);
+  assembler.accept(encoder.chunk(0));
+
+  // Duplicate, skipped, and total-lying chunks are all rejected without
+  // corrupting the stream: the correct next chunk still lands (retry-safe).
+  EXPECT_THROW(assembler.accept(encoder.chunk(0)), std::exception);
+  EXPECT_THROW(assembler.accept(encoder.chunk(2)), std::exception);
+  StateChunk lying = encoder.chunk(1);
+  lying.total_bytes += 8;
+  EXPECT_THROW(assembler.accept(lying), std::exception);
+  assembler.accept(encoder.chunk(1));
+
+  for (std::int64_t i = 2; i < encoder.num_chunks(); ++i) {
+    assembler.accept(encoder.chunk(i));
+  }
+  ASSERT_TRUE(assembler.complete());
+  // Trailing chunk beyond the announced total is rejected.
+  StateChunk extra = encoder.chunk(0);
+  extra.offset = encoder.total_bytes();
+  EXPECT_THROW(assembler.accept(extra), std::exception);
+
+  EXPECT_EQ(assembler.peek().model, context.initial.model);
+  const TrainState out = assembler.take();
+  EXPECT_EQ(out.model, context.initial.model);
+  EXPECT_EQ(out.optimizer, context.initial.optimizer);
+  // Moved-from assembler refuses further use.
+  EXPECT_THROW((void)assembler.take(), std::logic_error);
+  EXPECT_THROW(assembler.accept(encoder.chunk(0)), std::logic_error);
+}
+
+TEST_F(ChunkFuzz, StreamLevelFloatCountLiesAreRejected) {
+  // Forge a structurally valid chunk STREAM whose leading float count
+  // contradicts the announced total: the assembler's phase machine must
+  // reject it rather than over-allocate or mis-slice.
+  const Bytes whole = canonical();
+  Bytes forged = whole;
+  const std::uint64_t lie = ~0ull;
+  for (int i = 0; i < 8; ++i) {
+    forged[static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(lie >> (8 * i));
+  }
+  StateChunk chunk;
+  chunk.total_bytes = forged.size();
+  chunk.offset = 0;
+  chunk.payload = forged;
+  chunk.payload_hash = sha256(chunk.payload);
+  ChunkedStateAssembler assembler(forged.size());
+  EXPECT_THROW(assembler.accept(chunk), std::exception);
+  // The throw must not have torn state: the honest stream still assembles.
+  ChunkedStateAssembler retry(whole.size());
+  StateChunk honest;
+  honest.total_bytes = whole.size();
+  honest.offset = 0;
+  honest.payload = whole;
+  honest.payload_hash = sha256(honest.payload);
+  retry.accept(honest);
+  ASSERT_TRUE(retry.complete());
+  EXPECT_EQ(retry.take().model, context.initial.model);
+}
+
 TEST_F(FuzzFixture, MutatedCommitmentNeverDecodesToDifferentValidRoot) {
   // Stronger property: any mutation that still decodes must decode to a
   // commitment whose recomputed root matches its own lists (the decoder

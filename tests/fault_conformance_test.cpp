@@ -418,6 +418,156 @@ TEST(FaultPrimitives, InjectorStreamsAreIndependentButReproducible) {
 }
 
 // ---------------------------------------------------------------------------
+// Chunked state transfer under faults (bounded-memory sessions): the global
+// state and the model update travel as independently integrity-checked
+// chunks (core/wire.h StateChunk) under their logical MessageType, so the
+// per-type fault profiles and retry budgets apply to every chunk. The
+// contracts mirror the legacy table, plus one new one: a transfer that loses
+// a middle chunk ends in a TYPED failure — a torn or partially-assembled
+// state is never accepted.
+
+struct ChunkedSession : public FaultConformance {
+  SessionOutcome run_chunked(const Scenario& scenario,
+                             std::size_t chunk_bytes) {
+    HonestPolicy honest;
+    SessionConfig cfg = config(scenario);
+    cfg.chunk_bytes = chunk_bytes;
+    return run_protocol_session(task.factory, task.hp, cfg, global,
+                                /*nonce=*/505, view, honest,
+                                sim::device_ga10(), /*worker_seed=*/3,
+                                sim::device_g3090(), /*manager_seed=*/4);
+  }
+};
+
+TEST_F(ChunkedSession, LosslessChunkedMatchesLegacyModelBits) {
+  // Chunking is pure transport framing: on a clean channel the verdict and
+  // every model bit must match the single-frame path at any chunk size,
+  // including one larger than the whole encoding (single-chunk stream).
+  Scenario s;
+  s.name = "lossless_chunked";
+  s.has_plan = false;
+  const SessionOutcome legacy = run(s);
+  ASSERT_EQ(legacy.status, SessionStatus::kAccepted);
+  for (const std::size_t chunk_bytes : {48ul, 256ul, 1ul << 20}) {
+    SCOPED_TRACE(chunk_bytes);
+    const SessionOutcome chunked = run_chunked(s, chunk_bytes);
+    EXPECT_EQ(chunked.status, SessionStatus::kAccepted);
+    EXPECT_EQ(chunked.final_model, legacy.final_model);
+    // Byte accounting still balances with chunk framing in play.
+    std::uint64_t typed_total = 0;
+    for (const std::uint64_t b : chunked.bytes_by_type) typed_total += b;
+    EXPECT_EQ(typed_total,
+              chunked.bytes_to_worker + chunked.bytes_to_manager);
+  }
+}
+
+TEST_F(ChunkedSession, SurvivesTransportFaultsWithinBudget) {
+  // Per-chunk integrity + per-chunk retry: a lossy-but-bounded channel
+  // heals chunk by chunk, and the accepted model is bitwise the lossless
+  // one. Retries must actually occur (the plan is hot enough to hit some of
+  // the dozens of chunk legs).
+  Scenario lossless;
+  lossless.name = "reference";
+  lossless.has_plan = false;
+  const SessionOutcome reference = run_chunked(lossless, 64);
+
+  Scenario s;
+  s.name = "chunked_mixed_transport";
+  s.plan = fault::FaultPlan::transport(uniform(0.06, 0.04, 0, 0, 0.05), 41);
+  add_validated_corruption(s.plan, 0.06);
+  const SessionOutcome outcome = run_chunked(s, 64);
+  EXPECT_EQ(outcome.status, SessionStatus::kAccepted);
+  EXPECT_EQ(outcome.final_model, reference.final_model);
+  EXPECT_GT(outcome.total_retries, 0);
+  EXPECT_GT(outcome.faults.total_faults(), 0u);
+}
+
+TEST_F(ChunkedSession, PersistentChunkLossIsTypedTimeout) {
+  // Every state chunk dropped: the first chunk leg exhausts its budget and
+  // the session reports transport timeout — not a verdict, not a crash.
+  Scenario s;
+  s.name = "chunk_blackout";
+  s.plan = fault::FaultPlan::transport({}, 42);
+  s.plan.profile(kIdxState).drop = 1.0;
+  s.retry.max_attempts = 3;
+  const SessionOutcome outcome = run_chunked(s, 64);
+  EXPECT_EQ(outcome.status, SessionStatus::kTimeout);
+  EXPECT_FALSE(outcome.accepted);
+}
+
+TEST_F(ChunkedSession, PersistentTruncationAndCorruptionAreDecodeRejected) {
+  // Chunks that always arrive mangled fail their framing/digest check every
+  // attempt; exhaustion through NACKs is the typed decode rejection. Sweep
+  // both legs (download of the global state, upload of the update).
+  for (const int target : {kIdxState, kIdxUpdate}) {
+    for (const bool truncate : {true, false}) {
+      SCOPED_TRACE(target);
+      SCOPED_TRACE(truncate);
+      Scenario s;
+      s.name = "chunk_mangled";
+      s.plan = fault::FaultPlan::transport({}, 43);
+      if (truncate) {
+        s.plan.profile(target).truncate = 1.0;
+      } else {
+        s.plan.profile(target).corrupt = 1.0;
+      }
+      s.retry.max_attempts = 3;
+      const SessionOutcome outcome = run_chunked(s, 64);
+      EXPECT_EQ(outcome.status, SessionStatus::kDecodeRejected);
+      EXPECT_FALSE(outcome.accepted);
+    }
+  }
+}
+
+TEST_F(ChunkedSession, MiddleChunkFaultSweepNeverAcceptsTornState) {
+  // Seed sweep over a plan hostile to state chunks (drop + truncate +
+  // duplicate at rates that overwhelm a 2-attempt budget on SOME middle
+  // chunk most runs): every outcome must carry a typed status, and any
+  // accepted run must reproduce the lossless model bits exactly — the
+  // assembler's ordered offsets make a torn accept structurally impossible,
+  // and this pins it end to end.
+  Scenario lossless;
+  lossless.name = "reference";
+  lossless.has_plan = false;
+  const SessionOutcome reference = run_chunked(lossless, 48);
+
+  int failed = 0;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    Scenario s;
+    s.name = "chunk_fault_sweep";
+    s.plan = fault::FaultPlan::transport({}, seed * 7919);
+    s.plan.profile(kIdxState).drop = 0.25;
+    s.plan.profile(kIdxState).truncate = 0.15;
+    s.plan.profile(kIdxUpdate).drop = 0.25;
+    s.plan.profile(kIdxUpdate).duplicate = 0.20;
+    s.retry.max_attempts = 2;
+    const SessionOutcome outcome = run_chunked(s, 48);
+    switch (outcome.status) {
+      case SessionStatus::kAccepted:
+        EXPECT_TRUE(outcome.accepted);
+        EXPECT_EQ(outcome.final_model, reference.final_model)
+            << "seed " << seed << " accepted a torn state";
+        break;
+      case SessionStatus::kTimeout:
+      case SessionStatus::kDecodeRejected:
+        ++failed;
+        EXPECT_FALSE(outcome.accepted);
+        EXPECT_TRUE(outcome.final_model.empty());
+        break;
+      case SessionStatus::kVerdictRejected:
+        ADD_FAILURE() << "transport faults must not produce a verdict "
+                         "against an honest worker (seed "
+                      << seed << ")";
+        break;
+    }
+  }
+  // The sweep must actually exercise the failure path (the rates above
+  // guarantee it overwhelmingly; a silent all-accept would mean the plan
+  // never touched a chunk).
+  EXPECT_GT(failed, 0);
+}
+
+// ---------------------------------------------------------------------------
 // Pool-level graceful degradation.
 
 struct PoolDegradation : public ::testing::Test {

@@ -588,5 +588,126 @@ TEST(TrainingDeterminism, HealthScoredPoolRunIsBitwiseIdentical) {
   EXPECT_GT(observed.scores[2], 50.0);
 }
 
+// Bounded-memory epochs are the final piece of the write-only contract: a
+// streaming pool run — checkpoints hashed into CommitmentBuilders as they
+// are produced and spilled to disk under a hot-cache budget smaller than
+// one worker's trace, verification fetching sampled states back through the
+// stores, all under a live RssSampler — must be bitwise identical to the
+// materialize-everything path: same global model floats, same accuracy,
+// same verdicts and evictions, same WAN bytes. And it must hold at 1 and 4
+// intra-op threads (§6: thread-count invariance composes with streaming).
+TEST(TrainingDeterminism, StreamedPoolRunIsBitwiseIdentical) {
+  auto run_pool = [](bool streaming, int threads) {
+    const ThreadGuard guard;
+    runtime::set_threads(threads);
+    obs::set_enabled(true);
+    obs::Registry::instance().reset();
+    obs::mem_reset();
+    obs::RssSampler rss{std::chrono::milliseconds(1)};
+
+    const testing::TinyTask task = testing::TinyTask::make(61, 10, 3);
+    const data::TrainTestSplit split =
+        data::train_test_split(task.dataset, 0.25, 17);
+    core::PoolConfig cfg;
+    cfg.scheme = core::Scheme::kRPoLv2;
+    cfg.hp = task.hp;
+    cfg.epochs = 3;
+    cfg.samples_q = 3;
+    cfg.seed = 71;
+    cfg.eviction_threshold = 2;
+    cfg.compact_commitments = true;  // exercise the streamed O(log n) roots
+    cfg.streaming = streaming;
+    // Small enough that eviction/spill actually happens every epoch (a
+    // TinyTask checkpoint serializes to ~3 KiB; 5 checkpoints per trace).
+    cfg.ckpt_budget_bytes = streaming ? 8 * 1024 : 0;
+    std::vector<core::WorkerSpec> workers;
+    const auto devices = sim::all_devices();
+    for (std::size_t w = 0; w < 3; ++w) {
+      core::WorkerSpec spec;
+      // One replay adversary so the comparison covers real verdict and
+      // eviction decisions, and the base-policy streaming fallback.
+      spec.policy =
+          w == 0 ? std::unique_ptr<core::WorkerPolicy>(
+                       std::make_unique<core::ReplayPolicy>())
+                 : std::unique_ptr<core::WorkerPolicy>(
+                       std::make_unique<core::HonestPolicy>());
+      spec.device = devices[w % devices.size()];
+      workers.push_back(std::move(spec));
+    }
+    core::MiningPool pool(cfg, task.factory, task.dataset, split.test,
+                          std::move(workers));
+    const core::PoolRunReport report = pool.run();
+
+    struct Result {
+      std::vector<float> model;
+      double final_accuracy = 0.0;
+      std::uint64_t total_bytes = 0;
+      std::vector<bool> evicted;
+      std::vector<std::vector<bool>> accepted;  // per epoch
+      std::vector<double> epoch_accuracy;
+      std::uint64_t ckpt_peak_bytes = 0;
+      std::uint64_t ckpt_total_bytes = 0;
+      bool rss_sampled = false;
+    };
+    Result r;
+    r.model = pool.global_model();
+    r.final_accuracy = report.final_accuracy;
+    r.total_bytes = report.total_bytes;
+    for (std::size_t w = 0; w < 3; ++w) {
+      r.evicted.push_back(pool.health().evicted(w));
+    }
+    for (const auto& epoch : report.epochs) {
+      r.accepted.push_back(epoch.accepted);
+      r.epoch_accuracy.push_back(epoch.test_accuracy);
+    }
+    r.ckpt_peak_bytes = obs::mem_stats(obs::MemTag::kCkptStore).peak_bytes;
+    r.ckpt_total_bytes = obs::mem_stats(obs::MemTag::kCkptStore).total_bytes;
+    rss.stop();
+    r.rss_sampled = rss.summary().valid && rss.summary().samples > 0;
+    obs::set_enabled(false);
+    obs::Registry::instance().reset();
+    obs::mem_reset();
+    return r;
+  };
+
+  const auto memory_1t = run_pool(false, 1);
+  const auto streamed_1t = run_pool(true, 1);
+  const auto memory_4t = run_pool(false, 4);
+  const auto streamed_4t = run_pool(true, 4);
+
+  // The streamed runs really streamed: hot checkpoint bytes were charged to
+  // the ckptstore tag and pinned under the configured budget — per worker
+  // store, so the global tag peaks at most at workers x budget (the
+  // single-store bound is tests/core_ckptstore_test.cpp's job) — while the
+  // in-memory runs never touched the tag.
+  EXPECT_GT(streamed_1t.ckpt_total_bytes, 0U);
+  EXPECT_LE(streamed_1t.ckpt_peak_bytes, 3U * 8U * 1024U);
+  EXPECT_EQ(memory_1t.ckpt_total_bytes, 0U);
+#ifdef __linux__
+  EXPECT_TRUE(streamed_1t.rss_sampled);
+#endif
+
+  // Bitwise equivalence, in-memory vs streamed, at each thread count.
+  const auto expect_same = [](const auto& a, const auto& b) {
+    EXPECT_EQ(a.model, b.model);
+    EXPECT_EQ(a.final_accuracy, b.final_accuracy);
+    EXPECT_EQ(a.total_bytes, b.total_bytes);
+    EXPECT_EQ(a.evicted, b.evicted);
+    EXPECT_EQ(a.accepted, b.accepted);
+    EXPECT_EQ(a.epoch_accuracy, b.epoch_accuracy);
+  };
+  expect_same(memory_1t, streamed_1t);
+  expect_same(memory_4t, streamed_4t);
+  // ...and across thread counts (the full 2x2 grid collapses to one result).
+  expect_same(memory_1t, memory_4t);
+
+  // The adversary was rejected and evicted in every configuration.
+  EXPECT_TRUE(streamed_1t.evicted[0]);
+  EXPECT_FALSE(streamed_1t.evicted[1]);
+  ASSERT_FALSE(streamed_1t.accepted.empty());
+  EXPECT_FALSE(streamed_1t.accepted[0][0]);
+  EXPECT_TRUE(streamed_1t.accepted[0][1]);
+}
+
 }  // namespace
 }  // namespace rpol

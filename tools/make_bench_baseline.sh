@@ -3,9 +3,10 @@
 # seeds the performance trajectory (`rpol bench-diff BENCH_baseline.json ...`).
 #
 # Only the two smoke-shape benches feed the baseline (the full suite takes
-# minutes): bench_micro's kernel + crypto/commitment harnesses (wall-clock
-# GFLOP/s, SHA/commit throughput and speedups) and bench_table3's
-# deterministic cost-model rows. Both write into the same file via
+# minutes): bench_micro's kernel, crypto/commitment, blocked-layout conv, and
+# streaming-checkpoint harnesses (wall-clock GFLOP/s, SHA/commit throughput,
+# direct-vs-fallback speedups, and core.stream.* bounded-memory rows) and
+# bench_table3's deterministic cost-model rows. Both write into the same file via
 # RPOL_BENCH_FILE; BenchRecorder overlay-merges on write. Every record's env
 # now carries peak_rss_bytes (VmHWM at record time), so a regenerated
 # baseline lets `rpol bench-diff --mem-tolerance 0.xx` gate memory too.

@@ -1,15 +1,18 @@
 #!/usr/bin/env bash
-# Tier-1 verification: configure, build, and run the full test suite in five
+# Tier-1 verification: configure, build, and run the full test suite in six
 # passes — (1) pinned to a single compute thread, (2) RPOL_THREADS unset
-# (pool defaults to hardware_concurrency), (3) RPOL_TRACE=1, then (4) and (5)
-# under AddressSanitizer and UndefinedBehaviorSanitizer in separate build
-# trees. All passes must be green: the runtime's determinism contract says
-# neither thread count nor tracing can ever change results, and the
-# fault-injection/fuzz suites push hostile bytes through every decoder, so
-# memory or UB findings anywhere are real bugs, not flakiness.
+# (pool defaults to hardware_concurrency), (3) RPOL_TRACE=1, (4) a
+# bounded-memory pass with RPOL_CKPT_BUDGET squeezed to a few KiB so the
+# checkpoint stores spill and evict constantly, then (5) and (6) under
+# AddressSanitizer and UndefinedBehaviorSanitizer in separate build trees.
+# All passes must be green: the runtime's determinism contract says neither
+# thread count, tracing, nor the checkpoint-store budget can ever change
+# results, and the fault-injection/fuzz suites push hostile bytes through
+# every decoder, so memory or UB findings anywhere are real bugs, not
+# flakiness.
 #
 # Usage: tools/run_tier1.sh [build-dir]   (default: build)
-# Set RPOL_SKIP_SANITIZERS=1 to run only the three fast passes.
+# Set RPOL_SKIP_SANITIZERS=1 to run only the four fast passes.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -18,20 +21,28 @@ BUILD_DIR="${1:-build}"
 cmake -B "$BUILD_DIR" -S .
 cmake --build "$BUILD_DIR" -j "$(nproc)"
 
-echo "==> tier-1 pass 1/5: RPOL_THREADS=1"
+echo "==> tier-1 pass 1/6: RPOL_THREADS=1"
 (cd "$BUILD_DIR" && RPOL_THREADS=1 ctest --output-on-failure -j "$(nproc)")
 
-echo "==> tier-1 pass 2/5: RPOL_THREADS unset (default thread count)"
+echo "==> tier-1 pass 2/6: RPOL_THREADS unset (default thread count)"
 (cd "$BUILD_DIR" && env -u RPOL_THREADS ctest --output-on-failure -j "$(nproc)")
 
-echo "==> tier-1 pass 3/5: RPOL_TRACE=1 (tracing on; results must not change)"
+echo "==> tier-1 pass 3/6: RPOL_TRACE=1 (tracing on; results must not change)"
 (cd "$BUILD_DIR" && RPOL_TRACE=1 ctest --output-on-failure -j "$(nproc)")
+
+echo "==> tier-1 pass 4/6: RPOL_CKPT_BUDGET=4096 (hot cache squeezed to one"
+echo "    checkpoint; streaming suites must stay bitwise identical)"
+(cd "$BUILD_DIR" && RPOL_CKPT_BUDGET=4096 ctest --output-on-failure \
+  -R 'core_ckptstore_test|runtime_determinism_test|core_commitment_golden_test' \
+  -j "$(nproc)")
 
 # Advisory regression check against the committed benchmark baseline: the
 # cost-model rows are deterministic, so only genuine protocol-cost changes
 # (or a stale baseline — regenerate with tools/make_bench_baseline.sh) move
-# them, the crypto/commitment harness covers the hashing hot path, and the
-# blocked-layout conv harness covers the direct-vs-fallback speedup rows.
+# them, the crypto/commitment harness covers the hashing hot path, the
+# blocked-layout conv harness covers the direct-vs-fallback speedup rows,
+# and the streaming harness covers the bounded-memory checkpoint pipeline
+# (its core.stream.* rows carry peak RSS, which --mem-tolerance compares).
 # Advisory because wall-clock rows vary across machines. --mem-tolerance adds
 # an advisory peak-RSS comparison on records where both sides carry the
 # memory column (old baselines without it are simply not compared).
@@ -44,24 +55,26 @@ if [[ -f BENCH_baseline.json ]]; then
     ./bench/bench_micro --crypto-only >/dev/null)
   (cd "$BUILD_DIR" && RPOL_BENCH_FILE=BENCH_current.json \
     ./bench/bench_micro --layout-only >/dev/null)
+  (cd "$BUILD_DIR" && RPOL_BENCH_FILE=BENCH_current.json \
+    ./bench/bench_micro --stream-only >/dev/null)
   "$BUILD_DIR/tools/rpol" bench-diff BENCH_baseline.json \
     "$BUILD_DIR/BENCH_current.json" --tolerance 0.35 --mem-tolerance 0.50 \
     || echo "==> advisory bench-diff flagged deltas (non-fatal)"
 fi
 
 if [[ "${RPOL_SKIP_SANITIZERS:-0}" == "1" ]]; then
-  echo "==> tier-1 OK: three fast configurations green (sanitizers skipped)"
+  echo "==> tier-1 OK: four fast configurations green (sanitizers skipped)"
   exit 0
 fi
 
-echo "==> tier-1 pass 4/5: AddressSanitizer (RPOL_SANITIZE=address)"
+echo "==> tier-1 pass 5/6: AddressSanitizer (RPOL_SANITIZE=address)"
 cmake -B "${BUILD_DIR}-asan" -S . -DRPOL_SANITIZE=address
 cmake --build "${BUILD_DIR}-asan" -j "$(nproc)"
 (cd "${BUILD_DIR}-asan" && ctest --output-on-failure -j "$(nproc)")
 
-echo "==> tier-1 pass 5/5: UndefinedBehaviorSanitizer (RPOL_SANITIZE=undefined)"
+echo "==> tier-1 pass 6/6: UndefinedBehaviorSanitizer (RPOL_SANITIZE=undefined)"
 cmake -B "${BUILD_DIR}-ubsan" -S . -DRPOL_SANITIZE=undefined
 cmake --build "${BUILD_DIR}-ubsan" -j "$(nproc)"
 (cd "${BUILD_DIR}-ubsan" && ctest --output-on-failure -j "$(nproc)")
 
-echo "==> tier-1 OK: all five configurations green"
+echo "==> tier-1 OK: all six configurations green"
