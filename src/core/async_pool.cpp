@@ -4,6 +4,8 @@
 #include <stdexcept>
 
 #include "data/partition.h"
+#include "obs/alerts.h"
+#include "obs/live.h"
 #include "obs/obs.h"
 
 namespace rpol::core {
@@ -133,6 +135,10 @@ AsyncRunReport AsyncMiningPool::run() {
       obs::count(!delivered ? "async.lost"
                             : (accepted ? "async.applied" : "async.rejected"),
                  1);
+      if (!delivered) {
+        obs::flight_record(obs::FlightKind::kFault, "async.lost",
+                           static_cast<std::int64_t>(w), tick);
+      }
 
       if (accepted) {
         const double discount = config_.eta *
@@ -160,8 +166,13 @@ AsyncRunReport AsyncMiningPool::run() {
       outcome.accepted = accepted;
       outcome.retransmissions = submission_retrans;
       outcome.latency_ns = obs::now_ns() - submission_start_ns;
+      obs::observe("async.submission_latency_ns", outcome.latency_ns);
       if (health_.record(w, outcome)) {
         obs::count("async.eviction", 1);
+        obs::flight_record(obs::FlightKind::kEviction, "async.eviction",
+                           static_cast<std::int64_t>(w), tick);
+        obs::dump_flight_record();
+        obs::live_publish_health(health_);
         continue;  // never re-arms; finish_tick stays in the past
       }
 
@@ -175,6 +186,9 @@ AsyncRunReport AsyncMiningPool::run() {
     obs::Span eval_span("evaluate", obs::TraceContext{}, /*worker=*/-1, tick);
     manager_executor_.load_state(current_state());
     report.accuracy_curve.push_back(manager_executor_.evaluate(test_));
+    // End of a scheduler tick is the async pool's deterministic safe point
+    // for publishing health rows to the live flusher.
+    obs::live_publish_health(health_);
   }
   for (std::size_t w = 0; w < workers_.size(); ++w) {
     report.evicted_workers += health_.evicted(w) ? 1 : 0;

@@ -6,6 +6,8 @@
 
 #include "core/ckptstore.h"
 #include "data/partition.h"
+#include "obs/alerts.h"
+#include "obs/live.h"
 #include "obs/obs.h"
 
 namespace rpol::core {
@@ -109,6 +111,7 @@ EpochReport MiningPool::run_epoch(std::int64_t epoch) {
   // Roots this epoch's causal tree: every span below (manager or worker
   // side) carries epoch_span.id() as its trace id.
   obs::Span epoch_span("epoch", obs::TraceContext{}, /*worker=*/-1, epoch);
+  obs::flight_record(obs::FlightKind::kMark, "epoch.begin", -1, epoch);
   EpochReport report;
   report.epoch = epoch;
   report.participated.assign(workers_.size(), true);
@@ -176,6 +179,8 @@ EpochReport MiningPool::run_epoch(std::int64_t epoch) {
     }
     ++report.session_failures;
     obs::count("pool.session_failure", 1);
+    obs::flight_record(obs::FlightKind::kFault, "pool.session_failure",
+                       static_cast<std::int64_t>(w), epoch);
     return false;
   };
 
@@ -429,9 +434,20 @@ EpochReport MiningPool::run_epoch(std::int64_t epoch) {
     outcome.retransmissions = worker_retrans[w];
     if (worker_end_ns[w] > worker_start_ns[w] && worker_start_ns[w] != 0) {
       outcome.latency_ns = worker_end_ns[w] - worker_start_ns[w];
+      obs::observe("pool.session_latency_ns", outcome.latency_ns);
     }
-    if (health_.record(w, outcome)) obs::count("pool.eviction", 1);
+    if (health_.record(w, outcome)) {
+      obs::count("pool.eviction", 1);
+      // An eviction is exactly the forensic moment the flight recorder
+      // exists for: mark it, then persist the ring.
+      obs::flight_record(obs::FlightKind::kEviction, "pool.eviction",
+                         static_cast<std::int64_t>(w), epoch);
+      obs::dump_flight_record();
+    }
   }
+  // Publish a by-value copy of the health rows for the live flusher (a
+  // deterministic safe point: the registry is quiescent between epochs).
+  obs::live_publish_health(health_);
   report.evicted.resize(workers_.size());
   for (std::size_t w = 0; w < workers_.size(); ++w) {
     report.evicted[w] = health_.evicted(w);
@@ -478,6 +494,8 @@ EpochReport MiningPool::run_epoch(std::int64_t epoch) {
   report.bytes_this_epoch = network_.total_bytes();
   epoch_span.attr("session_failures", report.session_failures);
   epoch_span.attr("evicted", report.evicted_count);
+  obs::flight_record(obs::FlightKind::kMark, "epoch.end", -1, epoch,
+                     report.bytes_this_epoch);
   return report;
 }
 

@@ -3,6 +3,7 @@
 #include <functional>
 #include <stdexcept>
 
+#include "obs/alerts.h"
 #include "obs/mem.h"
 #include "obs/obs.h"
 
@@ -36,7 +37,7 @@ static_assert(kNumMessageTypes <= fault::kMaxMessageTypes,
 namespace {
 
 void mirror_to_registry(MessageType type, std::uint64_t bytes) {
-  if (!obs::enabled()) return;
+  if (!obs::telemetry_enabled()) return;
   obs::counter(std::string("bytes.") + message_type_name(type)).add(bytes);
 }
 
@@ -126,6 +127,11 @@ struct ExchangeDriver {
     obs::count(std::string("session.fail.") +
                    session_status_name(outcome.status),
                1);
+    // A hard-failed exchange is a forensic moment: record it and persist
+    // the flight ring so the tail of events that led here survives.
+    obs::flight_record(obs::FlightKind::kFault,
+                       session_status_name(outcome.status));
+    obs::dump_flight_record();
     return std::nullopt;
   }
 };

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/alerts.h"
 #include "obs/obs.h"
 
 namespace rpol::core {
@@ -14,6 +15,8 @@ namespace {
 // accept/reject decision.
 void record_verdict(const VerifyResult& result) {
   obs::count(result.accepted ? "verify.accept" : "verify.reject", 1);
+  obs::flight_record(obs::FlightKind::kMark,
+                     result.accepted ? "verify.accept" : "verify.reject");
   if (!result.accepted) {
     obs::count(std::string("verify.reject.") +
                    verify_failure_name(result.failure),

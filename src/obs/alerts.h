@@ -1,0 +1,200 @@
+// Online anomaly alerts + crash flight recorder: the "tell me while it
+// runs, and leave a tail when it dies" half of live telemetry (live.h).
+//
+// AlertEngine evaluates a fixed rule set over the windowed observations the
+// live flusher assembles each tick — verdict reject-rate drift against a
+// trailing baseline, session p95 latency burn, retransmission spikes, RSS
+// slope, and per-worker health-score drops — and returns typed Alert events
+// (schema "rpol.alert.v1" when serialized into the live stream) carrying
+// severity and the triggering window values. The engine is deterministic
+// given its tick inputs: all trailing state (EWMA baselines, previous
+// health rows) lives inside the engine, so rules are unit-testable without
+// threads or clocks.
+//
+// FlightRecorder is a fixed-size lock-light ring of the last
+// kFlightCapacity span-close / fault / eviction / alert / mark events.
+// Recording is a few relaxed atomics plus a bounded memcpy into a
+// preallocated POD slot (per-slot seqlock so readers skip torn entries);
+// no allocation, no mutex, safe from any thread and — via the manual
+// integer formatting in dump paths — from a fatal-signal handler.
+// obs::dump_flight_record() writes the ring as JSONL; pools call it on
+// worker eviction, sessions on hard failure, and install_flight_signal_
+// handler() wires SIGSEGV/SIGABRT/SIGBUS/SIGFPE to an async-signal-safe
+// dump, so a crash or byzantine blow-up leaves forensics even with
+// tracing off.
+//
+// Determinism contract: identical to obs.h — write-only, decision-blind.
+// No alert, severity, or flight event is ever read back by protocol code;
+// eviction stays the HealthRegistry's consecutive-strikes rule, alerts
+// merely narrate it. Every entry point is gated on live_enabled() (one
+// relaxed atomic), so a run without RPOL_LIVE pays a single load.
+
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rpol::obs {
+
+// ---------------------------------------------------------------------------
+// Flight recorder
+
+enum class FlightKind : int {
+  kMark = 0,   // epoch/tick boundaries, verdicts, free-form breadcrumbs
+  kSpanClose,  // a traced span completed (only while tracing is also on)
+  kFault,      // session hard-failure, lost submission, delivery fault
+  kEviction,   // health registry evicted a worker
+  kAlert,      // alert engine fired a rule
+};
+
+// Stable lowercase name ("mark", "span", "fault", "eviction", "alert").
+const char* flight_kind_name(FlightKind kind);
+
+struct FlightEvent {
+  std::uint64_t t_ns = 0;  // obs::now_ns() at record time
+  FlightKind kind = FlightKind::kMark;
+  std::int64_t worker = -1;
+  std::int64_t epoch = -1;
+  std::uint64_t value = 0;
+  // Fixed-width label; longer inputs are truncated. POD so recording never
+  // allocates and a signal-time dump never touches the heap.
+  char what[48] = {};
+};
+
+inline constexpr std::size_t kFlightCapacity = 4096;
+
+// Appends one event to the ring when live_enabled(); otherwise one relaxed
+// load and out. Lock-free, allocation-free, bounded-copy.
+void flight_record(FlightKind kind, std::string_view what,
+                   std::int64_t worker = -1, std::int64_t epoch = -1,
+                   std::uint64_t value = 0);
+
+// Total events ever recorded (the ring keeps the last kFlightCapacity).
+std::uint64_t flight_count();
+
+// Consistent copy of the ring, oldest first. Entries a writer is mid-way
+// through are skipped rather than returned torn.
+std::vector<FlightEvent> flight_snapshot();
+
+// Drops all recorded events (tests / between runs).
+void flight_reset();
+
+// Writes the ring as JSONL: one meta line ("rpol.flight.v1"), then one line
+// per event, oldest first. Returns lines written.
+std::size_t dump_flight_record(std::FILE* out);
+bool dump_flight_record_file(const std::string& path);
+
+// The hook entry point: when live_enabled(), writes the ring to
+// RPOL_FLIGHT_FILE (default "rpol_flight.jsonl") and returns the path;
+// returns "" when disabled or the file cannot be opened.
+std::string dump_flight_record();
+
+// Async-signal-safe dump (open/write/close + manual formatting only) to the
+// path resolved at install time. Installed by install_flight_signal_handler
+// for SIGSEGV/SIGABRT/SIGBUS/SIGFPE; the handler dumps, restores the
+// default disposition, and re-raises. Idempotent; no-op unless
+// live_enabled() at install time.
+void install_flight_signal_handler();
+
+// ---------------------------------------------------------------------------
+// Alert engine
+
+enum class AlertSeverity : int { kInfo = 0, kWarn, kCrit };
+
+// Stable lowercase name ("info" / "warn" / "crit").
+const char* alert_severity_name(AlertSeverity severity);
+
+struct Alert {
+  std::string rule;  // "reject_rate_drift", "latency_burn", ...
+  AlertSeverity severity = AlertSeverity::kInfo;
+  double value = 0.0;      // the triggering window observation
+  double baseline = 0.0;   // trailing reference it was compared against
+  double threshold = 0.0;  // the rule's firing threshold
+  std::int64_t worker = -1;  // per-worker rules only
+  std::string message;
+};
+
+// Per-worker health row as published to the live layer (a plain copy, so
+// the flusher never touches the pool-owned HealthRegistry concurrently).
+struct LiveHealthRow {
+  std::int64_t worker = -1;
+  double score = 0.0;
+  bool evicted = false;
+  int consecutive_failures = 0;
+  std::uint64_t window_total = 0;
+  std::uint64_t window_accepted = 0;
+  std::uint64_t window_retransmissions = 0;
+};
+
+// One flusher tick's windowed observations — everything the rules may see.
+struct LiveTick {
+  std::uint64_t t_ns = 0;
+  std::uint64_t seq = 0;  // snapshot sequence number
+  // Verdict window deltas (verify.accept / verify.reject).
+  std::uint64_t accepts_delta = 0;
+  std::uint64_t rejects_delta = 0;
+  // Wire retries in the window (pool + async + session retry counters).
+  std::uint64_t retrans_delta = 0;
+  // Windowed p95 of the session-latency histogram, 0 when absent.
+  std::uint64_t latency_p95_ns = 0;
+  std::uint64_t latency_count_delta = 0;
+  // Current resident set (0 off Linux).
+  std::uint64_t rss_bytes = 0;
+  std::vector<LiveHealthRow> workers;
+};
+
+struct AlertRuleConfig {
+  // reject_rate_drift: window reject rate exceeds the trailing EWMA rate by
+  // warn/crit margins, with at least min_verdicts in the window.
+  std::uint64_t drift_min_verdicts = 3;
+  double drift_warn = 0.25;
+  double drift_crit = 0.50;
+  // Trailing-baseline smoothing shared by the EWMA rules (reject rate and
+  // latency p95). Baselines start at zero-history: the first bad window of
+  // a fresh run compares against "nothing was rejected yet", which is what
+  // makes a byzantine worker visible from epoch 0.
+  double ewma_alpha = 0.3;
+  // latency_burn: window p95 exceeds burn_factor x the trailing p95 EWMA,
+  // with at least min_latency samples in the window.
+  std::uint64_t burn_min_samples = 3;
+  double burn_warn_factor = 2.0;
+  double burn_crit_factor = 4.0;
+  // retrans_spike: retransmissions in one window reach warn/crit counts.
+  std::uint64_t retrans_warn = 8;
+  std::uint64_t retrans_crit = 32;
+  // rss_slope: RSS grew by more than warn/crit bytes since the previous
+  // tick (sustained growth re-fires each tick, which is the point).
+  std::uint64_t rss_warn_bytes = 256ull << 20;
+  std::uint64_t rss_crit_bytes = 1024ull << 20;
+  // health_drop: a worker's score fell by warn/crit points since the
+  // previous published rows; a fresh eviction is always crit.
+  double health_warn_drop = 20.0;
+  double health_crit_drop = 40.0;
+};
+
+class AlertEngine {
+ public:
+  explicit AlertEngine(AlertRuleConfig config = {});
+
+  // Evaluates every rule against one tick. Trailing baselines update AFTER
+  // comparison, so a drift is judged against history, not against itself.
+  std::vector<Alert> evaluate(const LiveTick& tick);
+
+  std::uint64_t alerts_emitted() const { return alerts_emitted_; }
+  const AlertRuleConfig& config() const { return config_; }
+
+ private:
+  AlertRuleConfig config_;
+  double reject_rate_ewma_ = 0.0;
+  bool have_latency_baseline_ = false;
+  double latency_p95_ewma_ns_ = 0.0;
+  bool have_rss_baseline_ = false;
+  std::uint64_t last_rss_bytes_ = 0;
+  std::vector<LiveHealthRow> last_workers_;
+  std::uint64_t alerts_emitted_ = 0;
+};
+
+}  // namespace rpol::obs

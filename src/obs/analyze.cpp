@@ -81,9 +81,15 @@ Trace parse_trace_jsonl(std::istream& in, bool strict) {
   std::string line;
   bool saw_meta = false;
   std::size_t line_no = 0;
+  std::size_t line_start = 0;  // byte offset of the current line
   constexpr std::size_t kMaxKeptErrors = 8;
   while (std::getline(in, line)) {
     ++line_no;
+    // getline consumed the line plus its newline unless it stopped at EOF,
+    // in which case this is a final line the writer never terminated.
+    const bool unterminated_tail = in.eof();
+    const std::size_t this_line_start = line_start;
+    line_start += line.size() + (unterminated_tail ? 0 : 1);
     if (line.empty()) continue;
     try {
       const Json obj = parse_json(line);
@@ -117,6 +123,18 @@ Trace parse_trace_jsonl(std::istream& in, bool strict) {
       const bool schema_error =
           std::string_view(e.what()).find("unknown trace schema") !=
           std::string_view::npos;
+      if (unterminated_tail && !schema_error) {
+        // Cut mid-record, not damaged: the writer crashed or is still
+        // appending. Tolerant mode reports it; strict mode pinpoints it.
+        if (strict) {
+          throw std::runtime_error(
+              "trace truncated mid-record at byte offset " +
+              std::to_string(this_line_start) + " (" + what + ")");
+        }
+        trace.truncated_tail = true;
+        trace.truncated_tail_offset = this_line_start;
+        break;
+      }
       if (strict || schema_error) throw std::runtime_error(what);
       ++trace.skipped_lines;
       if (trace.parse_errors.size() < kMaxKeptErrors) {
@@ -223,6 +241,12 @@ void print_trace_summary(const Trace& trace, std::FILE* out) {
       std::fprintf(out, "  ... and %zu more\n",
                    trace.skipped_lines - trace.parse_errors.size());
     }
+  }
+  if (trace.truncated_tail) {
+    std::fprintf(out,
+                 "WARNING: final record truncated at byte %zu (writer cut "
+                 "mid-append)\n",
+                 trace.truncated_tail_offset);
   }
   std::fprintf(out, "wall extent covered by spans: %.3f s\n", s.wall_extent_s);
 

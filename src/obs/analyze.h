@@ -43,6 +43,12 @@ struct Trace {
   // few error messages kept for diagnosis.
   std::size_t skipped_lines = 0;
   std::vector<std::string> parse_errors;  // "line N: why", capped
+  // A final line with no trailing newline that fails to parse is a write
+  // cut mid-record (a crash, or a reader racing the writer), not interior
+  // damage: tolerant mode flags it here instead of counting it skipped,
+  // and strict mode's error names the byte offset where it starts.
+  bool truncated_tail = false;
+  std::size_t truncated_tail_offset = 0;
 };
 
 // Parses one JSONL stream. A missing meta line or an unknown schema always

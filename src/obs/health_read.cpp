@@ -61,15 +61,18 @@ double HealthReport::coverage_vs_rss_growth() const {
          static_cast<double>(rss.growth_bytes);
 }
 
-HealthReport parse_health_jsonl(std::string_view text) {
+HealthReport parse_health_jsonl(std::string_view text, bool strict) {
+  constexpr std::size_t kMaxKeptErrors = 8;
   HealthReport report;
   std::size_t line_no = 0;
   std::size_t pos = 0;
   while (pos < text.size()) {
+    const std::size_t line_start = pos;
     std::size_t end = text.find('\n', pos);
-    if (end == std::string_view::npos) end = text.size();
+    const bool has_newline = end != std::string_view::npos;
+    if (!has_newline) end = text.size();
     const std::string_view line = text.substr(pos, end - pos);
-    pos = end + 1;
+    pos = has_newline ? end + 1 : text.size();
     ++line_no;
     if (line.find_first_not_of(" \t\r") == std::string_view::npos) continue;
 
@@ -77,8 +80,29 @@ HealthReport parse_health_jsonl(std::string_view text) {
     try {
       obj = parse_json(line);
     } catch (const std::exception& e) {
-      throw std::runtime_error("health line " + std::to_string(line_no) +
-                               ": " + e.what());
+      if (!has_newline) {
+        // Final line cut mid-record: the exporter crashed or a reader is
+        // racing the writer — not interior corruption.
+        if (strict) {
+          throw std::runtime_error(
+              "health export truncated mid-record at byte offset " +
+              std::to_string(line_start) + " (line " +
+              std::to_string(line_no) + "): " + e.what());
+        }
+        report.truncated_tail = true;
+        report.truncated_tail_offset = line_start;
+        break;
+      }
+      if (strict) {
+        throw std::runtime_error("health line " + std::to_string(line_no) +
+                                 ": " + e.what());
+      }
+      ++report.skipped_lines;
+      if (report.parse_errors.size() < kMaxKeptErrors) {
+        report.parse_errors.push_back("line " + std::to_string(line_no) +
+                                      ": " + e.what());
+      }
+      continue;
     }
     const std::string type = string_field(obj, "type");
     if (type == "meta") {
@@ -112,12 +136,12 @@ HealthReport parse_health_jsonl(std::string_view text) {
   return report;
 }
 
-HealthReport load_health_file(const std::string& path) {
+HealthReport load_health_file(const std::string& path, bool strict) {
   std::ifstream in(path, std::ios::binary);
   if (!in) throw std::runtime_error("cannot open health file: " + path);
   std::ostringstream buf;
   buf << in.rdbuf();
-  return parse_health_jsonl(buf.str());
+  return parse_health_jsonl(buf.str(), strict);
 }
 
 namespace {
@@ -146,6 +170,19 @@ void print_health_report(const HealthReport& report, std::FILE* out) {
   std::fprintf(out, "health report (%s), %zu worker(s), threshold %d\n",
                report.schema.empty() ? "unknown schema" : report.schema.c_str(),
                report.workers.size(), report.eviction_threshold);
+  if (report.skipped_lines > 0) {
+    std::fprintf(out, "  WARNING: skipped %zu malformed line%s\n",
+                 report.skipped_lines, report.skipped_lines == 1 ? "" : "s");
+    for (const std::string& err : report.parse_errors) {
+      std::fprintf(out, "    %s\n", err.c_str());
+    }
+  }
+  if (report.truncated_tail) {
+    std::fprintf(out,
+                 "  WARNING: final record truncated at byte %zu (writer cut "
+                 "mid-append)\n",
+                 report.truncated_tail_offset);
+  }
 
   if (!report.workers.empty()) {
     std::fprintf(out,

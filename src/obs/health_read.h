@@ -39,6 +39,14 @@ struct HealthReport {
   RssSampler::Summary rss;  // rss.valid == false when the line was absent
   bool has_rss = false;
 
+  // Tolerant-mode damage report (same shape as analyze.h's Trace): damaged
+  // interior lines are skipped and counted; an unparseable final line with
+  // no trailing newline is a write cut mid-record and is flagged apart.
+  std::size_t skipped_lines = 0;
+  std::vector<std::string> parse_errors;  // "line N: why", capped
+  bool truncated_tail = false;
+  std::size_t truncated_tail_offset = 0;
+
   // Sum of per-tag peak bytes: the instrumented ceiling to compare against
   // sampled RSS growth.
   std::uint64_t tagged_peak_total() const;
@@ -48,10 +56,11 @@ struct HealthReport {
 };
 
 // Parses an rpol.health.v1 JSONL document. Unknown line types are skipped
-// (forward compatibility); malformed JSON throws std::runtime_error with
-// the offending line number.
-HealthReport parse_health_jsonl(std::string_view text);
-HealthReport load_health_file(const std::string& path);
+// (forward compatibility). Damaged lines are skipped-and-counted by
+// default; with strict=true they throw std::runtime_error naming the line
+// number — or, for a truncated final line, the byte offset.
+HealthReport parse_health_jsonl(std::string_view text, bool strict = false);
+HealthReport load_health_file(const std::string& path, bool strict = false);
 
 // Human-readable summary used by `rpol health`.
 void print_health_report(const HealthReport& report, std::FILE* out);

@@ -1,0 +1,95 @@
+// Live telemetry: a background flusher that appends one "rpol.live.v1"
+// JSONL snapshot per interval — windowed counter/histogram deltas and
+// rates (window.h rings over the registry's cumulative metrics), the
+// per-tag memory breakdown (mem.h), an RSS sample, and the most recently
+// published per-worker health rows — plus the alert lines the AlertEngine
+// (alerts.h) derives from those same windows.
+//
+// The flusher is a pure READER of telemetry state: it samples the
+// registry's atomics under the reset seqlock (obs::stable_telemetry_read),
+// keeps its windows privately, and writes only to its own file. Protocol
+// code never sees it; a run with the flusher on is bitwise identical to a
+// run without (runtime_determinism_test proves it). Pools hand it health
+// rows by value via live_publish_health() at safe points (end of epoch /
+// tick), so it never touches a pool-owned HealthRegistry concurrently.
+//
+// Enablement mirrors tracing: RPOL_LIVE=1 turns the surface on (one
+// relaxed atomic when off), RPOL_LIVE_INTERVAL_MS sets the cadence
+// (default 1000), RPOL_LIVE_FILE the sink (default "rpol_live.jsonl").
+// maybe_start_live() bundles the policy: start a flusher and install the
+// flight-recorder signal handler iff live_enabled(). Schema:
+// docs/observability.md §live.
+
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obs/alerts.h"
+#include "obs/health.h"
+
+namespace rpol::obs {
+
+// RPOL_LIVE_INTERVAL_MS (default 1000; values < 1 clamp to 1). Read per
+// call so tests can setenv between runs.
+std::uint64_t live_interval_ms();
+
+// RPOL_LIVE_FILE, or `default_path` when unset/empty.
+std::string live_file_path(const std::string& default_path);
+
+// ---------------------------------------------------------------------------
+// Health publication: pools copy their HealthRegistry into this process-wide
+// slot at deterministic safe points; the flusher reads the copy. No-op (one
+// relaxed atomic) unless live_enabled().
+
+void live_publish_health(const HealthRegistry& reg);
+std::vector<LiveHealthRow> live_health_rows();
+void live_reset_health();  // tests / between runs
+
+// ---------------------------------------------------------------------------
+// LiveFlusher
+
+class LiveFlusher {
+ public:
+  struct Options {
+    std::string path = "rpol_live.jsonl";
+    std::chrono::milliseconds interval{1000};
+    // Ring capacity of every counter/histogram window (ticks of history
+    // behind the rolling deltas/percentiles).
+    std::size_t window_capacity = 16;
+    AlertRuleConfig rules;
+  };
+
+  // Opens the file, writes the meta line, starts the flusher thread.
+  explicit LiveFlusher(Options options);
+  ~LiveFlusher();  // implies stop()
+  LiveFlusher(const LiveFlusher&) = delete;
+  LiveFlusher& operator=(const LiveFlusher&) = delete;
+
+  // Joins the thread after one final flush; idempotent.
+  void stop();
+
+  // Synchronous tick from the calling thread (tests, `--once` style use);
+  // serialized with the background thread's ticks.
+  void flush_now();
+
+  bool ok() const;  // false when the sink could not be opened
+  const std::string& path() const;
+  std::uint64_t snapshots_written() const;
+  std::uint64_t alerts_emitted() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+// When live_enabled(): installs the flight signal handler and returns a
+// running flusher aimed at live_file_path(default_path) with the env
+// cadence. Returns nullptr when disabled (the caller keeps the unique_ptr
+// alive for the run and lets it stop on scope exit).
+std::unique_ptr<LiveFlusher> maybe_start_live(const std::string& default_path);
+
+}  // namespace rpol::obs

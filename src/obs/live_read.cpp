@@ -1,0 +1,315 @@
+#include "obs/live_read.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "obs/json.h"
+
+namespace rpol::obs {
+
+namespace {
+
+constexpr std::size_t kMaxKeptErrors = 8;
+
+std::uint64_t u64_field(const Json& obj, std::string_view key) {
+  const Json* v = obj.find(key);
+  return v != nullptr ? v->as_u64() : 0;
+}
+
+std::int64_t i64_field(const Json& obj, std::string_view key,
+                       std::int64_t fallback) {
+  const Json* v = obj.find(key);
+  return v != nullptr ? v->as_i64() : fallback;
+}
+
+double double_field(const Json& obj, std::string_view key) {
+  const Json* v = obj.find(key);
+  return v != nullptr ? v->as_double() : 0.0;
+}
+
+bool bool_field(const Json& obj, std::string_view key) {
+  const Json* v = obj.find(key);
+  return v != nullptr && v->kind == Json::Kind::kBool && v->b;
+}
+
+std::string string_field(const Json& obj, std::string_view key) {
+  const Json* v = obj.find(key);
+  return (v != nullptr && v->kind == Json::Kind::kString) ? v->token
+                                                          : std::string();
+}
+
+void parse_snapshot_line(const Json& obj, LiveDoc& doc) {
+  LiveSnapshot snap;
+  snap.seq = u64_field(obj, "seq");
+  snap.t_ns = u64_field(obj, "t_ns");
+  if (const Json* counters = obj.find("counters"); counters != nullptr) {
+    for (const auto& [name, v] : counters->obj) {
+      LiveCounterRow row;
+      row.name = name;
+      row.total = u64_field(v, "total");
+      row.delta = u64_field(v, "delta");
+      row.rate = double_field(v, "rate");
+      snap.counters.push_back(std::move(row));
+    }
+  }
+  if (const Json* hists = obj.find("histograms"); hists != nullptr) {
+    for (const auto& [name, v] : hists->obj) {
+      LiveHistogramRow row;
+      row.name = name;
+      row.count = u64_field(v, "count");
+      row.delta = u64_field(v, "delta");
+      row.p50 = u64_field(v, "p50");
+      row.p95 = u64_field(v, "p95");
+      row.max = u64_field(v, "max");
+      snap.histograms.push_back(std::move(row));
+    }
+  }
+  if (const Json* mem = obj.find("mem"); mem != nullptr) {
+    for (const auto& [tag, v] : mem->obj) {
+      LiveMemRow row;
+      row.tag = tag;
+      row.current_bytes = u64_field(v, "current");
+      row.peak_bytes = u64_field(v, "peak");
+      snap.mem.push_back(std::move(row));
+    }
+  }
+  snap.rss_bytes = u64_field(obj, "rss_bytes");
+  if (const Json* workers = obj.find("workers"); workers != nullptr) {
+    for (const Json& w : workers->arr) {
+      LiveHealthRow row;
+      row.worker = i64_field(w, "worker", -1);
+      row.score = double_field(w, "score");
+      row.evicted = bool_field(w, "evicted");
+      row.consecutive_failures =
+          static_cast<int>(i64_field(w, "consecutive_failures", 0));
+      row.window_total = u64_field(w, "window_total");
+      row.window_accepted = u64_field(w, "window_accepted");
+      row.window_retransmissions = u64_field(w, "window_retransmissions");
+      snap.workers.push_back(row);
+    }
+  }
+  doc.snapshots.push_back(std::move(snap));
+}
+
+void parse_alert_line(const Json& obj, LiveDoc& doc) {
+  LiveAlertRow row;
+  row.seq = u64_field(obj, "seq");
+  row.t_ns = u64_field(obj, "t_ns");
+  row.rule = string_field(obj, "rule");
+  row.severity = string_field(obj, "severity");
+  row.value = double_field(obj, "value");
+  row.baseline = double_field(obj, "baseline");
+  row.threshold = double_field(obj, "threshold");
+  row.worker = i64_field(obj, "worker", -1);
+  row.message = string_field(obj, "message");
+  doc.alerts.push_back(std::move(row));
+}
+
+}  // namespace
+
+LiveDoc parse_live_jsonl(std::string_view text, bool strict) {
+  LiveDoc doc;
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    const std::size_t line_start = pos;
+    std::size_t end = text.find('\n', pos);
+    const bool has_newline = end != std::string_view::npos;
+    if (!has_newline) end = text.size();
+    const std::string_view line = text.substr(pos, end - pos);
+    pos = has_newline ? end + 1 : text.size();
+    ++line_no;
+    if (line.find_first_not_of(" \t\r") == std::string_view::npos) continue;
+
+    Json obj;
+    try {
+      obj = parse_json(line);
+    } catch (const std::exception& e) {
+      // A newline-less final line is an in-flight append (the flusher was
+      // mid-write when we read the file), not corruption.
+      if (!has_newline) {
+        if (strict) {
+          throw std::runtime_error(
+              "live stream truncated mid-record at byte offset " +
+              std::to_string(line_start) + " (line " + std::to_string(line_no) +
+              "): " + e.what());
+        }
+        doc.truncated_tail = true;
+        doc.truncated_tail_offset = line_start;
+        break;
+      }
+      if (strict) {
+        throw std::runtime_error("live line " + std::to_string(line_no) +
+                                 ": " + e.what());
+      }
+      ++doc.skipped_lines;
+      if (doc.parse_errors.size() < kMaxKeptErrors) {
+        doc.parse_errors.push_back("line " + std::to_string(line_no) + ": " +
+                                   e.what());
+      }
+      continue;
+    }
+    const std::string type = string_field(obj, "type");
+    if (type == "meta") {
+      doc.schema = string_field(obj, "schema");
+      doc.interval_ms = u64_field(obj, "interval_ms");
+      doc.window = static_cast<std::size_t>(u64_field(obj, "window"));
+    } else if (type == "snapshot") {
+      parse_snapshot_line(obj, doc);
+    } else if (type == "alert") {
+      parse_alert_line(obj, doc);
+    }
+    // Unknown types: skipped for forward compatibility.
+  }
+  return doc;
+}
+
+LiveDoc load_live_file(const std::string& path, bool strict) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open live file: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse_live_jsonl(buf.str(), strict);
+}
+
+namespace {
+
+std::string human_bytes(std::uint64_t bytes) {
+  char buf[64];
+  if (bytes >= 1024ull * 1024 * 1024) {
+    std::snprintf(buf, sizeof buf, "%.2f GiB",
+                  static_cast<double>(bytes) / (1024.0 * 1024.0 * 1024.0));
+  } else if (bytes >= 1024ull * 1024) {
+    std::snprintf(buf, sizeof buf, "%.2f MiB",
+                  static_cast<double>(bytes) / (1024.0 * 1024.0));
+  } else if (bytes >= 1024) {
+    std::snprintf(buf, sizeof buf, "%.2f KiB",
+                  static_cast<double>(bytes) / 1024.0);
+  } else {
+    std::snprintf(buf, sizeof buf, "%llu B",
+                  static_cast<unsigned long long>(bytes));
+  }
+  return buf;
+}
+
+void print_alert_row(const LiveAlertRow& alert, std::FILE* out) {
+  std::fprintf(out, "  [%-4s] seq %-4llu %-18s %s\n", alert.severity.c_str(),
+               static_cast<unsigned long long>(alert.seq), alert.rule.c_str(),
+               alert.message.c_str());
+}
+
+}  // namespace
+
+void print_live_report(const LiveDoc& doc, std::FILE* out) {
+  std::fprintf(out, "live stream (%s), %zu snapshot(s), interval %llu ms\n",
+               doc.schema.empty() ? "unknown schema" : doc.schema.c_str(),
+               doc.snapshots.size(),
+               static_cast<unsigned long long>(doc.interval_ms));
+  if (doc.snapshots.empty()) {
+    std::fprintf(out, "  (no snapshots yet)\n");
+    return;
+  }
+  const LiveSnapshot& snap = doc.snapshots.back();
+  std::fprintf(out, "  latest: seq %llu, t %.3f s, rss %s\n",
+               static_cast<unsigned long long>(snap.seq),
+               static_cast<double>(snap.t_ns) / 1e9,
+               human_bytes(snap.rss_bytes).c_str());
+
+  if (!snap.counters.empty()) {
+    std::fprintf(out, "\n  %-32s %12s %10s %10s\n", "counter", "total",
+                 "delta", "rate/tick");
+    for (const LiveCounterRow& row : snap.counters) {
+      std::fprintf(out, "  %-32s %12llu %10llu %10.2f\n", row.name.c_str(),
+                   static_cast<unsigned long long>(row.total),
+                   static_cast<unsigned long long>(row.delta), row.rate);
+    }
+  }
+
+  if (!snap.histograms.empty()) {
+    std::fprintf(out, "\n  %-32s %10s %8s %12s %12s\n", "histogram", "count",
+                 "delta", "p50", "p95");
+    for (const LiveHistogramRow& row : snap.histograms) {
+      std::fprintf(out, "  %-32s %10llu %8llu %12llu %12llu\n",
+                   row.name.c_str(),
+                   static_cast<unsigned long long>(row.count),
+                   static_cast<unsigned long long>(row.delta),
+                   static_cast<unsigned long long>(row.p50),
+                   static_cast<unsigned long long>(row.p95));
+    }
+  }
+
+  if (!snap.workers.empty()) {
+    // One worker per column: a compact strip for terminal watching.
+    std::fprintf(out, "\n  workers:");
+    for (const LiveHealthRow& row : snap.workers) {
+      const char* state = row.evicted ? "EVICTED"
+                          : row.score >= 75.0 ? "ok"
+                                              : "degraded";
+      std::fprintf(out, "  [w%lld %.0f %s]", static_cast<long long>(row.worker),
+                   row.score, state);
+    }
+    std::fprintf(out, "\n");
+  }
+
+  // Alerts belonging to the latest window (same seq), then a recent tail.
+  std::size_t active = 0;
+  for (const LiveAlertRow& alert : doc.alerts) {
+    if (alert.seq == snap.seq) ++active;
+  }
+  if (active > 0) {
+    std::fprintf(out, "\n  active alerts (this window):\n");
+    for (const LiveAlertRow& alert : doc.alerts) {
+      if (alert.seq == snap.seq) print_alert_row(alert, out);
+    }
+  } else if (!doc.alerts.empty()) {
+    std::fprintf(out, "\n  no active alerts (%zu earlier in stream)\n",
+                 doc.alerts.size());
+  }
+
+  if (doc.skipped_lines > 0) {
+    std::fprintf(out, "\n  (%zu damaged line(s) skipped)\n", doc.skipped_lines);
+  }
+  if (doc.truncated_tail) {
+    std::fprintf(out,
+                 "  (final record truncated at byte %zu — writer mid-append)\n",
+                 doc.truncated_tail_offset);
+  }
+}
+
+void print_alerts_summary(const LiveDoc& doc, std::FILE* out) {
+  std::fprintf(out, "alerts: %zu over %zu snapshot(s)\n", doc.alerts.size(),
+               doc.snapshots.size());
+  if (doc.alerts.empty()) return;
+
+  // Group by rule, preserving first-seen order.
+  std::vector<std::string> rules;
+  for (const LiveAlertRow& alert : doc.alerts) {
+    bool seen = false;
+    for (const std::string& r : rules) {
+      if (r == alert.rule) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) rules.push_back(alert.rule);
+  }
+  for (const std::string& rule : rules) {
+    std::size_t n = 0;
+    for (const LiveAlertRow& alert : doc.alerts) {
+      if (alert.rule == rule) ++n;
+    }
+    std::fprintf(out, "\n  %s (%zu):\n", rule.c_str(), n);
+    for (const LiveAlertRow& alert : doc.alerts) {
+      if (alert.rule == rule) print_alert_row(alert, out);
+    }
+  }
+  if (doc.truncated_tail) {
+    std::fprintf(out,
+                 "\n  (final record truncated at byte %zu — writer "
+                 "mid-append)\n",
+                 doc.truncated_tail_offset);
+  }
+}
+
+}  // namespace rpol::obs

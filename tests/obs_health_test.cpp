@@ -358,7 +358,7 @@ TEST(HealthExport, JsonlRoundTripsThroughTheReader) {
   mem_reset();
 }
 
-TEST(HealthExport, UnknownLineTypesAreSkippedAndBadJsonThrows) {
+TEST(HealthExport, UnknownLineTypesAreSkippedAndDamageIsTolerated) {
   const std::string doc =
       "{\"type\":\"meta\",\"schema\":\"rpol.health.v1\",\"wall_unix_ns\":1,"
       "\"eviction_threshold\":3,\"workers\":0}\n"
@@ -366,8 +366,57 @@ TEST(HealthExport, UnknownLineTypesAreSkippedAndBadJsonThrows) {
   const HealthReport report = parse_health_jsonl(doc);
   EXPECT_EQ(report.schema, "rpol.health.v1");
   EXPECT_TRUE(report.workers.empty());
+  EXPECT_EQ(report.skipped_lines, 0U);
 
-  EXPECT_THROW(parse_health_jsonl("{\"type\":\"meta\""), std::runtime_error);
+  // Interior damage: tolerant mode skips and counts, strict mode names the
+  // line.
+  const std::string damaged =
+      "{\"type\":\"meta\",\"schema\":\"rpol.health.v1\"}\n"
+      "{half a worker line\n"
+      "{\"type\":\"worker\",\"worker\":0,\"score\":100}\n";
+  const HealthReport tolerant = parse_health_jsonl(damaged);
+  EXPECT_EQ(tolerant.skipped_lines, 1U);
+  ASSERT_EQ(tolerant.parse_errors.size(), 1U);
+  EXPECT_NE(tolerant.parse_errors[0].find("line 2"), std::string::npos);
+  ASSERT_EQ(tolerant.workers.size(), 1U);  // parse continued past the damage
+  EXPECT_THROW(parse_health_jsonl(damaged, /*strict=*/true),
+               std::runtime_error);
+}
+
+TEST(HealthExport, TruncatedFinalLineIsFlaggedNotFatal) {
+  // A final line with no trailing newline that fails to parse is a write
+  // cut mid-append (a reader racing the exporter), not corruption: tolerant
+  // mode keeps everything before it and flags the tail.
+  const std::string meta =
+      "{\"type\":\"meta\",\"schema\":\"rpol.health.v1\",\"wall_unix_ns\":1,"
+      "\"eviction_threshold\":3,\"workers\":1}";
+  const std::string partial = "{\"type\":\"worker\",\"worker\":0,\"sco";
+  const std::string doc = meta + "\n" + partial;
+
+  const HealthReport report = parse_health_jsonl(doc);
+  EXPECT_EQ(report.schema, "rpol.health.v1");
+  EXPECT_TRUE(report.truncated_tail);
+  EXPECT_EQ(report.truncated_tail_offset, meta.size() + 1);
+  EXPECT_EQ(report.skipped_lines, 0U);  // a cut tail is not interior damage
+
+  // Strict mode throws, naming the byte offset where the cut record starts.
+  try {
+    parse_health_jsonl(doc, /*strict=*/true);
+    FAIL() << "strict parse accepted a truncated tail";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find(
+                  "byte offset " + std::to_string(meta.size() + 1)),
+              std::string::npos)
+        << e.what();
+  }
+
+  // A COMPLETE final line without a trailing newline still parses: only a
+  // line that both lacks the newline and fails to parse is a cut.
+  const std::string complete =
+      meta + "\n" + "{\"type\":\"worker\",\"worker\":0,\"score\":100}";
+  const HealthReport whole = parse_health_jsonl(complete);
+  EXPECT_FALSE(whole.truncated_tail);
+  ASSERT_EQ(whole.workers.size(), 1U);
 }
 
 }  // namespace

@@ -1,0 +1,666 @@
+// Live-telemetry tests (obs/live.h, obs/alerts.h, obs/live_read.h): the
+// flight-recorder ring, the alert engine's rules as pure functions of tick
+// sequences, the flusher's rpol.live.v1 stream round-tripped through the
+// reader, truncated-tail tolerance, the reset-vs-reader seqlock under a
+// hammer, and the byzantine end-to-end path (reject-rate alert fires and
+// the eviction leaves a flight dump).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/pool.h"
+#include "obs/alerts.h"
+#include "obs/health.h"
+#include "obs/live.h"
+#include "obs/live_read.h"
+#include "obs/mem.h"
+#include "obs/obs.h"
+#include "task_fixture.h"
+
+namespace rpol {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + name;
+}
+
+// Every test runs with the live surface on and a clean slate; tear-down
+// restores the disabled default so the rest of the binary stays unaffected.
+class LiveTelemetryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::set_live_enabled(true);
+    obs::flight_reset();
+    obs::live_reset_health();
+    obs::reset_all();
+  }
+  void TearDown() override {
+    obs::set_live_enabled(false);
+    obs::set_enabled(false);
+    obs::flight_reset();
+    obs::live_reset_health();
+    obs::reset_all();
+    ::unsetenv("RPOL_FLIGHT_FILE");
+    ::unsetenv("RPOL_LIVE_FILE");
+    ::unsetenv("RPOL_LIVE_INTERVAL_MS");
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Flight recorder
+
+TEST_F(LiveTelemetryTest, FlightRingRecordsInOrder) {
+  obs::flight_record(obs::FlightKind::kMark, "epoch.begin", -1, 0);
+  obs::flight_record(obs::FlightKind::kFault, "pool.session_failure", 2, 0, 7);
+  obs::flight_record(obs::FlightKind::kEviction, "pool.eviction", 2, 1);
+  EXPECT_EQ(obs::flight_count(), 3u);
+
+  const std::vector<obs::FlightEvent> events = obs::flight_snapshot();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(std::string(events[0].what), "epoch.begin");
+  EXPECT_EQ(events[0].kind, obs::FlightKind::kMark);
+  EXPECT_EQ(events[1].worker, 2);
+  EXPECT_EQ(events[1].value, 7u);
+  EXPECT_EQ(events[2].kind, obs::FlightKind::kEviction);
+  EXPECT_EQ(events[2].epoch, 1);
+
+  obs::flight_reset();
+  EXPECT_EQ(obs::flight_count(), 0u);
+  EXPECT_TRUE(obs::flight_snapshot().empty());
+}
+
+TEST_F(LiveTelemetryTest, FlightRingTruncatesLongLabels) {
+  const std::string longlabel(80, 'x');
+  obs::flight_record(obs::FlightKind::kMark, longlabel);
+  const std::vector<obs::FlightEvent> events = obs::flight_snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  const std::string what(events[0].what);
+  EXPECT_LT(what.size(), sizeof(obs::FlightEvent::what));
+  EXPECT_EQ(what, longlabel.substr(0, what.size()));
+}
+
+TEST_F(LiveTelemetryTest, FlightRingIsGatedOnLiveEnabled) {
+  obs::set_live_enabled(false);
+  obs::flight_record(obs::FlightKind::kMark, "invisible");
+  EXPECT_EQ(obs::flight_count(), 0u);
+  obs::set_live_enabled(true);
+  obs::flight_record(obs::FlightKind::kMark, "visible");
+  EXPECT_EQ(obs::flight_count(), 1u);
+}
+
+TEST_F(LiveTelemetryTest, FlightRingKeepsNewestAcrossWraparound) {
+  const std::size_t extra = 10;
+  for (std::size_t i = 0; i < obs::kFlightCapacity + extra; ++i) {
+    obs::flight_record(obs::FlightKind::kMark, "tick", -1, -1, i);
+  }
+  EXPECT_EQ(obs::flight_count(), obs::kFlightCapacity + extra);
+  const std::vector<obs::FlightEvent> events = obs::flight_snapshot();
+  ASSERT_EQ(events.size(), obs::kFlightCapacity);
+  // Oldest surviving event is the one right after the overwritten prefix.
+  EXPECT_EQ(events.front().value, extra);
+  EXPECT_EQ(events.back().value, obs::kFlightCapacity + extra - 1);
+}
+
+TEST_F(LiveTelemetryTest, FlightDumpWritesSchemaAndEvents) {
+  obs::flight_record(obs::FlightKind::kFault, "session_hard_failure", 1, 4);
+  obs::flight_record(obs::FlightKind::kEviction, "pool.eviction", 1, 4);
+  const std::string path = temp_path("flight_dump_test.jsonl");
+  ASSERT_TRUE(obs::dump_flight_record_file(path));
+  const std::string text = slurp(path);
+  EXPECT_NE(text.find("rpol.flight.v1"), std::string::npos);
+  EXPECT_NE(text.find("session_hard_failure"), std::string::npos);
+  EXPECT_NE(text.find("\"eviction\""), std::string::npos);
+  // One meta line plus one line per event.
+  EXPECT_EQ(static_cast<std::size_t>(
+                std::count(text.begin(), text.end(), '\n')),
+            3u);
+  std::remove(path.c_str());
+}
+
+TEST_F(LiveTelemetryTest, DumpFlightRecordHonorsEnvAndGate) {
+  const std::string path = temp_path("flight_env_test.jsonl");
+  ::setenv("RPOL_FLIGHT_FILE", path.c_str(), 1);
+  obs::flight_record(obs::FlightKind::kMark, "breadcrumb");
+  EXPECT_EQ(obs::dump_flight_record(), path);
+  EXPECT_NE(slurp(path).find("breadcrumb"), std::string::npos);
+
+  obs::set_live_enabled(false);
+  EXPECT_EQ(obs::dump_flight_record(), "");
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Alert engine: deterministic rules over tick sequences (no threads, no
+// clocks — the engine sees only what the tick carries).
+
+obs::LiveTick verdict_tick(std::uint64_t accepts, std::uint64_t rejects) {
+  obs::LiveTick tick;
+  tick.accepts_delta = accepts;
+  tick.rejects_delta = rejects;
+  return tick;
+}
+
+TEST(AlertEngineTest, RejectRateDriftFiresAgainstQuietBaseline) {
+  obs::AlertEngine engine;
+  const std::vector<obs::Alert> alerts = engine.evaluate(verdict_tick(1, 9));
+  ASSERT_EQ(alerts.size(), 1u);
+  EXPECT_EQ(alerts[0].rule, "reject_rate_drift");
+  EXPECT_EQ(alerts[0].severity, obs::AlertSeverity::kCrit);
+  EXPECT_DOUBLE_EQ(alerts[0].value, 0.9);
+  EXPECT_DOUBLE_EQ(alerts[0].baseline, 0.0);
+  EXPECT_EQ(engine.alerts_emitted(), 1u);
+}
+
+TEST(AlertEngineTest, RejectRateDriftRequiresMinVerdicts) {
+  obs::AlertEngine engine;
+  // Two verdicts < drift_min_verdicts (3): even a 100% reject window is too
+  // small to judge.
+  EXPECT_TRUE(engine.evaluate(verdict_tick(0, 2)).empty());
+}
+
+TEST(AlertEngineTest, RejectRateBaselineAdaptsAfterComparison) {
+  obs::AlertEngine engine;
+  // A steady 90% reject rate: the first windows drift hard against the
+  // quiet baseline, then the EWMA absorbs the new normal and the rule goes
+  // silent — drift alerts flag CHANGE, not steady state.
+  bool saw_crit = false;
+  bool went_silent = false;
+  for (int i = 0; i < 8; ++i) {
+    const std::vector<obs::Alert> alerts = engine.evaluate(verdict_tick(1, 9));
+    if (!alerts.empty() && alerts[0].severity == obs::AlertSeverity::kCrit) {
+      saw_crit = true;
+    }
+    if (alerts.empty()) {
+      went_silent = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(saw_crit);
+  EXPECT_TRUE(went_silent);
+}
+
+TEST(AlertEngineTest, LatencyBurnSeedsBaselineThenFires) {
+  obs::AlertEngine engine;
+  obs::LiveTick tick;
+  tick.latency_p95_ns = 1000;
+  tick.latency_count_delta = 10;
+  // First latency window seeds the baseline silently.
+  EXPECT_TRUE(engine.evaluate(tick).empty());
+
+  tick.latency_p95_ns = 2500;  // 2.5x the trailing p95
+  std::vector<obs::Alert> alerts = engine.evaluate(tick);
+  ASSERT_EQ(alerts.size(), 1u);
+  EXPECT_EQ(alerts[0].rule, "latency_burn");
+  EXPECT_EQ(alerts[0].severity, obs::AlertSeverity::kWarn);
+
+  tick.latency_p95_ns = 6000;  // >4x the (now 1450) baseline
+  alerts = engine.evaluate(tick);
+  ASSERT_EQ(alerts.size(), 1u);
+  EXPECT_EQ(alerts[0].severity, obs::AlertSeverity::kCrit);
+}
+
+TEST(AlertEngineTest, LatencyBurnRequiresMinSamples) {
+  obs::AlertEngine engine;
+  obs::LiveTick seed;
+  seed.latency_p95_ns = 1000;
+  seed.latency_count_delta = 10;
+  EXPECT_TRUE(engine.evaluate(seed).empty());
+
+  obs::LiveTick thin;
+  thin.latency_p95_ns = 100000;
+  thin.latency_count_delta = 2;  // below burn_min_samples
+  EXPECT_TRUE(engine.evaluate(thin).empty());
+}
+
+TEST(AlertEngineTest, RetransSpikeThresholds) {
+  obs::AlertEngine engine;
+  obs::LiveTick tick;
+  tick.retrans_delta = 7;
+  EXPECT_TRUE(engine.evaluate(tick).empty());
+  tick.retrans_delta = 8;
+  std::vector<obs::Alert> alerts = engine.evaluate(tick);
+  ASSERT_EQ(alerts.size(), 1u);
+  EXPECT_EQ(alerts[0].rule, "retrans_spike");
+  EXPECT_EQ(alerts[0].severity, obs::AlertSeverity::kWarn);
+  tick.retrans_delta = 32;
+  alerts = engine.evaluate(tick);
+  ASSERT_EQ(alerts.size(), 1u);
+  EXPECT_EQ(alerts[0].severity, obs::AlertSeverity::kCrit);
+}
+
+TEST(AlertEngineTest, RssSlopeFiresOnGrowthSincePreviousTick) {
+  obs::AlertEngine engine;
+  obs::LiveTick tick;
+  tick.rss_bytes = 100ull << 20;
+  EXPECT_TRUE(engine.evaluate(tick).empty());  // seeds the baseline
+
+  tick.rss_bytes += 300ull << 20;  // +300 MiB in one tick
+  std::vector<obs::Alert> alerts = engine.evaluate(tick);
+  ASSERT_EQ(alerts.size(), 1u);
+  EXPECT_EQ(alerts[0].rule, "rss_slope");
+  EXPECT_EQ(alerts[0].severity, obs::AlertSeverity::kWarn);
+
+  tick.rss_bytes += 2048ull << 20;  // +2 GiB
+  alerts = engine.evaluate(tick);
+  ASSERT_EQ(alerts.size(), 1u);
+  EXPECT_EQ(alerts[0].severity, obs::AlertSeverity::kCrit);
+
+  // Flat RSS afterwards: silent.
+  EXPECT_TRUE(engine.evaluate(tick).empty());
+}
+
+obs::LiveTick worker_tick(std::int64_t worker, double score, bool evicted) {
+  obs::LiveTick tick;
+  obs::LiveHealthRow row;
+  row.worker = worker;
+  row.score = score;
+  row.evicted = evicted;
+  tick.workers.push_back(row);
+  return tick;
+}
+
+TEST(AlertEngineTest, HealthDropAndFreshEviction) {
+  obs::AlertEngine engine;
+  // First published rows: no previous row to compare against, no alert.
+  EXPECT_TRUE(engine.evaluate(worker_tick(0, 100.0, false)).empty());
+
+  std::vector<obs::Alert> alerts = engine.evaluate(worker_tick(0, 70.0, false));
+  ASSERT_EQ(alerts.size(), 1u);  // fell 30 points
+  EXPECT_EQ(alerts[0].rule, "health_drop");
+  EXPECT_EQ(alerts[0].severity, obs::AlertSeverity::kWarn);
+  EXPECT_EQ(alerts[0].worker, 0);
+
+  alerts = engine.evaluate(worker_tick(0, 25.0, false));
+  ASSERT_EQ(alerts.size(), 1u);  // fell 45 points
+  EXPECT_EQ(alerts[0].severity, obs::AlertSeverity::kCrit);
+
+  // Fresh eviction outranks the score-drop rule.
+  alerts = engine.evaluate(worker_tick(0, 0.0, true));
+  ASSERT_EQ(alerts.size(), 1u);
+  EXPECT_EQ(alerts[0].rule, "worker_evicted");
+  EXPECT_EQ(alerts[0].severity, obs::AlertSeverity::kCrit);
+
+  // Already-evicted rows do not re-fire.
+  EXPECT_TRUE(engine.evaluate(worker_tick(0, 0.0, true)).empty());
+}
+
+// ---------------------------------------------------------------------------
+// Health publication
+
+TEST_F(LiveTelemetryTest, HealthPublicationCopiesRowsAndIsGated) {
+  obs::HealthRegistry reg(2, 2);
+  obs::HealthOutcome bad;
+  bad.participated = true;
+  bad.accepted = false;
+  obs::HealthOutcome good;
+  good.participated = true;
+  good.accepted = true;
+  reg.record(0, bad);
+  reg.record(0, bad);  // second strike: evicted at threshold 2
+  reg.record(1, good);
+
+  obs::set_live_enabled(false);
+  obs::live_publish_health(reg);
+  EXPECT_TRUE(obs::live_health_rows().empty());
+
+  obs::set_live_enabled(true);
+  obs::live_publish_health(reg);
+  const std::vector<obs::LiveHealthRow> rows = obs::live_health_rows();
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_TRUE(rows[0].evicted);
+  EXPECT_EQ(rows[0].score, 0.0);
+  EXPECT_FALSE(rows[1].evicted);
+  EXPECT_EQ(rows[1].window_accepted, 1u);
+
+  obs::live_reset_health();
+  EXPECT_TRUE(obs::live_health_rows().empty());
+}
+
+// ---------------------------------------------------------------------------
+// LiveFlusher -> rpol.live.v1 -> reader round trip
+
+TEST_F(LiveTelemetryTest, FlusherStreamRoundTripsThroughReader) {
+  // Fixed metric state before the flusher starts, so every tick sees the
+  // same totals and the windowed deltas are deterministic.
+  obs::count("verify.accept", 1);
+  obs::count("verify.reject", 9);
+  for (int i = 0; i < 10; ++i) {
+    obs::observe("pool.session_latency_ns", 1000);
+  }
+  obs::HealthRegistry reg(2, 1);
+  obs::HealthOutcome good;
+  good.participated = true;
+  good.accepted = true;
+  reg.record(0, good);
+  obs::live_publish_health(reg);
+
+  const std::string path = temp_path("live_roundtrip_test.jsonl");
+  obs::LiveFlusher::Options options;
+  options.path = path;
+  options.interval = std::chrono::hours(1);  // only explicit ticks matter
+  options.window_capacity = 8;
+  obs::LiveFlusher flusher(options);
+  ASSERT_TRUE(flusher.ok());
+  flusher.flush_now();
+  flusher.stop();
+  EXPECT_GE(flusher.snapshots_written(), 2u);
+  EXPECT_GE(flusher.alerts_emitted(), 1u);
+
+  // The file a stopped flusher leaves behind is fully valid: strict parse.
+  const obs::LiveDoc doc = obs::load_live_file(path, /*strict=*/true);
+  EXPECT_EQ(doc.schema, "rpol.live.v1");
+  EXPECT_EQ(doc.window, 8u);
+  EXPECT_FALSE(doc.truncated_tail);
+  ASSERT_GE(doc.snapshots.size(), 2u);
+
+  const obs::LiveSnapshot& last = doc.snapshots.back();
+  const obs::LiveCounterRow* rejects = nullptr;
+  for (const obs::LiveCounterRow& row : last.counters) {
+    if (row.name == "verify.reject") rejects = &row;
+  }
+  ASSERT_NE(rejects, nullptr);
+  EXPECT_EQ(rejects->total, 9u);
+  // The window was seeded empty, so the whole run is one delta.
+  EXPECT_EQ(rejects->delta, 9u);
+
+  const obs::LiveHistogramRow* latency = nullptr;
+  for (const obs::LiveHistogramRow& row : last.histograms) {
+    if (row.name == "pool.session_latency_ns") latency = &row;
+  }
+  ASSERT_NE(latency, nullptr);
+  EXPECT_EQ(latency->count, 10u);
+  EXPECT_EQ(latency->delta, 10u);
+  EXPECT_GT(latency->p95, 0u);
+
+  ASSERT_EQ(last.workers.size(), 1u);
+  EXPECT_EQ(last.workers[0].window_accepted, 1u);
+
+  // 9 rejects of 10 verdicts against a quiet baseline: crit drift.
+  bool drift_crit = false;
+  for (const obs::LiveAlertRow& alert : doc.alerts) {
+    if (alert.rule == "reject_rate_drift" && alert.severity == "crit") {
+      drift_crit = true;
+    }
+  }
+  EXPECT_TRUE(drift_crit);
+  std::remove(path.c_str());
+}
+
+TEST_F(LiveTelemetryTest, FlusherReportsUnwritableSink) {
+  obs::LiveFlusher::Options options;
+  options.path = "/nonexistent-rpol-dir/live.jsonl";
+  options.interval = std::chrono::hours(1);
+  obs::LiveFlusher flusher(options);
+  EXPECT_FALSE(flusher.ok());
+  flusher.flush_now();  // must not crash
+  flusher.stop();
+  EXPECT_EQ(flusher.snapshots_written(), 0u);
+}
+
+TEST_F(LiveTelemetryTest, MaybeStartLiveHonorsGateAndEnv) {
+  const std::string path = temp_path("live_maybe_test.jsonl");
+  ::setenv("RPOL_LIVE_FILE", path.c_str(), 1);
+  ::setenv("RPOL_LIVE_INTERVAL_MS", "3600000", 1);
+  std::unique_ptr<obs::LiveFlusher> flusher =
+      obs::maybe_start_live("fallback.jsonl");
+  ASSERT_NE(flusher, nullptr);
+  EXPECT_EQ(flusher->path(), path);
+  flusher->stop();
+  EXPECT_EQ(obs::load_live_file(path).schema, "rpol.live.v1");
+  std::remove(path.c_str());
+
+  obs::set_live_enabled(false);
+  EXPECT_EQ(obs::maybe_start_live("fallback.jsonl"), nullptr);
+}
+
+TEST_F(LiveTelemetryTest, EnvKnobsClampAndDefault) {
+  ::unsetenv("RPOL_LIVE_INTERVAL_MS");
+  EXPECT_EQ(obs::live_interval_ms(), 1000u);
+  ::setenv("RPOL_LIVE_INTERVAL_MS", "250", 1);
+  EXPECT_EQ(obs::live_interval_ms(), 250u);
+  ::setenv("RPOL_LIVE_INTERVAL_MS", "0", 1);
+  EXPECT_EQ(obs::live_interval_ms(), 1u);  // clamped
+
+  ::unsetenv("RPOL_LIVE_FILE");
+  EXPECT_EQ(obs::live_file_path("d.jsonl"), "d.jsonl");
+  ::setenv("RPOL_LIVE_FILE", "x.jsonl", 1);
+  EXPECT_EQ(obs::live_file_path("d.jsonl"), "x.jsonl");
+}
+
+// ---------------------------------------------------------------------------
+// Reader damage tolerance (satellite: truncated-tail handling)
+
+TEST(LiveReadTest, TolerantParseFlagsTruncatedTail) {
+  const std::string meta =
+      "{\"type\":\"meta\",\"schema\":\"rpol.live.v1\",\"interval_ms\":250,"
+      "\"window\":8,\"wall_anchor_unix_ns\":0}";
+  const std::string snap =
+      "{\"type\":\"snapshot\",\"seq\":1,\"t_ns\":100,\"counters\":"
+      "{\"verify.accept\":{\"total\":5,\"delta\":5,\"rate\":5}},"
+      "\"rss_bytes\":0}";
+  const std::string partial = "{\"type\":\"snapshot\",\"seq\":2,\"t_ns\":";
+  const std::string text = meta + "\n" + snap + "\n" + partial;  // no newline
+  const std::size_t tail_offset = meta.size() + 1 + snap.size() + 1;
+
+  const obs::LiveDoc doc = obs::parse_live_jsonl(text);
+  EXPECT_EQ(doc.schema, "rpol.live.v1");
+  ASSERT_EQ(doc.snapshots.size(), 1u);
+  EXPECT_EQ(doc.snapshots[0].counters.at(0).total, 5u);
+  EXPECT_TRUE(doc.truncated_tail);
+  EXPECT_EQ(doc.truncated_tail_offset, tail_offset);
+  EXPECT_EQ(doc.skipped_lines, 0u);
+
+  // Strict mode names the byte offset instead of tolerating the cut.
+  try {
+    obs::parse_live_jsonl(text, /*strict=*/true);
+    FAIL() << "strict parse accepted a truncated tail";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("byte offset " +
+                                         std::to_string(tail_offset)),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(LiveReadTest, InteriorDamageIsSkippedOrStrict) {
+  const std::string text =
+      "{\"type\":\"meta\",\"schema\":\"rpol.live.v1\",\"interval_ms\":250,"
+      "\"window\":8}\n"
+      "{broken json\n"
+      "{\"type\":\"alert\",\"schema\":\"rpol.alert.v1\",\"seq\":3,\"t_ns\":9,"
+      "\"rule\":\"retrans_spike\",\"severity\":\"warn\",\"value\":9,"
+      "\"baseline\":0,\"threshold\":8,\"message\":\"m\"}\n";
+
+  const obs::LiveDoc doc = obs::parse_live_jsonl(text);
+  EXPECT_EQ(doc.skipped_lines, 1u);
+  ASSERT_EQ(doc.parse_errors.size(), 1u);
+  EXPECT_FALSE(doc.truncated_tail);
+  ASSERT_EQ(doc.alerts.size(), 1u);  // damage did not stop the parse
+  EXPECT_EQ(doc.alerts[0].rule, "retrans_spike");
+  EXPECT_EQ(doc.alerts[0].severity, "warn");
+  EXPECT_EQ(doc.alerts[0].seq, 3u);
+
+  EXPECT_THROW(obs::parse_live_jsonl(text, /*strict=*/true),
+               std::runtime_error);
+}
+
+// ---------------------------------------------------------------------------
+// Reset-vs-reader seqlock (satellite: obs::reset hardening)
+
+TEST(ResetSeqlockTest, BarrierMakesReadsUnstable) {
+  EXPECT_EQ(obs::reset_generation() & 1, 0u);
+  obs::detail::reset_barrier_begin();
+  EXPECT_EQ(obs::reset_generation() & 1, 1u);
+  // A bounded reader must give up rather than return a torn sample.
+  EXPECT_FALSE(obs::stable_telemetry_read([] {}, /*max_retries=*/4));
+  obs::detail::reset_barrier_end();
+  EXPECT_EQ(obs::reset_generation() & 1, 0u);
+  EXPECT_TRUE(obs::stable_telemetry_read([] {}, /*max_retries=*/4));
+}
+
+TEST(ResetSeqlockTest, NestedBarriersKeepGenerationOddUntilOutermost) {
+  obs::detail::reset_barrier_begin();
+  obs::detail::reset_barrier_begin();  // nested (reset_all calls mem_reset)
+  EXPECT_EQ(obs::reset_generation() & 1, 1u);
+  obs::detail::reset_barrier_end();
+  EXPECT_EQ(obs::reset_generation() & 1, 1u);  // still inside the outer reset
+  obs::detail::reset_barrier_end();
+  EXPECT_EQ(obs::reset_generation() & 1, 0u);
+}
+
+// Hammer: a writer thread incrementing a counter, a resetter thread calling
+// obs::reset_all() in a loop, and a reader taking stable multi-read samples.
+// The sound invariant is SAME-COUNTER MONOTONICITY: between resets a counter
+// only grows, and a stable section excludes resets entirely, so two reads of
+// one counter inside a single stable section must be non-decreasing. (A
+// cross-counter ordering invariant would be unsound here: a writer pair
+// split across a reset legitimately leaves the later counter ahead.) If the
+// barrier failed to hold the generation odd for the whole reset, a drain
+// landing between the two reads would show up as a decrease.
+TEST(ResetSeqlockTest, StableReadsStayMonotoneUnderResetHammer) {
+  obs::Counter& counter = obs::counter("hammer.mono");
+  std::atomic<bool> stop{false};
+
+  std::thread writer([&] {
+    while (!stop.load(std::memory_order_relaxed)) counter.add(1);
+  });
+  std::thread resetter([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      obs::reset_all();
+      std::this_thread::yield();
+    }
+  });
+
+  std::size_t stable_reads = 0;
+  std::size_t violations = 0;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(200);
+  while (std::chrono::steady_clock::now() < deadline) {
+    std::uint64_t first = 0;
+    std::uint64_t second = 0;
+    const bool ok = obs::stable_telemetry_read([&] {
+      first = counter.value();
+      // A multi-subsystem read in the middle widens the race window the
+      // seqlock must cover (this is what the live flusher does per tick).
+      (void)obs::Registry::instance().counter_values();
+      (void)obs::mem_stats_all();
+      second = counter.value();
+    });
+    if (!ok) continue;  // reset hammer won this round; sample skipped
+    ++stable_reads;
+    if (second < first) ++violations;
+  }
+  stop.store(true, std::memory_order_relaxed);
+  writer.join();
+  resetter.join();
+
+  EXPECT_GT(stable_reads, 0u);
+  EXPECT_EQ(violations, 0u);
+  obs::reset_all();
+}
+
+// ---------------------------------------------------------------------------
+// Byzantine end to end: a pool with replay adversaries, live telemetry on.
+// The acceptance path from the issue: the reject-rate alert fires and the
+// evictions leave a flight dump — all without the flusher ever being part
+// of the decision (the determinism test covers that half).
+
+TEST_F(LiveTelemetryTest, ByzantinePoolFiresAlertAndDumpsFlightRecord) {
+  const std::string flight_path = temp_path("live_byzantine_flight.jsonl");
+  const std::string live_path = temp_path("live_byzantine_stream.jsonl");
+  std::remove(flight_path.c_str());
+  ::setenv("RPOL_FLIGHT_FILE", flight_path.c_str(), 1);
+
+  const testing::TinyTask task = testing::TinyTask::make(61, 10, 3);
+  const data::TrainTestSplit split =
+      data::train_test_split(task.dataset, 0.25, 17);
+  core::PoolConfig cfg;
+  cfg.hp = task.hp;
+  cfg.epochs = 3;
+  cfg.samples_q = 3;
+  cfg.seed = 71;
+  cfg.eviction_threshold = 2;
+  std::vector<core::WorkerSpec> workers;
+  const auto devices = sim::all_devices();
+  // Two replay adversaries of four: the reject share (4 of 10 verdicts over
+  // the run) sits well past the 0.25 drift-warn margin.
+  for (std::size_t w = 0; w < 4; ++w) {
+    core::WorkerSpec spec;
+    spec.policy = w < 2 ? std::unique_ptr<core::WorkerPolicy>(
+                              std::make_unique<core::ReplayPolicy>())
+                        : std::unique_ptr<core::WorkerPolicy>(
+                              std::make_unique<core::HonestPolicy>());
+    spec.device = devices[w % devices.size()];
+    workers.push_back(std::move(spec));
+  }
+  core::MiningPool pool(cfg, task.factory, task.dataset, split.test,
+                        std::move(workers));
+  pool.run();
+  ASSERT_TRUE(pool.health().evicted(0));
+  ASSERT_TRUE(pool.health().evicted(1));
+
+  // The evictions during the run dumped the flight ring to RPOL_FLIGHT_FILE.
+  const std::string flight_text = slurp(flight_path);
+  EXPECT_NE(flight_text.find("rpol.flight.v1"), std::string::npos);
+  EXPECT_NE(flight_text.find("pool.eviction"), std::string::npos);
+  EXPECT_NE(flight_text.find("verify.reject"), std::string::npos);
+
+  // Flush the accumulated run through a flusher: started after the run so
+  // every tick sees the same final totals (no racing background sample) and
+  // the first windowed delta spans the whole run.
+  obs::LiveFlusher::Options options;
+  options.path = live_path;
+  options.interval = std::chrono::hours(1);
+  obs::LiveFlusher flusher(options);
+  ASSERT_TRUE(flusher.ok());
+  flusher.flush_now();
+  flusher.stop();
+
+  const obs::LiveDoc doc = obs::load_live_file(live_path, /*strict=*/true);
+  ASSERT_GE(doc.snapshots.size(), 2u);
+  const obs::LiveSnapshot& last = doc.snapshots.back();
+
+  const obs::LiveCounterRow* rejects = nullptr;
+  for (const obs::LiveCounterRow& row : last.counters) {
+    if (row.name == "verify.reject") rejects = &row;
+  }
+  ASSERT_NE(rejects, nullptr);
+  EXPECT_EQ(rejects->total, 4u);  // 2 adversaries x 2 strikes each
+
+  // The pool published health rows at its safe points: the final snapshot
+  // carries the evicted adversaries.
+  ASSERT_EQ(last.workers.size(), 4u);
+  EXPECT_TRUE(last.workers[0].evicted);
+  EXPECT_TRUE(last.workers[1].evicted);
+  EXPECT_FALSE(last.workers[2].evicted);
+
+  bool drift_alert = false;
+  for (const obs::LiveAlertRow& alert : doc.alerts) {
+    if (alert.rule == "reject_rate_drift") drift_alert = true;
+  }
+  EXPECT_TRUE(drift_alert);
+
+  std::remove(flight_path.c_str());
+  std::remove(live_path.c_str());
+}
+
+}  // namespace
+}  // namespace rpol

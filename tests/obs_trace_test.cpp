@@ -329,6 +329,44 @@ TEST_F(ObsTest, TolerantParserSkipsDamagedRecordsAndCountsThem) {
                std::runtime_error);
 }
 
+TEST_F(ObsTest, TruncatedFinalLineIsFlaggedNotFatal) {
+  // An unterminated, unparseable final line is an export cut mid-append
+  // (crash, or a reader racing the writer) — tolerant mode keeps the whole
+  // prefix and flags the tail instead of reporting interior damage.
+  const std::string meta =
+      "{\"type\":\"meta\",\"schema\":\"rpol.trace.v2\",\"wall_unix_ns\":1}";
+  const std::string counter =
+      "{\"type\":\"counter\",\"name\":\"bytes.update\",\"value\":7}";
+  const std::string partial = "{\"type\":\"span\",\"id\":9,\"par";
+  const std::string body = meta + "\n" + counter + "\n" + partial;
+  const std::size_t tail_offset = meta.size() + 1 + counter.size() + 1;
+
+  std::istringstream tolerant(body);
+  const obs::Trace trace = obs::parse_trace_jsonl(tolerant);
+  EXPECT_EQ(trace.counters.at("bytes.update"), 7U);
+  EXPECT_TRUE(trace.truncated_tail);
+  EXPECT_EQ(trace.truncated_tail_offset, tail_offset);
+  EXPECT_EQ(trace.skipped_lines, 0U);
+
+  // Strict mode names the byte offset of the cut record.
+  std::istringstream strict(body);
+  try {
+    obs::parse_trace_jsonl(strict, /*strict=*/true);
+    FAIL() << "strict parse accepted a truncated tail";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("byte offset " +
+                                         std::to_string(tail_offset)),
+              std::string::npos)
+        << e.what();
+  }
+
+  // A complete final line that merely lacks its newline is NOT a cut.
+  std::istringstream whole(meta + "\n" + counter);
+  const obs::Trace ok = obs::parse_trace_jsonl(whole);
+  EXPECT_FALSE(ok.truncated_tail);
+  EXPECT_EQ(ok.counters.at("bytes.update"), 7U);
+}
+
 TEST_F(ObsTest, LegacyV1TracesStillLoad) {
   // Pre-propagation exports have no trace/link span fields; they must load
   // with both defaulting to 0 so old captures stay analyzable.
@@ -386,6 +424,11 @@ TEST_F(ObsTest, FaultCountersAppearInSummaryOnlyWhenNonzero) {
 
 TEST_F(ObsTest, DisabledRegistryRecordsNothing) {
   ASSERT_FALSE(obs::enabled());
+  // count() feeds both surfaces, so the live gate must be off too for the
+  // write to be suppressed (the tier-1 RPOL_LIVE=1 pass would otherwise
+  // correctly let it through).
+  const bool live_was_on = obs::live_enabled();
+  obs::set_live_enabled(false);
   obs::count("bytes.state", 100);  // guarded: must not register
   {
     obs::Span s("epoch");
@@ -399,6 +442,7 @@ TEST_F(ObsTest, DisabledRegistryRecordsNothing) {
   // but the export remains schema-valid either way.
   const std::vector<std::string> lines = export_lines();
   ASSERT_EQ(lines.size(), 1U);
+  obs::set_live_enabled(live_was_on);
 }
 
 TEST_F(ObsTest, ResetZeroesMetricsButKeepsHandles) {

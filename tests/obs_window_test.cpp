@@ -1,0 +1,154 @@
+// Wraparound coverage for obs/window.h: the straight-line (< capacity)
+// paths are exercised by obs_health_test; these tests drive the rings past
+// capacity — where next_ has lapped and oldest/newest live at rotated
+// positions — and across counter resets, where the saturating deltas must
+// collapse to zero instead of wrapping.
+
+#include <gtest/gtest.h>
+
+#include "obs/obs.h"
+#include "obs/window.h"
+
+namespace rpol::obs {
+namespace {
+
+TEST(CounterWindowWrapTest, DeltaTracksOnlyTheLastCapacitySamples) {
+  CounterWindow w(4);
+  // Cumulative readings 10, 20, ..., 120: three full laps of the ring.
+  for (std::uint64_t i = 1; i <= 12; ++i) w.sample(i * 10);
+  EXPECT_EQ(w.size(), 4u);
+  EXPECT_EQ(w.latest(), 120u);
+  EXPECT_EQ(w.oldest(), 90u);       // samples 90,100,110,120 survive
+  EXPECT_EQ(w.window_delta(), 30u);  // not 110 (the lifetime delta)
+  EXPECT_DOUBLE_EQ(w.rate_per_sample(), 10.0);
+}
+
+TEST(CounterWindowWrapTest, OldestRotatesWithEverySampleOnceFull) {
+  CounterWindow w(3);
+  w.sample(5);
+  w.sample(8);
+  w.sample(13);  // ring now full: {5, 8, 13}
+  EXPECT_EQ(w.oldest(), 5u);
+  w.sample(21);  // evicts 5
+  EXPECT_EQ(w.oldest(), 8u);
+  EXPECT_EQ(w.latest(), 21u);
+  EXPECT_EQ(w.window_delta(), 13u);
+  w.sample(34);  // evicts 8
+  EXPECT_EQ(w.oldest(), 13u);
+  EXPECT_EQ(w.window_delta(), 21u);
+}
+
+TEST(CounterWindowWrapTest, DeltaSaturatesAcrossCounterReset) {
+  CounterWindow w(4);
+  w.sample(100);
+  w.sample(200);
+  // The counter was drained (Counter::drain or Registry::reset) and starts
+  // over from a small value: newest < oldest must yield 0, not wrap.
+  w.sample(3);
+  EXPECT_EQ(w.window_delta(), 0u);
+  EXPECT_DOUBLE_EQ(w.rate_per_sample(), 0.0);
+  // Growth after the reset becomes visible again once the pre-reset samples
+  // rotate out of the ring.
+  w.sample(10);
+  w.sample(20);
+  w.sample(30);  // ring = {3, 10, 20, 30}, all post-reset
+  EXPECT_EQ(w.window_delta(), 27u);
+}
+
+TEST(CounterWindowWrapTest, ResetMidWindowAfterWraparound) {
+  CounterWindow w(3);
+  for (std::uint64_t i = 1; i <= 7; ++i) w.sample(i * 100);  // wrapped twice
+  EXPECT_EQ(w.window_delta(), 200u);
+  w.sample(1);  // drained
+  EXPECT_EQ(w.window_delta(), 0u);
+  w.sample(2);
+  w.sample(4);
+  EXPECT_EQ(w.window_delta(), 3u);
+}
+
+Histogram::Snapshot snapshot_of(Histogram& h) { return h.snapshot(); }
+
+TEST(HistogramWindowWrapTest, RollingPercentileForgetsEvictedSamples) {
+  Histogram h("t");
+  HistogramWindow w(3);
+
+  // Window 1..3: large values recorded early.
+  w.push(snapshot_of(h));
+  for (int i = 0; i < 100; ++i) h.record(1 << 20);
+  w.push(snapshot_of(h));
+  w.push(snapshot_of(h));
+  EXPECT_EQ(w.windowed_count(), 100u);
+  EXPECT_GT(w.windowed_percentile(50), (1u << 19));
+
+  // Two more idle pushes lap the ring: the big-value epoch falls out
+  // entirely and the window goes empty.
+  w.push(snapshot_of(h));
+  w.push(snapshot_of(h));
+  EXPECT_EQ(w.windowed_count(), 0u);
+  EXPECT_EQ(w.windowed_percentile(50), 0u);
+
+  // Now only small values inside the window: the rolling p50 must reflect
+  // them, not the lifetime distribution (which is dominated by 1<<20).
+  for (int i = 0; i < 50; ++i) h.record(4);
+  w.push(snapshot_of(h));
+  EXPECT_EQ(w.windowed_count(), 50u);
+  EXPECT_EQ(w.windowed_percentile(50), 4u);
+  EXPECT_GT(h.snapshot().approx_percentile(50), 1000u);  // lifetime differs
+}
+
+TEST(HistogramWindowWrapTest, WindowDeltaIsBucketwiseAcrossWraparound) {
+  Histogram h("t");
+  HistogramWindow w(4);
+  w.push(snapshot_of(h));
+  for (int round = 0; round < 10; ++round) {
+    h.record(2);
+    h.record(1000);
+    w.push(snapshot_of(h));
+  }
+  // Ring holds the last 4 snapshots: 3 sample gaps, 2 records per gap.
+  const Histogram::Snapshot d = w.window_delta();
+  EXPECT_EQ(d.count, 6u);
+  EXPECT_EQ(d.sum, 3u * (2 + 1000));
+  EXPECT_EQ(d.buckets[Histogram::bucket_index(2)], 3u);
+  EXPECT_EQ(d.buckets[Histogram::bucket_index(1000)], 3u);
+  EXPECT_DOUBLE_EQ(w.rate_per_sample(), 2.0);
+}
+
+TEST(HistogramWindowWrapTest, DeltaSaturatesAcrossHistogramReset) {
+  Histogram h("t");
+  // Capacity 2 so the window's oldest entry is exactly the pre-reset
+  // snapshot (a larger ring would still hold the initial empty snapshot
+  // and the delta would legitimately be positive).
+  HistogramWindow w(2);
+  w.push(snapshot_of(h));
+  for (int i = 0; i < 20; ++i) h.record(64);
+  w.push(snapshot_of(h));
+  h.reset();
+  for (int i = 0; i < 5; ++i) h.record(8);
+  w.push(snapshot_of(h));
+  // Post-reset counts are below the pre-reset snapshot: every field
+  // saturates at zero for the buckets that shrank, and the fresh bucket
+  // (8 was never recorded before the reset) still shows its true delta.
+  const Histogram::Snapshot d = w.window_delta();
+  EXPECT_EQ(d.buckets[Histogram::bucket_index(64)], 0u);
+  EXPECT_EQ(d.buckets[Histogram::bucket_index(8)], 5u);
+  // count saturates: 5 post-reset < 20 pre-reset.
+  EXPECT_EQ(d.count, 0u);
+}
+
+TEST(HistogramWindowWrapTest, CapacityClampAndTinyRings) {
+  HistogramWindow w(0);  // clamps to 2
+  EXPECT_EQ(w.capacity(), 2u);
+  Histogram h("t");
+  w.push(snapshot_of(h));
+  EXPECT_EQ(w.windowed_count(), 0u);  // < 2 samples: empty delta
+  h.record(7);
+  w.push(snapshot_of(h));
+  EXPECT_EQ(w.windowed_count(), 1u);
+  h.record(9);
+  w.push(snapshot_of(h));  // wraps immediately at capacity 2
+  EXPECT_EQ(w.windowed_count(), 1u);
+}
+
+}  // namespace
+}  // namespace rpol::obs
