@@ -8,6 +8,7 @@
 
 #pragma once
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <memory>
@@ -46,12 +47,20 @@ struct LatencySummary {
   double worst = 0.0;
 };
 
+// Empty input returns all zeros instead of throwing: soak benches in
+// network-bound regimes can legitimately end a window with zero completed
+// samples, and a summary row of zeros reads better than an aborted bench.
+// Sorts ONCE and reads every quantile off the sorted sample
+// (sim::percentile_sorted), instead of re-sorting per quantile.
 inline LatencySummary summarize_latencies(const std::vector<double>& samples) {
   LatencySummary s;
-  s.best = sim::min_value(samples);
-  s.p50 = sim::percentile(samples, 50.0);
-  s.p95 = sim::percentile(samples, 95.0);
-  s.worst = sim::max_value(samples);
+  if (samples.empty()) return s;
+  std::vector<double> sorted = samples;
+  std::sort(sorted.begin(), sorted.end());
+  s.best = sorted.front();
+  s.p50 = sim::percentile_sorted(sorted, 50.0);
+  s.p95 = sim::percentile_sorted(sorted, 95.0);
+  s.worst = sorted.back();
   return s;
 }
 

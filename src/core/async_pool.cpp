@@ -157,10 +157,13 @@ AsyncRunReport AsyncMiningPool::run() {
         ++report.lost;
       }
 
-      // Graceful degradation via the health registry: consecutive failed
-      // submissions (lost or rejected) evict the worker; the scheduler
-      // keeps ticking with the survivors. The same outcome feeds the
-      // windowed per-worker score (latency and retries are report-only).
+      // Graceful degradation via the health registry. Lost submissions
+      // (delivered == false, never verified) and verify-rejected ones burn
+      // SEPARATE consecutive-strike budgets — obs/health.h splits the
+      // accounting so a lossy link is not mistaken for a byzantine worker;
+      // eviction needs threshold consecutive strikes of one kind. The same
+      // outcome feeds the windowed per-worker score (latency and retries
+      // are report-only).
       obs::HealthOutcome outcome;
       outcome.participated = delivered;
       outcome.accepted = accepted;

@@ -44,8 +44,10 @@ struct AsyncPoolConfig {
   bool verify = true;                  // false = insecure async baseline
   // Fault environment on the submission path (nullptr = lossless). A
   // submission that exhausts the retry budget is lost for that cadence slot;
-  // eviction_threshold consecutive failed submissions retire the worker and
-  // the pool keeps ticking with the survivors.
+  // eviction_threshold consecutive failed submissions OF ONE KIND (all lost
+  // to transport, or all verify-rejected — obs/health.h keeps the two strike
+  // budgets separate) retire the worker and the pool keeps ticking with the
+  // survivors.
   const fault::FaultPlan* fault_plan = nullptr;
   fault::RetryPolicy retry;
   std::int64_t eviction_threshold = 3;

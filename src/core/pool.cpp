@@ -4,7 +4,6 @@
 #include <optional>
 #include <stdexcept>
 
-#include "core/ckptstore.h"
 #include "data/partition.h"
 #include "obs/alerts.h"
 #include "obs/live.h"
@@ -35,6 +34,33 @@ std::string scheme_name(Scheme scheme) {
   return "unknown";
 }
 
+const char* session_status_name(SessionStatus status) {
+  switch (status) {
+    case SessionStatus::kAccepted: return "accepted";
+    case SessionStatus::kVerdictRejected: return "verdict_rejected";
+    case SessionStatus::kDecodeRejected: return "decode_rejected";
+    case SessionStatus::kTimeout: return "timeout";
+    case SessionStatus::kAdmissionRejected: return "admission_rejected";
+    case SessionStatus::kRequeued: return "requeued";
+  }
+  return "unknown";
+}
+
+EpochWorkspace::~EpochWorkspace() {
+  // Release every byte the epoch's phases charged to the transient tags.
+  // Phases charge through the atomic obs::mem_add (a MemScope shared across
+  // shard threads would race); the workspace settles the balance when the
+  // epoch's artifacts actually die.
+  std::uint64_t checkpoint = mem_checkpoint;
+  std::uint64_t merkle = 0;
+  for (const WorkerSlot& slot : slots) {
+    checkpoint += slot.mem_checkpoint;
+    merkle += slot.mem_merkle;
+  }
+  if (checkpoint > 0) obs::mem_sub(obs::MemTag::kCheckpoint, checkpoint);
+  if (merkle > 0) obs::mem_sub(obs::MemTag::kMerkle, merkle);
+}
+
 MiningPool::MiningPool(PoolConfig config, nn::ModelFactory factory,
                        const data::Dataset& train, data::DatasetView test,
                        std::vector<WorkerSpec> workers)
@@ -59,11 +85,7 @@ MiningPool::MiningPool(PoolConfig config, nn::ModelFactory factory,
     worker_executors_.push_back(std::make_unique<StepExecutor>(factory_, config_.hp));
   }
 
-  VerifierConfig vcfg;
-  vcfg.samples_q = config_.samples_q;
-  vcfg.use_lsh = config_.scheme == Scheme::kRPoLv2;
-  vcfg.sampling_seed = derive_seed(config_.seed, 0x5A3B1E);
-  verifier_ = std::make_unique<Verifier>(factory_, config_.hp, vcfg);
+  verifier_ = make_verifier();
 
   const TrainState pristine = manager_executor_.save_state();
   global_model_ = pristine.model;
@@ -73,6 +95,21 @@ MiningPool::MiningPool(PoolConfig config, nn::ModelFactory factory,
   // worker) plus the global vectors themselves.
   state_mem_.set(pristine.byte_size() *
                  static_cast<std::uint64_t>(workers_.size() + 3));
+}
+
+std::unique_ptr<Verifier> MiningPool::make_verifier() const {
+  VerifierConfig vcfg;
+  vcfg.samples_q = config_.samples_q;
+  vcfg.use_lsh = config_.scheme == Scheme::kRPoLv2;
+  vcfg.sampling_seed = derive_seed(config_.seed, 0x5A3B1E);
+  return std::make_unique<Verifier>(factory_, config_.hp, vcfg);
+}
+
+void MiningPool::configure_epoch_verifier(EpochWorkspace& ws,
+                                          Verifier& verifier) const {
+  if (!ws.needs_rpol) return;
+  verifier.set_beta(ws.beta);
+  if (ws.lsh_config.has_value()) verifier.set_lsh_config(*ws.lsh_config);
 }
 
 TrainState MiningPool::initial_state() const {
@@ -107,98 +144,79 @@ double MiningPool::evaluate_global() {
   return manager_executor_.evaluate(test_);
 }
 
-EpochReport MiningPool::run_epoch(std::int64_t epoch) {
+bool MiningPool::deliver_leg(EpochWorkspace& ws, std::size_t w, int leg,
+                             const char* counter, std::uint64_t bytes,
+                             bool upload, std::size_t fanout) {
+  // One protocol leg under the fault environment. Every transmission
+  // attempt — retransmissions and duplicates included — counts the full leg
+  // toward the worker's byte tally: that is what the sender actually
+  // transmitted. The tallies replay into sim::Network in worker order at
+  // finish_epoch (its counters are shared, so shard threads must not touch
+  // them mid-epoch); `fanout` only ever shaped the unused timing estimate.
+  (void)fanout;
+  EpochWorkspace::WorkerSlot& slot = ws.slots[w];
+  const bool faulty = slot.injector.has_value();
+  const int attempts = faulty ? config_.retry.max_attempts : 1;
+  std::uint64_t& tally = upload ? slot.uploaded_bytes : slot.downloaded_bytes;
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      ++slot.retransmissions;
+      obs::count("pool.retransmission", 1);
+    }
+    tally += bytes;
+    obs::count(counter, bytes);
+    if (!faulty) return true;
+    const fault::Delivery d = slot.injector->attempt(leg);
+    if (d.duplicated) {
+      tally += bytes;
+      obs::count(counter, bytes);
+    }
+    if (d.status == fault::DeliveryStatus::kDelivered && !d.corrupted) {
+      return true;
+    }
+  }
+  ++slot.session_failures;
+  obs::count("pool.session_failure", 1);
+  obs::flight_record(obs::FlightKind::kFault, "pool.session_failure",
+                     static_cast<std::int64_t>(w), ws.epoch);
+  return false;
+}
+
+std::unique_ptr<EpochWorkspace> MiningPool::prepare_epoch(std::int64_t epoch) {
+  auto ws = std::make_unique<EpochWorkspace>();
+  ws->epoch = epoch;
   // Roots this epoch's causal tree: every span below (manager or worker
   // side) carries epoch_span.id() as its trace id.
-  obs::Span epoch_span("epoch", obs::TraceContext{}, /*worker=*/-1, epoch);
+  ws->epoch_span.emplace("epoch", obs::TraceContext{}, /*worker=*/-1, epoch);
   obs::flight_record(obs::FlightKind::kMark, "epoch.begin", -1, epoch);
-  EpochReport report;
-  report.epoch = epoch;
-  report.participated.assign(workers_.size(), true);
-  report.accepted.assign(workers_.size(), true);
-  network_.reset_counters();
-
-  // Health-report inputs (all write-only telemetry except the protocol
-  // facts already in `report`): wire retries per worker, and wall-clock
-  // session latency from first leg to final verdict. Latency never feeds a
-  // decision — obs/health.h folds it into the score only.
-  std::vector<std::uint64_t> worker_retrans(workers_.size(), 0);
-  std::vector<std::uint64_t> worker_start_ns(workers_.size(), 0);
-  std::vector<std::uint64_t> worker_end_ns(workers_.size(), 0);
-  // Per-epoch byte balances for the big transient owners: checkpoint traces
-  // and commitments live until the epoch ends, so scoping the charge to
-  // run_epoch makes tag peaks track the true per-epoch footprint.
-  obs::MemScope checkpoint_mem(obs::MemTag::kCheckpoint);
-  obs::MemScope merkle_mem(obs::MemTag::kMerkle);
+  ws->slots.resize(workers_.size());
 
   // One fault stream per (epoch, worker) link: individually reproducible,
-  // statistically independent. No plan => no injectors, and every deliver()
-  // below is the exact single-transmission legacy path.
-  std::vector<std::optional<fault::FaultInjector>> injectors(workers_.size());
+  // statistically independent. No plan => no injectors, and every
+  // deliver_leg is the exact single-transmission legacy path.
   if (config_.fault_plan != nullptr) {
     for (std::size_t w = 0; w < workers_.size(); ++w) {
-      injectors[w].emplace(*config_.fault_plan,
-                           static_cast<std::uint64_t>(epoch) * 4096ULL + w);
+      ws->slots[w].injector.emplace(
+          *config_.fault_plan, static_cast<std::uint64_t>(epoch) * 4096ULL + w);
     }
   }
 
-  // One protocol leg under the fault environment. Every transmission
-  // attempt — retransmissions and duplicates included — puts the full leg
-  // on the WAN and its byte counter: that is what the sender actually
-  // transmitted. Returns false when the retry budget is spent.
-  const auto deliver = [&](std::size_t w, int leg, const char* counter,
-                           std::uint64_t bytes, bool upload,
-                           std::size_t fanout) -> bool {
-    const bool faulty = injectors[w].has_value();
-    const int attempts = faulty ? config_.retry.max_attempts : 1;
-    for (int attempt = 0; attempt < attempts; ++attempt) {
-      if (attempt > 0) {
-        ++report.retransmissions;
-        ++worker_retrans[w];
-        obs::count("pool.retransmission", 1);
-      }
-      if (upload) {
-        network_.upload(w, bytes, fanout);
-      } else {
-        network_.download(w, bytes, fanout);
-      }
-      obs::count(counter, bytes);
-      if (!faulty) return true;
-      const fault::Delivery d = injectors[w]->attempt(leg);
-      if (d.duplicated) {
-        if (upload) {
-          network_.upload(w, bytes, fanout);
-        } else {
-          network_.download(w, bytes, fanout);
-        }
-        obs::count(counter, bytes);
-      }
-      if (d.status == fault::DeliveryStatus::kDelivered && !d.corrupted) {
-        return true;
-      }
-    }
-    ++report.session_failures;
-    obs::count("pool.session_failure", 1);
-    obs::flight_record(obs::FlightKind::kFault, "pool.session_failure",
-                       static_cast<std::int64_t>(w), epoch);
-    return false;
-  };
-
-  const TrainState initial = initial_state();
-  checkpoint_mem.add(initial.byte_size());
-  const Digest initial_hash = hash_state(initial);
-  const std::uint64_t model_bytes =
+  ws->initial = initial_state();
+  ws->mem_checkpoint = ws->initial.byte_size();
+  obs::mem_add(obs::MemTag::kCheckpoint, ws->mem_checkpoint);
+  ws->initial_hash = hash_state(ws->initial);
+  ws->model_bytes =
       static_cast<std::uint64_t>(global_model_.size()) * sizeof(float);
 
   // Step 0: adaptive calibration (RPoL schemes only).
-  const bool needs_rpol = config_.scheme != Scheme::kBaseline;
-  if (needs_rpol && (config_.calibrate_every_epoch || !calibrated_)) {
-    obs::Span s("calibrate", epoch_span, /*worker=*/-1, epoch);
+  ws->needs_rpol = config_.scheme != Scheme::kBaseline;
+  if (ws->needs_rpol && (config_.calibrate_every_epoch || !calibrated_)) {
+    obs::Span s("calibrate", *ws->epoch_span, /*worker=*/-1, epoch);
     EpochContext manager_ctx;
     manager_ctx.epoch = epoch;
     manager_ctx.nonce = derive_seed(config_.seed,
                                     0xB0000000ULL + static_cast<std::uint64_t>(epoch));
-    manager_ctx.initial = initial;
+    manager_ctx.initial = ws->initial;
     manager_ctx.dataset = &partitions_[0];
     const auto [top, second] = top_two_devices();
     last_calibration_ = calibrate_epoch(
@@ -208,232 +226,239 @@ EpochReport MiningPool::run_epoch(std::int64_t epoch) {
     calibrated_ = true;
   }
 
-  lsh::LshConfig lsh_config;
-  if (needs_rpol) {
-    report.alpha = last_calibration_.alpha;
-    report.beta = last_calibration_.beta;
-    report.lsh_params = last_calibration_.lsh.params;
-    verifier_->set_beta(last_calibration_.beta);
+  if (ws->needs_rpol) {
+    ws->alpha = last_calibration_.alpha;
+    ws->beta = last_calibration_.beta;
+    ws->lsh_params = last_calibration_.lsh.params;
+    verifier_->set_beta(ws->beta);
     if (config_.scheme == Scheme::kRPoLv2) {
+      lsh::LshConfig lsh_config;
       lsh_config.params = last_calibration_.lsh.params;
       lsh_config.dim = manager_executor_.model().num_trainable_parameters();
       lsh_config.seed = derive_seed(
           config_.seed, 0xD0000000ULL + static_cast<std::uint64_t>(epoch));
       verifier_->set_lsh_config(lsh_config);
+      ws->lsh_config = lsh_config;
     }
   }
-  std::optional<lsh::PStableLsh> worker_hasher;
-  if (config_.scheme == Scheme::kRPoLv2) worker_hasher.emplace(lsh_config);
-  const std::vector<bool>& trainable_mask = manager_executor_.trainable_mask();
+  if (config_.scheme == Scheme::kRPoLv2) {
+    ws->worker_hasher.emplace(*ws->lsh_config);
+  }
+  ws->trainable_mask = &manager_executor_.trainable_mask();
+  ws->verify_device = top_two_devices().first;
+  return ws;
+}
 
-  // Steps 1-2: workers train locally and commit. In streaming mode the
-  // traces stay empty: each worker's checkpoints flow straight into a
-  // CommitmentBuilder and a spill-backed CheckpointStore, and later phases
-  // fetch from the store instead of indexing a trace.
-  std::vector<EpochTrace> traces(workers_.size());
-  std::vector<StreamedEpoch> streamed(config_.streaming ? workers_.size() : 0);
-  std::vector<Commitment> commitments(workers_.size());
-  // Compact-mode Merkle roots, collapsed once per worker at upload time and
-  // reused by verification (rebuilding the trees per phase doubles the
-  // manager's hashing bill for nothing).
-  std::vector<std::optional<CompactCommitment>> compacts(workers_.size());
-  std::vector<EpochContext> contexts(workers_.size());
-  for (std::size_t w = 0; w < workers_.size(); ++w) {
-    if (health_.evicted(w)) {
-      // Evicted workers sit the epoch out; the pool degrades gracefully to
-      // the survivors.
-      report.participated[w] = false;
-      report.accepted[w] = false;
-      continue;
-    }
-    worker_start_ns[w] = obs::now_ns();
-    EpochContext ctx;
-    ctx.epoch = epoch;
-    ctx.nonce = worker_nonce(epoch, w);
-    ctx.initial = initial;
-    ctx.dataset = &partitions_[w + 1];
-    contexts[w] = ctx;
-    // Each context keeps its own copy of the initial state until the
-    // epoch's verification phase is done.
-    checkpoint_mem.add(ctx.initial.byte_size());
+void MiningPool::train_commit_worker(EpochWorkspace& ws, std::size_t w) {
+  EpochWorkspace::WorkerSlot& slot = ws.slots[w];
+  if (health_.evicted(w)) {
+    // Evicted workers sit the epoch out; the pool degrades gracefully to
+    // the survivors.
+    slot.participated = false;
+    slot.accepted = false;
+    slot.status = SessionStatus::kTimeout;
+    return;
+  }
+  slot.start_ns = obs::now_ns();
+  EpochContext ctx;
+  ctx.epoch = ws.epoch;
+  ctx.nonce = worker_nonce(ws.epoch, w);
+  ctx.initial = ws.initial;
+  ctx.dataset = &partitions_[w + 1];
+  slot.context = ctx;
+  // Each context keeps its own copy of the initial state until the
+  // epoch's verification phase is done.
+  slot.mem_checkpoint += ctx.initial.byte_size();
+  obs::mem_add(obs::MemTag::kCheckpoint, ctx.initial.byte_size());
 
-    // Global model out to the worker.
-    if (!deliver(w, kLegState, "bytes.state", model_bytes, /*upload=*/false,
-                 workers_.size())) {
-      report.participated[w] = false;
-      report.accepted[w] = false;
-      worker_end_ns[w] = obs::now_ns();
-      continue;
-    }
-
-    sim::DeviceExecution device(
-        workers_[w].device,
-        derive_seed(config_.seed, 0xE0000000ULL +
-                                      static_cast<std::uint64_t>(epoch) * 4096ULL +
-                                      static_cast<std::uint64_t>(w)));
-    if (config_.streaming) {
-      // Train + commit fused: the sink hashes each checkpoint into the
-      // commitment and spills it the moment it exists, so worker residency
-      // is one state + the store's hot cache (charged to the ckptstore
-      // tag by the store itself, never to the checkpoint tag).
-      obs::Span s("train", epoch_span, static_cast<int>(w), epoch);
-      CkptStoreConfig scfg;
-      scfg.budget_bytes = config_.ckpt_budget_bytes;
-      streamed[w] = run_streamed_epoch(
-          *workers_[w].policy, *worker_executors_[w], ctx, device,
-          config_.scheme == Scheme::kRPoLv2 ? CommitmentVersion::kV2
-                                            : CommitmentVersion::kV1,
-          worker_hasher ? &*worker_hasher : nullptr,
-          config_.scheme == Scheme::kRPoLv2 ? &trainable_mask : nullptr, scfg);
-      s.attr("storage_bytes", streamed[w].store->total_bytes());
-      commitments[w] = std::move(streamed[w].commitment);
-      merkle_mem.add(commitments[w].byte_size());
-    } else {
-      {
-        obs::Span s("train", epoch_span, static_cast<int>(w), epoch);
-        traces[w] = workers_[w].policy->produce_trace(*worker_executors_[w],
-                                                      ctx, device);
-        s.attr("storage_bytes", traces[w].storage_bytes());
-        checkpoint_mem.add(traces[w].storage_bytes());
-      }
-      {
-        obs::Span s("commit", epoch_span, static_cast<int>(w), epoch);
-        commitments[w] =
-            config_.scheme == Scheme::kRPoLv2
-                ? commit_v2(traces[w], *worker_hasher, &trainable_mask)
-                : commit_v1(traces[w]);
-        merkle_mem.add(commitments[w].byte_size());
-      }
-    }
-
-    // Upload: final model update + commitment (compact mode uploads only
-    // the Merkle roots). The streamed compact roots are identical to
-    // compact_commitment's (CommitmentBuilder contract).
-    if (config_.compact_commitments) {
-      compacts[w] = config_.streaming ? streamed[w].compact
-                                      : compact_commitment(commitments[w]);
-    }
-    const std::uint64_t commitment_bytes = config_.compact_commitments
-                                               ? compacts[w]->byte_size()
-                                               : commitments[w].byte_size();
-    const bool uploaded =
-        deliver(w, kLegUpdate, "bytes.update", model_bytes, /*upload=*/true,
-                workers_.size()) &&
-        deliver(w, kLegCommitment, "bytes.commitment", commitment_bytes,
-                /*upload=*/true, workers_.size());
-    if (!uploaded) {
-      report.participated[w] = false;
-      report.accepted[w] = false;
-      worker_end_ns[w] = obs::now_ns();
-      continue;
-    }
-    worker_end_ns[w] = obs::now_ns();  // refined to the verdict time below
-    report.worker_storage_bytes =
-        std::max(report.worker_storage_bytes,
-                 config_.streaming ? streamed[w].store->total_bytes()
-                                   : traces[w].storage_bytes());
+  // Global model out to the worker.
+  if (!deliver_leg(ws, w, kLegState, "bytes.state", ws.model_bytes,
+                   /*upload=*/false, workers_.size())) {
+    slot.participated = false;
+    slot.accepted = false;
+    slot.status = SessionStatus::kTimeout;
+    slot.end_ns = obs::now_ns();
+    return;
   }
 
-  // Step 3: verification (RPoL schemes).
-  if (needs_rpol && config_.decentralized_verification) {
-    // Peer-committee verification: each worker is checked by a committee of
-    // the OTHER workers (it never votes on itself).
-    DecentralizedConfig dcfg;
-    dcfg.samples_q = config_.samples_q;
-    dcfg.verifiers_per_sample = config_.verifiers_per_sample;
-    dcfg.beta = last_calibration_.beta;
-    dcfg.assignment_seed = derive_seed(config_.seed, 0x9E0000ULL +
-                                                         static_cast<std::uint64_t>(epoch));
-    DecentralizedVerifier dec(factory_, config_.hp, dcfg);
-    for (std::size_t w = 0; w < workers_.size(); ++w) {
-      if (!report.participated[w]) continue;
-      std::vector<VerifierNode> committee;
-      for (std::size_t v = 0; v < workers_.size(); ++v) {
-        if (v == w) continue;
-        VerifierNode node;
-        node.device = workers_[v].device;
-        node.run_seed = derive_seed(
-            config_.seed, 0x9F0000ULL + static_cast<std::uint64_t>(epoch) * 4096ULL +
-                              static_cast<std::uint64_t>(v));
-        committee.push_back(node);
-      }
-      obs::Span s("verify", epoch_span, static_cast<int>(w), epoch);
-      const DecentralizedResult dr = dec.verify(commitments[w], traces[w],
-                                                contexts[w], initial_hash,
-                                                committee);
-      s.attr("accepted", dr.accepted);
-      report.accepted[w] = dr.accepted;
-      report.manager_reexecuted_steps += dr.critical_path_steps;  // wall time
-      if (!dr.accepted) ++report.rejected_count;
-      worker_end_ns[w] = obs::now_ns();
+  sim::DeviceExecution device(
+      workers_[w].device,
+      derive_seed(config_.seed, 0xE0000000ULL +
+                                    static_cast<std::uint64_t>(ws.epoch) * 4096ULL +
+                                    static_cast<std::uint64_t>(w)));
+  if (config_.streaming) {
+    // Train + commit fused: the sink hashes each checkpoint into the
+    // commitment and spills it the moment it exists, so worker residency
+    // is one state + the store's hot cache (charged to the ckptstore
+    // tag by the store itself, never to the checkpoint tag).
+    obs::Span s("train", *ws.epoch_span, static_cast<int>(w), ws.epoch);
+    CkptStoreConfig scfg;
+    scfg.budget_bytes = config_.ckpt_budget_bytes;
+    slot.streamed = run_streamed_epoch(
+        *workers_[w].policy, *worker_executors_[w], ctx, device,
+        config_.scheme == Scheme::kRPoLv2 ? CommitmentVersion::kV2
+                                          : CommitmentVersion::kV1,
+        ws.worker_hasher ? &*ws.worker_hasher : nullptr,
+        config_.scheme == Scheme::kRPoLv2 ? ws.trainable_mask : nullptr, scfg);
+    s.attr("storage_bytes", slot.streamed.store->total_bytes());
+    slot.commitment = std::move(slot.streamed.commitment);
+    slot.mem_merkle += slot.commitment.byte_size();
+    obs::mem_add(obs::MemTag::kMerkle, slot.commitment.byte_size());
+  } else {
+    {
+      obs::Span s("train", *ws.epoch_span, static_cast<int>(w), ws.epoch);
+      slot.trace = workers_[w].policy->produce_trace(*worker_executors_[w],
+                                                     ctx, device);
+      s.attr("storage_bytes", slot.trace.storage_bytes());
+      slot.mem_checkpoint += slot.trace.storage_bytes();
+      obs::mem_add(obs::MemTag::kCheckpoint, slot.trace.storage_bytes());
     }
-  } else if (needs_rpol) {
-    const auto [top, second] = top_two_devices();
-    (void)second;
-    for (std::size_t w = 0; w < workers_.size(); ++w) {
-      if (!report.participated[w]) continue;
-      sim::DeviceExecution manager_device(
-          top, derive_seed(config_.seed,
-                           0xF0000000ULL + static_cast<std::uint64_t>(epoch) * 4096ULL +
-                               static_cast<std::uint64_t>(w)));
-      obs::Span s("verify", epoch_span, static_cast<int>(w), epoch);
-      VerifyResult vr;
-      if (config_.streaming) {
-        // Sampled checkpoints are fetched back through the spill-backed
-        // store; decisions are bitwise identical to the trace overloads.
-        vr = config_.compact_commitments
-                 ? verifier_->verify_compact(
-                       *compacts[w], commitments[w], *streamed[w].store,
-                       streamed[w].step_of, contexts[w], initial_hash,
-                       manager_device, s.context())
-                 : verifier_->verify(commitments[w], *streamed[w].store,
-                                     streamed[w].step_of, contexts[w],
-                                     initial_hash, manager_device, s.context());
-      } else {
-        vr = config_.compact_commitments
-                 ? verifier_->verify_compact(*compacts[w], commitments[w],
-                                             traces[w], contexts[w],
-                                             initial_hash, manager_device,
-                                             s.context())
-                 : verifier_->verify(commitments[w], traces[w], contexts[w],
-                                     initial_hash, manager_device, s.context());
-      }
-      s.attr("accepted", vr.accepted);
-      s.attr("double_checks", vr.double_checks);
-      s.attr("lsh_mismatches", vr.lsh_mismatches);
-      s.attr("reexecuted_steps", vr.reexecuted_steps);
-      report.lsh_mismatches += vr.lsh_mismatches;
-      report.double_checks += vr.double_checks;
-      report.manager_reexecuted_steps += vr.reexecuted_steps;
-      // Proofs fetched on demand; losing them means the manager cannot
-      // reach a verdict, which fails the session rather than rejecting it.
-      if (!deliver(w, kLegProofResponse, "bytes.proof_response",
+    {
+      obs::Span s("commit", *ws.epoch_span, static_cast<int>(w), ws.epoch);
+      slot.commitment =
+          config_.scheme == Scheme::kRPoLv2
+              ? commit_v2(slot.trace, *ws.worker_hasher, ws.trainable_mask)
+              : commit_v1(slot.trace);
+      slot.mem_merkle += slot.commitment.byte_size();
+      obs::mem_add(obs::MemTag::kMerkle, slot.commitment.byte_size());
+    }
+  }
+
+  // Upload: final model update + commitment (compact mode uploads only
+  // the Merkle roots). The streamed compact roots are identical to
+  // compact_commitment's (CommitmentBuilder contract).
+  if (config_.compact_commitments) {
+    slot.compact = config_.streaming ? slot.streamed.compact
+                                     : compact_commitment(slot.commitment);
+  }
+  const std::uint64_t commitment_bytes = config_.compact_commitments
+                                             ? slot.compact->byte_size()
+                                             : slot.commitment.byte_size();
+  const bool uploaded =
+      deliver_leg(ws, w, kLegUpdate, "bytes.update", ws.model_bytes,
+                  /*upload=*/true, workers_.size()) &&
+      deliver_leg(ws, w, kLegCommitment, "bytes.commitment", commitment_bytes,
+                  /*upload=*/true, workers_.size());
+  if (!uploaded) {
+    slot.participated = false;
+    slot.accepted = false;
+    slot.status = SessionStatus::kTimeout;
+    slot.end_ns = obs::now_ns();
+    return;
+  }
+  slot.end_ns = obs::now_ns();  // refined to the verdict time by verify
+  slot.storage_bytes = config_.streaming ? slot.streamed.store->total_bytes()
+                                         : slot.trace.storage_bytes();
+}
+
+void MiningPool::verify_worker(EpochWorkspace& ws, std::size_t w,
+                               Verifier& verifier) {
+  if (!ws.needs_rpol) return;  // kBaseline skips step 3 entirely
+  EpochWorkspace::WorkerSlot& slot = ws.slots[w];
+  if (!slot.participated) return;
+  sim::DeviceExecution manager_device(
+      ws.verify_device,
+      derive_seed(config_.seed,
+                  0xF0000000ULL + static_cast<std::uint64_t>(ws.epoch) * 4096ULL +
+                      static_cast<std::uint64_t>(w)));
+  obs::Span s("verify", *ws.epoch_span, static_cast<int>(w), ws.epoch);
+  VerifyResult vr;
+  if (config_.streaming) {
+    // Sampled checkpoints are fetched back through the spill-backed
+    // store; decisions are bitwise identical to the trace overloads.
+    vr = config_.compact_commitments
+             ? verifier.verify_compact(
+                   *slot.compact, slot.commitment, *slot.streamed.store,
+                   slot.streamed.step_of, slot.context, ws.initial_hash,
+                   manager_device, s.context())
+             : verifier.verify(slot.commitment, *slot.streamed.store,
+                               slot.streamed.step_of, slot.context,
+                               ws.initial_hash, manager_device, s.context());
+  } else {
+    vr = config_.compact_commitments
+             ? verifier.verify_compact(*slot.compact, slot.commitment,
+                                       slot.trace, slot.context,
+                                       ws.initial_hash, manager_device,
+                                       s.context())
+             : verifier.verify(slot.commitment, slot.trace, slot.context,
+                               ws.initial_hash, manager_device, s.context());
+  }
+  s.attr("accepted", vr.accepted);
+  s.attr("double_checks", vr.double_checks);
+  s.attr("lsh_mismatches", vr.lsh_mismatches);
+  s.attr("reexecuted_steps", vr.reexecuted_steps);
+  slot.lsh_mismatches += vr.lsh_mismatches;
+  slot.double_checks += vr.double_checks;
+  slot.reexecuted_steps += vr.reexecuted_steps;
+  // Proofs fetched on demand; losing them means the manager cannot
+  // reach a verdict, which fails the session rather than rejecting it.
+  if (!deliver_leg(ws, w, kLegProofResponse, "bytes.proof_response",
                    vr.proof_bytes, /*upload=*/true, 1)) {
-        report.participated[w] = false;
-        report.accepted[w] = false;
-        worker_end_ns[w] = obs::now_ns();
-        continue;
-      }
-      report.accepted[w] = vr.accepted;
-      if (!vr.accepted) ++report.rejected_count;
-      worker_end_ns[w] = obs::now_ns();
-    }
+    slot.participated = false;
+    slot.accepted = false;
+    slot.status = SessionStatus::kTimeout;
+    slot.end_ns = obs::now_ns();
+    return;
   }
+  slot.accepted = vr.accepted;
+  slot.status = vr.accepted ? SessionStatus::kAccepted
+                            : SessionStatus::kVerdictRejected;
+  if (!vr.accepted) slot.rejected = 1;
+  slot.end_ns = obs::now_ns();
+}
 
-  // Graceful degradation, now routed through the health registry: a worker
-  // whose session failed this epoch (lost legs or a rejected verdict)
-  // accrues a strike; eviction_threshold consecutive strikes retire it and
-  // subsequent epochs run with the survivors. One accepted session clears
-  // the record. The registry folds the same outcomes into the windowed
-  // 0-100 score exported as rpol.health.v1.
-  for (std::size_t w = 0; w < workers_.size(); ++w) {
+EpochReport MiningPool::finish_epoch(EpochWorkspace& ws) {
+  EpochReport report;
+  report.epoch = ws.epoch;
+  const std::size_t n = workers_.size();
+  report.participated.resize(n);
+  report.accepted.resize(n);
+  report.status.resize(n);
+  if (ws.needs_rpol) {
+    report.alpha = ws.alpha;
+    report.beta = ws.beta;
+    report.lsh_params = ws.lsh_params;
+  }
+  // Slot merge in worker-index order: the one ordering every schedule
+  // (sequential, sharded lockstep, pipelined) funnels through, which is
+  // what makes reports bitwise comparable across them.
+  for (std::size_t w = 0; w < n; ++w) {
+    const EpochWorkspace::WorkerSlot& slot = ws.slots[w];
+    report.participated[w] = slot.participated;
+    report.accepted[w] = slot.accepted;
+    report.status[w] = slot.status;
+    report.session_failures += slot.session_failures;
+    report.retransmissions += slot.retransmissions;
+    report.rejected_count += slot.rejected;
+    report.lsh_mismatches += slot.lsh_mismatches;
+    report.double_checks += slot.double_checks;
+    report.manager_reexecuted_steps += slot.reexecuted_steps;
+    report.worker_storage_bytes =
+        std::max(report.worker_storage_bytes, slot.storage_bytes);
+  }
+  report.admission_enqueued = ws.admission_enqueued;
+  report.admission_requeued = ws.admission_requeued;
+  report.admission_rejected = ws.admission_rejected;
+  report.max_queue_depth = ws.max_queue_depth;
+
+  // Graceful degradation, routed through the health registry: loss and
+  // rejection strikes accrue on SEPARATE consecutive counters (obs/health.h
+  // splits the kinds so a lossy link is not byzantine evidence);
+  // eviction_threshold consecutive strikes of either kind retire the worker
+  // and subsequent epochs run with the survivors. One accepted session
+  // clears the record. Admission-rejected submissions (a sharded manager
+  // shedding load) are neither a strike nor a success: the pool never
+  // judged them, so they must not move the worker's record at all.
+  for (std::size_t w = 0; w < n; ++w) {
     if (health_.evicted(w)) continue;
+    const EpochWorkspace::WorkerSlot& slot = ws.slots[w];
+    if (slot.status == SessionStatus::kAdmissionRejected) continue;
     obs::HealthOutcome outcome;
-    outcome.participated = report.participated[w];
-    outcome.accepted = report.accepted[w];
-    outcome.retransmissions = worker_retrans[w];
-    if (worker_end_ns[w] > worker_start_ns[w] && worker_start_ns[w] != 0) {
-      outcome.latency_ns = worker_end_ns[w] - worker_start_ns[w];
+    outcome.participated = slot.participated;
+    outcome.accepted = slot.accepted;
+    outcome.retransmissions = static_cast<std::uint64_t>(slot.retransmissions);
+    if (slot.end_ns > slot.start_ns && slot.start_ns != 0) {
+      outcome.latency_ns = slot.end_ns - slot.start_ns;
       obs::observe("pool.session_latency_ns", outcome.latency_ns);
     }
     if (health_.record(w, outcome)) {
@@ -441,15 +466,15 @@ EpochReport MiningPool::run_epoch(std::int64_t epoch) {
       // An eviction is exactly the forensic moment the flight recorder
       // exists for: mark it, then persist the ring.
       obs::flight_record(obs::FlightKind::kEviction, "pool.eviction",
-                         static_cast<std::int64_t>(w), epoch);
+                         static_cast<std::int64_t>(w), ws.epoch);
       obs::dump_flight_record();
     }
   }
   // Publish a by-value copy of the health rows for the live flusher (a
   // deterministic safe point: the registry is quiescent between epochs).
   obs::live_publish_health(health_);
-  report.evicted.resize(workers_.size());
-  for (std::size_t w = 0; w < workers_.size(); ++w) {
+  report.evicted.resize(n);
+  for (std::size_t w = 0; w < n; ++w) {
     report.evicted[w] = health_.evicted(w);
     report.evicted_count += health_.evicted(w) ? 1 : 0;
   }
@@ -462,23 +487,24 @@ EpochReport MiningPool::run_epoch(std::int64_t epoch) {
   std::size_t accepted_count = 0;
   for (const bool a : report.accepted) accepted_count += a ? 1 : 0;
   if (accepted_count > 0) {
-    obs::Span s("aggregate", epoch_span, /*worker=*/-1, epoch);
+    obs::Span s("aggregate", *ws.epoch_span, /*worker=*/-1, ws.epoch);
     s.attr("accepted_count", static_cast<std::int64_t>(accepted_count));
     const float weight = static_cast<float>(config_.global_learning_rate) /
                          static_cast<float>(accepted_count);
     std::vector<float> next = global_model_;
-    for (std::size_t w = 0; w < workers_.size(); ++w) {
+    for (std::size_t w = 0; w < n; ++w) {
       if (!report.accepted[w]) continue;
+      const EpochWorkspace::WorkerSlot& slot = ws.slots[w];
       // Streaming: the final checkpoint comes back through the store,
       // bitwise identical to the state the worker saved (round-trip
       // contract), so aggregation output matches the in-memory path.
       std::vector<float> fetched;
       if (config_.streaming) {
-        const CheckpointStore& store = *streamed[w].store;
+        const CheckpointStore& store = *slot.streamed.store;
         fetched = store.fetch(store.num_checkpoints() - 1).model;
       }
       const std::vector<float>& worker_final =
-          config_.streaming ? fetched : traces[w].checkpoints.back().model;
+          config_.streaming ? fetched : slot.trace.checkpoints.back().model;
       for (std::size_t d = 0; d < next.size(); ++d) {
         next[d] += weight * (worker_final[d] - global_model_[d]);
       }
@@ -487,16 +513,83 @@ EpochReport MiningPool::run_epoch(std::int64_t epoch) {
   }
 
   {
-    obs::Span s("evaluate", epoch_span, /*worker=*/-1, epoch);
+    obs::Span s("evaluate", *ws.epoch_span, /*worker=*/-1, ws.epoch);
     report.test_accuracy = evaluate_global();
     s.attr("accuracy", report.test_accuracy);
   }
+  // Replay the deferred per-worker WAN tallies into the (shared,
+  // single-threaded) network counters, in worker order. Totals are integer
+  // sums of exactly the legacy per-attempt charges, so bytes_this_epoch is
+  // bitwise identical to the inline-counting path.
+  network_.reset_counters();
+  for (std::size_t w = 0; w < n; ++w) {
+    const EpochWorkspace::WorkerSlot& slot = ws.slots[w];
+    if (slot.downloaded_bytes > 0) {
+      network_.download(w, slot.downloaded_bytes, 1);
+    }
+    if (slot.uploaded_bytes > 0) network_.upload(w, slot.uploaded_bytes, 1);
+  }
   report.bytes_this_epoch = network_.total_bytes();
-  epoch_span.attr("session_failures", report.session_failures);
-  epoch_span.attr("evicted", report.evicted_count);
-  obs::flight_record(obs::FlightKind::kMark, "epoch.end", -1, epoch,
+  ws.epoch_span->attr("session_failures", report.session_failures);
+  ws.epoch_span->attr("evicted", report.evicted_count);
+  obs::flight_record(obs::FlightKind::kMark, "epoch.end", -1, ws.epoch,
                      report.bytes_this_epoch);
   return report;
+}
+
+EpochReport MiningPool::run_epoch(std::int64_t epoch) {
+  std::unique_ptr<EpochWorkspace> ws = prepare_epoch(epoch);
+
+  // Steps 1-2: workers train locally and commit, in index order.
+  for (std::size_t w = 0; w < workers_.size(); ++w) {
+    train_commit_worker(*ws, w);
+  }
+
+  // Step 3: verification (RPoL schemes).
+  if (ws->needs_rpol && config_.decentralized_verification) {
+    // Peer-committee verification: each worker is checked by a committee of
+    // the OTHER workers (it never votes on itself). Legacy-only branch: the
+    // sharded manager rejects this mode (committees replay whole traces
+    // across worker boundaries, which defeats shard isolation).
+    DecentralizedConfig dcfg;
+    dcfg.samples_q = config_.samples_q;
+    dcfg.verifiers_per_sample = config_.verifiers_per_sample;
+    dcfg.beta = last_calibration_.beta;
+    dcfg.assignment_seed = derive_seed(config_.seed, 0x9E0000ULL +
+                                                         static_cast<std::uint64_t>(epoch));
+    DecentralizedVerifier dec(factory_, config_.hp, dcfg);
+    for (std::size_t w = 0; w < workers_.size(); ++w) {
+      EpochWorkspace::WorkerSlot& slot = ws->slots[w];
+      if (!slot.participated) continue;
+      std::vector<VerifierNode> committee;
+      for (std::size_t v = 0; v < workers_.size(); ++v) {
+        if (v == w) continue;
+        VerifierNode node;
+        node.device = workers_[v].device;
+        node.run_seed = derive_seed(
+            config_.seed, 0x9F0000ULL + static_cast<std::uint64_t>(epoch) * 4096ULL +
+                              static_cast<std::uint64_t>(v));
+        committee.push_back(node);
+      }
+      obs::Span s("verify", *ws->epoch_span, static_cast<int>(w), epoch);
+      const DecentralizedResult dr = dec.verify(slot.commitment, slot.trace,
+                                                slot.context, ws->initial_hash,
+                                                committee);
+      s.attr("accepted", dr.accepted);
+      slot.accepted = dr.accepted;
+      slot.status = dr.accepted ? SessionStatus::kAccepted
+                                : SessionStatus::kVerdictRejected;
+      slot.reexecuted_steps += dr.critical_path_steps;  // wall time
+      if (!dr.accepted) slot.rejected = 1;
+      slot.end_ns = obs::now_ns();
+    }
+  } else if (ws->needs_rpol) {
+    for (std::size_t w = 0; w < workers_.size(); ++w) {
+      verify_worker(*ws, w, *verifier_);
+    }
+  }
+
+  return finish_epoch(*ws);
 }
 
 PoolRunReport MiningPool::run() {

@@ -21,12 +21,15 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 
 #include "core/calibrate.h"
+#include "core/ckptstore.h"
 #include "core/decentralized.h"
 #include "fault/fault.h"
 #include "obs/health.h"
 #include "obs/mem.h"
+#include "obs/obs.h"
 #include "sim/network.h"
 
 namespace rpol::core {
@@ -34,6 +37,38 @@ namespace rpol::core {
 enum class Scheme { kBaseline, kRPoLv1, kRPoLv2 };
 
 std::string scheme_name(Scheme scheme);
+
+// Why a session / submission ended — the typed outcome taxonomy shared by
+// protocol sessions (core/session.h, which includes this header), the pool
+// layers, and the sharded manager (core/sharded_pool.h). Pinned by
+// tests/core_session_test.cpp and swept by tests/fault_conformance_test.cpp:
+//   kAccepted          every exchange delivered and every sampled transition
+//                      verified;
+//   kVerdictRejected   all messages arrived but verification failed (hash
+//                      mismatch, distance above beta, LSH + double-check
+//                      miss);
+//   kDecodeRejected    a message stayed undecodable (or over the size cap)
+//                      for the whole retry budget — malformed beyond what
+//                      transport noise explains within budget;
+//   kTimeout           a message was never delivered within the retry budget
+//                      (drops, delays, or a withholding peer);
+//   kAdmissionRejected shed by a full shard submission queue under the
+//                      kReject overflow policy — delivered but never
+//                      verified, and deliberately NOT a health strike (a
+//                      manager overload is not worker misbehavior);
+//   kRequeued          transient: waiting in a shard's overflow backlog for
+//                      queue capacity (final statuses overwrite it once the
+//                      submission is verified).
+enum class SessionStatus : int {
+  kAccepted = 0,
+  kVerdictRejected,
+  kDecodeRejected,
+  kTimeout,
+  kAdmissionRejected,
+  kRequeued,
+};
+
+const char* session_status_name(SessionStatus status);
 
 struct PoolConfig {
   Scheme scheme = Scheme::kRPoLv2;
@@ -106,6 +141,15 @@ struct EpochReport {
   std::int64_t session_failures = 0;     // legs lost to transport this epoch
   std::int64_t retransmissions = 0;      // extra transmissions this epoch
   std::int64_t evicted_count = 0;        // cumulative evictions so far
+  // Typed per-worker outcome (kTimeout for lost sessions and sat-out
+  // evicted workers, kVerdictRejected / kAccepted for judged ones,
+  // kAdmissionRejected for submissions shed by a sharded manager).
+  std::vector<SessionStatus> status;
+  // Sharded-manager admission accounting (all zero on legacy runs).
+  std::int64_t admission_enqueued = 0;   // submissions that entered a queue
+  std::int64_t admission_requeued = 0;   // held in an overflow backlog first
+  std::int64_t admission_rejected = 0;   // shed under the kReject policy
+  std::int64_t max_queue_depth = 0;      // peak per-shard queue depth
 };
 
 struct PoolRunReport {
@@ -114,6 +158,91 @@ struct PoolRunReport {
   std::uint64_t total_bytes = 0;
   std::int64_t total_session_failures = 0;
   std::int64_t total_retransmissions = 0;
+};
+
+// Everything one epoch accumulates between the pool's protocol phases
+// (prepare -> train/commit -> verify -> finish). Built by
+// MiningPool::prepare_epoch and consumed by finish_epoch; the sharded
+// manager (core/sharded_pool.h) drives the per-worker phases from shard
+// threads, which is why the layout is strictly split into
+//
+//   * shared, read-only-after-prepare fields (initial state, calibration
+//     snapshot, LSH config/hasher), and
+//   * one WorkerSlot per worker, touched only by phases for THAT worker —
+//     slots of distinct workers never share mutable state, so phases for
+//     different workers may run concurrently.
+//
+// All cross-worker mutation (network counters, report totals, health
+// records, aggregation) is deferred to finish_epoch, which merges slots in
+// worker-index order — the ordering that makes a sharded run's report and
+// model bitwise identical to the sequential pool's (§6).
+struct EpochWorkspace {
+  std::int64_t epoch = 0;
+  bool needs_rpol = false;
+
+  // Shared protocol inputs, written by prepare_epoch only.
+  TrainState initial;
+  Digest initial_hash{};
+  std::uint64_t model_bytes = 0;
+  double alpha = 0.0;
+  double beta = 0.0;
+  lsh::LshParams lsh_params;
+  std::optional<lsh::LshConfig> lsh_config;
+  std::optional<lsh::PStableLsh> worker_hasher;
+  const std::vector<bool>* trainable_mask = nullptr;
+  sim::DeviceProfile verify_device;  // the pool's top device profile
+
+  struct WorkerSlot {
+    // Protocol artifacts.
+    std::optional<fault::FaultInjector> injector;
+    EpochContext context;
+    EpochTrace trace;
+    StreamedEpoch streamed;
+    Commitment commitment;
+    std::optional<CompactCommitment> compact;
+    // Outcome facts (merged into EpochReport by finish_epoch).
+    bool participated = true;
+    bool accepted = true;
+    SessionStatus status = SessionStatus::kAccepted;
+    std::int64_t session_failures = 0;
+    std::int64_t retransmissions = 0;
+    std::int64_t rejected = 0;           // 1 when a verdict rejected
+    std::int64_t lsh_mismatches = 0;
+    std::int64_t double_checks = 0;
+    std::int64_t reexecuted_steps = 0;
+    std::uint64_t storage_bytes = 0;     // trace / store residency
+    // Deferred WAN byte tallies, replayed into sim::Network in worker
+    // order by finish_epoch (the network's counters are not thread-safe).
+    std::uint64_t uploaded_bytes = 0;
+    std::uint64_t downloaded_bytes = 0;
+    // Telemetry (report-only wall clock).
+    std::uint64_t start_ns = 0;
+    std::uint64_t end_ns = 0;
+    // Bytes this slot charged to the checkpoint / merkle memory tags
+    // (obs::mem_add is atomic; a shared MemScope would not be), released
+    // by the workspace destructor.
+    std::uint64_t mem_checkpoint = 0;
+    std::uint64_t mem_merkle = 0;
+  };
+  std::vector<WorkerSlot> slots;
+
+  // Shared (epoch-level) tag charges, also released by the destructor.
+  std::uint64_t mem_checkpoint = 0;
+
+  // Admission accounting, filled by the sharded manager (zero otherwise).
+  std::int64_t admission_enqueued = 0;
+  std::int64_t admission_requeued = 0;
+  std::int64_t admission_rejected = 0;
+  std::int64_t max_queue_depth = 0;
+
+  // Roots the epoch's causal tree; alive for the workspace's lifetime so
+  // pipelined epochs may overlap their spans.
+  std::optional<obs::Span> epoch_span;
+
+  EpochWorkspace() = default;
+  EpochWorkspace(const EpochWorkspace&) = delete;
+  EpochWorkspace& operator=(const EpochWorkspace&) = delete;
+  ~EpochWorkspace();
 };
 
 class MiningPool {
@@ -128,8 +257,41 @@ class MiningPool {
   PoolRunReport run();
 
   // Runs a single epoch; exposed so tests and benches can drive the
-  // protocol step by step.
+  // protocol step by step. Exactly the sequential composition of the phase
+  // API below — prepare, train/commit and verify each worker in index
+  // order, finish — so its results define the bitwise reference every
+  // sharded schedule must reproduce.
   EpochReport run_epoch(std::int64_t epoch);
+
+  // --- Phase API: the sharded manager's seam (core/sharded_pool.h). ---
+  // Phases for DISTINCT workers touch only their own workspace slot and may
+  // run concurrently; prepare/finish are single-threaded bookends. A
+  // pipelined manager may hold two live workspaces (verify epoch N while
+  // epoch N+1 trains): prepare_epoch(N+1) snapshots the global model BEFORE
+  // finish_epoch(N) aggregates, which is the pipeline's (deterministic)
+  // one-epoch staleness.
+  std::unique_ptr<EpochWorkspace> prepare_epoch(std::int64_t epoch);
+  // Steps 1-2 for one worker: state download, local training, commitment,
+  // update/commitment upload. No-op (sit-out) for evicted workers.
+  void train_commit_worker(EpochWorkspace& ws, std::size_t w);
+  // Step 3 for one worker through `verifier` (the member verifier for the
+  // sequential pool; a per-shard instance — see make_verifier /
+  // configure_epoch_verifier — for sharded runs). No-op for kBaseline and
+  // for workers whose session already failed.
+  void verify_worker(EpochWorkspace& ws, std::size_t w, Verifier& verifier);
+  // Merges slots in worker order: health records, eviction, aggregation
+  // (Eq. 1), evaluation, WAN byte replay, report assembly.
+  EpochReport finish_epoch(EpochWorkspace& ws);
+
+  // A fresh verifier configured exactly like the pool's own (same sampling
+  // seed) — one per shard, so shard threads never share verifier state.
+  std::unique_ptr<Verifier> make_verifier() const;
+  // Applies the workspace's calibration snapshot (beta, LSH config) to a
+  // verifier; run once per epoch per shard verifier before verify_worker.
+  void configure_epoch_verifier(EpochWorkspace& ws, Verifier& verifier) const;
+
+  std::size_t num_workers() const { return workers_.size(); }
+  const PoolConfig& config() const { return config_; }
 
   const std::vector<float>& global_model() const { return global_model_; }
   double evaluate_global();
@@ -170,6 +332,12 @@ class MiningPool {
   std::uint64_t worker_nonce(std::int64_t epoch, std::size_t worker) const;
   // Top-2 device profiles among the pool's registered workers.
   std::pair<sim::DeviceProfile, sim::DeviceProfile> top_two_devices() const;
+  // One protocol leg for worker w under the fault environment: retries up
+  // to the budget, tallies bytes/retransmissions into the worker's slot
+  // (deferred; see EpochWorkspace), returns false when the budget is spent.
+  bool deliver_leg(EpochWorkspace& ws, std::size_t w, int leg,
+                   const char* counter, std::uint64_t bytes, bool upload,
+                   std::size_t fanout);
 };
 
 }  // namespace rpol::core

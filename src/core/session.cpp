@@ -1,6 +1,7 @@
 #include "core/session.h"
 
 #include <functional>
+#include <limits>
 #include <stdexcept>
 
 #include "obs/alerts.h"
@@ -17,16 +18,6 @@ const char* message_type_name(MessageType type) {
     case MessageType::kUpdate: return "update";
     case MessageType::kProofRequest: return "proof_request";
     case MessageType::kProofResponse: return "proof_response";
-  }
-  return "unknown";
-}
-
-const char* session_status_name(SessionStatus status) {
-  switch (status) {
-    case SessionStatus::kAccepted: return "accepted";
-    case SessionStatus::kVerdictRejected: return "verdict_rejected";
-    case SessionStatus::kDecodeRejected: return "decode_rejected";
-    case SessionStatus::kTimeout: return "timeout";
   }
   return "unknown";
 }
@@ -78,7 +69,16 @@ struct ExchangeDriver {
       if (attempt > 0) {
         ++outcome.retries_by_type[type_index];
         ++outcome.total_retries;
-        outcome.backoff_ticks += fault::backoff_ticks(config.retry, attempt - 1);
+        // Saturating accumulate: per-retry waits can themselves sit at the
+        // cap (fault::backoff_ticks saturates), so a long exchange under a
+        // huge cap must not overflow the session total either.
+        const std::int64_t wait =
+            fault::backoff_ticks(config.retry, attempt - 1);
+        outcome.backoff_ticks =
+            outcome.backoff_ticks >
+                    std::numeric_limits<std::int64_t>::max() - wait
+                ? std::numeric_limits<std::int64_t>::max()
+                : outcome.backoff_ticks + wait;
         obs::count("session.retry", 1);
       }
       if (withheld) {

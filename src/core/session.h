@@ -111,25 +111,8 @@ struct SessionConfig {
   obs::TraceContext trace_parent{};
 };
 
-// Why a session ended — the typed failure taxonomy (pinned by
-// tests/core_session_test.cpp and swept by tests/fault_conformance_test.cpp):
-//   kAccepted        every exchange delivered and every sampled transition
-//                    verified;
-//   kVerdictRejected all messages arrived but verification failed (hash
-//                    mismatch, distance above beta, LSH + double-check miss);
-//   kDecodeRejected  a message stayed undecodable (or over the size cap)
-//                    for the whole retry budget — malformed beyond what
-//                    transport noise explains within budget;
-//   kTimeout         a message was never delivered within the retry budget
-//                    (drops, delays, or a withholding peer).
-enum class SessionStatus : int {
-  kAccepted = 0,
-  kVerdictRejected,
-  kDecodeRejected,
-  kTimeout,
-};
-
-const char* session_status_name(SessionStatus status);
+// SessionStatus — the typed outcome taxonomy sessions share with the pool
+// admission layer — lives in core/pool.h (this header includes it).
 
 struct SessionOutcome {
   bool accepted = false;

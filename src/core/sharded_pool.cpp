@@ -1,0 +1,245 @@
+#include "core/sharded_pool.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <deque>
+#include <limits>
+#include <stdexcept>
+
+#include "obs/obs.h"
+#include "runtime/thread_pool.h"
+
+namespace rpol::core {
+
+int resolve_shards(int configured, std::size_t workers) {
+  int s = configured;
+  if (s <= 0) {
+    s = 1;
+    if (const char* env = std::getenv("RPOL_SHARDS")) {
+      const int parsed = std::atoi(env);
+      if (parsed > 0) s = parsed;
+    }
+  }
+  const int max_shards =
+      static_cast<int>(std::max<std::size_t>(workers, 1));
+  return std::clamp(s, 1, max_shards);
+}
+
+ShardedPool::ShardedPool(ShardedPoolConfig config, nn::ModelFactory factory,
+                         const data::Dataset& train, data::DatasetView test,
+                         std::vector<WorkerSpec> workers)
+    : cfg_(std::move(config)),
+      pool_(cfg_.base, std::move(factory), train, std::move(test),
+            std::move(workers)) {
+  if (cfg_.base.decentralized_verification) {
+    throw std::invalid_argument(
+        "sharded pools cannot use decentralized verification");
+  }
+  const int shards = resolve_shards(cfg_.shards, pool_.num_workers());
+  verifiers_.reserve(static_cast<std::size_t>(shards));
+  for (int s = 0; s < shards; ++s) verifiers_.push_back(pool_.make_verifier());
+  tallies_.resize(static_cast<std::size_t>(shards));
+}
+
+ShardRange ShardedPool::shard_range(int shard) const {
+  const std::size_t n = pool_.num_workers();
+  const std::size_t s = static_cast<std::size_t>(shards());
+  const std::size_t i = static_cast<std::size_t>(shard);
+  const std::size_t base = n / s;
+  const std::size_t rem = n % s;
+  ShardRange r;
+  r.begin = i * base + std::min(i, rem);
+  r.end = r.begin + base + (i < rem ? 1 : 0);
+  return r;
+}
+
+void ShardedPool::train_shard(EpochWorkspace& ws, int shard) {
+  const ShardRange r = shard_range(shard);
+  for (std::size_t w = r.begin; w < r.end; ++w) {
+    pool_.train_commit_worker(ws, w);
+  }
+}
+
+void ShardedPool::admit_and_verify_shard(EpochWorkspace& ws, int shard) {
+  ShardTally& tally = tallies_[static_cast<std::size_t>(shard)];
+  tally = ShardTally{};
+  if (!ws.needs_rpol) return;  // kBaseline: no verification, no queue
+  const ShardRange r = shard_range(shard);
+  Verifier& verifier = *verifiers_[static_cast<std::size_t>(shard)];
+
+  // Arrival burst: every surviving submission of the shard, in worker
+  // order (the lockstep protocol delivers them all at the end of the
+  // training phase). Worker order in, worker order out — so under
+  // kRequeue the verification ORDER is independent of queue_capacity and
+  // the verdict stream matches the unbounded run bitwise.
+  const std::size_t cap = cfg_.queue_capacity == 0
+                              ? std::numeric_limits<std::size_t>::max()
+                              : cfg_.queue_capacity;
+  std::deque<std::size_t> queue;
+  std::deque<std::size_t> backlog;
+  for (std::size_t w = r.begin; w < r.end; ++w) {
+    EpochWorkspace::WorkerSlot& slot = ws.slots[w];
+    if (!slot.participated) continue;  // lost sessions never reach the queue
+    if (queue.size() < cap) {
+      queue.push_back(w);
+      ++tally.enqueued;
+      tally.max_depth = std::max(tally.max_depth,
+                                 static_cast<std::int64_t>(queue.size()));
+    } else if (cfg_.overflow == AdmissionPolicy::kRequeue) {
+      slot.status = SessionStatus::kRequeued;
+      backlog.push_back(w);
+      ++tally.requeued;
+    } else {
+      // Load shedding: delivered but never judged. finish_epoch excludes
+      // the submission from aggregation AND from health strikes.
+      slot.status = SessionStatus::kAdmissionRejected;
+      slot.accepted = false;
+      ++tally.rejected;
+    }
+  }
+
+  // Drain in waves of verify_batch, readmitting from the backlog as
+  // capacity frees (kRequeue keeps submissions alive; kReject already shed
+  // its overflow at arrival, so its backlog is empty).
+  const std::size_t wave = cfg_.verify_batch == 0
+                               ? std::numeric_limits<std::size_t>::max()
+                               : cfg_.verify_batch;
+  while (!queue.empty()) {
+    std::size_t in_wave = 0;
+    while (!queue.empty() && in_wave < wave) {
+      const std::size_t w = queue.front();
+      queue.pop_front();
+      pool_.verify_worker(ws, w, verifier);
+      ++in_wave;
+      while (!backlog.empty() && queue.size() < cap) {
+        queue.push_back(backlog.front());
+        backlog.pop_front();
+        ++tally.enqueued;  // a requeued submission enqueues twice by design
+        tally.max_depth = std::max(tally.max_depth,
+                                   static_cast<std::int64_t>(queue.size()));
+      }
+    }
+  }
+}
+
+void ShardedPool::configure_verifiers(EpochWorkspace& ws) {
+  for (auto& v : verifiers_) pool_.configure_epoch_verifier(ws, *v);
+}
+
+void ShardedPool::merge_tallies(EpochWorkspace& ws) {
+  for (const ShardTally& t : tallies_) {
+    ws.admission_enqueued += t.enqueued;
+    ws.admission_requeued += t.requeued;
+    ws.admission_rejected += t.rejected;
+    ws.max_queue_depth = std::max(ws.max_queue_depth, t.max_depth);
+  }
+}
+
+void ShardedPool::publish_admission_metrics(const EpochWorkspace& ws) const {
+  // Decision-blind telemetry (§6): counters mirror what the report already
+  // states; nothing downstream reads them back.
+  if (ws.admission_enqueued > 0) {
+    obs::count("pool.admission.enqueued",
+               static_cast<std::uint64_t>(ws.admission_enqueued));
+  }
+  if (ws.admission_requeued > 0) {
+    obs::count("pool.admission.requeued",
+               static_cast<std::uint64_t>(ws.admission_requeued));
+  }
+  if (ws.admission_rejected > 0) {
+    obs::count("pool.admission.rejected",
+               static_cast<std::uint64_t>(ws.admission_rejected));
+  }
+  if (obs::telemetry_enabled()) {
+    obs::gauge("pool.admission.max_queue_depth")
+        .set(static_cast<double>(ws.max_queue_depth));
+  }
+}
+
+EpochReport ShardedPool::run_epoch(std::int64_t epoch) {
+  const int s = shards();
+  std::unique_ptr<EpochWorkspace> ws = pool_.prepare_epoch(epoch);
+
+  // Steps 1-2, sharded: slots of distinct workers are disjoint (pool.h),
+  // so shard threads never contend.
+  runtime::parallel_for(0, s, 1, [&](std::int64_t b, std::int64_t e) {
+    for (std::int64_t i = b; i < e; ++i) {
+      train_shard(*ws, static_cast<int>(i));
+    }
+  });
+
+  // Step 3, sharded: per-shard verifier + bounded admission queue.
+  configure_verifiers(*ws);
+  runtime::parallel_for(0, s, 1, [&](std::int64_t b, std::int64_t e) {
+    for (std::int64_t i = b; i < e; ++i) {
+      admit_and_verify_shard(*ws, static_cast<int>(i));
+    }
+  });
+
+  merge_tallies(*ws);
+  publish_admission_metrics(*ws);
+  return pool_.finish_epoch(*ws);
+}
+
+PoolRunReport ShardedPool::run() {
+  PoolRunReport report;
+  const std::int64_t epochs = pool_.config().epochs;
+  if (!cfg_.pipeline) {
+    for (std::int64_t t = 0; t < epochs; ++t) {
+      report.epochs.push_back(run_epoch(t));
+      report.total_bytes += report.epochs.back().bytes_this_epoch;
+      report.total_session_failures += report.epochs.back().session_failures;
+      report.total_retransmissions += report.epochs.back().retransmissions;
+    }
+    report.final_accuracy =
+        report.epochs.empty() ? 0.0 : report.epochs.back().test_accuracy;
+    return report;
+  }
+
+  // Pipelined schedule: while epoch t trains, epoch t-1 verifies. The
+  // phases touch disjoint workspaces (cur vs prev) and all shared-state
+  // mutation (prepare, finish) stays sequential between parallel regions,
+  // so two same-seed runs are bitwise identical at any thread count.
+  const int s = shards();
+  std::unique_ptr<EpochWorkspace> prev;
+  auto finish_prev = [&](std::unique_ptr<EpochWorkspace> done) {
+    merge_tallies(*done);
+    publish_admission_metrics(*done);
+    report.epochs.push_back(pool_.finish_epoch(*done));
+    report.total_bytes += report.epochs.back().bytes_this_epoch;
+    report.total_session_failures += report.epochs.back().session_failures;
+    report.total_retransmissions += report.epochs.back().retransmissions;
+  };
+  for (std::int64_t t = 0; t < epochs; ++t) {
+    // Snapshots the PRE-aggregation global model when prev is still in
+    // flight: the pipeline's deterministic one-epoch staleness.
+    std::unique_ptr<EpochWorkspace> cur = pool_.prepare_epoch(t);
+    if (prev) configure_verifiers(*prev);
+    const std::int64_t lanes = prev ? 2 * s : s;
+    runtime::parallel_for(0, lanes, 1, [&](std::int64_t b, std::int64_t e) {
+      for (std::int64_t i = b; i < e; ++i) {
+        if (i < s) {
+          train_shard(*cur, static_cast<int>(i));
+        } else {
+          admit_and_verify_shard(*prev, static_cast<int>(i - s));
+        }
+      }
+    });
+    if (prev) finish_prev(std::move(prev));
+    prev = std::move(cur);
+  }
+  if (prev) {
+    configure_verifiers(*prev);
+    runtime::parallel_for(0, s, 1, [&](std::int64_t b, std::int64_t e) {
+      for (std::int64_t i = b; i < e; ++i) {
+        admit_and_verify_shard(*prev, static_cast<int>(i));
+      }
+    });
+    finish_prev(std::move(prev));
+  }
+  report.final_accuracy =
+      report.epochs.empty() ? 0.0 : report.epochs.back().test_accuracy;
+  return report;
+}
+
+}  // namespace rpol::core

@@ -1,0 +1,132 @@
+// Sharded, epoch-pipelined mining-pool manager with admission control.
+//
+// MiningPool verifies its workers one after another on the manager thread;
+// at mining-pool scale (10^3..10^4 workers, Sec. II) the manager becomes the
+// bottleneck long before the workers do. ShardedPool keeps the protocol —
+// and, by construction, the bits — of the sequential pool while spreading
+// the manager's work across S shards:
+//
+//   * PARTITIONING  Workers are split into S contiguous shards; each shard
+//     owns a private Verifier (same sampling seed as the pool's — sampled
+//     indices depend only on (epoch, worker), never on shard layout) and
+//     drives the per-worker phases of core/pool.h's phase API through
+//     runtime::parallel_for. All cross-worker state (health, aggregation,
+//     network counters) stays in MiningPool::finish_epoch, which merges
+//     per-worker slots in worker-index order — so a sharded epoch is
+//     bitwise identical to the sequential pool at ANY shard count (§6;
+//     pinned by tests/runtime_determinism_test.cpp).
+//
+//   * ADMISSION CONTROL  Each shard fronts its verifier with a bounded
+//     submission queue (queue_capacity; 0 = unbounded). Submissions arrive
+//     in one burst per epoch (lockstep protocol) in worker order; overflow
+//     is governed by AdmissionPolicy:
+//       kRequeue  the excess waits in a backlog and re-enters as the
+//                 verifier drains — every submission is still verified in
+//                 worker order, so verdicts match the unbounded run bitwise
+//                 and only the admission counters record the pressure;
+//       kReject   the excess is shed with SessionStatus::kAdmissionRejected.
+//                 Shed submissions are excluded from aggregation but do NOT
+//                 strike the worker's health record (manager overload is
+//                 not worker misbehavior — finish_epoch skips them).
+//     The verifier drains the queue in waves of verify_batch (0 = drain
+//     everything). Counters surface as EpochReport::admission_* and the
+//     pool.admission.* metrics (docs/observability.md).
+//
+//   * EPOCH PIPELINING  (pipeline = true) Epoch N+1's training overlaps
+//     epoch N's verification: prepare_epoch(N+1) snapshots the global model
+//     BEFORE finish_epoch(N) aggregates, so trained updates land one epoch
+//     late. This is a deterministic one-epoch staleness (the async-SGD
+//     regime of core/async_pool.h, with a fixed lag of 1), NOT a §6
+//     violation: two same-seed pipelined runs are bitwise identical at any
+//     thread count, because train(N+1) and verify(N) touch disjoint
+//     workspaces and all aggregation stays sequential. Pipelined results
+//     legitimately differ from non-pipelined ones.
+//
+// Decentralized verification is rejected: peer committees replay whole
+// traces across worker boundaries, which defeats shard isolation.
+
+#pragma once
+
+#include "core/pool.h"
+
+namespace rpol::core {
+
+// What a shard does with a submission that arrives while its queue is full.
+enum class AdmissionPolicy : int {
+  kRequeue = 0,  // hold in a backlog; verify once capacity frees (lossless)
+  kReject,       // shed with kAdmissionRejected (load shedding)
+};
+
+struct ShardedPoolConfig {
+  PoolConfig base;
+  // Manager shard count. 0 resolves RPOL_SHARDS from the environment
+  // (default 1); always clamped to [1, num_workers].
+  int shards = 0;
+  // Overlap epoch N's verification with epoch N+1's training.
+  bool pipeline = false;
+  // Per-shard submission-queue capacity; 0 = unbounded.
+  std::size_t queue_capacity = 0;
+  AdmissionPolicy overflow = AdmissionPolicy::kRequeue;
+  // Verifier wave size when draining a queue; 0 = drain everything.
+  std::size_t verify_batch = 0;
+};
+
+// Shard-count resolution used by the constructor, exposed for tests and
+// harnesses: `configured` wins when positive, else RPOL_SHARDS, else 1;
+// the result is clamped to [1, workers].
+int resolve_shards(int configured, std::size_t workers);
+
+// Contiguous half-open worker range [begin, end) owned by one shard.
+struct ShardRange {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+};
+
+class ShardedPool {
+ public:
+  ShardedPool(ShardedPoolConfig config, nn::ModelFactory factory,
+              const data::Dataset& train, data::DatasetView test,
+              std::vector<WorkerSpec> workers);
+
+  // Lockstep (pipeline=false) or pipelined full run.
+  PoolRunReport run();
+
+  // One lockstep epoch: prepare -> sharded train -> sharded admit+verify ->
+  // finish. Bitwise identical to MiningPool::run_epoch for any shard count.
+  EpochReport run_epoch(std::int64_t epoch);
+
+  int shards() const { return static_cast<int>(verifiers_.size()); }
+  // Balanced contiguous partition: the first (workers % shards) shards get
+  // one extra worker.
+  ShardRange shard_range(int shard) const;
+
+  // The underlying sequential pool (health, global model, config).
+  MiningPool& pool() { return pool_; }
+  const MiningPool& pool() const { return pool_; }
+
+ private:
+  // Per-shard admission tallies, merged into the workspace (and from there
+  // into the EpochReport) in shard order after the parallel region — shard
+  // threads never write shared counters.
+  struct ShardTally {
+    std::int64_t enqueued = 0;
+    std::int64_t requeued = 0;
+    std::int64_t rejected = 0;
+    std::int64_t max_depth = 0;
+  };
+
+  ShardedPoolConfig cfg_;
+  MiningPool pool_;
+  std::vector<std::unique_ptr<Verifier>> verifiers_;  // one per shard
+  std::vector<ShardTally> tallies_;
+
+  void train_shard(EpochWorkspace& ws, int shard);
+  // Admission control + verification for one shard (runs on the shard's
+  // thread; touches only this shard's slots, verifier, and tally).
+  void admit_and_verify_shard(EpochWorkspace& ws, int shard);
+  void configure_verifiers(EpochWorkspace& ws);
+  void merge_tallies(EpochWorkspace& ws);
+  void publish_admission_metrics(const EpochWorkspace& ws) const;
+};
+
+}  // namespace rpol::core

@@ -33,12 +33,24 @@ FaultPlan FaultPlan::adversary(Byzantine behavior, std::uint64_t seed) {
 
 std::int64_t backoff_ticks(const RetryPolicy& policy, int retry) {
   if (retry < 0) retry = 0;
-  // base << retry without overflow: once the shift passes the cap, clamp.
-  std::int64_t ticks = policy.backoff_base_ticks;
-  for (int i = 0; i < retry && ticks < policy.backoff_cap_ticks; ++i) {
+  // Saturating base << retry. Two overflow holes the naive loop has that
+  // soak-scale budgets (max_attempts in the thousands, caps near INT64_MAX)
+  // actually hit: (a) doubling can pass the cap by overflowing first when
+  // the cap exceeds INT64_MAX/2, which is signed-overflow UB, and (b) a
+  // negative base doubles toward -INT64_MAX and overflows the other way.
+  // Clamp both inputs to [0, cap] and stop doubling the moment the next
+  // double would exceed the cap.
+  const std::int64_t cap = std::max<std::int64_t>(policy.backoff_cap_ticks, 0);
+  std::int64_t ticks =
+      std::min(std::max<std::int64_t>(policy.backoff_base_ticks, 0), cap);
+  for (int i = 0; i < retry && ticks < cap; ++i) {
+    if (ticks > cap - ticks) {  // ticks * 2 > cap, computed without overflow
+      ticks = cap;
+      break;
+    }
     ticks *= 2;
   }
-  return std::min(ticks, policy.backoff_cap_ticks);
+  return ticks;
 }
 
 double expected_transmissions(double failure_probability, int max_attempts) {

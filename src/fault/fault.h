@@ -118,7 +118,10 @@ struct RetryPolicy {
 };
 
 // Simulated ticks the sender waits after failed attempt `retry` (0-based):
-// base << retry, clamped to the cap. Deterministic, no wall clock.
+// base << retry, clamped to the cap. Deterministic, no wall clock. Saturates
+// instead of overflowing: arbitrarily large retry indices, caps up to
+// INT64_MAX, and non-positive bases/caps (clamped to 0) are all safe —
+// soak-scale retry budgets exercise exactly these corners.
 std::int64_t backoff_ticks(const RetryPolicy& policy, int retry);
 
 // Expected transmissions per message under per-attempt failure probability

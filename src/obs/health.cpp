@@ -49,14 +49,26 @@ bool HealthRegistry::record(std::size_t worker, const HealthOutcome& outcome) {
     s.next = (s.next + 1) % kWindow;
   }
 
-  // The decision path: identical to the strike counters the pools used to
-  // keep inline. Only protocol facts participate.
-  const bool failed = !outcome.participated || !outcome.accepted;
-  if (!failed) {
+  // The decision path. Only protocol facts participate, and the strike
+  // budget is split by failure kind: transport loss (the worker never
+  // delivered) and verification rejection (delivered but judged bad) each
+  // keep their own consecutive counter, and eviction requires threshold_
+  // consecutive strikes OF ONE KIND. Pure streaks behave exactly like the
+  // single-counter rule the pools always had; mixed loss/rejection streaks
+  // deliberately survive longer (see the header's divergence note).
+  const bool lost = !outcome.participated;
+  const bool rejected = outcome.participated && !outcome.accepted;
+  if (!lost && !rejected) {
     s.consecutive_failures = 0;
+    s.consecutive_losses = 0;
+    s.consecutive_rejections = 0;
     return false;
   }
-  if (++s.consecutive_failures >= threshold_) {
+  ++s.consecutive_failures;
+  if (lost) ++s.consecutive_losses;
+  if (rejected) ++s.consecutive_rejections;
+  if (s.consecutive_losses >= threshold_ ||
+      s.consecutive_rejections >= threshold_) {
     s.evicted = true;
     return true;
   }
@@ -72,6 +84,16 @@ bool HealthRegistry::evicted(std::size_t worker) const {
 int HealthRegistry::consecutive_failures(std::size_t worker) const {
   const Slot* s = slot(worker);
   return s != nullptr ? s->consecutive_failures : 0;
+}
+
+int HealthRegistry::consecutive_losses(std::size_t worker) const {
+  const Slot* s = slot(worker);
+  return s != nullptr ? s->consecutive_losses : 0;
+}
+
+int HealthRegistry::consecutive_rejections(std::size_t worker) const {
+  const Slot* s = slot(worker);
+  return s != nullptr ? s->consecutive_rejections : 0;
 }
 
 HealthRegistry::WindowStats HealthRegistry::window_stats(

@@ -6,12 +6,23 @@
 //
 // Two strictly separated roles:
 //
-//   * DECISIONS (eviction) use only deterministic protocol facts: a session
-//     failed iff the worker did not participate or was not accepted, one
-//     accepted session clears the strike count, and `eviction_threshold`
-//     consecutive failures evict permanently. This is byte-for-byte the
-//     policy MiningPool / AsyncMiningPool implemented inline, so moving it
-//     here changes no protocol behavior (fault_conformance_test holds).
+//   * DECISIONS (eviction) use only deterministic protocol facts. Failures
+//     are split by KIND: a session is a LOSS when the worker did not
+//     participate (transport exhausted the retry budget — the link's fault,
+//     not necessarily the worker's) and a REJECTION when it participated
+//     but verification rejected it (evidence of misbehavior). Each kind
+//     keeps its own consecutive-strike counter; `eviction_threshold`
+//     consecutive strikes OF ONE KIND evict permanently, and one accepted
+//     session clears everything. For pure streaks (all-loss blackouts,
+//     all-rejection byzantine workers) this is byte-for-byte the single-
+//     counter policy the pools always had (fault_conformance_test holds).
+//     The deliberate divergence is MIXED streaks: a lossy link whose
+//     occasional delivered submissions get rejected no longer evicts at
+//     `threshold` total failures — link loss must not burn the byzantine-
+//     eviction budget ("PoL with Incentive Security": a lossy link is not
+//     byzantine evidence). A mixed streak still evicts once either kind
+//     alone reaches the threshold, so hostile workers cannot hide behind
+//     packet loss indefinitely.
 //
 //   * REPORTING (score, state) may additionally fold in wall-clock facts —
 //     submission latency, retransmission counts — because nothing ever
@@ -78,7 +89,15 @@ class HealthRegistry {
   bool record(std::size_t worker, const HealthOutcome& outcome);
 
   bool evicted(std::size_t worker) const;
+  // Total consecutive failed sessions of any kind (the rpol.health.v1
+  // export field; resets on success).
   int consecutive_failures(std::size_t worker) const;
+  // Kind-split strike counters — the eviction inputs. Losses count sessions
+  // the worker never delivered; rejections count delivered-but-rejected
+  // verdicts. Only success resets them (a loss does not forgive a rejection
+  // streak or vice versa).
+  int consecutive_losses(std::size_t worker) const;
+  int consecutive_rejections(std::size_t worker) const;
 
   // Deterministic-decision-blind report card, 0..100. 100 for a fresh
   // worker, 0 once evicted. Weighted window facts: acceptance 55,
@@ -103,7 +122,9 @@ class HealthRegistry {
     HealthOutcome ring[kWindow];
     std::size_t count = 0;  // outcomes recorded, saturates at kWindow
     std::size_t next = 0;   // overwrite position once full
-    int consecutive_failures = 0;
+    int consecutive_failures = 0;   // any kind (reporting)
+    int consecutive_losses = 0;     // !participated (decision input)
+    int consecutive_rejections = 0; // participated && !accepted (decision input)
     bool evicted = false;
   };
   const Slot* slot(std::size_t worker) const;

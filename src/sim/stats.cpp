@@ -31,19 +31,26 @@ double min_value(const std::vector<double>& xs) {
   return *std::min_element(xs.begin(), xs.end());
 }
 
-double percentile(const std::vector<double>& xs, double p) {
-  if (xs.empty()) throw std::invalid_argument("percentile of empty sample");
+double percentile_sorted(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) {
+    throw std::invalid_argument("percentile of empty sample");
+  }
   if (p < 0.0 || p > 100.0) {
     throw std::invalid_argument("percentile p must be in [0, 100]");
   }
-  std::vector<double> sorted = xs;
-  std::sort(sorted.begin(), sorted.end());
   const double rank =
       p / 100.0 * static_cast<double>(sorted.size() - 1);  // R-7
   const std::size_t lo = static_cast<std::size_t>(rank);
   if (lo + 1 >= sorted.size()) return sorted.back();
   const double frac = rank - static_cast<double>(lo);
   return sorted[lo] + frac * (sorted[lo + 1] - sorted[lo]);
+}
+
+double percentile(const std::vector<double>& xs, double p) {
+  if (xs.empty()) throw std::invalid_argument("percentile of empty sample");
+  std::vector<double> sorted = xs;
+  std::sort(sorted.begin(), sorted.end());
+  return percentile_sorted(sorted, p);
 }
 
 namespace {

@@ -20,6 +20,13 @@ double min_value(const std::vector<double>& xs);
 // the bench harness so every quantile in the repo means the same thing.
 double percentile(const std::vector<double>& xs, double p);
 
+// Same quantile over an ALREADY ASCENDING-SORTED sample — the single-sort
+// path for callers that need several quantiles of one distribution
+// (bench::summarize_latencies). p=0 returns the front, p=100 the back,
+// single-element and duplicate-heavy samples interpolate to the obvious
+// constants. Throws on an empty sample, like percentile().
+double percentile_sorted(const std::vector<double>& sorted, double p);
+
 struct KsTestResult {
   double statistic = 0.0;   // sup |F_empirical - F_normal(mean, sd)|
   double p_value = 0.0;     // asymptotic Kolmogorov distribution

@@ -17,6 +17,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "core/async_pool.h"
 #include "core/session.h"
 #include "task_fixture.h"
@@ -391,6 +393,47 @@ TEST(FaultPrimitives, BackoffIsExponentialAndCapped) {
   EXPECT_EQ(fault::backoff_ticks(policy, 2), 8);
   EXPECT_EQ(fault::backoff_ticks(policy, 3), 16);
   EXPECT_EQ(fault::backoff_ticks(policy, 10), 16);  // capped
+}
+
+// Regression: the doubling loop used to run `base << retry` arithmetic that
+// overflowed (signed UB) once `retry` grew past the cap's bit width, or when
+// the cap itself sat in the top half of the int64 range. The saturating
+// rewrite must pin to the cap instead, for ANY attempt index — asan/ubsan
+// tier-1 passes run this test, so an overflow would trip the sanitizer too.
+TEST(FaultPrimitives, BackoffSaturatesAtExtremeAttemptCounts) {
+  fault::RetryPolicy policy;
+  policy.backoff_base_ticks = 2;
+  policy.backoff_cap_ticks = 16;
+  // Way past the doubling range: stays exactly at the cap.
+  EXPECT_EQ(fault::backoff_ticks(policy, 1000), 16);
+  EXPECT_EQ(fault::backoff_ticks(policy, std::numeric_limits<int>::max()), 16);
+
+  // Cap in the top half of the int64 range: doubling from 1 would overflow
+  // after 62 shifts; the result must saturate at the cap, never wrap.
+  policy.backoff_base_ticks = 1;
+  policy.backoff_cap_ticks = std::numeric_limits<std::int64_t>::max();
+  const std::int64_t at62 = fault::backoff_ticks(policy, 62);
+  EXPECT_EQ(at62, std::int64_t{1} << 62);
+  EXPECT_EQ(fault::backoff_ticks(policy, 63),
+            std::numeric_limits<std::int64_t>::max());
+  EXPECT_EQ(fault::backoff_ticks(policy, 10000),
+            std::numeric_limits<std::int64_t>::max());
+
+  // Degenerate policies clamp instead of producing negative waits.
+  policy.backoff_base_ticks = -5;
+  policy.backoff_cap_ticks = 16;
+  EXPECT_EQ(fault::backoff_ticks(policy, 0), 0);
+  EXPECT_EQ(fault::backoff_ticks(policy, 7), 0);
+  policy.backoff_base_ticks = 4;
+  policy.backoff_cap_ticks = -1;
+  EXPECT_EQ(fault::backoff_ticks(policy, 3), 0);
+  // Base above the cap: the cap wins from attempt zero.
+  policy.backoff_base_ticks = 100;
+  policy.backoff_cap_ticks = 16;
+  EXPECT_EQ(fault::backoff_ticks(policy, 0), 16);
+  // Negative attempt indices are treated as attempt zero.
+  policy.backoff_base_ticks = 2;
+  EXPECT_EQ(fault::backoff_ticks(policy, -3), 2);
 }
 
 TEST(FaultPrimitives, ExpectedTransmissionsMatchesGeometricSum) {

@@ -243,6 +243,55 @@ TEST(HealthRegistryTest, NonParticipationCountsAsFailure) {
   EXPECT_TRUE(reg.evicted(0));
 }
 
+// The strike budget is split by failure KIND (link loss vs verify
+// rejection): a worker alternating between the two never accrues
+// eviction_threshold consecutive strikes of EITHER kind, even though its
+// overall consecutive-failure streak (reporting only) keeps growing. Before
+// the split, transport loss and rejection burned one shared budget and a
+// flaky-but-honest worker on a lossy link could be evicted as "byzantine".
+TEST(HealthRegistryTest, MixedLossAndRejectionStreaksDoNotEvict) {
+  HealthRegistry reg(/*eviction_threshold=*/3, /*workers=*/1);
+  HealthOutcome lost;  // participated=false: never delivered
+  // Alternate the kinds so NEITHER counter reaches the threshold of 3,
+  // even though the overall failure streak (4) is past it — under the old
+  // shared budget this worker would already be gone.
+  for (int i = 0; i < 4; ++i) {
+    const HealthOutcome o = (i % 2 == 0) ? lost : failed_outcome();
+    EXPECT_FALSE(reg.record(0, o)) << "at outcome " << i;
+  }
+  EXPECT_FALSE(reg.evicted(0));
+  // Reporting still sees the whole mixed streak; each kind-counter holds
+  // only its own share.
+  EXPECT_EQ(reg.consecutive_failures(0), 4);
+  EXPECT_EQ(reg.consecutive_losses(0), 2);
+  EXPECT_EQ(reg.consecutive_rejections(0), 2);
+  // One accepted session clears every counter at once.
+  reg.record(0, ok_outcome());
+  EXPECT_EQ(reg.consecutive_failures(0), 0);
+  EXPECT_EQ(reg.consecutive_losses(0), 0);
+  EXPECT_EQ(reg.consecutive_rejections(0), 0);
+}
+
+TEST(HealthRegistryTest, SingleKindStreaksStillEvictAtThreshold) {
+  // Pure transport-loss streak: evicts at the threshold, exactly as the
+  // legacy shared-budget registry did.
+  HealthRegistry loss_reg(3, 1);
+  HealthOutcome lost;
+  EXPECT_FALSE(loss_reg.record(0, lost));
+  EXPECT_FALSE(loss_reg.record(0, lost));
+  EXPECT_TRUE(loss_reg.record(0, lost));
+  EXPECT_TRUE(loss_reg.evicted(0));
+
+  // Pure rejection streak, with interleaved losses that must not delay it:
+  // the rejection counter marches to the threshold on its own.
+  HealthRegistry rej_reg(3, 1);
+  EXPECT_FALSE(rej_reg.record(0, failed_outcome()));
+  EXPECT_FALSE(rej_reg.record(0, lost));  // loss strike 1 of 3
+  EXPECT_FALSE(rej_reg.record(0, failed_outcome()));
+  EXPECT_TRUE(rej_reg.record(0, failed_outcome()));  // rejection 3 of 3
+  EXPECT_TRUE(rej_reg.evicted(0));
+}
+
 TEST(HealthRegistryTest, ScoresRankCleanWorkersAboveStrugglingOnes) {
   HealthRegistry reg(3, 3);
   // Fresh workers start at 100 / healthy.

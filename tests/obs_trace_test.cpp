@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
 #include <fstream>
@@ -15,6 +16,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_util.h"
 #include "obs/analyze.h"
 #include "obs/obs.h"
 #include "sim/stats.h"
@@ -68,6 +70,67 @@ TEST(Percentile, RejectsBadInput) {
   EXPECT_THROW(sim::percentile({}, 50.0), std::invalid_argument);
   EXPECT_THROW(sim::percentile({1.0}, -1.0), std::invalid_argument);
   EXPECT_THROW(sim::percentile({1.0}, 101.0), std::invalid_argument);
+  EXPECT_THROW(sim::percentile_sorted({}, 50.0), std::invalid_argument);
+  EXPECT_THROW(sim::percentile_sorted({1.0}, 100.5), std::invalid_argument);
+}
+
+// Edge-case pins for the R-7 routine: p=100 on every size (the rank lands
+// exactly on the last index — no out-of-bounds interpolation partner),
+// duplicate-heavy samples (interpolating between equal values must return
+// exactly that value, no rounding drift), and near-100 percentiles whose
+// rank falls inside the final gap.
+TEST(Percentile, ExactTopAndDuplicateHeavySamples) {
+  EXPECT_DOUBLE_EQ(sim::percentile({3.0}, 100.0), 3.0);
+  EXPECT_DOUBLE_EQ(sim::percentile({3.0, 9.0}, 100.0), 9.0);
+  EXPECT_DOUBLE_EQ(sim::percentile({3.0, 9.0}, 99.9), 9.0 - 0.001 * 6.0);
+
+  // All-equal sample: every percentile is the common value, bit-exact.
+  const std::vector<double> flat(17, 4.25);
+  for (const double p : {0.0, 37.5, 50.0, 95.0, 99.9, 100.0}) {
+    EXPECT_DOUBLE_EQ(sim::percentile(flat, p), 4.25) << "p=" << p;
+  }
+
+  // Duplicate-heavy with one outlier: the median sits in the duplicate
+  // plateau; p=100 is exactly the outlier; p=95 interpolates into the gap.
+  std::vector<double> heavy(19, 1.0);
+  heavy.push_back(100.0);  // sorted rank 19 of 0..19
+  EXPECT_DOUBLE_EQ(sim::percentile(heavy, 50.0), 1.0);
+  EXPECT_DOUBLE_EQ(sim::percentile(heavy, 100.0), 100.0);
+  const double rank = 0.95 * 19.0;  // 18.05: between the plateau and outlier
+  EXPECT_DOUBLE_EQ(sim::percentile(heavy, 95.0),
+                   1.0 + (rank - 18.0) * (100.0 - 1.0));
+
+  // percentile_sorted is the same function modulo the caller's sort.
+  std::vector<double> sorted = heavy;
+  std::sort(sorted.begin(), sorted.end());
+  for (const double p : {0.0, 50.0, 95.0, 100.0}) {
+    EXPECT_DOUBLE_EQ(sim::percentile_sorted(sorted, p),
+                     sim::percentile(heavy, p));
+  }
+}
+
+// bench_util::summarize_latencies rides on the same quantile routine; its
+// empty-input contract (all zeros, no throw) is what lets soak benches
+// report windows with zero completed samples.
+TEST(Percentile, LatencySummaryHandlesEmptySingleAndDuplicates) {
+  const bench::LatencySummary empty = bench::summarize_latencies({});
+  EXPECT_DOUBLE_EQ(empty.best, 0.0);
+  EXPECT_DOUBLE_EQ(empty.p50, 0.0);
+  EXPECT_DOUBLE_EQ(empty.p95, 0.0);
+  EXPECT_DOUBLE_EQ(empty.worst, 0.0);
+
+  const bench::LatencySummary one = bench::summarize_latencies({2.5});
+  EXPECT_DOUBLE_EQ(one.best, 2.5);
+  EXPECT_DOUBLE_EQ(one.p50, 2.5);
+  EXPECT_DOUBLE_EQ(one.p95, 2.5);
+  EXPECT_DOUBLE_EQ(one.worst, 2.5);
+
+  const bench::LatencySummary dup =
+      bench::summarize_latencies({1.0, 1.0, 1.0, 1.0, 5.0});
+  EXPECT_DOUBLE_EQ(dup.best, 1.0);
+  EXPECT_DOUBLE_EQ(dup.p50, 1.0);
+  EXPECT_DOUBLE_EQ(dup.worst, 5.0);
+  EXPECT_DOUBLE_EQ(dup.p95, 1.0 + 0.8 * 4.0);  // rank 3.8 in the final gap
 }
 
 // ---------------------------------------------------------------------------

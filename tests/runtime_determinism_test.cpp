@@ -9,6 +9,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -16,11 +17,13 @@
 #include <optional>
 #include <stdexcept>
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include "core/commitment.h"
 #include "core/detsel.h"
 #include "core/executor.h"
+#include "core/sharded_pool.h"
 #include "crypto/sha256.h"
 #include "data/partition.h"
 #include "data/synthetic.h"
@@ -827,6 +830,195 @@ TEST(TrainingDeterminism, LivePoolRunIsBitwiseIdentical) {
   // The adversary's eviction is part of the identical surface.
   EXPECT_TRUE(live_1t.evicted[0]);
   EXPECT_FALSE(live_1t.evicted[1]);
+}
+
+// ---------------------------------------------------------------------------
+// Sharded manager equivalence (core/sharded_pool.h): the §6 contract for the
+// sharded layer. A lockstep sharded run is the SAME protocol re-scheduled:
+// every per-worker decision input (injector stream, device seed, nonce,
+// verifier samples) is derived from (epoch, GLOBAL worker index) and all
+// cross-worker mutation is merged in worker order by finish_epoch — so the
+// sharded pool must be bitwise identical to the legacy sequential pool at
+// ANY shard count, and at any thread count, with bounded admission queues
+// engaged. Faults and an adversary are on so the equivalence covers real
+// verdicts, retries, and evictions, not just the happy path.
+TEST(TrainingDeterminism, ShardedPoolMatchesLegacyBitwiseAtAnyShardCount) {
+  struct Result {
+    std::vector<float> model;
+    double final_accuracy = 0.0;
+    std::uint64_t total_bytes = 0;
+    std::int64_t session_failures = 0;
+    std::int64_t retransmissions = 0;
+    std::vector<bool> evicted;
+    std::vector<std::vector<bool>> accepted;     // per epoch
+    std::vector<std::vector<bool>> participated; // per epoch
+    std::vector<double> epoch_accuracy;
+    std::int64_t requeued = 0;
+    std::int64_t max_depth = 0;
+  };
+  const fault::FaultPlan plan = [] {
+    fault::FaultProfile p;
+    p.drop = 0.2;
+    p.delay = 0.1;
+    p.corrupt = 0.05;
+    return fault::FaultPlan::transport(p, 515);
+  }();
+  auto base_config = [&](const testing::TinyTask& task) {
+    core::PoolConfig cfg;
+    cfg.scheme = core::Scheme::kRPoLv2;
+    cfg.hp = task.hp;
+    cfg.epochs = 3;
+    cfg.samples_q = 3;
+    cfg.seed = 71;
+    cfg.eviction_threshold = 2;
+    cfg.fault_plan = &plan;
+    return cfg;
+  };
+  auto make_workers = [] {
+    std::vector<core::WorkerSpec> workers;
+    const auto devices = sim::all_devices();
+    for (std::size_t w = 0; w < 5; ++w) {
+      core::WorkerSpec spec;
+      spec.policy = w == 0 ? std::unique_ptr<core::WorkerPolicy>(
+                                 std::make_unique<core::ReplayPolicy>())
+                           : std::unique_ptr<core::WorkerPolicy>(
+                                 std::make_unique<core::HonestPolicy>());
+      spec.device = devices[w % devices.size()];
+      workers.push_back(std::move(spec));
+    }
+    return workers;
+  };
+  auto collect = [](const core::PoolRunReport& report,
+                    const std::vector<float>& model,
+                    const obs::HealthRegistry& health) {
+    Result r;
+    r.model = model;
+    r.final_accuracy = report.final_accuracy;
+    r.total_bytes = report.total_bytes;
+    r.session_failures = report.total_session_failures;
+    r.retransmissions = report.total_retransmissions;
+    for (std::size_t w = 0; w < 5; ++w) r.evicted.push_back(health.evicted(w));
+    for (const auto& epoch : report.epochs) {
+      r.accepted.push_back(epoch.accepted);
+      r.participated.push_back(epoch.participated);
+      r.epoch_accuracy.push_back(epoch.test_accuracy);
+      r.requeued += epoch.admission_requeued;
+      r.max_depth = std::max(r.max_depth, epoch.max_queue_depth);
+    }
+    return r;
+  };
+
+  auto run_legacy = [&](int threads) {
+    const ThreadGuard guard;
+    runtime::set_threads(threads);
+    const testing::TinyTask task = testing::TinyTask::make(61, 10, 3);
+    const data::TrainTestSplit split =
+        data::train_test_split(task.dataset, 0.25, 17);
+    core::MiningPool pool(base_config(task), task.factory, task.dataset,
+                          split.test, make_workers());
+    const core::PoolRunReport report = pool.run();
+    return collect(report, pool.global_model(), pool.health());
+  };
+  auto run_sharded = [&](int shards, int threads, std::size_t queue_capacity) {
+    const ThreadGuard guard;
+    runtime::set_threads(threads);
+    const testing::TinyTask task = testing::TinyTask::make(61, 10, 3);
+    const data::TrainTestSplit split =
+        data::train_test_split(task.dataset, 0.25, 17);
+    core::ShardedPoolConfig cfg;
+    cfg.base = base_config(task);
+    cfg.shards = shards;
+    cfg.queue_capacity = queue_capacity;
+    cfg.verify_batch = 2;
+    cfg.overflow = core::AdmissionPolicy::kRequeue;
+    core::ShardedPool pool(std::move(cfg), task.factory, task.dataset,
+                           split.test, make_workers());
+    const core::PoolRunReport report = pool.run();
+    return collect(report, pool.pool().global_model(), pool.pool().health());
+  };
+
+  const Result legacy = run_legacy(1);
+  const Result sharded_1s = run_sharded(1, 1, 0);
+  const Result sharded_4s_1t = run_sharded(4, 1, 0);
+  const Result sharded_4s_4t = run_sharded(4, 4, 0);
+  const Result sharded_4s_bounded = run_sharded(4, 4, /*queue_capacity=*/1);
+
+  const auto expect_same = [](const Result& a, const Result& b) {
+    EXPECT_EQ(a.model, b.model);
+    EXPECT_EQ(a.final_accuracy, b.final_accuracy);
+    EXPECT_EQ(a.total_bytes, b.total_bytes);
+    EXPECT_EQ(a.session_failures, b.session_failures);
+    EXPECT_EQ(a.retransmissions, b.retransmissions);
+    EXPECT_EQ(a.evicted, b.evicted);
+    EXPECT_EQ(a.accepted, b.accepted);
+    EXPECT_EQ(a.participated, b.participated);
+    EXPECT_EQ(a.epoch_accuracy, b.epoch_accuracy);
+  };
+  // S=1 IS the legacy pool, bit for bit; S=4 re-schedules it without moving
+  // a byte, whatever the thread count; and a bounded queue under kRequeue
+  // changes only the admission counters.
+  expect_same(legacy, sharded_1s);
+  expect_same(legacy, sharded_4s_1t);
+  expect_same(legacy, sharded_4s_4t);
+  expect_same(legacy, sharded_4s_bounded);
+  EXPECT_EQ(sharded_4s_4t.requeued, 0);
+  EXPECT_GT(sharded_4s_bounded.requeued, 0);
+  EXPECT_LE(sharded_4s_bounded.max_depth, 1);
+  // The comparison covered real decisions: the replay adversary was
+  // rejected and eventually evicted in every run.
+  EXPECT_TRUE(legacy.evicted[0]);
+  ASSERT_FALSE(legacy.accepted.empty());
+  EXPECT_FALSE(legacy.accepted[0][0]);
+}
+
+// Pipelined scheduling is NOT the legacy protocol (one-epoch staleness by
+// design) but it is still §6-deterministic: two same-seed pipelined runs
+// must be bitwise identical at ANY thread count, because train(N+1) and
+// verify(N) touch disjoint workspaces and every shared-state step stays
+// sequential between the parallel regions.
+TEST(TrainingDeterminism, PipelinedShardedRunIsThreadCountInvariant) {
+  auto run_pipelined = [](int threads) {
+    const ThreadGuard guard;
+    runtime::set_threads(threads);
+    const testing::TinyTask task = testing::TinyTask::make(61, 10, 3);
+    const data::TrainTestSplit split =
+        data::train_test_split(task.dataset, 0.25, 17);
+    core::ShardedPoolConfig cfg;
+    cfg.base.scheme = core::Scheme::kRPoLv2;
+    cfg.base.hp = task.hp;
+    cfg.base.epochs = 3;
+    cfg.base.samples_q = 3;
+    cfg.base.seed = 71;
+    cfg.shards = 2;
+    cfg.pipeline = true;
+    std::vector<core::WorkerSpec> workers;
+    const auto devices = sim::all_devices();
+    for (std::size_t w = 0; w < 4; ++w) {
+      core::WorkerSpec spec;
+      spec.policy = std::make_unique<core::HonestPolicy>();
+      spec.device = devices[w % devices.size()];
+      workers.push_back(std::move(spec));
+    }
+    core::ShardedPool pool(std::move(cfg), task.factory, task.dataset,
+                           split.test, std::move(workers));
+    const core::PoolRunReport report = pool.run();
+    struct Result {
+      std::vector<float> model;
+      std::vector<double> epoch_accuracy;
+      std::uint64_t total_bytes = 0;
+    } r;
+    r.model = pool.pool().global_model();
+    r.total_bytes = report.total_bytes;
+    for (const auto& epoch : report.epochs) {
+      r.epoch_accuracy.push_back(epoch.test_accuracy);
+    }
+    return std::make_tuple(r.model, r.epoch_accuracy, r.total_bytes);
+  };
+  const auto t1 = run_pipelined(1);
+  const auto t4 = run_pipelined(4);
+  const auto t4_again = run_pipelined(4);
+  EXPECT_EQ(t1, t4);
+  EXPECT_EQ(t4, t4_again);
 }
 
 }  // namespace

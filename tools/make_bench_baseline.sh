@@ -2,12 +2,14 @@
 # Regenerates BENCH_baseline.json — the committed rpol.bench.v1 registry that
 # seeds the performance trajectory (`rpol bench-diff BENCH_baseline.json ...`).
 #
-# Only the two smoke-shape benches feed the baseline (the full suite takes
+# Only the smoke-shape benches feed the baseline (the full suite takes
 # minutes): bench_micro's kernel, crypto/commitment, blocked-layout conv, and
 # streaming-checkpoint harnesses (wall-clock GFLOP/s, SHA/commit throughput,
-# direct-vs-fallback speedups, and core.stream.* bounded-memory rows) and
-# bench_table3's deterministic cost-model rows. Both write into the same file via
-# RPOL_BENCH_FILE; BenchRecorder overlay-merges on write. Every record's env
+# direct-vs-fallback speedups, and core.stream.* bounded-memory rows),
+# bench_table3's deterministic cost-model rows, and bench_pool_scale's
+# sharded-manager pool.scale.* rows (submissions/sec at >= 1k workers plus an
+# explicit peak-RSS row). All write into the same file via RPOL_BENCH_FILE;
+# BenchRecorder overlay-merges on write. Every record's env
 # now carries peak_rss_bytes (VmHWM at record time), so a regenerated
 # baseline lets `rpol bench-diff --mem-tolerance 0.xx` gate memory too.
 #
@@ -17,7 +19,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 BUILD="${1:-build}"
 
-for bin in bench_micro bench_table3_overhead; do
+for bin in bench_micro bench_table3_overhead bench_pool_scale; do
   if [[ ! -x "$BUILD/bench/$bin" ]]; then
     echo "missing $BUILD/bench/$bin — build first: cmake --build $BUILD -j" >&2
     exit 1
@@ -33,6 +35,9 @@ RPOL_BENCH_FILE=BENCH_baseline.json \
 
 RPOL_BENCH_FILE=BENCH_baseline.json \
   "$BUILD/bench/bench_table3_overhead" >/dev/null
+
+RPOL_BENCH_FILE=BENCH_baseline.json \
+  "$BUILD/bench/bench_pool_scale" >/dev/null
 
 echo "wrote BENCH_baseline.json:"
 "$BUILD/tools/rpol" bench-diff BENCH_baseline.json BENCH_baseline.json

@@ -1,20 +1,22 @@
 #!/usr/bin/env bash
 # Tier-1 verification: configure, build, and run the full test suite in
-# seven passes — (1) pinned to a single compute thread, (2) RPOL_THREADS
-# unset (pool defaults to hardware_concurrency), (3) RPOL_TRACE=1, (4)
-# RPOL_LIVE=1 (background flusher + flight recorder armed; the determinism
-# suite proves bitwise identity), (5) a bounded-memory pass with
-# RPOL_CKPT_BUDGET squeezed to a few KiB so the checkpoint stores spill and
-# evict constantly, then (6) and (7) under AddressSanitizer and
-# UndefinedBehaviorSanitizer in separate build trees.
+# eight passes — (1) pinned to a single compute thread, (2) RPOL_THREADS
+# unset (pool defaults to hardware_concurrency), (3) RPOL_SHARDS=3 (the
+# sharded pool manager resolves a multi-shard default; §6 says shard layout
+# can never change results), (4) RPOL_TRACE=1, (5) RPOL_LIVE=1 (background
+# flusher + flight recorder armed; the determinism suite proves bitwise
+# identity), (6) a bounded-memory pass with RPOL_CKPT_BUDGET squeezed to a
+# few KiB so the checkpoint stores spill and evict constantly, then (7) and
+# (8) under AddressSanitizer and UndefinedBehaviorSanitizer in separate
+# build trees.
 # All passes must be green: the runtime's determinism contract says neither
-# thread count, tracing, nor the checkpoint-store budget can ever change
-# results, and the fault-injection/fuzz suites push hostile bytes through
-# every decoder, so memory or UB findings anywhere are real bugs, not
-# flakiness.
+# thread count, shard count, tracing, nor the checkpoint-store budget can
+# ever change results, and the fault-injection/fuzz suites push hostile
+# bytes through every decoder, so memory or UB findings anywhere are real
+# bugs, not flakiness.
 #
 # Usage: tools/run_tier1.sh [build-dir]   (default: build)
-# Set RPOL_SKIP_SANITIZERS=1 to run only the five fast passes.
+# Set RPOL_SKIP_SANITIZERS=1 to run only the six fast passes.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -23,16 +25,20 @@ BUILD_DIR="${1:-build}"
 cmake -B "$BUILD_DIR" -S .
 cmake --build "$BUILD_DIR" -j "$(nproc)"
 
-echo "==> tier-1 pass 1/7: RPOL_THREADS=1"
+echo "==> tier-1 pass 1/8: RPOL_THREADS=1"
 (cd "$BUILD_DIR" && RPOL_THREADS=1 ctest --output-on-failure -j "$(nproc)")
 
-echo "==> tier-1 pass 2/7: RPOL_THREADS unset (default thread count)"
+echo "==> tier-1 pass 2/8: RPOL_THREADS unset (default thread count)"
 (cd "$BUILD_DIR" && env -u RPOL_THREADS ctest --output-on-failure -j "$(nproc)")
 
-echo "==> tier-1 pass 3/7: RPOL_TRACE=1 (tracing on; results must not change)"
+echo "==> tier-1 pass 3/8: RPOL_SHARDS=3 (sharded manager default; shard"
+echo "    layout must never change results)"
+(cd "$BUILD_DIR" && RPOL_SHARDS=3 ctest --output-on-failure -j "$(nproc)")
+
+echo "==> tier-1 pass 4/8: RPOL_TRACE=1 (tracing on; results must not change)"
 (cd "$BUILD_DIR" && RPOL_TRACE=1 ctest --output-on-failure -j "$(nproc)")
 
-echo "==> tier-1 pass 4/7: RPOL_LIVE=1 (live flusher + flight recorder armed;"
+echo "==> tier-1 pass 5/8: RPOL_LIVE=1 (live flusher + flight recorder armed;"
 echo "    snapshots stream to a scratch file, results must not change)"
 (cd "$BUILD_DIR" && RPOL_LIVE=1 RPOL_LIVE_INTERVAL_MS=50 \
   RPOL_LIVE_FILE=tier1_live_scratch.jsonl \
@@ -40,7 +46,7 @@ echo "    snapshots stream to a scratch file, results must not change)"
   ctest --output-on-failure -j "$(nproc)")
 rm -f "$BUILD_DIR/tier1_live_scratch.jsonl" "$BUILD_DIR/tier1_flight_scratch.jsonl"
 
-echo "==> tier-1 pass 5/7: RPOL_CKPT_BUDGET=4096 (hot cache squeezed to one"
+echo "==> tier-1 pass 6/8: RPOL_CKPT_BUDGET=4096 (hot cache squeezed to one"
 echo "    checkpoint; streaming suites must stay bitwise identical)"
 (cd "$BUILD_DIR" && RPOL_CKPT_BUDGET=4096 ctest --output-on-failure \
   -R 'core_ckptstore_test|runtime_determinism_test|core_commitment_golden_test' \
@@ -52,7 +58,9 @@ echo "    checkpoint; streaming suites must stay bitwise identical)"
 # them, the crypto/commitment harness covers the hashing hot path, the
 # blocked-layout conv harness covers the direct-vs-fallback speedup rows,
 # and the streaming harness covers the bounded-memory checkpoint pipeline
-# (its core.stream.* rows carry peak RSS, which --mem-tolerance compares).
+# (its core.stream.* rows carry peak RSS, which --mem-tolerance compares),
+# and bench_pool_scale covers the sharded manager's submissions/sec and
+# peak-RSS envelope at >= 1k workers (pool.scale.* rows).
 # Advisory because wall-clock rows vary across machines. --mem-tolerance adds
 # an advisory peak-RSS comparison on records where both sides carry the
 # memory column (old baselines without it are simply not compared).
@@ -67,24 +75,26 @@ if [[ -f BENCH_baseline.json ]]; then
     ./bench/bench_micro --layout-only >/dev/null)
   (cd "$BUILD_DIR" && RPOL_BENCH_FILE=BENCH_current.json \
     ./bench/bench_micro --stream-only >/dev/null)
+  (cd "$BUILD_DIR" && RPOL_BENCH_FILE=BENCH_current.json \
+    ./bench/bench_pool_scale >/dev/null)
   "$BUILD_DIR/tools/rpol" bench-diff BENCH_baseline.json \
     "$BUILD_DIR/BENCH_current.json" --tolerance 0.35 --mem-tolerance 0.50 \
     || echo "==> advisory bench-diff flagged deltas (non-fatal)"
 fi
 
 if [[ "${RPOL_SKIP_SANITIZERS:-0}" == "1" ]]; then
-  echo "==> tier-1 OK: five fast configurations green (sanitizers skipped)"
+  echo "==> tier-1 OK: six fast configurations green (sanitizers skipped)"
   exit 0
 fi
 
-echo "==> tier-1 pass 6/7: AddressSanitizer (RPOL_SANITIZE=address)"
+echo "==> tier-1 pass 7/8: AddressSanitizer (RPOL_SANITIZE=address)"
 cmake -B "${BUILD_DIR}-asan" -S . -DRPOL_SANITIZE=address
 cmake --build "${BUILD_DIR}-asan" -j "$(nproc)"
 (cd "${BUILD_DIR}-asan" && ctest --output-on-failure -j "$(nproc)")
 
-echo "==> tier-1 pass 7/7: UndefinedBehaviorSanitizer (RPOL_SANITIZE=undefined)"
+echo "==> tier-1 pass 8/8: UndefinedBehaviorSanitizer (RPOL_SANITIZE=undefined)"
 cmake -B "${BUILD_DIR}-ubsan" -S . -DRPOL_SANITIZE=undefined
 cmake --build "${BUILD_DIR}-ubsan" -j "$(nproc)"
 (cd "${BUILD_DIR}-ubsan" && ctest --output-on-failure -j "$(nproc)")
 
-echo "==> tier-1 OK: all seven configurations green"
+echo "==> tier-1 OK: all eight configurations green"
